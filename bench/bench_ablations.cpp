@@ -1,0 +1,194 @@
+// Ablations of the modeling design choices the paper fixes by hand:
+//
+//  A. Number of residual mixture components - Sec. 5.2 caps the model at 3
+//     peaks after observing that further components carry weight < 1e-4.
+//  B. Derivative threshold of the peak detector - footnote 3 claims the
+//     algorithm is robust to this choice (1e-5 works for every service).
+//  C. The sigma = mu/10 constraint of the arrival Gaussian - Sec. 5.1
+//     fixes the ratio across all BS classes instead of fitting sigma.
+#include "bench_common.hpp"
+
+#include "core/arrival_model.hpp"
+#include "core/volume_model.hpp"
+#include "math/distributions.hpp"
+#include "math/em_gmm.hpp"
+#include "math/metrics.hpp"
+#include "usecases/vran.hpp"
+
+namespace {
+
+using namespace mtd;
+using bench::bench_dataset;
+
+std::vector<std::size_t> fitted_services() {
+  const MeasurementDataset& ds = bench_dataset();
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < ds.num_services(); ++s) {
+    if (ds.slice(s, Slice::kTotal).sessions >= 5000) out.push_back(s);
+  }
+  return out;
+}
+
+double median_model_emd(const VolumeModelOptions& options) {
+  const MeasurementDataset& ds = bench_dataset();
+  std::vector<double> emds;
+  for (std::size_t s : fitted_services()) {
+    const BinnedPdf pdf = ds.slice(s, Slice::kTotal).normalized_pdf();
+    const VolumeModel model = VolumeModel::fit(pdf, options);
+    emds.push_back(model.emd_against(pdf));
+  }
+  return quantile(emds, 0.5);
+}
+
+void ablation_peak_count() {
+  print_banner(std::cout,
+               "Ablation A - residual components vs model fidelity");
+  TextTable table({"max peaks", "median EMD", "EMD vs 3-peak baseline"});
+  VolumeModelOptions options;
+  options.max_peaks = 3;
+  const double baseline = median_model_emd(options);
+  for (std::size_t peaks : {1u, 2u, 3u, 5u, 8u}) {
+    options.max_peaks = peaks;
+    const double emd_value = median_model_emd(options);
+    table.add_row({std::to_string(peaks), TextTable::sci(emd_value, 2),
+                   TextTable::num(emd_value / baseline, 2) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "Expected: fidelity saturates at <= 3 components (the paper's "
+               "cap); extra peaks carry negligible weight.\n";
+}
+
+void ablation_derivative_threshold() {
+  print_banner(std::cout,
+               "Ablation B - derivative threshold of the peak detector");
+  TextTable table({"threshold", "median EMD", "peaks (Netflix)"});
+  const MeasurementDataset& ds = bench_dataset();
+  const BinnedPdf netflix =
+      ds.slice(service_index("Netflix"), Slice::kTotal).normalized_pdf();
+  for (double threshold : {1e-6, 1e-5, 1e-4, 1e-3, 1e-2}) {
+    VolumeModelOptions options;
+    options.derivative_threshold = threshold;
+    const VolumeModel model = VolumeModel::fit(netflix, options);
+    table.add_row({TextTable::sci(threshold, 0),
+                   TextTable::sci(median_model_emd(options), 2),
+                   std::to_string(model.peaks().size())});
+  }
+  table.print(std::cout);
+  std::cout << "Expected: flat across orders of magnitude (footnote 3: the "
+               "algorithm is robust to the threshold).\n";
+}
+
+void ablation_sigma_constraint() {
+  print_banner(std::cout,
+               "Ablation C - fixed sigma = mu/10 vs empirically fitted sigma");
+  const MeasurementDataset& ds = bench_dataset();
+  TextTable table({"decile", "EMD (sigma = mu/10)", "EMD (empirical sigma)"});
+  for (std::uint8_t d = 0; d < kNumDeciles; ++d) {
+    const DecileArrivalStats& stats = ds.decile_arrivals(d);
+    BinnedPdf empirical = stats.day_pdf;
+    empirical.normalize();
+    const double mu = stats.day_stats.mean();
+
+    const auto emd_for = [&](double sigma) {
+      BinnedPdf fitted(empirical.axis());
+      const Gaussian gauss(mu, std::max(sigma, 1e-3));
+      for (std::size_t i = 0; i < fitted.size(); ++i) {
+        fitted[i] = gauss.pdf(fitted.axis().center(i));
+      }
+      fitted.normalize();
+      return emd(empirical, fitted);
+    };
+    table.add_row({std::to_string(d), TextTable::num(emd_for(mu / 10.0), 3),
+                   TextTable::num(emd_for(stats.day_stats.stddev()), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "Expected: the constrained fit loses little accuracy - the "
+               "empirical sigma/mu ratio hovers around 0.1 in every class "
+               "(Sec. 5.1), so fixing it removes a parameter for free.\n";
+}
+
+void ablation_packing_policy() {
+  print_banner(std::cout,
+               "Ablation D - vRAN consolidation policy vs energy");
+  VranConfig config;
+  config.num_edge_sites = bench::fast_mode() ? 4 : 8;
+  config.rus_per_site = bench::fast_mode() ? 4 : 8;
+  config.num_days = 1;
+  config.ru_decile = 6;
+  TextTable table({"policy", "mean power (ground truth)",
+                   "vs first-fit decreasing"});
+  double baseline = 0.0;
+  for (PackingPolicy policy :
+       {PackingPolicy::kFirstFitDecreasing, PackingPolicy::kBestFitDecreasing,
+        PackingPolicy::kWorstFitDecreasing,
+        PackingPolicy::kNoConsolidation}) {
+    config.packing = policy;
+    const VranResult result = run_vran(bench::bench_registry(), config);
+    const double power = result.strategies.front().mean_power_w;
+    if (policy == PackingPolicy::kFirstFitDecreasing) baseline = power;
+    table.add_row({to_string(policy),
+                   TextTable::num(power / 1000.0, 2) + " kW",
+                   TextTable::num(power / baseline, 2) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "Reading: consolidation is what saves energy (the paper's "
+               "premise); without it every RU pins an idle-powered PS, and "
+               "the choice among decreasing-fit heuristics is secondary.\n";
+}
+
+void ablation_em_gmm() {
+  // Sec. 5.2's closing remark: traditional mixture models can also fit
+  // F_s(x); the residual-peak algorithm trades a little automatic
+  // flexibility for compactness and explainable components.
+  print_banner(std::cout,
+               "Ablation E - residual-peak decomposition vs EM-fitted GMM");
+  const MeasurementDataset& ds = bench_dataset();
+  TextTable table({"service", "EMD (paper algo)", "EMD (EM-GMM, K=4)",
+                   "components (paper)", "semantic"});
+  for (const char* name : {"Netflix", "Twitch", "Facebook", "Deezer"}) {
+    const BinnedPdf pdf =
+        ds.slice(service_index(name), Slice::kTotal).normalized_pdf();
+    const VolumeModel paper_model = VolumeModel::fit(pdf);
+    EmGmmOptions options;
+    options.components = 4;
+    const EmGmmResult gmm = fit_em_gmm(pdf, options);
+    BinnedPdf gmm_pdf(pdf.axis());
+    for (std::size_t i = 0; i < gmm_pdf.size(); ++i) {
+      gmm_pdf[i] = gmm.pdf(pdf.axis().center(i));
+    }
+    gmm_pdf.normalize();
+    table.add_row({name, TextTable::sci(paper_model.emd_against(pdf), 2),
+                   TextTable::sci(emd(pdf, gmm_pdf), 2),
+                   std::to_string(1 + paper_model.peaks().size()),
+                   "main trend + named peaks"});
+  }
+  table.print(std::cout);
+  std::cout << "Reading: the free-form EM baseline fits tighter, as "
+               "expected; the paper's decomposition stays an order of "
+               "magnitude below inter-service distances (~1.5e-01) while "
+               "keeping interpretable (main / transient / knee) components "
+               "- the trade-off Sec. 5.2 argues for.\n";
+}
+
+void bm_fit_with_peak_budget(benchmark::State& state) {
+  const MeasurementDataset& ds = bench_dataset();
+  const BinnedPdf pdf =
+      ds.slice(service_index("Netflix"), Slice::kTotal).normalized_pdf();
+  VolumeModelOptions options;
+  options.max_peaks = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VolumeModel::fit(pdf, options));
+  }
+}
+BENCHMARK(bm_fit_with_peak_budget)->Arg(1)->Arg(3)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ablation_peak_count();
+  ablation_derivative_threshold();
+  ablation_sigma_constraint();
+  ablation_packing_policy();
+  ablation_em_gmm();
+  return mtd::bench::run_benchmarks(argc, argv);
+}

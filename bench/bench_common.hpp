@@ -1,0 +1,71 @@
+// Shared scaffolding for the per-figure benchmark binaries.
+//
+// Every binary regenerates one table or figure of the paper from the
+// synthetic measurement substrate, prints the rows/series the paper reports
+// (shape comparison, not absolute numbers), and then runs google-benchmark
+// timings of the kernels involved.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/service_model.hpp"
+#include "dataset/measurement.hpp"
+#include "io/table.hpp"
+
+namespace mtd::bench {
+
+/// True when MTD_BENCH_FAST is set: shrink scenario sizes for smoke runs.
+inline bool fast_mode() {
+  static const bool fast = std::getenv("MTD_BENCH_FAST") != nullptr;
+  return fast;
+}
+
+/// The bench-scale synthetic network: 100 BSs across all deciles, regions,
+/// cities and RATs (configurable down for smoke runs).
+inline const Network& bench_network() {
+  static const Network network = [] {
+    NetworkConfig config;
+    config.num_bs = fast_mode() ? 20 : 100;
+    Rng rng(2023);
+    return Network::build(config, rng);
+  }();
+  return network;
+}
+
+/// The bench-scale measurement dataset: 10 simulated days (the paper uses
+/// 45; 10 keeps every figure stable at a fraction of the runtime).
+inline const MeasurementDataset& bench_dataset() {
+  static const MeasurementDataset dataset = [] {
+    TraceConfig trace;
+    trace.num_days = fast_mode() ? 2 : 10;
+    trace.seed = 20231024;
+    std::cerr << "[bench] generating synthetic trace ("
+              << bench_network().size() << " BSs, " << trace.num_days
+              << " days)...\n";
+    MeasurementDataset ds = collect_dataset(bench_network(), trace);
+    std::cerr << "[bench] " << ds.total_sessions() << " sessions, "
+              << ds.total_volume_mb() / 1e6 << " TB\n";
+    return ds;
+  }();
+  return dataset;
+}
+
+/// Models fitted on the bench dataset.
+inline const ModelRegistry& bench_registry() {
+  static const ModelRegistry registry = ModelRegistry::fit(bench_dataset());
+  return registry;
+}
+
+/// Runs the registered google-benchmark timings (call at the end of main).
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace mtd::bench

@@ -1,0 +1,119 @@
+// Extension - model validation beyond the paper's EMD criterion:
+//  - the implied average-throughput distributions (the third session-level
+//    statistic of Sec. 1) compared between models and ground truth,
+//  - Kolmogorov-Smirnov goodness-of-fit of model-sampled volumes,
+//  - BS-level aggregates derived from the session-level models (the bridge
+//    to the BS-level modeling literature of Fig. 1).
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "analysis/bs_level.hpp"
+#include "analysis/throughput.hpp"
+#include "math/ks_test.hpp"
+#include "math/metrics.hpp"
+
+namespace {
+
+using namespace mtd;
+using bench::bench_registry;
+
+void print_throughput_validation() {
+  print_banner(std::cout,
+               "Extension - implied average-throughput distributions");
+  TextTable table({"service", "median (truth)", "median (model)",
+                   "p95 (truth)", "p95 (model)", "EMD"});
+  Rng rng(1);
+  for (const char* name :
+       {"Netflix", "Twitch", "Facebook", "Waze", "Youtube"}) {
+    const std::size_t s = service_index(name);
+    const ServiceModel& model = bench_registry().by_name(name);
+    const ThroughputProfile truth = empirical_throughput(s, 40000, rng);
+    const ThroughputProfile modeled = model_throughput(model, 40000, rng);
+    table.add_row({name, TextTable::num(truth.median_mbps, 3) + " Mbps",
+                   TextTable::num(modeled.median_mbps, 3) + " Mbps",
+                   TextTable::num(truth.p95_mbps, 2) + " Mbps",
+                   TextTable::num(modeled.p95_mbps, 2) + " Mbps",
+                   TextTable::num(emd(truth.pdf, modeled.pdf), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "Reading: volume-mixture + inverse-power-law sampling "
+               "reproduces the throughput distribution each service "
+               "implies, without ever fitting throughput directly.\n";
+}
+
+void print_ks_validation() {
+  print_banner(std::cout, "Extension - KS goodness-of-fit of sampled volumes");
+  TextTable table({"service", "KS statistic", "p-value", "verdict"});
+  Rng rng(2);
+  for (const char* name : {"Facebook", "Deezer", "Amazon"}) {
+    const ServiceModel& model = bench_registry().by_name(name);
+    // Model self-consistency: sampled volumes vs the model's own CDF.
+    std::vector<double> samples;
+    for (int i = 0; i < 1500; ++i) {
+      samples.push_back(model.sample(rng).volume_mb);
+    }
+    const auto& mixture = model.volume().mixture();
+    const KsResult result = ks_test(
+        samples, [&mixture](double x) { return mixture.cdf(x); });
+    table.add_row({name, TextTable::num(result.statistic, 4),
+                   TextTable::num(result.p_value, 3),
+                   result.accept() ? "consistent" : "REJECTED"});
+  }
+  table.print(std::cout);
+}
+
+void print_bs_level() {
+  print_banner(std::cout,
+               "Extension - BS-level aggregates from session-level models");
+  TextTable table({"decile", "daily volume", "peak minute", "day/night",
+                   "circadian R^2"});
+  const ModelSessionSource source(bench_registry());
+  for (std::uint8_t d : {std::uint8_t{2}, std::uint8_t{5}, std::uint8_t{8}}) {
+    const BsTrafficGenerator generator(
+        bench_registry().arrivals().class_model(d),
+        bench_registry().arrivals(), source);
+    Rng rng(3);
+    const BsLevelSeries series = aggregate_bs_series(generator, 2, rng);
+    table.add_row({std::to_string(d),
+                   TextTable::num(series.total_mb() / 1e3, 1) + " GB",
+                   TextTable::num(series.peak_mb(), 1) + " MB",
+                   TextTable::num(series.day_night_ratio(), 1) + "x",
+                   TextTable::num(circadian_agreement(series), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "Reading: aggregating the session-level generator yields the "
+               "familiar BS-level circadian series (Fig. 1's coarsest "
+               "modeling tier) for free.\n";
+}
+
+void bm_throughput_profile(benchmark::State& state) {
+  const ServiceModel& model = bench_registry().by_name("Netflix");
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model_throughput(model, 5000, rng));
+  }
+}
+BENCHMARK(bm_throughput_profile)->Unit(benchmark::kMillisecond);
+
+void bm_ks_two_sample(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.normal());
+    b.push_back(rng.normal());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ks_test(a, b));
+  }
+}
+BENCHMARK(bm_ks_two_sample);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_throughput_validation();
+  print_ks_validation();
+  print_bs_level();
+  return mtd::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,89 @@
+// Fig. 3: PDFs of the per-minute session arrival rate for BSs of different
+// load deciles, with the fitted bi-modal model (Gaussian daytime peak +
+// Pareto overnight off-peak).
+#include "bench_common.hpp"
+
+#include "common/time_utils.hpp"
+#include "core/arrival_model.hpp"
+
+namespace {
+
+using namespace mtd;
+using bench::bench_dataset;
+
+void print_fig3() {
+  const MeasurementDataset& ds = bench_dataset();
+  const ArrivalModel model = ArrivalModel::fit(ds);
+
+  print_banner(std::cout, "Figure 3 - session arrivals per minute by BS load decile");
+  TextTable table({"decile", "day mean (emp)", "sigma/mu (emp)",
+                   "fit: Gauss mu", "fit: Gauss sigma", "fit: Pareto scale",
+                   "night mean (emp)", "day-fit EMD"});
+  for (std::uint8_t d = 0; d < kNumDeciles; ++d) {
+    const DecileArrivalStats& stats = ds.decile_arrivals(d);
+    const ArrivalFitReport& fit = model.classes()[d];
+    table.add_row({std::to_string(d),
+                   TextTable::num(stats.day_stats.mean(), 2),
+                   TextTable::num(fit.sigma_over_mu, 3),
+                   TextTable::num(fit.model.peak_mu, 2),
+                   TextTable::num(fit.model.peak_sigma, 3),
+                   TextTable::num(fit.model.offpeak_scale, 3),
+                   TextTable::num(stats.night_stats.mean(), 3),
+                   TextTable::num(fit.day_emd, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper shape check: fitted Gaussian means span "
+            << TextTable::num(model.classes().front().model.peak_mu, 2)
+            << " -> "
+            << TextTable::num(model.classes().back().model.peak_mu, 2)
+            << " sessions/min across deciles (paper: 1.21 -> 71), "
+            << "sigma/mu ~ 0.1 everywhere, Pareto shape fixed at "
+            << ArrivalClassModel::kOffpeakShape << ".\n";
+
+  // Bi-modality: pooled count PDF of one mid decile at a few abscissae.
+  const DecileArrivalStats& mid = ds.decile_arrivals(6);
+  BinnedPdf pooled = mid.count_pdf;
+  pooled.normalize();
+  std::cout << "\nPooled per-minute count PDF, decile 6, coarse-binned "
+               "(bimodal: night mode near 0, day mode near the class "
+               "mean, near-empty in between):\n";
+  TextTable pdf({"sessions/min range", "probability mass"});
+  const std::size_t block = pooled.size() / 16;
+  for (std::size_t i = 0; i + block <= pooled.size(); i += block) {
+    double mass = 0.0;
+    for (std::size_t j = i; j < i + block; ++j) {
+      mass += pooled[j] * pooled.axis().width();
+    }
+    pdf.add_row({TextTable::num(pooled.axis().edge(i), 1) + " - " +
+                     TextTable::num(pooled.axis().edge(i + block), 1),
+                 TextTable::sci(mass, 2)});
+  }
+  pdf.print(std::cout);
+}
+
+void bm_arrival_sampling(benchmark::State& state) {
+  const ArrivalModel model = ArrivalModel::fit(bench_dataset());
+  const ArrivalClassModel& cls = model.class_model(6);
+  Rng rng(1);
+  std::size_t minute = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cls.sample_minute(minute, rng));
+    minute = (minute + 1) % kMinutesPerDay;
+  }
+}
+BENCHMARK(bm_arrival_sampling);
+
+void bm_arrival_model_fit(benchmark::State& state) {
+  const MeasurementDataset& ds = bench_dataset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ArrivalModel::fit(ds));
+  }
+}
+BENCHMARK(bm_arrival_model_fit);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig3();
+  return mtd::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,54 @@
+// Fig. 4: services ranked by the fraction of sessions they generate, their
+// normalized total traffic, and the negative-exponential rank law.
+#include "bench_common.hpp"
+
+#include "analysis/ranking.hpp"
+
+namespace {
+
+using namespace mtd;
+using bench::bench_dataset;
+
+void print_fig4() {
+  const ServiceRanking ranking = rank_services(bench_dataset());
+
+  print_banner(std::cout, "Figure 4 - service ranking by session share");
+  TextTable table({"rank", "service", "session share", "traffic share",
+                   "exp-law prediction"});
+  for (const RankedService& entry : ranking.services) {
+    table.add_row({std::to_string(entry.rank), entry.name,
+                   TextTable::pct(entry.session_share, 2),
+                   TextTable::pct(entry.traffic_share, 2),
+                   TextTable::pct(ranking.rank_law(
+                                      static_cast<double>(entry.rank)),
+                                  2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExponential rank law: share(rank) = "
+            << TextTable::num(ranking.rank_law.a, 4) << " * exp("
+            << TextTable::num(ranking.rank_law.b, 4) << " * rank),  "
+            << "log-space R^2 = "
+            << TextTable::num(ranking.rank_law.r_squared_log, 3)
+            << " (paper: 0.97)\n";
+  std::cout << "Top-20 services cover "
+            << TextTable::pct(ranking.top_k_share(20), 1)
+            << " of all sessions (paper: > 78%).\n";
+  std::cout << "Traffic dots scatter: compare Netflix (high traffic, low "
+               "rank) against its session-share neighbours above.\n";
+}
+
+void bm_rank_services(benchmark::State& state) {
+  const MeasurementDataset& ds = bench_dataset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rank_services(ds));
+  }
+}
+BENCHMARK(bm_rank_services);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig4();
+  return mtd::bench::run_benchmarks(argc, argv);
+}

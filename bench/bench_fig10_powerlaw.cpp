@@ -1,0 +1,68 @@
+// Fig. 10: power-law exponents beta_s of the fitted duration-volume models,
+// with R^2 - video streaming dominates super-linear behavior.
+#include "bench_common.hpp"
+
+#include "core/duration_model.hpp"
+
+namespace {
+
+using namespace mtd;
+using bench::bench_dataset;
+
+void print_fig10() {
+  const MeasurementDataset& ds = bench_dataset();
+  const auto& catalog = service_catalog();
+
+  print_banner(std::cout, "Figure 10 - power-law exponents of v_s(d)");
+  TextTable table({"service", "class", "beta (fit)", "beta (planted)",
+                   "alpha", "R^2", "regime"});
+  std::size_t streaming_super = 0, streaming_total = 0;
+  std::size_t interactive_sub = 0, interactive_total = 0;
+  double beta_min = 1e9, beta_max = -1e9;
+
+  for (std::size_t s = 0; s < ds.num_services(); ++s) {
+    const ServiceSliceStats& stats = ds.slice(s, Slice::kTotal);
+    if (stats.sessions < 500) continue;
+    const DurationModel model = DurationModel::fit(stats.dv_curve);
+    beta_min = std::min(beta_min, model.beta());
+    beta_max = std::max(beta_max, model.beta());
+    if (catalog[s].cls == ServiceClass::kStreaming) {
+      ++streaming_total;
+      if (model.is_super_linear()) ++streaming_super;
+    } else if (catalog[s].cls == ServiceClass::kInteractive) {
+      ++interactive_total;
+      if (!model.is_super_linear()) ++interactive_sub;
+    }
+    table.add_row({catalog[s].name, std::string(to_string(catalog[s].cls)),
+                   TextTable::num(model.beta(), 2),
+                   TextTable::num(catalog[s].beta, 2),
+                   TextTable::num(model.alpha(), 4),
+                   TextTable::num(model.r_squared(), 2),
+                   model.is_super_linear() ? "super-linear" : "sub-linear"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExponent range: " << TextTable::num(beta_min, 2) << " - "
+            << TextTable::num(beta_max, 2) << " (paper: 0.1 - 1.8).\n";
+  std::cout << "Streaming services super-linear: " << streaming_super << "/"
+            << streaming_total << "; interactive sub-linear: "
+            << interactive_sub << "/" << interactive_total
+            << " (paper: video streaming dominates super-linear).\n";
+}
+
+void bm_power_law_fit(benchmark::State& state) {
+  const MeasurementDataset& ds = bench_dataset();
+  const BinnedMeanCurve& curve =
+      ds.slice(service_index("Netflix"), Slice::kTotal).dv_curve;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DurationModel::fit(curve));
+  }
+}
+BENCHMARK(bm_power_law_fit);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig10();
+  return mtd::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,97 @@
+// Fig. 11: fitted models F~_s(x) and v~_s(d) against the measurement data
+// for a choice of eight services, plus the model-quality summary of
+// Sec. 5.4 (EMD of the volume models, R^2 of the duration models).
+#include "bench_common.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "analysis/invariance.hpp"
+
+namespace {
+
+using namespace mtd;
+using bench::bench_dataset;
+using bench::bench_registry;
+
+constexpr std::array<const char*, 8> kServices{
+    "Twitch",  "Twitter",  "Google Maps", "Amazon",
+    "FB Live", "Facebook", "SnapChat",    "Google Meet"};
+
+void print_fig11() {
+  const MeasurementDataset& ds = bench_dataset();
+  const ModelRegistry& registry = bench_registry();
+
+  print_banner(std::cout, "Figure 11 - fitted models vs measurements");
+  TextTable table({"service", "model EMD", "main mu", "main sigma", "#peaks",
+                   "beta", "duration R^2"});
+  for (const char* name : kServices) {
+    const ServiceModel& model = registry.by_name(name);
+    const BinnedPdf empirical =
+        ds.slice(service_index(name), Slice::kTotal).normalized_pdf();
+    table.add_row({name,
+                   TextTable::sci(model.volume().emd_against(empirical), 2),
+                   TextTable::num(model.volume().main().mu(), 2),
+                   TextTable::num(model.volume().main().sigma(), 2),
+                   std::to_string(model.volume().peaks().size()),
+                   TextTable::num(model.duration().beta(), 2),
+                   TextTable::num(model.duration().r_squared(), 2)});
+  }
+  table.print(std::cout);
+
+  // The paper's quality criterion: model EMD an order of magnitude below
+  // the inter-service EMDs of Fig. 8a.
+  const InvarianceReport invariance = analyze_invariance(ds);
+  const double inter = invariance.pdf_distances[0].median();
+  std::vector<double> emds;
+  for (const ServiceModel& model : registry.services()) {
+    const BinnedPdf empirical =
+        ds.slice(service_index(model.name()), Slice::kTotal).normalized_pdf();
+    emds.push_back(model.volume().emd_against(empirical));
+  }
+  std::cout << "\nAll " << emds.size() << " fitted services: median model "
+            << "EMD = " << TextTable::sci(quantile(emds, 0.5), 2)
+            << ", worst = " << TextTable::sci(quantile(emds, 1.0), 2)
+            << "; inter-service EMD median = " << TextTable::sci(inter, 2)
+            << " (paper: model EMD one order of magnitude below).\n";
+
+  // One detailed curve like the paper's subplots.
+  const ServiceModel& model = registry.by_name("Twitch");
+  const BinnedPdf empirical =
+      ds.slice(service_index("Twitch"), Slice::kTotal).normalized_pdf();
+  const BinnedPdf fitted = model.volume().discretize(empirical.axis());
+  std::cout << "\nTwitch F~ vs measurement:\n";
+  TextTable curve({"volume (MB)", "measured", "model"});
+  for (std::size_t i = 0; i < empirical.size(); i += 10) {
+    if (empirical[i] < 1e-4 && fitted[i] < 1e-4) continue;
+    const double mb = std::pow(10.0, empirical.axis().center(i));
+    curve.add_row({TextTable::num(mb, mb < 1 ? 3 : 1),
+                   TextTable::num(empirical[i], 4),
+                   TextTable::num(fitted[i], 4)});
+  }
+  curve.print(std::cout);
+}
+
+void bm_fit_all_services(benchmark::State& state) {
+  const MeasurementDataset& ds = bench_dataset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ModelRegistry::fit(ds));
+  }
+}
+BENCHMARK(bm_fit_all_services)->Unit(benchmark::kMillisecond);
+
+void bm_model_sampling(benchmark::State& state) {
+  const ServiceModel& model = bench_registry().by_name("Facebook");
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.sample(rng));
+  }
+}
+BENCHMARK(bm_model_sampling);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig11();
+  return mtd::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,88 @@
+// Fig. 12: normalized traffic demand and allocated capacity of the Facebook
+// network slice at one BS over time - the model-driven allocation sits far
+// below the bursty demand peaks yet satisfies the 95% SLA.
+#include "bench_common.hpp"
+
+#include "common/time_utils.hpp"
+#include "usecases/slicing.hpp"
+
+namespace {
+
+using namespace mtd;
+using bench::bench_registry;
+
+void print_fig12() {
+  SlicingConfig config;
+  config.num_antennas = bench::fast_mode() ? 2 : 4;
+  config.eval_days = bench::fast_mode() ? 2 : 7;
+  config.calibration_days = 3;
+  config.seed = 62;
+  config.fig12_service = "Facebook";
+  config.fig12_antenna = 2;  // the decile-6 antenna of the cycled population
+
+  const SlicingResult result = run_slicing(bench_registry(), config);
+  const double alloc = result.strategies[0].fig12_allocation_mbps;
+
+  print_banner(std::cout,
+               "Figure 12 - Facebook slice demand vs allocated capacity");
+  std::cout << "Model allocation (95th pct): " << TextTable::num(alloc, 2)
+            << " Mbps\n\nHourly demand profile (mean / max per hour, Mbps, "
+               "'*' = hour contains minutes above the allocation):\n";
+
+  TextTable table({"day", "hour", "mean demand", "max demand", "over?"});
+  const auto& series = result.fig12_demand_mbps;
+  for (std::size_t day = 0; day < config.eval_days; ++day) {
+    for (std::size_t hour = 0; hour < 24; hour += 2) {
+      double sum = 0.0, peak = 0.0;
+      for (std::size_t m = 0; m < 60; ++m) {
+        const double v = series[day * kMinutesPerDay + hour * 60 + m];
+        sum += v;
+        peak = std::max(peak, v);
+      }
+      if (day > 0 && day != config.eval_days - 1 && day % 3 != 0) continue;
+      table.add_row({std::to_string(day), std::to_string(hour) + ":00",
+                     TextTable::num(sum / 60.0, 2), TextTable::num(peak, 2),
+                     peak > alloc ? "*" : ""});
+    }
+  }
+  table.print(std::cout);
+
+  double peak_demand = 0.0;
+  std::size_t over = 0, peak_minutes = 0;
+  for (std::size_t m = 0; m < series.size(); ++m) {
+    peak_demand = std::max(peak_demand, series[m]);
+    if (!is_peak_minute(m % kMinutesPerDay)) continue;
+    ++peak_minutes;
+    if (series[m] > alloc) ++over;
+  }
+  std::cout << "\nPeak demand over the week: "
+            << TextTable::num(peak_demand, 2) << " Mbps vs allocation "
+            << TextTable::num(alloc, 2)
+            << " Mbps - the allocation is robust against outliers (Fig. 12) "
+               "while violating the slice in only "
+            << TextTable::pct(static_cast<double>(over) /
+                                  static_cast<double>(peak_minutes),
+                              2)
+            << " of peak minutes.\n";
+}
+
+void bm_demand_generation(benchmark::State& state) {
+  const ArrivalModel& arrivals = bench_registry().arrivals();
+  const ArrivalClassModel& cls = arrivals.class_model(6);
+  Rng rng(1);
+  for (auto _ : state) {
+    std::uint32_t total = 0;
+    for (std::size_t m = 0; m < kMinutesPerDay; ++m) {
+      total += cls.sample_minute(m, rng);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(bm_demand_generation)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig12();
+  return mtd::bench::run_benchmarks(argc, argv);
+}

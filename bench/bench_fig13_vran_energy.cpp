@@ -1,0 +1,75 @@
+// Fig. 13: energy consumption in a CU-DU vRAN - (b) APE of the number of
+// active physical servers and of the power consumption for every traffic
+// model against the measurement-driven ground truth, and (c) a power
+// consumption time-series close-up.
+#include "bench_common.hpp"
+
+#include "usecases/vran.hpp"
+
+namespace {
+
+using namespace mtd;
+using bench::bench_registry;
+
+VranConfig paper_config() {
+  VranConfig config;
+  // Paper: 1 CS serving 20 ESs x 20 RUs; we scale by default to keep the
+  // 5-strategy x 86400-slot simulation to tens of seconds.
+  config.num_edge_sites = bench::fast_mode() ? 4 : 20;
+  config.rus_per_site = bench::fast_mode() ? 4 : 20;
+  config.num_days = 1;
+  config.ru_decile = 5;
+  config.seed = 63;
+  return config;
+}
+
+void print_fig13() {
+  const VranResult result = run_vran(bench_registry(), paper_config());
+
+  print_banner(std::cout,
+               "Figure 13b - APE vs measurement-driven ground truth");
+  TextTable table({"strategy", "APE #PS p25", "median", "p75",
+                   "APE power p25", "median", "p75", "mean power"});
+  for (const VranStrategyResult& row : result.strategies) {
+    table.add_row({row.name, TextTable::pct(row.ape_active_ps.q1, 1),
+                   TextTable::pct(row.ape_active_ps.median, 1),
+                   TextTable::pct(row.ape_active_ps.q3, 1),
+                   TextTable::pct(row.ape_power.q1, 1),
+                   TextTable::pct(row.ape_power.median, 1),
+                   TextTable::pct(row.ape_power.q3, 1),
+                   TextTable::num(row.mean_power_w / 1000.0, 2) + " kW"});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper shape: the session-level model stays within a few "
+               "percent; the raw literature benchmark (bm a) is off by "
+               ">100%; the normalized variants improve but cannot match "
+               "per-service session statistics.\n";
+
+  print_banner(std::cout, "Figure 13c - power consumption over 10 minutes");
+  TextTable series({"t (s)", "real (W)", "model (W)", "bm c (W)"});
+  const auto& real = result.strategies[0].power_series_w;
+  const auto& model = result.strategies[1].power_series_w;
+  const auto& bmc = result.strategies[4].power_series_w;
+  for (std::size_t t = 0; t < real.size(); t += 30) {
+    series.add_row({std::to_string(t), TextTable::num(real[t], 0),
+                    TextTable::num(model[t], 0), TextTable::num(bmc[t], 0)});
+  }
+  series.print(std::cout);
+}
+
+void bm_first_fit_decreasing(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> loads(static_cast<std::size_t>(state.range(0)));
+  for (double& l : loads) l = rng.uniform(0.0, 60.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(first_fit_decreasing(loads, 100.0));
+  }
+}
+BENCHMARK(bm_first_fit_decreasing)->Arg(16)->Arg(100)->Arg(400);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig13();
+  return mtd::bench::run_benchmarks(argc, argv);
+}

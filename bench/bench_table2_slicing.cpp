@@ -1,0 +1,59 @@
+// Table 2: capacity allocation for network slicing - percentage of time
+// with no dropped traffic per strategy, at the paper's scenario scale
+// (10 antennas, 28+ SPs, one week, 95% SLA over peak hours).
+#include "bench_common.hpp"
+
+#include "usecases/slicing.hpp"
+
+namespace {
+
+using namespace mtd;
+using bench::bench_registry;
+
+SlicingConfig paper_config() {
+  SlicingConfig config;
+  config.num_antennas = bench::fast_mode() ? 3 : 10;
+  config.eval_days = bench::fast_mode() ? 2 : 7;
+  config.calibration_days = bench::fast_mode() ? 2 : 5;
+  config.seed = 61;
+  return config;
+}
+
+void print_table2() {
+  const SlicingResult result = run_slicing(bench_registry(), paper_config());
+
+  print_banner(std::cout,
+               "Table 2 - network slicing: time with no dropped traffic");
+  TextTable table({"strategy", "mean satisfied", "std dev", "SLA met",
+                   "total allocation"});
+  for (const SliceStrategyResult& row : result.strategies) {
+    table.add_row({row.name, TextTable::pct(row.mean_satisfied, 2),
+                   TextTable::pct(row.stddev_satisfied, 2),
+                   TextTable::pct(row.sla_met_fraction, 1),
+                   TextTable::num(row.total_allocated_mbps, 0) + " Mbps"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper reference: model 95.15% +- 2.1, bm a 89.8% +- 4.3, "
+               "bm b 87.25% +- 4.2.\nShape check: only the session-level "
+               "model approaches the 95% target with low variability; the "
+               "category benchmarks starve the heavy slices.\n";
+}
+
+void bm_slicing_quick(benchmark::State& state) {
+  SlicingConfig config;
+  config.num_antennas = 2;
+  config.eval_days = 1;
+  config.calibration_days = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_slicing(bench_registry(), config));
+  }
+}
+BENCHMARK(bm_slicing_quick)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  return mtd::bench::run_benchmarks(argc, argv);
+}

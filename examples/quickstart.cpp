@@ -1,0 +1,70 @@
+// Quickstart: the full pipeline in one page.
+//
+//  1. Build a synthetic RAN and generate a session-level trace (the stand-in
+//     for the paper's nationwide measurements).
+//  2. Aggregate it into the per-service measurement statistics.
+//  3. Fit the session-level models: arrivals, volume mixtures, power laws.
+//  4. Save the model parameter file and sample synthetic sessions from it.
+//
+// Run:  ./quickstart [output.json]
+#include <iostream>
+
+#include "core/service_model.hpp"
+#include "io/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mtd;
+  const std::string output = argc > 1 ? argv[1] : "mtd_models.json";
+
+  // 1. A 40-BS network observed for 3 days keeps this example fast.
+  NetworkConfig net_config;
+  net_config.num_bs = 40;
+  Rng rng(42);
+  const Network network = Network::build(net_config, rng);
+
+  TraceConfig trace;
+  trace.num_days = 3;
+  trace.seed = 7;
+
+  std::cout << "Generating synthetic trace (" << network.size()
+            << " BSs, " << trace.num_days << " days)...\n";
+  const MeasurementDataset dataset = collect_dataset(network, trace);
+  std::cout << "  " << dataset.total_sessions() << " sessions, "
+            << TextTable::num(dataset.total_volume_mb() / 1e6, 2)
+            << " TB of traffic\n\n";
+
+  // 2-3. Fit every service with enough data, plus the arrival model.
+  const ModelRegistry registry = ModelRegistry::fit(dataset);
+  std::cout << "Fitted " << registry.services().size()
+            << " per-service models. A sample of the parameter tuples "
+               "[mu, sigma, {k, mu, sigma}_n, alpha, beta]:\n";
+  TextTable table({"service", "mu", "sigma", "peaks", "alpha", "beta"});
+  for (const char* name : {"Facebook", "Netflix", "Youtube", "Waze"}) {
+    if (!registry.has(name)) continue;
+    const ServiceModel& model = registry.by_name(name);
+    table.add_row({name, TextTable::num(model.volume().main().mu(), 2),
+                   TextTable::num(model.volume().main().sigma(), 2),
+                   std::to_string(model.volume().peaks().size()),
+                   TextTable::num(model.duration().alpha(), 4),
+                   TextTable::num(model.duration().beta(), 2)});
+  }
+  table.print(std::cout);
+
+  // 4. Persist and sample.
+  registry.save(output);
+  std::cout << "\nSaved model parameters to " << output << "\n\n";
+
+  const ServiceModel& netflix = registry.by_name("Netflix");
+  Rng sample_rng(1);
+  std::cout << "Five synthetic Netflix sessions (volume from F~, duration "
+               "via the inverse power law):\n";
+  TextTable sessions({"volume", "duration", "avg throughput"});
+  for (int i = 0; i < 5; ++i) {
+    const ServiceModel::Draw draw = netflix.sample(sample_rng);
+    sessions.add_row({TextTable::num(draw.volume_mb, 1) + " MB",
+                      TextTable::num(draw.duration_s, 0) + " s",
+                      TextTable::num(draw.throughput_mbps(), 2) + " Mbps"});
+  }
+  sessions.print(std::cout);
+  return 0;
+}

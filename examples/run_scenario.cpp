@@ -1,0 +1,69 @@
+// Scenario runner: a declarative front-end to the whole library.
+//
+// Reads an experiment description from a JSON scenario file (network,
+// trace, slicing and vRAN parameters), runs the full pipeline - generate,
+// fit, evaluate both use cases - and prints the results. With no arguments
+// it writes a template scenario and runs it, so the file doubles as
+// documentation of every knob.
+//
+// Run:  ./run_scenario [scenario.json]
+#include <iostream>
+
+#include "io/table.hpp"
+#include "scenario/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mtd;
+
+  Scenario scenario;
+  // Keep the default template small enough to run in seconds.
+  scenario.network.num_bs = 40;
+  scenario.trace.num_days = 3;
+  scenario.slicing.num_antennas = 4;
+  scenario.slicing.eval_days = 2;
+  scenario.slicing.calibration_days = 2;
+  scenario.vran.num_edge_sites = 4;
+  scenario.vran.rus_per_site = 4;
+
+  if (argc > 1) {
+    std::cout << "Loading scenario from " << argv[1] << "\n";
+    scenario = Scenario::load(argv[1]);
+  } else {
+    const std::string path = "mtd_scenario.json";
+    scenario.save(path);
+    std::cout << "No scenario given - wrote the default template to " << path
+              << " and running it.\n";
+  }
+
+  std::cout << "\n[1/4] Generating the measurement campaign ("
+            << scenario.network.num_bs << " BSs, " << scenario.trace.num_days
+            << " days)...\n";
+  Rng rng(scenario.trace.seed);
+  const Network network = Network::build(scenario.network, rng);
+  const MeasurementDataset dataset = collect_dataset(network, scenario.trace);
+  std::cout << "      " << dataset.total_sessions() << " sessions\n";
+
+  std::cout << "[2/4] Fitting session-level models...\n";
+  const ModelRegistry registry = ModelRegistry::fit(dataset);
+  std::cout << "      " << registry.services().size() << " services fitted\n";
+
+  std::cout << "[3/4] Slicing use case...\n";
+  const SlicingResult slicing = run_slicing(registry, scenario.slicing);
+  TextTable slicing_table({"strategy", "mean satisfied", "std dev"});
+  for (const SliceStrategyResult& row : slicing.strategies) {
+    slicing_table.add_row({row.name, TextTable::pct(row.mean_satisfied, 2),
+                           TextTable::pct(row.stddev_satisfied, 2)});
+  }
+  slicing_table.print(std::cout);
+
+  std::cout << "\n[4/4] vRAN energy use case ("
+            << to_string(scenario.vran.packing) << ")...\n";
+  const VranResult vran = run_vran(registry, scenario.vran);
+  TextTable vran_table({"traffic model", "median APE power", "mean power"});
+  for (const VranStrategyResult& row : vran.strategies) {
+    vran_table.add_row({row.name, TextTable::pct(row.median_ape_power, 1),
+                        TextTable::num(row.mean_power_w / 1000.0, 2) + " kW"});
+  }
+  vran_table.print(std::cout);
+  return 0;
+}

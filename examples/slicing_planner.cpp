@@ -1,0 +1,56 @@
+// Network-slicing capacity planner (the Sec. 6.1 use case as a tool).
+//
+// Fits session-level models on a synthetic measurement campaign, then plans
+// per-slice capacity for a set of antennas at a configurable SLA quantile
+// and reports how each planning strategy fares against ground-truth demand.
+//
+// Run:  ./slicing_planner [num_antennas] [eval_days] [sla_quantile]
+#include <cstdlib>
+#include <iostream>
+
+#include "io/table.hpp"
+#include "usecases/slicing.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mtd;
+
+  SlicingConfig config;
+  config.num_antennas = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6;
+  config.eval_days = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 3;
+  config.calibration_days = 3;
+  if (argc > 3) config.sla_quantile = std::strtod(argv[3], nullptr);
+  config.seed = 99;
+
+  std::cout << "Building measurement dataset and fitting models...\n";
+  NetworkConfig net_config;
+  net_config.num_bs = 50;
+  Rng rng(3);
+  const Network network = Network::build(net_config, rng);
+  TraceConfig trace;
+  trace.num_days = 5;
+  const MeasurementDataset dataset = collect_dataset(network, trace);
+  const ModelRegistry registry = ModelRegistry::fit(dataset);
+
+  std::cout << "Planning slices for " << config.num_antennas
+            << " antennas at the "
+            << TextTable::pct(config.sla_quantile, 0)
+            << " SLA quantile, evaluating " << config.eval_days
+            << " days of ground-truth demand...\n\n";
+  const SlicingResult result = run_slicing(registry, config);
+
+  TextTable table({"strategy", "mean time w/o dropped traffic", "std dev",
+                   "slices meeting SLA", "total allocated"});
+  for (const SliceStrategyResult& row : result.strategies) {
+    table.add_row({row.name, TextTable::pct(row.mean_satisfied, 2),
+                   TextTable::pct(row.stddev_satisfied, 2),
+                   TextTable::pct(row.sla_met_fraction, 1),
+                   TextTable::num(row.total_allocated_mbps, 0) + " Mbps"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe per-service session-level models allocate "
+            << TextTable::num(result.strategies[0].total_allocated_mbps, 0)
+            << " Mbps in total - category-level planning wastes capacity on "
+               "light slices while starving the heavy ones.\n";
+  return 0;
+}

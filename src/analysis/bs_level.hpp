@@ -1,0 +1,44 @@
+// BS-level aggregate demand derived from session-level models.
+//
+// The paper positions session-level models between packet-level and
+// BS-level representations (Fig. 1). A useful consistency check - and a
+// bridge to the BS-level literature it cites - is that aggregating the
+// session-level generator over time reproduces realistic BS-level volume
+// time series: a circadian daily profile, peak-to-trough ratios and
+// heavy-tailed per-minute demand. This module derives those aggregates.
+#pragma once
+
+#include <vector>
+
+#include "core/traffic_generator.hpp"
+
+namespace mtd {
+
+/// One day of BS-level per-minute traffic (MB transferred per minute).
+struct BsLevelSeries {
+  std::vector<double> volume_mb;  // per minute of day
+
+  [[nodiscard]] double total_mb() const noexcept;
+  [[nodiscard]] double peak_mb() const noexcept;
+  /// Mean demand of the busy window (10:00-22:00) over the night window
+  /// (00:00-06:00); the circadian peak-to-trough ratio.
+  [[nodiscard]] double day_night_ratio() const noexcept;
+  /// Fraction of the daily volume carried between `from_hour` (inclusive)
+  /// and `to_hour` (exclusive).
+  [[nodiscard]] double window_fraction(std::size_t from_hour,
+                                       std::size_t to_hour) const;
+};
+
+/// Simulates `days` days of one BS with the model-driven generator and
+/// averages the per-minute volume series. Session volume is spread evenly
+/// over the session's lifetime (same convention as the use cases).
+[[nodiscard]] BsLevelSeries aggregate_bs_series(
+    const BsTrafficGenerator& generator, std::size_t days, Rng& rng);
+
+/// Coefficient of determination between the series' normalized daily
+/// profile and the circadian activity profile that drives the arrival
+/// process - high values confirm the BS-level aggregate inherits the
+/// expected diurnal shape.
+[[nodiscard]] double circadian_agreement(const BsLevelSeries& series);
+
+}  // namespace mtd

@@ -1,0 +1,56 @@
+#include "analysis/ranking.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace mtd {
+
+double ServiceRanking::top_k_share(std::size_t k) const {
+  if (cumulative_share.empty()) return 0.0;
+  if (k == 0) return 0.0;
+  return cumulative_share[std::min(k, cumulative_share.size()) - 1];
+}
+
+ServiceRanking rank_services(const MeasurementDataset& dataset) {
+  const std::vector<double> session_shares = dataset.session_shares();
+  const std::vector<double> traffic_shares = dataset.traffic_shares();
+  const auto& catalog = service_catalog();
+
+  std::vector<std::size_t> order(session_shares.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return session_shares[a] > session_shares[b];
+  });
+
+  ServiceRanking ranking;
+  ranking.services.reserve(order.size());
+  double cum = 0.0;
+  for (std::size_t r = 0; r < order.size(); ++r) {
+    const std::size_t s = order[r];
+    RankedService entry;
+    entry.rank = r + 1;
+    entry.service = s;
+    entry.name = catalog[s].name;
+    entry.session_share = session_shares[s];
+    entry.traffic_share = traffic_shares[s];
+    cum += entry.session_share;
+    ranking.cumulative_share.push_back(cum);
+    ranking.services.push_back(std::move(entry));
+  }
+
+  // Fit the exponential rank law on the services with nonzero share.
+  std::vector<double> ranks, shares;
+  for (const RankedService& entry : ranking.services) {
+    if (entry.session_share > 0.0) {
+      ranks.push_back(static_cast<double>(entry.rank));
+      shares.push_back(entry.session_share);
+    }
+  }
+  require(ranks.size() >= 2, "rank_services: not enough active services");
+  ranking.rank_law = fit_exponential(ranks, shares);
+  return ranking;
+}
+
+}  // namespace mtd

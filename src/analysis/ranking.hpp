@@ -1,0 +1,39 @@
+// Service popularity ranking (Sec. 4.1, Fig. 4).
+//
+// Ranks services by the fraction of sessions they generate and fits the
+// negative-exponential rank law the paper reports (R^2 ~ 0.97), alongside
+// the normalized total traffic of each service.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/measurement.hpp"
+#include "math/levenberg_marquardt.hpp"
+
+namespace mtd {
+
+struct RankedService {
+  std::size_t rank = 0;         // 1-based
+  std::size_t service = 0;      // catalogue index
+  std::string name;
+  double session_share = 0.0;   // fraction of all sessions
+  double traffic_share = 0.0;   // fraction of all traffic
+};
+
+struct ServiceRanking {
+  std::vector<RankedService> services;  // descending session share
+  /// Exponential law share ~ a * exp(b * rank) fitted on the session
+  /// shares; b < 0 and the log-space R^2 is the paper's headline metric.
+  ExponentialFit rank_law;
+  /// Fraction of sessions covered by the top-k services (k = 1..n).
+  std::vector<double> cumulative_share;
+
+  /// Fraction of sessions covered by the top `k` services.
+  [[nodiscard]] double top_k_share(std::size_t k) const;
+};
+
+/// Builds the ranking from a dataset.
+[[nodiscard]] ServiceRanking rank_services(const MeasurementDataset& dataset);
+
+}  // namespace mtd

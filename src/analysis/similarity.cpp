@@ -1,0 +1,69 @@
+#include "analysis/similarity.hpp"
+
+#include "common/error.hpp"
+
+namespace mtd {
+
+std::vector<double> SimilarityAnalysis::pairwise_distances() const {
+  std::vector<double> out;
+  const std::size_t n = distances.size();
+  out.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      out.push_back(distances(i, j));
+    }
+  }
+  return out;
+}
+
+SimilarityAnalysis analyze_similarity(const MeasurementDataset& dataset,
+                                      const SimilarityOptions& options) {
+  SimilarityAnalysis analysis;
+  const auto& catalog = service_catalog();
+
+  std::vector<BinnedPdf> pdfs;
+  std::vector<double> weights;
+  for (std::size_t s = 0; s < dataset.num_services(); ++s) {
+    const ServiceSliceStats& stats = dataset.slice(s, Slice::kTotal);
+    if (stats.sessions < options.min_sessions) continue;
+    analysis.services.push_back(s);
+    analysis.names.push_back(catalog[s].name);
+    pdfs.push_back(stats.normalized_pdf());
+    weights.push_back(static_cast<double>(stats.sessions));
+  }
+  require(pdfs.size() >= 3, "analyze_similarity: fewer than 3 services");
+
+  analysis.distances = emd_distance_matrix(pdfs, /*center=*/true);
+  analysis.dendrogram =
+      centroid_agglomerative_cluster(pdfs, weights, /*center=*/true);
+  analysis.silhouette = silhouette_sweep(
+      analysis.distances, analysis.dendrogram,
+      std::min(options.max_k, pdfs.size()));
+  analysis.labels3 =
+      analysis.dendrogram.labels(std::min<std::size_t>(3, pdfs.size()));
+  analysis.labels2 =
+      analysis.dendrogram.labels(std::min<std::size_t>(2, pdfs.size()));
+  return analysis;
+}
+
+double rand_index_vs_classes(const SimilarityAnalysis& analysis) {
+  const auto& catalog = service_catalog();
+  const std::size_t n = analysis.services.size();
+  require(n == analysis.labels3.size(),
+          "rand_index_vs_classes: inconsistent analysis");
+  std::size_t agree = 0, total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool same_cluster = analysis.labels3[i] == analysis.labels3[j];
+      const bool same_class =
+          (catalog[analysis.services[i]].cls == ServiceClass::kStreaming) ==
+          (catalog[analysis.services[j]].cls == ServiceClass::kStreaming);
+      agree += (same_cluster == same_class) ? 1 : 0;
+      ++total;
+    }
+  }
+  return total > 0 ? static_cast<double>(agree) / static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace mtd

@@ -1,0 +1,53 @@
+// Service similarity analysis (Sec. 4.3, Fig. 6).
+//
+// Normalizes the per-service traffic-volume PDFs to zero mean, computes the
+// pairwise EMD similarity matrix, runs centroid hierarchical clustering and
+// sweeps the Silhouette score over cut levels. The expected outcome is the
+// paper's dichotomy: streaming vs. short-message services separate cleanly,
+// while finer clusters do not (Silhouette drops after 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/measurement.hpp"
+#include "math/clustering.hpp"
+
+namespace mtd {
+
+struct SimilarityAnalysis {
+  /// Services included (catalogue indices; services with too few sessions
+  /// are skipped).
+  std::vector<std::size_t> services;
+  std::vector<std::string> names;
+  /// Pairwise EMD between zero-mean-normalized PDFs.
+  DistanceMatrix distances{1};
+  Dendrogram dendrogram{1, {}};
+  /// Silhouette score at k = 2..max_k (index 0 is k = 2).
+  std::vector<double> silhouette;
+  /// Labels at the paper's operating point (3 clusters).
+  std::vector<int> labels3;
+  /// Labels at the macroscopic dichotomy (2 clusters).
+  std::vector<int> labels2;
+
+  /// Flattened distances between distinct service pairs ("Apps" boxplot of
+  /// Fig. 8).
+  [[nodiscard]] std::vector<double> pairwise_distances() const;
+};
+
+struct SimilarityOptions {
+  std::uint64_t min_sessions = 100;
+  std::size_t max_k = 10;
+};
+
+[[nodiscard]] SimilarityAnalysis analyze_similarity(
+    const MeasurementDataset& dataset, const SimilarityOptions& options = {});
+
+/// Fraction of service pairs that agree between the 3-cluster labels (the
+/// paper's operating point) and the ground-truth streaming vs non-streaming
+/// dichotomy (pair-counting Rand index) - the macroscopic separation the
+/// paper claims (Sec. 4.3).
+[[nodiscard]] double rand_index_vs_classes(
+    const SimilarityAnalysis& analysis);
+
+}  // namespace mtd

@@ -1,0 +1,60 @@
+#include "analysis/throughput.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dataset/generator.hpp"
+#include "math/metrics.hpp"
+
+namespace mtd {
+
+Axis throughput_axis() { return Axis(-4.0, 3.0, 140); }
+
+namespace {
+
+ThroughputProfile finalize(BinnedPdf pdf) {
+  pdf.normalize();
+  ThroughputProfile profile{std::move(pdf), 0.0, 0.0};
+  profile.median_mbps = std::pow(10.0, profile.pdf.quantile(0.5));
+  profile.p95_mbps = std::pow(10.0, profile.pdf.quantile(0.95));
+  return profile;
+}
+
+}  // namespace
+
+ThroughputProfile empirical_throughput(std::size_t service,
+                                       std::size_t n_sessions, Rng& rng) {
+  require(service < service_catalog().size(),
+          "empirical_throughput: bad service index");
+  require(n_sessions >= 100, "empirical_throughput: too few sessions");
+  const SessionSampler sampler(service_catalog()[service]);
+  BinnedPdf pdf(throughput_axis());
+  for (std::size_t i = 0; i < n_sessions; ++i) {
+    const SessionSampler::Draw draw = sampler.sample(rng);
+    pdf.add(std::log10(std::max(8.0 * draw.volume_mb / draw.duration_s,
+                                1e-4)));
+  }
+  return finalize(std::move(pdf));
+}
+
+ThroughputProfile model_throughput(const ServiceModel& model,
+                                   std::size_t n_sessions, Rng& rng) {
+  require(n_sessions >= 100, "model_throughput: too few sessions");
+  BinnedPdf pdf(throughput_axis());
+  for (std::size_t i = 0; i < n_sessions; ++i) {
+    const ServiceModel::Draw draw = model.sample(rng, 0.08);
+    pdf.add(std::log10(std::max(draw.throughput_mbps(), 1e-4)));
+  }
+  return finalize(std::move(pdf));
+}
+
+double throughput_model_error(const ServiceModel& model, std::size_t service,
+                              std::size_t n_sessions, Rng& rng) {
+  const ThroughputProfile empirical =
+      empirical_throughput(service, n_sessions, rng);
+  const ThroughputProfile modeled =
+      model_throughput(model, n_sessions, rng);
+  return emd(empirical.pdf, modeled.pdf);
+}
+
+}  // namespace mtd

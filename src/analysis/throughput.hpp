@@ -1,0 +1,43 @@
+// Per-service average-throughput analysis.
+//
+// The paper points out that session-level models implicitly determine "the
+// distribution of average throughput that the combinations of duration and
+// load statistics entail" (Sec. 1). This analysis derives the per-service
+// throughput distributions from the measurement dataset and from fitted
+// models, enabling the comparison of the two (a model-validation angle
+// beyond the volume-PDF EMD of Sec. 5.4).
+#pragma once
+
+#include "common/histogram.hpp"
+#include "core/service_model.hpp"
+#include "dataset/measurement.hpp"
+
+namespace mtd {
+
+/// Binning of throughput PDFs: log10(Mbit/s) on [-4, 3), 0.05-wide bins.
+[[nodiscard]] Axis throughput_axis();
+
+struct ThroughputProfile {
+  BinnedPdf pdf;          // normalized, log10 Mbit/s
+  double median_mbps = 0.0;
+  double p95_mbps = 0.0;
+};
+
+/// Empirical throughput distribution of one service: volume / duration per
+/// session, re-simulated from the planted substrate for exactness (the
+/// aggregated dataset stores volume and duration marginals, not the joint).
+[[nodiscard]] ThroughputProfile empirical_throughput(
+    std::size_t service, std::size_t n_sessions, Rng& rng);
+
+/// Model-implied throughput distribution: sample volume from F~_s, map to
+/// duration via the inverse power law, take the ratio.
+[[nodiscard]] ThroughputProfile model_throughput(const ServiceModel& model,
+                                                 std::size_t n_sessions,
+                                                 Rng& rng);
+
+/// EMD between empirical and model-implied throughput PDFs of a service.
+[[nodiscard]] double throughput_model_error(const ServiceModel& model,
+                                            std::size_t service,
+                                            std::size_t n_sessions, Rng& rng);
+
+}  // namespace mtd

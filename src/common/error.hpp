@@ -1,0 +1,44 @@
+// Error types shared across the mobile-traffic-demands (mtd) library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mtd {
+
+/// Base class for every error thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller supplied an argument outside the documented domain.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine failed to converge or produced a degenerate result.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed input while parsing serialized models or traces.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const std::string& what) {
+  throw InvalidArgument(what);
+}
+}  // namespace detail
+
+/// Throws InvalidArgument with `what` unless `cond` holds.
+inline void require(bool cond, const std::string& what) {
+  if (!cond) detail::throw_invalid(what);
+}
+
+}  // namespace mtd

@@ -1,0 +1,64 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace mtd {
+
+double Rng::normal() noexcept {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+double Rng::exponential(double rate) noexcept {
+  // Inversion; guard against log(0).
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::pareto(double shape, double scale) noexcept {
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return scale / std::pow(u, 1.0 / shape);
+}
+
+double Rng::log10_normal(double mu, double sigma) noexcept {
+  return std::pow(10.0, normal(mu, sigma));
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's multiplication method.
+    const double limit = std::exp(-mean);
+    double p = 1.0;
+    std::uint64_t k = 0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for the large
+  // per-minute arrival counts produced by busy base stations.
+  const double x = normal(mean, std::sqrt(mean));
+  return x < 0.5 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+}  // namespace mtd

@@ -1,0 +1,36 @@
+#include "common/time_utils.hpp"
+
+#include <cmath>
+
+namespace mtd {
+
+namespace {
+// Logistic ramp centered at `center` minutes with steepness `k` (1/minutes).
+double ramp(double minute, double center, double k) noexcept {
+  return 1.0 / (1.0 + std::exp(-k * (minute - center)));
+}
+}  // namespace
+
+double circadian_activity(std::size_t minute_of_day) noexcept {
+  const double m = static_cast<double>(minute_of_day % kMinutesPerDay);
+  // Morning rise around 07:30, night fall around 23:00; both transitions
+  // complete within roughly half an hour, matching the "very rapid"
+  // day/night switches observed in the measurements.
+  const double rise = ramp(m, 7.5 * 60.0, 0.15);
+  const double fall = 1.0 - ramp(m, 23.0 * 60.0, 0.15);
+  double activity = rise * fall;
+  // Mild evening bump (~19:00) on top of the daytime plateau.
+  activity *= 1.0 + 0.15 * std::exp(-std::pow((m - 19.0 * 60.0) / 90.0, 2.0));
+  // Residual overnight background so the off-peak rate is small but nonzero.
+  return 0.02 + 0.98 * std::fmin(activity, 1.0);
+}
+
+double circadian_high_fraction() noexcept {
+  std::size_t high = 0;
+  for (std::size_t m = 0; m < kMinutesPerDay; ++m) {
+    if (circadian_activity(m) > 0.5) ++high;
+  }
+  return static_cast<double>(high) / static_cast<double>(kMinutesPerDay);
+}
+
+}  // namespace mtd

@@ -1,0 +1,44 @@
+// Calendar and time-of-day helpers shared by the trace generator, the
+// characterization analyses and the use-case simulators.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace mtd {
+
+inline constexpr std::size_t kMinutesPerDay = 24 * 60;
+inline constexpr std::size_t kSecondsPerMinute = 60;
+
+enum class DayType { kWorkday, kWeekend };
+
+/// Day index within a trace (0 = Monday) to day type. The 45-day measurement
+/// campaign of the paper starts on a Monday by our convention.
+[[nodiscard]] constexpr DayType day_type(std::size_t day_index) noexcept {
+  return (day_index % 7) >= 5 ? DayType::kWeekend : DayType::kWorkday;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(DayType t) noexcept {
+  return t == DayType::kWorkday ? "workday" : "weekend";
+}
+
+/// Peak hours per the slicing use case (Sec. 6.1): all day except the night
+/// from 10pm to 8am.
+[[nodiscard]] constexpr bool is_peak_minute(std::size_t minute_of_day) noexcept {
+  const std::size_t hour = (minute_of_day / 60) % 24;
+  return hour >= 8 && hour < 22;
+}
+
+/// Smooth circadian activity profile in [0, 1] used by the synthetic trace
+/// generator: near-zero activity overnight, a rapid morning ramp, a broad
+/// daytime plateau with a mild evening peak, and a rapid night fall. The
+/// fast transitions reproduce the bi-modality of per-minute arrival counts
+/// reported in Fig. 3 of the paper (intermediate rates are rare).
+[[nodiscard]] double circadian_activity(std::size_t minute_of_day) noexcept;
+
+/// Fraction of the day spent in the "high" phase of the circadian profile
+/// (activity above 0.5); used by tests and by the arrival-model fitting.
+[[nodiscard]] double circadian_high_fraction() noexcept;
+
+}  // namespace mtd

@@ -1,0 +1,83 @@
+// The session-arrival model of Sec. 5.1.
+//
+// Per BS-load class, the per-minute arrival count follows a bi-modal law:
+//   - daytime peak: Gaussian with mean mu and sigma = mu / 10,
+//   - overnight off-peak: Pareto with fixed shape 1.765 and a per-class
+//     scale.
+// Arrivals are attributed to services with the (stable) session shares of
+// Table 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dataset/measurement.hpp"
+
+namespace mtd {
+
+/// Fitted arrival parameters of one BS-load class.
+struct ArrivalClassModel {
+  /// Gaussian mean of the daytime mode (sessions/minute).
+  double peak_mu = 1.0;
+  /// Gaussian sigma; the fit constrains sigma ~= mu / 10 (Sec. 5.1).
+  double peak_sigma = 0.1;
+  /// Pareto scale of the overnight mode; shape is fixed at 1.765.
+  double offpeak_scale = 0.05;
+
+  static constexpr double kOffpeakShape = 1.765;
+
+  /// Samples the number of arrivals in a minute of the given phase.
+  [[nodiscard]] std::uint32_t sample(bool day_phase, Rng& rng) const;
+  /// Samples using the circadian phase of `minute_of_day`.
+  [[nodiscard]] std::uint32_t sample_minute(std::size_t minute_of_day,
+                                            Rng& rng) const;
+};
+
+/// Diagnostics of one class fit.
+struct ArrivalFitReport {
+  ArrivalClassModel model;
+  /// Empirical sigma/mu ratio of the daytime mode (paper: ~0.1).
+  double sigma_over_mu = 0.0;
+  /// EMD between the empirical daytime PDF and the fitted Gaussian,
+  /// discretized on the same grid.
+  double day_emd = 0.0;
+};
+
+/// The complete arrival model: one class per BS-load decile plus the
+/// per-service breakdown probabilities.
+class ArrivalModel {
+ public:
+  /// Fits every decile class from the aggregated arrival statistics via
+  /// the method of moments:
+  ///   mu        = mean of daytime counts,
+  ///   sigma     = mu / 10 (constrained, as in the paper),
+  ///   scale     = night mean * (b - 1) / b with b = 1.765.
+  static ArrivalModel fit(const MeasurementDataset& dataset);
+
+  /// Reassembles a model from stored per-class parameters and shares
+  /// (used when deserializing a saved registry).
+  static ArrivalModel from_parts(std::vector<ArrivalFitReport> classes,
+                                 std::vector<double> shares);
+
+  [[nodiscard]] const std::vector<ArrivalFitReport>& classes() const noexcept {
+    return classes_;
+  }
+  [[nodiscard]] const ArrivalClassModel& class_model(
+      std::uint8_t decile) const;
+
+  /// Session shares used to attribute arrivals to services.
+  [[nodiscard]] const std::vector<double>& service_shares() const noexcept {
+    return shares_;
+  }
+
+  /// Draws the service of a newly established session.
+  [[nodiscard]] std::size_t sample_service(Rng& rng) const;
+
+ private:
+  std::vector<ArrivalFitReport> classes_;
+  std::vector<double> shares_;
+  std::vector<double> share_cdf_;
+};
+
+}  // namespace mtd

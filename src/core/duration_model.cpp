@@ -1,0 +1,25 @@
+#include "core/duration_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mtd {
+
+DurationModel DurationModel::fit(const BinnedMeanCurve& curve) {
+  std::vector<double> durations, volumes, weights;
+  for (const auto& point : curve.points()) {
+    if (point.value <= 0.0) continue;
+    durations.push_back(std::pow(10.0, point.coord));  // log10 s -> s
+    volumes.push_back(point.value);
+    weights.push_back(point.weight);
+  }
+  require(durations.size() >= 3,
+          "DurationModel::fit: fewer than 3 populated duration bins");
+
+  DurationModel model;
+  model.fit_ = fit_power_law(durations, volumes, weights);
+  return model;
+}
+
+}  // namespace mtd

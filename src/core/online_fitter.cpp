@@ -1,0 +1,56 @@
+#include "core/online_fitter.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dataset/measurement.hpp"
+#include "math/metrics.hpp"
+
+namespace mtd {
+
+OnlineServiceFitter::OnlineServiceFitter(std::string service_name,
+                                         OnlineFitterConfig config)
+    : name_(std::move(service_name)),
+      config_(config),
+      current_pdf_(volume_axis()),
+      current_curve_(duration_axis()) {
+  require(config.min_sessions >= 10,
+          "OnlineServiceFitter: min_sessions must be at least 10");
+}
+
+void OnlineServiceFitter::observe(double volume_mb, double duration_s) {
+  require(volume_mb > 0.0, "observe: volume must be positive");
+  require(duration_s > 0.0, "observe: duration must be positive");
+  current_pdf_.add(std::log10(volume_mb));
+  current_curve_.add(std::log10(duration_s), volume_mb);
+  ++sessions_;
+}
+
+OnlineServiceFitter::Snapshot OnlineServiceFitter::refit() const {
+  require(ready(), "refit: epoch holds too few sessions");
+  return Snapshot{VolumeModel::fit(current_pdf_, config_.volume_options),
+                  DurationModel::fit(current_curve_), sessions_};
+}
+
+std::uint64_t OnlineServiceFitter::advance_epoch() {
+  const std::uint64_t closed = sessions_;
+  if (sessions_ > 0) {
+    BinnedPdf normalized = current_pdf_;
+    normalized.normalize();
+    previous_pdf_ = std::move(normalized);
+    previous_sessions_ = sessions_;
+  }
+  current_pdf_ = BinnedPdf(volume_axis());
+  current_curve_ = BinnedMeanCurve(duration_axis());
+  sessions_ = 0;
+  return closed;
+}
+
+std::optional<double> OnlineServiceFitter::drift() const {
+  if (!previous_pdf_ || sessions_ == 0) return std::nullopt;
+  BinnedPdf current = current_pdf_;
+  current.normalize();
+  return emd(*previous_pdf_, current);
+}
+
+}  // namespace mtd

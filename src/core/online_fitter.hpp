@@ -1,0 +1,79 @@
+// Online model maintenance.
+//
+// Sec. 7 of the paper notes that the per-service models "will require
+// updates over the years to consider changes in popularity and new services
+// that emerge", and the NWDAF/MDAF framing of Sec. 1 assumes continuous
+// data exposure. This module maintains per-service models from a stream of
+// session observations: it accumulates statistics in epochs, refits on
+// demand, and measures distributional drift between consecutive epochs so
+// an operator can trigger re-releases only when the traffic actually moved.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/histogram.hpp"
+#include "core/duration_model.hpp"
+#include "core/volume_model.hpp"
+
+namespace mtd {
+
+struct OnlineFitterConfig {
+  /// Minimum sessions in the current epoch before refit() succeeds.
+  std::uint64_t min_sessions = 1000;
+  VolumeModelOptions volume_options;
+};
+
+/// Streaming fitter for one service.
+class OnlineServiceFitter {
+ public:
+  explicit OnlineServiceFitter(std::string service_name,
+                               OnlineFitterConfig config = {});
+
+  [[nodiscard]] const std::string& service_name() const noexcept {
+    return name_;
+  }
+
+  /// Feeds one observed session.
+  void observe(double volume_mb, double duration_s);
+
+  /// Sessions accumulated in the current epoch.
+  [[nodiscard]] std::uint64_t epoch_sessions() const noexcept {
+    return sessions_;
+  }
+
+  /// True when the current epoch holds enough data to refit.
+  [[nodiscard]] bool ready() const noexcept {
+    return sessions_ >= config_.min_sessions;
+  }
+
+  /// Fits volume + duration models on the current epoch. Throws
+  /// InvalidArgument when not ready().
+  struct Snapshot {
+    VolumeModel volume;
+    DurationModel duration;
+    std::uint64_t sessions;
+  };
+  [[nodiscard]] Snapshot refit() const;
+
+  /// Closes the current epoch: its PDF becomes the drift reference and the
+  /// accumulators reset. Returns the epoch's session count.
+  std::uint64_t advance_epoch();
+
+  /// EMD between the previous epoch's volume PDF and the current one;
+  /// nullopt until both hold data. Small values mean the published model
+  /// is still valid (cf. the day/region/RAT invariance of Fig. 8); a value
+  /// on the order of inter-service distances signals a behavioral change.
+  [[nodiscard]] std::optional<double> drift() const;
+
+ private:
+  std::string name_;
+  OnlineFitterConfig config_;
+  BinnedPdf current_pdf_;
+  BinnedMeanCurve current_curve_;
+  std::uint64_t sessions_ = 0;
+  std::optional<BinnedPdf> previous_pdf_;
+  std::uint64_t previous_sessions_ = 0;
+};
+
+}  // namespace mtd

@@ -1,0 +1,96 @@
+#include "core/traffic_generator.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/time_utils.hpp"
+
+namespace mtd {
+
+GroundTruthSessionSource::GroundTruthSessionSource() {
+  const auto& catalog = service_catalog();
+  samplers_.reserve(catalog.size());
+  for (const auto& profile : catalog) samplers_.emplace_back(profile);
+}
+
+SessionSource::Draw GroundTruthSessionSource::sample(std::size_t service,
+                                                     Rng& rng) const {
+  require(service < samplers_.size(),
+          "GroundTruthSessionSource: bad service index");
+  const SessionSampler::Draw draw = samplers_[service].sample(rng);
+  return Draw{draw.volume_mb, draw.duration_s};
+}
+
+ModelSessionSource::ModelSessionSource(const ModelRegistry& registry,
+                                       double duration_jitter_sigma)
+    : registry_(&registry), duration_jitter_sigma_(duration_jitter_sigma) {
+  const auto& catalog = service_catalog();
+  index_.reserve(catalog.size());
+  for (const auto& profile : catalog) {
+    if (registry.has(profile.name)) {
+      const auto& services = registry.services();
+      for (std::size_t i = 0; i < services.size(); ++i) {
+        if (services[i].name() == profile.name) {
+          index_.push_back(i);
+          break;
+        }
+      }
+    } else {
+      // Fallback: the fitted model with the closest session share, a crude
+      // but monotone surrogate for services that lacked data.
+      const auto& services = registry.services();
+      std::size_t best = 0;
+      double best_gap = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < services.size(); ++i) {
+        const double gap = std::abs(services[i].session_share() -
+                                    profile.session_share_pct / 100.0);
+        if (gap < best_gap) {
+          best_gap = gap;
+          best = i;
+        }
+      }
+      index_.push_back(best);
+    }
+  }
+}
+
+SessionSource::Draw ModelSessionSource::sample(std::size_t service,
+                                               Rng& rng) const {
+  require(service < index_.size(), "ModelSessionSource: bad service index");
+  const ServiceModel& model = registry_->services()[index_[service]];
+  const ServiceModel::Draw draw = model.sample(rng, duration_jitter_sigma_);
+  return Draw{draw.volume_mb, draw.duration_s};
+}
+
+BsTrafficGenerator::BsTrafficGenerator(const ArrivalClassModel& arrival_class,
+                                       const ArrivalModel& arrivals,
+                                       const SessionSource& source)
+    : arrival_class_(&arrival_class),
+      arrivals_(&arrivals),
+      source_(&source) {}
+
+std::uint32_t BsTrafficGenerator::arrivals_in_minute(
+    std::size_t minute_of_day, Rng& rng) const {
+  return arrival_class_->sample_minute(minute_of_day, rng);
+}
+
+GeneratedSession BsTrafficGenerator::sample_session(std::size_t minute_of_day,
+                                                    Rng& rng) const {
+  const std::size_t service = arrivals_->sample_service(rng);
+  const SessionSource::Draw draw = source_->sample(service, rng);
+  return GeneratedSession{minute_of_day, service, draw.volume_mb,
+                          draw.duration_s};
+}
+
+void BsTrafficGenerator::generate_day(
+    Rng& rng,
+    const std::function<void(const GeneratedSession&)>& sink) const {
+  for (std::size_t minute = 0; minute < kMinutesPerDay; ++minute) {
+    const std::uint32_t count = arrivals_in_minute(minute, rng);
+    for (std::uint32_t k = 0; k < count; ++k) {
+      sink(sample_session(minute, rng));
+    }
+  }
+}
+
+}  // namespace mtd

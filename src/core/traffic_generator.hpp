@@ -1,0 +1,112 @@
+// Session-level synthetic traffic generation from fitted models.
+//
+// This is the "usage" side of the paper's models (Sec. 5.4): given the
+// fitted arrival model and per-service models, reproduce realistic
+// session-level workloads at a BS - arrivals per minute, service mix,
+// per-session volume, duration and average throughput. Sources are
+// pluggable so the use-case evaluations can swap the session generator
+// between ground truth ("measurement data"), our fitted models, and
+// literature category baselines.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/service_model.hpp"
+#include "dataset/generator.hpp"
+
+namespace mtd {
+
+/// Samples the (volume, duration) of one session of a given service.
+class SessionSource {
+ public:
+  virtual ~SessionSource() = default;
+
+  struct Draw {
+    double volume_mb;
+    double duration_s;
+    [[nodiscard]] double throughput_mbps() const noexcept {
+      return duration_s > 0.0 ? 8.0 * volume_mb / duration_s : 0.0;
+    }
+  };
+
+  [[nodiscard]] virtual Draw sample(std::size_t service, Rng& rng) const = 0;
+  [[nodiscard]] virtual std::size_t num_services() const = 0;
+};
+
+/// Sessions drawn from the planted ground-truth profiles - the stand-in for
+/// "sampling the measurement data" in the use cases.
+class GroundTruthSessionSource final : public SessionSource {
+ public:
+  GroundTruthSessionSource();
+  [[nodiscard]] Draw sample(std::size_t service, Rng& rng) const override;
+  [[nodiscard]] std::size_t num_services() const override {
+    return samplers_.size();
+  }
+
+ private:
+  std::vector<SessionSampler> samplers_;
+};
+
+/// Sessions drawn from the fitted models: volume from the log-normal
+/// mixture, duration from the inverse power law with mild scatter.
+class ModelSessionSource final : public SessionSource {
+ public:
+  /// `registry` must outlive the source. Services are indexed by catalogue
+  /// order; catalogue services absent from the registry fall back to the
+  /// nearest fitted model by session share.
+  explicit ModelSessionSource(const ModelRegistry& registry,
+                              double duration_jitter_sigma = 0.08);
+  [[nodiscard]] Draw sample(std::size_t service, Rng& rng) const override;
+  [[nodiscard]] std::size_t num_services() const override {
+    return index_.size();
+  }
+
+ private:
+  const ModelRegistry* registry_;
+  std::vector<std::size_t> index_;  // catalogue index -> registry index
+  double duration_jitter_sigma_;
+};
+
+/// A session generated at a BS by the model-driven generator.
+struct GeneratedSession {
+  std::size_t minute_of_day;
+  std::size_t service;
+  double volume_mb;
+  double duration_s;
+
+  [[nodiscard]] double throughput_mbps() const noexcept {
+    return duration_s > 0.0 ? 8.0 * volume_mb / duration_s : 0.0;
+  }
+};
+
+/// Generates a day of sessions at one BS: per-minute arrival counts from
+/// the arrival class model, service attribution from the session shares,
+/// session characteristics from the pluggable source.
+class BsTrafficGenerator {
+ public:
+  /// All references must outlive the generator.
+  BsTrafficGenerator(const ArrivalClassModel& arrival_class,
+                     const ArrivalModel& arrivals,
+                     const SessionSource& source);
+
+  /// Calls `sink` once per generated session over one simulated day.
+  void generate_day(Rng& rng,
+                    const std::function<void(const GeneratedSession&)>& sink)
+      const;
+
+  /// Arrival count for one minute (exposed for time-slotted simulators).
+  [[nodiscard]] std::uint32_t arrivals_in_minute(std::size_t minute_of_day,
+                                                 Rng& rng) const;
+  /// One session at the given minute.
+  [[nodiscard]] GeneratedSession sample_session(std::size_t minute_of_day,
+                                                Rng& rng) const;
+
+ private:
+  const ArrivalClassModel* arrival_class_;
+  const ArrivalModel* arrivals_;
+  const SessionSource* source_;
+};
+
+}  // namespace mtd

@@ -1,0 +1,297 @@
+#include "core/volume_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "math/levenberg_marquardt.hpp"
+#include "math/metrics.hpp"
+#include "math/savgol.hpp"
+
+namespace mtd {
+
+namespace {
+
+/// Step 1: fit a Gaussian (in log10 coordinates) to the binned density via
+/// Levenberg-Marquardt with a free amplitude, initialized from the density
+/// moments. Bins flagged in `exclude` (detected peak regions on refinement
+/// passes) are left out, so the main component tracks the broad trend only;
+/// the amplitude absorbs the excluded mass and is then discarded - Eq. (5)
+/// renormalizes the composition.
+Log10Normal fit_main_lognormal(const BinnedPdf& pdf,
+                               std::span<const std::uint8_t> exclude = {}) {
+  const Axis& axis = pdf.axis();
+  std::vector<double> us, ys;
+  us.reserve(pdf.size());
+  ys.reserve(pdf.size());
+  for (std::size_t i = 0; i < pdf.size(); ++i) {
+    if (!exclude.empty() && exclude[i] != 0) continue;
+    us.push_back(axis.center(i));
+    ys.push_back(pdf[i]);
+  }
+
+  const double mu0 = pdf.mean();
+  const double sigma0 = std::max(pdf.stddev(), axis.width());
+
+  const ModelFunction gauss_pdf = [](double u, std::span<const double> p) {
+    const double sigma = std::max(std::abs(p[1]), 1e-6);
+    const double z = (u - p[0]) / sigma;
+    return std::abs(p[2]) * std::exp(-0.5 * z * z) /
+           (sigma * std::sqrt(2.0 * std::numbers::pi));
+  };
+
+  LmOptions options;
+  options.max_iterations = 100;
+  const LmResult lm = levenberg_marquardt(gauss_pdf, us, ys, {},
+                                          {mu0, sigma0, 1.0}, options);
+  const double mu = lm.params[0];
+  const double sigma = std::max(std::abs(lm.params[1]), axis.width());
+  return Log10Normal(mu, sigma);
+}
+
+struct Interval {
+  std::size_t lo;   // inclusive bin index
+  std::size_t hi;   // inclusive bin index
+  std::size_t peak; // argmax of residual within
+  double weight;    // contained residual probability
+};
+
+/// Step 2: residual-peak detection from the smoothed derivative.
+std::vector<Interval> detect_intervals(std::span<const double> residual,
+                                       std::span<const double> derivative,
+                                       double threshold, double bin_width) {
+  const std::size_t n = residual.size();
+  std::vector<Interval> intervals;
+
+  std::size_t i = 0;
+  while (i < n) {
+    if (derivative[i] <= threshold) {
+      ++i;
+      continue;
+    }
+    // Rising run: derivative seamlessly above the threshold.
+    const std::size_t rise_start = i;
+    while (i < n && derivative[i] > threshold) ++i;
+    // Extend across the crest and down the falling edge: keep going while
+    // the residual stays above its level at the start of the rise.
+    const double base = residual[rise_start];
+    std::size_t end = std::min(i, n - 1);  // a rise can run to the array end
+    while (end + 1 < n && residual[end] > base &&
+           derivative[end] <= threshold) {
+      ++end;
+    }
+    Interval interval{rise_start, end, rise_start, 0.0};
+    for (std::size_t j = interval.lo; j <= interval.hi; ++j) {
+      interval.weight += residual[j] * bin_width;
+      if (residual[j] > residual[interval.peak]) interval.peak = j;
+    }
+    intervals.push_back(interval);
+    i = end + 1;
+  }
+
+  // Merge overlapping / adjacent intervals (can happen with noisy rises).
+  std::vector<Interval> merged;
+  for (const Interval& cur : intervals) {
+    if (!merged.empty() && cur.lo <= merged.back().hi + 1) {
+      Interval& prev = merged.back();
+      prev.hi = std::max(prev.hi, cur.hi);
+      prev.weight += cur.weight;
+      if (residual[cur.peak] > residual[prev.peak]) prev.peak = cur.peak;
+    } else {
+      merged.push_back(cur);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+VolumeDecomposition decompose_volume_pdf(const BinnedPdf& empirical,
+                                         const VolumeModelOptions& options) {
+  require(options.savgol_window % 2 == 1,
+          "decompose_volume_pdf: Savitzky-Golay window must be odd");
+  require(options.max_peaks >= 1, "decompose_volume_pdf: max_peaks >= 1");
+
+  VolumeDecomposition out{.empirical = empirical,
+                          .main_mu = 0.0,
+                          .main_sigma = 1.0,
+                          .main_fit = BinnedPdf(empirical.axis()),
+                          .residual = {},
+                          .residual_derivative = {},
+                          .peaks = {}};
+  out.empirical.normalize();
+  const Axis& axis = out.empirical.axis();
+  const std::size_t n = out.empirical.size();
+
+  double max_density = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_density = std::max(max_density, out.empirical[i]);
+  }
+
+  // Step 1 seed: fit the broad trend on the raw empirical density. A second
+  // pass below re-runs steps 1-3 with the detected peaks subtracted, which
+  // removes the bias a strong peak induces on the main fit.
+  Log10Normal main = fit_main_lognormal(out.empirical);
+  out.residual.assign(n, 0.0);
+
+  for (int pass = 0; pass < 3; ++pass) {
+    out.main_mu = main.mu();
+    out.main_sigma = main.sigma();
+    for (std::size_t i = 0; i < n; ++i) {
+      out.main_fit[i] = main.pdf_log10(axis.center(i));
+      out.residual[i] = std::max(0.0, out.empirical[i] - out.main_fit[i]);
+    }
+
+    // Step 2: smoothed first derivative and interval detection.
+    out.residual_derivative =
+        savgol_derivative(out.residual, options.savgol_window, axis.width());
+    std::vector<Interval> intervals =
+        detect_intervals(out.residual, out.residual_derivative,
+                         options.derivative_threshold, axis.width());
+
+    // Rank by contained residual probability, keep the top max_peaks.
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.weight > b.weight;
+              });
+    if (intervals.size() > options.max_peaks) {
+      intervals.resize(options.max_peaks);
+    }
+
+    // Step 3: one scaled log-normal per retained interval. The weight k is
+    // first estimated as an *absolute* mass fraction m.
+    out.peaks.clear();
+    for (const Interval& interval : intervals) {
+      if (interval.weight < options.min_peak_weight) continue;
+      // Prominence filter: sampling noise produces shallow residual bumps
+      // that the derivative test alone cannot reject.
+      if (out.residual[interval.peak] <
+          options.min_peak_prominence * max_density) {
+        continue;
+      }
+      ResidualPeak peak;
+      peak.mu = axis.center(interval.peak);
+      peak.lo = axis.edge(interval.lo);
+      peak.hi = axis.edge(interval.hi + 1);
+      // Scale: second moment of the residual inside the interval (exact
+      // when the peak is fully contained), capped by the paper's span rule
+      // sigma = 0.997 * span / 6 (the detected interval brackets +-3 sigma
+      // of the true peak plus a noise floor; the paper's ell is the
+      // half-span of the rising edge).
+      const double span = peak.hi - peak.lo;
+      double m0 = 0.0, m1 = 0.0, m2 = 0.0;
+      for (std::size_t j = interval.lo; j <= interval.hi; ++j) {
+        const double u = axis.center(j);
+        m0 += out.residual[j];
+        m1 += out.residual[j] * u;
+        m2 += out.residual[j] * u * u;
+      }
+      double sigma_moment = 0.997 * span / 6.0;
+      if (m0 > 0.0) {
+        const double mean_u = m1 / m0;
+        sigma_moment = std::sqrt(std::max(0.0, m2 / m0 - mean_u * mean_u));
+      }
+      peak.sigma = std::clamp(sigma_moment, axis.width() / 3.0,
+                              std::max(0.997 * span / 6.0, axis.width()));
+      // Mass: matched-filter refinement of the raw contained probability.
+      // With r(u) ~ m * g(u), the least-squares m is sum(r g) / sum(g^2),
+      // recovering mass lost in the tails outside the interval.
+      const Log10Normal g(peak.mu, peak.sigma);
+      double rg = 0.0, gg = 0.0;
+      const long pad = static_cast<long>((interval.hi - interval.lo) + 1);
+      const long lo_i =
+          std::max<long>(0, static_cast<long>(interval.lo) - pad);
+      const long hi_i = std::min<long>(static_cast<long>(axis.bins()) - 1,
+                                       static_cast<long>(interval.hi) + pad);
+      for (long i = lo_i; i <= hi_i; ++i) {
+        const double gu =
+            g.pdf_log10(axis.center(static_cast<std::size_t>(i)));
+        rg += out.residual[static_cast<std::size_t>(i)] * gu;
+        gg += gu * gu;
+      }
+      const double matched = gg > 0.0 ? rg / gg : interval.weight;
+      peak.k = std::clamp(std::max(matched, interval.weight),
+                          options.min_peak_weight, 0.6);
+      out.peaks.push_back(peak);
+    }
+    // Report peaks in coordinate order for stable output.
+    std::sort(out.peaks.begin(), out.peaks.end(),
+              [](const ResidualPeak& a, const ResidualPeak& b) {
+                return a.mu < b.mu;
+              });
+
+    if (out.peaks.empty() || pass == 2) break;
+
+    // Refit the main log-normal with the detected peak regions excluded
+    // (padded by two bins on each side), so the broad trend is estimated
+    // from the uncontaminated bins only.
+    std::vector<std::uint8_t> exclude(n, 0);
+    std::size_t excluded = 0;
+    for (const ResidualPeak& p : out.peaks) {
+      const double pad = 2.0 * axis.width();
+      for (std::size_t i = 0; i < n; ++i) {
+        const double u = axis.center(i);
+        if (u >= p.lo - pad && u <= p.hi + pad && exclude[i] == 0) {
+          exclude[i] = 1;
+          ++excluded;
+        }
+      }
+    }
+    if (excluded + 8 >= n) break;  // nothing left to constrain the fit
+    main = fit_main_lognormal(out.empirical, exclude);
+  }
+
+  // Convert absolute peak masses m_n into the relative weights k_n of
+  // Eq. (5): the mixture (f_main + sum k_n f_n) / (1 + sum k_n) assigns the
+  // peaks composed weight k_n / (1 + sum k), so k_n = m_n / (1 - sum m)
+  // reproduces the measured masses exactly.
+  double total_mass = 0.0;
+  for (const ResidualPeak& p : out.peaks) total_mass += p.k;
+  if (total_mass > 0.0 && total_mass < 0.9) {
+    for (ResidualPeak& p : out.peaks) p.k /= (1.0 - total_mass);
+  }
+
+  return out;
+}
+
+Log10NormalMixture VolumeModel::compose(
+    const Log10Normal& main, const std::vector<ResidualPeak>& peaks) {
+  std::vector<double> weights;
+  std::vector<Log10Normal> dists;
+  weights.reserve(peaks.size());
+  dists.reserve(peaks.size());
+  for (const ResidualPeak& p : peaks) {
+    weights.push_back(p.k);
+    dists.emplace_back(p.mu, p.sigma);
+  }
+  return Log10NormalMixture::from_main_and_peaks(main, weights, dists);
+}
+
+VolumeModel::VolumeModel(Log10Normal main, std::vector<ResidualPeak> peaks)
+    : main_(main), peaks_(std::move(peaks)), mixture_(compose(main_, peaks_)) {}
+
+VolumeModel VolumeModel::fit(const BinnedPdf& empirical,
+                             const VolumeModelOptions& options) {
+  VolumeDecomposition decomposition = decompose_volume_pdf(empirical, options);
+  return VolumeModel(
+      Log10Normal(decomposition.main_mu, decomposition.main_sigma),
+      std::move(decomposition.peaks));
+}
+
+BinnedPdf VolumeModel::discretize(const Axis& axis) const {
+  BinnedPdf pdf(axis);
+  for (std::size_t i = 0; i < pdf.size(); ++i) {
+    pdf[i] = mixture_.pdf_log10(axis.center(i));
+  }
+  pdf.normalize();
+  return pdf;
+}
+
+double VolumeModel::emd_against(const BinnedPdf& empirical) const {
+  BinnedPdf normalized = empirical;
+  normalized.normalize();
+  return emd(normalized, discretize(empirical.axis()));
+}
+
+}  // namespace mtd

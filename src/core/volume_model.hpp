@@ -1,0 +1,97 @@
+// Log-normal mixture modeling of per-session traffic volume PDFs (Sec. 5.2).
+//
+// The three-step algorithm of the paper:
+//  1. Fit a single log-normal to the empirical F_s(x) (the broad trend) and
+//     take the positive part of the residual.
+//  2. Detect the characteristic residual peaks: smooth the residual's first
+//     derivative with a first-order Savitzky-Golay filter, find the
+//     intervals where it exceeds a threshold (1e-5), and rank the intervals
+//     by the residual probability they contain.
+//  3. Model each retained peak as a scaled log-normal: mu at the interval's
+//     maximum-probability volume, sigma = 0.997 * span / 3, weight k = the
+//     contained residual probability; compose everything per Eq. (5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "math/mixture.hpp"
+
+namespace mtd {
+
+/// One modeled residual peak (parameters in log10 MB).
+struct ResidualPeak {
+  double k = 0.0;      // weight: residual probability within the interval
+  double mu = 0.0;     // center: coordinate of the interval's residual max
+  double sigma = 0.0;  // (0.997 * interval span) / 3
+  double lo = 0.0;     // interval bounds, log10 MB
+  double hi = 0.0;
+};
+
+struct VolumeModelOptions {
+  /// Threshold on the smoothed residual derivative (paper: 1e-5, robust).
+  double derivative_threshold = 1e-5;
+  /// Savitzky-Golay window (odd) for the derivative smoothing.
+  std::size_t savgol_window = 5;
+  /// Maximum number of residual components (paper: 3).
+  std::size_t max_peaks = 3;
+  /// Peaks with weight below this are discarded (paper: ~1e-4).
+  double min_peak_weight = 1e-4;
+  /// Peaks whose residual maximum is below this fraction of the empirical
+  /// density maximum are treated as sampling noise and discarded.
+  double min_peak_prominence = 0.05;
+};
+
+/// The fitted model of one service's F_s(x): main log-normal + <= 3 peaks.
+class VolumeModel {
+ public:
+  /// Runs the three-step algorithm on a (normalized or unnormalized)
+  /// empirical volume PDF.
+  static VolumeModel fit(const BinnedPdf& empirical,
+                         const VolumeModelOptions& options = {});
+
+  /// Reassembles a model from stored parameters.
+  VolumeModel(Log10Normal main, std::vector<ResidualPeak> peaks);
+
+  [[nodiscard]] const Log10Normal& main() const noexcept { return main_; }
+  [[nodiscard]] const std::vector<ResidualPeak>& peaks() const noexcept {
+    return peaks_;
+  }
+
+  /// The composed mixture F~_s of Eq. (5).
+  [[nodiscard]] const Log10NormalMixture& mixture() const noexcept {
+    return mixture_;
+  }
+
+  /// Discretizes the model density on an axis (log10 MB coordinates).
+  [[nodiscard]] BinnedPdf discretize(const Axis& axis) const;
+
+  /// EMD between the model and an empirical PDF on the empirical's axis.
+  [[nodiscard]] double emd_against(const BinnedPdf& empirical) const;
+
+ private:
+  static Log10NormalMixture compose(const Log10Normal& main,
+                                    const std::vector<ResidualPeak>& peaks);
+
+  Log10Normal main_;
+  std::vector<ResidualPeak> peaks_;
+  Log10NormalMixture mixture_;
+};
+
+/// Intermediate artifacts of the fit, exposed for Fig. 9 and for tests.
+struct VolumeDecomposition {
+  BinnedPdf empirical;          // normalized input
+  double main_mu = 0.0;         // main log-normal location, log10 MB
+  double main_sigma = 1.0;      // main log-normal scale
+  BinnedPdf main_fit;           // discretized main log-normal
+  std::vector<double> residual; // positive residual per bin
+  std::vector<double> residual_derivative;  // Savitzky-Golay smoothed
+  std::vector<ResidualPeak> peaks;          // retained peaks, ranked
+};
+
+/// Runs the fit and returns every intermediate step.
+[[nodiscard]] VolumeDecomposition decompose_volume_pdf(
+    const BinnedPdf& empirical, const VolumeModelOptions& options = {});
+
+}  // namespace mtd

@@ -1,0 +1,129 @@
+#include "dataset/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/time_utils.hpp"
+
+namespace mtd {
+
+bool ArrivalProcess::is_day_phase(std::size_t minute_of_day) {
+  return circadian_activity(minute_of_day) > kDayThreshold;
+}
+
+std::uint32_t ArrivalProcess::sample(std::size_t minute_of_day,
+                                     Rng& rng) const {
+  const double activity = circadian_activity(minute_of_day);
+  if (activity > kDayThreshold) {
+    // Daytime mode: Gaussian around the BS peak rate, modulated by the
+    // (mild) intra-day activity fluctuation; sigma = mu / 10 (Sec. 5.1).
+    const double mu = bs_->peak_rate * activity;
+    const double x = rng.normal(mu, bs_->peak_rate / 10.0);
+    return x <= 0.0 ? 0u : static_cast<std::uint32_t>(std::lround(x));
+  }
+  // Off-peak mode: Pareto with the fixed shape of Sec. 5.1. The continuous
+  // draw is floored, so most overnight minutes see zero or few arrivals.
+  const double x = rng.pareto(kOffpeakShape, bs_->offpeak_scale);
+  return static_cast<std::uint32_t>(std::floor(std::min(x, 1e6)));
+}
+
+SessionSampler::SessionSampler(const ServiceProfile& profile)
+    : profile_(&profile),
+      volume_mixture_(profile.volume_mixture()),
+      alpha_(profile.alpha()) {}
+
+SessionSampler::Draw SessionSampler::sample(Rng& rng) const {
+  // Full-session volume from the planted mixture, duration from the planted
+  // power law v(d) = alpha d^beta inverted at the sampled volume, with
+  // log-normal scatter.
+  double volume = volume_mixture_.sample(rng);
+  volume = std::max(volume, 1e-4);  // >= 0.1 KB
+  double duration =
+      std::pow(volume / alpha_, 1.0 / profile_->beta) *
+      std::pow(10.0, rng.normal(0.0, profile_->duration_sigma));
+  duration = std::clamp(duration, 1.0, 6.0 * 3600.0);
+
+  Draw draw{volume, duration, false};
+
+  if (rng.bernoulli(profile_->p_mobile)) {
+    const double dwell = dwell_time_distribution().sample(rng);
+    if (dwell < draw.duration_s) {
+      // The UE leaves the BS before the session completes: the BS only
+      // serves the prefix. Volume scales with the served fraction
+      // (constant intra-session throughput assumption).
+      draw.volume_mb *= dwell / draw.duration_s;
+      draw.volume_mb = std::max(draw.volume_mb, 1e-4);
+      draw.duration_s = std::max(dwell, 1.0);
+      draw.transient = true;
+    }
+  }
+  return draw;
+}
+
+TraceGenerator::TraceGenerator(const Network& network, TraceConfig config)
+    : network_(&network), config_(config) {
+  require(config.num_days >= 1, "TraceGenerator: need at least one day");
+  require(config.rate_scale > 0.0, "TraceGenerator: rate_scale must be > 0");
+  require(config.weekend_rate_factor > 0.0,
+          "TraceGenerator: weekend_rate_factor must be > 0");
+  const auto& catalog = service_catalog();
+  samplers_.reserve(catalog.size());
+  for (const auto& profile : catalog) samplers_.emplace_back(profile);
+  service_cdf_ = normalized_session_shares();
+  double acc = 0.0;
+  for (double& share : service_cdf_) {
+    acc += share;
+    share = acc;
+  }
+}
+
+void TraceGenerator::run_bs_day(const BaseStation& bs, std::size_t day,
+                                TraceSink& sink) const {
+  // One independent stream per (BS, day) keeps generation order-independent.
+  Rng rng(config_.seed ^ (0x9e3779b97f4a7c15ULL * (bs.id + 1)) ^
+          (0xc2b2ae3d27d4eb4fULL * (day + 1)));
+
+  BaseStation scaled = bs;
+  double rate = config_.rate_scale;
+  if (day_type(day) == DayType::kWeekend) rate *= config_.weekend_rate_factor;
+  scaled.peak_rate *= rate;
+  scaled.offpeak_scale *= rate;
+  const ArrivalProcess arrivals(scaled);
+
+  Session session;
+  session.bs = bs.id;
+  session.day = static_cast<std::uint16_t>(day);
+
+  for (std::size_t minute = 0; minute < kMinutesPerDay; ++minute) {
+    const std::uint32_t count = arrivals.sample(minute, rng);
+    sink.on_minute(bs, day, minute, count);
+    session.minute_of_day = static_cast<std::uint16_t>(minute);
+    for (std::uint32_t k = 0; k < count; ++k) {
+      // Service assignment by Table-1 session shares.
+      const double u = rng.uniform();
+      const auto it =
+          std::lower_bound(service_cdf_.begin(), service_cdf_.end(), u);
+      const auto svc = static_cast<std::size_t>(
+          std::min<std::ptrdiff_t>(it - service_cdf_.begin(),
+                                   static_cast<std::ptrdiff_t>(
+                                       service_cdf_.size() - 1)));
+      const SessionSampler::Draw draw = samplers_[svc].sample(rng);
+      session.service = static_cast<std::uint16_t>(svc);
+      session.transient = draw.transient;
+      session.volume_mb = draw.volume_mb;
+      session.duration_s = draw.duration_s;
+      sink.on_session(session);
+    }
+  }
+}
+
+void TraceGenerator::run(TraceSink& sink) const {
+  for (const BaseStation& bs : network_->base_stations()) {
+    for (std::size_t day = 0; day < config_.num_days; ++day) {
+      run_bs_day(bs, day, sink);
+    }
+  }
+}
+
+}  // namespace mtd

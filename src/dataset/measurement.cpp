@@ -1,0 +1,367 @@
+#include "dataset/measurement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/time_utils.hpp"
+
+namespace mtd {
+
+Axis volume_axis() { return Axis(-4.0, 4.0, 160); }
+Axis duration_axis() { return Axis(0.0, 4.2, 84); }
+
+const char* to_string(Slice s) noexcept {
+  switch (s) {
+    case Slice::kTotal: return "total";
+    case Slice::kWorkday: return "workday";
+    case Slice::kWeekend: return "weekend";
+    case Slice::kUrban: return "urban";
+    case Slice::kSemiUrban: return "semi-urban";
+    case Slice::kRural: return "rural";
+    case Slice::kCity0: return "city-0";
+    case Slice::kCity1: return "city-1";
+    case Slice::kCity2: return "city-2";
+    case Slice::kCity3: return "city-3";
+    case Slice::kCity4: return "city-4";
+    case Slice::k4G: return "4G";
+    case Slice::k5G: return "5G";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Arrival-count axis for a decile: wide enough for the busiest minute.
+Axis arrival_axis_for(double decile_rate) {
+  const double hi = std::max(10.0, decile_rate * 2.5);
+  return Axis(0.0, hi, 200);
+}
+
+}  // namespace
+
+MeasurementDataset::MeasurementDataset(const Network& network,
+                                       std::size_t num_days,
+                                       MeasurementConfig config)
+    : network_(&network), num_days_(num_days), config_(config) {
+  const auto& catalog = service_catalog();
+  services_.reserve(catalog.size());
+  for (const auto& p : catalog) services_.push_back(&p);
+
+  slice_stats_.resize(catalog.size());
+  duration_pdfs_.assign(catalog.size(), BinnedPdf(duration_axis()));
+  decile_stats_.reserve(kNumDeciles);
+  for (std::uint8_t d = 0; d < kNumDeciles; ++d) {
+    decile_stats_.emplace_back(arrival_axis_for(network.decile_peak_rate(d)));
+  }
+  cell_sessions_per_service_.assign(catalog.size(), 0);
+  cell_volume_per_service_.assign(catalog.size(), 0.0);
+  session_share_stats_.resize(catalog.size());
+  traffic_share_stats_.resize(catalog.size());
+}
+
+std::array<Slice, 4> MeasurementDataset::slices_of(const BaseStation& bs,
+                                                   std::size_t day) const {
+  const Slice day_slice = day_type(day) == DayType::kWorkday
+                              ? Slice::kWorkday
+                              : Slice::kWeekend;
+  Slice region_slice = Slice::kUrban;
+  switch (bs.region) {
+    case Region::kUrban: region_slice = Slice::kUrban; break;
+    case Region::kSemiUrban: region_slice = Slice::kSemiUrban; break;
+    case Region::kRural: region_slice = Slice::kRural; break;
+  }
+  const Slice rat_slice = bs.rat == Rat::k4G ? Slice::k4G : Slice::k5G;
+  return {Slice::kTotal, day_slice, region_slice, rat_slice};
+}
+
+void MeasurementDataset::on_minute(const BaseStation& bs, std::size_t day,
+                                   std::size_t minute_of_day,
+                                   std::uint32_t count) {
+  const std::pair<std::uint32_t, std::size_t> cell{bs.id, day};
+  if (!current_cell_ || *current_cell_ != cell) {
+    flush_cell_shares();
+    current_cell_ = cell;
+  }
+
+  DecileArrivalStats& stats = decile_stats_[bs.decile];
+  const double x = static_cast<double>(count);
+  stats.count_pdf.add(x);
+  if (ArrivalProcess::is_day_phase(minute_of_day)) {
+    stats.day_pdf.add(x);
+    stats.day_stats.add(x);
+  } else {
+    stats.night_pdf.add(x);
+    stats.night_stats.add(x);
+  }
+}
+
+void MeasurementDataset::on_session(const Session& session) {
+  const BaseStation& bs = (*network_)[session.bs];
+  const double log_volume = std::log10(session.volume_mb);
+  const double log_duration = std::log10(session.duration_s);
+
+  auto& per_service = slice_stats_[session.service];
+  for (Slice s : slices_of(bs, session.day)) {
+    ServiceSliceStats& stats = per_service[static_cast<std::size_t>(s)];
+    stats.volume_pdf.add(log_volume);
+    stats.dv_curve.add(log_duration, session.volume_mb);
+    ++stats.sessions;
+    stats.volume_mb += session.volume_mb;
+  }
+  if (bs.city != BaseStation::kNoCity) {
+    const auto city_slice = static_cast<std::size_t>(Slice::kCity0) + bs.city;
+    ServiceSliceStats& stats = per_service[city_slice];
+    stats.volume_pdf.add(log_volume);
+    stats.dv_curve.add(log_duration, session.volume_mb);
+    ++stats.sessions;
+    stats.volume_mb += session.volume_mb;
+  }
+
+  duration_pdfs_[session.service].add(log_duration);
+
+  ++cell_sessions_per_service_[session.service];
+  cell_volume_per_service_[session.service] += session.volume_mb;
+  ++total_sessions_;
+  total_volume_ += session.volume_mb;
+
+  if (config_.store_per_cell) {
+    const CellKey key{session.service, session.bs, session.day};
+    CellStats& cell = cells_[key];
+    ++cell.sessions;
+    cell.volume_mb += session.volume_mb;
+    cell.volume_pdf.add(log_volume);
+    cell.dv_curve.add(log_duration, session.volume_mb);
+  }
+}
+
+void MeasurementDataset::flush_cell_shares() {
+  if (!current_cell_) return;
+  std::uint64_t cell_total = 0;
+  double cell_volume = 0.0;
+  for (std::size_t s = 0; s < services_.size(); ++s) {
+    cell_total += cell_sessions_per_service_[s];
+    cell_volume += cell_volume_per_service_[s];
+  }
+  if (cell_total > 0) {
+    for (std::size_t s = 0; s < services_.size(); ++s) {
+      session_share_stats_[s].add(
+          static_cast<double>(cell_sessions_per_service_[s]) /
+          static_cast<double>(cell_total));
+      if (cell_volume > 0.0) {
+        traffic_share_stats_[s].add(cell_volume_per_service_[s] / cell_volume);
+      }
+    }
+  }
+  std::fill(cell_sessions_per_service_.begin(),
+            cell_sessions_per_service_.end(), 0);
+  std::fill(cell_volume_per_service_.begin(), cell_volume_per_service_.end(),
+            0.0);
+}
+
+void MeasurementDataset::finalize() {
+  flush_cell_shares();
+  current_cell_.reset();
+}
+
+const ServiceSliceStats& MeasurementDataset::slice(std::size_t service,
+                                                   Slice s) const {
+  require(service < slice_stats_.size(), "slice: bad service index");
+  return slice_stats_[service][static_cast<std::size_t>(s)];
+}
+
+const DecileArrivalStats& MeasurementDataset::decile_arrivals(
+    std::uint8_t decile) const {
+  require(decile < decile_stats_.size(), "decile_arrivals: bad decile");
+  return decile_stats_[decile];
+}
+
+std::vector<double> MeasurementDataset::session_shares() const {
+  std::vector<double> out(services_.size(), 0.0);
+  if (total_sessions_ == 0) return out;
+  for (std::size_t s = 0; s < services_.size(); ++s) {
+    out[s] = static_cast<double>(
+                 slice_stats_[s][static_cast<std::size_t>(Slice::kTotal)]
+                     .sessions) /
+             static_cast<double>(total_sessions_);
+  }
+  return out;
+}
+
+std::vector<double> MeasurementDataset::traffic_shares() const {
+  std::vector<double> out(services_.size(), 0.0);
+  if (total_volume_ <= 0.0) return out;
+  for (std::size_t s = 0; s < services_.size(); ++s) {
+    out[s] =
+        slice_stats_[s][static_cast<std::size_t>(Slice::kTotal)].volume_mb /
+        total_volume_;
+  }
+  return out;
+}
+
+std::vector<double> MeasurementDataset::session_share_cv() const {
+  std::vector<double> out(services_.size(), 0.0);
+  for (std::size_t s = 0; s < services_.size(); ++s) {
+    out[s] = session_share_stats_[s].cv();
+  }
+  return out;
+}
+
+std::vector<double> MeasurementDataset::traffic_share_cv() const {
+  std::vector<double> out(services_.size(), 0.0);
+  for (std::size_t s = 0; s < services_.size(); ++s) {
+    out[s] = traffic_share_stats_[s].cv();
+  }
+  return out;
+}
+
+const BinnedPdf& MeasurementDataset::duration_pdf(std::size_t service) const {
+  require(service < duration_pdfs_.size(), "duration_pdf: bad service index");
+  return duration_pdfs_[service];
+}
+
+const std::map<CellKey, CellStats>& MeasurementDataset::cells() const {
+  require(config_.store_per_cell,
+          "cells: per-cell store disabled in this dataset");
+  return cells_;
+}
+
+BinnedPdf MeasurementDataset::average_pdf(std::uint16_t service,
+                                          std::span<const CellKey> keys) const {
+  require(config_.store_per_cell, "average_pdf: per-cell store disabled");
+  BinnedPdf out(volume_axis());
+  double total_weight = 0.0;
+  for (const CellKey& key : keys) {
+    require(key.service == service, "average_pdf: key of another service");
+    const auto it = cells_.find(key);
+    if (it == cells_.end() || it->second.sessions == 0) continue;
+    const auto weight = static_cast<double>(it->second.sessions);
+    // F_s^{c,t} enters Eq. (2) normalized, weighted by w_s^{c,t}.
+    BinnedPdf pdf = it->second.volume_pdf;
+    pdf.normalize();
+    out.accumulate(pdf, weight);
+    total_weight += weight;
+  }
+  require(total_weight > 0.0, "average_pdf: no sessions in selection");
+  out.normalize();
+  return out;
+}
+
+BinnedMeanCurve MeasurementDataset::average_curve(
+    std::uint16_t service, std::span<const CellKey> keys) const {
+  require(config_.store_per_cell, "average_curve: per-cell store disabled");
+  BinnedMeanCurve out(duration_axis());
+  for (const CellKey& key : keys) {
+    require(key.service == service, "average_curve: key of another service");
+    const auto it = cells_.find(key);
+    if (it == cells_.end()) continue;
+    out.accumulate(it->second.dv_curve, 1.0);
+  }
+  return out;
+}
+
+std::vector<CellKey> MeasurementDataset::cell_keys(
+    std::uint16_t service) const {
+  require(config_.store_per_cell, "cell_keys: per-cell store disabled");
+  std::vector<CellKey> out;
+  for (const auto& [key, stats] : cells_) {
+    if (key.service == service) out.push_back(key);
+  }
+  return out;
+}
+
+void MeasurementDataset::merge(const MeasurementDataset& other) {
+  require(network_ == other.network_,
+          "MeasurementDataset::merge: different networks");
+  require(num_days_ == other.num_days_,
+          "MeasurementDataset::merge: different horizons");
+  require(config_.store_per_cell == other.config_.store_per_cell,
+          "MeasurementDataset::merge: per-cell store mismatch");
+  require(!current_cell_ && !other.current_cell_,
+          "MeasurementDataset::merge: finalize both datasets first");
+
+  for (std::size_t s = 0; s < slice_stats_.size(); ++s) {
+    for (std::size_t i = 0; i < kNumSlices; ++i) {
+      ServiceSliceStats& mine = slice_stats_[s][i];
+      const ServiceSliceStats& theirs = other.slice_stats_[s][i];
+      mine.volume_pdf.accumulate(theirs.volume_pdf, 1.0);
+      mine.dv_curve.accumulate(theirs.dv_curve, 1.0);
+      mine.sessions += theirs.sessions;
+      mine.volume_mb += theirs.volume_mb;
+    }
+    duration_pdfs_[s].accumulate(other.duration_pdfs_[s], 1.0);
+    session_share_stats_[s].merge(other.session_share_stats_[s]);
+    traffic_share_stats_[s].merge(other.traffic_share_stats_[s]);
+  }
+  for (std::size_t d = 0; d < decile_stats_.size(); ++d) {
+    DecileArrivalStats& mine = decile_stats_[d];
+    const DecileArrivalStats& theirs = other.decile_stats_[d];
+    mine.count_pdf.accumulate(theirs.count_pdf, 1.0);
+    mine.day_pdf.accumulate(theirs.day_pdf, 1.0);
+    mine.night_pdf.accumulate(theirs.night_pdf, 1.0);
+    mine.day_stats.merge(theirs.day_stats);
+    mine.night_stats.merge(theirs.night_stats);
+  }
+  total_sessions_ += other.total_sessions_;
+  total_volume_ += other.total_volume_;
+  if (config_.store_per_cell) {
+    for (const auto& [key, cell] : other.cells_) {
+      CellStats& mine = cells_[key];
+      mine.sessions += cell.sessions;
+      mine.volume_mb += cell.volume_mb;
+      mine.volume_pdf.accumulate(cell.volume_pdf, 1.0);
+      mine.dv_curve.accumulate(cell.dv_curve, 1.0);
+    }
+  }
+}
+
+MeasurementDataset collect_dataset(const Network& network,
+                                   const TraceConfig& trace_config,
+                                   MeasurementConfig measurement_config) {
+  MeasurementDataset dataset(network, trace_config.num_days,
+                             measurement_config);
+  const TraceGenerator generator(network, trace_config);
+  generator.run(dataset);
+  dataset.finalize();
+  return dataset;
+}
+
+MeasurementDataset collect_dataset_parallel(
+    const Network& network, const TraceConfig& trace_config,
+    std::size_t threads, MeasurementConfig measurement_config) {
+  require(threads >= 1, "collect_dataset_parallel: need at least one thread");
+  threads = std::min(threads, network.size());
+  if (threads == 1) {
+    return collect_dataset(network, trace_config, measurement_config);
+  }
+
+  const TraceGenerator generator(network, trace_config);
+  std::vector<MeasurementDataset> partials;
+  partials.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    partials.emplace_back(network, trace_config.num_days,
+                          measurement_config);
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      // Strided BS partition keeps the decile mix balanced per worker.
+      for (std::size_t b = t; b < network.size(); b += threads) {
+        for (std::size_t day = 0; day < trace_config.num_days; ++day) {
+          generator.run_bs_day(network[b], day, partials[t]);
+        }
+      }
+      partials[t].finalize();
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  MeasurementDataset& result = partials.front();
+  for (std::size_t t = 1; t < threads; ++t) result.merge(partials[t]);
+  return std::move(result);
+}
+
+}  // namespace mtd

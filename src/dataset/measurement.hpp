@@ -1,0 +1,219 @@
+// Aggregation of raw sessions into the paper's measurement statistics.
+//
+// Mirrors Sec. 3.2: for each (service s, BS c, day t) the operator keeps
+//   - w_s^{c,m}: per-minute session arrival counts (and the daily w_s^{c,t}),
+//   - F_s^{c,t}(x): a PDF of per-session traffic volume,
+//   - v_s^{c,t}(d): mean volume per discretized session duration,
+// and Sec. 3.3: weighted averaging of these statistics over arbitrary sets
+// of BSs and days (Eqs. 1-2).
+//
+// The full per-cell store is optional (it is quadratic in BS x day); the
+// slice accumulators needed by the analyses (per service: total, workday /
+// weekend, region, city, RAT) are always maintained streaming.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/stats.hpp"
+#include "dataset/generator.hpp"
+#include "dataset/network.hpp"
+
+namespace mtd {
+
+/// Binning of volume PDFs: u = log10(volume MB) on [-4, 4), 0.05 wide bins.
+[[nodiscard]] Axis volume_axis();
+/// Binning of duration curves: log10(duration s) on [0, 4.2), 0.05 bins.
+[[nodiscard]] Axis duration_axis();
+
+/// Aggregation slices kept per service.
+enum class Slice : std::uint8_t {
+  kTotal = 0,
+  kWorkday,
+  kWeekend,
+  kUrban,
+  kSemiUrban,
+  kRural,
+  kCity0,
+  kCity1,
+  kCity2,
+  kCity3,
+  kCity4,
+  k4G,
+  k5G,
+};
+inline constexpr std::size_t kNumSlices = 13;
+
+[[nodiscard]] const char* to_string(Slice s) noexcept;
+
+/// Volume PDF + duration-volume curve + totals for one (service, slice).
+struct ServiceSliceStats {
+  ServiceSliceStats()
+      : volume_pdf(volume_axis()), dv_curve(duration_axis()) {}
+
+  BinnedPdf volume_pdf;       // unnormalized; weights are session counts
+  BinnedMeanCurve dv_curve;   // mean volume per log10-duration bin
+  std::uint64_t sessions = 0;
+  double volume_mb = 0.0;
+
+  /// The normalized F_s(x) of this slice.
+  [[nodiscard]] BinnedPdf normalized_pdf() const {
+    BinnedPdf pdf = volume_pdf;
+    pdf.normalize();
+    return pdf;
+  }
+};
+
+/// Per-decile arrival statistics backing Fig. 3 and the arrival model fits.
+struct DecileArrivalStats {
+  explicit DecileArrivalStats(const Axis& axis)
+      : count_pdf(axis), day_pdf(axis), night_pdf(axis) {}
+
+  BinnedPdf count_pdf;    // pooled per-minute counts, all BSs of the decile
+  BinnedPdf day_pdf;      // daytime phase only
+  BinnedPdf night_pdf;    // overnight phase only
+  RunningStats day_stats;   // moments of daytime counts
+  RunningStats night_stats; // moments of overnight counts
+};
+
+/// Key of the optional per-cell store.
+struct CellKey {
+  std::uint16_t service;
+  std::uint32_t bs;
+  std::uint16_t day;
+
+  friend auto operator<=>(const CellKey&, const CellKey&) = default;
+};
+
+/// The (s, c, t) statistics of Sec. 3.2.
+struct CellStats {
+  CellStats() : volume_pdf(volume_axis()), dv_curve(duration_axis()) {}
+
+  std::uint64_t sessions = 0;   // w_s^{c,t}
+  double volume_mb = 0.0;
+  BinnedPdf volume_pdf;         // F_s^{c,t}(x), unnormalized
+  BinnedMeanCurve dv_curve;     // v_s^{c,t}(d)
+};
+
+struct MeasurementConfig {
+  /// Keep the full per-(service, BS, day) store; memory grows with
+  /// #BS x #days x #services, so enable only for small configurations.
+  bool store_per_cell = false;
+};
+
+/// The dataset built from a trace. Implements TraceSink and is normally
+/// filled through TraceGenerator::run.
+class MeasurementDataset final : public TraceSink {
+ public:
+  MeasurementDataset(const Network& network, std::size_t num_days,
+                     MeasurementConfig config = {});
+
+  // TraceSink interface.
+  void on_minute(const BaseStation& bs, std::size_t day,
+                 std::size_t minute_of_day, std::uint32_t count) override;
+  void on_session(const Session& session) override;
+
+  /// Flushes per-(BS, day) share accounting. Called automatically when the
+  /// (BS, day) under generation changes; call once after the final trace.
+  void finalize();
+
+  /// Merges another dataset built over the same network and horizon (e.g.
+  /// a partition of the BSs processed by another thread). Both datasets
+  /// must be finalized. All aggregates - slices, arrival statistics, share
+  /// statistics, totals and the optional per-cell store - are combined.
+  void merge(const MeasurementDataset& other);
+
+  // -- accessors ------------------------------------------------------------
+
+  [[nodiscard]] const Network& network() const noexcept { return *network_; }
+  [[nodiscard]] std::size_t num_days() const noexcept { return num_days_; }
+  [[nodiscard]] std::size_t num_services() const noexcept {
+    return services_.size();
+  }
+
+  [[nodiscard]] const ServiceSliceStats& slice(std::size_t service,
+                                               Slice s) const;
+  [[nodiscard]] const DecileArrivalStats& decile_arrivals(
+      std::uint8_t decile) const;
+
+  /// Per-service share of all sessions / of all traffic (fractions).
+  [[nodiscard]] std::vector<double> session_shares() const;
+  [[nodiscard]] std::vector<double> traffic_shares() const;
+  /// Coefficient of variation of the per-(BS, day) session / traffic share.
+  [[nodiscard]] std::vector<double> session_share_cv() const;
+  [[nodiscard]] std::vector<double> traffic_share_cv() const;
+
+  [[nodiscard]] std::uint64_t total_sessions() const noexcept {
+    return total_sessions_;
+  }
+  [[nodiscard]] double total_volume_mb() const noexcept {
+    return total_volume_;
+  }
+
+  /// Empirical duration PDF of a service (log10 seconds, total slice).
+  [[nodiscard]] const BinnedPdf& duration_pdf(std::size_t service) const;
+
+  // -- per-cell store and Eqs. (1)-(2) ---------------------------------------
+
+  [[nodiscard]] bool has_per_cell_store() const noexcept {
+    return config_.store_per_cell;
+  }
+  [[nodiscard]] const std::map<CellKey, CellStats>& cells() const;
+
+  /// Weighted mixture average of F_s^{c,t} over the given cells (Eq. 2),
+  /// with weights w_s^{c,t}. Requires the per-cell store.
+  [[nodiscard]] BinnedPdf average_pdf(std::uint16_t service,
+                                      std::span<const CellKey> keys) const;
+  /// Weighted average of v_s^{c,t} over the given cells (Eq. 1).
+  [[nodiscard]] BinnedMeanCurve average_curve(
+      std::uint16_t service, std::span<const CellKey> keys) const;
+  /// All cell keys of one service in the store.
+  [[nodiscard]] std::vector<CellKey> cell_keys(std::uint16_t service) const;
+
+ private:
+  void flush_cell_shares();
+  [[nodiscard]] std::array<Slice, 4> slices_of(const BaseStation& bs,
+                                               std::size_t day) const;
+
+  const Network* network_;
+  std::size_t num_days_;
+  MeasurementConfig config_;
+  std::vector<const ServiceProfile*> services_;
+
+  // service x slice accumulators.
+  std::vector<std::array<ServiceSliceStats, kNumSlices>> slice_stats_;
+  std::vector<BinnedPdf> duration_pdfs_;
+
+  // decile arrival statistics.
+  std::vector<DecileArrivalStats> decile_stats_;
+
+  // per-(BS, day) share accounting.
+  std::optional<std::pair<std::uint32_t, std::size_t>> current_cell_;
+  std::vector<std::uint64_t> cell_sessions_per_service_;
+  std::vector<double> cell_volume_per_service_;
+  std::vector<RunningStats> session_share_stats_;
+  std::vector<RunningStats> traffic_share_stats_;
+
+  std::uint64_t total_sessions_ = 0;
+  double total_volume_ = 0.0;
+
+  std::map<CellKey, CellStats> cells_;
+};
+
+/// Convenience: generates a full trace and aggregates it.
+[[nodiscard]] MeasurementDataset collect_dataset(
+    const Network& network, const TraceConfig& trace_config,
+    MeasurementConfig measurement_config = {});
+
+/// Parallel variant: partitions the BSs across `threads` workers, each
+/// aggregating its own dataset, then merges. Bit-identical to the serial
+/// path (per-(BS, day) generator streams are order-independent).
+[[nodiscard]] MeasurementDataset collect_dataset_parallel(
+    const Network& network, const TraceConfig& trace_config,
+    std::size_t threads, MeasurementConfig measurement_config = {});
+
+}  // namespace mtd

@@ -1,0 +1,92 @@
+// Synthetic radio access network topology.
+//
+// Stands in for the paper's 282,000-BS nationwide 4G/5G NSA RAN: a set of
+// base stations with heterogeneous loads (classified into deciles as in
+// Sec. 4.1), urbanization levels, metropolitan-area membership and radio
+// access technology. All counts are configurable so tests can run on tiny
+// networks and benches on larger ones.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mtd {
+
+enum class Region : std::uint8_t { kUrban, kSemiUrban, kRural };
+enum class Rat : std::uint8_t { k4G, k5G };
+
+[[nodiscard]] const char* to_string(Region r) noexcept;
+[[nodiscard]] const char* to_string(Rat r) noexcept;
+
+inline constexpr std::size_t kNumRegions = 3;
+inline constexpr std::size_t kNumCities = 5;
+inline constexpr std::size_t kNumDeciles = 10;
+
+/// One base station of the synthetic RAN.
+struct BaseStation {
+  std::uint32_t id = 0;
+  /// Load decile, 0 (lightest) .. 9 (busiest).
+  std::uint8_t decile = 0;
+  Region region = Region::kUrban;
+  /// Metropolitan area 0..kNumCities-1, or kNoCity outside the 5 largest.
+  std::uint8_t city = kNoCity;
+  Rat rat = Rat::k4G;
+
+  /// Mean per-minute session arrival rate during the daytime peak phase.
+  double peak_rate = 1.0;
+  /// Scale of the Pareto off-peak arrival distribution.
+  double offpeak_scale = 0.1;
+
+  static constexpr std::uint8_t kNoCity = 255;
+};
+
+struct NetworkConfig {
+  std::size_t num_bs = 100;
+  /// Fraction of BSs on 5G gNodeBs (NSA deployment).
+  double fraction_5g = 0.25;
+  /// Daytime peak arrival rate (sessions/minute) of the *average BS of the
+  /// first and last decile*; rates grow exponentially across deciles, as
+  /// observed in Sec. 5.1 (1.21 -> 71 sessions/minute).
+  double first_decile_rate = 1.21;
+  double last_decile_rate = 71.0;
+  /// Off-peak Pareto scale relative to the peak rate.
+  double offpeak_scale_ratio = 0.05;
+  /// Relative jitter of per-BS rates within a decile.
+  double rate_jitter = 0.10;
+};
+
+/// The synthetic RAN.
+class Network {
+ public:
+  /// Builds a network with deterministic structure given the RNG state:
+  /// BSs are assigned load deciles uniformly, regions with urban bias for
+  /// high deciles, city membership for urban BSs, and RAT per
+  /// `fraction_5g`.
+  static Network build(const NetworkConfig& config, Rng& rng);
+
+  [[nodiscard]] const std::vector<BaseStation>& base_stations() const noexcept {
+    return bs_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return bs_.size(); }
+  [[nodiscard]] const BaseStation& operator[](std::size_t i) const noexcept {
+    return bs_[i];
+  }
+  [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
+
+  /// All BS ids in a given decile / region / city / RAT.
+  [[nodiscard]] std::vector<std::uint32_t> in_decile(std::uint8_t d) const;
+  [[nodiscard]] std::vector<std::uint32_t> in_region(Region r) const;
+  [[nodiscard]] std::vector<std::uint32_t> in_city(std::uint8_t city) const;
+  [[nodiscard]] std::vector<std::uint32_t> with_rat(Rat r) const;
+
+  /// The decile-average peak rate (the mu_{c,w} of Sec. 5.1 per class).
+  [[nodiscard]] double decile_peak_rate(std::uint8_t d) const;
+
+ private:
+  NetworkConfig config_;
+  std::vector<BaseStation> bs_;
+};
+
+}  // namespace mtd

@@ -1,0 +1,189 @@
+#include "dataset/service_catalog.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mtd {
+
+std::string_view to_string(ServiceClass c) noexcept {
+  switch (c) {
+    case ServiceClass::kStreaming: return "streaming";
+    case ServiceClass::kInteractive: return "interactive";
+    case ServiceClass::kOutlier: return "outlier";
+  }
+  return "?";
+}
+
+std::string_view to_string(LiteratureCategory c) noexcept {
+  switch (c) {
+    case LiteratureCategory::kInteractiveWeb: return "IW";
+    case LiteratureCategory::kCasualStreaming: return "CS";
+    case LiteratureCategory::kMovieStreaming: return "MS";
+  }
+  return "?";
+}
+
+double ServiceProfile::alpha() const {
+  return std::pow(10.0, volume_mu) / std::pow(typical_duration_s, beta);
+}
+
+Log10NormalMixture ServiceProfile::volume_mixture() const {
+  std::vector<double> peak_weights;
+  std::vector<Log10Normal> peak_dists;
+  peak_weights.reserve(peaks.size());
+  peak_dists.reserve(peaks.size());
+  for (const PlantedPeak& p : peaks) {
+    peak_weights.push_back(p.k);
+    peak_dists.emplace_back(p.mu, p.sigma);
+  }
+  return Log10NormalMixture::from_main_and_peaks(
+      Log10Normal(volume_mu, volume_sigma), peak_weights, peak_dists);
+}
+
+namespace {
+
+using SC = ServiceClass;
+using LC = LiteratureCategory;
+
+ServiceProfile make(std::string name, SC cls, LC cat, double share,
+                    double mu, double sigma, std::vector<PlantedPeak> peaks,
+                    double beta, double d_typ, double p_mobile) {
+  ServiceProfile p;
+  p.name = std::move(name);
+  p.cls = cls;
+  p.category = cat;
+  p.session_share_pct = share;
+  p.volume_mu = mu;
+  p.volume_sigma = sigma;
+  p.peaks = std::move(peaks);
+  p.beta = beta;
+  p.typical_duration_s = d_typ;
+  p.p_mobile = p_mobile;
+  return p;
+}
+
+std::vector<ServiceProfile> build_catalog() {
+  std::vector<ServiceProfile> c;
+  c.reserve(31);
+
+  // -- Table 1 services -----------------------------------------------------
+  // Interactive/social: sub-linear power laws, sub-MB main lobes.
+  c.push_back(make("Facebook", SC::kInteractive, LC::kInteractiveWeb, 36.52,
+                   -0.30, 0.38, {{0.20, -0.85, 0.10}, {0.10, 0.15, 0.10}}, 0.55, 120.0, 0.35));
+  c.push_back(make("Instagram", SC::kStreaming, LC::kCasualStreaming, 20.52,
+                   0.20, 0.65, {{0.15, 1.20, 0.10}}, 1.20, 180.0, 0.35));
+  c.push_back(make("SnapChat", SC::kInteractive, LC::kCasualStreaming, 18.33,
+                   -0.15, 0.35, {{0.18, 0.30, 0.08}}, 0.60, 90.0, 0.35));
+  c.push_back(make("Youtube", SC::kStreaming, LC::kCasualStreaming, 4.94,
+                   0.90, 0.65, {{0.15, 2.00, 0.12}}, 1.25, 300.0, 0.35));
+  c.push_back(make("Google Maps", SC::kInteractive, LC::kInteractiveWeb, 2.76,
+                   -1.00, 0.35, {{0.15, -0.60, 0.10}}, 0.45, 150.0, 0.55));
+  // Netflix: main mode ~40 MB (10 min at ~4 MB/min), planted knee near
+  // 240 MB (full episode), strong transient lobe emerges from truncation.
+  c.push_back(make("Netflix", SC::kStreaming, LC::kMovieStreaming, 2.40,
+                   1.60, 0.50, {{0.12, 2.38, 0.10}}, 1.30, 600.0, 0.30));
+  c.push_back(make("Waze", SC::kInteractive, LC::kInteractiveWeb, 1.63,
+                   -0.52, 0.35, {{0.18, -1.00, 0.08}}, 0.35, 300.0, 0.60));
+  c.push_back(make("Twitter", SC::kInteractive, LC::kInteractiveWeb, 1.46,
+                   -0.40, 0.38, {{0.12, -0.85, 0.10}}, 0.50, 100.0, 0.35));
+  c.push_back(make("FB Live", SC::kStreaming, LC::kCasualStreaming, 1.42,
+                   1.08, 0.60, {{0.10, 2.10, 0.12}}, 1.25, 420.0, 0.30));
+  c.push_back(make("Apple iCloud", SC::kOutlier, LC::kInteractiveWeb, 1.04,
+                   0.50, 0.85, {{0.10, 1.80, 0.15}}, 0.90, 60.0, 0.20));
+  c.push_back(make("Spotify", SC::kStreaming, LC::kCasualStreaming, 1.12,
+                   0.60, 0.50, {{0.20, 1.30, 0.08}}, 1.15, 240.0, 0.30));
+  // Deezer: modes at ~3.5 MB and ~7.6 MB (one or two songs at 128 kbit/s).
+  c.push_back(make("Deezer", SC::kStreaming, LC::kCasualStreaming, 1.08,
+                   0.54, 0.50, {{0.25, 0.88, 0.08}}, 1.15, 220.0, 0.30));
+  c.push_back(make("Amazon", SC::kInteractive, LC::kInteractiveWeb, 0.96,
+                   -0.70, 0.35, {{0.15, -1.20, 0.08}}, 0.40, 80.0, 0.30));
+  // Twitch: live streams, long high-bitrate sessions; knee near 800 MB.
+  c.push_back(make("Twitch", SC::kStreaming, LC::kCasualStreaming, 0.91,
+                   1.30, 0.60, {{0.08, 2.90, 0.12}}, 1.45, 480.0, 0.20));
+  c.push_back(make("WhatsApp", SC::kInteractive, LC::kInteractiveWeb, 0.85,
+                   -1.10, 0.40, {{0.20, -1.45, 0.10}}, 0.45, 60.0, 0.35));
+  c.push_back(make("Clothes", SC::kInteractive, LC::kInteractiveWeb, 0.83,
+                   -0.55, 0.35, {{0.10, -0.95, 0.10}}, 0.45, 90.0, 0.30));
+  c.push_back(make("Gmail", SC::kInteractive, LC::kInteractiveWeb, 0.54,
+                   -1.20, 0.35, {{0.12, -0.85, 0.10}}, 0.35, 45.0, 0.30));
+  c.push_back(make("LinkedIn", SC::kInteractive, LC::kInteractiveWeb, 0.51,
+                   -0.80, 0.35, {{0.10, -0.35, 0.10}}, 0.50, 90.0, 0.30));
+  c.push_back(make("Telegram", SC::kInteractive, LC::kInteractiveWeb, 0.44,
+                   -1.00, 0.40, {{0.15, -0.45, 0.12}}, 0.50, 60.0, 0.35));
+  c.push_back(make("Yahoo", SC::kInteractive, LC::kInteractiveWeb, 0.32,
+                   -1.00, 0.35, {{0.10, -1.40, 0.08}}, 0.40, 60.0, 0.30));
+  c.push_back(make("FB Messenger", SC::kInteractive, LC::kInteractiveWeb, 0.23,
+                   -1.40, 0.35, {{0.15, -0.90, 0.10}}, 0.40, 45.0, 0.35));
+  c.push_back(make("Google Meet", SC::kStreaming, LC::kCasualStreaming, 0.22,
+                   1.20, 0.50, {{0.10, 2.00, 0.12}}, 1.35, 600.0, 0.15));
+  c.push_back(make("Clash of Clans", SC::kInteractive, LC::kInteractiveWeb,
+                   0.18, -0.90, 0.30, {{0.12, -0.50, 0.08}}, 0.65, 300.0,
+                   0.20));
+  c.push_back(make("Microsoft Mail", SC::kInteractive, LC::kInteractiveWeb,
+                   0.11, -1.30, 0.35, {{0.10, -0.85, 0.08}}, 0.35, 45.0,
+                   0.25));
+  c.push_back(make("Google Docs", SC::kInteractive, LC::kInteractiveWeb, 0.09,
+                   -1.10, 0.35, {{0.10, -0.65, 0.08}}, 0.55, 240.0, 0.15));
+  c.push_back(make("Uber", SC::kInteractive, LC::kInteractiveWeb, 0.07,
+                   -1.20, 0.30, {{0.10, -0.75, 0.08}}, 0.30, 240.0, 0.50));
+  c.push_back(make("Wikipedia", SC::kInteractive, LC::kInteractiveWeb, 0.06,
+                   -1.10, 0.35, {{0.10, -0.65, 0.08}}, 0.35, 90.0, 0.30));
+  c.push_back(make("Pokemon GO", SC::kInteractive, LC::kInteractiveWeb, 0.04,
+                   -1.00, 0.35, {{0.15, -0.55, 0.08}}, 0.55, 400.0, 0.45));
+
+  // -- Additional modeled services (31 total, Sec. 5.4) ---------------------
+  c.push_back(make("TikTok", SC::kStreaming, LC::kCasualStreaming, 0.20,
+                   0.85, 0.60, {{0.12, 1.70, 0.10}}, 1.25, 240.0, 0.35));
+  c.push_back(make("Apple App Store", SC::kOutlier, LC::kInteractiveWeb, 0.12,
+                   0.90, 0.70, {{0.08, 1.90, 0.12}}, 0.95, 120.0, 0.15));
+  c.push_back(make("Google Play", SC::kOutlier, LC::kInteractiveWeb, 0.10,
+                   0.85, 0.70, {{0.08, 1.85, 0.12}}, 0.95, 120.0, 0.15));
+
+  return c;
+}
+
+}  // namespace
+
+const std::vector<ServiceProfile>& service_catalog() {
+  static const std::vector<ServiceProfile> catalog = build_catalog();
+  return catalog;
+}
+
+std::vector<double> normalized_session_shares() {
+  const auto& catalog = service_catalog();
+  std::vector<double> shares;
+  shares.reserve(catalog.size());
+  double total = 0.0;
+  for (const auto& p : catalog) total += p.session_share_pct;
+  for (const auto& p : catalog) shares.push_back(p.session_share_pct / total);
+  return shares;
+}
+
+std::size_t service_index(std::string_view name) {
+  const auto& catalog = service_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (catalog[i].name == name) return i;
+  }
+  throw InvalidArgument("service_index: unknown service '" +
+                        std::string(name) + "'");
+}
+
+std::vector<double> literature_category_shares() {
+  const auto& catalog = service_catalog();
+  const std::vector<double> shares = normalized_session_shares();
+  std::vector<double> out(3, 0.0);
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    out[static_cast<std::size_t>(catalog[i].category)] += shares[i];
+  }
+  return out;
+}
+
+const Log10Normal& dwell_time_distribution() {
+  // Median dwell ~45 s with moderate spread: in-transit users cross a cell
+  // in tens of seconds to a couple of minutes.
+  static const Log10Normal dwell(std::log10(45.0), 0.20);
+  return dwell;
+}
+
+}  // namespace mtd

@@ -1,0 +1,104 @@
+// The catalogue of mobile services with ground-truth generative profiles.
+//
+// The paper's dataset is a proprietary nationwide trace; our substitute is a
+// synthetic substrate whose per-service ground truth is *planted*: each
+// service has a log10-normal mixture of full-session traffic volumes, a
+// power-law duration-volume relationship, and a session share taken from
+// Table 1 of the paper. The trace generator samples sessions from these
+// profiles (including mobility-truncated transient sessions), and the
+// modeling pipeline must then *recover* the planted structure - a checkable
+// surrogate for the paper's measurement-driven fits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "math/mixture.hpp"
+
+namespace mtd {
+
+/// Macroscopic behavioral class (the dichotomy of Sec. 4.3): streaming
+/// services vs. short-message ("interactive") services, plus outliers such
+/// as app-store bulk downloads.
+enum class ServiceClass : std::uint8_t { kStreaming, kInteractive, kOutlier };
+
+[[nodiscard]] std::string_view to_string(ServiceClass c) noexcept;
+
+/// The three coarse literature categories used by the use-case benchmarks
+/// (Sec. 6): Interactive Web, Casual Streaming, Movie Streaming.
+enum class LiteratureCategory : std::uint8_t {
+  kInteractiveWeb,
+  kCasualStreaming,
+  kMovieStreaming,
+};
+
+[[nodiscard]] std::string_view to_string(LiteratureCategory c) noexcept;
+
+/// One planted residual peak of the volume mixture (relative weight k,
+/// location mu and scale sigma in log10 MB).
+struct PlantedPeak {
+  double k;
+  double mu;
+  double sigma;
+};
+
+/// Ground-truth generative profile of one mobile service.
+struct ServiceProfile {
+  std::string name;
+  ServiceClass cls = ServiceClass::kInteractive;
+  LiteratureCategory category = LiteratureCategory::kInteractiveWeb;
+
+  /// Fraction of all sessions belonging to this service, in percent
+  /// (Table 1 of the paper; normalized across the catalogue at load time).
+  double session_share_pct = 0.0;
+
+  /// Main lobe of the full-session volume distribution, log10 MB.
+  double volume_mu = 0.0;
+  double volume_sigma = 0.5;
+  /// Up to two planted residual peaks (a third, transient peak emerges
+  /// mechanically from mobility truncation in the generator).
+  std::vector<PlantedPeak> peaks;
+
+  /// Power-law duration-volume law v(d) = alpha * d^beta, d in seconds and
+  /// v in MB. alpha is derived from the anchor: a session of the typical
+  /// duration carries the main-lobe median volume.
+  double beta = 0.5;
+  double typical_duration_s = 120.0;
+  /// Log10 scatter of duration around the power law.
+  double duration_sigma = 0.12;
+
+  /// Probability that the session belongs to an in-transit user and is
+  /// subject to dwell-time truncation (transient sessions, insight (e)).
+  double p_mobile = 0.3;
+
+  /// alpha of the power law implied by the anchor.
+  [[nodiscard]] double alpha() const;
+
+  /// The planted full-session volume mixture (main lobe + peaks, Eq. 5
+  /// layout with the main lobe at implicit relative weight 1).
+  [[nodiscard]] Log10NormalMixture volume_mixture() const;
+};
+
+/// The full catalogue: the 28 applications of Table 1 plus three additional
+/// modeled services (31 total, as in Sec. 5.4), ordered by session share.
+[[nodiscard]] const std::vector<ServiceProfile>& service_catalog();
+
+/// Session shares normalized to probabilities that sum to one, aligned with
+/// service_catalog() indices.
+[[nodiscard]] std::vector<double> normalized_session_shares();
+
+/// Index of a service by exact name. Throws InvalidArgument when absent.
+[[nodiscard]] std::size_t service_index(std::string_view name);
+
+/// Aggregate session share (fraction, not percent) of each literature
+/// category, in enum order (IW, CS, MS).
+[[nodiscard]] std::vector<double> literature_category_shares();
+
+/// Dwell-time distribution of in-transit users crossing a BS: log10-normal
+/// around ~45 s. Shared across services (mobility is not service-specific).
+[[nodiscard]] const Log10Normal& dwell_time_distribution();
+
+}  // namespace mtd

@@ -1,0 +1,64 @@
+// Session-trace serialization: CSV export and ingestion.
+//
+// The library's analyses run on any TraceSink-fed dataset, not only the
+// built-in synthetic substrate. This module writes session traces to a
+// simple CSV schema and streams them back, so externally collected
+// session-level data (or traces produced by other tools) can be run through
+// the same aggregation, characterization and fitting pipeline.
+//
+// Schema (header required):
+//   bs,service,day,minute_of_day,volume_mb,duration_s
+// `service` is the catalogue name (quoted if it contains commas).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dataset/generator.hpp"
+#include "dataset/measurement.hpp"
+
+namespace mtd {
+
+/// Writes sessions to CSV as they arrive; also forwards per-minute counts
+/// when chained in front of another sink.
+class SessionCsvWriter final : public TraceSink {
+ public:
+  /// Opens `path` for writing and emits the header. `forward` (optional)
+  /// receives every callback after it is recorded.
+  explicit SessionCsvWriter(const std::string& path,
+                            TraceSink* forward = nullptr);
+  ~SessionCsvWriter() override;
+
+  SessionCsvWriter(const SessionCsvWriter&) = delete;
+  SessionCsvWriter& operator=(const SessionCsvWriter&) = delete;
+
+  void on_minute(const BaseStation& bs, std::size_t day,
+                 std::size_t minute_of_day, std::uint32_t count) override;
+  void on_session(const Session& session) override;
+
+  /// Flushes and closes the file (also done by the destructor).
+  void close();
+
+  [[nodiscard]] std::uint64_t sessions_written() const noexcept {
+    return sessions_;
+  }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  TraceSink* forward_;
+  std::uint64_t sessions_ = 0;
+};
+
+/// Streams a session CSV into a TraceSink. Per-minute arrival counts are
+/// reconstructed from the session rows (every (BS, day, minute) triple with
+/// at least one session gets its count; silent minutes are emitted as zero
+/// for the covered (BS, day) pairs so arrival statistics stay meaningful).
+///
+/// `network` supplies the BS metadata (decile, region, city, RAT); rows
+/// whose BS id is outside the network are rejected with ParseError.
+/// Returns the number of sessions replayed.
+std::uint64_t replay_csv_trace(const std::string& path,
+                               const Network& network, TraceSink& sink);
+
+}  // namespace mtd

@@ -1,0 +1,39 @@
+// Fixed-width text tables and CSV emission for the benchmark harnesses.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mtd {
+
+/// Accumulates rows of strings and prints them as an aligned text table with
+/// a header rule, mirroring the tables of the paper.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; it must have the same number of cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string num(double v, int precision = 2);
+  /// Formats as a percentage with the given precision (value 0.1 -> "10.0%").
+  static std::string pct(double fraction, int precision = 1);
+  /// Formats in scientific notation.
+  static std::string sci(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+
+  /// Writes the table as CSV.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner for benchmark output.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace mtd

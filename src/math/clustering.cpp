@@ -1,0 +1,172 @@
+#include "math/clustering.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/error.hpp"
+#include "math/metrics.hpp"
+
+namespace mtd {
+
+DistanceMatrix emd_distance_matrix(std::span<const BinnedPdf> pdfs,
+                                   bool center) {
+  require(!pdfs.empty(), "emd_distance_matrix: no PDFs");
+  std::vector<BinnedPdf> prepared;
+  prepared.reserve(pdfs.size());
+  for (const auto& pdf : pdfs) {
+    prepared.push_back(center ? pdf.centered() : pdf);
+  }
+  DistanceMatrix dist(pdfs.size());
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    for (std::size_t j = i + 1; j < prepared.size(); ++j) {
+      dist.set(i, j, emd(prepared[i], prepared[j]));
+    }
+  }
+  return dist;
+}
+
+std::vector<int> Dendrogram::labels(std::size_t k) const {
+  require(k >= 1 && k <= n_items_, "Dendrogram::labels: invalid k");
+  // Apply the first n - k merges with a union-find.
+  std::vector<std::size_t> parent(n_items_ + steps_.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  const auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  const std::size_t merges_to_apply = n_items_ - k;
+  for (std::size_t s = 0; s < merges_to_apply; ++s) {
+    const MergeStep& step = steps_[s];
+    parent[find(step.a)] = step.merged_id;
+    parent[find(step.b)] = step.merged_id;
+  }
+  // Densify root ids into 0..k-1.
+  std::map<std::size_t, int> root_to_label;
+  std::vector<int> labels(n_items_);
+  for (std::size_t i = 0; i < n_items_; ++i) {
+    const std::size_t root = find(i);
+    const auto [it, inserted] =
+        root_to_label.emplace(root, static_cast<int>(root_to_label.size()));
+    labels[i] = it->second;
+  }
+  return labels;
+}
+
+Dendrogram centroid_agglomerative_cluster(std::span<const BinnedPdf> pdfs,
+                                          std::span<const double> weights,
+                                          bool center) {
+  require(!pdfs.empty(), "centroid_agglomerative_cluster: no PDFs");
+  require(pdfs.size() == weights.size(),
+          "centroid_agglomerative_cluster: weights size mismatch");
+
+  struct Cluster {
+    std::size_t id;
+    BinnedPdf centroid;   // weighted, unnormalized mixture accumulator
+    double weight;
+  };
+
+  std::vector<Cluster> active;
+  active.reserve(pdfs.size());
+  for (std::size_t i = 0; i < pdfs.size(); ++i) {
+    BinnedPdf acc(pdfs[i].axis());
+    acc.accumulate(pdfs[i], weights[i]);
+    active.push_back(Cluster{i, std::move(acc), weights[i]});
+  }
+
+  const auto centroid_pdf = [center](const Cluster& c) {
+    BinnedPdf pdf = c.centroid;
+    pdf.normalize();
+    return center ? pdf.centered() : pdf;
+  };
+
+  std::vector<MergeStep> steps;
+  steps.reserve(pdfs.size() - 1);
+  std::size_t next_id = pdfs.size();
+
+  while (active.size() > 1) {
+    // Recompute normalized (and optionally centered) centroids once per pass.
+    std::vector<BinnedPdf> cents;
+    cents.reserve(active.size());
+    for (const auto& c : active) cents.push_back(centroid_pdf(c));
+
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0, bj = 1;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      for (std::size_t j = i + 1; j < active.size(); ++j) {
+        const double d = emd(cents[i], cents[j]);
+        if (d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+
+    Cluster merged{next_id, active[bi].centroid,
+                   active[bi].weight + active[bj].weight};
+    merged.centroid.accumulate(active[bj].centroid, 1.0);
+    steps.push_back(MergeStep{active[bi].id, active[bj].id, next_id, best});
+    ++next_id;
+
+    // Erase the higher index first to keep the lower one valid.
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(bj));
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(bi));
+    active.push_back(std::move(merged));
+  }
+
+  return Dendrogram(pdfs.size(), std::move(steps));
+}
+
+double silhouette_score(const DistanceMatrix& dist,
+                        std::span<const int> labels) {
+  require(dist.size() == labels.size(), "silhouette_score: size mismatch");
+  const std::size_t n = labels.size();
+  int k = 0;
+  for (int l : labels) k = std::max(k, l + 1);
+  if (k < 2) return 0.0;
+
+  std::vector<std::size_t> cluster_size(static_cast<std::size_t>(k), 0);
+  for (int l : labels) ++cluster_size[static_cast<std::size_t>(l)];
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto li = static_cast<std::size_t>(labels[i]);
+    if (cluster_size[li] <= 1) continue;  // convention: s(i) = 0
+
+    std::vector<double> sum_to(static_cast<std::size_t>(k), 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sum_to[static_cast<std::size_t>(labels[j])] += dist(i, j);
+    }
+    const double a =
+        sum_to[li] / static_cast<double>(cluster_size[li] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < static_cast<std::size_t>(k); ++c) {
+      if (c == li || cluster_size[c] == 0) continue;
+      b = std::min(b, sum_to[c] / static_cast<double>(cluster_size[c]));
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return total / static_cast<double>(n);
+}
+
+std::vector<double> silhouette_sweep(const DistanceMatrix& dist,
+                                     const Dendrogram& dendrogram,
+                                     std::size_t max_k) {
+  require(max_k >= 2, "silhouette_sweep: max_k must be >= 2");
+  max_k = std::min(max_k, dendrogram.n_items());
+  std::vector<double> scores;
+  scores.reserve(max_k - 1);
+  for (std::size_t k = 2; k <= max_k; ++k) {
+    const std::vector<int> labels = dendrogram.labels(k);
+    scores.push_back(silhouette_score(dist, labels));
+  }
+  return scores;
+}
+
+}  // namespace mtd

@@ -1,0 +1,89 @@
+// Centroid agglomerative hierarchical clustering and the Silhouette score.
+//
+// The paper clusters per-service traffic-volume PDFs: it repeatedly merges
+// the two closest PDFs (earth mover's distance), replaces them by their
+// mixture average (Eq. 2), and recomputes distances (Sec. 4.3). The cut
+// level is chosen by watching the Silhouette score across splits (Fig. 6b).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace mtd {
+
+/// Symmetric pairwise-distance matrix.
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(std::size_t n) : n_(n), d_(n * n, 0.0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const noexcept {
+    return d_[i * n_ + j];
+  }
+  void set(std::size_t i, std::size_t j, double v) noexcept {
+    d_[i * n_ + j] = v;
+    d_[j * n_ + i] = v;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> d_;
+};
+
+/// Pairwise EMD matrix of the given PDFs. When `center` is true, each PDF is
+/// first shifted to zero coordinate mean, comparing shapes irrespective of
+/// absolute scale (the normalization step of Sec. 4.3).
+[[nodiscard]] DistanceMatrix emd_distance_matrix(
+    std::span<const BinnedPdf> pdfs, bool center = true);
+
+/// One merge of the agglomeration: clusters `a` and `b` (ids) merged into a
+/// new cluster with id `merged_id` at the given centroid distance.
+struct MergeStep {
+  std::size_t a;
+  std::size_t b;
+  std::size_t merged_id;
+  double distance;
+};
+
+/// Result of a full agglomeration of n items: n-1 merge steps. Item i has
+/// cluster id i; the merge created by step k has id n + k.
+class Dendrogram {
+ public:
+  Dendrogram(std::size_t n_items, std::vector<MergeStep> steps)
+      : n_items_(n_items), steps_(std::move(steps)) {}
+
+  [[nodiscard]] std::size_t n_items() const noexcept { return n_items_; }
+  [[nodiscard]] std::span<const MergeStep> steps() const noexcept {
+    return steps_;
+  }
+
+  /// Flat cluster labels (0..k-1) produced by undoing the last k-1 merges.
+  [[nodiscard]] std::vector<int> labels(std::size_t k) const;
+
+ private:
+  std::size_t n_items_;
+  std::vector<MergeStep> steps_;
+};
+
+/// Centroid agglomerative clustering of weighted PDFs; centroids are the
+/// weighted mixture averages (Eq. 2) of their members and distances are EMDs
+/// between (optionally centered) centroids.
+[[nodiscard]] Dendrogram centroid_agglomerative_cluster(
+    std::span<const BinnedPdf> pdfs, std::span<const double> weights,
+    bool center = true);
+
+/// Mean Silhouette coefficient of `labels` under the distance matrix.
+/// Points in singleton clusters contribute 0. Requires 2 <= k <= n distinct
+/// labels for a meaningful value; returns 0 when k < 2.
+[[nodiscard]] double silhouette_score(const DistanceMatrix& dist,
+                                      std::span<const int> labels);
+
+/// Silhouette score for every cut level k = 2..max_k of the dendrogram.
+[[nodiscard]] std::vector<double> silhouette_sweep(
+    const DistanceMatrix& dist, const Dendrogram& dendrogram,
+    std::size_t max_k);
+
+}  // namespace mtd

@@ -1,0 +1,147 @@
+#include "math/em_gmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace mtd {
+
+Log10NormalMixture EmGmmResult::mixture() const {
+  std::vector<Log10Normal> dists;
+  dists.reserve(means.size());
+  for (std::size_t k = 0; k < means.size(); ++k) {
+    dists.emplace_back(means[k], sigmas[k]);
+  }
+  return Log10NormalMixture(weights, std::move(dists));
+}
+
+double EmGmmResult::pdf(double u) const {
+  double total = 0.0;
+  for (std::size_t k = 0; k < means.size(); ++k) {
+    const double z = (u - means[k]) / sigmas[k];
+    total += weights[k] * std::exp(-0.5 * z * z) /
+             (sigmas[k] * std::sqrt(2.0 * std::numbers::pi));
+  }
+  return total;
+}
+
+EmGmmResult fit_em_gmm(const BinnedPdf& pdf, const EmGmmOptions& options) {
+  require(options.components >= 1, "fit_em_gmm: need at least one component");
+  require(options.min_sigma > 0.0, "fit_em_gmm: min_sigma must be positive");
+
+  // Observations: bin centers weighted by bin mass.
+  const Axis& axis = pdf.axis();
+  std::vector<double> us, masses;
+  double total_mass = 0.0;
+  for (std::size_t i = 0; i < pdf.size(); ++i) {
+    if (pdf[i] <= 0.0) continue;
+    us.push_back(axis.center(i));
+    masses.push_back(pdf[i] * axis.width());
+    total_mass += masses.back();
+  }
+  require(total_mass > 0.0, "fit_em_gmm: empty density");
+  require(us.size() >= options.components,
+          "fit_em_gmm: more components than populated bins");
+  for (double& m : masses) m /= total_mass;
+
+  const std::size_t K = options.components;
+  const std::size_t n = us.size();
+
+  EmGmmResult result;
+  result.weights.assign(K, 1.0 / static_cast<double>(K));
+  result.means.resize(K);
+  result.sigmas.assign(K, 0.0);
+
+  // Deterministic init: means at the mass quantiles, shared sigma.
+  {
+    double cum = 0.0;
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < n && k < K; ++i) {
+      cum += masses[i];
+      const double target =
+          (static_cast<double>(k) + 0.5) / static_cast<double>(K);
+      if (cum >= target) {
+        result.means[k++] = us[i];
+      }
+    }
+    for (; k < K; ++k) result.means[k] = us[n - 1];
+    double mean = 0.0, var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mean += masses[i] * us[i];
+    for (std::size_t i = 0; i < n; ++i) {
+      var += masses[i] * (us[i] - mean) * (us[i] - mean);
+    }
+    const double sigma0 =
+        std::max(std::sqrt(var) / static_cast<double>(K), options.min_sigma);
+    std::fill(result.sigmas.begin(), result.sigmas.end(), sigma0);
+  }
+
+  std::vector<double> resp(n * K, 0.0);
+  double prev_ll = -std::numeric_limits<double>::infinity();
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // E step.
+    double log_likelihood = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double denom = 0.0;
+      for (std::size_t k = 0; k < K; ++k) {
+        const double z = (us[i] - result.means[k]) / result.sigmas[k];
+        const double p = result.weights[k] * std::exp(-0.5 * z * z) /
+                         (result.sigmas[k] *
+                          std::sqrt(2.0 * std::numbers::pi));
+        resp[i * K + k] = p;
+        denom += p;
+      }
+      denom = std::max(denom, 1e-300);
+      for (std::size_t k = 0; k < K; ++k) resp[i * K + k] /= denom;
+      log_likelihood += masses[i] * std::log(denom);
+    }
+    result.log_likelihood = log_likelihood;
+
+    // M step (mass-weighted).
+    for (std::size_t k = 0; k < K; ++k) {
+      double nk = 0.0, mean = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        nk += masses[i] * resp[i * K + k];
+        mean += masses[i] * resp[i * K + k] * us[i];
+      }
+      nk = std::max(nk, 1e-12);
+      mean /= nk;
+      double var = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        var += masses[i] * resp[i * K + k] * (us[i] - mean) * (us[i] - mean);
+      }
+      result.weights[k] = nk;
+      result.means[k] = mean;
+      result.sigmas[k] = std::max(std::sqrt(var / nk), options.min_sigma);
+    }
+
+    const double improvement =
+        std::abs(log_likelihood - prev_ll) /
+        std::max(std::abs(log_likelihood), 1e-12);
+    if (improvement < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    prev_ll = log_likelihood;
+  }
+
+  // Sort components by mean for stable reporting.
+  std::vector<std::size_t> order(K);
+  for (std::size_t k = 0; k < K; ++k) order[k] = k;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return result.means[a] < result.means[b];
+  });
+  EmGmmResult sorted = result;
+  for (std::size_t k = 0; k < K; ++k) {
+    sorted.weights[k] = result.weights[order[k]];
+    sorted.means[k] = result.means[order[k]];
+    sorted.sigmas[k] = result.sigmas[order[k]];
+  }
+  return sorted;
+}
+
+}  // namespace mtd

@@ -1,0 +1,73 @@
+#include "math/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mtd {
+
+double kolmogorov_survival(double x) {
+  if (x <= 0.0) return 1.0;
+  // Q(x) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 x^2); converges very fast.
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * x * x);
+    sum += (k % 2 == 1 ? term : -term);
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_test(std::span<const double> samples,
+                 const std::function<double(double)>& cdf) {
+  require(samples.size() >= 5, "ks_test: need at least 5 samples");
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = cdf(sorted[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(f - lo), std::abs(hi - f)});
+  }
+
+  KsResult result;
+  result.statistic = d;
+  const double en = std::sqrt(n);
+  result.p_value = kolmogorov_survival((en + 0.12 + 0.11 / en) * d);
+  return result;
+}
+
+KsResult ks_test(std::span<const double> a, std::span<const double> b) {
+  require(a.size() >= 5 && b.size() >= 5,
+          "ks_test: need at least 5 samples per side");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0, ib = 0;
+  double d = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double va = sa[ia];
+    const double vb = sb[ib];
+    if (va <= vb) ++ia;
+    if (vb <= va) ++ib;
+    d = std::max(d, std::abs(static_cast<double>(ia) / na -
+                             static_cast<double>(ib) / nb));
+  }
+
+  KsResult result;
+  result.statistic = d;
+  const double en = std::sqrt(na * nb / (na + nb));
+  result.p_value = kolmogorov_survival((en + 0.12 + 0.11 / en) * d);
+  return result;
+}
+
+}  // namespace mtd

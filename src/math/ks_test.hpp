@@ -1,0 +1,37 @@
+// Kolmogorov-Smirnov goodness-of-fit tests.
+//
+// Used by the validation pipeline to check that sampled data follows a
+// fitted distribution (one-sample) and that two sample populations share a
+// distribution (two-sample), complementing the EMD-based comparisons the
+// paper uses.
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace mtd {
+
+struct KsResult {
+  /// Supremum distance between the empirical CDF(s).
+  double statistic = 0.0;
+  /// Asymptotic p-value (Kolmogorov distribution; accurate for n >= ~35).
+  double p_value = 0.0;
+
+  /// True when the null hypothesis survives at the given level.
+  [[nodiscard]] bool accept(double alpha = 0.05) const noexcept {
+    return p_value > alpha;
+  }
+};
+
+/// One-sample KS test of `samples` against a theoretical CDF.
+[[nodiscard]] KsResult ks_test(std::span<const double> samples,
+                               const std::function<double(double)>& cdf);
+
+/// Two-sample KS test.
+[[nodiscard]] KsResult ks_test(std::span<const double> a,
+                               std::span<const double> b);
+
+/// Survival function of the Kolmogorov distribution, Q(x) = P(K > x).
+[[nodiscard]] double kolmogorov_survival(double x);
+
+}  // namespace mtd

@@ -1,0 +1,210 @@
+#include "math/levenberg_marquardt.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "math/linalg.hpp"
+
+namespace mtd {
+
+namespace {
+
+double chi2_of(const ModelFunction& f, std::span<const double> xs,
+               std::span<const double> ys, std::span<const double> ws,
+               std::span<const double> params) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - f(xs[i], params);
+    const double w = ws.empty() ? 1.0 : ws[i];
+    s += w * r * r;
+  }
+  return s;
+}
+
+}  // namespace
+
+LmResult levenberg_marquardt(const ModelFunction& f,
+                             std::span<const double> xs,
+                             std::span<const double> ys,
+                             std::span<const double> weights,
+                             std::vector<double> initial,
+                             const LmOptions& options) {
+  require(xs.size() == ys.size(), "levenberg_marquardt: xs/ys size mismatch");
+  require(weights.empty() || weights.size() == xs.size(),
+          "levenberg_marquardt: weights size mismatch");
+  require(!initial.empty(), "levenberg_marquardt: no parameters");
+  require(xs.size() >= initial.size(),
+          "levenberg_marquardt: fewer points than parameters");
+
+  const std::size_t n = xs.size();
+  const std::size_t m = initial.size();
+
+  std::vector<double> params = std::move(initial);
+  double lambda = options.initial_damping;
+  double chi2 = chi2_of(f, xs, ys, weights, params);
+
+  LmResult result;
+  std::size_t small_improvements = 0;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Numeric Jacobian (central differences) and residuals.
+    Matrix jac(n, m);
+    std::vector<double> resid(n);
+    std::vector<double> probe = params;
+    for (std::size_t j = 0; j < m; ++j) {
+      const double h =
+          options.jacobian_step * std::max(1.0, std::abs(params[j]));
+      probe[j] = params[j] + h;
+      std::vector<double> up(n);
+      for (std::size_t i = 0; i < n; ++i) up[i] = f(xs[i], probe);
+      probe[j] = params[j] - h;
+      for (std::size_t i = 0; i < n; ++i) {
+        jac(i, j) = (up[i] - f(xs[i], probe)) / (2.0 * h);
+      }
+      probe[j] = params[j];
+    }
+    for (std::size_t i = 0; i < n; ++i) resid[i] = ys[i] - f(xs[i], params);
+
+    // Weighted normal equations: (J^T W J + lambda diag) dp = J^T W r.
+    Matrix jtj(m, m);
+    std::vector<double> jtr(m, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double w = weights.empty() ? 1.0 : weights[i];
+      for (std::size_t a = 0; a < m; ++a) {
+        jtr[a] += w * jac(i, a) * resid[i];
+        for (std::size_t b = a; b < m; ++b) {
+          jtj(a, b) += w * jac(i, a) * jac(i, b);
+        }
+      }
+    }
+    for (std::size_t a = 0; a < m; ++a) {
+      for (std::size_t b = 0; b < a; ++b) jtj(a, b) = jtj(b, a);
+    }
+
+    bool stepped = false;
+    for (int attempt = 0; attempt < 12 && !stepped; ++attempt) {
+      Matrix damped = jtj;
+      for (std::size_t a = 0; a < m; ++a) {
+        damped(a, a) += lambda * std::max(jtj(a, a), 1e-12);
+      }
+      std::vector<double> dp;
+      try {
+        dp = solve(damped, jtr);
+      } catch (const NumericalError&) {
+        lambda *= options.damping_increase;
+        continue;
+      }
+      std::vector<double> trial = params;
+      for (std::size_t a = 0; a < m; ++a) trial[a] += dp[a];
+      const double trial_chi2 = chi2_of(f, xs, ys, weights, trial);
+      if (std::isfinite(trial_chi2) && trial_chi2 < chi2) {
+        const double rel = (chi2 - trial_chi2) / std::max(chi2, 1e-300);
+        params = std::move(trial);
+        chi2 = trial_chi2;
+        lambda = std::max(lambda * options.damping_decrease, 1e-12);
+        stepped = true;
+        small_improvements = rel < options.tolerance ? small_improvements + 1
+                                                     : 0;
+      } else {
+        lambda *= options.damping_increase;
+      }
+    }
+
+    if (!stepped || small_improvements >= 3) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.params = std::move(params);
+  result.chi2 = chi2;
+  return result;
+}
+
+double PowerLawFit::operator()(double d) const {
+  return alpha * std::pow(d, beta);
+}
+
+double PowerLawFit::inverse(double v) const {
+  require(alpha > 0.0 && beta != 0.0, "PowerLawFit::inverse: degenerate fit");
+  require(v > 0.0, "PowerLawFit::inverse: volume must be positive");
+  return std::pow(v / alpha, 1.0 / beta);
+}
+
+PowerLawFit fit_power_law(std::span<const double> xs,
+                          std::span<const double> ys,
+                          std::span<const double> weights) {
+  require(xs.size() == ys.size(), "fit_power_law: size mismatch");
+  require(xs.size() >= 2, "fit_power_law: need at least two points");
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    require(xs[i] > 0.0 && ys[i] > 0.0, "fit_power_law: non-positive data");
+  }
+
+  // Log-log linear regression for the initial guess.
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  const double mx = mean(lx), my = mean(ly);
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < lx.size(); ++i) {
+    sxy += (lx[i] - mx) * (ly[i] - my);
+    sxx += (lx[i] - mx) * (lx[i] - mx);
+  }
+  const double beta0 = sxx > 0.0 ? sxy / sxx : 1.0;
+  const double alpha0 = std::exp(my - beta0 * mx);
+
+  // Refine in linear space with LM, as the paper does.
+  const ModelFunction model = [](double x, std::span<const double> p) {
+    return p[0] * std::pow(x, p[1]);
+  };
+  const LmResult lm =
+      levenberg_marquardt(model, xs, ys, weights, {alpha0, beta0});
+
+  PowerLawFit fit;
+  fit.alpha = lm.params[0];
+  fit.beta = lm.params[1];
+  fit.converged = lm.converged;
+  std::vector<double> pred(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) pred[i] = fit(xs[i]);
+  fit.r_squared = r_squared(ys, pred);
+  return fit;
+}
+
+double ExponentialFit::operator()(double x) const {
+  return a * std::exp(b * x);
+}
+
+ExponentialFit fit_exponential(std::span<const double> xs,
+                               std::span<const double> ys) {
+  require(xs.size() == ys.size(), "fit_exponential: size mismatch");
+  require(xs.size() >= 2, "fit_exponential: need at least two points");
+  std::vector<double> ly(ys.size());
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    require(ys[i] > 0.0, "fit_exponential: non-positive data");
+    ly[i] = std::log(ys[i]);
+  }
+  const double mx = mean(xs), my = mean(ly);
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ly[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+  }
+  require(sxx > 0.0, "fit_exponential: degenerate x values");
+
+  ExponentialFit fit;
+  fit.b = sxy / sxx;
+  fit.a = std::exp(my - fit.b * mx);
+  std::vector<double> pred(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    pred[i] = std::log(fit.a) + fit.b * xs[i];
+  }
+  fit.r_squared_log = r_squared(ly, pred);
+  return fit;
+}
+
+}  // namespace mtd

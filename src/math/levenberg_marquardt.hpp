@@ -1,0 +1,85 @@
+// Levenberg-Marquardt non-linear least squares.
+//
+// The paper fits the power-law duration-volume models v_s(d) = alpha * d^beta
+// with the Levenberg-Marquardt method (Sec. 5.3); this is a general-purpose
+// implementation with a numeric Jacobian.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace mtd {
+
+/// A scalar model y = f(x; params).
+using ModelFunction =
+    std::function<double(double x, std::span<const double> params)>;
+
+struct LmOptions {
+  std::size_t max_iterations = 200;
+  /// Convergence: relative reduction of chi^2 below this for 3 iterations.
+  double tolerance = 1e-10;
+  double initial_damping = 1e-3;
+  double damping_increase = 10.0;
+  double damping_decrease = 0.1;
+  /// Relative step for the central-difference Jacobian.
+  double jacobian_step = 1e-6;
+};
+
+struct LmResult {
+  std::vector<double> params;
+  /// Weighted sum of squared residuals at the solution.
+  double chi2 = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes sum_i w_i (y_i - f(x_i; p))^2 over p, starting from `initial`.
+///
+/// `weights` may be empty (uniform weights). Throws InvalidArgument on size
+/// mismatches and NumericalError when every damping retry fails to produce a
+/// solvable system.
+[[nodiscard]] LmResult levenberg_marquardt(const ModelFunction& f,
+                                           std::span<const double> xs,
+                                           std::span<const double> ys,
+                                           std::span<const double> weights,
+                                           std::vector<double> initial,
+                                           const LmOptions& options = {});
+
+/// Result of a power-law fit v(d) = alpha * d^beta.
+struct PowerLawFit {
+  double alpha = 0.0;
+  double beta = 0.0;
+  /// Coefficient of determination in linear space.
+  double r_squared = 0.0;
+  bool converged = false;
+
+  [[nodiscard]] double operator()(double d) const;
+  /// Inverse: the duration that maps to volume v.
+  [[nodiscard]] double inverse(double v) const;
+};
+
+/// Fits a power law to (xs, ys) pairs with optional weights. Initial values
+/// come from a log-log linear regression, refined by Levenberg-Marquardt in
+/// linear space. All xs and ys must be positive.
+[[nodiscard]] PowerLawFit fit_power_law(std::span<const double> xs,
+                                        std::span<const double> ys,
+                                        std::span<const double> weights = {});
+
+/// Result of an exponential decay fit y = a * exp(b * x).
+struct ExponentialFit {
+  double a = 0.0;
+  double b = 0.0;
+  /// R^2 computed in log space, as the paper reports for the service-rank
+  /// law of Fig. 4.
+  double r_squared_log = 0.0;
+
+  [[nodiscard]] double operator()(double x) const;
+};
+
+/// Fits y = a*exp(b*x) by linear regression of log(y) on x. ys must be
+/// positive.
+[[nodiscard]] ExponentialFit fit_exponential(std::span<const double> xs,
+                                             std::span<const double> ys);
+
+}  // namespace mtd

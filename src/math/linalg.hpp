@@ -1,0 +1,52 @@
+// Minimal dense linear algebra: just enough for Savitzky-Golay coefficient
+// computation and the Levenberg-Marquardt normal equations.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mtd {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    require(rows > 0 && cols > 0, "Matrix: dimensions must be positive");
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// this^T * this (Gram matrix), a cols x cols symmetric matrix.
+  [[nodiscard]] Matrix gram() const;
+
+  /// this^T * v for a vector of length rows().
+  [[nodiscard]] std::vector<double> transpose_times(
+      std::span<const double> v) const;
+
+  /// this * v for a vector of length cols().
+  [[nodiscard]] std::vector<double> times(std::span<const double> v) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b in place via Gaussian elimination with partial pivoting.
+/// A must be square with rows() == b.size(). Throws NumericalError when the
+/// system is singular to working precision.
+[[nodiscard]] std::vector<double> solve(Matrix a, std::vector<double> b);
+
+}  // namespace mtd

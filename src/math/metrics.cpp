@@ -1,0 +1,61 @@
+#include "math/metrics.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mtd {
+
+double emd(std::span<const double> pdf_a, std::span<const double> pdf_b,
+           double bin_width) {
+  require(pdf_a.size() == pdf_b.size(), "emd: grid size mismatch");
+  require(bin_width > 0.0, "emd: bin width must be positive");
+  require(!pdf_a.empty(), "emd: empty grids");
+
+  double mass_a = 0.0, mass_b = 0.0;
+  for (double v : pdf_a) mass_a += v;
+  for (double v : pdf_b) mass_b += v;
+  require(mass_a > 0.0 && mass_b > 0.0, "emd: zero-mass distribution");
+
+  // EMD = sum over bins of |CDF_a - CDF_b| * bin_width, with both CDFs on
+  // normalized mass.
+  double cum_a = 0.0, cum_b = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < pdf_a.size(); ++i) {
+    cum_a += pdf_a[i] / mass_a;
+    cum_b += pdf_b[i] / mass_b;
+    total += std::abs(cum_a - cum_b);
+  }
+  return total * bin_width;
+}
+
+double emd(const BinnedPdf& a, const BinnedPdf& b) {
+  require(a.axis() == b.axis(), "emd: axis mismatch");
+  return emd(a.density(), b.density(), a.axis().width());
+}
+
+double squared_euclidean(std::span<const double> a,
+                         std::span<const double> b) {
+  require(a.size() == b.size(), "squared_euclidean: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double squared_euclidean(const BinnedMeanCurve& a, const BinnedMeanCurve& b) {
+  require(a.axis() == b.axis(), "squared_euclidean: axis mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const bool has_a = a.weight(i) > 0.0;
+    const bool has_b = b.weight(i) > 0.0;
+    if (!has_a && !has_b) continue;
+    const double va = has_a ? a.value(i) : 0.0;
+    const double vb = has_b ? b.value(i) : 0.0;
+    s += (va - vb) * (va - vb);
+  }
+  return s;
+}
+
+}  // namespace mtd

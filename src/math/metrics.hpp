@@ -1,0 +1,36 @@
+// Distances between distributions and curves.
+//
+// The paper compares traffic-volume PDFs with the earth mover's distance
+// (EMD, a.k.a. 1-Wasserstein) and duration-volume pair vectors with the
+// squared Euclidean distance (SED).
+#pragma once
+
+#include <span>
+
+#include "common/histogram.hpp"
+
+namespace mtd {
+
+/// 1-D earth mover's distance between two densities defined on the same
+/// uniform grid with spacing `bin_width`. Both inputs are renormalized to
+/// unit mass internally, so unnormalized histograms are accepted.
+///
+/// For 1-D distributions EMD reduces to the L1 distance between CDFs:
+///   EMD = integral |CDF_a(u) - CDF_b(u)| du.
+[[nodiscard]] double emd(std::span<const double> pdf_a,
+                         std::span<const double> pdf_b, double bin_width);
+
+/// EMD between two BinnedPdf on the same axis.
+[[nodiscard]] double emd(const BinnedPdf& a, const BinnedPdf& b);
+
+/// Squared Euclidean distance between two equally-sized value vectors.
+[[nodiscard]] double squared_euclidean(std::span<const double> a,
+                                       std::span<const double> b);
+
+/// SED between the per-bin mean values of two curves on the same axis.
+/// Empty bins contribute the other curve's value squared only when exactly
+/// one side is empty; bins empty on both sides are skipped.
+[[nodiscard]] double squared_euclidean(const BinnedMeanCurve& a,
+                                       const BinnedMeanCurve& b);
+
+}  // namespace mtd

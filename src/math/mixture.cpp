@@ -1,0 +1,93 @@
+#include "math/mixture.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mtd {
+
+Log10NormalMixture::Log10NormalMixture(std::vector<double> relative_weights,
+                                       std::vector<Log10Normal> dists) {
+  require(!dists.empty(), "Log10NormalMixture: no components");
+  require(relative_weights.size() == dists.size(),
+          "Log10NormalMixture: weight/component count mismatch");
+  double total = 0.0;
+  for (double w : relative_weights) {
+    require(w > 0.0, "Log10NormalMixture: weights must be positive");
+    total += w;
+  }
+  components_.reserve(dists.size());
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    components_.push_back(Component{relative_weights[i] / total, dists[i]});
+  }
+}
+
+Log10NormalMixture Log10NormalMixture::from_main_and_peaks(
+    const Log10Normal& main, std::span<const double> peak_weights,
+    std::span<const Log10Normal> peaks) {
+  require(peak_weights.size() == peaks.size(),
+          "from_main_and_peaks: weight/peak count mismatch");
+  std::vector<double> weights{1.0};
+  std::vector<Log10Normal> dists{main};
+  for (std::size_t i = 0; i < peaks.size(); ++i) {
+    weights.push_back(peak_weights[i]);
+    dists.push_back(peaks[i]);
+  }
+  return Log10NormalMixture(std::move(weights), std::move(dists));
+}
+
+double Log10NormalMixture::pdf_log10(double u) const noexcept {
+  double s = 0.0;
+  for (const auto& c : components_) s += c.weight * c.dist.pdf_log10(u);
+  return s;
+}
+
+double Log10NormalMixture::pdf(double x) const noexcept {
+  double s = 0.0;
+  for (const auto& c : components_) s += c.weight * c.dist.pdf(x);
+  return s;
+}
+
+double Log10NormalMixture::cdf(double x) const noexcept {
+  double s = 0.0;
+  for (const auto& c : components_) s += c.weight * c.dist.cdf(x);
+  return s;
+}
+
+double Log10NormalMixture::quantile(double p) const {
+  require(p > 0.0 && p < 1.0, "Log10NormalMixture::quantile: p outside (0,1)");
+  // Bracket in u = log10(x) space using the extreme component quantiles.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& c : components_) {
+    lo = std::min(lo, c.dist.mu() - 10.0 * c.dist.sigma());
+    hi = std::max(hi, c.dist.mu() + 10.0 * c.dist.sigma());
+  }
+  for (int iter = 0; iter < 200 && hi - lo > 1e-12; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(std::pow(10.0, mid)) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::pow(10.0, 0.5 * (lo + hi));
+}
+
+double Log10NormalMixture::sample(Rng& rng) const noexcept {
+  double u = rng.uniform();
+  for (const auto& c : components_) {
+    if (u < c.weight) return c.dist.sample(rng);
+    u -= c.weight;
+  }
+  return components_.back().dist.sample(rng);
+}
+
+double Log10NormalMixture::mean() const noexcept {
+  double s = 0.0;
+  for (const auto& c : components_) s += c.weight * c.dist.mean();
+  return s;
+}
+
+}  // namespace mtd

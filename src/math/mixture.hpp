@@ -1,0 +1,59 @@
+// Finite mixtures of log10-normal components.
+//
+// The paper's traffic-volume model (Eq. 5) is
+//   F~_s(x) = ( f_s(x) + sum_n k_{s,n} f_{s,n}(x) ) / ( 1 + sum_n k_{s,n} )
+// i.e. a main log-normal plus up to three residual-peak log-normals with
+// relative weights k_{s,n}. This class stores the normalized mixture and
+// provides density, CDF, quantile and sampling.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "math/distributions.hpp"
+
+namespace mtd {
+
+class Log10NormalMixture {
+ public:
+  struct Component {
+    double weight;  // normalized; sums to 1 over the mixture
+    Log10Normal dist;
+  };
+
+  /// Builds a mixture from relative weights (they are normalized internally;
+  /// all must be positive).
+  Log10NormalMixture(std::vector<double> relative_weights,
+                     std::vector<Log10Normal> dists);
+
+  /// Paper Eq. (5): main component (implicit relative weight 1) plus peaks
+  /// with relative weights k_n.
+  static Log10NormalMixture from_main_and_peaks(
+      const Log10Normal& main, std::span<const double> peak_weights,
+      std::span<const Log10Normal> peaks);
+
+  [[nodiscard]] std::span<const Component> components() const noexcept {
+    return components_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return components_.size();
+  }
+
+  /// Density over u = log10(x).
+  [[nodiscard]] double pdf_log10(double u) const noexcept;
+  /// Density over x.
+  [[nodiscard]] double pdf(double x) const noexcept;
+  [[nodiscard]] double cdf(double x) const noexcept;
+  /// Numeric inverse CDF (bisection over log10 x); p in (0, 1).
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double sample(Rng& rng) const noexcept;
+
+  /// Mixture mean of x.
+  [[nodiscard]] double mean() const noexcept;
+
+ private:
+  std::vector<Component> components_;
+};
+
+}  // namespace mtd

@@ -1,0 +1,97 @@
+#include "math/savgol.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "math/linalg.hpp"
+
+namespace mtd {
+
+SavitzkyGolay::SavitzkyGolay(std::size_t window, std::size_t poly_order,
+                             std::size_t deriv, double delta)
+    : window_(window), poly_order_(poly_order), deriv_(deriv), delta_(delta) {
+  require(window % 2 == 1, "SavitzkyGolay: window must be odd");
+  require(window > poly_order, "SavitzkyGolay: window must exceed order");
+  require(deriv <= poly_order, "SavitzkyGolay: deriv must be <= order");
+  require(delta > 0.0, "SavitzkyGolay: delta must be positive");
+  coeffs_ = kernel_at(0);
+}
+
+std::vector<double> SavitzkyGolay::kernel_at(long at) const {
+  const long h = static_cast<long>(window_ / 2);
+  const std::size_t m = poly_order_ + 1;
+
+  // Vandermonde design matrix over window offsets z in [-h, h].
+  Matrix a(window_, m);
+  for (long z = -h; z <= h; ++z) {
+    double p = 1.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      a(static_cast<std::size_t>(z + h), j) = p;
+      p *= static_cast<double>(z);
+    }
+  }
+
+  // v_j = d^deriv/dz^deriv [z^j] evaluated at z = at.
+  std::vector<double> v(m, 0.0);
+  for (std::size_t j = deriv_; j < m; ++j) {
+    double factor = 1.0;
+    for (std::size_t k = 0; k < deriv_; ++k) {
+      factor *= static_cast<double>(j - k);
+    }
+    v[j] = factor * std::pow(static_cast<double>(at),
+                             static_cast<double>(j - deriv_));
+  }
+
+  // kernel = A (A^T A)^{-1} v, scaled by the sample spacing.
+  const std::vector<double> x = solve(a.gram(), v);
+  std::vector<double> kernel = a.times(x);
+  const double scale = 1.0 / std::pow(delta_, static_cast<double>(deriv_));
+  for (double& k : kernel) k *= scale;
+  return kernel;
+}
+
+std::vector<double> SavitzkyGolay::apply(std::span<const double> signal) const {
+  require(signal.size() >= window_, "SavitzkyGolay: signal shorter than window");
+  const std::size_t n = signal.size();
+  const std::size_t h = window_ / 2;
+  std::vector<double> out(n, 0.0);
+
+  // Interior: plain convolution with the centered kernel.
+  for (std::size_t i = h; i + h < n; ++i) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < window_; ++k) {
+      s += coeffs_[k] * signal[i - h + k];
+    }
+    out[i] = s;
+  }
+
+  // Edges: evaluate the window polynomial at off-center offsets, using the
+  // first/last full window of samples.
+  for (std::size_t i = 0; i < h; ++i) {
+    const auto at = static_cast<long>(i) - static_cast<long>(h);
+    const std::vector<double> k = kernel_at(at);
+    double s_lo = 0.0, s_hi = 0.0;
+    for (std::size_t j = 0; j < window_; ++j) {
+      s_lo += k[j] * signal[j];
+      s_hi += k[j] * signal[n - window_ + j];
+    }
+    out[i] = s_lo;
+    out[n - 1 - i] = 0.0;  // placeholder, overwritten below
+    // Mirror offset for the trailing edge: +at relative to last window center.
+    const std::vector<double> k_hi = kernel_at(-at);
+    s_hi = 0.0;
+    for (std::size_t j = 0; j < window_; ++j) {
+      s_hi += k_hi[j] * signal[n - window_ + j];
+    }
+    out[n - 1 - i] = s_hi;
+  }
+  return out;
+}
+
+std::vector<double> savgol_derivative(std::span<const double> signal,
+                                      std::size_t window, double delta) {
+  const SavitzkyGolay filter(window, /*poly_order=*/1, /*deriv=*/1, delta);
+  return filter.apply(signal);
+}
+
+}  // namespace mtd

@@ -1,0 +1,53 @@
+// Savitzky-Golay smoothing and differentiation filters.
+//
+// The residual-peak detection step of the paper's mixture-modeling algorithm
+// (Sec. 5.2) smooths the first derivative of the residual probability with a
+// first-order Savitzky-Golay filter; this module provides the general filter.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mtd {
+
+/// A Savitzky-Golay FIR filter of odd window length `window`, polynomial
+/// order `poly_order` and derivative order `deriv` (0 = smoothing).
+///
+/// Coefficients are obtained by least-squares-fitting a polynomial to the
+/// window and evaluating its `deriv`-th derivative at the window center,
+/// which reduces to a fixed convolution kernel.
+class SavitzkyGolay {
+ public:
+  /// `delta` is the sample spacing; derivatives are scaled by 1/delta^deriv.
+  SavitzkyGolay(std::size_t window, std::size_t poly_order,
+                std::size_t deriv = 0, double delta = 1.0);
+
+  [[nodiscard]] std::span<const double> coefficients() const noexcept {
+    return coeffs_;
+  }
+
+  /// Applies the filter to `signal`. Edges are handled by fitting the window
+  /// polynomial at off-center positions (the standard "interp" edge mode), so
+  /// the output has the same length as the input with no artificial padding.
+  [[nodiscard]] std::vector<double> apply(
+      std::span<const double> signal) const;
+
+ private:
+  // Kernel for evaluating the fit at offset `at` from the window center
+  // (at = 0 is the interior kernel; at != 0 handles the edges).
+  [[nodiscard]] std::vector<double> kernel_at(long at) const;
+
+  std::size_t window_;
+  std::size_t poly_order_;
+  std::size_t deriv_;
+  double delta_;
+  std::vector<double> coeffs_;
+};
+
+/// Convenience: smoothed first derivative of `signal` with the given window
+/// and polynomial order 1 (the configuration used by the paper).
+[[nodiscard]] std::vector<double> savgol_derivative(
+    std::span<const double> signal, std::size_t window, double delta = 1.0);
+
+}  // namespace mtd

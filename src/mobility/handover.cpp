@@ -1,0 +1,171 @@
+#include "mobility/handover.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mtd {
+
+const char* to_string(MobilityState m) noexcept {
+  switch (m) {
+    case MobilityState::kStationary: return "stationary";
+    case MobilityState::kPedestrian: return "pedestrian";
+    case MobilityState::kVehicular: return "vehicular";
+  }
+  return "?";
+}
+
+double HandoverChain::total_volume_mb() const noexcept {
+  double total = 0.0;
+  for (const SessionSegment& s : segments) total += s.volume_mb;
+  return total;
+}
+
+double HandoverChain::total_duration_s() const noexcept {
+  double total = 0.0;
+  for (const SessionSegment& s : segments) total += s.duration_s;
+  return total;
+}
+
+HandoverChainGenerator::HandoverChainGenerator(MobilityConfig config)
+    : config_(config) {
+  require(config.p_stationary >= 0.0 && config.p_pedestrian >= 0.0 &&
+              config.p_vehicular >= 0.0,
+          "HandoverChainGenerator: negative regime probability");
+  const double total =
+      config.p_stationary + config.p_pedestrian + config.p_vehicular;
+  require(total > 0.0, "HandoverChainGenerator: zero regime probabilities");
+  require(config.max_segments >= 1,
+          "HandoverChainGenerator: max_segments must be >= 1");
+  require(config.pedestrian_dwell_median_s > 0.0 &&
+              config.vehicular_dwell_median_s > 0.0,
+          "HandoverChainGenerator: dwell medians must be positive");
+  cum_pedestrian_ = config.p_stationary / total + config.p_pedestrian / total;
+  cum_vehicular_ = 1.0;
+  // Stationary CDF breakpoint is p_stationary / total (implicit below).
+}
+
+MobilityState HandoverChainGenerator::sample_state(Rng& rng) const {
+  const double total =
+      config_.p_stationary + config_.p_pedestrian + config_.p_vehicular;
+  const double u = rng.uniform();
+  if (u < config_.p_stationary / total) return MobilityState::kStationary;
+  if (u < cum_pedestrian_) return MobilityState::kPedestrian;
+  return MobilityState::kVehicular;
+}
+
+Log10Normal HandoverChainGenerator::dwell_distribution(
+    MobilityState state) const {
+  switch (state) {
+    case MobilityState::kPedestrian:
+      return Log10Normal(std::log10(config_.pedestrian_dwell_median_s),
+                         config_.dwell_sigma_log10);
+    case MobilityState::kVehicular:
+      return Log10Normal(std::log10(config_.vehicular_dwell_median_s),
+                         config_.dwell_sigma_log10);
+    case MobilityState::kStationary:
+      break;
+  }
+  throw InvalidArgument("dwell_distribution: stationary UEs have no dwell");
+}
+
+HandoverChain HandoverChainGenerator::split(double volume_mb,
+                                            double duration_s,
+                                            Rng& rng) const {
+  return split_with_state(volume_mb, duration_s, sample_state(rng), rng);
+}
+
+HandoverChain HandoverChainGenerator::split_with_state(double volume_mb,
+                                                       double duration_s,
+                                                       MobilityState state,
+                                                       Rng& rng) const {
+  require(volume_mb > 0.0, "split: volume must be positive");
+  require(duration_s > 0.0, "split: duration must be positive");
+
+  HandoverChain chain;
+  chain.state = state;
+
+  if (state == MobilityState::kStationary) {
+    chain.segments.push_back(SessionSegment{0, duration_s, volume_mb,
+                                            /*first=*/true, /*last=*/true});
+    return chain;
+  }
+
+  const Log10Normal dwell = dwell_distribution(state);
+  // The session starts at a uniformly random point of the first cell's
+  // dwell period (the UE was already moving when the session began).
+  double remaining = duration_s;
+  double first_dwell = dwell.sample(rng);
+  first_dwell *= rng.uniform();  // residual dwell in the starting cell
+  first_dwell = std::max(first_dwell, 1.0);
+
+  std::uint32_t hop = 0;
+  bool first = true;
+  while (remaining > 0.0 && chain.segments.size() < config_.max_segments) {
+    const double cell_time =
+        first ? first_dwell : std::max(dwell.sample(rng), 1.0);
+    const double seg_duration = std::min(remaining, cell_time);
+    SessionSegment segment;
+    segment.hop = hop++;
+    segment.duration_s = seg_duration;
+    segment.volume_mb = volume_mb * seg_duration / duration_s;
+    segment.first = first;
+    segment.last = seg_duration >= remaining;
+    chain.segments.push_back(segment);
+    remaining -= seg_duration;
+    first = false;
+  }
+  // Safety bound hit: dump the tail into the final segment so volume and
+  // duration stay conserved.
+  if (remaining > 0.0 && !chain.segments.empty()) {
+    SessionSegment& tail = chain.segments.back();
+    tail.duration_s += remaining;
+    tail.volume_mb += volume_mb * remaining / duration_s;
+    tail.last = true;
+  }
+  return chain;
+}
+
+ChainStatistics summarize_chains(std::span<const HandoverChain> chains) {
+  ChainStatistics stats;
+  if (chains.empty()) return stats;
+
+  std::size_t segments = 0, handovers = 0, partial = 0;
+  double first_d = 0.0, middle_d = 0.0, last_d = 0.0;
+  std::size_t first_n = 0, middle_n = 0, last_n = 0;
+
+  for (const HandoverChain& chain : chains) {
+    segments += chain.segments.size();
+    handovers += chain.handovers();
+    for (const SessionSegment& s : chain.segments) {
+      if (chain.segments.size() > 1) ++partial;
+      if (s.first) {
+        first_d += s.duration_s;
+        ++first_n;
+      } else if (!s.last) {
+        middle_d += s.duration_s;
+        ++middle_n;
+      }
+      if (s.last && !s.first) {
+        last_d += s.duration_s;
+        ++last_n;
+      }
+    }
+  }
+  const double n = static_cast<double>(chains.size());
+  stats.mean_segments = static_cast<double>(segments) / n;
+  stats.mean_handovers = static_cast<double>(handovers) / n;
+  stats.partial_observation_fraction =
+      segments > 0 ? static_cast<double>(partial) / static_cast<double>(segments)
+                   : 0.0;
+  stats.mean_first_duration_s =
+      first_n > 0 ? first_d / static_cast<double>(first_n) : 0.0;
+  stats.mean_middle_duration_s =
+      middle_n > 0 ? middle_d / static_cast<double>(middle_n) : 0.0;
+  stats.mean_last_duration_s =
+      last_n > 0 ? last_d / static_cast<double>(last_n) : 0.0;
+  return stats;
+}
+
+}  // namespace mtd

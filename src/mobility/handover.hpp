@@ -1,0 +1,127 @@
+// User mobility and handover-chain generation.
+//
+// The paper observes that sessions of in-transit users appear, per BS, as
+// *partial* sessions: "handovers from and to other BSs are recorded in the
+// measurement dataset as newly established or concluded transport-layer
+// sessions" (Sec. 3.2), and flags the impact of user mobility on the models
+// as future work (Sec. 7). This module implements that extension: it splits
+// a full application session across the chain of BSs a moving UE traverses,
+// yielding the per-BS segments that a per-BS measurement pipeline would
+// record.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "math/distributions.hpp"
+
+namespace mtd {
+
+/// Mobility regime of the UE for the lifetime of one session.
+enum class MobilityState : std::uint8_t {
+  kStationary,  // never leaves the starting BS
+  kPedestrian,  // walking-speed cell crossings (minutes per cell)
+  kVehicular,   // driving-speed cell crossings (tens of seconds per cell)
+};
+
+[[nodiscard]] const char* to_string(MobilityState m) noexcept;
+
+struct MobilityConfig {
+  /// Probability of each regime for a new session (sums to one after
+  /// normalization).
+  double p_stationary = 0.70;
+  double p_pedestrian = 0.18;
+  double p_vehicular = 0.12;
+
+  /// Median per-cell dwell time per moving regime, seconds, with log10
+  /// scatter. Defaults give vehicular dwells around 45 s (the transient
+  /// sessions of the dataset substrate) and pedestrian dwells of minutes.
+  double pedestrian_dwell_median_s = 240.0;
+  double vehicular_dwell_median_s = 45.0;
+  double dwell_sigma_log10 = 0.20;
+
+  /// Sessions are cut into at most this many segments (safety bound).
+  std::size_t max_segments = 64;
+};
+
+/// One per-BS segment of a handover chain.
+struct SessionSegment {
+  /// Index of the BS within the chain (0 = the BS where the session
+  /// started).
+  std::uint32_t hop = 0;
+  double duration_s = 0.0;
+  double volume_mb = 0.0;
+  bool first = false;  // segment that opened the session
+  bool last = false;   // segment during which the session completed
+};
+
+/// A full session split across the BS chain of a moving UE.
+struct HandoverChain {
+  MobilityState state = MobilityState::kStationary;
+  std::vector<SessionSegment> segments;
+
+  /// Number of handovers performed (segments - 1).
+  [[nodiscard]] std::size_t handovers() const noexcept {
+    return segments.empty() ? 0 : segments.size() - 1;
+  }
+  [[nodiscard]] double total_volume_mb() const noexcept;
+  [[nodiscard]] double total_duration_s() const noexcept;
+};
+
+/// Splits full sessions into per-BS segments according to a mobility model.
+///
+/// Volume is apportioned proportionally to segment duration (constant
+/// intra-session throughput, the same assumption the dataset generator
+/// makes for its one-shot truncation).
+class HandoverChainGenerator {
+ public:
+  explicit HandoverChainGenerator(MobilityConfig config = {});
+
+  [[nodiscard]] const MobilityConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Draws the mobility regime of a new session.
+  [[nodiscard]] MobilityState sample_state(Rng& rng) const;
+
+  /// Splits a full session (volume, duration) into its chain. Stationary
+  /// sessions return a single first+last segment.
+  [[nodiscard]] HandoverChain split(double volume_mb, double duration_s,
+                                    Rng& rng) const;
+
+  /// Like split(), but with a fixed regime (for tests and what-if studies).
+  [[nodiscard]] HandoverChain split_with_state(double volume_mb,
+                                               double duration_s,
+                                               MobilityState state,
+                                               Rng& rng) const;
+
+  /// The per-cell dwell distribution of a regime; throws for kStationary.
+  [[nodiscard]] Log10Normal dwell_distribution(MobilityState state) const;
+
+ private:
+  MobilityConfig config_;
+  double cum_pedestrian_ = 0.0;  // normalized regime CDF breakpoints
+  double cum_vehicular_ = 0.0;
+};
+
+/// Summary statistics of a population of chains (used by the mobility
+/// analysis bench and tests).
+struct ChainStatistics {
+  double mean_segments = 0.0;
+  double mean_handovers = 0.0;
+  /// Fraction of *per-BS observations* (segments) that are partial, i.e.
+  /// belong to a chain with more than one segment.
+  double partial_observation_fraction = 0.0;
+  /// Mean per-segment duration and volume, by position: first / middle /
+  /// last segments.
+  double mean_first_duration_s = 0.0;
+  double mean_middle_duration_s = 0.0;
+  double mean_last_duration_s = 0.0;
+};
+
+[[nodiscard]] ChainStatistics summarize_chains(
+    std::span<const HandoverChain> chains);
+
+}  // namespace mtd

@@ -1,0 +1,71 @@
+#include "mobility/per_bs_view.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dataset/generator.hpp"
+#include "dataset/measurement.hpp"
+
+namespace mtd {
+
+namespace {
+
+void add_observation(PerBsObservation& out, double volume_mb,
+                     double duration_s, bool partial) {
+  volume_mb = std::max(volume_mb, 1e-4);
+  duration_s = std::max(duration_s, 1.0);
+  out.volume_pdf.add(std::log10(volume_mb));
+  out.dv_curve.add(std::log10(duration_s), volume_mb);
+  if (partial) out.partial_fraction += 1.0;
+  ++out.observations;
+}
+
+PerBsObservation make_observation() {
+  return PerBsObservation{BinnedPdf(volume_axis()),
+                          BinnedMeanCurve(duration_axis()), 0.0, 0};
+}
+
+}  // namespace
+
+PerBsObservation observe_per_bs(const ServiceProfile& profile,
+                                const HandoverChainGenerator& mobility,
+                                std::size_t n_sessions, Rng& rng) {
+  PerBsObservation out = make_observation();
+  const Log10NormalMixture mixture = profile.volume_mixture();
+  const double alpha = profile.alpha();
+
+  for (std::size_t i = 0; i < n_sessions; ++i) {
+    const double volume = std::max(mixture.sample(rng), 1e-4);
+    const double duration = std::clamp(
+        std::pow(volume / alpha, 1.0 / profile.beta) *
+            std::pow(10.0, rng.normal(0.0, profile.duration_sigma)),
+        1.0, 6.0 * 3600.0);
+    const HandoverChain chain = mobility.split(volume, duration, rng);
+    const bool partial = chain.segments.size() > 1;
+    for (const SessionSegment& segment : chain.segments) {
+      add_observation(out, segment.volume_mb, segment.duration_s, partial);
+    }
+  }
+  if (out.observations > 0) {
+    out.partial_fraction /= static_cast<double>(out.observations);
+  }
+  out.volume_pdf.normalize();
+  return out;
+}
+
+PerBsObservation observe_per_bs_substrate(const ServiceProfile& profile,
+                                          std::size_t n_sessions, Rng& rng) {
+  PerBsObservation out = make_observation();
+  const SessionSampler sampler(profile);
+  for (std::size_t i = 0; i < n_sessions; ++i) {
+    const SessionSampler::Draw draw = sampler.sample(rng);
+    add_observation(out, draw.volume_mb, draw.duration_s, draw.transient);
+  }
+  if (out.observations > 0) {
+    out.partial_fraction /= static_cast<double>(out.observations);
+  }
+  out.volume_pdf.normalize();
+  return out;
+}
+
+}  // namespace mtd

@@ -1,0 +1,38 @@
+// Per-BS observation of mobile sessions.
+//
+// Bridges the mobility extension back to the paper's measurement viewpoint:
+// a BS-side probe sees each *segment* of a handover chain as an independent
+// transport-layer session. These helpers build the per-BS observed
+// statistics under full chain modeling, so they can be compared against the
+// dataset substrate's simpler one-shot truncation (DESIGN.md §2).
+#pragma once
+
+#include "common/histogram.hpp"
+#include "dataset/service_catalog.hpp"
+#include "mobility/handover.hpp"
+
+namespace mtd {
+
+struct PerBsObservation {
+  /// Volume PDF of per-BS observed sessions (log10 MB bins).
+  BinnedPdf volume_pdf;
+  /// Duration-volume curve of per-BS observed sessions.
+  BinnedMeanCurve dv_curve;
+  /// Fraction of observations that are partial segments.
+  double partial_fraction = 0.0;
+  std::size_t observations = 0;
+};
+
+/// Samples `n_sessions` full sessions of a service from its planted profile
+/// (no one-shot truncation), splits each into a handover chain, and
+/// accumulates every segment as one per-BS observation.
+[[nodiscard]] PerBsObservation observe_per_bs(
+    const ServiceProfile& profile, const HandoverChainGenerator& mobility,
+    std::size_t n_sessions, Rng& rng);
+
+/// The dataset substrate's view of the same service (its built-in one-shot
+/// dwell truncation), for side-by-side comparison.
+[[nodiscard]] PerBsObservation observe_per_bs_substrate(
+    const ServiceProfile& profile, std::size_t n_sessions, Rng& rng);
+
+}  // namespace mtd

@@ -1,0 +1,163 @@
+#include "packet/packet_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mtd {
+
+PacketScheduleGenerator::PacketScheduleGenerator(PacketScheduleConfig config)
+    : config_(config) {
+  require(config.mtu_bytes > 0, "PacketScheduleGenerator: mtu must be > 0");
+  require(config.mean_burst_packets >= 1.0,
+          "PacketScheduleGenerator: mean burst length must be >= 1");
+  require(config.duty_cycle > 0.0 && config.duty_cycle <= 1.0,
+          "PacketScheduleGenerator: duty cycle must be in (0, 1]");
+  require(config.max_packets >= 1,
+          "PacketScheduleGenerator: max_packets must be >= 1");
+}
+
+PacketScheduleStats PacketScheduleGenerator::generate_stream(
+    double volume_mb, double duration_s, Rng& rng,
+    const std::function<void(const Packet&)>& sink) const {
+  require(volume_mb > 0.0, "generate: volume must be positive");
+  require(duration_s > 0.0, "generate: duration must be positive");
+
+  const double total_bytes = volume_mb * 1e6;
+  std::size_t n_packets = static_cast<std::size_t>(
+      std::ceil(total_bytes / config_.mtu_bytes));
+  n_packets = std::clamp<std::size_t>(n_packets, 1, config_.max_packets);
+
+  // Packet sizes: full MTU except the final remainder packet; if the cap
+  // was hit, sizes scale up uniformly so the volume is preserved.
+  const double bytes_per_packet =
+      total_bytes / static_cast<double>(n_packets);
+  const bool capped = bytes_per_packet > config_.mtu_bytes;
+
+  // Partition packets into bursts with geometric lengths.
+  std::vector<std::size_t> bursts;
+  {
+    const double p = 1.0 / config_.mean_burst_packets;
+    std::size_t assigned = 0;
+    while (assigned < n_packets) {
+      std::size_t len = 1;
+      while (assigned + len < n_packets && !rng.bernoulli(p)) ++len;
+      bursts.push_back(len);
+      assigned += len;
+    }
+  }
+
+  // Time layout: bursts are active intervals summing to duty_cycle * D,
+  // separated by pauses summing to (1 - duty_cycle) * D.
+  const double on_time = config_.duty_cycle * duration_s;
+  const double off_time = duration_s - on_time;
+  std::vector<double> gaps(bursts.size() > 1 ? bursts.size() - 1 : 0, 0.0);
+  if (!gaps.empty()) {
+    double total_gap_weight = 0.0;
+    for (double& g : gaps) {
+      g = rng.exponential(1.0);
+      total_gap_weight += g;
+    }
+    for (double& g : gaps) g *= off_time / total_gap_weight;
+  }
+
+  PacketScheduleStats stats;
+  stats.bursts = bursts.size();
+  double clock = bursts.size() > 1 ? 0.0 : off_time * rng.uniform();
+  double last_time = 0.0;
+  double sum_interarrival = 0.0;
+  std::size_t emitted = 0;
+  const double intra_burst_spacing =
+      on_time / static_cast<double>(n_packets);
+
+  for (std::size_t b = 0; b < bursts.size(); ++b) {
+    for (std::size_t i = 0; i < bursts[b]; ++i) {
+      Packet packet;
+      packet.time_s = std::min(clock, std::nexttoward(duration_s, 0.0));
+      // Size: MTU for all but the final packet, which takes the remainder;
+      // under the cap every packet carries the scaled share.
+      double size = capped ? bytes_per_packet
+                           : static_cast<double>(config_.mtu_bytes);
+      if (!capped && emitted + 1 == n_packets) {
+        size = total_bytes -
+               static_cast<double>(config_.mtu_bytes) *
+                   static_cast<double>(n_packets - 1);
+        size = std::max(size, 1.0);
+      }
+      packet.size_bytes = static_cast<std::uint32_t>(std::lround(size));
+      sink(packet);
+      if (emitted > 0) sum_interarrival += packet.time_s - last_time;
+      last_time = packet.time_s;
+      stats.total_bytes += size;
+      ++emitted;
+      clock += intra_burst_spacing;
+    }
+    if (b < gaps.size()) clock += gaps[b];
+  }
+
+  stats.packets = emitted;
+  stats.mean_interarrival_s =
+      emitted > 1 ? sum_interarrival / static_cast<double>(emitted - 1) : 0.0;
+  // Burstiness: intra-burst rate over mean session rate = 1 / duty cycle.
+  stats.burstiness =
+      on_time > 0.0 ? duration_s / on_time : 1.0;
+  return stats;
+}
+
+std::vector<Packet> PacketScheduleGenerator::generate(double volume_mb,
+                                                      double duration_s,
+                                                      Rng& rng) const {
+  std::vector<Packet> out;
+  generate_stream(volume_mb, duration_s, rng,
+                  [&out](const Packet& p) { out.push_back(p); });
+  return out;
+}
+
+PacketScheduleStats summarize_schedule(std::span<const Packet> packets,
+                                       double duration_s) {
+  PacketScheduleStats stats;
+  stats.packets = packets.size();
+  if (packets.empty()) return stats;
+  double sum_interarrival = 0.0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    stats.total_bytes += packets[i].size_bytes;
+    if (i > 0) sum_interarrival += packets[i].time_s - packets[i - 1].time_s;
+  }
+  stats.mean_interarrival_s =
+      packets.size() > 1
+          ? sum_interarrival / static_cast<double>(packets.size() - 1)
+          : 0.0;
+  // Bursts: separated by gaps well above the median interarrival.
+  if (packets.size() > 2) {
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < packets.size(); ++i) {
+      gaps.push_back(packets[i].time_s - packets[i - 1].time_s);
+    }
+    std::vector<double> sorted = gaps;
+    std::sort(sorted.begin(), sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    stats.bursts = 1;
+    for (double gap : gaps) {
+      if (gap > 5.0 * std::max(median, 1e-9)) ++stats.bursts;
+    }
+  } else {
+    stats.bursts = 1;
+  }
+  const double mean_rate = stats.total_bytes / duration_s;
+  // Peak rate proxy: bytes over the densest packet gap.
+  double min_gap = duration_s;
+  for (std::size_t i = 1; i < packets.size(); ++i) {
+    min_gap = std::min(min_gap, packets[i].time_s - packets[i - 1].time_s);
+  }
+  if (min_gap > 0.0 && packets.size() > 1) {
+    const double peak_rate =
+        static_cast<double>(packets[1].size_bytes) / min_gap;
+    stats.burstiness = peak_rate / std::max(mean_rate, 1e-9);
+  } else {
+    stats.burstiness = 1.0;
+  }
+  return stats;
+}
+
+}  // namespace mtd

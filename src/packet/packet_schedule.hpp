@@ -1,0 +1,84 @@
+// Packet-level expansion of session-level models.
+//
+// The paper positions its session-level models as *complementary* to the
+// packet-level literature: "they can complement studies on packet-level
+// modeling so as to reproduce fine-grained mobile traffic loads at an
+// individual BS" (Sec. 1). This module is that bridge: it expands one
+// session (volume, duration) into a packet schedule with an on/off burst
+// structure, suitable for driving ns-3-style simulators. Within-session
+// statistics follow standard packet-level modeling practice (MTU-sized
+// payload packets, exponential burst/pause alternation); across sessions,
+// everything - arrival instant, volume, duration, service mix - comes from
+// the session-level models.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mtd {
+
+/// One scheduled packet of a session.
+struct Packet {
+  /// Transmission instant, seconds from the session start.
+  double time_s = 0.0;
+  std::uint32_t size_bytes = 0;
+};
+
+struct PacketScheduleConfig {
+  /// Payload bytes per full packet.
+  std::uint32_t mtu_bytes = 1500;
+  /// Mean number of packets per on-burst (geometric).
+  double mean_burst_packets = 20.0;
+  /// Fraction of the session duration spent inside bursts (duty cycle in
+  /// (0, 1]); pauses fill the rest.
+  double duty_cycle = 0.4;
+  /// Hard cap on packets per session (safety bound for huge sessions).
+  std::size_t max_packets = 2'000'000;
+};
+
+/// Summary of one generated schedule.
+struct PacketScheduleStats {
+  std::size_t packets = 0;
+  std::size_t bursts = 0;
+  double total_bytes = 0.0;
+  double mean_interarrival_s = 0.0;
+  /// Peak rate inside bursts over the mean session rate (burstiness).
+  double burstiness = 0.0;
+};
+
+/// Expands sessions into packet schedules.
+class PacketScheduleGenerator {
+ public:
+  explicit PacketScheduleGenerator(PacketScheduleConfig config = {});
+
+  [[nodiscard]] const PacketScheduleConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Generates the full schedule of one session. Invariants:
+  ///  - sum of packet sizes equals the session volume (last packet short),
+  ///  - every timestamp lies in [0, duration_s),
+  ///  - timestamps are non-decreasing.
+  [[nodiscard]] std::vector<Packet> generate(double volume_mb,
+                                             double duration_s,
+                                             Rng& rng) const;
+
+  /// Streaming form: `sink` is called once per packet in time order.
+  /// Returns the schedule statistics without materializing the vector.
+  PacketScheduleStats generate_stream(
+      double volume_mb, double duration_s, Rng& rng,
+      const std::function<void(const Packet&)>& sink) const;
+
+ private:
+  PacketScheduleConfig config_;
+};
+
+/// Computes summary statistics of a materialized schedule.
+[[nodiscard]] PacketScheduleStats summarize_schedule(
+    std::span<const Packet> packets, double duration_s);
+
+}  // namespace mtd

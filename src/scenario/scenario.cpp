@@ -1,0 +1,275 @@
+#include "scenario/scenario.hpp"
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace mtd {
+
+namespace {
+
+/// Rejects keys not in `allowed` (typo protection for scenario files).
+void check_keys(const Json& json, const std::set<std::string>& allowed,
+                const char* what) {
+  for (const auto& [key, value] : json.as_object()) {
+    if (!allowed.contains(key)) {
+      throw ParseError(std::string(what) + ": unknown key '" + key + "'");
+    }
+  }
+}
+
+double num_or(const Json& json, const char* key, double fallback) {
+  return json.contains(key) ? json.at(key).as_number() : fallback;
+}
+
+}  // namespace
+
+Json to_json(const NetworkConfig& config) {
+  JsonObject obj;
+  obj.emplace("num_bs", config.num_bs);
+  obj.emplace("fraction_5g", config.fraction_5g);
+  obj.emplace("first_decile_rate", config.first_decile_rate);
+  obj.emplace("last_decile_rate", config.last_decile_rate);
+  obj.emplace("offpeak_scale_ratio", config.offpeak_scale_ratio);
+  obj.emplace("rate_jitter", config.rate_jitter);
+  return Json(std::move(obj));
+}
+
+void from_json(const Json& json, NetworkConfig& config) {
+  check_keys(json,
+             {"num_bs", "fraction_5g", "first_decile_rate",
+              "last_decile_rate", "offpeak_scale_ratio", "rate_jitter"},
+             "NetworkConfig");
+  config.num_bs = static_cast<std::size_t>(
+      num_or(json, "num_bs", static_cast<double>(config.num_bs)));
+  config.fraction_5g = num_or(json, "fraction_5g", config.fraction_5g);
+  config.first_decile_rate =
+      num_or(json, "first_decile_rate", config.first_decile_rate);
+  config.last_decile_rate =
+      num_or(json, "last_decile_rate", config.last_decile_rate);
+  config.offpeak_scale_ratio =
+      num_or(json, "offpeak_scale_ratio", config.offpeak_scale_ratio);
+  config.rate_jitter = num_or(json, "rate_jitter", config.rate_jitter);
+}
+
+Json to_json(const TraceConfig& config) {
+  JsonObject obj;
+  obj.emplace("num_days", config.num_days);
+  obj.emplace("seed", static_cast<double>(config.seed));
+  obj.emplace("rate_scale", config.rate_scale);
+  obj.emplace("weekend_rate_factor", config.weekend_rate_factor);
+  return Json(std::move(obj));
+}
+
+void from_json(const Json& json, TraceConfig& config) {
+  check_keys(json,
+             {"num_days", "seed", "rate_scale", "weekend_rate_factor"},
+             "TraceConfig");
+  config.num_days = static_cast<std::size_t>(
+      num_or(json, "num_days", static_cast<double>(config.num_days)));
+  config.seed = static_cast<std::uint64_t>(
+      num_or(json, "seed", static_cast<double>(config.seed)));
+  config.rate_scale = num_or(json, "rate_scale", config.rate_scale);
+  config.weekend_rate_factor =
+      num_or(json, "weekend_rate_factor", config.weekend_rate_factor);
+}
+
+Json to_json(const SlicingConfig& config) {
+  JsonObject obj;
+  obj.emplace("num_antennas", config.num_antennas);
+  obj.emplace("eval_days", config.eval_days);
+  obj.emplace("calibration_days", config.calibration_days);
+  obj.emplace("antenna_decile", static_cast<double>(config.antenna_decile));
+  obj.emplace("sla_quantile", config.sla_quantile);
+  obj.emplace("seed", static_cast<double>(config.seed));
+  obj.emplace("fig12_service", config.fig12_service);
+  obj.emplace("fig12_antenna", config.fig12_antenna);
+  return Json(std::move(obj));
+}
+
+void from_json(const Json& json, SlicingConfig& config) {
+  check_keys(json,
+             {"num_antennas", "eval_days", "calibration_days",
+              "antenna_decile", "sla_quantile", "seed", "fig12_service",
+              "fig12_antenna"},
+             "SlicingConfig");
+  config.num_antennas = static_cast<std::size_t>(
+      num_or(json, "num_antennas", static_cast<double>(config.num_antennas)));
+  config.eval_days = static_cast<std::size_t>(
+      num_or(json, "eval_days", static_cast<double>(config.eval_days)));
+  config.calibration_days = static_cast<std::size_t>(num_or(
+      json, "calibration_days", static_cast<double>(config.calibration_days)));
+  config.antenna_decile = static_cast<std::uint8_t>(num_or(
+      json, "antenna_decile", static_cast<double>(config.antenna_decile)));
+  config.sla_quantile = num_or(json, "sla_quantile", config.sla_quantile);
+  config.seed = static_cast<std::uint64_t>(
+      num_or(json, "seed", static_cast<double>(config.seed)));
+  if (json.contains("fig12_service")) {
+    config.fig12_service = json.at("fig12_service").as_string();
+  }
+  config.fig12_antenna = static_cast<std::size_t>(num_or(
+      json, "fig12_antenna", static_cast<double>(config.fig12_antenna)));
+}
+
+namespace {
+
+const char* packing_name(PackingPolicy policy) {
+  switch (policy) {
+    case PackingPolicy::kFirstFitDecreasing: return "first_fit_decreasing";
+    case PackingPolicy::kBestFitDecreasing: return "best_fit_decreasing";
+    case PackingPolicy::kWorstFitDecreasing: return "worst_fit_decreasing";
+    case PackingPolicy::kNoConsolidation: return "no_consolidation";
+  }
+  return "first_fit_decreasing";
+}
+
+PackingPolicy packing_from(const std::string& name) {
+  if (name == "first_fit_decreasing") {
+    return PackingPolicy::kFirstFitDecreasing;
+  }
+  if (name == "best_fit_decreasing") return PackingPolicy::kBestFitDecreasing;
+  if (name == "worst_fit_decreasing") {
+    return PackingPolicy::kWorstFitDecreasing;
+  }
+  if (name == "no_consolidation") return PackingPolicy::kNoConsolidation;
+  throw ParseError("VranConfig: unknown packing policy '" + name + "'");
+}
+
+}  // namespace
+
+Json to_json(const VranConfig& config) {
+  JsonObject obj;
+  obj.emplace("num_edge_sites", config.num_edge_sites);
+  obj.emplace("rus_per_site", config.rus_per_site);
+  obj.emplace("num_days", config.num_days);
+  obj.emplace("ru_decile", static_cast<double>(config.ru_decile));
+  obj.emplace("seed", static_cast<double>(config.seed));
+  obj.emplace("ps_capacity_mbps", config.ps.capacity_mbps);
+  obj.emplace("ps_idle_w", config.ps.idle_w);
+  obj.emplace("ps_max_w", config.ps.max_w);
+  obj.emplace("packing", packing_name(config.packing));
+  obj.emplace("series_start_minute", config.series_start_minute);
+  obj.emplace("series_seconds", config.series_seconds);
+  return Json(std::move(obj));
+}
+
+void from_json(const Json& json, VranConfig& config) {
+  check_keys(json,
+             {"num_edge_sites", "rus_per_site", "num_days", "ru_decile",
+              "seed", "ps_capacity_mbps", "ps_idle_w", "ps_max_w", "packing",
+              "series_start_minute", "series_seconds"},
+             "VranConfig");
+  config.num_edge_sites = static_cast<std::size_t>(num_or(
+      json, "num_edge_sites", static_cast<double>(config.num_edge_sites)));
+  config.rus_per_site = static_cast<std::size_t>(
+      num_or(json, "rus_per_site", static_cast<double>(config.rus_per_site)));
+  config.num_days = static_cast<std::size_t>(
+      num_or(json, "num_days", static_cast<double>(config.num_days)));
+  config.ru_decile = static_cast<std::uint8_t>(
+      num_or(json, "ru_decile", static_cast<double>(config.ru_decile)));
+  config.seed = static_cast<std::uint64_t>(
+      num_or(json, "seed", static_cast<double>(config.seed)));
+  config.ps.capacity_mbps =
+      num_or(json, "ps_capacity_mbps", config.ps.capacity_mbps);
+  config.ps.idle_w = num_or(json, "ps_idle_w", config.ps.idle_w);
+  config.ps.max_w = num_or(json, "ps_max_w", config.ps.max_w);
+  if (json.contains("packing")) {
+    config.packing = packing_from(json.at("packing").as_string());
+  }
+  config.series_start_minute = static_cast<std::size_t>(
+      num_or(json, "series_start_minute",
+             static_cast<double>(config.series_start_minute)));
+  config.series_seconds = static_cast<std::size_t>(num_or(
+      json, "series_seconds", static_cast<double>(config.series_seconds)));
+}
+
+Json to_json(const MobilityConfig& config) {
+  JsonObject obj;
+  obj.emplace("p_stationary", config.p_stationary);
+  obj.emplace("p_pedestrian", config.p_pedestrian);
+  obj.emplace("p_vehicular", config.p_vehicular);
+  obj.emplace("pedestrian_dwell_median_s", config.pedestrian_dwell_median_s);
+  obj.emplace("vehicular_dwell_median_s", config.vehicular_dwell_median_s);
+  obj.emplace("dwell_sigma_log10", config.dwell_sigma_log10);
+  obj.emplace("max_segments", config.max_segments);
+  return Json(std::move(obj));
+}
+
+void from_json(const Json& json, MobilityConfig& config) {
+  check_keys(json,
+             {"p_stationary", "p_pedestrian", "p_vehicular",
+              "pedestrian_dwell_median_s", "vehicular_dwell_median_s",
+              "dwell_sigma_log10", "max_segments"},
+             "MobilityConfig");
+  config.p_stationary = num_or(json, "p_stationary", config.p_stationary);
+  config.p_pedestrian = num_or(json, "p_pedestrian", config.p_pedestrian);
+  config.p_vehicular = num_or(json, "p_vehicular", config.p_vehicular);
+  config.pedestrian_dwell_median_s =
+      num_or(json, "pedestrian_dwell_median_s",
+             config.pedestrian_dwell_median_s);
+  config.vehicular_dwell_median_s = num_or(
+      json, "vehicular_dwell_median_s", config.vehicular_dwell_median_s);
+  config.dwell_sigma_log10 =
+      num_or(json, "dwell_sigma_log10", config.dwell_sigma_log10);
+  config.max_segments = static_cast<std::size_t>(
+      num_or(json, "max_segments", static_cast<double>(config.max_segments)));
+}
+
+Json to_json(const PacketScheduleConfig& config) {
+  JsonObject obj;
+  obj.emplace("mtu_bytes", static_cast<double>(config.mtu_bytes));
+  obj.emplace("mean_burst_packets", config.mean_burst_packets);
+  obj.emplace("duty_cycle", config.duty_cycle);
+  obj.emplace("max_packets", config.max_packets);
+  return Json(std::move(obj));
+}
+
+void from_json(const Json& json, PacketScheduleConfig& config) {
+  check_keys(json,
+             {"mtu_bytes", "mean_burst_packets", "duty_cycle", "max_packets"},
+             "PacketScheduleConfig");
+  config.mtu_bytes = static_cast<std::uint32_t>(
+      num_or(json, "mtu_bytes", static_cast<double>(config.mtu_bytes)));
+  config.mean_burst_packets =
+      num_or(json, "mean_burst_packets", config.mean_burst_packets);
+  config.duty_cycle = num_or(json, "duty_cycle", config.duty_cycle);
+  config.max_packets = static_cast<std::size_t>(
+      num_or(json, "max_packets", static_cast<double>(config.max_packets)));
+}
+
+Json Scenario::to_json() const {
+  JsonObject obj;
+  obj.emplace("network", mtd::to_json(network));
+  obj.emplace("trace", mtd::to_json(trace));
+  obj.emplace("slicing", mtd::to_json(slicing));
+  obj.emplace("vran", mtd::to_json(vran));
+  return Json(std::move(obj));
+}
+
+Scenario Scenario::from_json(const Json& json) {
+  check_keys(json, {"network", "trace", "slicing", "vran"}, "Scenario");
+  Scenario scenario;
+  if (json.contains("network")) {
+    mtd::from_json(json.at("network"), scenario.network);
+  }
+  if (json.contains("trace")) {
+    mtd::from_json(json.at("trace"), scenario.trace);
+  }
+  if (json.contains("slicing")) {
+    mtd::from_json(json.at("slicing"), scenario.slicing);
+  }
+  if (json.contains("vran")) {
+    mtd::from_json(json.at("vran"), scenario.vran);
+  }
+  return scenario;
+}
+
+Scenario Scenario::load(const std::string& path) {
+  return from_json(Json::parse(read_file(path)));
+}
+
+void Scenario::save(const std::string& path) const {
+  write_file(path, to_json().dump(2));
+}
+
+}  // namespace mtd

@@ -1,0 +1,46 @@
+// JSON (de)serialization of the library configuration structs.
+//
+// Scenario files let experiments be described declaratively (and shipped
+// alongside results for reproducibility). Every to_json/from_json pair
+// round-trips exactly; from_json accepts partial objects, keeping defaults
+// for absent keys, and rejects unknown keys to catch typos early.
+#pragma once
+
+#include "core/traffic_generator.hpp"
+#include "io/json.hpp"
+#include "mobility/handover.hpp"
+#include "packet/packet_schedule.hpp"
+#include "usecases/slicing.hpp"
+#include "usecases/vran.hpp"
+
+namespace mtd {
+
+[[nodiscard]] Json to_json(const NetworkConfig& config);
+[[nodiscard]] Json to_json(const TraceConfig& config);
+[[nodiscard]] Json to_json(const SlicingConfig& config);
+[[nodiscard]] Json to_json(const VranConfig& config);
+[[nodiscard]] Json to_json(const MobilityConfig& config);
+[[nodiscard]] Json to_json(const PacketScheduleConfig& config);
+
+void from_json(const Json& json, NetworkConfig& config);
+void from_json(const Json& json, TraceConfig& config);
+void from_json(const Json& json, SlicingConfig& config);
+void from_json(const Json& json, VranConfig& config);
+void from_json(const Json& json, MobilityConfig& config);
+void from_json(const Json& json, PacketScheduleConfig& config);
+
+/// A complete experiment description: the measurement campaign plus the
+/// two use-case scenarios.
+struct Scenario {
+  NetworkConfig network;
+  TraceConfig trace;
+  SlicingConfig slicing;
+  VranConfig vran;
+
+  [[nodiscard]] Json to_json() const;
+  static Scenario from_json(const Json& json);
+  static Scenario load(const std::string& path);
+  void save(const std::string& path) const;
+};
+
+}  // namespace mtd

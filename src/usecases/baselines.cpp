@@ -1,0 +1,63 @@
+#include "usecases/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mtd {
+
+const std::array<CategoryTrafficModel, 3>& category_models() {
+  // IW: short transactional sessions at modest rates; CS: minutes-long
+  // medium-bitrate streams; MS: long movie sessions at video bitrates.
+  static const std::array<CategoryTrafficModel, 3> models{{
+      {/*mean_duration_s=*/60.0, /*median_throughput_mbps=*/0.25,
+       /*throughput_sigma_log10=*/0.30},
+      {/*mean_duration_s=*/300.0, /*median_throughput_mbps=*/1.50,
+       /*throughput_sigma_log10=*/0.25},
+      {/*mean_duration_s=*/1800.0, /*median_throughput_mbps=*/3.00,
+       /*throughput_sigma_log10=*/0.20},
+  }};
+  return models;
+}
+
+std::array<double, 3> literature_shares() { return {0.50, 0.4211, 0.0789}; }
+
+std::array<double, 3> table1_category_shares() {
+  const std::vector<double> shares = literature_category_shares();
+  return {shares[0], shares[1], shares[2]};
+}
+
+CategorySessionSource::CategorySessionSource(std::array<double, 3> volume_scale)
+    : volume_scale_(volume_scale) {
+  for (double s : volume_scale_) {
+    require(s > 0.0, "CategorySessionSource: scale must be positive");
+  }
+}
+
+SessionSource::Draw CategorySessionSource::sample_category(
+    LiteratureCategory category, Rng& rng) const {
+  const auto idx = static_cast<std::size_t>(category);
+  const CategoryTrafficModel& model = category_models()[idx];
+  const double duration =
+      std::max(1.0, rng.exponential(1.0 / model.mean_duration_s));
+  const double rate_mbps =
+      model.median_throughput_mbps *
+      std::pow(10.0, rng.normal(0.0, model.throughput_sigma_log10));
+  const double volume_mb =
+      volume_scale_[idx] * rate_mbps * duration / 8.0;
+  return Draw{std::max(volume_mb, 1e-4), duration};
+}
+
+SessionSource::Draw CategorySessionSource::sample(std::size_t service,
+                                                  Rng& rng) const {
+  const auto& catalog = service_catalog();
+  require(service < catalog.size(), "CategorySessionSource: bad service");
+  return sample_category(catalog[service].category, rng);
+}
+
+std::size_t CategorySessionSource::num_services() const {
+  return service_catalog().size();
+}
+
+}  // namespace mtd

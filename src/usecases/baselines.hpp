@@ -1,0 +1,60 @@
+// Literature-style category traffic models used as benchmarks (Sec. 6).
+//
+// The paper compares its per-service session-level models against
+// traditional models that only distinguish three service categories -
+// Interactive Web (IW), Casual Streaming (CS) and Movie Streaming (MS) -
+// with fixed throughput and session size/duration per category (Tsompanidis
+// et al. 2014; Navarro-Ortiz et al. 2020). We implement those categories as
+// a SessionSource: every service is collapsed onto its category model, which
+// is exactly the information loss the use cases quantify.
+#pragma once
+
+#include <array>
+
+#include "core/traffic_generator.hpp"
+#include "dataset/service_catalog.hpp"
+
+namespace mtd {
+
+/// Parameters of one literature category.
+struct CategoryTrafficModel {
+  /// Session duration: exponential with this mean (seconds).
+  double mean_duration_s = 60.0;
+  /// Session throughput: log10-normal around this median (Mbit/s).
+  double median_throughput_mbps = 0.5;
+  double throughput_sigma_log10 = 0.25;
+};
+
+/// The three category models (enum order: IW, CS, MS).
+[[nodiscard]] const std::array<CategoryTrafficModel, 3>& category_models();
+
+/// Literature session shares per category (bm b of Sec. 6.1):
+/// IW 50%, CS 42.11%, MS 7.89%.
+[[nodiscard]] std::array<double, 3> literature_shares();
+
+/// Session shares per category aggregated from Table 1 (bm a of Sec. 6.1):
+/// IW 49.30%, CS 48.46%, MS 2.24% (recomputed from the catalogue).
+[[nodiscard]] std::array<double, 3> table1_category_shares();
+
+/// A SessionSource that ignores the service identity beyond its category:
+/// duration ~ Exp(mean), throughput ~ log-normal, volume = rate * duration.
+/// Optional per-category volume scale factors implement the normalized
+/// benchmarks bm b / bm c of Sec. 6.2.
+class CategorySessionSource final : public SessionSource {
+ public:
+  explicit CategorySessionSource(
+      std::array<double, 3> volume_scale = {1.0, 1.0, 1.0});
+
+  [[nodiscard]] Draw sample(std::size_t service, Rng& rng) const override;
+  [[nodiscard]] std::size_t num_services() const override;
+
+  /// Draws a session directly for a category (used when the benchmark also
+  /// re-draws the service mix from category shares).
+  [[nodiscard]] Draw sample_category(LiteratureCategory category,
+                                     Rng& rng) const;
+
+ private:
+  std::array<double, 3> volume_scale_;
+};
+
+}  // namespace mtd

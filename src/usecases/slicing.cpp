@@ -1,0 +1,260 @@
+#include "usecases/slicing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/time_utils.hpp"
+
+namespace mtd {
+
+namespace {
+
+/// Spreads one session's constant-rate demand over the minutes it spans.
+/// `series` is a per-minute Mbps series of length horizon_minutes.
+void add_session_demand(std::vector<double>& series, std::size_t start_minute,
+                        double start_second_in_minute, double duration_s,
+                        double rate_mbps) {
+  double remaining = duration_s;
+  double offset = start_second_in_minute;
+  std::size_t minute = start_minute;
+  while (remaining > 0.0 && minute < series.size()) {
+    const double seconds_here = std::min(remaining, 60.0 - offset);
+    series[minute] += rate_mbps * seconds_here / 60.0;
+    remaining -= seconds_here;
+    offset = 0.0;
+    ++minute;
+  }
+}
+
+/// The antenna population: deciles cycled around config.antenna_decile so
+/// the evaluation covers heterogeneous loads.
+std::vector<std::uint8_t> antenna_deciles(const SlicingConfig& config) {
+  std::vector<std::uint8_t> out;
+  out.reserve(config.num_antennas);
+  for (std::size_t a = 0; a < config.num_antennas; ++a) {
+    const int jitter = static_cast<int>(a % 5) - 2;
+    const int decile =
+        std::clamp(static_cast<int>(config.antenna_decile) + jitter, 0,
+                   static_cast<int>(kNumDeciles) - 1);
+    out.push_back(static_cast<std::uint8_t>(decile));
+  }
+  return out;
+}
+
+/// Per-minute, per-service ground-truth demand of one antenna over the
+/// evaluation horizon.
+std::vector<std::vector<double>> real_demand(const ArrivalClassModel& arrival,
+                                             const ArrivalModel& shares,
+                                             const SlicingConfig& config,
+                                             Rng& rng) {
+  const GroundTruthSessionSource source;
+  const std::size_t horizon = config.eval_days * kMinutesPerDay;
+  std::vector<std::vector<double>> demand(
+      source.num_services(), std::vector<double>(horizon, 0.0));
+
+  for (std::size_t day = 0; day < config.eval_days; ++day) {
+    for (std::size_t minute = 0; minute < kMinutesPerDay; ++minute) {
+      const std::uint32_t count = arrival.sample_minute(minute, rng);
+      const std::size_t global_minute = day * kMinutesPerDay + minute;
+      for (std::uint32_t k = 0; k < count; ++k) {
+        const std::size_t service = shares.sample_service(rng);
+        const SessionSource::Draw draw = source.sample(service, rng);
+        add_session_demand(demand[service], global_minute,
+                           rng.uniform(0.0, 60.0), draw.duration_s,
+                           draw.throughput_mbps());
+      }
+    }
+  }
+  return demand;
+}
+
+/// Monte-Carlo estimate of the per-entity (service or category) 95th
+/// percentile of peak-hour per-minute demand, under a given session source
+/// and entity-share vector.
+std::vector<double> allocate_by_quantile(
+    const ArrivalClassModel& arrival, std::span<const double> entity_shares,
+    const std::function<SessionSource::Draw(std::size_t, Rng&)>& draw_entity,
+    const SlicingConfig& config, Rng& rng) {
+  const std::size_t n = entity_shares.size();
+  const std::size_t horizon = config.calibration_days * kMinutesPerDay;
+  std::vector<std::vector<double>> demand(n,
+                                          std::vector<double>(horizon, 0.0));
+
+  std::vector<double> cdf(entity_shares.begin(), entity_shares.end());
+  double acc = 0.0;
+  for (double& v : cdf) {
+    acc += v;
+    v = acc;
+  }
+  require(acc > 0.0, "allocate_by_quantile: zero shares");
+  for (double& v : cdf) v /= acc;
+  cdf.back() = 1.0;
+
+  for (std::size_t day = 0; day < config.calibration_days; ++day) {
+    for (std::size_t minute = 0; minute < kMinutesPerDay; ++minute) {
+      const std::uint32_t count = arrival.sample_minute(minute, rng);
+      const std::size_t global_minute = day * kMinutesPerDay + minute;
+      for (std::uint32_t k = 0; k < count; ++k) {
+        const double u = rng.uniform();
+        const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+        const auto entity = std::min(
+            static_cast<std::size_t>(it - cdf.begin()), n - 1);
+        const SessionSource::Draw draw = draw_entity(entity, rng);
+        add_session_demand(demand[entity], global_minute,
+                           rng.uniform(0.0, 60.0), draw.duration_s,
+                           draw.throughput_mbps());
+      }
+    }
+  }
+
+  // 95th percentile of peak-hour minutes per entity.
+  std::vector<double> allocation(n, 0.0);
+  for (std::size_t e = 0; e < n; ++e) {
+    std::vector<double> peak;
+    peak.reserve(demand[e].size());
+    for (std::size_t m = 0; m < demand[e].size(); ++m) {
+      if (is_peak_minute(m % kMinutesPerDay)) peak.push_back(demand[e][m]);
+    }
+    allocation[e] = quantile(peak, config.sla_quantile);
+  }
+  return allocation;
+}
+
+struct StrategyAllocations {
+  std::string name;
+  /// allocation[antenna][service] in Mbps.
+  std::vector<std::vector<double>> per_service;
+};
+
+}  // namespace
+
+SlicingResult run_slicing(const ModelRegistry& registry,
+                          const SlicingConfig& config) {
+  require(config.num_antennas >= 1, "run_slicing: need antennas");
+  const auto& catalog = service_catalog();
+  const std::size_t num_services = catalog.size();
+  const std::vector<std::uint8_t> deciles = antenna_deciles(config);
+  const ArrivalModel& arrivals = registry.arrivals();
+
+  Rng root(config.seed);
+
+  // ---- ground-truth demand per antenna -------------------------------------
+  std::vector<std::vector<std::vector<double>>> demand;  // [a][s][minute]
+  demand.reserve(config.num_antennas);
+  for (std::size_t a = 0; a < config.num_antennas; ++a) {
+    Rng rng = root.split(1000 + a);
+    demand.push_back(real_demand(arrivals.class_model(deciles[a]), arrivals,
+                                 config, rng));
+  }
+
+  // ---- allocations per strategy --------------------------------------------
+  std::vector<StrategyAllocations> strategies;
+
+  // Ours: per-service Monte-Carlo with the fitted models.
+  {
+    const ModelSessionSource source(registry);
+    StrategyAllocations ours;
+    ours.name = "model (ours)";
+    for (std::size_t a = 0; a < config.num_antennas; ++a) {
+      Rng rng = root.split(2000 + a);
+      ours.per_service.push_back(allocate_by_quantile(
+          arrivals.class_model(deciles[a]), arrivals.service_shares(),
+          [&source](std::size_t service, Rng& r) {
+            return source.sample(service, r);
+          },
+          config, rng));
+    }
+    strategies.push_back(std::move(ours));
+  }
+
+  // Benchmarks: the operator knows the *total* antenna demand (BS-level
+  // counters exist without any session-level instrumentation) and provisions
+  // its 95th percentile, but splits it across slices using only 3-category
+  // session shares - uniformly within each category, since no intra-category
+  // information is available (Sec. 6.1.1). bm a uses Table-1-aggregated
+  // category shares, bm b the literature shares.
+  const auto category_strategy = [&](const std::string& name,
+                                     const std::array<double, 3>& shares,
+                                     std::uint64_t stream) {
+    const GroundTruthSessionSource measured;
+    std::array<std::size_t, 3> members{0, 0, 0};
+    for (const auto& profile : catalog) {
+      ++members[static_cast<std::size_t>(profile.category)];
+    }
+    StrategyAllocations result;
+    result.name = name;
+    for (std::size_t a = 0; a < config.num_antennas; ++a) {
+      Rng rng = root.split(stream + a);
+      // Total-demand calibration: one aggregate entity fed by all services.
+      const std::array<double, 1> total_share{1.0};
+      const std::vector<double> total_alloc = allocate_by_quantile(
+          arrivals.class_model(deciles[a]),
+          std::span<const double>(total_share.data(), total_share.size()),
+          [&measured, &arrivals](std::size_t, Rng& r) {
+            return measured.sample(arrivals.sample_service(r), r);
+          },
+          config, rng);
+      std::vector<double> per_service(num_services, 0.0);
+      for (std::size_t s = 0; s < num_services; ++s) {
+        const auto cat = static_cast<std::size_t>(catalog[s].category);
+        per_service[s] = total_alloc[0] * shares[cat] /
+                         static_cast<double>(members[cat]);
+      }
+      result.per_service.push_back(std::move(per_service));
+    }
+    return result;
+  };
+  strategies.push_back(
+      category_strategy("bm a (3 categories, Table-1 shares)",
+                        table1_category_shares(), 3000));
+  strategies.push_back(category_strategy(
+      "bm b (3 categories, literature shares)", literature_shares(), 4000));
+
+  // ---- evaluation -----------------------------------------------------------
+  SlicingResult result;
+  const std::size_t fig12_service = service_index(config.fig12_service);
+
+  for (const StrategyAllocations& strategy : strategies) {
+    SliceStrategyResult row;
+    row.name = strategy.name;
+    std::vector<double> satisfied;
+    satisfied.reserve(config.num_antennas * num_services);
+    for (std::size_t a = 0; a < config.num_antennas; ++a) {
+      for (std::size_t s = 0; s < num_services; ++s) {
+        const double alloc = strategy.per_service[a][s];
+        row.total_allocated_mbps += alloc;
+        std::size_t ok = 0, total = 0;
+        const std::vector<double>& series = demand[a][s];
+        for (std::size_t m = 0; m < series.size(); ++m) {
+          if (!is_peak_minute(m % kMinutesPerDay)) continue;
+          ++total;
+          if (series[m] <= alloc) ++ok;
+        }
+        if (total > 0) {
+          satisfied.push_back(static_cast<double>(ok) /
+                              static_cast<double>(total));
+        }
+      }
+    }
+    row.mean_satisfied = mean(satisfied);
+    row.stddev_satisfied = stddev(satisfied);
+    std::size_t met = 0;
+    for (double v : satisfied) {
+      if (v >= config.sla_quantile) ++met;
+    }
+    row.sla_met_fraction =
+        satisfied.empty()
+            ? 0.0
+            : static_cast<double>(met) / static_cast<double>(satisfied.size());
+    row.fig12_allocation_mbps =
+        strategy.per_service[config.fig12_antenna][fig12_service];
+    result.strategies.push_back(row);
+  }
+
+  result.fig12_demand_mbps = demand[config.fig12_antenna][fig12_service];
+  return result;
+}
+
+}  // namespace mtd

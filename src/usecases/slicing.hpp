@@ -1,0 +1,67 @@
+// Use case 1: capacity allocation for network slicing (Sec. 6.1).
+//
+// Each of the catalogue services is a Service Provider that buys a slice
+// with a 95% SLA during peak hours (8am-10pm). The operator allocates, per
+// antenna and slice, the capacity given by the 95th percentile of the
+// per-minute traffic CDF predicted by a traffic model. Three models are
+// compared:
+//   - ours: the fitted per-service session-level models,
+//   - bm a: 3 literature categories with Table-1-aggregated session shares,
+//   - bm b: 3 literature categories with literature session shares,
+// and evaluated against ground-truth demand (the % of peak minutes in which
+// the slice's allocated capacity covers its actual demand -> Table 2; the
+// demand-vs-allocation time series of one slice -> Fig. 12).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/service_model.hpp"
+#include "usecases/baselines.hpp"
+
+namespace mtd {
+
+struct SlicingConfig {
+  std::size_t num_antennas = 10;
+  /// Evaluation horizon (the paper evaluates one week).
+  std::size_t eval_days = 7;
+  /// Monte-Carlo days per antenna used to derive each model's demand CDF.
+  std::size_t calibration_days = 3;
+  /// Load decile of the antennas (cycled over a small neighborhood).
+  std::uint8_t antenna_decile = 6;
+  double sla_quantile = 0.95;
+  std::uint64_t seed = 7;
+  /// Service whose slice is exported as the Fig. 12 time series.
+  std::string fig12_service = "Facebook";
+  std::size_t fig12_antenna = 0;
+};
+
+struct SliceStrategyResult {
+  std::string name;
+  /// Mean over (antenna, service) of the fraction of peak minutes with no
+  /// dropped traffic (Table 2, column 1).
+  double mean_satisfied = 0.0;
+  /// Standard deviation across (antenna, service) (Table 2, column 2).
+  double stddev_satisfied = 0.0;
+  /// Fraction of slices meeting the 95% SLA.
+  double sla_met_fraction = 0.0;
+  /// Total capacity allocated across slices and antennas (Mbps), a proxy
+  /// for reserved resources.
+  double total_allocated_mbps = 0.0;
+  /// Fig. 12: allocation for the configured slice at the configured antenna.
+  double fig12_allocation_mbps = 0.0;
+};
+
+struct SlicingResult {
+  std::vector<SliceStrategyResult> strategies;  // ours, bm a, bm b
+  /// Fig. 12: per-minute ground-truth demand (Mbps) of the configured slice.
+  std::vector<double> fig12_demand_mbps;
+};
+
+/// Runs the full use case. `registry` provides our fitted models (and the
+/// fitted arrival classes used by every strategy so that arrival knowledge
+/// is equal across them).
+[[nodiscard]] SlicingResult run_slicing(const ModelRegistry& registry,
+                                        const SlicingConfig& config = {});
+
+}  // namespace mtd

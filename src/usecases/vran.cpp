@@ -1,0 +1,360 @@
+#include "usecases/vran.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/error.hpp"
+#include "common/time_utils.hpp"
+
+namespace mtd {
+
+const char* to_string(PackingPolicy p) noexcept {
+  switch (p) {
+    case PackingPolicy::kFirstFitDecreasing: return "first-fit decreasing";
+    case PackingPolicy::kBestFitDecreasing: return "best-fit decreasing";
+    case PackingPolicy::kWorstFitDecreasing: return "worst-fit decreasing";
+    case PackingPolicy::kNoConsolidation: return "no consolidation";
+  }
+  return "?";
+}
+
+PackingResult pack_loads(std::vector<double> loads, double capacity,
+                         PackingPolicy policy) {
+  require(capacity > 0.0, "pack_loads: capacity must be positive");
+  std::sort(loads.begin(), loads.end(), std::greater<>());
+  PackingResult result;
+  for (double load : loads) {
+    if (load <= 0.0) continue;
+    // Oversized items are split: fill whole bins, then place the remainder.
+    while (load > capacity) {
+      result.bin_loads.push_back(capacity);
+      load -= capacity;
+    }
+    if (policy == PackingPolicy::kNoConsolidation) {
+      result.bin_loads.push_back(load);
+      continue;
+    }
+    std::size_t chosen = result.bin_loads.size();
+    switch (policy) {
+      case PackingPolicy::kFirstFitDecreasing:
+        for (std::size_t b = 0; b < result.bin_loads.size(); ++b) {
+          if (result.bin_loads[b] + load <= capacity) {
+            chosen = b;
+            break;
+          }
+        }
+        break;
+      case PackingPolicy::kBestFitDecreasing: {
+        double best_slack = capacity + 1.0;
+        for (std::size_t b = 0; b < result.bin_loads.size(); ++b) {
+          const double slack = capacity - result.bin_loads[b] - load;
+          if (slack >= 0.0 && slack < best_slack) {
+            best_slack = slack;
+            chosen = b;
+          }
+        }
+        break;
+      }
+      case PackingPolicy::kWorstFitDecreasing: {
+        double best_slack = -1.0;
+        for (std::size_t b = 0; b < result.bin_loads.size(); ++b) {
+          const double slack = capacity - result.bin_loads[b] - load;
+          if (slack >= 0.0 && slack > best_slack) {
+            best_slack = slack;
+            chosen = b;
+          }
+        }
+        break;
+      }
+      case PackingPolicy::kNoConsolidation:
+        break;
+    }
+    if (chosen < result.bin_loads.size()) {
+      result.bin_loads[chosen] += load;
+    } else {
+      result.bin_loads.push_back(load);
+    }
+  }
+  result.bins = result.bin_loads.size();
+  return result;
+}
+
+PackingResult first_fit_decreasing(std::vector<double> loads,
+                                   double capacity) {
+  return pack_loads(std::move(loads), capacity,
+                    PackingPolicy::kFirstFitDecreasing);
+}
+
+namespace {
+
+/// One scheduled session arrival, shared across strategies.
+struct ArrivalEvent {
+  std::uint32_t second;   // absolute second within the horizon
+  std::uint16_t ru;
+  std::uint16_t service;
+};
+
+/// Builds the shared realization of class-level session arrivals.
+std::vector<ArrivalEvent> build_arrival_schedule(const ArrivalModel& arrivals,
+                                                 const ArrivalClassModel& cls,
+                                                 std::size_t num_rus,
+                                                 std::size_t num_days,
+                                                 Rng& rng) {
+  std::vector<ArrivalEvent> schedule;
+  for (std::size_t ru = 0; ru < num_rus; ++ru) {
+    for (std::size_t day = 0; day < num_days; ++day) {
+      for (std::size_t minute = 0; minute < kMinutesPerDay; ++minute) {
+        const std::uint32_t count = cls.sample_minute(minute, rng);
+        const std::size_t base_second =
+            (day * kMinutesPerDay + minute) * kSecondsPerMinute;
+        for (std::uint32_t k = 0; k < count; ++k) {
+          ArrivalEvent event;
+          event.second = static_cast<std::uint32_t>(
+              base_second + rng.uniform_index(kSecondsPerMinute));
+          event.ru = static_cast<std::uint16_t>(ru);
+          event.service =
+              static_cast<std::uint16_t>(arrivals.sample_service(rng));
+          schedule.push_back(event);
+        }
+      }
+    }
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const ArrivalEvent& a, const ArrivalEvent& b) {
+              return a.second < b.second;
+            });
+  return schedule;
+}
+
+/// Simulates the packing over the horizon for one strategy: sessions from
+/// `draw` attached to the shared arrival schedule.
+VranTimeline simulate(const std::string& name,
+                      const std::vector<ArrivalEvent>& schedule,
+                      const std::function<SessionSource::Draw(std::size_t,
+                                                              Rng&)>& draw,
+                      std::size_t num_rus, std::size_t horizon_s,
+                      const PsPowerModel& ps, PackingPolicy policy,
+                      Rng& rng) {
+  VranTimeline timeline;
+  timeline.name = name;
+  timeline.active_ps.assign(horizon_s, 0);
+  timeline.power_w.assign(horizon_s, 0.0f);
+
+  // Session end events: min-heap of (end_second, ru, rate).
+  struct EndEvent {
+    std::uint32_t second;
+    std::uint16_t ru;
+    float rate;
+  };
+  const auto later = [](const EndEvent& a, const EndEvent& b) {
+    return a.second > b.second;
+  };
+  std::priority_queue<EndEvent, std::vector<EndEvent>, decltype(later)> ends(
+      later);
+
+  std::vector<double> ru_load(num_rus, 0.0);
+  std::size_t next_arrival = 0;
+
+  for (std::uint32_t t = 0; t < horizon_s; ++t) {
+    while (!ends.empty() && ends.top().second <= t) {
+      const EndEvent e = ends.top();
+      ends.pop();
+      ru_load[e.ru] = std::max(0.0, ru_load[e.ru] - e.rate);
+    }
+    while (next_arrival < schedule.size() &&
+           schedule[next_arrival].second <= t) {
+      const ArrivalEvent& a = schedule[next_arrival];
+      const SessionSource::Draw d = draw(a.service, rng);
+      const double rate = d.throughput_mbps();
+      const auto end_second = static_cast<std::uint32_t>(
+          std::min<double>(t + std::max(1.0, d.duration_s), 4.0e9));
+      ru_load[a.ru] += rate;
+      ends.push(EndEvent{end_second, a.ru, static_cast<float>(rate)});
+      ++next_arrival;
+    }
+
+    const PackingResult packing = pack_loads(ru_load, ps.capacity_mbps, policy);
+    timeline.active_ps[t] = static_cast<std::uint16_t>(packing.bins);
+    double power = 0.0;
+    for (double load : packing.bin_loads) {
+      power += ps.power(load / ps.capacity_mbps);
+    }
+    timeline.power_w[t] = static_cast<float>(power);
+  }
+  return timeline;
+}
+
+/// APE of `model` against `real`, skipping slots where the reference is 0.
+std::vector<double> ape_series(std::span<const float> real,
+                               std::span<const float> model) {
+  std::vector<double> out;
+  out.reserve(real.size());
+  for (std::size_t i = 0; i < real.size(); ++i) {
+    if (real[i] <= 0.0f) continue;
+    out.push_back(std::abs(static_cast<double>(model[i]) - real[i]) /
+                  static_cast<double>(real[i]));
+  }
+  return out;
+}
+
+std::vector<double> ape_series(std::span<const std::uint16_t> real,
+                               std::span<const std::uint16_t> model) {
+  std::vector<double> out;
+  out.reserve(real.size());
+  for (std::size_t i = 0; i < real.size(); ++i) {
+    if (real[i] == 0) continue;
+    out.push_back(
+        std::abs(static_cast<double>(model[i]) - static_cast<double>(real[i])) /
+        static_cast<double>(real[i]));
+  }
+  return out;
+}
+
+/// Mean session throughput (Mbit/s) under a draw function, for the
+/// normalization factors of bm b / bm c: the paper scales the benchmarks so
+/// that the (per-class) session throughput matches the measurements.
+/// `category` restricts to one literature category (-1 = all services).
+double mean_session_throughput(
+    const std::function<SessionSource::Draw(std::size_t, Rng&)>& draw,
+    const std::vector<ArrivalEvent>& schedule, Rng& rng, int category = -1) {
+  const auto& catalog = service_catalog();
+  double total = 0.0;
+  std::size_t count = 0;
+  // Subsample the schedule for speed; 50k draws give a stable mean.
+  const std::size_t stride = std::max<std::size_t>(1, schedule.size() / 50000);
+  for (std::size_t i = 0; i < schedule.size(); i += stride) {
+    const std::size_t service = schedule[i].service;
+    if (category >= 0 &&
+        static_cast<int>(catalog[service].category) != category) {
+      continue;
+    }
+    total += draw(service, rng).throughput_mbps();
+    ++count;
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace
+
+VranResult run_vran(const ModelRegistry& registry, const VranConfig& config) {
+  const std::size_t num_rus = config.num_edge_sites * config.rus_per_site;
+  const std::size_t horizon_s =
+      config.num_days * kMinutesPerDay * kSecondsPerMinute;
+
+  Rng root(config.seed);
+  Rng arrival_rng = root.split(1);
+
+  const ArrivalModel& arrivals = registry.arrivals();
+  const std::vector<ArrivalEvent> schedule = build_arrival_schedule(
+      arrivals, arrivals.class_model(config.ru_decile), num_rus,
+      config.num_days, arrival_rng);
+
+  const GroundTruthSessionSource truth;
+  const ModelSessionSource model(registry);
+  const CategorySessionSource raw_categories;
+
+  const auto truth_draw = [&truth](std::size_t s, Rng& r) {
+    return truth.sample(s, r);
+  };
+  const auto model_draw = [&model](std::size_t s, Rng& r) {
+    return model.sample(s, r);
+  };
+  const auto category_draw = [&raw_categories](std::size_t s, Rng& r) {
+    return raw_categories.sample(s, r);
+  };
+
+  // Normalization factors for bm b (system-wide) and bm c (per category):
+  // scale the benchmarks' session rates (and hence volumes, duration held
+  // fixed) so their mean session throughput matches the measurement.
+  Rng norm_rng = root.split(2);
+  const double real_mean_tp =
+      mean_session_throughput(truth_draw, schedule, norm_rng);
+  const double bm_mean_tp =
+      mean_session_throughput(category_draw, schedule, norm_rng);
+  const double system_scale =
+      bm_mean_tp > 0.0 ? real_mean_tp / bm_mean_tp : 1.0;
+
+  std::array<double, 3> category_scale{1.0, 1.0, 1.0};
+  for (int cat = 0; cat < 3; ++cat) {
+    const double real =
+        mean_session_throughput(truth_draw, schedule, norm_rng, cat);
+    const double bm =
+        mean_session_throughput(category_draw, schedule, norm_rng, cat);
+    category_scale[static_cast<std::size_t>(cat)] =
+        bm > 0.0 ? real / bm : 1.0;
+  }
+
+  const CategorySessionSource bmb_source(
+      {system_scale, system_scale, system_scale});
+  const CategorySessionSource bmc_source(category_scale);
+  const auto bmb_draw = [&bmb_source](std::size_t s, Rng& r) {
+    return bmb_source.sample(s, r);
+  };
+  const auto bmc_draw = [&bmc_source](std::size_t s, Rng& r) {
+    return bmc_source.sample(s, r);
+  };
+
+  // Run every strategy over the shared arrival realization.
+  struct Strategy {
+    std::string name;
+    std::function<SessionSource::Draw(std::size_t, Rng&)> draw;
+  };
+  const std::vector<Strategy> strategies{
+      {"measurement (ground truth)", truth_draw},
+      {"model (ours)", model_draw},
+      {"bm a (raw categories)", category_draw},
+      {"bm b (system-normalized)", bmb_draw},
+      {"bm c (category-normalized)", bmc_draw},
+  };
+
+  std::vector<VranTimeline> timelines;
+  timelines.reserve(strategies.size());
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    Rng rng = root.split(100 + i);
+    timelines.push_back(simulate(strategies[i].name, schedule,
+                                 strategies[i].draw, num_rus, horizon_s,
+                                 config.ps, config.packing, rng));
+  }
+
+  const VranTimeline& real = timelines.front();
+  VranResult result;
+  const std::size_t series_start =
+      std::min(config.series_start_minute * kSecondsPerMinute,
+               horizon_s > 0 ? horizon_s - 1 : 0);
+  const std::size_t series_len =
+      std::min(config.series_seconds, horizon_s - series_start);
+
+  for (const VranTimeline& timeline : timelines) {
+    VranStrategyResult row;
+    row.name = timeline.name;
+    const std::vector<double> ape_ps =
+        ape_series(std::span<const std::uint16_t>(real.active_ps),
+                   std::span<const std::uint16_t>(timeline.active_ps));
+    const std::vector<double> ape_pw =
+        ape_series(std::span<const float>(real.power_w),
+                   std::span<const float>(timeline.power_w));
+    if (!ape_ps.empty()) {
+      row.ape_active_ps = boxplot_stats(ape_ps);
+      row.median_ape_active_ps = row.ape_active_ps.median;
+    }
+    if (!ape_pw.empty()) {
+      row.ape_power = boxplot_stats(ape_pw);
+      row.median_ape_power = row.ape_power.median;
+    }
+    double mean_power = 0.0;
+    for (float p : timeline.power_w) mean_power += p;
+    row.mean_power_w =
+        timeline.power_w.empty()
+            ? 0.0
+            : mean_power / static_cast<double>(timeline.power_w.size());
+    row.power_series_w.assign(
+        timeline.power_w.begin() + static_cast<std::ptrdiff_t>(series_start),
+        timeline.power_w.begin() +
+            static_cast<std::ptrdiff_t>(series_start + series_len));
+    result.strategies.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace mtd

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/invariance.hpp"
+#include "analysis/ranking.hpp"
+#include "analysis/similarity.hpp"
+#include "test_helpers.hpp"
+
+namespace mtd {
+namespace {
+
+using test::small_dataset;
+
+// ---- Ranking (Fig. 4) -------------------------------------------------------
+
+TEST(Ranking, OrderedBySessionShareDescending) {
+  const ServiceRanking ranking = rank_services(small_dataset());
+  ASSERT_EQ(ranking.services.size(), service_catalog().size());
+  for (std::size_t i = 1; i < ranking.services.size(); ++i) {
+    EXPECT_GE(ranking.services[i - 1].session_share,
+              ranking.services[i].session_share);
+    EXPECT_EQ(ranking.services[i].rank, i + 1);
+  }
+  EXPECT_EQ(ranking.services.front().name, "Facebook");
+}
+
+TEST(Ranking, ExponentialLawWithHighR2) {
+  // Fig. 4: the rank-share curve follows a negative exponential with
+  // R^2 ~ 0.97.
+  const ServiceRanking ranking = rank_services(small_dataset());
+  EXPECT_LT(ranking.rank_law.b, 0.0);
+  EXPECT_GT(ranking.rank_law.r_squared_log, 0.8);
+}
+
+TEST(Ranking, TopServicesDominate) {
+  // Paper: top 20 services account for over 78% of sessions; with our
+  // 31-service catalogue the concentration is stronger.
+  const ServiceRanking ranking = rank_services(small_dataset());
+  EXPECT_GT(ranking.top_k_share(20), 0.78);
+  EXPECT_LE(ranking.top_k_share(31), 1.0 + 1e-9);
+  EXPECT_GT(ranking.top_k_share(5), ranking.top_k_share(1));
+  EXPECT_DOUBLE_EQ(ranking.top_k_share(0), 0.0);
+}
+
+TEST(Ranking, TrafficShareNotMonotoneInSessionRank) {
+  // Fig. 4's second message: similarly-ranked services carry very
+  // different traffic (e.g. Netflix: few sessions, much traffic).
+  const ServiceRanking ranking = rank_services(small_dataset());
+  bool inversion = false;
+  for (std::size_t i = 1; i < ranking.services.size(); ++i) {
+    if (ranking.services[i].traffic_share >
+        ranking.services[i - 1].traffic_share * 2.0) {
+      inversion = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(inversion);
+}
+
+TEST(Ranking, NetflixTrafficShareExceedsSessionShare) {
+  const ServiceRanking ranking = rank_services(small_dataset());
+  for (const RankedService& entry : ranking.services) {
+    if (entry.name == "Netflix") {
+      EXPECT_GT(entry.traffic_share, 3.0 * entry.session_share);
+    }
+    if (entry.name == "Facebook") {
+      EXPECT_LT(entry.traffic_share, entry.session_share * 2.0);
+    }
+  }
+}
+
+// ---- Similarity / clustering (Fig. 6) ---------------------------------------
+
+const SimilarityAnalysis& similarity() {
+  static const SimilarityAnalysis analysis =
+      analyze_similarity(small_dataset());
+  return analysis;
+}
+
+TEST(Similarity, MatrixIsSymmetricWithZeroDiagonal) {
+  const auto& a = similarity();
+  for (std::size_t i = 0; i < a.distances.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.distances(i, i), 0.0);
+    for (std::size_t j = 0; j < a.distances.size(); ++j) {
+      EXPECT_DOUBLE_EQ(a.distances(i, j), a.distances(j, i));
+    }
+  }
+}
+
+TEST(Similarity, StreamingAndInteractiveSeparate) {
+  // The three-cluster cut must keep the archetypal streaming services
+  // apart from the archetypal messaging/web services.
+  const auto& a = similarity();
+  const auto label_of = [&](const char* name) {
+    for (std::size_t i = 0; i < a.names.size(); ++i) {
+      if (a.names[i] == name) return a.labels3[i];
+    }
+    ADD_FAILURE() << name << " not in analysis";
+    return -1;
+  };
+  const int netflix = label_of("Netflix");
+  const int twitch = label_of("Twitch");
+  const int facebook = label_of("Facebook");
+  const int amazon = label_of("Amazon");
+  EXPECT_EQ(netflix, twitch);
+  EXPECT_EQ(facebook, amazon);
+  EXPECT_NE(netflix, facebook);
+}
+
+TEST(Similarity, ClusterLabelsAgreeWithGroundTruthClasses) {
+  // The paper claims only a macroscopic streaming/interactive dichotomy
+  // (finer clusters are uninformative), so demand clear-better-than-chance
+  // pair agreement rather than perfect class recovery.
+  EXPECT_GT(rand_index_vs_classes(similarity()), 0.6);
+}
+
+TEST(Similarity, SilhouetteDropsAfterThreeClusters) {
+  // Fig. 6b: the score changes substantially after k = 3, then flattens;
+  // splitting further never helps much.
+  const auto& scores = similarity().silhouette;  // k = 2..max
+  ASSERT_GE(scores.size(), 5u);
+  const double best_early = std::max(scores[0], scores[1]);  // k = 2, 3
+  double best_late = -1.0;
+  for (std::size_t i = 3; i < scores.size(); ++i) {
+    best_late = std::max(best_late, scores[i]);
+  }
+  EXPECT_GT(best_early, best_late);
+}
+
+TEST(Similarity, PairwiseDistancesCountIsNChoose2) {
+  const auto& a = similarity();
+  const std::size_t n = a.names.size();
+  EXPECT_EQ(a.pairwise_distances().size(), n * (n - 1) / 2);
+}
+
+// ---- Invariance (Fig. 8) ------------------------------------------------------
+
+const InvarianceReport& invariance() {
+  static const InvarianceReport report = analyze_invariance(small_dataset());
+  return report;
+}
+
+TEST(Invariance, ReportHasAllTags) {
+  const auto& report = invariance();
+  ASSERT_EQ(report.pdf_distances.size(), 7u);
+  EXPECT_EQ(report.pdf_distances[0].tag, "Apps");
+  EXPECT_EQ(report.pdf_distances[1].tag, "Days");
+  EXPECT_EQ(report.pdf_distances[2].tag, "Regions");
+  EXPECT_EQ(report.pdf_distances[3].tag, "Cities");
+  EXPECT_EQ(report.pdf_distances[4].tag, "RATs");
+  EXPECT_EQ(report.pdf_distances[5].tag, "Apps (4G)");
+  EXPECT_EQ(report.pdf_distances[6].tag, "Apps (5G)");
+  EXPECT_EQ(report.curve_distances.size(), 7u);
+}
+
+TEST(Invariance, IntraServiceDistancesMuchSmallerThanInterService) {
+  // The paper's key takeaway (insight d): day type, region, city and RAT
+  // barely matter compared to the service identity.
+  const auto& report = invariance();
+  const double apps = report.pdf_distances[0].median();
+  for (std::size_t i = 1; i <= 4; ++i) {
+    EXPECT_LT(report.pdf_distances[i].median(), apps / 3.0)
+        << report.pdf_distances[i].tag;
+  }
+}
+
+TEST(Invariance, CurveDistancesShowTheSamePattern) {
+  const auto& report = invariance();
+  const double apps = report.curve_distances[0].median();
+  for (std::size_t i = 1; i <= 4; ++i) {
+    EXPECT_LT(report.curve_distances[i].median(), apps)
+        << report.curve_distances[i].tag;
+  }
+}
+
+TEST(Invariance, InterServiceHeterogeneityStableAcrossRats) {
+  // Fig. 8b: Apps (4G) and Apps (5G) distances remain comparable to Apps.
+  const auto& report = invariance();
+  const double apps = report.pdf_distances[0].median();
+  const double apps4g = report.pdf_distances[5].median();
+  const double apps5g = report.pdf_distances[6].median();
+  EXPECT_GT(apps4g, apps * 0.4);
+  EXPECT_GT(apps5g, apps * 0.4);
+  EXPECT_LT(apps4g, apps * 2.5);
+  EXPECT_LT(apps5g, apps * 2.5);
+}
+
+TEST(Invariance, BoxplotStatsAreOrdered) {
+  for (const DistanceSample& sample : invariance().pdf_distances) {
+    const BoxplotStats box = sample.boxplot();
+    EXPECT_LE(box.p5, box.q1);
+    EXPECT_LE(box.q1, box.median);
+    EXPECT_LE(box.median, box.q3);
+    EXPECT_LE(box.q3, box.p95);
+  }
+}
+
+}  // namespace
+}  // namespace mtd

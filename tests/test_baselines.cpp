@@ -1,0 +1,114 @@
+#include "usecases/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace mtd {
+namespace {
+
+TEST(CategoryModels, ThreeCategoriesWithIncreasingDemand) {
+  const auto& models = category_models();
+  // IW < CS < MS in both duration and throughput.
+  EXPECT_LT(models[0].mean_duration_s, models[1].mean_duration_s);
+  EXPECT_LT(models[1].mean_duration_s, models[2].mean_duration_s);
+  EXPECT_LT(models[0].median_throughput_mbps, models[1].median_throughput_mbps);
+  EXPECT_LT(models[1].median_throughput_mbps, models[2].median_throughput_mbps);
+}
+
+TEST(CategoryShares, LiteratureSharesMatchPaper) {
+  const auto shares = literature_shares();
+  EXPECT_DOUBLE_EQ(shares[0], 0.50);
+  EXPECT_DOUBLE_EQ(shares[1], 0.4211);
+  EXPECT_DOUBLE_EQ(shares[2], 0.0789);
+  EXPECT_NEAR(shares[0] + shares[1] + shares[2], 1.0, 1e-9);
+}
+
+TEST(CategoryShares, Table1SharesSumToOne) {
+  const auto shares = table1_category_shares();
+  EXPECT_NEAR(shares[0] + shares[1] + shares[2], 1.0, 1e-9);
+  EXPECT_GT(shares[0], 0.4);   // IW
+  EXPECT_GT(shares[1], 0.4);   // CS
+  EXPECT_LT(shares[2], 0.05);  // MS
+}
+
+TEST(CategorySessionSource, DurationsMatchCategoryMeans) {
+  const CategorySessionSource source;
+  Rng rng(1);
+  for (int cat = 0; cat < 3; ++cat) {
+    RunningStats durations;
+    for (int i = 0; i < 50000; ++i) {
+      durations.add(source
+                        .sample_category(static_cast<LiteratureCategory>(cat),
+                                         rng)
+                        .duration_s);
+    }
+    EXPECT_NEAR(durations.mean(), category_models()[cat].mean_duration_s,
+                0.05 * category_models()[cat].mean_duration_s)
+        << "category " << cat;
+  }
+}
+
+TEST(CategorySessionSource, ThroughputMedianMatches) {
+  const CategorySessionSource source;
+  Rng rng(2);
+  std::vector<double> rates;
+  for (int i = 0; i < 50000; ++i) {
+    rates.push_back(
+        source.sample_category(LiteratureCategory::kCasualStreaming, rng)
+            .throughput_mbps());
+  }
+  EXPECT_NEAR(quantile(rates, 0.5),
+              category_models()[1].median_throughput_mbps, 0.1);
+}
+
+TEST(CategorySessionSource, ServiceSamplingUsesItsCategory) {
+  // Netflix maps to MS; its draws must look like MS draws statistically.
+  const CategorySessionSource source;
+  Rng rng(3);
+  RunningStats netflix_durations;
+  const std::size_t netflix = service_index("Netflix");
+  for (int i = 0; i < 20000; ++i) {
+    netflix_durations.add(source.sample(netflix, rng).duration_s);
+  }
+  EXPECT_NEAR(netflix_durations.mean(), category_models()[2].mean_duration_s,
+              0.1 * category_models()[2].mean_duration_s);
+}
+
+TEST(CategorySessionSource, VolumeScaleMultipliesVolumes) {
+  const CategorySessionSource unit({1.0, 1.0, 1.0});
+  const CategorySessionSource doubled({2.0, 2.0, 2.0});
+  Rng rng_a(4), rng_b(4);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = unit.sample(0, rng_a);
+    const auto b = doubled.sample(0, rng_b);
+    EXPECT_NEAR(b.volume_mb, 2.0 * a.volume_mb, 1e-9);
+    EXPECT_DOUBLE_EQ(a.duration_s, b.duration_s);
+  }
+}
+
+TEST(CategorySessionSource, RejectsBadScaleAndService) {
+  EXPECT_THROW(CategorySessionSource({0.0, 1.0, 1.0}), InvalidArgument);
+  const CategorySessionSource source;
+  Rng rng(5);
+  EXPECT_THROW(source.sample(10000, rng), InvalidArgument);
+  EXPECT_EQ(source.num_services(), service_catalog().size());
+}
+
+TEST(CategorySessionSource, LosesIntraCategoryDiversity) {
+  // The whole point of the benchmarks: Facebook and Wikipedia (both IW)
+  // become statistically indistinguishable under the category model.
+  const CategorySessionSource source;
+  Rng rng_a(6), rng_b(6);
+  RunningStats fb, wiki;
+  const std::size_t fb_idx = service_index("Facebook");
+  const std::size_t wiki_idx = service_index("Wikipedia");
+  for (int i = 0; i < 20000; ++i) {
+    fb.add(source.sample(fb_idx, rng_a).volume_mb);
+    wiki.add(source.sample(wiki_idx, rng_b).volume_mb);
+  }
+  EXPECT_NEAR(fb.mean() / wiki.mean(), 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace mtd

@@ -1,0 +1,70 @@
+#include "analysis/bs_level.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/time_utils.hpp"
+#include "test_helpers.hpp"
+
+namespace mtd {
+namespace {
+
+const ModelRegistry& registry() {
+  static const ModelRegistry r = ModelRegistry::fit(test::small_dataset());
+  return r;
+}
+
+BsLevelSeries series_for_decile(std::uint8_t decile, std::size_t days,
+                                std::uint64_t seed) {
+  const ModelSessionSource source(registry());
+  const BsTrafficGenerator generator(
+      registry().arrivals().class_model(decile), registry().arrivals(),
+      source);
+  Rng rng(seed);
+  return aggregate_bs_series(generator, days, rng);
+}
+
+TEST(BsLevelSeries, OneValuePerMinute) {
+  const BsLevelSeries series = series_for_decile(5, 1, 1);
+  EXPECT_EQ(series.volume_mb.size(), kMinutesPerDay);
+  EXPECT_GT(series.total_mb(), 0.0);
+  EXPECT_GE(series.peak_mb(), series.total_mb() / kMinutesPerDay);
+}
+
+TEST(BsLevelSeries, CircadianShapeEmerges) {
+  // The BS-level aggregate inherits the diurnal rhythm that drives the
+  // session arrivals: strong day/night contrast, most volume in daytime.
+  const BsLevelSeries series = series_for_decile(6, 3, 2);
+  EXPECT_GT(series.day_night_ratio(), 3.0);
+  EXPECT_GT(series.window_fraction(8, 23), 0.7);
+  EXPECT_LT(series.window_fraction(0, 6), 0.15);
+}
+
+TEST(BsLevelSeries, CircadianAgreementIsHigh) {
+  const BsLevelSeries series = series_for_decile(7, 3, 3);
+  EXPECT_GT(circadian_agreement(series), 0.6);
+}
+
+TEST(BsLevelSeries, BusierDecilesCarryMoreTraffic) {
+  const BsLevelSeries light = series_for_decile(1, 2, 4);
+  const BsLevelSeries heavy = series_for_decile(9, 2, 4);
+  EXPECT_GT(heavy.total_mb(), 5.0 * light.total_mb());
+}
+
+TEST(BsLevelSeries, WindowFractionValidation) {
+  const BsLevelSeries series = series_for_decile(4, 1, 5);
+  EXPECT_THROW((void)series.window_fraction(10, 10), InvalidArgument);
+  EXPECT_THROW((void)series.window_fraction(2, 30), InvalidArgument);
+  EXPECT_NEAR(series.window_fraction(0, 24), 1.0, 1e-9);
+}
+
+TEST(BsLevelSeries, AggregateValidatesInput) {
+  const ModelSessionSource source(registry());
+  const BsTrafficGenerator generator(
+      registry().arrivals().class_model(3), registry().arrivals(), source);
+  Rng rng(6);
+  EXPECT_THROW((void)aggregate_bs_series(generator, 0, rng),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mtd

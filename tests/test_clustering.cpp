@@ -1,0 +1,190 @@
+#include "math/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "math/metrics.hpp"
+
+namespace mtd {
+namespace {
+
+// Two well-separated families of Gaussians plus one outlier.
+std::vector<BinnedPdf> make_families(std::vector<double>& weights) {
+  const Axis axis(-10.0, 10.0, 200);
+  Rng rng(9);
+  std::vector<BinnedPdf> pdfs;
+  // Family A: narrow around -4; family B: wide around +4.
+  for (int i = 0; i < 4; ++i) {
+    BinnedPdf pdf(axis);
+    for (int k = 0; k < 20000; ++k) {
+      pdf.add(rng.normal(-4.0 + 0.1 * i, 0.5));
+    }
+    pdf.normalize();
+    pdfs.push_back(std::move(pdf));
+    weights.push_back(1.0);
+  }
+  for (int i = 0; i < 4; ++i) {
+    BinnedPdf pdf(axis);
+    for (int k = 0; k < 20000; ++k) {
+      pdf.add(rng.normal(4.0 + 0.1 * i, 2.5));
+    }
+    pdf.normalize();
+    pdfs.push_back(std::move(pdf));
+    weights.push_back(1.0);
+  }
+  // Outlier: bimodal.
+  BinnedPdf outlier(axis);
+  for (int k = 0; k < 10000; ++k) {
+    outlier.add(rng.normal(-8.0, 0.2));
+    outlier.add(rng.normal(8.0, 0.2));
+  }
+  outlier.normalize();
+  pdfs.push_back(std::move(outlier));
+  weights.push_back(1.0);
+  return pdfs;
+}
+
+TEST(DistanceMatrix, SetAndSymmetry) {
+  DistanceMatrix m(3);
+  m.set(0, 2, 1.5);
+  EXPECT_DOUBLE_EQ(m(0, 2), 1.5);
+  EXPECT_DOUBLE_EQ(m(2, 0), 1.5);
+  EXPECT_DOUBLE_EQ(m(1, 1), 0.0);
+}
+
+TEST(EmdDistanceMatrix, DiagonalZeroAndSymmetric) {
+  std::vector<double> weights;
+  const std::vector<BinnedPdf> pdfs = make_families(weights);
+  const DistanceMatrix dist = emd_distance_matrix(pdfs, false);
+  for (std::size_t i = 0; i < dist.size(); ++i) {
+    EXPECT_DOUBLE_EQ(dist(i, i), 0.0);
+    for (std::size_t j = 0; j < dist.size(); ++j) {
+      EXPECT_DOUBLE_EQ(dist(i, j), dist(j, i));
+    }
+  }
+}
+
+TEST(EmdDistanceMatrix, CenteringRemovesLocationDifferences) {
+  // Two identical shapes at different locations: centered distance ~ 0,
+  // uncentered distance ~ the shift.
+  const Axis axis(-10.0, 10.0, 200);
+  Rng rng(3);
+  BinnedPdf a(axis), b(axis);
+  for (int k = 0; k < 100000; ++k) {
+    a.add(rng.normal(-3.0, 1.0));
+    b.add(rng.normal(3.0, 1.0));
+  }
+  a.normalize();
+  b.normalize();
+  const std::vector<BinnedPdf> pdfs{a, b};
+  const DistanceMatrix raw = emd_distance_matrix(pdfs, false);
+  const DistanceMatrix centered = emd_distance_matrix(pdfs, true);
+  EXPECT_NEAR(raw(0, 1), 6.0, 0.1);
+  EXPECT_LT(centered(0, 1), 0.1);
+}
+
+TEST(Dendrogram, LabelsPartitionAllItems) {
+  std::vector<double> weights;
+  const std::vector<BinnedPdf> pdfs = make_families(weights);
+  const Dendrogram tree =
+      centroid_agglomerative_cluster(pdfs, weights, false);
+  EXPECT_EQ(tree.steps().size(), pdfs.size() - 1);
+  for (std::size_t k = 1; k <= pdfs.size(); ++k) {
+    const std::vector<int> labels = tree.labels(k);
+    EXPECT_EQ(labels.size(), pdfs.size());
+    std::set<int> distinct(labels.begin(), labels.end());
+    EXPECT_EQ(distinct.size(), k);
+    for (int l : labels) {
+      EXPECT_GE(l, 0);
+      EXPECT_LT(l, static_cast<int>(k));
+    }
+  }
+}
+
+TEST(Dendrogram, SingleClusterIsAllSame) {
+  std::vector<double> weights;
+  const std::vector<BinnedPdf> pdfs = make_families(weights);
+  const Dendrogram tree =
+      centroid_agglomerative_cluster(pdfs, weights, false);
+  const std::vector<int> labels = tree.labels(1);
+  for (int l : labels) EXPECT_EQ(l, 0);
+}
+
+TEST(CentroidClustering, SeparatesTheTwoFamilies) {
+  std::vector<double> weights;
+  const std::vector<BinnedPdf> pdfs = make_families(weights);
+  const Dendrogram tree =
+      centroid_agglomerative_cluster(pdfs, weights, false);
+  const std::vector<int> labels = tree.labels(3);
+  // Items 0..3 together, 4..7 together, the outlier (8) alone or not with
+  // a full family.
+  for (int i = 1; i < 4; ++i) EXPECT_EQ(labels[i], labels[0]);
+  for (int i = 5; i < 8; ++i) EXPECT_EQ(labels[i], labels[4]);
+  EXPECT_NE(labels[0], labels[4]);
+}
+
+TEST(CentroidClustering, MergeDistancesEventuallyGrow) {
+  std::vector<double> weights;
+  const std::vector<BinnedPdf> pdfs = make_families(weights);
+  const Dendrogram tree =
+      centroid_agglomerative_cluster(pdfs, weights, false);
+  // The final merges (across families) must be far larger than the first
+  // (within-family) merges.
+  const auto steps = tree.steps();
+  EXPECT_GT(steps.back().distance, 10.0 * steps.front().distance);
+}
+
+TEST(CentroidClustering, ValidatesInput) {
+  const std::vector<BinnedPdf> none;
+  const std::vector<double> no_w;
+  EXPECT_THROW(centroid_agglomerative_cluster(none, no_w), InvalidArgument);
+}
+
+TEST(Silhouette, PerfectSeparationNearOne) {
+  // 4 points in two tight, distant pairs.
+  DistanceMatrix dist(4);
+  dist.set(0, 1, 0.1);
+  dist.set(2, 3, 0.1);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 2; j < 4; ++j) dist.set(i, j, 10.0);
+  }
+  const std::vector<int> labels{0, 0, 1, 1};
+  EXPECT_GT(silhouette_score(dist, labels), 0.95);
+}
+
+TEST(Silhouette, RandomLabelsNearZeroOrNegative) {
+  DistanceMatrix dist(4);
+  dist.set(0, 1, 0.1);
+  dist.set(2, 3, 0.1);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 2; j < 4; ++j) dist.set(i, j, 10.0);
+  }
+  const std::vector<int> bad{0, 1, 0, 1};
+  EXPECT_LT(silhouette_score(dist, bad), 0.0);
+}
+
+TEST(Silhouette, SingleClusterIsZero) {
+  DistanceMatrix dist(3);
+  const std::vector<int> labels{0, 0, 0};
+  EXPECT_DOUBLE_EQ(silhouette_score(dist, labels), 0.0);
+}
+
+TEST(SilhouetteSweep, PeaksAtTheNaturalClusterCount) {
+  std::vector<double> weights;
+  const std::vector<BinnedPdf> pdfs = make_families(weights);
+  const DistanceMatrix dist = emd_distance_matrix(pdfs, false);
+  const Dendrogram tree =
+      centroid_agglomerative_cluster(pdfs, weights, false);
+  const std::vector<double> scores = silhouette_sweep(dist, tree, 8);
+  ASSERT_EQ(scores.size(), 7u);  // k = 2..8
+  // The natural structure is 2-3 clusters; the score must drop when
+  // splitting beyond it.
+  const double best_small = std::max(scores[0], scores[1]);
+  EXPECT_GT(best_small, scores[4]);
+  EXPECT_GT(best_small, scores[6]);
+}
+
+}  // namespace
+}  // namespace mtd

@@ -1,0 +1,189 @@
+#include "math/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace mtd {
+namespace {
+
+// ---- Gaussian ---------------------------------------------------------------
+
+TEST(Gaussian, PdfPeaksAtMean) {
+  const Gaussian g(2.0, 0.5);
+  EXPECT_GT(g.pdf(2.0), g.pdf(1.5));
+  EXPECT_GT(g.pdf(2.0), g.pdf(2.5));
+  EXPECT_NEAR(g.pdf(2.0), 1.0 / (0.5 * std::sqrt(2.0 * std::numbers::pi)),
+              1e-12);
+}
+
+TEST(Gaussian, CdfKnownValues) {
+  const Gaussian g(0.0, 1.0);
+  EXPECT_NEAR(g.cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(g.cdf(1.96), 0.975, 1e-4);
+  EXPECT_NEAR(g.cdf(-1.96), 0.025, 1e-4);
+}
+
+TEST(Gaussian, QuantileInvertsCdf) {
+  const Gaussian g(3.0, 2.0);
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(g.cdf(g.quantile(p)), p, 1e-8) << "p=" << p;
+  }
+}
+
+TEST(Gaussian, QuantileRejectsBoundary) {
+  const Gaussian g(0.0, 1.0);
+  EXPECT_THROW(g.quantile(0.0), InvalidArgument);
+  EXPECT_THROW(g.quantile(1.0), InvalidArgument);
+}
+
+TEST(Gaussian, RejectsNonPositiveSigma) {
+  EXPECT_THROW(Gaussian(0.0, 0.0), InvalidArgument);
+  EXPECT_THROW(Gaussian(0.0, -1.0), InvalidArgument);
+}
+
+TEST(Gaussian, SamplingMoments) {
+  const Gaussian g(-1.0, 3.0);
+  Rng rng(1);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(g.sample(rng));
+  EXPECT_NEAR(stats.mean(), -1.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+// ---- Log10Normal ------------------------------------------------------------
+
+TEST(Log10Normal, MedianIsTenToMu) {
+  const Log10Normal d(1.5, 0.3);
+  EXPECT_NEAR(d.median(), std::pow(10.0, 1.5), 1e-9);
+  EXPECT_NEAR(d.cdf(d.median()), 0.5, 1e-12);
+}
+
+TEST(Log10Normal, PdfLog10IsGaussian) {
+  const Log10Normal d(0.0, 1.0);
+  const Gaussian g(0.0, 1.0);
+  for (double u : {-2.0, -1.0, 0.0, 0.5, 2.0}) {
+    EXPECT_NEAR(d.pdf_log10(u), g.pdf(u), 1e-12);
+  }
+}
+
+TEST(Log10Normal, LinearPdfIncludesJacobian) {
+  const Log10Normal d(0.0, 0.5);
+  // pdf(x) = pdf_log10(log10 x) / (x ln 10)
+  const double x = 2.0;
+  EXPECT_NEAR(d.pdf(x),
+              d.pdf_log10(std::log10(x)) / (x * std::numbers::ln10), 1e-12);
+  EXPECT_DOUBLE_EQ(d.pdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.pdf(-1.0), 0.0);
+}
+
+TEST(Log10Normal, PdfIntegratesToOne) {
+  const Log10Normal d(0.5, 0.4);
+  double integral = 0.0;
+  const double dx = 0.001;
+  for (double x = dx / 2; x < 1000.0; x += dx) integral += d.pdf(x) * dx;
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(Log10Normal, MeanFormula) {
+  const Log10Normal d(1.0, 0.4);
+  Rng rng(2);
+  RunningStats stats;
+  for (int i = 0; i < 400000; ++i) stats.add(d.sample(rng));
+  EXPECT_NEAR(stats.mean() / d.mean(), 1.0, 0.02);
+}
+
+TEST(Log10Normal, QuantileRoundTrip) {
+  const Log10Normal d(2.0, 0.7);
+  for (double p : {0.05, 0.5, 0.95}) {
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-8);
+  }
+}
+
+// ---- Pareto -----------------------------------------------------------------
+
+TEST(Pareto, PdfZeroBelowScale) {
+  const Pareto p(1.765, 2.0);
+  EXPECT_DOUBLE_EQ(p.pdf(1.0), 0.0);
+  EXPECT_GT(p.pdf(2.0), 0.0);
+}
+
+TEST(Pareto, CdfAndQuantileConsistency) {
+  const Pareto p(1.765, 0.5);
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(p.cdf(p.quantile(q)), q, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(p.cdf(0.4), 0.0);
+}
+
+TEST(Pareto, MeanFiniteOnlyAboveShapeOne) {
+  const Pareto heavy(0.9, 1.0);
+  EXPECT_TRUE(std::isinf(heavy.mean()));
+  const Pareto light(3.0, 1.0);
+  EXPECT_NEAR(light.mean(), 1.5, 1e-12);
+}
+
+TEST(Pareto, SampleMeanMatchesFormula) {
+  const Pareto p(3.0, 2.0);
+  Rng rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(p.sample(rng));
+  EXPECT_NEAR(stats.mean(), p.mean(), 0.03);
+}
+
+TEST(Pareto, RejectsBadParameters) {
+  EXPECT_THROW(Pareto(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(Pareto(1.0, 0.0), InvalidArgument);
+}
+
+// ---- Exponential ------------------------------------------------------------
+
+TEST(Exponential, Basics) {
+  const Exponential e(2.0);
+  EXPECT_NEAR(e.mean(), 0.5, 1e-12);
+  EXPECT_NEAR(e.cdf(e.quantile(0.7)), 0.7, 1e-12);
+  EXPECT_DOUBLE_EQ(e.pdf(-1.0), 0.0);
+  EXPECT_NEAR(e.pdf(0.0), 2.0, 1e-12);
+  EXPECT_THROW(Exponential(0.0), InvalidArgument);
+}
+
+// ---- Parameterized CDF/quantile round-trips ---------------------------------
+
+struct RoundTripCase {
+  double p1;
+  double p2;
+};
+
+class GaussianRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(GaussianRoundTrip, QuantileCdfIdentity) {
+  const Gaussian g(GetParam().p1, GetParam().p2);
+  for (double p = 0.02; p < 1.0; p += 0.02) {
+    EXPECT_NEAR(g.cdf(g.quantile(p)), p, 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, GaussianRoundTrip,
+                         ::testing::Values(RoundTripCase{0.0, 1.0},
+                                           RoundTripCase{10.0, 0.01},
+                                           RoundTripCase{-5.0, 100.0},
+                                           RoundTripCase{1e6, 3.0}));
+
+class ParetoRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(ParetoRoundTrip, QuantileCdfIdentity) {
+  const Pareto d(GetParam().p1, GetParam().p2);
+  for (double p = 0.0; p < 1.0; p += 0.05) {
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, ParetoRoundTrip,
+                         ::testing::Values(RoundTripCase{1.765, 1.0},
+                                           RoundTripCase{0.5, 2.0},
+                                           RoundTripCase{5.0, 0.1}));
+
+}  // namespace
+}  // namespace mtd

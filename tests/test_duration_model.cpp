@@ -1,0 +1,123 @@
+#include "core/duration_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "dataset/measurement.hpp"
+#include "dataset/service_catalog.hpp"
+#include "test_helpers.hpp"
+
+namespace mtd {
+namespace {
+
+using test::small_dataset;
+
+BinnedMeanCurve synthetic_curve(double alpha, double beta, double noise_sigma,
+                                std::uint64_t seed) {
+  // Populate at bin centers so that binning does not displace the samples.
+  BinnedMeanCurve curve(duration_axis());
+  const Axis& axis = curve.axis();
+  Rng rng(seed);
+  for (std::size_t i = 4; i < axis.bins(); i += 2) {
+    const double log_d = axis.center(i);
+    const double d = std::pow(10.0, log_d);
+    const double v = alpha * std::pow(d, beta) *
+                     std::pow(10.0, rng.normal(0.0, noise_sigma));
+    curve.add(log_d, v, 50.0);
+  }
+  return curve;
+}
+
+TEST(DurationModel, ExactRecoveryWithoutNoise) {
+  const DurationModel model =
+      DurationModel::fit(synthetic_curve(0.02, 1.3, 0.0, 1));
+  EXPECT_NEAR(model.alpha(), 0.02, 1e-4);
+  EXPECT_NEAR(model.beta(), 1.3, 1e-3);
+  EXPECT_GT(model.r_squared(), 0.999);
+}
+
+TEST(DurationModel, NoisyRecovery) {
+  const DurationModel model =
+      DurationModel::fit(synthetic_curve(0.5, 0.45, 0.05, 2));
+  EXPECT_NEAR(model.beta(), 0.45, 0.1);
+  EXPECT_FALSE(model.is_super_linear());
+}
+
+TEST(DurationModel, VolumeAndInverseRoundTrip) {
+  const DurationModel model(0.05, 1.25, 0.9);
+  for (double d : {10.0, 120.0, 3600.0}) {
+    EXPECT_NEAR(model.duration(model.volume(d)), d, 1e-6);
+  }
+}
+
+TEST(DurationModel, ThroughputScalesWithBeta) {
+  // Super-linear: throughput grows with duration; sub-linear: it decays.
+  const DurationModel super_linear(0.01, 1.4);
+  EXPECT_GT(super_linear.throughput_mbps(1000.0),
+            super_linear.throughput_mbps(10.0));
+  const DurationModel sub_linear(0.5, 0.4);
+  EXPECT_LT(sub_linear.throughput_mbps(1000.0),
+            sub_linear.throughput_mbps(10.0));
+  const DurationModel linear(0.2, 1.0);
+  EXPECT_NEAR(linear.throughput_mbps(10.0), linear.throughput_mbps(1000.0),
+              1e-9);
+}
+
+TEST(DurationModel, RejectsSparselyPopulatedCurves) {
+  BinnedMeanCurve curve(duration_axis());
+  curve.add(1.0, 5.0);
+  curve.add(2.0, 10.0);
+  EXPECT_THROW(DurationModel::fit(curve), InvalidArgument);
+}
+
+TEST(DurationModel, FitsDatasetServicesWithCorrectLinearity) {
+  // The planted beta regimes must be recovered: streaming services
+  // super-linear, interactive services sub-linear (Fig. 10 dichotomy).
+  const auto& ds = small_dataset();
+  const auto& catalog = service_catalog();
+  const std::vector<double> shares = ds.session_shares();
+  std::size_t checked = 0;
+  for (std::size_t s = 0; s < ds.num_services(); ++s) {
+    if (shares[s] < 0.005) continue;
+    const DurationModel model =
+        DurationModel::fit(ds.slice(s, Slice::kTotal).dv_curve);
+    if (catalog[s].cls == ServiceClass::kStreaming) {
+      EXPECT_GT(model.beta(), 0.95) << catalog[s].name;
+    } else if (catalog[s].cls == ServiceClass::kInteractive) {
+      EXPECT_LT(model.beta(), 1.05) << catalog[s].name;
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 8u);
+}
+
+TEST(DurationModel, BetaCloseToPlantedValues) {
+  const auto& ds = small_dataset();
+  const auto& catalog = service_catalog();
+  for (const char* name : {"Netflix", "Facebook", "Twitch", "Waze"}) {
+    const std::size_t s = service_index(name);
+    const DurationModel model =
+        DurationModel::fit(ds.slice(s, Slice::kTotal).dv_curve);
+    EXPECT_NEAR(model.beta(), catalog[s].beta, 0.35) << name;
+    EXPECT_GT(model.r_squared(), 0.5) << name;
+  }
+}
+
+// Parameterized sweep over planted exponents, checking recovery through the
+// binned-curve pathway.
+class DurationBetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DurationBetaSweep, BetaRecoveredThroughBinnedCurve) {
+  const double beta = GetParam();
+  const DurationModel model =
+      DurationModel::fit(synthetic_curve(0.1, beta, 0.02, 11));
+  EXPECT_NEAR(model.beta(), beta, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, DurationBetaSweep,
+                         ::testing::Values(0.1, 0.4, 0.8, 1.0, 1.3, 1.8));
+
+}  // namespace
+}  // namespace mtd

@@ -1,0 +1,307 @@
+#include "dataset/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "common/time_utils.hpp"
+
+namespace mtd {
+namespace {
+
+BaseStation make_bs(double peak_rate = 10.0) {
+  BaseStation bs;
+  bs.id = 0;
+  bs.decile = 5;
+  bs.peak_rate = peak_rate;
+  bs.offpeak_scale = peak_rate * 0.05;
+  return bs;
+}
+
+TEST(ArrivalProcess, DayPhaseMatchesCircadianThreshold) {
+  EXPECT_FALSE(ArrivalProcess::is_day_phase(3 * 60));
+  EXPECT_TRUE(ArrivalProcess::is_day_phase(12 * 60));
+}
+
+TEST(ArrivalProcess, DayCountsGaussianAroundPeakRate) {
+  const BaseStation bs = make_bs(40.0);
+  const ArrivalProcess process(bs);
+  Rng rng(1);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(static_cast<double>(process.sample(12 * 60, rng)));
+  }
+  // Mean close to peak_rate (noon activity ~ 1.0), sigma ~ mu / 10.
+  EXPECT_NEAR(stats.mean(), 40.0, 1.5);
+  EXPECT_NEAR(stats.stddev() / stats.mean(), 0.1, 0.03);
+}
+
+TEST(ArrivalProcess, NightCountsMuchLowerThanDay) {
+  const BaseStation bs = make_bs(40.0);
+  const ArrivalProcess process(bs);
+  Rng rng(2);
+  RunningStats day, night;
+  for (int i = 0; i < 20000; ++i) {
+    day.add(static_cast<double>(process.sample(13 * 60, rng)));
+    night.add(static_cast<double>(process.sample(3 * 60, rng)));
+  }
+  EXPECT_LT(night.mean(), day.mean() / 5.0);
+}
+
+TEST(ArrivalProcess, BimodalCountDistribution) {
+  // Counts pooled over the whole day leave a probability gap between the
+  // night mode and the day mode.
+  const BaseStation bs = make_bs(60.0);
+  const ArrivalProcess process(bs);
+  Rng rng(3);
+  std::size_t low = 0, mid = 0, high = 0;
+  for (std::size_t m = 0; m < kMinutesPerDay; ++m) {
+    const auto c = process.sample(m, rng);
+    if (c < 20) ++low;
+    else if (c < 40) ++mid;
+    else ++high;
+  }
+  EXPECT_GT(low, 200u);
+  EXPECT_GT(high, 500u);
+  EXPECT_LT(mid, 120u);  // intermediate rates are rare
+}
+
+TEST(SessionSampler, VolumesFollowThePlantedMixture) {
+  const ServiceProfile& netflix =
+      service_catalog()[service_index("Netflix")];
+  SessionSampler sampler(netflix);
+  Rng rng(4);
+  RunningStats log_volumes;
+  for (int i = 0; i < 50000; ++i) {
+    const auto draw = sampler.sample(rng);
+    EXPECT_GT(draw.volume_mb, 0.0);
+    if (!draw.transient) log_volumes.add(std::log10(draw.volume_mb));
+  }
+  // Full (non-transient) sessions center near the planted main mode.
+  EXPECT_NEAR(log_volumes.mean(), netflix.volume_mu, 0.25);
+}
+
+TEST(SessionSampler, DurationsFollowThePowerLaw) {
+  const ServiceProfile& profile =
+      service_catalog()[service_index("Twitch")];
+  SessionSampler sampler(profile);
+  Rng rng(5);
+  // Regress log10(d) on log10(v) for full sessions: slope ~ 1 / beta.
+  std::vector<double> lv, ld;
+  for (int i = 0; i < 20000; ++i) {
+    const auto draw = sampler.sample(rng);
+    if (draw.transient) continue;
+    lv.push_back(std::log10(draw.volume_mb));
+    ld.push_back(std::log10(draw.duration_s));
+  }
+  double sxy = 0.0, sxx = 0.0;
+  const double mx = mean(lv), my = mean(ld);
+  for (std::size_t i = 0; i < lv.size(); ++i) {
+    sxy += (lv[i] - mx) * (ld[i] - my);
+    sxx += (lv[i] - mx) * (lv[i] - mx);
+  }
+  EXPECT_NEAR(sxy / sxx, 1.0 / profile.beta, 0.08);
+}
+
+TEST(SessionSampler, TransientSessionsAreTruncated) {
+  const ServiceProfile& waze = service_catalog()[service_index("Waze")];
+  SessionSampler sampler(waze);
+  Rng rng(6);
+  RunningStats transient_durations, full_durations;
+  std::size_t transients = 0, total = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const auto draw = sampler.sample(rng);
+    ++total;
+    if (draw.transient) {
+      ++transients;
+      transient_durations.add(draw.duration_s);
+    } else {
+      full_durations.add(draw.duration_s);
+    }
+  }
+  // Waze has p_mobile 0.60, but truncation only applies when dwell < d.
+  EXPECT_GT(static_cast<double>(transients) / total, 0.15);
+  EXPECT_LT(static_cast<double>(transients) / total, 0.65);
+  EXPECT_LT(transient_durations.mean(), full_durations.mean());
+}
+
+TEST(SessionSampler, DurationsClampedToValidRange) {
+  const ServiceProfile& profile = service_catalog()[0];
+  SessionSampler sampler(profile);
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto draw = sampler.sample(rng);
+    EXPECT_GE(draw.duration_s, 1.0);
+    EXPECT_LE(draw.duration_s, 6.0 * 3600.0);
+  }
+}
+
+class CountingSink final : public TraceSink {
+ public:
+  std::size_t minutes = 0;
+  std::size_t sessions = 0;
+  std::uint64_t total_count = 0;
+  std::vector<Session> first_sessions;
+
+  void on_minute(const BaseStation&, std::size_t, std::size_t,
+                 std::uint32_t count) override {
+    ++minutes;
+    total_count += count;
+  }
+  void on_session(const Session& s) override {
+    ++sessions;
+    if (first_sessions.size() < 100) first_sessions.push_back(s);
+  }
+};
+
+TEST(TraceGenerator, MinuteCountsMatchSessionCount) {
+  NetworkConfig config;
+  config.num_bs = 10;
+  config.last_decile_rate = 20.0;
+  Rng rng(8);
+  const Network net = Network::build(config, rng);
+  TraceConfig trace;
+  trace.num_days = 1;
+  trace.seed = 5;
+  const TraceGenerator generator(net, trace);
+  CountingSink sink;
+  generator.run(sink);
+  EXPECT_EQ(sink.minutes, 10 * kMinutesPerDay);
+  EXPECT_EQ(sink.sessions, sink.total_count);
+  EXPECT_GT(sink.sessions, 1000u);
+}
+
+TEST(TraceGenerator, DeterministicAcrossRuns) {
+  NetworkConfig config;
+  config.num_bs = 10;
+  Rng rng_a(9), rng_b(9);
+  const Network net_a = Network::build(config, rng_a);
+  const Network net_b = Network::build(config, rng_b);
+  TraceConfig trace;
+  trace.num_days = 1;
+  const TraceGenerator gen_a(net_a, trace);
+  const TraceGenerator gen_b(net_b, trace);
+  CountingSink sink_a, sink_b;
+  gen_a.run(sink_a);
+  gen_b.run(sink_b);
+  EXPECT_EQ(sink_a.sessions, sink_b.sessions);
+  ASSERT_EQ(sink_a.first_sessions.size(), sink_b.first_sessions.size());
+  for (std::size_t i = 0; i < sink_a.first_sessions.size(); ++i) {
+    EXPECT_EQ(sink_a.first_sessions[i].service,
+              sink_b.first_sessions[i].service);
+    EXPECT_DOUBLE_EQ(sink_a.first_sessions[i].volume_mb,
+                     sink_b.first_sessions[i].volume_mb);
+  }
+}
+
+TEST(TraceGenerator, BsDayStreamsAreOrderIndependent) {
+  NetworkConfig config;
+  config.num_bs = 10;
+  Rng rng(10);
+  const Network net = Network::build(config, rng);
+  TraceConfig trace;
+  trace.num_days = 2;
+  const TraceGenerator generator(net, trace);
+  CountingSink day_then_bs, full;
+  // Manually iterate in a different order than run().
+  for (std::size_t day = 0; day < trace.num_days; ++day) {
+    for (const BaseStation& bs : net.base_stations()) {
+      generator.run_bs_day(bs, day, day_then_bs);
+    }
+  }
+  generator.run(full);
+  EXPECT_EQ(day_then_bs.sessions, full.sessions);
+}
+
+TEST(TraceGenerator, RateScaleScalesVolume) {
+  NetworkConfig config;
+  config.num_bs = 10;
+  Rng rng(11);
+  const Network net = Network::build(config, rng);
+  TraceConfig low, high;
+  low.num_days = 1;
+  low.rate_scale = 0.5;
+  high.num_days = 1;
+  high.rate_scale = 2.0;
+  CountingSink sink_low, sink_high;
+  TraceGenerator(net, low).run(sink_low);
+  TraceGenerator(net, high).run(sink_high);
+  EXPECT_NEAR(static_cast<double>(sink_high.sessions) / sink_low.sessions,
+              4.0, 0.5);
+}
+
+TEST(TraceGenerator, WeekendLoadDipsWhileBehaviorIsInvariant) {
+  // BS-level weekend dip ([14] in the paper) without touching the
+  // session-level statistics (Sec. 4.4).
+  NetworkConfig config;
+  config.num_bs = 10;
+  Rng rng(13);
+  const Network net = Network::build(config, rng);
+  TraceConfig trace;
+  trace.num_days = 7;  // Monday..Sunday
+  trace.weekend_rate_factor = 0.8;
+  const TraceGenerator generator(net, trace);
+
+  class DaySink final : public TraceSink {
+   public:
+    std::array<std::uint64_t, 7> sessions{};
+    void on_minute(const BaseStation&, std::size_t, std::size_t,
+                   std::uint32_t) override {}
+    void on_session(const Session& s) override { ++sessions[s.day]; }
+  } sink;
+  generator.run(sink);
+
+  double workday_mean = 0.0, weekend_mean = 0.0;
+  for (int d = 0; d < 5; ++d) workday_mean += static_cast<double>(sink.sessions[d]);
+  workday_mean /= 5.0;
+  for (int d = 5; d < 7; ++d) weekend_mean += static_cast<double>(sink.sessions[d]);
+  weekend_mean /= 2.0;
+  EXPECT_NEAR(weekend_mean / workday_mean, 0.8, 0.05);
+}
+
+TEST(TraceGenerator, RejectsZeroWeekendFactor) {
+  NetworkConfig config;
+  config.num_bs = 10;
+  Rng rng(14);
+  const Network net = Network::build(config, rng);
+  TraceConfig bad;
+  bad.weekend_rate_factor = 0.0;
+  EXPECT_THROW(TraceGenerator(net, bad), InvalidArgument);
+}
+
+TEST(TraceGenerator, ServiceMixFollowsShares) {
+  NetworkConfig config;
+  config.num_bs = 20;
+  Rng rng(12);
+  const Network net = Network::build(config, rng);
+  TraceConfig trace;
+  trace.num_days = 1;
+
+  class MixSink final : public TraceSink {
+   public:
+    std::vector<std::uint64_t> counts =
+        std::vector<std::uint64_t>(service_catalog().size(), 0);
+    std::uint64_t total = 0;
+    void on_minute(const BaseStation&, std::size_t, std::size_t,
+                   std::uint32_t) override {}
+    void on_session(const Session& s) override {
+      ++counts[s.service];
+      ++total;
+    }
+  } sink;
+
+  TraceGenerator(net, trace).run(sink);
+  const std::vector<double> shares = normalized_session_shares();
+  for (std::size_t s = 0; s < shares.size(); ++s) {
+    if (shares[s] < 0.005) continue;  // skip rare services (noisy)
+    const double observed =
+        static_cast<double>(sink.counts[s]) / static_cast<double>(sink.total);
+    EXPECT_NEAR(observed / shares[s], 1.0, 0.15)
+        << service_catalog()[s].name;
+  }
+}
+
+}  // namespace
+}  // namespace mtd

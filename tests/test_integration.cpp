@@ -1,0 +1,159 @@
+// End-to-end pipeline tests: generate -> aggregate -> fit -> validate that
+// the fitted models recover the planted ground truth, and that model-driven
+// regeneration statistically matches the measurement dataset.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/invariance.hpp"
+#include "analysis/similarity.hpp"
+#include "core/traffic_generator.hpp"
+#include "math/metrics.hpp"
+#include "test_helpers.hpp"
+
+namespace mtd {
+namespace {
+
+using test::small_dataset;
+
+const ModelRegistry& registry() {
+  static const ModelRegistry r = ModelRegistry::fit(small_dataset());
+  return r;
+}
+
+TEST(EndToEnd, ModelEmdAnOrderBelowInterServiceEmd) {
+  // The paper's model-quality criterion (Sec. 5.4): the EMD between model
+  // and measurement is an order of magnitude below the inter-service EMDs
+  // of Fig. 8a.
+  const auto& ds = small_dataset();
+  const InvarianceReport invariance = analyze_invariance(ds);
+  const double inter_service = invariance.pdf_distances[0].median();
+
+  double worst_model_emd = 0.0;
+  for (const ServiceModel& model : registry().services()) {
+    const std::size_t s = service_index(model.name());
+    const BinnedPdf empirical = ds.slice(s, Slice::kTotal).normalized_pdf();
+    worst_model_emd =
+        std::max(worst_model_emd, model.volume().emd_against(empirical));
+  }
+  EXPECT_LT(worst_model_emd, inter_service);
+  // Median model EMD is far smaller still.
+  std::vector<double> emds;
+  for (const ServiceModel& model : registry().services()) {
+    const std::size_t s = service_index(model.name());
+    emds.push_back(model.volume().emd_against(
+        ds.slice(s, Slice::kTotal).normalized_pdf()));
+  }
+  EXPECT_LT(quantile(emds, 0.5), inter_service / 4.0);
+}
+
+TEST(EndToEnd, FittedBetasPreserveTheStreamingDichotomy) {
+  std::size_t super_streaming = 0, total_streaming = 0;
+  std::size_t sub_interactive = 0, total_interactive = 0;
+  for (const ServiceModel& model : registry().services()) {
+    const auto& profile = service_catalog()[service_index(model.name())];
+    if (profile.cls == ServiceClass::kStreaming) {
+      ++total_streaming;
+      if (model.duration().beta() > 1.0) ++super_streaming;
+    } else if (profile.cls == ServiceClass::kInteractive) {
+      ++total_interactive;
+      if (model.duration().beta() < 1.0) ++sub_interactive;
+    }
+  }
+  ASSERT_GT(total_streaming, 0u);
+  ASSERT_GT(total_interactive, 0u);
+  EXPECT_EQ(super_streaming, total_streaming);
+  EXPECT_EQ(sub_interactive, total_interactive);
+}
+
+TEST(EndToEnd, FittedBetasWithinFig10Range) {
+  for (const ServiceModel& model : registry().services()) {
+    EXPECT_GT(model.duration().beta(), 0.05) << model.name();
+    EXPECT_LT(model.duration().beta(), 2.0) << model.name();
+  }
+}
+
+TEST(EndToEnd, RegeneratedVolumesMatchMeasurement) {
+  // Sample sessions from the fitted models and compare the resulting
+  // volume PDF with the measured one, per popular service.
+  const auto& ds = small_dataset();
+  Rng rng(31);
+  for (const char* name : {"Facebook", "Netflix", "Instagram", "Youtube"}) {
+    const ServiceModel& model = registry().by_name(name);
+    BinnedPdf regenerated(volume_axis());
+    for (int i = 0; i < 100000; ++i) {
+      regenerated.add(std::log10(model.sample(rng).volume_mb));
+    }
+    regenerated.normalize();
+    const BinnedPdf empirical =
+        ds.slice(service_index(name), Slice::kTotal).normalized_pdf();
+    EXPECT_LT(emd(regenerated, empirical), 0.15) << name;
+  }
+}
+
+TEST(EndToEnd, RegeneratedArrivalsMatchDecileRates) {
+  const ArrivalModel& arrivals = registry().arrivals();
+  Rng rng(32);
+  for (std::uint8_t d : {std::uint8_t{0}, std::uint8_t{5}, std::uint8_t{9}}) {
+    const ArrivalClassModel& cls = arrivals.class_model(d);
+    RunningStats counts;
+    for (int i = 0; i < 2000; ++i) {
+      counts.add(static_cast<double>(cls.sample(true, rng)));
+    }
+    EXPECT_NEAR(counts.mean() / cls.peak_mu, 1.0, 0.1) << "decile " << int(d);
+  }
+}
+
+TEST(EndToEnd, SavedRegistryReproducesSampling) {
+  const std::string path = ::testing::TempDir() + "/mtd_e2e_registry.json";
+  registry().save(path);
+  const ModelRegistry loaded = ModelRegistry::load(path);
+  // Identical parameter tuples give identical deterministic sampling.
+  Rng rng_a(77), rng_b(77);
+  const ServiceModel& a = registry().by_name("Netflix");
+  const ServiceModel& b = loaded.by_name("Netflix");
+  for (int i = 0; i < 1000; ++i) {
+    const auto draw_a = a.sample(rng_a);
+    const auto draw_b = b.sample(rng_b);
+    EXPECT_DOUBLE_EQ(draw_a.volume_mb, draw_b.volume_mb);
+    EXPECT_DOUBLE_EQ(draw_a.duration_s, draw_b.duration_s);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EndToEnd, DatasetRebuildIsDeterministic) {
+  // Rebuilding with identical configuration gives identical aggregates.
+  NetworkConfig nc;
+  nc.num_bs = 12;
+  nc.last_decile_rate = 25.0;
+  Rng rng_a(5), rng_b(5);
+  const Network net_a = Network::build(nc, rng_a);
+  const Network net_b = Network::build(nc, rng_b);
+  TraceConfig tc;
+  tc.num_days = 1;
+  tc.seed = 8;
+  const MeasurementDataset ds_a = collect_dataset(net_a, tc);
+  const MeasurementDataset ds_b = collect_dataset(net_b, tc);
+  EXPECT_EQ(ds_a.total_sessions(), ds_b.total_sessions());
+  EXPECT_DOUBLE_EQ(ds_a.total_volume_mb(), ds_b.total_volume_mb());
+  const auto shares_a = ds_a.session_shares();
+  const auto shares_b = ds_b.session_shares();
+  for (std::size_t s = 0; s < shares_a.size(); ++s) {
+    EXPECT_DOUBLE_EQ(shares_a[s], shares_b[s]);
+  }
+}
+
+TEST(EndToEnd, ThroughputStatisticsAreConsistent) {
+  // Average throughput = volume / duration relationship survives the whole
+  // pipeline: streaming sessions get faster with duration, interactive
+  // sessions slower (Sec. 5.3 discussion).
+  const ServiceModel& netflix = registry().by_name("Netflix");
+  EXPECT_GT(netflix.duration().throughput_mbps(1800.0),
+            netflix.duration().throughput_mbps(60.0));
+  const ServiceModel& facebook = registry().by_name("Facebook");
+  EXPECT_LT(facebook.duration().throughput_mbps(1800.0),
+            facebook.duration().throughput_mbps(60.0));
+}
+
+}  // namespace
+}  // namespace mtd

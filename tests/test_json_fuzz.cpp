@@ -1,0 +1,126 @@
+// Property tests for the JSON layer: randomly generated documents survive
+// a dump/parse round trip, and random byte strings never crash the parser
+// (they either parse or throw ParseError).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/rng.hpp"
+#include "io/json.hpp"
+
+namespace mtd {
+namespace {
+
+Json random_value(Rng& rng, int depth) {
+  const double u = rng.uniform();
+  if (depth <= 0 || u < 0.35) {
+    // Scalar leaves.
+    switch (rng.uniform_index(4)) {
+      case 0: return Json(nullptr);
+      case 1: return Json(rng.bernoulli(0.5));
+      case 2: {
+        // Mix of integers, fractions and extreme magnitudes.
+        const double mag = std::pow(10.0, rng.uniform(-12.0, 12.0));
+        const double value = (rng.bernoulli(0.5) ? 1.0 : -1.0) *
+                             (rng.bernoulli(0.3) ? std::floor(mag) : mag);
+        return Json(value);
+      }
+      default: {
+        std::string s;
+        const std::size_t len = rng.uniform_index(12);
+        for (std::size_t i = 0; i < len; ++i) {
+          const char* alphabet =
+              "abcXYZ019 _-\"\\\n\t/{}[],:é€";
+          s += alphabet[rng.uniform_index(26)];
+        }
+        return Json(std::move(s));
+      }
+    }
+  }
+  if (u < 0.7) {
+    JsonArray arr;
+    const std::size_t n = rng.uniform_index(5);
+    for (std::size_t i = 0; i < n; ++i) {
+      arr.push_back(random_value(rng, depth - 1));
+    }
+    return Json(std::move(arr));
+  }
+  JsonObject obj;
+  const std::size_t n = rng.uniform_index(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    obj.insert_or_assign("k" + std::to_string(rng.uniform_index(100)),
+                         random_value(rng, depth - 1));
+  }
+  return Json(std::move(obj));
+}
+
+void expect_equal(const Json& a, const Json& b, const std::string& path) {
+  ASSERT_EQ(a.is_null(), b.is_null()) << path;
+  ASSERT_EQ(a.is_bool(), b.is_bool()) << path;
+  ASSERT_EQ(a.is_number(), b.is_number()) << path;
+  ASSERT_EQ(a.is_string(), b.is_string()) << path;
+  ASSERT_EQ(a.is_array(), b.is_array()) << path;
+  ASSERT_EQ(a.is_object(), b.is_object()) << path;
+  if (a.is_bool()) EXPECT_EQ(a.as_bool(), b.as_bool()) << path;
+  if (a.is_number()) EXPECT_DOUBLE_EQ(a.as_number(), b.as_number()) << path;
+  if (a.is_string()) EXPECT_EQ(a.as_string(), b.as_string()) << path;
+  if (a.is_array()) {
+    ASSERT_EQ(a.as_array().size(), b.as_array().size()) << path;
+    for (std::size_t i = 0; i < a.as_array().size(); ++i) {
+      expect_equal(a.as_array()[i], b.as_array()[i],
+                   path + "[" + std::to_string(i) + "]");
+    }
+  }
+  if (a.is_object()) {
+    ASSERT_EQ(a.as_object().size(), b.as_object().size()) << path;
+    for (const auto& [key, value] : a.as_object()) {
+      ASSERT_TRUE(b.contains(key)) << path << "." << key;
+      expect_equal(value, b.at(key), path + "." + key);
+    }
+  }
+}
+
+class JsonRoundTripFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonRoundTripFuzz, RandomDocumentsSurviveDumpParse) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const Json original = random_value(rng, 4);
+    for (int indent : {0, 2}) {
+      const Json reparsed = Json::parse(original.dump(indent));
+      expect_equal(original, reparsed, "$");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripFuzz,
+                         ::testing::Range<std::uint64_t>(100, 108));
+
+class JsonGarbageFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonGarbageFuzz, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  const char* alphabet = "{}[]\",:0123456789.eE+-truefalsenul \\n\t\"";
+  const std::size_t alpha_len = 39;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const std::size_t len = 1 + rng.uniform_index(40);
+    for (std::size_t i = 0; i < len; ++i) {
+      text += alphabet[rng.uniform_index(alpha_len)];
+    }
+    try {
+      const Json parsed = Json::parse(text);
+      // If it parsed, its dump must reparse to the same value.
+      expect_equal(parsed, Json::parse(parsed.dump()), "$");
+    } catch (const ParseError&) {
+      // Expected for malformed input.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonGarbageFuzz,
+                         ::testing::Range<std::uint64_t>(200, 206));
+
+}  // namespace
+}  // namespace mtd

@@ -1,0 +1,124 @@
+#include "math/ks_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "math/distributions.hpp"
+#include "math/mixture.hpp"
+
+namespace mtd {
+namespace {
+
+TEST(KolmogorovSurvival, KnownValues) {
+  EXPECT_DOUBLE_EQ(kolmogorov_survival(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(kolmogorov_survival(-1.0), 1.0);
+  // Standard critical values: Q(1.36) ~ 0.049, Q(1.63) ~ 0.010.
+  EXPECT_NEAR(kolmogorov_survival(1.36), 0.049, 0.003);
+  EXPECT_NEAR(kolmogorov_survival(1.63), 0.010, 0.002);
+  EXPECT_LT(kolmogorov_survival(3.0), 1e-6);
+}
+
+TEST(KsOneSample, AcceptsMatchingDistribution) {
+  Rng rng(1);
+  const Gaussian g(2.0, 1.5);
+  std::vector<double> samples;
+  for (int i = 0; i < 2000; ++i) samples.push_back(g.sample(rng));
+  const KsResult result =
+      ks_test(samples, [&g](double x) { return g.cdf(x); });
+  EXPECT_TRUE(result.accept());
+  EXPECT_LT(result.statistic, 0.05);
+}
+
+TEST(KsOneSample, RejectsWrongLocation) {
+  Rng rng(2);
+  const Gaussian g(0.0, 1.0);
+  std::vector<double> samples;
+  for (int i = 0; i < 2000; ++i) samples.push_back(g.sample(rng) + 0.3);
+  const KsResult result =
+      ks_test(samples, [&g](double x) { return g.cdf(x); });
+  EXPECT_FALSE(result.accept());
+}
+
+TEST(KsOneSample, RejectsWrongShape) {
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 2000; ++i) samples.push_back(rng.exponential(1.0));
+  const Gaussian g(1.0, 1.0);
+  const KsResult result =
+      ks_test(samples, [&g](double x) { return g.cdf(x); });
+  EXPECT_FALSE(result.accept());
+}
+
+TEST(KsOneSample, ValidatesSampleSize) {
+  const std::vector<double> tiny{1.0, 2.0};
+  EXPECT_THROW(ks_test(tiny, [](double) { return 0.5; }), InvalidArgument);
+}
+
+TEST(KsTwoSample, AcceptsSameProcess) {
+  Rng rng(4);
+  std::vector<double> a, b;
+  for (int i = 0; i < 1500; ++i) {
+    a.push_back(rng.log10_normal(0.5, 0.4));
+    b.push_back(rng.log10_normal(0.5, 0.4));
+  }
+  EXPECT_TRUE(ks_test(a, b).accept());
+}
+
+TEST(KsTwoSample, RejectsDifferentProcesses) {
+  Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 1500; ++i) {
+    a.push_back(rng.log10_normal(0.5, 0.4));
+    b.push_back(rng.log10_normal(0.8, 0.4));
+  }
+  EXPECT_FALSE(ks_test(a, b).accept());
+}
+
+TEST(KsTwoSample, StatisticIsSymmetric) {
+  Rng rng(6);
+  std::vector<double> a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.normal());
+    b.push_back(rng.normal(0.2, 1.0));
+  }
+  EXPECT_DOUBLE_EQ(ks_test(a, b).statistic, ks_test(b, a).statistic);
+}
+
+TEST(KsTwoSample, EndToEndModelValidation) {
+  // The fitted Log10Normal mixture sampling matches its own quantile
+  // transform - a self-consistency check used as the template for model
+  // validation.
+  const Log10NormalMixture mix = Log10NormalMixture::from_main_and_peaks(
+      Log10Normal(1.0, 0.5), std::vector<double>{0.2},
+      std::vector<Log10Normal>{Log10Normal(2.2, 0.1)});
+  Rng rng(7);
+  std::vector<double> sampled, inverse;
+  for (int i = 0; i < 1200; ++i) {
+    sampled.push_back(std::log10(mix.sample(rng)));
+    inverse.push_back(std::log10(mix.quantile(rng.uniform(0.001, 0.999))));
+  }
+  EXPECT_TRUE(ks_test(sampled, inverse).accept(0.01));
+}
+
+// False-positive rate sanity: under the null, p-values should not be
+// concentrated at small values across seeds.
+class KsNullCalibration : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KsNullCalibration, DoesNotOverReject) {
+  Rng rng(GetParam());
+  const Gaussian g(0.0, 1.0);
+  std::vector<double> samples;
+  for (int i = 0; i < 400; ++i) samples.push_back(g.sample(rng));
+  const KsResult result =
+      ks_test(samples, [&g](double x) { return g.cdf(x); });
+  EXPECT_TRUE(result.accept(0.001));  // extremely small alpha: ~never rejects
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KsNullCalibration,
+                         ::testing::Range<std::uint64_t>(10, 20));
+
+}  // namespace
+}  // namespace mtd

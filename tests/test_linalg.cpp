@@ -1,0 +1,118 @@
+#include "math/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mtd {
+namespace {
+
+TEST(Matrix, RejectsZeroDimensions) {
+  EXPECT_THROW(Matrix(0, 3), InvalidArgument);
+  EXPECT_THROW(Matrix(3, 0), InvalidArgument);
+}
+
+TEST(Matrix, GramOfIdentityIsIdentity) {
+  Matrix m(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) m(i, i) = 1.0;
+  const Matrix g = m.gram();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(g(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, GramIsSymmetric) {
+  Rng rng(1);
+  Matrix m(5, 3);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = rng.normal();
+  }
+  const Matrix g = m.gram();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+    }
+  }
+}
+
+TEST(Matrix, TimesAndTransposeTimes) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6]
+  m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+  m(1, 0) = 4; m(1, 1) = 5; m(1, 2) = 6;
+  const std::vector<double> v{1.0, 1.0, 1.0};
+  const auto mv = m.times(v);
+  ASSERT_EQ(mv.size(), 2u);
+  EXPECT_DOUBLE_EQ(mv[0], 6.0);
+  EXPECT_DOUBLE_EQ(mv[1], 15.0);
+  const std::vector<double> w{1.0, 2.0};
+  const auto mtw = m.transpose_times(w);
+  ASSERT_EQ(mtw.size(), 3u);
+  EXPECT_DOUBLE_EQ(mtw[0], 9.0);
+  EXPECT_DOUBLE_EQ(mtw[1], 12.0);
+  EXPECT_DOUBLE_EQ(mtw[2], 15.0);
+}
+
+TEST(Matrix, TimesRejectsSizeMismatch) {
+  const Matrix m(2, 3);
+  const std::vector<double> bad{1.0, 2.0};
+  EXPECT_THROW((void)m.times(bad), InvalidArgument);
+  const std::vector<double> bad_t{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)m.transpose_times(bad_t), InvalidArgument);
+}
+
+TEST(Solve, TwoByTwoSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 3;
+  const auto x = solve(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Solve, NeedsPivoting) {
+  // Zero pivot in the first position forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 0;
+  const auto x = solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Solve, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 4;
+  EXPECT_THROW(solve(a, {1.0, 2.0}), NumericalError);
+}
+
+TEST(Solve, RejectsNonSquareOrMismatchedRhs) {
+  EXPECT_THROW(solve(Matrix(2, 3), {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(solve(Matrix(2, 2), {1.0}), InvalidArgument);
+}
+
+TEST(Solve, RandomSystemsRoundTrip) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(6);
+    Matrix a(n, n);
+    std::vector<double> x_true(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x_true[i] = rng.normal();
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+      a(i, i) += static_cast<double>(n);  // diagonally dominant => regular
+    }
+    const std::vector<double> b = a.times(x_true);
+    const auto x = solve(a, b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], x_true[i], 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mtd

@@ -1,0 +1,173 @@
+#include "math/levenberg_marquardt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mtd {
+namespace {
+
+TEST(LevenbergMarquardt, RecoversLinearModel) {
+  const ModelFunction line = [](double x, std::span<const double> p) {
+    return p[0] + p[1] * x;
+  };
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(3.0 + 2.0 * i);
+  }
+  const LmResult result = levenberg_marquardt(line, xs, ys, {}, {0.0, 0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.params[0], 3.0, 1e-6);
+  EXPECT_NEAR(result.params[1], 2.0, 1e-6);
+  EXPECT_NEAR(result.chi2, 0.0, 1e-10);
+}
+
+TEST(LevenbergMarquardt, RecoversGaussianParameters) {
+  const ModelFunction gauss = [](double x, std::span<const double> p) {
+    const double z = (x - p[0]) / p[2];
+    return p[1] * std::exp(-0.5 * z * z);
+  };
+  std::vector<double> xs, ys;
+  for (double x = -5.0; x <= 5.0; x += 0.1) {
+    xs.push_back(x);
+    const double z = (x - 1.2) / 0.7;
+    ys.push_back(2.5 * std::exp(-0.5 * z * z));
+  }
+  const LmResult result =
+      levenberg_marquardt(gauss, xs, ys, {}, {0.0, 1.0, 1.0});
+  EXPECT_NEAR(result.params[0], 1.2, 1e-5);
+  EXPECT_NEAR(result.params[1], 2.5, 1e-5);
+  EXPECT_NEAR(std::abs(result.params[2]), 0.7, 1e-5);
+}
+
+TEST(LevenbergMarquardt, HandlesNoisyData) {
+  Rng rng(1);
+  const ModelFunction expo = [](double x, std::span<const double> p) {
+    return p[0] * std::exp(p[1] * x);
+  };
+  std::vector<double> xs, ys;
+  for (double x = 0.0; x < 5.0; x += 0.05) {
+    xs.push_back(x);
+    ys.push_back(4.0 * std::exp(-0.8 * x) + rng.normal(0.0, 0.01));
+  }
+  const LmResult result = levenberg_marquardt(expo, xs, ys, {}, {1.0, -0.1});
+  EXPECT_NEAR(result.params[0], 4.0, 0.05);
+  EXPECT_NEAR(result.params[1], -0.8, 0.02);
+}
+
+TEST(LevenbergMarquardt, WeightsFocusTheFit) {
+  // Two clusters of points from different lines; weights select cluster A.
+  const ModelFunction line = [](double x, std::span<const double> p) {
+    return p[0] * x;
+  };
+  const std::vector<double> xs{1.0, 2.0, 3.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0, 10.0, 20.0, 30.0};
+  const std::vector<double> w_a{1.0, 1.0, 1.0, 1e-9, 1e-9, 1e-9};
+  const LmResult result = levenberg_marquardt(line, xs, ys, w_a, {1.0});
+  EXPECT_NEAR(result.params[0], 2.0, 1e-4);
+}
+
+TEST(LevenbergMarquardt, ValidatesInputs) {
+  const ModelFunction f = [](double, std::span<const double> p) {
+    return p[0];
+  };
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0};
+  EXPECT_THROW(levenberg_marquardt(f, xs, ys, {}, {0.0}), InvalidArgument);
+  const std::vector<double> ys2{1.0, 2.0};
+  EXPECT_THROW(levenberg_marquardt(f, xs, ys2, {}, {}), InvalidArgument);
+  const std::vector<double> w{1.0};
+  EXPECT_THROW(levenberg_marquardt(f, xs, ys2, w, {0.0}), InvalidArgument);
+}
+
+TEST(PowerLawFit, ExactRecovery) {
+  std::vector<double> xs, ys;
+  for (double x = 1.0; x < 100.0; x *= 1.5) {
+    xs.push_back(x);
+    ys.push_back(0.05 * std::pow(x, 1.3));
+  }
+  const PowerLawFit fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.alpha, 0.05, 1e-6);
+  EXPECT_NEAR(fit.beta, 1.3, 1e-6);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(PowerLawFit, NoisyRecoveryAndR2) {
+  Rng rng(2);
+  std::vector<double> xs, ys;
+  for (double x = 2.0; x < 2000.0; x *= 1.2) {
+    xs.push_back(x);
+    ys.push_back(0.4 * std::pow(x, 0.6) *
+                 std::pow(10.0, rng.normal(0.0, 0.03)));
+  }
+  const PowerLawFit fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.beta, 0.6, 0.05);
+  EXPECT_GT(fit.r_squared, 0.9);
+}
+
+TEST(PowerLawFit, InverseRoundTrip) {
+  const PowerLawFit fit{0.1, 1.25, 1.0, true};
+  for (double d : {1.0, 10.0, 600.0}) {
+    EXPECT_NEAR(fit.inverse(fit(d)), d, 1e-9);
+  }
+}
+
+TEST(PowerLawFit, InverseRejectsDegenerate) {
+  const PowerLawFit flat{0.0, 0.0, 0.0, false};
+  EXPECT_THROW(flat.inverse(1.0), InvalidArgument);
+  const PowerLawFit ok{1.0, 1.0, 1.0, true};
+  EXPECT_THROW(ok.inverse(0.0), InvalidArgument);
+}
+
+TEST(PowerLawFit, RejectsNonPositiveData) {
+  const std::vector<double> xs{1.0, -2.0};
+  const std::vector<double> ys{1.0, 2.0};
+  EXPECT_THROW(fit_power_law(xs, ys), InvalidArgument);
+}
+
+TEST(ExponentialFit, ExactRecoveryAndLogR2) {
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 30; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(0.4 * std::exp(-0.18 * i));
+  }
+  const ExponentialFit fit = fit_exponential(xs, ys);
+  EXPECT_NEAR(fit.a, 0.4, 1e-9);
+  EXPECT_NEAR(fit.b, -0.18, 1e-9);
+  EXPECT_NEAR(fit.r_squared_log, 1.0, 1e-12);
+}
+
+TEST(ExponentialFit, RejectsNonPositiveValues) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0, 0.0};
+  EXPECT_THROW(fit_exponential(xs, ys), InvalidArgument);
+}
+
+// Power-law recovery across a sweep of exponents, the backbone of the
+// duration-volume models (Fig. 10 spans beta in [0.1, 1.8]).
+class PowerLawSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerLawSweep, BetaRecovered) {
+  const double beta = GetParam();
+  Rng rng(42);
+  std::vector<double> xs, ys;
+  for (double x = 1.0; x < 5000.0; x *= 1.3) {
+    xs.push_back(x);
+    ys.push_back(0.02 * std::pow(x, beta) *
+                 std::pow(10.0, rng.normal(0.0, 0.02)));
+  }
+  const PowerLawFit fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.beta, beta, 0.03) << "beta=" << beta;
+  EXPECT_EQ(fit.beta > 1.0, beta > 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, PowerLawSweep,
+                         ::testing::Values(0.1, 0.35, 0.6, 0.9, 1.1, 1.45,
+                                           1.8));
+
+}  // namespace
+}  // namespace mtd

@@ -1,0 +1,131 @@
+#include "math/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mtd {
+namespace {
+
+BinnedPdf delta_at(const Axis& axis, double coord) {
+  BinnedPdf pdf(axis);
+  pdf.add(coord);
+  pdf.normalize();
+  return pdf;
+}
+
+TEST(Emd, IdenticalDistributionsAreZero) {
+  const Axis axis(0.0, 10.0, 100);
+  const BinnedPdf a = delta_at(axis, 3.0);
+  EXPECT_DOUBLE_EQ(emd(a, a), 0.0);
+}
+
+TEST(Emd, ShiftedDeltasMeasureTheShift) {
+  const Axis axis(0.0, 10.0, 100);
+  const BinnedPdf a = delta_at(axis, 2.05);
+  const BinnedPdf b = delta_at(axis, 5.05);
+  EXPECT_NEAR(emd(a, b), 3.0, 0.11);  // within ~one bin width
+}
+
+TEST(Emd, IsSymmetric) {
+  const Axis axis(0.0, 1.0, 50);
+  Rng rng(1);
+  BinnedPdf a(axis), b(axis);
+  for (int i = 0; i < 1000; ++i) {
+    a.add(rng.uniform());
+    b.add(rng.uniform() * rng.uniform());
+  }
+  a.normalize();
+  b.normalize();
+  EXPECT_DOUBLE_EQ(emd(a, b), emd(b, a));
+}
+
+TEST(Emd, SatisfiesTriangleInequality) {
+  const Axis axis(0.0, 10.0, 100);
+  const BinnedPdf a = delta_at(axis, 1.0);
+  const BinnedPdf b = delta_at(axis, 4.0);
+  const BinnedPdf c = delta_at(axis, 8.0);
+  EXPECT_LE(emd(a, c), emd(a, b) + emd(b, c) + 1e-12);
+}
+
+TEST(Emd, InvariantToInputNormalization) {
+  const Axis axis(0.0, 1.0, 20);
+  BinnedPdf a(axis), b(axis), a_scaled(axis);
+  a.add(0.2);
+  a_scaled.add(0.2, 100.0);  // same shape, different mass
+  b.add(0.7);
+  EXPECT_NEAR(emd(a, b), emd(a_scaled, b), 1e-12);
+}
+
+TEST(Emd, ZeroMassThrows) {
+  const Axis axis(0.0, 1.0, 10);
+  const BinnedPdf empty(axis);
+  const BinnedPdf full = delta_at(axis, 0.5);
+  EXPECT_THROW(emd(empty, full), InvalidArgument);
+}
+
+TEST(Emd, GridMismatchThrows) {
+  const BinnedPdf a = delta_at(Axis(0.0, 1.0, 10), 0.5);
+  const BinnedPdf b = delta_at(Axis(0.0, 2.0, 10), 0.5);
+  EXPECT_THROW(emd(a, b), InvalidArgument);
+}
+
+TEST(Emd, GaussiansWithDifferentMeans) {
+  // EMD between two equal-variance Gaussians equals the mean difference.
+  const Axis axis(-10.0, 20.0, 600);
+  Rng rng(2);
+  BinnedPdf a(axis), b(axis);
+  for (int i = 0; i < 400000; ++i) {
+    a.add(rng.normal(0.0, 1.0));
+    b.add(rng.normal(4.0, 1.0));
+  }
+  a.normalize();
+  b.normalize();
+  EXPECT_NEAR(emd(a, b), 4.0, 0.05);
+}
+
+TEST(SquaredEuclidean, VectorsAndErrors) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{2.0, 0.0, 3.0};
+  EXPECT_DOUBLE_EQ(squared_euclidean(a, b), 1.0 + 4.0 + 0.0);
+  const std::vector<double> short_v{1.0};
+  EXPECT_THROW(squared_euclidean(a, short_v), InvalidArgument);
+}
+
+TEST(SquaredEuclidean, CurvesSkipMutuallyEmptyBins) {
+  const Axis axis(0.0, 10.0, 10);
+  BinnedMeanCurve a(axis), b(axis);
+  a.add(1.5, 10.0);
+  b.add(1.5, 13.0);
+  // Bin 5 only populated in a.
+  a.add(5.5, 2.0);
+  EXPECT_DOUBLE_EQ(squared_euclidean(a, b), 9.0 + 4.0);
+}
+
+TEST(SquaredEuclidean, IdenticalCurvesAreZero) {
+  const Axis axis(0.0, 10.0, 10);
+  BinnedMeanCurve a(axis);
+  a.add(1.0, 5.0);
+  a.add(7.0, 3.0);
+  EXPECT_DOUBLE_EQ(squared_euclidean(a, a), 0.0);
+}
+
+// EMD of a delta against a shifted copy grows linearly with the shift.
+class EmdShiftLinearity : public ::testing::TestWithParam<double> {};
+
+TEST_P(EmdShiftLinearity, ProportionalToShift) {
+  const double shift = GetParam();
+  const Axis axis(0.0, 100.0, 1000);
+  const BinnedPdf a = delta_at(axis, 10.0);
+  const BinnedPdf b = delta_at(axis, 10.0 + shift);
+  EXPECT_NEAR(emd(a, b), shift, 0.11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, EmdShiftLinearity,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.0, 10.0, 50.0));
+
+}  // namespace
+}  // namespace mtd

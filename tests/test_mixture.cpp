@@ -1,0 +1,140 @@
+#include "math/mixture.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace mtd {
+namespace {
+
+Log10NormalMixture simple_mixture() {
+  // Main at 10^1 with a peak at 10^2.5 carrying relative weight 0.25.
+  return Log10NormalMixture::from_main_and_peaks(
+      Log10Normal(1.0, 0.4), std::vector<double>{0.25},
+      std::vector<Log10Normal>{Log10Normal(2.5, 0.1)});
+}
+
+TEST(Log10NormalMixture, WeightsAreNormalized) {
+  const Log10NormalMixture mix = simple_mixture();
+  double total = 0.0;
+  for (const auto& c : mix.components()) total += c.weight;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Eq. (5): main weight = 1 / (1 + sum k), peak = k / (1 + sum k).
+  EXPECT_NEAR(mix.components()[0].weight, 1.0 / 1.25, 1e-12);
+  EXPECT_NEAR(mix.components()[1].weight, 0.25 / 1.25, 1e-12);
+}
+
+TEST(Log10NormalMixture, RejectsBadConstruction) {
+  EXPECT_THROW(Log10NormalMixture({}, {}), InvalidArgument);
+  EXPECT_THROW(Log10NormalMixture({1.0, -1.0},
+                                  {Log10Normal(0, 1), Log10Normal(1, 1)}),
+               InvalidArgument);
+  EXPECT_THROW(Log10NormalMixture({1.0}, {Log10Normal(0, 1), Log10Normal(1, 1)}),
+               InvalidArgument);
+}
+
+TEST(Log10NormalMixture, SingleComponentMatchesComponent) {
+  const Log10Normal base(0.5, 0.3);
+  const Log10NormalMixture mix({1.0}, {base});
+  for (double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(mix.pdf(x), base.pdf(x), 1e-12);
+    EXPECT_NEAR(mix.cdf(x), base.cdf(x), 1e-12);
+  }
+}
+
+TEST(Log10NormalMixture, PdfIsConvexCombination) {
+  const Log10NormalMixture mix = simple_mixture();
+  const Log10Normal main(1.0, 0.4), peak(2.5, 0.1);
+  for (double x : {1.0, 10.0, 300.0}) {
+    const double expected = (main.pdf(x) + 0.25 * peak.pdf(x)) / 1.25;
+    EXPECT_NEAR(mix.pdf(x), expected, 1e-12);
+  }
+}
+
+TEST(Log10NormalMixture, PdfLog10Consistency) {
+  const Log10NormalMixture mix = simple_mixture();
+  const double u = 1.3;
+  const double x = std::pow(10.0, u);
+  EXPECT_NEAR(mix.pdf(x), mix.pdf_log10(u) / (x * std::numbers::ln10), 1e-12);
+}
+
+TEST(Log10NormalMixture, CdfIsMonotoneToOne) {
+  const Log10NormalMixture mix = simple_mixture();
+  double prev = 0.0;
+  for (double u = -3.0; u <= 5.0; u += 0.1) {
+    const double c = mix.cdf(std::pow(10.0, u));
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+  EXPECT_NEAR(mix.cdf(1e8), 1.0, 1e-9);
+}
+
+TEST(Log10NormalMixture, QuantileInvertsCdf) {
+  const Log10NormalMixture mix = simple_mixture();
+  for (double p : {0.01, 0.1, 0.5, 0.79, 0.81, 0.95, 0.999}) {
+    EXPECT_NEAR(mix.cdf(mix.quantile(p)), p, 1e-8) << "p=" << p;
+  }
+  EXPECT_THROW(mix.quantile(0.0), InvalidArgument);
+  EXPECT_THROW(mix.quantile(1.0), InvalidArgument);
+}
+
+TEST(Log10NormalMixture, SampleHitsBothModes) {
+  const Log10NormalMixture mix = simple_mixture();
+  Rng rng(1);
+  std::size_t near_main = 0, near_peak = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = std::log10(mix.sample(rng));
+    if (std::abs(u - 1.0) < 0.8) ++near_main;
+    if (std::abs(u - 2.5) < 0.3) ++near_peak;
+  }
+  EXPECT_NEAR(static_cast<double>(near_peak) / n, 0.2, 0.02);
+  EXPECT_GT(static_cast<double>(near_main) / n, 0.6);
+}
+
+TEST(Log10NormalMixture, MeanIsWeightedComponentMean) {
+  const Log10NormalMixture mix = simple_mixture();
+  const Log10Normal main(1.0, 0.4), peak(2.5, 0.1);
+  const double expected = (main.mean() + 0.25 * peak.mean()) / 1.25;
+  EXPECT_NEAR(mix.mean(), expected, 1e-9);
+
+  Rng rng(2);
+  RunningStats stats;
+  for (int i = 0; i < 400000; ++i) stats.add(mix.sample(rng));
+  EXPECT_NEAR(stats.mean() / expected, 1.0, 0.03);
+}
+
+TEST(Log10NormalMixture, FromMainAndPeaksValidatesSizes) {
+  EXPECT_THROW(Log10NormalMixture::from_main_and_peaks(
+                   Log10Normal(0, 1), std::vector<double>{0.1},
+                   std::vector<Log10Normal>{}),
+               InvalidArgument);
+}
+
+// Quantile/CDF round trips across a family of 3-peak mixtures like the
+// fitted service models.
+class MixtureRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(MixtureRoundTrip, QuantileConsistency) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const double main_mu = rng.uniform(-1.0, 2.0);
+  std::vector<double> ks;
+  std::vector<Log10Normal> peaks;
+  for (int i = 0; i < 3; ++i) {
+    ks.push_back(rng.uniform(0.01, 0.4));
+    peaks.emplace_back(main_mu + rng.uniform(-1.5, 1.5),
+                       rng.uniform(0.05, 0.3));
+  }
+  const auto mix = Log10NormalMixture::from_main_and_peaks(
+      Log10Normal(main_mu, rng.uniform(0.2, 0.8)), ks, peaks);
+  for (double p = 0.05; p < 1.0; p += 0.05) {
+    EXPECT_NEAR(mix.cdf(mix.quantile(p)), p, 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixtureRoundTrip, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace mtd

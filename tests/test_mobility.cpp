@@ -1,0 +1,266 @@
+#include "mobility/handover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "dataset/measurement.hpp"
+#include "math/metrics.hpp"
+#include "mobility/per_bs_view.hpp"
+
+namespace mtd {
+namespace {
+
+TEST(HandoverChainGenerator, ValidatesConfig) {
+  MobilityConfig bad;
+  bad.p_stationary = bad.p_pedestrian = bad.p_vehicular = 0.0;
+  EXPECT_THROW(HandoverChainGenerator{bad}, InvalidArgument);
+  bad = MobilityConfig{};
+  bad.max_segments = 0;
+  EXPECT_THROW(HandoverChainGenerator{bad}, InvalidArgument);
+  bad = MobilityConfig{};
+  bad.vehicular_dwell_median_s = 0.0;
+  EXPECT_THROW(HandoverChainGenerator{bad}, InvalidArgument);
+}
+
+TEST(HandoverChainGenerator, StationarySessionsAreSingleSegments) {
+  const HandoverChainGenerator generator;
+  Rng rng(1);
+  const HandoverChain chain = generator.split_with_state(
+      10.0, 600.0, MobilityState::kStationary, rng);
+  ASSERT_EQ(chain.segments.size(), 1u);
+  EXPECT_TRUE(chain.segments[0].first);
+  EXPECT_TRUE(chain.segments[0].last);
+  EXPECT_DOUBLE_EQ(chain.segments[0].volume_mb, 10.0);
+  EXPECT_DOUBLE_EQ(chain.segments[0].duration_s, 600.0);
+  EXPECT_EQ(chain.handovers(), 0u);
+}
+
+TEST(HandoverChainGenerator, ConservesVolumeAndDuration) {
+  const HandoverChainGenerator generator;
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const double volume = rng.log10_normal(0.5, 0.8);
+    const double duration = rng.log10_normal(2.2, 0.5);
+    const HandoverChain chain = generator.split(volume, duration, rng);
+    EXPECT_NEAR(chain.total_volume_mb(), volume, 1e-9 * volume);
+    EXPECT_NEAR(chain.total_duration_s(), duration, 1e-9 * duration);
+  }
+}
+
+TEST(HandoverChainGenerator, SegmentsAreWellFormed) {
+  const HandoverChainGenerator generator;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const HandoverChain chain = generator.split(50.0, 1800.0, rng);
+    ASSERT_FALSE(chain.segments.empty());
+    EXPECT_TRUE(chain.segments.front().first);
+    EXPECT_TRUE(chain.segments.back().last);
+    for (std::size_t k = 0; k < chain.segments.size(); ++k) {
+      EXPECT_EQ(chain.segments[k].hop, k);
+      EXPECT_GT(chain.segments[k].duration_s, 0.0);
+      EXPECT_GT(chain.segments[k].volume_mb, 0.0);
+      if (k > 0) EXPECT_FALSE(chain.segments[k].first);
+      if (k + 1 < chain.segments.size()) {
+        EXPECT_FALSE(chain.segments[k].last);
+      }
+    }
+  }
+}
+
+TEST(HandoverChainGenerator, VolumeProportionalToDuration) {
+  const HandoverChainGenerator generator;
+  Rng rng(4);
+  const HandoverChain chain = generator.split_with_state(
+      100.0, 3600.0, MobilityState::kVehicular, rng);
+  ASSERT_GT(chain.segments.size(), 3u);
+  for (const SessionSegment& s : chain.segments) {
+    EXPECT_NEAR(s.volume_mb, 100.0 * s.duration_s / 3600.0, 1e-9);
+  }
+}
+
+TEST(HandoverChainGenerator, VehicularChainsLongerThanPedestrian) {
+  const HandoverChainGenerator generator;
+  Rng rng(5);
+  RunningStats vehicular, pedestrian;
+  for (int i = 0; i < 2000; ++i) {
+    vehicular.add(static_cast<double>(
+        generator
+            .split_with_state(20.0, 1200.0, MobilityState::kVehicular, rng)
+            .segments.size()));
+    pedestrian.add(static_cast<double>(
+        generator
+            .split_with_state(20.0, 1200.0, MobilityState::kPedestrian, rng)
+            .segments.size()));
+  }
+  // A 20-minute session crosses many 45 s vehicular cells but few 240 s
+  // pedestrian cells.
+  EXPECT_GT(vehicular.mean(), 2.0 * pedestrian.mean());
+  EXPECT_GT(vehicular.mean(), 10.0);
+}
+
+TEST(HandoverChainGenerator, MiddleSegmentsFollowTheDwellDistribution) {
+  const HandoverChainGenerator generator;
+  Rng rng(6);
+  RunningStats middles;
+  for (int i = 0; i < 3000; ++i) {
+    const HandoverChain chain = generator.split_with_state(
+        20.0, 1800.0, MobilityState::kVehicular, rng);
+    for (const SessionSegment& s : chain.segments) {
+      if (!s.first && !s.last) middles.add(s.duration_s);
+    }
+  }
+  // Middle segments are complete cell dwells: mean near the vehicular
+  // dwell distribution's mean.
+  const double expected =
+      generator.dwell_distribution(MobilityState::kVehicular).mean();
+  EXPECT_NEAR(middles.mean() / expected, 1.0, 0.1);
+}
+
+TEST(HandoverChainGenerator, MaxSegmentsBoundConservesMass) {
+  MobilityConfig config;
+  config.max_segments = 4;
+  const HandoverChainGenerator generator(config);
+  Rng rng(7);
+  const HandoverChain chain = generator.split_with_state(
+      100.0, 6.0 * 3600.0, MobilityState::kVehicular, rng);
+  EXPECT_LE(chain.segments.size(), 4u);
+  EXPECT_NEAR(chain.total_volume_mb(), 100.0, 1e-6);
+  EXPECT_NEAR(chain.total_duration_s(), 6.0 * 3600.0, 1e-6);
+  EXPECT_TRUE(chain.segments.back().last);
+}
+
+TEST(HandoverChainGenerator, StateMixMatchesConfig) {
+  MobilityConfig config;
+  config.p_stationary = 0.5;
+  config.p_pedestrian = 0.3;
+  config.p_vehicular = 0.2;
+  const HandoverChainGenerator generator(config);
+  Rng rng(8);
+  std::array<int, 3> counts{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<std::size_t>(generator.sample_state(rng))];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.2, 0.01);
+}
+
+TEST(HandoverChainGenerator, DwellDistributionThrowsForStationary) {
+  const HandoverChainGenerator generator;
+  EXPECT_THROW(generator.dwell_distribution(MobilityState::kStationary),
+               InvalidArgument);
+}
+
+TEST(SummarizeChains, AggregatesPositionStatistics) {
+  const HandoverChainGenerator generator;
+  Rng rng(9);
+  std::vector<HandoverChain> chains;
+  for (int i = 0; i < 1000; ++i) {
+    chains.push_back(generator.split(10.0, 900.0, rng));
+  }
+  const ChainStatistics stats = summarize_chains(chains);
+  EXPECT_GE(stats.mean_segments, 1.0);
+  EXPECT_NEAR(stats.mean_handovers, stats.mean_segments - 1.0, 1e-9);
+  EXPECT_GE(stats.partial_observation_fraction, 0.0);
+  EXPECT_LE(stats.partial_observation_fraction, 1.0);
+  // Middle segments (complete dwells) are not longer than first segments
+  // only by sampling; check they exist for moving users.
+  EXPECT_GT(stats.mean_middle_duration_s, 0.0);
+}
+
+TEST(SummarizeChains, EmptyInputIsZero) {
+  const ChainStatistics stats = summarize_chains({});
+  EXPECT_DOUBLE_EQ(stats.mean_segments, 0.0);
+}
+
+TEST(PerBsView, ChainViewAmplifiesTheTransientLobe) {
+  // The full chain model records *every* segment of a moving session as a
+  // per-BS observation, so it sees strictly more partial sessions than the
+  // dataset substrate's one-shot (first-segment) truncation. Both views
+  // stay bimodal with a transient lobe below the full-session mass.
+  const ServiceProfile& netflix =
+      service_catalog()[service_index("Netflix")];
+  MobilityConfig config;
+  // Match the substrate's ~30% moving probability for Netflix.
+  config.p_stationary = 1.0 - netflix.p_mobile;
+  config.p_pedestrian = 0.0;
+  config.p_vehicular = netflix.p_mobile;
+  const HandoverChainGenerator mobility(config);
+  Rng rng_a(10), rng_b(10);
+  const PerBsObservation chains =
+      observe_per_bs(netflix, mobility, 30000, rng_a);
+  const PerBsObservation substrate =
+      observe_per_bs_substrate(netflix, 30000, rng_b);
+  EXPECT_GT(chains.partial_fraction, substrate.partial_fraction);
+  EXPECT_GT(chains.observations, substrate.observations);
+  EXPECT_GT(substrate.partial_fraction, 0.1);
+  // Transient lobe (below 10 MB) carries more mass under the chain view.
+  const auto lobe_mass = [](const BinnedPdf& pdf) {
+    double mass = 0.0;
+    for (std::size_t i = 0; i < pdf.size(); ++i) {
+      if (pdf.axis().center(i) < 1.0) mass += pdf[i] * pdf.axis().width();
+    }
+    return mass;
+  };
+  EXPECT_GT(lobe_mass(chains.volume_pdf), lobe_mass(substrate.volume_pdf));
+}
+
+TEST(PerBsView, FirstSegmentViewMatchesTheSubstrate) {
+  // Restricting the chain view to opening segments reproduces the dataset
+  // substrate's one-shot truncation up to the residual-dwell convention.
+  const ServiceProfile& netflix =
+      service_catalog()[service_index("Netflix")];
+  MobilityConfig config;
+  config.p_stationary = 1.0 - netflix.p_mobile;
+  config.p_pedestrian = 0.0;
+  config.p_vehicular = netflix.p_mobile;
+  const HandoverChainGenerator mobility(config);
+
+  BinnedPdf first_segments(volume_axis());
+  Rng rng(12);
+  const Log10NormalMixture mixture = netflix.volume_mixture();
+  const double alpha = netflix.alpha();
+  for (int i = 0; i < 30000; ++i) {
+    const double volume = std::max(mixture.sample(rng), 1e-4);
+    const double duration = std::clamp(
+        std::pow(volume / alpha, 1.0 / netflix.beta) *
+            std::pow(10.0, rng.normal(0.0, netflix.duration_sigma)),
+        1.0, 21600.0);
+    const HandoverChain chain = mobility.split(volume, duration, rng);
+    first_segments.add(
+        std::log10(std::max(chain.segments.front().volume_mb, 1e-4)));
+  }
+  first_segments.normalize();
+
+  Rng rng_b(12);
+  const PerBsObservation substrate =
+      observe_per_bs_substrate(netflix, 30000, rng_b);
+  EXPECT_LT(emd(first_segments, substrate.volume_pdf), 0.3);
+}
+
+TEST(PerBsView, StationaryOnlyMobilityReproducesFullSessions) {
+  const ServiceProfile& profile =
+      service_catalog()[service_index("Deezer")];
+  MobilityConfig config;
+  config.p_stationary = 1.0;
+  config.p_pedestrian = 0.0;
+  config.p_vehicular = 0.0;
+  const HandoverChainGenerator mobility(config);
+  Rng rng(11);
+  const PerBsObservation view = observe_per_bs(profile, mobility, 5000, rng);
+  EXPECT_DOUBLE_EQ(view.partial_fraction, 0.0);
+  EXPECT_EQ(view.observations, 5000u);
+}
+
+TEST(MobilityToString, Names) {
+  EXPECT_STREQ(to_string(MobilityState::kStationary), "stationary");
+  EXPECT_STREQ(to_string(MobilityState::kPedestrian), "pedestrian");
+  EXPECT_STREQ(to_string(MobilityState::kVehicular), "vehicular");
+}
+
+}  // namespace
+}  // namespace mtd

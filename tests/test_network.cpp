@@ -1,0 +1,120 @@
+#include "dataset/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mtd {
+namespace {
+
+Network make_network(std::size_t n = 200, std::uint64_t seed = 1) {
+  NetworkConfig config;
+  config.num_bs = n;
+  Rng rng(seed);
+  return Network::build(config, rng);
+}
+
+TEST(Network, RejectsTooFewBs) {
+  NetworkConfig config;
+  config.num_bs = 5;
+  Rng rng(1);
+  EXPECT_THROW(Network::build(config, rng), InvalidArgument);
+}
+
+TEST(Network, DecilesHoldTenPercentEach) {
+  const Network net = make_network(200);
+  for (std::uint8_t d = 0; d < kNumDeciles; ++d) {
+    EXPECT_EQ(net.in_decile(d).size(), 20u) << "decile " << int(d);
+  }
+}
+
+TEST(Network, DecileRatesGrowExponentially) {
+  const Network net = make_network();
+  const double growth = net.decile_peak_rate(1) / net.decile_peak_rate(0);
+  for (std::uint8_t d = 1; d < kNumDeciles; ++d) {
+    EXPECT_NEAR(net.decile_peak_rate(d) / net.decile_peak_rate(d - 1), growth,
+                1e-9);
+  }
+  EXPECT_NEAR(net.decile_peak_rate(0), 1.21, 1e-9);
+  EXPECT_NEAR(net.decile_peak_rate(9), 71.0, 1e-6);
+}
+
+TEST(Network, PerBsRatesNearTheirDecileRate) {
+  const Network net = make_network();
+  for (const BaseStation& bs : net.base_stations()) {
+    const double decile_rate = net.decile_peak_rate(bs.decile);
+    EXPECT_GT(bs.peak_rate, decile_rate * 0.85);
+    EXPECT_LT(bs.peak_rate, decile_rate * 1.15);
+    EXPECT_GT(bs.offpeak_scale, 0.0);
+  }
+}
+
+TEST(Network, RegionsAllPresent) {
+  const Network net = make_network(500);
+  EXPECT_GT(net.in_region(Region::kUrban).size(), 0u);
+  EXPECT_GT(net.in_region(Region::kSemiUrban).size(), 0u);
+  EXPECT_GT(net.in_region(Region::kRural).size(), 0u);
+  const std::size_t total = net.in_region(Region::kUrban).size() +
+                            net.in_region(Region::kSemiUrban).size() +
+                            net.in_region(Region::kRural).size();
+  EXPECT_EQ(total, net.size());
+}
+
+TEST(Network, BusyBsSkewUrban) {
+  const Network net = make_network(1000);
+  const auto urban_fraction = [&](std::uint8_t decile) {
+    std::size_t urban = 0, total = 0;
+    for (const BaseStation& bs : net.base_stations()) {
+      if (bs.decile != decile) continue;
+      ++total;
+      if (bs.region == Region::kUrban) ++urban;
+    }
+    return static_cast<double>(urban) / static_cast<double>(total);
+  };
+  EXPECT_GT(urban_fraction(9), urban_fraction(0));
+}
+
+TEST(Network, CitiesOnlyInUrbanRegions) {
+  const Network net = make_network(500);
+  for (const BaseStation& bs : net.base_stations()) {
+    if (bs.city != BaseStation::kNoCity) {
+      EXPECT_EQ(bs.region, Region::kUrban);
+      EXPECT_LT(bs.city, kNumCities);
+    }
+  }
+  // All 5 cities populated on a 500-BS network.
+  for (std::uint8_t c = 0; c < kNumCities; ++c) {
+    EXPECT_GT(net.in_city(c).size(), 0u) << "city " << int(c);
+  }
+}
+
+TEST(Network, RatMixMatchesConfiguredFraction) {
+  NetworkConfig config;
+  config.num_bs = 2000;
+  config.fraction_5g = 0.25;
+  Rng rng(3);
+  const Network net = Network::build(config, rng);
+  const double frac5g = static_cast<double>(net.with_rat(Rat::k5G).size()) /
+                        static_cast<double>(net.size());
+  EXPECT_NEAR(frac5g, 0.25, 0.03);
+  EXPECT_EQ(net.with_rat(Rat::k4G).size() + net.with_rat(Rat::k5G).size(),
+            net.size());
+}
+
+TEST(Network, DecilePeakRateValidation) {
+  const Network net = make_network();
+  EXPECT_THROW(net.decile_peak_rate(10), InvalidArgument);
+}
+
+TEST(Network, ToStringHelpers) {
+  EXPECT_STREQ(to_string(Region::kUrban), "urban");
+  EXPECT_STREQ(to_string(Region::kSemiUrban), "semi-urban");
+  EXPECT_STREQ(to_string(Region::kRural), "rural");
+  EXPECT_STREQ(to_string(Rat::k4G), "4G");
+  EXPECT_STREQ(to_string(Rat::k5G), "5G");
+}
+
+}  // namespace
+}  // namespace mtd

@@ -1,0 +1,105 @@
+#include "core/online_fitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dataset/service_catalog.hpp"
+
+namespace mtd {
+namespace {
+
+/// Feeds sessions drawn from a profile into the fitter.
+void feed(OnlineServiceFitter& fitter, const ServiceProfile& profile,
+          std::size_t n, Rng& rng) {
+  const Log10NormalMixture mixture = profile.volume_mixture();
+  const double alpha = profile.alpha();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double volume = std::max(mixture.sample(rng), 1e-4);
+    const double duration =
+        std::clamp(std::pow(volume / alpha, 1.0 / profile.beta), 1.0, 21600.0);
+    fitter.observe(volume, duration);
+  }
+}
+
+TEST(OnlineServiceFitter, ValidatesConfigAndInput) {
+  OnlineFitterConfig config;
+  config.min_sessions = 5;
+  EXPECT_THROW(OnlineServiceFitter("x", config), InvalidArgument);
+  OnlineServiceFitter fitter("x");
+  EXPECT_THROW(fitter.observe(0.0, 10.0), InvalidArgument);
+  EXPECT_THROW(fitter.observe(1.0, 0.0), InvalidArgument);
+}
+
+TEST(OnlineServiceFitter, NotReadyUntilMinSessions) {
+  OnlineFitterConfig config;
+  config.min_sessions = 100;
+  OnlineServiceFitter fitter("Netflix", config);
+  EXPECT_FALSE(fitter.ready());
+  EXPECT_THROW((void)fitter.refit(), InvalidArgument);
+  Rng rng(1);
+  feed(fitter, service_catalog()[service_index("Netflix")], 100, rng);
+  EXPECT_TRUE(fitter.ready());
+  EXPECT_EQ(fitter.epoch_sessions(), 100u);
+}
+
+TEST(OnlineServiceFitter, RefitRecoversProfileScale) {
+  const ServiceProfile& netflix =
+      service_catalog()[service_index("Netflix")];
+  OnlineServiceFitter fitter("Netflix");
+  Rng rng(2);
+  feed(fitter, netflix, 50000, rng);
+  const OnlineServiceFitter::Snapshot snapshot = fitter.refit();
+  EXPECT_EQ(snapshot.sessions, 50000u);
+  // Main lobe near the planted location; beta near the planted exponent.
+  EXPECT_NEAR(snapshot.volume.main().mu(), netflix.volume_mu, 0.3);
+  EXPECT_NEAR(snapshot.duration.beta(), netflix.beta, 0.2);
+}
+
+TEST(OnlineServiceFitter, DriftSmallUnderStationaryTraffic) {
+  const ServiceProfile& fb = service_catalog()[service_index("Facebook")];
+  OnlineServiceFitter fitter("Facebook");
+  Rng rng(3);
+  feed(fitter, fb, 20000, rng);
+  EXPECT_FALSE(fitter.drift().has_value());  // no reference epoch yet
+  EXPECT_EQ(fitter.advance_epoch(), 20000u);
+  EXPECT_EQ(fitter.epoch_sessions(), 0u);
+  EXPECT_FALSE(fitter.drift().has_value());  // current epoch empty
+  feed(fitter, fb, 20000, rng);
+  const auto drift = fitter.drift();
+  ASSERT_TRUE(drift.has_value());
+  EXPECT_LT(*drift, 0.02);  // same process: sampling noise only
+}
+
+TEST(OnlineServiceFitter, DriftLargeWhenTheServiceChanges) {
+  // Simulates a behavioral change (e.g. a bitrate policy update): epoch 1
+  // sees Facebook-like traffic, epoch 2 Netflix-like traffic.
+  OnlineServiceFitter fitter("mystery-app");
+  Rng rng(4);
+  feed(fitter, service_catalog()[service_index("Facebook")], 20000, rng);
+  fitter.advance_epoch();
+  feed(fitter, service_catalog()[service_index("Netflix")], 20000, rng);
+  const auto drift = fitter.drift();
+  ASSERT_TRUE(drift.has_value());
+  // Inter-service scale (cf. Fig. 8 Apps distances ~0.15+).
+  EXPECT_GT(*drift, 0.5);
+}
+
+TEST(OnlineServiceFitter, AdvanceEpochRotatesTheReference) {
+  const ServiceProfile& fb = service_catalog()[service_index("Facebook")];
+  const ServiceProfile& nf = service_catalog()[service_index("Netflix")];
+  OnlineServiceFitter fitter("x");
+  Rng rng(5);
+  feed(fitter, fb, 10000, rng);
+  fitter.advance_epoch();
+  feed(fitter, nf, 10000, rng);
+  const double drift_fb_nf = *fitter.drift();
+  fitter.advance_epoch();  // reference becomes the Netflix epoch
+  feed(fitter, nf, 10000, rng);
+  const double drift_nf_nf = *fitter.drift();
+  EXPECT_LT(drift_nf_nf, drift_fb_nf / 10.0);
+}
+
+}  // namespace
+}  // namespace mtd

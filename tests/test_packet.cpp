@@ -1,0 +1,176 @@
+#include "packet/packet_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mtd {
+namespace {
+
+TEST(PacketScheduleGenerator, ValidatesConfig) {
+  PacketScheduleConfig bad;
+  bad.mtu_bytes = 0;
+  EXPECT_THROW(PacketScheduleGenerator{bad}, InvalidArgument);
+  bad = PacketScheduleConfig{};
+  bad.duty_cycle = 0.0;
+  EXPECT_THROW(PacketScheduleGenerator{bad}, InvalidArgument);
+  bad = PacketScheduleConfig{};
+  bad.duty_cycle = 1.5;
+  EXPECT_THROW(PacketScheduleGenerator{bad}, InvalidArgument);
+  bad = PacketScheduleConfig{};
+  bad.mean_burst_packets = 0.5;
+  EXPECT_THROW(PacketScheduleGenerator{bad}, InvalidArgument);
+}
+
+TEST(PacketScheduleGenerator, ConservesVolume) {
+  const PacketScheduleGenerator generator;
+  Rng rng(1);
+  for (double volume_mb : {0.001, 0.1, 1.0, 40.0}) {
+    const auto packets = generator.generate(volume_mb, 60.0, rng);
+    double bytes = 0.0;
+    for (const Packet& p : packets) bytes += p.size_bytes;
+    EXPECT_NEAR(bytes, volume_mb * 1e6, 1600.0) << volume_mb;  // one MTU
+  }
+}
+
+TEST(PacketScheduleGenerator, TimestampsOrderedWithinDuration) {
+  const PacketScheduleGenerator generator;
+  Rng rng(2);
+  const double duration = 120.0;
+  const auto packets = generator.generate(5.0, duration, rng);
+  ASSERT_GT(packets.size(), 100u);
+  double prev = -1.0;
+  for (const Packet& p : packets) {
+    EXPECT_GE(p.time_s, prev);
+    EXPECT_GE(p.time_s, 0.0);
+    EXPECT_LT(p.time_s, duration);
+    prev = p.time_s;
+  }
+}
+
+TEST(PacketScheduleGenerator, PacketCountTracksMtu) {
+  const PacketScheduleGenerator generator;
+  Rng rng(3);
+  const auto packets = generator.generate(1.5, 30.0, rng);  // 1.5 MB
+  EXPECT_EQ(packets.size(), 1000u);                         // 1.5e6 / 1500
+  for (std::size_t i = 0; i + 1 < packets.size(); ++i) {
+    EXPECT_EQ(packets[i].size_bytes, 1500u);
+  }
+}
+
+TEST(PacketScheduleGenerator, CapScalesPacketSizes) {
+  PacketScheduleConfig config;
+  config.max_packets = 100;
+  const PacketScheduleGenerator generator(config);
+  Rng rng(4);
+  const auto packets = generator.generate(10.0, 60.0, rng);  // would be 6667
+  EXPECT_EQ(packets.size(), 100u);
+  double bytes = 0.0;
+  for (const Packet& p : packets) bytes += p.size_bytes;
+  EXPECT_NEAR(bytes, 10.0 * 1e6, 100.0 * 50.0);
+}
+
+TEST(PacketScheduleGenerator, StreamMatchesMaterialized) {
+  const PacketScheduleGenerator generator;
+  Rng rng_a(5), rng_b(5);
+  const auto materialized = generator.generate(2.0, 45.0, rng_a);
+  std::vector<Packet> streamed;
+  const PacketScheduleStats stats = generator.generate_stream(
+      2.0, 45.0, rng_b, [&](const Packet& p) { streamed.push_back(p); });
+  ASSERT_EQ(streamed.size(), materialized.size());
+  EXPECT_EQ(stats.packets, streamed.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_DOUBLE_EQ(streamed[i].time_s, materialized[i].time_s);
+    EXPECT_EQ(streamed[i].size_bytes, materialized[i].size_bytes);
+  }
+}
+
+TEST(PacketScheduleGenerator, BurstinessReflectsDutyCycle) {
+  PacketScheduleConfig config;
+  config.duty_cycle = 0.25;
+  const PacketScheduleGenerator generator(config);
+  Rng rng(6);
+  const PacketScheduleStats stats =
+      generator.generate_stream(4.0, 100.0, rng, [](const Packet&) {});
+  EXPECT_NEAR(stats.burstiness, 4.0, 1e-9);  // 1 / duty_cycle
+  EXPECT_GT(stats.bursts, 10u);
+}
+
+TEST(PacketScheduleGenerator, OnOffStructureVisibleInGaps) {
+  PacketScheduleConfig config;
+  config.duty_cycle = 0.2;
+  config.mean_burst_packets = 50.0;
+  const PacketScheduleGenerator generator(config);
+  Rng rng(7);
+  const auto packets = generator.generate(3.0, 300.0, rng);
+  // Intra-burst gaps are uniform; inter-burst pauses are much longer.
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < packets.size(); ++i) {
+    gaps.push_back(packets[i].time_s - packets[i - 1].time_s);
+  }
+  std::sort(gaps.begin(), gaps.end());
+  const double median_gap = gaps[gaps.size() / 2];
+  EXPECT_GT(gaps.back(), 20.0 * median_gap);
+}
+
+TEST(PacketScheduleGenerator, RejectsNonPositiveInput) {
+  const PacketScheduleGenerator generator;
+  Rng rng(8);
+  EXPECT_THROW((void)generator.generate(0.0, 10.0, rng), InvalidArgument);
+  EXPECT_THROW((void)generator.generate(1.0, 0.0, rng), InvalidArgument);
+}
+
+TEST(SummarizeSchedule, RecoversScheduleProperties) {
+  const PacketScheduleGenerator generator;
+  Rng rng(9);
+  const double duration = 60.0;
+  const auto packets = generator.generate(1.0, duration, rng);
+  const PacketScheduleStats stats = summarize_schedule(packets, duration);
+  EXPECT_EQ(stats.packets, packets.size());
+  EXPECT_NEAR(stats.total_bytes, 1.0e6, 1600.0);
+  EXPECT_GT(stats.mean_interarrival_s, 0.0);
+  EXPECT_GE(stats.bursts, 1u);
+  EXPECT_GT(stats.burstiness, 1.0);
+}
+
+TEST(SummarizeSchedule, EmptyIsZero) {
+  const PacketScheduleStats stats = summarize_schedule({}, 10.0);
+  EXPECT_EQ(stats.packets, 0u);
+  EXPECT_DOUBLE_EQ(stats.total_bytes, 0.0);
+}
+
+// Volume conservation across a parameter sweep.
+struct PacketCase {
+  double volume_mb;
+  double duration_s;
+  double duty;
+};
+
+class PacketConservation : public ::testing::TestWithParam<PacketCase> {};
+
+TEST_P(PacketConservation, BytesAndBoundsHold) {
+  const auto& param = GetParam();
+  PacketScheduleConfig config;
+  config.duty_cycle = param.duty;
+  const PacketScheduleGenerator generator(config);
+  Rng rng(11);
+  const PacketScheduleStats stats = generator.generate_stream(
+      param.volume_mb, param.duration_s, rng, [&](const Packet& p) {
+        EXPECT_GE(p.time_s, 0.0);
+        EXPECT_LT(p.time_s, param.duration_s);
+      });
+  EXPECT_NEAR(stats.total_bytes, param.volume_mb * 1e6,
+              std::max(1600.0, 1e-6 * param.volume_mb * 1e6));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PacketConservation,
+    ::testing::Values(PacketCase{0.01, 5.0, 0.9}, PacketCase{0.5, 60.0, 0.4},
+                      PacketCase{5.0, 600.0, 0.2},
+                      PacketCase{50.0, 1800.0, 0.6},
+                      PacketCase{0.0001, 1.0, 1.0}));
+
+}  // namespace
+}  // namespace mtd

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "dataset/measurement.hpp"
+#include "math/metrics.hpp"
+
+namespace mtd {
+namespace {
+
+Network make_network(std::size_t n = 20) {
+  NetworkConfig config;
+  config.num_bs = n;
+  config.last_decile_rate = 25.0;
+  Rng rng(9);
+  return Network::build(config, rng);
+}
+
+TEST(ParallelDataset, MatchesSerialAggregation) {
+  const Network network = make_network();
+  TraceConfig trace;
+  trace.num_days = 2;
+  trace.seed = 33;
+
+  const MeasurementDataset serial = collect_dataset(network, trace);
+  const MeasurementDataset parallel =
+      collect_dataset_parallel(network, trace, 4);
+
+  EXPECT_EQ(parallel.total_sessions(), serial.total_sessions());
+  // Volume totals are summed in a different order: equal to rounding.
+  EXPECT_NEAR(parallel.total_volume_mb() / serial.total_volume_mb(), 1.0,
+              1e-12);
+
+  const auto serial_shares = serial.session_shares();
+  const auto parallel_shares = parallel.session_shares();
+  for (std::size_t s = 0; s < serial_shares.size(); ++s) {
+    EXPECT_DOUBLE_EQ(parallel_shares[s], serial_shares[s]);
+  }
+
+  // Slice PDFs identical bin by bin.
+  for (const char* name : {"Facebook", "Netflix"}) {
+    const std::size_t s = service_index(name);
+    const auto& a = serial.slice(s, Slice::kTotal);
+    const auto& b = parallel.slice(s, Slice::kTotal);
+    EXPECT_EQ(a.sessions, b.sessions) << name;
+    for (std::size_t i = 0; i < a.volume_pdf.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.volume_pdf[i], b.volume_pdf[i]) << name;
+    }
+  }
+
+  // Arrival statistics identical in moments.
+  for (std::uint8_t d = 0; d < kNumDeciles; ++d) {
+    EXPECT_EQ(parallel.decile_arrivals(d).day_stats.count(),
+              serial.decile_arrivals(d).day_stats.count());
+    EXPECT_NEAR(parallel.decile_arrivals(d).day_stats.mean(),
+                serial.decile_arrivals(d).day_stats.mean(), 1e-12);
+    EXPECT_NEAR(parallel.decile_arrivals(d).day_stats.variance(),
+                serial.decile_arrivals(d).day_stats.variance(), 1e-9);
+  }
+}
+
+TEST(ParallelDataset, PerCellStoreMergesExactly) {
+  const Network network = make_network(12);
+  TraceConfig trace;
+  trace.num_days = 1;
+  trace.seed = 44;
+  MeasurementConfig mc;
+  mc.store_per_cell = true;
+
+  const MeasurementDataset serial = collect_dataset(network, trace, mc);
+  const MeasurementDataset parallel =
+      collect_dataset_parallel(network, trace, 3, mc);
+  ASSERT_TRUE(parallel.has_per_cell_store());
+  EXPECT_EQ(parallel.cells().size(), serial.cells().size());
+  for (const auto& [key, cell] : serial.cells()) {
+    const auto it = parallel.cells().find(key);
+    ASSERT_NE(it, parallel.cells().end());
+    EXPECT_EQ(it->second.sessions, cell.sessions);
+    EXPECT_DOUBLE_EQ(it->second.volume_mb, cell.volume_mb);
+  }
+}
+
+TEST(ParallelDataset, SingleThreadFallsBackToSerial) {
+  const Network network = make_network(10);
+  TraceConfig trace;
+  trace.num_days = 1;
+  const MeasurementDataset a = collect_dataset(network, trace);
+  const MeasurementDataset b = collect_dataset_parallel(network, trace, 1);
+  EXPECT_EQ(a.total_sessions(), b.total_sessions());
+}
+
+TEST(ParallelDataset, MoreThreadsThanBsIsClamped) {
+  const Network network = make_network(10);
+  TraceConfig trace;
+  trace.num_days = 1;
+  const MeasurementDataset ds =
+      collect_dataset_parallel(network, trace, 64);
+  EXPECT_GT(ds.total_sessions(), 0u);
+}
+
+TEST(ParallelDataset, ValidatesThreadCount) {
+  const Network network = make_network(10);
+  TraceConfig trace;
+  EXPECT_THROW(collect_dataset_parallel(network, trace, 0), InvalidArgument);
+}
+
+TEST(MergeDataset, RejectsMismatchedConfigurations) {
+  const Network net_a = make_network(10);
+  const Network net_b = make_network(10);
+  TraceConfig trace;
+  trace.num_days = 1;
+  MeasurementDataset a = collect_dataset(net_a, trace);
+  const MeasurementDataset b = collect_dataset(net_b, trace);
+  EXPECT_THROW(a.merge(b), InvalidArgument);  // different Network objects
+
+  MeasurementDataset c(net_a, 2);
+  c.finalize();
+  EXPECT_THROW(a.merge(c), InvalidArgument);  // different horizons
+
+  MeasurementConfig mc;
+  mc.store_per_cell = true;
+  MeasurementDataset d(net_a, 1, mc);
+  d.finalize();
+  EXPECT_THROW(a.merge(d), InvalidArgument);  // store mismatch
+}
+
+TEST(MergeDataset, DisjointPartitionsSumExactly) {
+  const Network network = make_network(10);
+  TraceConfig trace;
+  trace.num_days = 1;
+  const TraceGenerator generator(network, trace);
+
+  MeasurementDataset all(network, 1);
+  MeasurementDataset left(network, 1), right(network, 1);
+  for (std::size_t b = 0; b < network.size(); ++b) {
+    generator.run_bs_day(network[b], 0, all);
+    generator.run_bs_day(network[b], 0, b < 5 ? left : right);
+  }
+  all.finalize();
+  left.finalize();
+  right.finalize();
+  left.merge(right);
+  EXPECT_EQ(left.total_sessions(), all.total_sessions());
+  EXPECT_NEAR(left.total_volume_mb() / all.total_volume_mb(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mtd

@@ -1,0 +1,150 @@
+#include "math/savgol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mtd {
+namespace {
+
+std::vector<double> sample_poly(std::size_t n, double a, double b, double c) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    out[i] = a + b * x + c * x * x;
+  }
+  return out;
+}
+
+TEST(SavitzkyGolay, RejectsBadConfigurations) {
+  EXPECT_THROW(SavitzkyGolay(4, 1), InvalidArgument);        // even window
+  EXPECT_THROW(SavitzkyGolay(5, 5), InvalidArgument);        // order >= window
+  EXPECT_THROW(SavitzkyGolay(5, 2, 3), InvalidArgument);     // deriv > order
+  EXPECT_THROW(SavitzkyGolay(5, 2, 1, 0.0), InvalidArgument);// bad delta
+}
+
+TEST(SavitzkyGolay, SmoothingCoefficientsSumToOne) {
+  const SavitzkyGolay filter(7, 2, 0);
+  double sum = 0.0;
+  for (double c : filter.coefficients()) sum += c;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(SavitzkyGolay, DerivativeCoefficientsSumToZero) {
+  const SavitzkyGolay filter(7, 2, 1);
+  double sum = 0.0;
+  for (double c : filter.coefficients()) sum += c;
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+}
+
+TEST(SavitzkyGolay, SmoothingReproducesPolynomialExactly) {
+  // A window polynomial of degree <= order passes through unchanged,
+  // including at the edges.
+  const auto signal = sample_poly(30, 2.0, -1.5, 0.25);
+  const SavitzkyGolay filter(7, 2, 0);
+  const auto out = filter.apply(signal);
+  ASSERT_EQ(out.size(), signal.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], signal[i], 1e-9) << "i=" << i;
+  }
+}
+
+TEST(SavitzkyGolay, FirstDerivativeOfLineIsSlope) {
+  const auto signal = sample_poly(25, 5.0, 3.0, 0.0);
+  const SavitzkyGolay filter(5, 1, 1);
+  const auto out = filter.apply(signal);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], 3.0, 1e-9) << "i=" << i;
+  }
+}
+
+TEST(SavitzkyGolay, FirstDerivativeOfQuadratic) {
+  const auto signal = sample_poly(40, 0.0, 0.0, 1.0);  // y = x^2, y' = 2x
+  const SavitzkyGolay filter(7, 2, 1);
+  const auto out = filter.apply(signal);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], 2.0 * static_cast<double>(i), 1e-8) << "i=" << i;
+  }
+}
+
+TEST(SavitzkyGolay, DeltaScalesDerivative) {
+  const auto signal = sample_poly(20, 0.0, 2.0, 0.0);
+  const SavitzkyGolay unit(5, 1, 1, 1.0);
+  const SavitzkyGolay half(5, 1, 1, 0.5);
+  const auto out_unit = unit.apply(signal);
+  const auto out_half = half.apply(signal);
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    EXPECT_NEAR(out_half[i], 2.0 * out_unit[i], 1e-9);
+  }
+}
+
+TEST(SavitzkyGolay, SecondDerivativeOfQuadraticIsConstant) {
+  const auto signal = sample_poly(30, 1.0, -2.0, 3.0);  // y'' = 6
+  const SavitzkyGolay filter(9, 3, 2);
+  const auto out = filter.apply(signal);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], 6.0, 1e-7) << "i=" << i;
+  }
+}
+
+TEST(SavitzkyGolay, SmoothingReducesNoiseVariance) {
+  Rng rng(5);
+  std::vector<double> noisy(200);
+  for (double& v : noisy) v = rng.normal(0.0, 1.0);
+  const SavitzkyGolay filter(11, 2, 0);
+  const auto smoothed = filter.apply(noisy);
+  double var_raw = 0.0, var_smooth = 0.0;
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    var_raw += noisy[i] * noisy[i];
+    var_smooth += smoothed[i] * smoothed[i];
+  }
+  EXPECT_LT(var_smooth, 0.6 * var_raw);
+}
+
+TEST(SavitzkyGolay, SignalShorterThanWindowThrows) {
+  const SavitzkyGolay filter(7, 2, 0);
+  const std::vector<double> signal(5, 1.0);
+  EXPECT_THROW(filter.apply(signal), InvalidArgument);
+}
+
+TEST(SavgolDerivative, DetectsPeakSlopeSign) {
+  // A triangular bump: derivative positive on the rise, negative after.
+  std::vector<double> signal(21, 0.0);
+  for (std::size_t i = 0; i <= 10; ++i) signal[i] = static_cast<double>(i);
+  for (std::size_t i = 11; i < 21; ++i) {
+    signal[i] = static_cast<double>(20 - i);
+  }
+  const auto deriv = savgol_derivative(signal, 5);
+  EXPECT_GT(deriv[5], 0.5);
+  EXPECT_LT(deriv[15], -0.5);
+}
+
+// Property sweep: polynomial reproduction holds across window/order combos.
+struct SgCase {
+  std::size_t window;
+  std::size_t order;
+};
+
+class SavgolPolyReproduction : public ::testing::TestWithParam<SgCase> {};
+
+TEST_P(SavgolPolyReproduction, QuadraticPreserved) {
+  const auto [window, order] = GetParam();
+  const auto signal = sample_poly(50, 1.0, 2.0, -0.5);
+  const SavitzkyGolay filter(window, order, 0);
+  const auto out = filter.apply(signal);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], signal[i], 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Windows, SavgolPolyReproduction,
+    ::testing::Values(SgCase{5, 2}, SgCase{7, 2}, SgCase{9, 3}, SgCase{11, 4},
+                      SgCase{13, 2}));
+
+}  // namespace
+}  // namespace mtd

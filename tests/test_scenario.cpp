@@ -1,0 +1,117 @@
+#include "scenario/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace mtd {
+namespace {
+
+TEST(ScenarioJson, NetworkConfigRoundTrip) {
+  NetworkConfig config;
+  config.num_bs = 123;
+  config.fraction_5g = 0.4;
+  config.first_decile_rate = 2.0;
+  config.last_decile_rate = 50.0;
+  NetworkConfig restored;
+  from_json(to_json(config), restored);
+  EXPECT_EQ(restored.num_bs, 123u);
+  EXPECT_DOUBLE_EQ(restored.fraction_5g, 0.4);
+  EXPECT_DOUBLE_EQ(restored.first_decile_rate, 2.0);
+  EXPECT_DOUBLE_EQ(restored.last_decile_rate, 50.0);
+}
+
+TEST(ScenarioJson, PartialObjectsKeepDefaults) {
+  TraceConfig config;
+  from_json(Json::parse(R"({"num_days": 14})"), config);
+  EXPECT_EQ(config.num_days, 14u);
+  EXPECT_EQ(config.seed, TraceConfig{}.seed);
+  EXPECT_DOUBLE_EQ(config.rate_scale, 1.0);
+}
+
+TEST(ScenarioJson, UnknownKeysAreRejected) {
+  TraceConfig config;
+  EXPECT_THROW(from_json(Json::parse(R"({"num_dayz": 14})"), config),
+               ParseError);
+  VranConfig vran;
+  EXPECT_THROW(from_json(Json::parse(R"({"rus": 3})"), vran), ParseError);
+}
+
+TEST(ScenarioJson, SlicingConfigRoundTrip) {
+  SlicingConfig config;
+  config.num_antennas = 7;
+  config.sla_quantile = 0.99;
+  config.fig12_service = "Netflix";
+  SlicingConfig restored;
+  from_json(to_json(config), restored);
+  EXPECT_EQ(restored.num_antennas, 7u);
+  EXPECT_DOUBLE_EQ(restored.sla_quantile, 0.99);
+  EXPECT_EQ(restored.fig12_service, "Netflix");
+}
+
+TEST(ScenarioJson, VranConfigRoundTripIncludingPolicy) {
+  VranConfig config;
+  config.packing = PackingPolicy::kWorstFitDecreasing;
+  config.ps.idle_w = 80.0;
+  config.ru_decile = 7;
+  VranConfig restored;
+  from_json(to_json(config), restored);
+  EXPECT_EQ(restored.packing, PackingPolicy::kWorstFitDecreasing);
+  EXPECT_DOUBLE_EQ(restored.ps.idle_w, 80.0);
+  EXPECT_EQ(restored.ru_decile, 7);
+}
+
+TEST(ScenarioJson, BadPackingPolicyThrows) {
+  VranConfig config;
+  EXPECT_THROW(from_json(Json::parse(R"({"packing": "magic"})"), config),
+               ParseError);
+}
+
+TEST(ScenarioJson, MobilityAndPacketConfigsRoundTrip) {
+  MobilityConfig mobility;
+  mobility.p_vehicular = 0.5;
+  mobility.vehicular_dwell_median_s = 30.0;
+  MobilityConfig mob_restored;
+  from_json(to_json(mobility), mob_restored);
+  EXPECT_DOUBLE_EQ(mob_restored.p_vehicular, 0.5);
+  EXPECT_DOUBLE_EQ(mob_restored.vehicular_dwell_median_s, 30.0);
+
+  PacketScheduleConfig packet;
+  packet.mtu_bytes = 9000;
+  packet.duty_cycle = 0.7;
+  PacketScheduleConfig pkt_restored;
+  from_json(to_json(packet), pkt_restored);
+  EXPECT_EQ(pkt_restored.mtu_bytes, 9000u);
+  EXPECT_DOUBLE_EQ(pkt_restored.duty_cycle, 0.7);
+}
+
+TEST(Scenario, FullRoundTripThroughFile) {
+  Scenario scenario;
+  scenario.network.num_bs = 55;
+  scenario.trace.num_days = 4;
+  scenario.slicing.num_antennas = 3;
+  scenario.vran.packing = PackingPolicy::kBestFitDecreasing;
+
+  const std::string path = ::testing::TempDir() + "/mtd_scenario_test.json";
+  scenario.save(path);
+  const Scenario loaded = Scenario::load(path);
+  EXPECT_EQ(loaded.network.num_bs, 55u);
+  EXPECT_EQ(loaded.trace.num_days, 4u);
+  EXPECT_EQ(loaded.slicing.num_antennas, 3u);
+  EXPECT_EQ(loaded.vran.packing, PackingPolicy::kBestFitDecreasing);
+  std::remove(path.c_str());
+}
+
+TEST(Scenario, EmptyJsonYieldsDefaults) {
+  const Scenario scenario = Scenario::from_json(Json::parse("{}"));
+  EXPECT_EQ(scenario.network.num_bs, NetworkConfig{}.num_bs);
+  EXPECT_EQ(scenario.vran.num_edge_sites, VranConfig{}.num_edge_sites);
+}
+
+TEST(Scenario, UnknownTopLevelKeyRejected) {
+  EXPECT_THROW(Scenario::from_json(Json::parse(R"({"netwrok": {}})")),
+               ParseError);
+}
+
+}  // namespace
+}  // namespace mtd

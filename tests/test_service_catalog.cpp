@@ -1,0 +1,152 @@
+#include "dataset/service_catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace mtd {
+namespace {
+
+TEST(ServiceCatalog, HasThirtyOneServices) {
+  EXPECT_EQ(service_catalog().size(), 31u);
+}
+
+TEST(ServiceCatalog, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& p : service_catalog()) names.insert(p.name);
+  EXPECT_EQ(names.size(), service_catalog().size());
+}
+
+TEST(ServiceCatalog, ContainsTable1Flagships) {
+  for (const char* name :
+       {"Facebook", "Instagram", "SnapChat", "Youtube", "Netflix", "Twitch",
+        "Deezer", "Amazon", "Waze", "Pokemon GO", "FB Live", "Google Meet"}) {
+    EXPECT_NO_THROW(service_index(name)) << name;
+  }
+  EXPECT_THROW(service_index("NoSuchApp"), InvalidArgument);
+}
+
+TEST(ServiceCatalog, SharesMatchTable1Anchors) {
+  const auto& catalog = service_catalog();
+  EXPECT_NEAR(catalog[service_index("Facebook")].session_share_pct, 36.52,
+              1e-9);
+  EXPECT_NEAR(catalog[service_index("Netflix")].session_share_pct, 2.40,
+              1e-9);
+  EXPECT_NEAR(catalog[service_index("Pokemon GO")].session_share_pct, 0.04,
+              1e-9);
+}
+
+TEST(ServiceCatalog, NormalizedSharesSumToOne) {
+  const std::vector<double> shares = normalized_session_shares();
+  double total = 0.0;
+  for (double s : shares) {
+    EXPECT_GT(s, 0.0);
+    total += s;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ServiceCatalog, SharesAreRankedDescendingAtTheTop) {
+  const auto& catalog = service_catalog();
+  EXPECT_GT(catalog[0].session_share_pct, catalog[1].session_share_pct);
+  EXPECT_EQ(catalog[0].name, "Facebook");
+  EXPECT_EQ(catalog[1].name, "Instagram");
+}
+
+TEST(ServiceCatalog, AlphaAnchorsTypicalDuration) {
+  // By construction v(d_typ) = 10^mu.
+  for (const auto& p : service_catalog()) {
+    const double v = p.alpha() * std::pow(p.typical_duration_s, p.beta);
+    EXPECT_NEAR(v, std::pow(10.0, p.volume_mu), 1e-9) << p.name;
+  }
+}
+
+TEST(ServiceCatalog, StreamingServicesAreSuperLinear) {
+  for (const auto& p : service_catalog()) {
+    if (p.cls == ServiceClass::kStreaming) {
+      EXPECT_GT(p.beta, 1.0) << p.name;
+    }
+    if (p.cls == ServiceClass::kInteractive) {
+      EXPECT_LT(p.beta, 1.0) << p.name;
+    }
+  }
+}
+
+TEST(ServiceCatalog, BetaRangeMatchesFig10) {
+  for (const auto& p : service_catalog()) {
+    EXPECT_GE(p.beta, 0.1) << p.name;
+    EXPECT_LE(p.beta, 1.8) << p.name;
+  }
+}
+
+TEST(ServiceCatalog, VolumeMixturesAreValid) {
+  for (const auto& p : service_catalog()) {
+    const Log10NormalMixture mix = p.volume_mixture();
+    EXPECT_EQ(mix.size(), 1 + p.peaks.size()) << p.name;
+    // CDF reaches ~1 at huge volumes.
+    EXPECT_NEAR(mix.cdf(1e9), 1.0, 1e-6) << p.name;
+    // Median within a plausible MB range.
+    const double median = mix.quantile(0.5);
+    EXPECT_GT(median, 1e-4) << p.name;
+    EXPECT_LT(median, 1e4) << p.name;
+  }
+}
+
+TEST(ServiceCatalog, PlantedPeaksHavePositiveWeights) {
+  for (const auto& p : service_catalog()) {
+    EXPECT_LE(p.peaks.size(), 2u) << p.name;
+    for (const PlantedPeak& peak : p.peaks) {
+      EXPECT_GT(peak.k, 0.0) << p.name;
+      EXPECT_GT(peak.sigma, 0.0) << p.name;
+    }
+  }
+}
+
+TEST(ServiceCatalog, MobilityProbabilityIsAFraction) {
+  for (const auto& p : service_catalog()) {
+    EXPECT_GE(p.p_mobile, 0.0) << p.name;
+    EXPECT_LE(p.p_mobile, 1.0) << p.name;
+  }
+}
+
+TEST(ServiceCatalog, CategorySharesMatchPaperAggregation) {
+  // Sec. 6.1: IW 49.30%, CS 48.46%, MS 2.24% (bm a). Our catalogue adds 3
+  // small services, so allow ~1% slack.
+  const std::vector<double> shares = literature_category_shares();
+  ASSERT_EQ(shares.size(), 3u);
+  EXPECT_NEAR(shares[0], 0.4930, 0.012);  // IW
+  EXPECT_NEAR(shares[1], 0.4846, 0.012);  // CS
+  EXPECT_NEAR(shares[2], 0.0224, 0.005);  // MS
+  EXPECT_NEAR(shares[0] + shares[1] + shares[2], 1.0, 1e-12);
+}
+
+TEST(ServiceCatalog, NetflixIsTheOnlyMovieStreamingService) {
+  std::size_t ms = 0;
+  for (const auto& p : service_catalog()) {
+    if (p.category == LiteratureCategory::kMovieStreaming) {
+      ++ms;
+      EXPECT_EQ(p.name, "Netflix");
+    }
+  }
+  EXPECT_EQ(ms, 1u);
+}
+
+TEST(DwellTime, MedianAroundFortyFiveSeconds) {
+  const Log10Normal& dwell = dwell_time_distribution();
+  EXPECT_NEAR(dwell.median(), 45.0, 1.0);
+}
+
+TEST(ServiceClassNames, Strings) {
+  EXPECT_EQ(to_string(ServiceClass::kStreaming), "streaming");
+  EXPECT_EQ(to_string(ServiceClass::kInteractive), "interactive");
+  EXPECT_EQ(to_string(ServiceClass::kOutlier), "outlier");
+  EXPECT_EQ(to_string(LiteratureCategory::kInteractiveWeb), "IW");
+  EXPECT_EQ(to_string(LiteratureCategory::kCasualStreaming), "CS");
+  EXPECT_EQ(to_string(LiteratureCategory::kMovieStreaming), "MS");
+}
+
+}  // namespace
+}  // namespace mtd

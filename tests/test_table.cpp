@@ -1,0 +1,57 @@
+#include "io/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "io/json.hpp"
+
+namespace mtd {
+namespace {
+
+TEST(TextTable, RejectsEmptyHeaderAndMismatchedRows) {
+  EXPECT_THROW(TextTable({}), InvalidArgument);
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), InvalidArgument);
+}
+
+TEST(TextTable, PrintsAlignedColumns) {
+  TextTable table({"Service", "Share"});
+  table.add_row({"Facebook", "36.52"});
+  table.add_row({"X", "1"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| Service  | Share |"), std::string::npos);
+  EXPECT_NE(out.find("| Facebook | 36.52 |"), std::string::npos);
+  EXPECT_NE(out.find("| X        | 1     |"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatters) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(-1.0, 0), "-1");
+  EXPECT_EQ(TextTable::pct(0.9515, 2), "95.15%");
+  EXPECT_EQ(TextTable::sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(TextTable, CsvEscapesSpecialCells) {
+  TextTable table({"name", "note"});
+  table.add_row({"a,b", "say \"hi\""});
+  const std::string path = ::testing::TempDir() + "/mtd_table_test.csv";
+  table.write_csv(path);
+  const std::string content = read_file(path);
+  EXPECT_EQ(content, "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(PrintBanner, ContainsTitle) {
+  std::ostringstream os;
+  print_banner(os, "Table 2");
+  EXPECT_NE(os.str().find("Table 2"), std::string::npos);
+  EXPECT_NE(os.str().find("===="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mtd

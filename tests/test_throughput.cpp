@@ -1,0 +1,68 @@
+#include "analysis/throughput.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace mtd {
+namespace {
+
+using test::small_dataset;
+
+const ModelRegistry& registry() {
+  static const ModelRegistry r = ModelRegistry::fit(small_dataset());
+  return r;
+}
+
+TEST(Throughput, AxisCoversMobileRates) {
+  const Axis axis = throughput_axis();
+  EXPECT_TRUE(axis.contains(std::log10(0.001)));  // 1 kbit/s
+  EXPECT_TRUE(axis.contains(std::log10(100.0)));  // 100 Mbit/s
+}
+
+TEST(Throughput, EmpiricalProfileIsNormalizedAndOrdered) {
+  Rng rng(1);
+  const ThroughputProfile profile =
+      empirical_throughput(service_index("Netflix"), 20000, rng);
+  EXPECT_NEAR(profile.pdf.integral(), 1.0, 1e-9);
+  EXPECT_GT(profile.median_mbps, 0.0);
+  EXPECT_GE(profile.p95_mbps, profile.median_mbps);
+}
+
+TEST(Throughput, ValidatesInput) {
+  Rng rng(2);
+  EXPECT_THROW(empirical_throughput(10000, 20000, rng), InvalidArgument);
+  EXPECT_THROW(empirical_throughput(0, 10, rng), InvalidArgument);
+}
+
+TEST(Throughput, StreamingRatesExceedMessagingRates) {
+  Rng rng(3);
+  const ThroughputProfile netflix =
+      empirical_throughput(service_index("Netflix"), 20000, rng);
+  const ThroughputProfile facebook =
+      empirical_throughput(service_index("Facebook"), 20000, rng);
+  EXPECT_GT(netflix.median_mbps, 3.0 * facebook.median_mbps);
+}
+
+TEST(Throughput, ModelImpliedDistributionMatchesEmpirical) {
+  // The combination of F~_s and the inverse power law reproduces the
+  // average-throughput distribution (Sec. 1's "implicit" third statistic).
+  Rng rng(4);
+  for (const char* name : {"Netflix", "Facebook", "Youtube"}) {
+    const double error = throughput_model_error(
+        registry().by_name(name), service_index(name), 30000, rng);
+    EXPECT_LT(error, 0.35) << name;  // log10 Mbps units
+  }
+}
+
+TEST(Throughput, ModelProfileReflectsSuperLinearity) {
+  // For a super-linear service the model's p95 throughput clearly exceeds
+  // its median (long sessions are faster).
+  Rng rng(5);
+  const ThroughputProfile netflix =
+      model_throughput(registry().by_name("Netflix"), 20000, rng);
+  EXPECT_GT(netflix.p95_mbps, 1.5 * netflix.median_mbps);
+}
+
+}  // namespace
+}  // namespace mtd

@@ -1,0 +1,70 @@
+#include "common/time_utils.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mtd {
+namespace {
+
+TEST(DayType, WeekPattern) {
+  // Day 0 is a Monday.
+  EXPECT_EQ(day_type(0), DayType::kWorkday);
+  EXPECT_EQ(day_type(4), DayType::kWorkday);
+  EXPECT_EQ(day_type(5), DayType::kWeekend);
+  EXPECT_EQ(day_type(6), DayType::kWeekend);
+  EXPECT_EQ(day_type(7), DayType::kWorkday);
+  EXPECT_EQ(day_type(12), DayType::kWeekend);
+}
+
+TEST(DayType, ToString) {
+  EXPECT_EQ(to_string(DayType::kWorkday), "workday");
+  EXPECT_EQ(to_string(DayType::kWeekend), "weekend");
+}
+
+TEST(PeakMinutes, PeakIs8amTo10pm) {
+  EXPECT_FALSE(is_peak_minute(0));            // midnight
+  EXPECT_FALSE(is_peak_minute(7 * 60 + 59));  // 07:59
+  EXPECT_TRUE(is_peak_minute(8 * 60));        // 08:00
+  EXPECT_TRUE(is_peak_minute(12 * 60));       // noon
+  EXPECT_TRUE(is_peak_minute(21 * 60 + 59));  // 21:59
+  EXPECT_FALSE(is_peak_minute(22 * 60));      // 22:00
+}
+
+TEST(Circadian, BoundedInUnitInterval) {
+  for (std::size_t m = 0; m < kMinutesPerDay; ++m) {
+    const double a = circadian_activity(m);
+    EXPECT_GT(a, 0.0);
+    EXPECT_LE(a, 1.2);
+  }
+}
+
+TEST(Circadian, NightLowDayHigh) {
+  EXPECT_LT(circadian_activity(3 * 60), 0.1);    // 03:00
+  EXPECT_GT(circadian_activity(12 * 60), 0.9);   // noon
+  EXPECT_GT(circadian_activity(19 * 60), 0.95);  // evening bump
+  EXPECT_LT(circadian_activity(1 * 60), 0.1);    // 01:00
+}
+
+TEST(Circadian, TransitionsAreRapid) {
+  // The morning rise completes within about an hour: bi-modality requires
+  // few minutes at intermediate activity.
+  std::size_t intermediate = 0;
+  for (std::size_t m = 0; m < kMinutesPerDay; ++m) {
+    const double a = circadian_activity(m);
+    if (a > 0.25 && a < 0.75) ++intermediate;
+  }
+  EXPECT_LT(intermediate, 90u);
+}
+
+TEST(Circadian, HighFractionMatchesDaylightSpan) {
+  // High phase roughly 07:30 -> 23:00, i.e. ~15.5h/24h ~ 0.65.
+  const double frac = circadian_high_fraction();
+  EXPECT_GT(frac, 0.55);
+  EXPECT_LT(frac, 0.72);
+}
+
+TEST(Circadian, PeriodicAcrossDays) {
+  EXPECT_DOUBLE_EQ(circadian_activity(10), circadian_activity(10 + kMinutesPerDay));
+}
+
+}  // namespace
+}  // namespace mtd

@@ -1,0 +1,154 @@
+#include "dataset/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/time_utils.hpp"
+#include "io/json.hpp"
+#include "math/metrics.hpp"
+
+namespace mtd {
+namespace {
+
+Network tiny_network() {
+  NetworkConfig config;
+  config.num_bs = 10;
+  config.last_decile_rate = 20.0;
+  Rng rng(5);
+  return Network::build(config, rng);
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SessionCsvWriter, WritesHeaderAndRows) {
+  const std::string path = temp_path("mtd_trace_writer.csv");
+  const Network network = tiny_network();
+  {
+    SessionCsvWriter writer(path);
+    Session session;
+    session.bs = 3;
+    session.service = static_cast<std::uint16_t>(service_index("Netflix"));
+    session.day = 1;
+    session.minute_of_day = 600;
+    session.volume_mb = 42.5;
+    session.duration_s = 630.0;
+    writer.on_session(session);
+    EXPECT_EQ(writer.sessions_written(), 1u);
+  }
+  const std::string content = read_file(path);
+  EXPECT_EQ(content.find("bs,service,day,minute_of_day,volume_mb,duration_s"),
+            0u);
+  EXPECT_NE(content.find("3,Netflix,1,600,42.5,630"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RoundTripPreservesTheDataset) {
+  // Generate a trace, tee it to CSV + a dataset, replay the CSV into a
+  // second dataset, and compare the aggregates.
+  const Network network = tiny_network();
+  TraceConfig trace;
+  trace.num_days = 1;
+  trace.seed = 77;
+  const std::string path = temp_path("mtd_trace_roundtrip.csv");
+
+  MeasurementDataset original(network, trace.num_days);
+  {
+    SessionCsvWriter writer(path, &original);
+    const TraceGenerator generator(network, trace);
+    generator.run(writer);
+    original.finalize();
+  }
+
+  MeasurementDataset replayed(network, trace.num_days);
+  const std::uint64_t n = replay_csv_trace(path, network, replayed);
+  replayed.finalize();
+
+  EXPECT_EQ(n, original.total_sessions());
+  EXPECT_EQ(replayed.total_sessions(), original.total_sessions());
+  EXPECT_NEAR(replayed.total_volume_mb() / original.total_volume_mb(), 1.0,
+              1e-6);
+
+  // Per-service aggregates survive the round trip (volumes pass through
+  // a decimal print, so PDFs agree to printing precision).
+  const std::size_t fb = service_index("Facebook");
+  EXPECT_EQ(replayed.slice(fb, Slice::kTotal).sessions,
+            original.slice(fb, Slice::kTotal).sessions);
+  EXPECT_LT(emd(replayed.slice(fb, Slice::kTotal).normalized_pdf(),
+                original.slice(fb, Slice::kTotal).normalized_pdf()),
+            1e-3);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReplayReconstructsArrivalCounts) {
+  const Network network = tiny_network();
+  TraceConfig trace;
+  trace.num_days = 1;
+  const std::string path = temp_path("mtd_trace_arrivals.csv");
+  {
+    SessionCsvWriter writer(path);
+    TraceGenerator(network, trace).run(writer);
+  }
+  MeasurementDataset replayed(network, trace.num_days);
+  replay_csv_trace(path, network, replayed);
+  replayed.finalize();
+  // Arrival statistics populated per decile (zero minutes included).
+  for (std::uint8_t d = 0; d < kNumDeciles; ++d) {
+    EXPECT_EQ(replayed.decile_arrivals(d).day_stats.count() +
+                  replayed.decile_arrivals(d).night_stats.count(),
+              kMinutesPerDay * network.in_decile(d).size());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  const Network network = tiny_network();
+  MeasurementDataset sink(network, 1);
+  const std::string path = temp_path("mtd_trace_bad.csv");
+
+  write_file(path, "");
+  EXPECT_THROW(replay_csv_trace(path, network, sink), ParseError);
+
+  write_file(path, "wrong,header\n");
+  EXPECT_THROW(replay_csv_trace(path, network, sink), ParseError);
+
+  const std::string header =
+      "bs,service,day,minute_of_day,volume_mb,duration_s\n";
+  write_file(path, header + "0,Netflix,0,100\n");  // too few fields
+  EXPECT_THROW(replay_csv_trace(path, network, sink), ParseError);
+
+  write_file(path, header + "999,Netflix,0,100,1.0,10\n");  // bad BS
+  EXPECT_THROW(replay_csv_trace(path, network, sink), ParseError);
+
+  write_file(path, header + "0,NoSuchApp,0,100,1.0,10\n");  // bad service
+  EXPECT_THROW(replay_csv_trace(path, network, sink), InvalidArgument);
+
+  write_file(path, header + "0,Netflix,0,2000,1.0,10\n");  // bad minute
+  EXPECT_THROW(replay_csv_trace(path, network, sink), ParseError);
+
+  write_file(path, header + "0,Netflix,0,100,-1.0,10\n");  // bad volume
+  EXPECT_THROW(replay_csv_trace(path, network, sink), ParseError);
+
+  write_file(path, header + "0,Netflix,0,abc,1.0,10\n");  // bad integer
+  EXPECT_THROW(replay_csv_trace(path, network, sink), ParseError);
+
+  EXPECT_THROW(replay_csv_trace("/nonexistent/file.csv", network, sink),
+               Error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, QuotedServiceNamesParse) {
+  const Network network = tiny_network();
+  MeasurementDataset sink(network, 1);
+  const std::string path = temp_path("mtd_trace_quoted.csv");
+  write_file(path,
+             "bs,service,day,minute_of_day,volume_mb,duration_s\n"
+             "0,\"Netflix\",0,100,1.5,30\n");
+  EXPECT_EQ(replay_csv_trace(path, network, sink), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mtd

@@ -1,0 +1,117 @@
+#include "core/traffic_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "common/time_utils.hpp"
+#include "test_helpers.hpp"
+
+namespace mtd {
+namespace {
+
+using test::small_dataset;
+
+const ModelRegistry& registry() {
+  static const ModelRegistry r = ModelRegistry::fit(small_dataset());
+  return r;
+}
+
+TEST(GroundTruthSessionSource, CoversAllServices) {
+  const GroundTruthSessionSource source;
+  EXPECT_EQ(source.num_services(), service_catalog().size());
+  Rng rng(1);
+  for (std::size_t s = 0; s < source.num_services(); ++s) {
+    const auto draw = source.sample(s, rng);
+    EXPECT_GT(draw.volume_mb, 0.0);
+    EXPECT_GE(draw.duration_s, 1.0);
+  }
+  EXPECT_THROW(source.sample(1000, rng), InvalidArgument);
+}
+
+TEST(ModelSessionSource, MatchesGroundTruthScale) {
+  // Median session volume from the fitted model is close to ground truth,
+  // per service.
+  const GroundTruthSessionSource truth;
+  const ModelSessionSource model(registry());
+  Rng rng_a(2), rng_b(2);
+  for (const char* name : {"Facebook", "Netflix", "Instagram"}) {
+    const std::size_t s = service_index(name);
+    std::vector<double> tv, mv;
+    for (int i = 0; i < 20000; ++i) {
+      tv.push_back(std::log10(truth.sample(s, rng_a).volume_mb));
+      mv.push_back(std::log10(model.sample(s, rng_b).volume_mb));
+    }
+    EXPECT_NEAR(quantile(tv, 0.5), quantile(mv, 0.5), 0.4) << name;
+  }
+}
+
+TEST(ModelSessionSource, FallsBackForUnfittedServices) {
+  // Every catalogue service must be sampleable even if the registry only
+  // fitted the popular ones.
+  const ModelSessionSource source(registry());
+  EXPECT_EQ(source.num_services(), service_catalog().size());
+  Rng rng(3);
+  for (std::size_t s = 0; s < source.num_services(); ++s) {
+    const auto draw = source.sample(s, rng);
+    EXPECT_GT(draw.volume_mb, 0.0);
+  }
+}
+
+TEST(BsTrafficGenerator, ArrivalVolumeFollowsClassModel) {
+  const ArrivalClassModel& cls = registry().arrivals().class_model(6);
+  const ModelSessionSource source(registry());
+  const BsTrafficGenerator generator(cls, registry().arrivals(), source);
+  Rng rng(4);
+  RunningStats noon;
+  for (int i = 0; i < 3000; ++i) {
+    noon.add(static_cast<double>(generator.arrivals_in_minute(12 * 60, rng)));
+  }
+  EXPECT_NEAR(noon.mean(), cls.peak_mu, 0.1 * cls.peak_mu);
+}
+
+TEST(BsTrafficGenerator, GenerateDayEmitsPlausibleSessions) {
+  const ArrivalClassModel& cls = registry().arrivals().class_model(4);
+  const ModelSessionSource source(registry());
+  const BsTrafficGenerator generator(cls, registry().arrivals(), source);
+  Rng rng(5);
+  std::size_t count = 0;
+  std::size_t day_sessions = 0;
+  generator.generate_day(rng, [&](const GeneratedSession& s) {
+    ++count;
+    EXPECT_LT(s.minute_of_day, kMinutesPerDay);
+    EXPECT_LT(s.service, service_catalog().size());
+    EXPECT_GT(s.volume_mb, 0.0);
+    EXPECT_GE(s.duration_s, 1.0);
+    EXPECT_GT(s.throughput_mbps(), 0.0);
+    if (circadian_activity(s.minute_of_day) > 0.5) ++day_sessions;
+  });
+  EXPECT_GT(count, 500u);
+  // The vast majority of sessions are generated in the day phase.
+  EXPECT_GT(static_cast<double>(day_sessions) / count, 0.8);
+}
+
+TEST(BsTrafficGenerator, ServiceMixMatchesFittedShares) {
+  const ArrivalClassModel& cls = registry().arrivals().class_model(8);
+  const ModelSessionSource source(registry());
+  const BsTrafficGenerator generator(cls, registry().arrivals(), source);
+  Rng rng(6);
+  std::vector<std::size_t> counts(service_catalog().size(), 0);
+  std::size_t total = 0;
+  for (int day = 0; day < 2; ++day) {
+    generator.generate_day(rng, [&](const GeneratedSession& s) {
+      ++counts[s.service];
+      ++total;
+    });
+  }
+  const auto& shares = registry().arrivals().service_shares();
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    if (shares[s] < 0.02) continue;
+    EXPECT_NEAR(static_cast<double>(counts[s]) / total, shares[s],
+                0.15 * shares[s] + 0.003);
+  }
+}
+
+}  // namespace
+}  // namespace mtd
