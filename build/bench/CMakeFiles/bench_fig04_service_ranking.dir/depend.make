@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig04_service_ranking.
+# This may be replaced when dependencies are built.

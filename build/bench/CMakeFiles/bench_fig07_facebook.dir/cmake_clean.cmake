@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_facebook.dir/bench_fig07_facebook.cpp.o"
+  "CMakeFiles/bench_fig07_facebook.dir/bench_fig07_facebook.cpp.o.d"
+  "bench_fig07_facebook"
+  "bench_fig07_facebook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_facebook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

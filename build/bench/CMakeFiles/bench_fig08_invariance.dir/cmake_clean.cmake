@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_invariance.dir/bench_fig08_invariance.cpp.o"
+  "CMakeFiles/bench_fig08_invariance.dir/bench_fig08_invariance.cpp.o.d"
+  "bench_fig08_invariance"
+  "bench_fig08_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

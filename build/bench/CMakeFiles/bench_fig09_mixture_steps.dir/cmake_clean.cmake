@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_mixture_steps.dir/bench_fig09_mixture_steps.cpp.o"
+  "CMakeFiles/bench_fig09_mixture_steps.dir/bench_fig09_mixture_steps.cpp.o.d"
+  "bench_fig09_mixture_steps"
+  "bench_fig09_mixture_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_mixture_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

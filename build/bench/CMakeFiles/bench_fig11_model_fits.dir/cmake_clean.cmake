@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_model_fits.dir/bench_fig11_model_fits.cpp.o"
+  "CMakeFiles/bench_fig11_model_fits.dir/bench_fig11_model_fits.cpp.o.d"
+  "bench_fig11_model_fits"
+  "bench_fig11_model_fits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_model_fits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

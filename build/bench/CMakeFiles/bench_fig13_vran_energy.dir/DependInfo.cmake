@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig13_vran_energy.cpp" "bench/CMakeFiles/bench_fig13_vran_energy.dir/bench_fig13_vran_energy.cpp.o" "gcc" "bench/CMakeFiles/bench_fig13_vran_energy.dir/bench_fig13_vran_energy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mtd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mtd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/usecases/CMakeFiles/mtd_usecases.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/mtd_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/mtd_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mtd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/mtd_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mtd_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mtd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

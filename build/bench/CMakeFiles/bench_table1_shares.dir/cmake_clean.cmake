@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_shares.dir/bench_table1_shares.cpp.o"
+  "CMakeFiles/bench_table1_shares.dir/bench_table1_shares.cpp.o.d"
+  "bench_table1_shares"
+  "bench_table1_shares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_shares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

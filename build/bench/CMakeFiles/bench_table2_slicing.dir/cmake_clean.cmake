@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_slicing.dir/bench_table2_slicing.cpp.o"
+  "CMakeFiles/bench_table2_slicing.dir/bench_table2_slicing.cpp.o.d"
+  "bench_table2_slicing"
+  "bench_table2_slicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

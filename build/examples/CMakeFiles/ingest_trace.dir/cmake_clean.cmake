@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingest_trace.dir/ingest_trace.cpp.o"
+  "CMakeFiles/ingest_trace.dir/ingest_trace.cpp.o.d"
+  "ingest_trace"
+  "ingest_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingest_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

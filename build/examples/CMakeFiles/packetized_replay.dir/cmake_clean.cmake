@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packetized_replay.dir/packetized_replay.cpp.o"
+  "CMakeFiles/packetized_replay.dir/packetized_replay.cpp.o.d"
+  "packetized_replay"
+  "packetized_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packetized_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vran_energy.dir/vran_energy.cpp.o"
+  "CMakeFiles/vran_energy.dir/vran_energy.cpp.o.d"
+  "vran_energy"
+  "vran_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vran_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

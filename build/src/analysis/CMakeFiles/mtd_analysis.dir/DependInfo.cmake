@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bs_level.cpp" "src/analysis/CMakeFiles/mtd_analysis.dir/bs_level.cpp.o" "gcc" "src/analysis/CMakeFiles/mtd_analysis.dir/bs_level.cpp.o.d"
+  "/root/repo/src/analysis/invariance.cpp" "src/analysis/CMakeFiles/mtd_analysis.dir/invariance.cpp.o" "gcc" "src/analysis/CMakeFiles/mtd_analysis.dir/invariance.cpp.o.d"
+  "/root/repo/src/analysis/ranking.cpp" "src/analysis/CMakeFiles/mtd_analysis.dir/ranking.cpp.o" "gcc" "src/analysis/CMakeFiles/mtd_analysis.dir/ranking.cpp.o.d"
+  "/root/repo/src/analysis/similarity.cpp" "src/analysis/CMakeFiles/mtd_analysis.dir/similarity.cpp.o" "gcc" "src/analysis/CMakeFiles/mtd_analysis.dir/similarity.cpp.o.d"
+  "/root/repo/src/analysis/throughput.cpp" "src/analysis/CMakeFiles/mtd_analysis.dir/throughput.cpp.o" "gcc" "src/analysis/CMakeFiles/mtd_analysis.dir/throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mtd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mtd_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/mtd_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mtd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mtd_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtd_analysis.dir/bs_level.cpp.o"
+  "CMakeFiles/mtd_analysis.dir/bs_level.cpp.o.d"
+  "CMakeFiles/mtd_analysis.dir/invariance.cpp.o"
+  "CMakeFiles/mtd_analysis.dir/invariance.cpp.o.d"
+  "CMakeFiles/mtd_analysis.dir/ranking.cpp.o"
+  "CMakeFiles/mtd_analysis.dir/ranking.cpp.o.d"
+  "CMakeFiles/mtd_analysis.dir/similarity.cpp.o"
+  "CMakeFiles/mtd_analysis.dir/similarity.cpp.o.d"
+  "CMakeFiles/mtd_analysis.dir/throughput.cpp.o"
+  "CMakeFiles/mtd_analysis.dir/throughput.cpp.o.d"
+  "libmtd_analysis.a"
+  "libmtd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtd_common.dir/histogram.cpp.o"
+  "CMakeFiles/mtd_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/mtd_common.dir/rng.cpp.o"
+  "CMakeFiles/mtd_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mtd_common.dir/stats.cpp.o"
+  "CMakeFiles/mtd_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mtd_common.dir/time_utils.cpp.o"
+  "CMakeFiles/mtd_common.dir/time_utils.cpp.o.d"
+  "libmtd_common.a"
+  "libmtd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

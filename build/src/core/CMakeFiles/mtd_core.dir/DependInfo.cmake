@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arrival_model.cpp" "src/core/CMakeFiles/mtd_core.dir/arrival_model.cpp.o" "gcc" "src/core/CMakeFiles/mtd_core.dir/arrival_model.cpp.o.d"
+  "/root/repo/src/core/duration_model.cpp" "src/core/CMakeFiles/mtd_core.dir/duration_model.cpp.o" "gcc" "src/core/CMakeFiles/mtd_core.dir/duration_model.cpp.o.d"
+  "/root/repo/src/core/online_fitter.cpp" "src/core/CMakeFiles/mtd_core.dir/online_fitter.cpp.o" "gcc" "src/core/CMakeFiles/mtd_core.dir/online_fitter.cpp.o.d"
+  "/root/repo/src/core/service_model.cpp" "src/core/CMakeFiles/mtd_core.dir/service_model.cpp.o" "gcc" "src/core/CMakeFiles/mtd_core.dir/service_model.cpp.o.d"
+  "/root/repo/src/core/traffic_generator.cpp" "src/core/CMakeFiles/mtd_core.dir/traffic_generator.cpp.o" "gcc" "src/core/CMakeFiles/mtd_core.dir/traffic_generator.cpp.o.d"
+  "/root/repo/src/core/volume_model.cpp" "src/core/CMakeFiles/mtd_core.dir/volume_model.cpp.o" "gcc" "src/core/CMakeFiles/mtd_core.dir/volume_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mtd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mtd_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/mtd_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mtd_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtd_core.dir/arrival_model.cpp.o"
+  "CMakeFiles/mtd_core.dir/arrival_model.cpp.o.d"
+  "CMakeFiles/mtd_core.dir/duration_model.cpp.o"
+  "CMakeFiles/mtd_core.dir/duration_model.cpp.o.d"
+  "CMakeFiles/mtd_core.dir/online_fitter.cpp.o"
+  "CMakeFiles/mtd_core.dir/online_fitter.cpp.o.d"
+  "CMakeFiles/mtd_core.dir/service_model.cpp.o"
+  "CMakeFiles/mtd_core.dir/service_model.cpp.o.d"
+  "CMakeFiles/mtd_core.dir/traffic_generator.cpp.o"
+  "CMakeFiles/mtd_core.dir/traffic_generator.cpp.o.d"
+  "CMakeFiles/mtd_core.dir/volume_model.cpp.o"
+  "CMakeFiles/mtd_core.dir/volume_model.cpp.o.d"
+  "libmtd_core.a"
+  "libmtd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

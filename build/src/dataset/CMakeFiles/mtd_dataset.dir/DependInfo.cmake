@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/generator.cpp" "src/dataset/CMakeFiles/mtd_dataset.dir/generator.cpp.o" "gcc" "src/dataset/CMakeFiles/mtd_dataset.dir/generator.cpp.o.d"
+  "/root/repo/src/dataset/measurement.cpp" "src/dataset/CMakeFiles/mtd_dataset.dir/measurement.cpp.o" "gcc" "src/dataset/CMakeFiles/mtd_dataset.dir/measurement.cpp.o.d"
+  "/root/repo/src/dataset/network.cpp" "src/dataset/CMakeFiles/mtd_dataset.dir/network.cpp.o" "gcc" "src/dataset/CMakeFiles/mtd_dataset.dir/network.cpp.o.d"
+  "/root/repo/src/dataset/service_catalog.cpp" "src/dataset/CMakeFiles/mtd_dataset.dir/service_catalog.cpp.o" "gcc" "src/dataset/CMakeFiles/mtd_dataset.dir/service_catalog.cpp.o.d"
+  "/root/repo/src/dataset/trace_io.cpp" "src/dataset/CMakeFiles/mtd_dataset.dir/trace_io.cpp.o" "gcc" "src/dataset/CMakeFiles/mtd_dataset.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mtd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mtd_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

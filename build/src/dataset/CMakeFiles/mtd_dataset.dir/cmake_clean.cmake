@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtd_dataset.dir/generator.cpp.o"
+  "CMakeFiles/mtd_dataset.dir/generator.cpp.o.d"
+  "CMakeFiles/mtd_dataset.dir/measurement.cpp.o"
+  "CMakeFiles/mtd_dataset.dir/measurement.cpp.o.d"
+  "CMakeFiles/mtd_dataset.dir/network.cpp.o"
+  "CMakeFiles/mtd_dataset.dir/network.cpp.o.d"
+  "CMakeFiles/mtd_dataset.dir/service_catalog.cpp.o"
+  "CMakeFiles/mtd_dataset.dir/service_catalog.cpp.o.d"
+  "CMakeFiles/mtd_dataset.dir/trace_io.cpp.o"
+  "CMakeFiles/mtd_dataset.dir/trace_io.cpp.o.d"
+  "libmtd_dataset.a"
+  "libmtd_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtd_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

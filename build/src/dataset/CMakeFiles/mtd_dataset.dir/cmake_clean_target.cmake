@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmtd_dataset.a"
+)

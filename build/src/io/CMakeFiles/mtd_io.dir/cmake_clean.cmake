@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtd_io.dir/json.cpp.o"
+  "CMakeFiles/mtd_io.dir/json.cpp.o.d"
+  "CMakeFiles/mtd_io.dir/table.cpp.o"
+  "CMakeFiles/mtd_io.dir/table.cpp.o.d"
+  "libmtd_io.a"
+  "libmtd_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtd_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/clustering.cpp" "src/math/CMakeFiles/mtd_math.dir/clustering.cpp.o" "gcc" "src/math/CMakeFiles/mtd_math.dir/clustering.cpp.o.d"
+  "/root/repo/src/math/distributions.cpp" "src/math/CMakeFiles/mtd_math.dir/distributions.cpp.o" "gcc" "src/math/CMakeFiles/mtd_math.dir/distributions.cpp.o.d"
+  "/root/repo/src/math/em_gmm.cpp" "src/math/CMakeFiles/mtd_math.dir/em_gmm.cpp.o" "gcc" "src/math/CMakeFiles/mtd_math.dir/em_gmm.cpp.o.d"
+  "/root/repo/src/math/ks_test.cpp" "src/math/CMakeFiles/mtd_math.dir/ks_test.cpp.o" "gcc" "src/math/CMakeFiles/mtd_math.dir/ks_test.cpp.o.d"
+  "/root/repo/src/math/levenberg_marquardt.cpp" "src/math/CMakeFiles/mtd_math.dir/levenberg_marquardt.cpp.o" "gcc" "src/math/CMakeFiles/mtd_math.dir/levenberg_marquardt.cpp.o.d"
+  "/root/repo/src/math/linalg.cpp" "src/math/CMakeFiles/mtd_math.dir/linalg.cpp.o" "gcc" "src/math/CMakeFiles/mtd_math.dir/linalg.cpp.o.d"
+  "/root/repo/src/math/metrics.cpp" "src/math/CMakeFiles/mtd_math.dir/metrics.cpp.o" "gcc" "src/math/CMakeFiles/mtd_math.dir/metrics.cpp.o.d"
+  "/root/repo/src/math/mixture.cpp" "src/math/CMakeFiles/mtd_math.dir/mixture.cpp.o" "gcc" "src/math/CMakeFiles/mtd_math.dir/mixture.cpp.o.d"
+  "/root/repo/src/math/savgol.cpp" "src/math/CMakeFiles/mtd_math.dir/savgol.cpp.o" "gcc" "src/math/CMakeFiles/mtd_math.dir/savgol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mtd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

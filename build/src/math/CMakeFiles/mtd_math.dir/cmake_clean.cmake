@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtd_math.dir/clustering.cpp.o"
+  "CMakeFiles/mtd_math.dir/clustering.cpp.o.d"
+  "CMakeFiles/mtd_math.dir/distributions.cpp.o"
+  "CMakeFiles/mtd_math.dir/distributions.cpp.o.d"
+  "CMakeFiles/mtd_math.dir/em_gmm.cpp.o"
+  "CMakeFiles/mtd_math.dir/em_gmm.cpp.o.d"
+  "CMakeFiles/mtd_math.dir/ks_test.cpp.o"
+  "CMakeFiles/mtd_math.dir/ks_test.cpp.o.d"
+  "CMakeFiles/mtd_math.dir/levenberg_marquardt.cpp.o"
+  "CMakeFiles/mtd_math.dir/levenberg_marquardt.cpp.o.d"
+  "CMakeFiles/mtd_math.dir/linalg.cpp.o"
+  "CMakeFiles/mtd_math.dir/linalg.cpp.o.d"
+  "CMakeFiles/mtd_math.dir/metrics.cpp.o"
+  "CMakeFiles/mtd_math.dir/metrics.cpp.o.d"
+  "CMakeFiles/mtd_math.dir/mixture.cpp.o"
+  "CMakeFiles/mtd_math.dir/mixture.cpp.o.d"
+  "CMakeFiles/mtd_math.dir/savgol.cpp.o"
+  "CMakeFiles/mtd_math.dir/savgol.cpp.o.d"
+  "libmtd_math.a"
+  "libmtd_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtd_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

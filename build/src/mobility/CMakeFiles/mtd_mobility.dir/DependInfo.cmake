@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/handover.cpp" "src/mobility/CMakeFiles/mtd_mobility.dir/handover.cpp.o" "gcc" "src/mobility/CMakeFiles/mtd_mobility.dir/handover.cpp.o.d"
+  "/root/repo/src/mobility/per_bs_view.cpp" "src/mobility/CMakeFiles/mtd_mobility.dir/per_bs_view.cpp.o" "gcc" "src/mobility/CMakeFiles/mtd_mobility.dir/per_bs_view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mtd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mtd_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/mtd_dataset.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

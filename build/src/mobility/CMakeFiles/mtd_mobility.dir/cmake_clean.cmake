@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtd_mobility.dir/handover.cpp.o"
+  "CMakeFiles/mtd_mobility.dir/handover.cpp.o.d"
+  "CMakeFiles/mtd_mobility.dir/per_bs_view.cpp.o"
+  "CMakeFiles/mtd_mobility.dir/per_bs_view.cpp.o.d"
+  "libmtd_mobility.a"
+  "libmtd_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtd_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtd_packet.dir/packet_schedule.cpp.o"
+  "CMakeFiles/mtd_packet.dir/packet_schedule.cpp.o.d"
+  "libmtd_packet.a"
+  "libmtd_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtd_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtd_scenario.dir/scenario.cpp.o"
+  "CMakeFiles/mtd_scenario.dir/scenario.cpp.o.d"
+  "libmtd_scenario.a"
+  "libmtd_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtd_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

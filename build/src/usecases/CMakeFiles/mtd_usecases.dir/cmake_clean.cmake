@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtd_usecases.dir/baselines.cpp.o"
+  "CMakeFiles/mtd_usecases.dir/baselines.cpp.o.d"
+  "CMakeFiles/mtd_usecases.dir/slicing.cpp.o"
+  "CMakeFiles/mtd_usecases.dir/slicing.cpp.o.d"
+  "CMakeFiles/mtd_usecases.dir/vran.cpp.o"
+  "CMakeFiles/mtd_usecases.dir/vran.cpp.o.d"
+  "libmtd_usecases.a"
+  "libmtd_usecases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtd_usecases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/mtd_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_arrival_model.cpp" "tests/CMakeFiles/mtd_tests.dir/test_arrival_model.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_arrival_model.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/mtd_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_bs_level.cpp" "tests/CMakeFiles/mtd_tests.dir/test_bs_level.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_bs_level.cpp.o.d"
+  "/root/repo/tests/test_clustering.cpp" "tests/CMakeFiles/mtd_tests.dir/test_clustering.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_clustering.cpp.o.d"
+  "/root/repo/tests/test_distributions.cpp" "tests/CMakeFiles/mtd_tests.dir/test_distributions.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_distributions.cpp.o.d"
+  "/root/repo/tests/test_duration_model.cpp" "tests/CMakeFiles/mtd_tests.dir/test_duration_model.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_duration_model.cpp.o.d"
+  "/root/repo/tests/test_em_gmm.cpp" "tests/CMakeFiles/mtd_tests.dir/test_em_gmm.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_em_gmm.cpp.o.d"
+  "/root/repo/tests/test_error_paths.cpp" "tests/CMakeFiles/mtd_tests.dir/test_error_paths.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_error_paths.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/mtd_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/mtd_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/mtd_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/mtd_tests.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_json_fuzz.cpp" "tests/CMakeFiles/mtd_tests.dir/test_json_fuzz.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_json_fuzz.cpp.o.d"
+  "/root/repo/tests/test_ks_test.cpp" "tests/CMakeFiles/mtd_tests.dir/test_ks_test.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_ks_test.cpp.o.d"
+  "/root/repo/tests/test_linalg.cpp" "tests/CMakeFiles/mtd_tests.dir/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_linalg.cpp.o.d"
+  "/root/repo/tests/test_lm.cpp" "tests/CMakeFiles/mtd_tests.dir/test_lm.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_lm.cpp.o.d"
+  "/root/repo/tests/test_measurement.cpp" "tests/CMakeFiles/mtd_tests.dir/test_measurement.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_measurement.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/mtd_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_mixture.cpp" "tests/CMakeFiles/mtd_tests.dir/test_mixture.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_mixture.cpp.o.d"
+  "/root/repo/tests/test_mobility.cpp" "tests/CMakeFiles/mtd_tests.dir/test_mobility.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_mobility.cpp.o.d"
+  "/root/repo/tests/test_model_recovery.cpp" "tests/CMakeFiles/mtd_tests.dir/test_model_recovery.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_model_recovery.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/mtd_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_online_fitter.cpp" "tests/CMakeFiles/mtd_tests.dir/test_online_fitter.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_online_fitter.cpp.o.d"
+  "/root/repo/tests/test_packet.cpp" "tests/CMakeFiles/mtd_tests.dir/test_packet.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_packet.cpp.o.d"
+  "/root/repo/tests/test_parallel_dataset.cpp" "tests/CMakeFiles/mtd_tests.dir/test_parallel_dataset.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_parallel_dataset.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/mtd_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_savgol.cpp" "tests/CMakeFiles/mtd_tests.dir/test_savgol.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_savgol.cpp.o.d"
+  "/root/repo/tests/test_scenario.cpp" "tests/CMakeFiles/mtd_tests.dir/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_scenario.cpp.o.d"
+  "/root/repo/tests/test_service_catalog.cpp" "tests/CMakeFiles/mtd_tests.dir/test_service_catalog.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_service_catalog.cpp.o.d"
+  "/root/repo/tests/test_service_model.cpp" "tests/CMakeFiles/mtd_tests.dir/test_service_model.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_service_model.cpp.o.d"
+  "/root/repo/tests/test_slicing.cpp" "tests/CMakeFiles/mtd_tests.dir/test_slicing.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_slicing.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/mtd_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/mtd_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_throughput.cpp" "tests/CMakeFiles/mtd_tests.dir/test_throughput.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_throughput.cpp.o.d"
+  "/root/repo/tests/test_time_utils.cpp" "tests/CMakeFiles/mtd_tests.dir/test_time_utils.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_time_utils.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/mtd_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_traffic_generator.cpp" "tests/CMakeFiles/mtd_tests.dir/test_traffic_generator.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_traffic_generator.cpp.o.d"
+  "/root/repo/tests/test_volume_model.cpp" "tests/CMakeFiles/mtd_tests.dir/test_volume_model.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_volume_model.cpp.o.d"
+  "/root/repo/tests/test_vran.cpp" "tests/CMakeFiles/mtd_tests.dir/test_vran.cpp.o" "gcc" "tests/CMakeFiles/mtd_tests.dir/test_vran.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mtd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mtd_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mtd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/mtd_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mtd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mtd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/usecases/CMakeFiles/mtd_usecases.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/mtd_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/mtd_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/mtd_scenario.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
