@@ -1,0 +1,131 @@
+// Streaming-engine throughput: sessions/s by worker count.
+//
+// Streams the bench network through StreamEngine in max-throughput mode at
+// 1, 2, 4 and 8 workers into a minimal counting sink, and prints one JSON
+// line per worker count (schema: bench, workers, sessions, wall_s,
+// sessions_per_s, mbytes_per_s, dropped, stall_s) so CI can track the
+// scaling curve. Under the blocking backpressure policy the drop counters
+// must be zero and every worker count must deliver the identical session
+// count — both are asserted here. Speedup over one worker is reported
+// relative to the measured single-worker rate; on a single-core host the
+// curve is flat (the engine cannot conjure parallelism the hardware does
+// not have), which the "hw_threads" field makes explicit.
+//
+// google-benchmark timings of the SPSC ring primitive follow the JSON
+// lines.
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "engine/engine.hpp"
+#include "engine/spsc_ring.hpp"
+#include "io/json.hpp"
+
+namespace {
+
+using namespace mtd;
+
+/// Counts deliveries; deliberately near-zero per-event work so the bench
+/// measures engine overhead, not sink cost.
+struct CountingSink final : TraceSink {
+  std::uint64_t minutes = 0;
+  std::uint64_t sessions = 0;
+  double volume_mb = 0.0;
+
+  void on_minute(const BaseStation&, std::size_t, std::size_t,
+                 std::uint32_t) override {
+    ++minutes;
+  }
+  void on_session(const Session& session) override {
+    ++sessions;
+    volume_mb += session.volume_mb;
+  }
+};
+
+void throughput_sweep() {
+  TraceConfig trace;
+  trace.num_days = mtd::bench::fast_mode() ? 1 : 3;
+  trace.seed = 20231024;
+  const Network& network = mtd::bench::bench_network();
+
+  std::uint64_t reference_sessions = 0;
+  double reference_rate = 0.0;
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    EngineConfig config;
+    config.num_workers = workers;
+    config.queue_capacity = 16384;
+    config.backpressure = BackpressurePolicy::kBlock;
+
+    StreamEngine engine(network, trace, config);
+    CountingSink sink;
+    const EngineResult result = engine.run(sink);
+    const TelemetrySnapshot& t = result.telemetry;
+
+    if (workers == 1) {
+      reference_sessions = sink.sessions;
+      reference_rate = t.sessions_per_second;
+    } else if (sink.sessions != reference_sessions) {
+      std::cerr << "FATAL: session count diverged at " << workers
+                << " workers\n";
+      std::exit(1);
+    }
+    if (t.dropped_sessions + t.dropped_minutes != 0) {
+      std::cerr << "FATAL: blocking backpressure dropped events\n";
+      std::exit(1);
+    }
+
+    JsonObject row;
+    row.emplace("bench", "engine_throughput");
+    row.emplace("workers", workers);
+    row.emplace("hw_threads",
+                static_cast<double>(std::thread::hardware_concurrency()));
+    row.emplace("sessions", static_cast<double>(sink.sessions));
+    row.emplace("wall_s", t.wall_seconds);
+    row.emplace("sessions_per_s", t.sessions_per_second);
+    row.emplace("mbytes_per_s", t.mbytes_per_second);
+    row.emplace("dropped",
+                static_cast<double>(t.dropped_sessions + t.dropped_minutes));
+    row.emplace("stall_s", t.producer_stall_seconds);
+    row.emplace("speedup_vs_1", reference_rate > 0.0
+                                    ? t.sessions_per_second / reference_rate
+                                    : 1.0);
+    std::cout << Json(std::move(row)).dump() << "\n";
+  }
+}
+
+void BM_SpscRingPushPop(benchmark::State& state) {
+  SpscRing<std::uint64_t> ring(1024);
+  std::uint64_t i = 0;
+  std::uint64_t out = 0;
+  for (auto _ : state) {
+    // Single-threaded steady state: each iteration moves one value through.
+    benchmark::DoNotOptimize(ring.try_push(std::move(i)));
+    benchmark::DoNotOptimize(ring.try_pop(out));
+    ++i;
+  }
+}
+BENCHMARK(BM_SpscRingPushPop);
+
+void BM_EngineMaxThroughput(benchmark::State& state) {
+  TraceConfig trace;
+  trace.num_days = 1;
+  trace.seed = 7;
+  EngineConfig config;
+  config.num_workers = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    StreamEngine engine(mtd::bench::bench_network(), trace, config);
+    CountingSink sink;
+    const EngineResult result = engine.run(sink);
+    state.counters["sessions_per_s"] = result.telemetry.sessions_per_second;
+  }
+}
+BENCHMARK(BM_EngineMaxThroughput)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  throughput_sweep();
+  return mtd::bench::run_benchmarks(argc, argv);
+}

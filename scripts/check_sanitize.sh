@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI-style sanitizer gate: configure with MTD_SANITIZE=ON (ASan + UBSan on
+# every target), build, and run the full test suite. Any sanitizer report
+# aborts the run (-fno-sanitize-recover=all) and fails the job.
+#
+# Usage: scripts/check_sanitize.sh [build-dir] [ctest-regex]
+#   build-dir    defaults to build-sanitize
+#   ctest-regex  optional -R filter, e.g. 'Engine|SpscRing'
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-sanitize}"
+FILTER="${2:-}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DMTD_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+
+CTEST_ARGS=(--test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS")
+if [[ -n "$FILTER" ]]; then
+  CTEST_ARGS+=(-R "$FILTER")
+fi
+ctest "${CTEST_ARGS[@]}"
+
+echo "sanitize check passed"

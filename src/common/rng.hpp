@@ -118,6 +118,23 @@ class Rng {
     return Rng(sm.next());
   }
 
+  /// The full 256-bit generator state. Together with set_state this allows
+  /// suspending and resuming a stream bit-identically (engine checkpoints).
+  /// The cached spare normal deviate is intentionally not part of the state:
+  /// capture/restore only at points where no spare is pending (any state
+  /// taken before the first normal() call, or via a fresh copy).
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return state_;
+  }
+
+  /// Restores a state previously obtained from state(); drops any cached
+  /// spare normal deviate.
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    state_ = state;
+    has_spare_ = false;
+    spare_normal_ = 0.0;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

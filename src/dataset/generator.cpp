@@ -78,42 +78,56 @@ TraceGenerator::TraceGenerator(const Network& network, TraceConfig config)
   }
 }
 
-void TraceGenerator::run_bs_day(const BaseStation& bs, std::size_t day,
-                                TraceSink& sink) const {
+Rng TraceGenerator::bs_day_rng(const BaseStation& bs, std::size_t day) const {
   // One independent stream per (BS, day) keeps generation order-independent.
-  Rng rng(config_.seed ^ (0x9e3779b97f4a7c15ULL * (bs.id + 1)) ^
-          (0xc2b2ae3d27d4eb4fULL * (day + 1)));
+  return Rng(config_.seed ^ (0x9e3779b97f4a7c15ULL * (bs.id + 1)) ^
+             (0xc2b2ae3d27d4eb4fULL * (day + 1)));
+}
 
+BaseStation TraceGenerator::day_scaled(const BaseStation& bs,
+                                       std::size_t day) const {
   BaseStation scaled = bs;
   double rate = config_.rate_scale;
   if (day_type(day) == DayType::kWeekend) rate *= config_.weekend_rate_factor;
   scaled.peak_rate *= rate;
   scaled.offpeak_scale *= rate;
-  const ArrivalProcess arrivals(scaled);
+  return scaled;
+}
 
+Session TraceGenerator::sample_session(const BaseStation& bs, std::size_t day,
+                                       std::size_t minute_of_day,
+                                       Rng& rng) const {
+  // Service assignment by Table-1 session shares.
+  const double u = rng.uniform();
+  const auto it =
+      std::lower_bound(service_cdf_.begin(), service_cdf_.end(), u);
+  const auto svc = static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - service_cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(
+                                   service_cdf_.size() - 1)));
+  const SessionSampler::Draw draw = samplers_[svc].sample(rng);
   Session session;
   session.bs = bs.id;
   session.day = static_cast<std::uint16_t>(day);
+  session.minute_of_day = static_cast<std::uint16_t>(minute_of_day);
+  session.service = static_cast<std::uint16_t>(svc);
+  session.transient = draw.transient;
+  session.volume_mb = draw.volume_mb;
+  session.duration_s = draw.duration_s;
+  return session;
+}
+
+void TraceGenerator::run_bs_day(const BaseStation& bs, std::size_t day,
+                                TraceSink& sink) const {
+  Rng rng = bs_day_rng(bs, day);
+  const BaseStation scaled = day_scaled(bs, day);
+  const ArrivalProcess arrivals(scaled);
 
   for (std::size_t minute = 0; minute < kMinutesPerDay; ++minute) {
     const std::uint32_t count = arrivals.sample(minute, rng);
     sink.on_minute(bs, day, minute, count);
-    session.minute_of_day = static_cast<std::uint16_t>(minute);
     for (std::uint32_t k = 0; k < count; ++k) {
-      // Service assignment by Table-1 session shares.
-      const double u = rng.uniform();
-      const auto it =
-          std::lower_bound(service_cdf_.begin(), service_cdf_.end(), u);
-      const auto svc = static_cast<std::size_t>(
-          std::min<std::ptrdiff_t>(it - service_cdf_.begin(),
-                                   static_cast<std::ptrdiff_t>(
-                                       service_cdf_.size() - 1)));
-      const SessionSampler::Draw draw = samplers_[svc].sample(rng);
-      session.service = static_cast<std::uint16_t>(svc);
-      session.transient = draw.transient;
-      session.volume_mb = draw.volume_mb;
-      session.duration_s = draw.duration_s;
-      sink.on_session(session);
+      sink.on_session(sample_session(bs, day, minute, rng));
     }
   }
 }

@@ -117,6 +117,29 @@ class TraceGenerator {
   void run_bs_day(const BaseStation& bs, std::size_t day,
                   TraceSink& sink) const;
 
+  // -- streaming primitives ---------------------------------------------------
+  // The per-(BS, day) generation stream is defined by three pieces that the
+  // batch path above composes; they are public so streaming front-ends
+  // (src/engine) can interleave many BSs minute-by-minute while consuming
+  // each (BS, day) RNG stream in exactly the batch order. Any reordering
+  // across BSs is therefore bit-identical to run()/run_bs_day() per BS.
+
+  /// The deterministic RNG stream of one (BS, day). Independent per pair, so
+  /// generation order across pairs does not matter.
+  [[nodiscard]] Rng bs_day_rng(const BaseStation& bs, std::size_t day) const;
+
+  /// The BS with its arrival rates scaled for `day` (global rate_scale plus
+  /// the weekend factor).
+  [[nodiscard]] BaseStation day_scaled(const BaseStation& bs,
+                                       std::size_t day) const;
+
+  /// Draws the next session arriving at (bs, day, minute), advancing `rng`
+  /// exactly as the batch generator does (service pick, volume, duration,
+  /// transient truncation).
+  [[nodiscard]] Session sample_session(const BaseStation& bs, std::size_t day,
+                                       std::size_t minute_of_day,
+                                       Rng& rng) const;
+
   [[nodiscard]] const Network& network() const noexcept { return *network_; }
   [[nodiscard]] const TraceConfig& config() const noexcept { return config_; }
 

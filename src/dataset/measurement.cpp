@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
+#include <map>
+#include <mutex>
 #include <thread>
 
 #include "common/error.hpp"
@@ -55,8 +58,6 @@ MeasurementDataset::MeasurementDataset(const Network& network,
   for (std::uint8_t d = 0; d < kNumDeciles; ++d) {
     decile_stats_.emplace_back(arrival_axis_for(network.decile_peak_rate(d)));
   }
-  cell_sessions_per_service_.assign(catalog.size(), 0);
-  cell_volume_per_service_.assign(catalog.size(), 0.0);
   session_share_stats_.resize(catalog.size());
   traffic_share_stats_.resize(catalog.size());
 }
@@ -79,21 +80,19 @@ std::array<Slice, 4> MeasurementDataset::slices_of(const BaseStation& bs,
 void MeasurementDataset::on_minute(const BaseStation& bs, std::size_t day,
                                    std::size_t minute_of_day,
                                    std::uint32_t count) {
-  const std::pair<std::uint32_t, std::size_t> cell{bs.id, day};
-  if (!current_cell_ || *current_cell_ != cell) {
-    flush_cell_shares();
-    current_cell_ = cell;
-  }
-
+  // PDF bins take integer weights, so they are exact under any event order;
+  // the Welford moment accumulators are not, so the counts are buffered per
+  // cell and replayed in canonical order by finalize().
   DecileArrivalStats& stats = decile_stats_[bs.decile];
   const double x = static_cast<double>(count);
   stats.count_pdf.add(x);
+  PendingCell& pending = pending_cell(bs.id, day);
   if (ArrivalProcess::is_day_phase(minute_of_day)) {
     stats.day_pdf.add(x);
-    stats.day_stats.add(x);
+    pending.day_counts.push_back(count);
   } else {
     stats.night_pdf.add(x);
-    stats.night_stats.add(x);
+    pending.night_counts.push_back(count);
   }
 }
 
@@ -102,29 +101,31 @@ void MeasurementDataset::on_session(const Session& session) {
   const double log_volume = std::log10(session.volume_mb);
   const double log_duration = std::log10(session.duration_s);
 
+  // Session counts and integer-weighted PDF bins are exact under any event
+  // order and accumulate directly; volume sums and duration-volume curves
+  // are buffered per cell and folded deterministically by finalize().
   auto& per_service = slice_stats_[session.service];
   for (Slice s : slices_of(bs, session.day)) {
     ServiceSliceStats& stats = per_service[static_cast<std::size_t>(s)];
     stats.volume_pdf.add(log_volume);
-    stats.dv_curve.add(log_duration, session.volume_mb);
     ++stats.sessions;
-    stats.volume_mb += session.volume_mb;
   }
   if (bs.city != BaseStation::kNoCity) {
     const auto city_slice = static_cast<std::size_t>(Slice::kCity0) + bs.city;
     ServiceSliceStats& stats = per_service[city_slice];
     stats.volume_pdf.add(log_volume);
-    stats.dv_curve.add(log_duration, session.volume_mb);
     ++stats.sessions;
-    stats.volume_mb += session.volume_mb;
   }
 
   duration_pdfs_[session.service].add(log_duration);
 
-  ++cell_sessions_per_service_[session.service];
-  cell_volume_per_service_[session.service] += session.volume_mb;
+  PendingCell& pending = pending_cell(session.bs, session.day);
+  ++pending.sessions[session.service];
+  pending.volume_mb[session.service] += session.volume_mb;
+  auto& dv = pending.dv_curves[session.service];
+  if (!dv) dv.emplace(duration_axis());
+  dv->add(log_duration, session.volume_mb);
   ++total_sessions_;
-  total_volume_ += session.volume_mb;
 
   if (config_.store_per_cell) {
     const CellKey key{session.service, session.bs, session.day};
@@ -136,33 +137,77 @@ void MeasurementDataset::on_session(const Session& session) {
   }
 }
 
-void MeasurementDataset::flush_cell_shares() {
-  if (!current_cell_) return;
-  std::uint64_t cell_total = 0;
-  double cell_volume = 0.0;
-  for (std::size_t s = 0; s < services_.size(); ++s) {
-    cell_total += cell_sessions_per_service_[s];
-    cell_volume += cell_volume_per_service_[s];
+MeasurementDataset::PendingCell& MeasurementDataset::pending_cell(
+    std::uint32_t bs, std::size_t day) {
+  const CellId id{bs, static_cast<std::uint16_t>(day)};
+  if (cached_cell_ != nullptr && *cached_cell_id_ == id) return *cached_cell_;
+  PendingCell& cell = pending_[id];
+  if (cell.sessions.empty()) {
+    cell.sessions.assign(services_.size(), 0);
+    cell.volume_mb.assign(services_.size(), 0.0);
+    cell.dv_curves.resize(services_.size());
   }
-  if (cell_total > 0) {
-    for (std::size_t s = 0; s < services_.size(); ++s) {
-      session_share_stats_[s].add(
-          static_cast<double>(cell_sessions_per_service_[s]) /
-          static_cast<double>(cell_total));
-      if (cell_volume > 0.0) {
-        traffic_share_stats_[s].add(cell_volume_per_service_[s] / cell_volume);
-      }
-    }
-  }
-  std::fill(cell_sessions_per_service_.begin(),
-            cell_sessions_per_service_.end(), 0);
-  std::fill(cell_volume_per_service_.begin(), cell_volume_per_service_.end(),
-            0.0);
+  cached_cell_id_ = id;
+  cached_cell_ = &cell;
+  return cell;
 }
 
 void MeasurementDataset::finalize() {
-  flush_cell_shares();
-  current_cell_.reset();
+  // std::map iterates cells in (bs, day) order — the order the serial batch
+  // path visits them — so every floating-point fold below sees the same
+  // additions in the same sequence no matter how the input events were
+  // interleaved across cells.
+  for (const auto& [id, cell] : pending_) {
+    const BaseStation& bs = (*network_)[id.first];
+    const std::size_t day = id.second;
+
+    // Replay the buffered per-minute arrival counts into the Welford
+    // accumulators; each phase's counts are in minute order, matching the
+    // push sequence of block-ordered serial generation.
+    DecileArrivalStats& arrivals = decile_stats_[bs.decile];
+    for (std::uint32_t c : cell.day_counts) {
+      arrivals.day_stats.add(static_cast<double>(c));
+    }
+    for (std::uint32_t c : cell.night_counts) {
+      arrivals.night_stats.add(static_cast<double>(c));
+    }
+
+    std::uint64_t cell_total = 0;
+    double cell_volume = 0.0;
+    for (std::size_t s = 0; s < services_.size(); ++s) {
+      cell_total += cell.sessions[s];
+      cell_volume += cell.volume_mb[s];
+    }
+    if (cell_total == 0) continue;
+    total_volume_ += cell_volume;
+
+    const auto slices = slices_of(bs, day);
+    const std::size_t city_slice =
+        bs.city != BaseStation::kNoCity
+            ? static_cast<std::size_t>(Slice::kCity0) + bs.city
+            : kNumSlices;
+    for (std::size_t s = 0; s < services_.size(); ++s) {
+      session_share_stats_[s].add(static_cast<double>(cell.sessions[s]) /
+                                  static_cast<double>(cell_total));
+      if (cell_volume > 0.0) {
+        traffic_share_stats_[s].add(cell.volume_mb[s] / cell_volume);
+      }
+      if (cell.sessions[s] == 0) continue;
+      for (Slice sl : slices) {
+        ServiceSliceStats& stats = slice_stats_[s][static_cast<std::size_t>(sl)];
+        stats.volume_mb += cell.volume_mb[s];
+        if (cell.dv_curves[s]) stats.dv_curve.accumulate(*cell.dv_curves[s], 1.0);
+      }
+      if (city_slice < kNumSlices) {
+        ServiceSliceStats& stats = slice_stats_[s][city_slice];
+        stats.volume_mb += cell.volume_mb[s];
+        if (cell.dv_curves[s]) stats.dv_curve.accumulate(*cell.dv_curves[s], 1.0);
+      }
+    }
+  }
+  pending_.clear();
+  cached_cell_id_.reset();
+  cached_cell_ = nullptr;
 }
 
 const ServiceSliceStats& MeasurementDataset::slice(std::size_t service,
@@ -278,7 +323,7 @@ void MeasurementDataset::merge(const MeasurementDataset& other) {
           "MeasurementDataset::merge: different horizons");
   require(config_.store_per_cell == other.config_.store_per_cell,
           "MeasurementDataset::merge: per-cell store mismatch");
-  require(!current_cell_ && !other.current_cell_,
+  require(pending_.empty() && other.pending_.empty(),
           "MeasurementDataset::merge: finalize both datasets first");
 
   for (std::size_t s = 0; s < slice_stats_.size(); ++s) {
@@ -327,41 +372,125 @@ MeasurementDataset collect_dataset(const Network& network,
   return dataset;
 }
 
+namespace {
+
+/// One generated (BS, day), recorded for ordered replay: the per-minute
+/// arrival counts plus the sessions in generation order.
+struct RecordedUnit {
+  std::vector<std::uint32_t> counts;
+  std::vector<Session> sessions;
+};
+
+class RecordingSink final : public TraceSink {
+ public:
+  explicit RecordingSink(RecordedUnit& unit) : unit_(&unit) {}
+  void on_minute(const BaseStation&, std::size_t, std::size_t,
+                 std::uint32_t count) override {
+    unit_->counts.push_back(count);
+  }
+  void on_session(const Session& session) override {
+    unit_->sessions.push_back(session);
+  }
+
+ private:
+  RecordedUnit* unit_;
+};
+
+}  // namespace
+
 MeasurementDataset collect_dataset_parallel(
     const Network& network, const TraceConfig& trace_config,
     std::size_t threads, MeasurementConfig measurement_config) {
-  require(threads >= 1, "collect_dataset_parallel: need at least one thread");
+  if (threads == 0) {
+    // Auto: one worker per hardware thread. hardware_concurrency() may
+    // report 0 on exotic platforms; fall back to serial then.
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
   threads = std::min(threads, network.size());
   if (threads == 1) {
     return collect_dataset(network, trace_config, measurement_config);
   }
 
-  const TraceGenerator generator(network, trace_config);
-  std::vector<MeasurementDataset> partials;
-  partials.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
-    partials.emplace_back(network, trace_config.num_days,
-                          measurement_config);
+  // Parallel generation, strictly serial aggregation: workers record
+  // (BS, day) units out of order, the calling thread replays them into one
+  // dataset in exactly collect_dataset's (BS-major, then day) order and
+  // event interleaving. Every accumulated double therefore sees the same
+  // additions in the same order as the serial path — the result is
+  // bit-identical for any thread count, not merely equal to rounding.
+  // A bounded look-ahead window caps the memory of buffered units.
+  const std::size_t num_days = trace_config.num_days;
+  const std::size_t units = network.size() * num_days;
+  MeasurementDataset dataset(network, num_days, measurement_config);
+  if (units == 0) {
+    dataset.finalize();
+    return dataset;
   }
+
+  const TraceGenerator generator(network, trace_config);
+  const std::size_t window = threads * 4;
+
+  std::mutex mu;
+  std::condition_variable ready_cv;   // consumer waits for the next unit
+  std::condition_variable space_cv;   // workers wait for window space
+  std::map<std::size_t, RecordedUnit> ready;  // guarded by mu
+  std::size_t claim_cursor = 0;               // guarded by mu
+  std::size_t replay_cursor = 0;              // guarded by mu
 
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      // Strided BS partition keeps the decile mix balanced per worker.
-      for (std::size_t b = t; b < network.size(); b += threads) {
-        for (std::size_t day = 0; day < trace_config.num_days; ++day) {
-          generator.run_bs_day(network[b], day, partials[t]);
+    workers.emplace_back([&] {
+      for (;;) {
+        std::size_t unit_index;
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          space_cv.wait(lock, [&] {
+            return claim_cursor >= units ||
+                   claim_cursor < replay_cursor + window;
+          });
+          if (claim_cursor >= units) return;
+          unit_index = claim_cursor++;
         }
+        RecordedUnit unit;
+        unit.counts.reserve(kMinutesPerDay);
+        RecordingSink recorder(unit);
+        generator.run_bs_day(network[unit_index / num_days],
+                             unit_index % num_days, recorder);
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          ready.emplace(unit_index, std::move(unit));
+        }
+        ready_cv.notify_one();
       }
-      partials[t].finalize();
     });
+  }
+
+  for (std::size_t u = 0; u < units; ++u) {
+    RecordedUnit unit;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      ready_cv.wait(lock, [&] { return ready.count(u) != 0; });
+      unit = std::move(ready.find(u)->second);
+      ready.erase(u);
+      replay_cursor = u + 1;
+    }
+    space_cv.notify_all();
+
+    const BaseStation& bs = network[u / num_days];
+    const std::size_t day = u % num_days;
+    std::size_t cursor = 0;
+    for (std::size_t minute = 0; minute < unit.counts.size(); ++minute) {
+      dataset.on_minute(bs, day, minute, unit.counts[minute]);
+      while (cursor < unit.sessions.size() &&
+             unit.sessions[cursor].minute_of_day == minute) {
+        dataset.on_session(unit.sessions[cursor++]);
+      }
+    }
   }
   for (std::thread& worker : workers) worker.join();
 
-  MeasurementDataset& result = partials.front();
-  for (std::size_t t = 1; t < threads; ++t) result.merge(partials[t]);
-  return std::move(result);
+  dataset.finalize();
+  return dataset;
 }
 
 }  // namespace mtd

@@ -117,8 +117,16 @@ class MeasurementDataset final : public TraceSink {
                  std::size_t minute_of_day, std::uint32_t count) override;
   void on_session(const Session& session) override;
 
-  /// Flushes per-(BS, day) share accounting. Called automatically when the
-  /// (BS, day) under generation changes; call once after the final trace.
+  /// Flushes per-(BS, day) accounting into the dataset; call once after the
+  /// final trace event. Events may arrive in any order across (BS, day)
+  /// cells (the streaming engine interleaves BSs minute-by-minute), so every
+  /// order-sensitive floating-point accumulation — volume totals, slice
+  /// volume sums, duration-volume curves, share statistics and the decile
+  /// arrival moments — is buffered per cell and folded here in deterministic
+  /// (BS, day) order. As long as each cell's own event sequence is preserved
+  /// (every producer path guarantees that), the finalized dataset is
+  /// bit-identical regardless of how cells were interleaved. Until finalize()
+  /// runs, volume totals and share statistics read as zero.
   void finalize();
 
   /// Merges another dataset built over the same network and horizon (e.g.
@@ -175,7 +183,23 @@ class MeasurementDataset final : public TraceSink {
   [[nodiscard]] std::vector<CellKey> cell_keys(std::uint16_t service) const;
 
  private:
-  void flush_cell_shares();
+  /// Pending per-(BS, day) tallies of every order-sensitive accumulation,
+  /// folded in finalize(). Memory grows with #BS x #days; this is the price
+  /// of order-independent bit-exact aggregation.
+  struct PendingCell {
+    std::vector<std::uint64_t> sessions;  // per service
+    std::vector<double> volume_mb;        // per service
+    // Per-minute arrival counts split by phase, in minute order; replayed
+    // into the decile RunningStats so the Welford updates happen in the
+    // same sequence as block-ordered serial generation.
+    std::vector<std::uint32_t> day_counts;
+    std::vector<std::uint32_t> night_counts;
+    // Per-service duration-volume curve of this cell (lazily allocated).
+    std::vector<std::optional<BinnedMeanCurve>> dv_curves;
+  };
+  using CellId = std::pair<std::uint32_t, std::uint16_t>;  // (bs, day)
+
+  [[nodiscard]] PendingCell& pending_cell(std::uint32_t bs, std::size_t day);
   [[nodiscard]] std::array<Slice, 4> slices_of(const BaseStation& bs,
                                                std::size_t day) const;
 
@@ -191,10 +215,12 @@ class MeasurementDataset final : public TraceSink {
   // decile arrival statistics.
   std::vector<DecileArrivalStats> decile_stats_;
 
-  // per-(BS, day) share accounting.
-  std::optional<std::pair<std::uint32_t, std::size_t>> current_cell_;
-  std::vector<std::uint64_t> cell_sessions_per_service_;
-  std::vector<double> cell_volume_per_service_;
+  // per-(BS, day) pending accounting; the one-entry cache keeps the hot path
+  // O(1) for runs of same-cell events (the common arrival pattern both in
+  // block order and in the engine's minute-major interleaving).
+  std::map<CellId, PendingCell> pending_;
+  std::optional<CellId> cached_cell_id_;
+  PendingCell* cached_cell_ = nullptr;
   std::vector<RunningStats> session_share_stats_;
   std::vector<RunningStats> traffic_share_stats_;
 
@@ -209,9 +235,14 @@ class MeasurementDataset final : public TraceSink {
     const Network& network, const TraceConfig& trace_config,
     MeasurementConfig measurement_config = {});
 
-/// Parallel variant: partitions the BSs across `threads` workers, each
-/// aggregating its own dataset, then merges. Bit-identical to the serial
-/// path (per-(BS, day) generator streams are order-independent).
+/// Parallel variant: workers generate (BS, day) units concurrently (the
+/// per-(BS, day) generator streams are independent) while the calling
+/// thread replays them into one dataset in exactly the serial path's order
+/// and event interleaving — the result is bit-identical to
+/// collect_dataset() for any thread count. A bounded look-ahead window
+/// (4 units per worker) caps buffering memory.
+/// `threads == 0` selects one worker per hardware thread; thread counts
+/// beyond the number of BSs are clamped.
 [[nodiscard]] MeasurementDataset collect_dataset_parallel(
     const Network& network, const TraceConfig& trace_config,
     std::size_t threads, MeasurementConfig measurement_config = {});

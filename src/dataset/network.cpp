@@ -70,6 +70,25 @@ Network Network::build(const NetworkConfig& config, Rng& rng) {
   return net;
 }
 
+Network Network::from_base_stations(std::vector<BaseStation> bs,
+                                    const NetworkConfig& config) {
+  require(!bs.empty(), "Network::from_base_stations: need at least one BS");
+  for (const BaseStation& b : bs) {
+    require(b.decile < kNumDeciles,
+            "Network::from_base_stations: decile out of range");
+    require(b.peak_rate > 0.0 && b.offpeak_scale > 0.0,
+            "Network::from_base_stations: rates must be positive");
+  }
+  Network net;
+  net.config_ = config;
+  net.config_.num_bs = bs.size();
+  net.bs_ = std::move(bs);
+  for (std::size_t i = 0; i < net.bs_.size(); ++i) {
+    net.bs_[i].id = static_cast<std::uint32_t>(i);
+  }
+  return net;
+}
+
 std::vector<std::uint32_t> Network::in_decile(std::uint8_t d) const {
   std::vector<std::uint32_t> out;
   for (const auto& bs : bs_) {

@@ -66,6 +66,13 @@ class Network {
   /// `fraction_5g`.
   static Network build(const NetworkConfig& config, Rng& rng);
 
+  /// Wraps an explicit BS list: externally ingested topologies, hand-built
+  /// test fixtures, and networks smaller than one BS per decile (build()
+  /// requires >= kNumDeciles). BS ids are rewritten to the list index —
+  /// the library indexes `network[session.bs]` throughout.
+  static Network from_base_stations(std::vector<BaseStation> bs,
+                                    const NetworkConfig& config = {});
+
   [[nodiscard]] const std::vector<BaseStation>& base_stations() const noexcept {
     return bs_;
   }

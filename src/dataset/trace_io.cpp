@@ -4,6 +4,7 @@
 #include <array>
 #include <charconv>
 #include <fstream>
+#include <iostream>
 #include <map>
 
 #include "common/error.hpp"
@@ -16,18 +17,35 @@ struct SessionCsvWriter::Impl {
 };
 
 SessionCsvWriter::SessionCsvWriter(const std::string& path, TraceSink* forward)
-    : impl_(std::make_unique<Impl>()), forward_(forward) {
+    : impl_(std::make_unique<Impl>()), path_(path), forward_(forward) {
   impl_->out.open(path, std::ios::binary | std::ios::trunc);
   if (!impl_->out) throw Error("SessionCsvWriter: cannot open " + path);
   impl_->out << "bs,service,day,minute_of_day,volume_mb,duration_s\n";
 }
 
-SessionCsvWriter::~SessionCsvWriter() { close(); }
+SessionCsvWriter::~SessionCsvWriter() {
+  // A destructor must not throw; surface the failure instead of hiding it.
+  try {
+    close();
+  } catch (const Error& e) {
+    std::cerr << "SessionCsvWriter: " << e.what() << "\n";
+  }
+}
+
+bool SessionCsvWriter::write_failed() const noexcept {
+  return impl_ && impl_->out.fail();
+}
 
 void SessionCsvWriter::close() {
-  if (impl_ && impl_->out.is_open()) {
-    impl_->out.flush();
-    impl_->out.close();
+  if (!impl_ || !impl_->out.is_open()) return;
+  impl_->out.flush();
+  bool failed = impl_->out.fail();
+  impl_->out.close();
+  failed = failed || impl_->out.fail();
+  if (failed) {
+    throw Error("SessionCsvWriter: write failure on " + path_ + " after " +
+                std::to_string(sessions_) +
+                " sessions (disk full or I/O error); trace is incomplete");
   }
 }
 

@@ -36,8 +36,15 @@ class SessionCsvWriter final : public TraceSink {
                  std::size_t minute_of_day, std::uint32_t count) override;
   void on_session(const Session& session) override;
 
-  /// Flushes and closes the file (also done by the destructor).
+  /// Flushes and closes the file (also done by the destructor). Throws
+  /// Error when any buffered write failed (full disk, revoked path, I/O
+  /// error) — a silently truncated trace must not pass for a complete one.
+  /// The destructor cannot throw; it reports the failure to stderr instead,
+  /// so call close() explicitly wherever the trace matters.
   void close();
+
+  /// True once any write on the underlying stream has failed.
+  [[nodiscard]] bool write_failed() const noexcept;
 
   [[nodiscard]] std::uint64_t sessions_written() const noexcept {
     return sessions_;
@@ -46,6 +53,7 @@ class SessionCsvWriter final : public TraceSink {
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
+  std::string path_;
   TraceSink* forward_;
   std::uint64_t sessions_ = 0;
 };

@@ -1,0 +1,146 @@
+#include "engine/checkpoint.hpp"
+
+#include <bit>
+#include <charconv>
+
+#include "common/error.hpp"
+#include "common/time_utils.hpp"
+
+namespace mtd {
+
+namespace {
+
+constexpr const char* kFormat = "mtd-engine-checkpoint-v1";
+
+/// 64-bit values (seeds, fingerprints) are stored as hex strings: JSON
+/// numbers are doubles and would silently lose bits above 2^53.
+std::string to_hex(std::uint64_t v) {
+  char buf[19] = "0x";
+  const auto [ptr, ec] = std::to_chars(buf + 2, buf + sizeof(buf), v, 16);
+  return std::string(buf, ptr);
+}
+
+std::uint64_t from_hex(const std::string& s, const char* what) {
+  if (s.size() < 3 || s[0] != '0' || s[1] != 'x') {
+    throw ParseError(std::string(what) + ": expected 0x-prefixed hex, got '" +
+                     s + "'");
+  }
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data() + 2, s.data() + s.size(), v, 16);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw ParseError(std::string(what) + ": bad hex value '" + s + "'");
+  }
+  return v;
+}
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+}  // namespace
+
+std::uint64_t network_fingerprint(const Network& network) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  fnv_mix(h, network.size());
+  for (const BaseStation& bs : network.base_stations()) {
+    fnv_mix(h, bs.id);
+    fnv_mix(h, (static_cast<std::uint64_t>(bs.decile) << 24) |
+                   (static_cast<std::uint64_t>(bs.region) << 16) |
+                   (static_cast<std::uint64_t>(bs.city) << 8) |
+                   static_cast<std::uint64_t>(bs.rat));
+    fnv_mix(h, std::bit_cast<std::uint64_t>(bs.peak_rate));
+    fnv_mix(h, std::bit_cast<std::uint64_t>(bs.offpeak_scale));
+  }
+  return h;
+}
+
+Json EngineCheckpoint::to_json() const {
+  JsonObject obj;
+  obj.emplace("format", kFormat);
+  obj.emplace("seed", to_hex(seed));
+  obj.emplace("num_days", num_days);
+  obj.emplace("rate_scale", rate_scale);
+  obj.emplace("weekend_rate_factor", weekend_rate_factor);
+  obj.emplace("network_fingerprint", to_hex(network_fingerprint));
+  obj.emplace("next_day", next_day);
+  obj.emplace("clock_minute", static_cast<double>(clock_minute));
+  // Cumulative counters are hex-encoded like the seeds: a long-lived engine
+  // can push them past 2^53, where JSON doubles silently round.
+  obj.emplace("sessions_emitted", to_hex(sessions_emitted));
+  obj.emplace("minutes_emitted", to_hex(minutes_emitted));
+  obj.emplace("volume_mb", volume_mb);
+  // The RNG-stream state of every shard: streams re-seed per (BS, day), so
+  // (seed, next_day) pins them; recorded explicitly for forward
+  // compatibility with engines that keep raw mid-day RNG state.
+  JsonObject rng;
+  rng.emplace("kind", "per-bs-day-reseed");
+  rng.emplace("seed", to_hex(seed));
+  rng.emplace("next_day", next_day);
+  obj.emplace("rng_streams", Json(std::move(rng)));
+  JsonArray shard_arr;
+  for (const EngineShardCursor& s : shards) {
+    JsonObject sh;
+    sh.emplace("shard", s.shard);
+    sh.emplace("next_day", s.next_day);
+    sh.emplace("sessions_produced", to_hex(s.sessions_produced));
+    shard_arr.emplace_back(std::move(sh));
+  }
+  obj.emplace("shards", Json(std::move(shard_arr)));
+  return Json(std::move(obj));
+}
+
+EngineCheckpoint EngineCheckpoint::from_json(const Json& json) {
+  if (!json.contains("format") ||
+      json.at("format").as_string() != kFormat) {
+    throw ParseError("EngineCheckpoint: not a " + std::string(kFormat) +
+                     " file");
+  }
+  EngineCheckpoint cp;
+  cp.seed = from_hex(json.at("seed").as_string(), "EngineCheckpoint.seed");
+  cp.num_days = static_cast<std::size_t>(json.at("num_days").as_number());
+  cp.rate_scale = json.at("rate_scale").as_number();
+  cp.weekend_rate_factor = json.at("weekend_rate_factor").as_number();
+  cp.network_fingerprint =
+      from_hex(json.at("network_fingerprint").as_string(),
+               "EngineCheckpoint.network_fingerprint");
+  cp.next_day = static_cast<std::size_t>(json.at("next_day").as_number());
+  cp.clock_minute =
+      static_cast<std::uint64_t>(json.at("clock_minute").as_number());
+  cp.sessions_emitted = from_hex(json.at("sessions_emitted").as_string(),
+                                 "EngineCheckpoint.sessions_emitted");
+  cp.minutes_emitted = from_hex(json.at("minutes_emitted").as_string(),
+                                "EngineCheckpoint.minutes_emitted");
+  cp.volume_mb = json.at("volume_mb").as_number();
+  if (cp.clock_minute != cp.next_day * kMinutesPerDay) {
+    throw ParseError(
+        "EngineCheckpoint: clock_minute is not at the next_day boundary");
+  }
+  for (const Json& sh : json.at("shards").as_array()) {
+    EngineShardCursor cursor;
+    cursor.shard = static_cast<std::size_t>(sh.at("shard").as_number());
+    cursor.next_day = static_cast<std::size_t>(sh.at("next_day").as_number());
+    cursor.sessions_produced = from_hex(
+        sh.at("sessions_produced").as_string(), "EngineShardCursor.sessions");
+    if (cursor.next_day != cp.next_day) {
+      throw ParseError("EngineCheckpoint: shard " +
+                       std::to_string(cursor.shard) +
+                       " is not at the global day boundary");
+    }
+    cp.shards.push_back(cursor);
+  }
+  return cp;
+}
+
+void EngineCheckpoint::save(const std::string& path) const {
+  write_file(path, to_json().dump(2));
+}
+
+EngineCheckpoint EngineCheckpoint::load(const std::string& path) {
+  return from_json(Json::parse(read_file(path)));
+}
+
+}  // namespace mtd

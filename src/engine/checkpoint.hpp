@@ -1,0 +1,69 @@
+// Engine checkpoints: suspend a streaming replay at a day boundary and
+// resume it bit-identically later.
+//
+// The per-(BS, day) generation streams re-seed from (trace seed, BS id,
+// day) at every day boundary (see TraceGenerator::bs_day_rng), so a
+// day-boundary checkpoint needs no raw RNG dumps: the RNG-stream state of
+// every shard is fully described by the trace seed plus the next day to
+// generate, making checkpoints O(1) in network size. The file still records
+// the full replay identity (seed, horizon, rate scaling, a fingerprint of
+// the network topology) so a resume against a different scenario is
+// rejected instead of silently diverging, plus cumulative per-shard and
+// global counters so telemetry continues instead of restarting from zero.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/network.hpp"
+#include "io/json.hpp"
+
+namespace mtd {
+
+/// Progress of one shard worker at a checkpoint.
+struct EngineShardCursor {
+  std::size_t shard = 0;
+  /// First day this shard has not yet produced; at a day-boundary
+  /// checkpoint every shard agrees on it (the engine enforces this), and
+  /// together with the trace seed it pins the shard's RNG streams.
+  std::size_t next_day = 0;
+  std::uint64_t sessions_produced = 0;
+};
+
+/// Serializable engine state taken at a day boundary.
+struct EngineCheckpoint {
+  // Replay identity — must match on resume.
+  std::uint64_t seed = 0;
+  std::size_t num_days = 0;
+  double rate_scale = 1.0;
+  double weekend_rate_factor = 0.85;
+  std::uint64_t network_fingerprint = 0;
+
+  // Cursor.
+  std::size_t next_day = 0;       ///< first day not yet streamed
+  std::uint64_t clock_minute = 0; ///< virtual clock, == next_day * 1440
+
+  // Cumulative totals, for telemetry continuity across resumes.
+  std::uint64_t sessions_emitted = 0;
+  std::uint64_t minutes_emitted = 0;
+  double volume_mb = 0.0;
+
+  std::vector<EngineShardCursor> shards;
+
+  /// True when the whole trace horizon has been streamed.
+  [[nodiscard]] bool complete() const noexcept { return next_day >= num_days; }
+
+  [[nodiscard]] Json to_json() const;
+  static EngineCheckpoint from_json(const Json& json);
+
+  void save(const std::string& path) const;
+  static EngineCheckpoint load(const std::string& path);
+};
+
+/// Order- and content-sensitive FNV-1a digest of the network topology
+/// (per-BS rates, deciles, regions, cities, RATs). Two networks with the
+/// same fingerprint stream the same trace for the same seed.
+[[nodiscard]] std::uint64_t network_fingerprint(const Network& network);
+
+}  // namespace mtd

@@ -1,0 +1,432 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/time_utils.hpp"
+#include "engine/spsc_ring.hpp"
+
+namespace mtd {
+
+const char* to_string(BackpressurePolicy p) noexcept {
+  switch (p) {
+    case BackpressurePolicy::kBlock: return "block";
+    case BackpressurePolicy::kDropNewest: return "drop";
+  }
+  return "?";
+}
+
+namespace {
+
+/// One entry of a worker's ring. kMinute and kSession reuse the Session
+/// bs/day/minute fields. At each day boundary a worker emits one
+/// kBsDayVolume per BS (the volume that BS produced that day) followed by
+/// a kDayEnd with its cumulative session counter: the consumer commits the
+/// day's volume as a fold over BSs in canonical index order, which keeps
+/// the checkpoint's volume counter bit-identical across worker counts and
+/// stop/resume splits.
+struct EngineEvent {
+  enum class Kind : std::uint8_t { kMinute, kSession, kBsDayVolume, kDayEnd };
+  Kind kind = Kind::kMinute;
+  std::uint32_t count = 0;  // kMinute: arrivals that minute
+  Session session;
+  std::uint64_t shard_sessions = 0;  // kDayEnd: produced so far this run
+  double bs_day_volume_mb = 0.0;     // kBsDayVolume: this BS, this day
+};
+
+/// Scaled virtual clock: minute m of the replay maps to a wall-clock
+/// deadline; every worker paces itself against the shared epoch, so no
+/// cross-thread coordination is needed.
+struct VirtualClock {
+  double time_scale = 0.0;  // <= 0: max throughput, never waits
+  std::chrono::steady_clock::time_point epoch;
+  std::uint64_t base_minute = 0;
+
+  void wait_until(std::uint64_t minute) const {
+    if (time_scale <= 0.0) return;
+    const double wall_s =
+        static_cast<double>(minute - base_minute) *
+        static_cast<double>(kSecondsPerMinute) / time_scale;
+    std::this_thread::sleep_until(epoch + std::chrono::duration_cast<
+                                              std::chrono::steady_clock::duration>(
+                                      std::chrono::duration<double>(wall_s)));
+  }
+};
+
+class ShardWorker {
+ public:
+  ShardWorker(const TraceGenerator& generator, std::vector<std::uint32_t> bss,
+              std::size_t queue_capacity)
+      : generator_(&generator), bss_(std::move(bss)), ring_(queue_capacity) {}
+
+  SpscRing<EngineEvent>& ring() noexcept { return ring_; }
+
+  void run(std::size_t first_day, std::size_t last_day,
+           const VirtualClock& clock, BackpressurePolicy policy,
+           Telemetry::PerWorker& tel, const std::atomic<bool>& abort) {
+    const Network& network = generator_->network();
+    std::vector<BaseStation> scaled(bss_.size());
+    std::vector<Rng> rngs(bss_.size(), Rng(0));
+    std::vector<double> day_volume(bss_.size(), 0.0);
+
+    for (std::size_t day = first_day; day < last_day; ++day) {
+      // Day boundary: every (BS, day) stream re-seeds, which is what makes
+      // day-boundary checkpoints O(1) (see engine/checkpoint.hpp).
+      for (std::size_t i = 0; i < bss_.size(); ++i) {
+        const BaseStation& bs = network[bss_[i]];
+        scaled[i] = generator_->day_scaled(bs, day);
+        rngs[i] = generator_->bs_day_rng(bs, day);
+        day_volume[i] = 0.0;
+      }
+      for (std::size_t minute = 0; minute < kMinutesPerDay; ++minute) {
+        const std::uint64_t abs_minute = day * kMinutesPerDay + minute;
+        clock.wait_until(abs_minute);
+        if (abort.load(std::memory_order_relaxed)) return;
+        for (std::size_t i = 0; i < bss_.size(); ++i) {
+          const BaseStation& bs = network[bss_[i]];
+          const std::uint32_t count =
+              ArrivalProcess(scaled[i]).sample(minute, rngs[i]);
+          EngineEvent ev;
+          ev.kind = EngineEvent::Kind::kMinute;
+          ev.count = count;
+          ev.session.bs = bs.id;
+          ev.session.day = static_cast<std::uint16_t>(day);
+          ev.session.minute_of_day = static_cast<std::uint16_t>(minute);
+          if (!push(std::move(ev), policy, tel, &tel.dropped_minutes,
+                    abort)) {
+            return;  // aborted while blocked
+          }
+          for (std::uint32_t k = 0; k < count; ++k) {
+            EngineEvent sev;
+            sev.kind = EngineEvent::Kind::kSession;
+            sev.session =
+                generator_->sample_session(bs, day, minute, rngs[i]);
+            const double volume = sev.session.volume_mb;
+            if (!push(std::move(sev), policy, tel, &tel.dropped_sessions,
+                      abort)) {
+              return;
+            }
+            // Produced counters include dropped events: they were
+            // generated; the drop counters say what never reached the sink.
+            ++sessions_;
+            day_volume[i] += volume;
+            tel.sessions_produced.store(sessions_,
+                                        std::memory_order_relaxed);
+          }
+        }
+        tel.produced_minute.store(abs_minute + 1, std::memory_order_relaxed);
+      }
+      // Per-BS day volumes, then the day-end marker that gates checkpoints;
+      // all of these always block, never drop.
+      for (std::size_t i = 0; i < bss_.size(); ++i) {
+        EngineEvent dv;
+        dv.kind = EngineEvent::Kind::kBsDayVolume;
+        dv.session.bs = bss_[i];
+        dv.session.day = static_cast<std::uint16_t>(day);
+        dv.bs_day_volume_mb = day_volume[i];
+        if (!push(std::move(dv), BackpressurePolicy::kBlock, tel, nullptr,
+                  abort)) {
+          return;
+        }
+      }
+      EngineEvent end;
+      end.kind = EngineEvent::Kind::kDayEnd;
+      end.session.day = static_cast<std::uint16_t>(day);
+      end.shard_sessions = sessions_;
+      if (!push(std::move(end), BackpressurePolicy::kBlock, tel, nullptr,
+                abort)) {
+        return;
+      }
+    }
+  }
+
+ private:
+  /// Pushes one event under the backpressure policy. Returns false only
+  /// when aborted while waiting for ring space.
+  bool push(EngineEvent&& ev, BackpressurePolicy policy,
+            Telemetry::PerWorker& tel,
+            std::atomic<std::uint64_t>* drop_counter,
+            const std::atomic<bool>& abort) {
+    if (ring_.try_push(std::move(ev))) return true;
+    if (policy == BackpressurePolicy::kDropNewest && drop_counter != nullptr) {
+      drop_counter->fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    const auto blocked_at = std::chrono::steady_clock::now();
+    while (!ring_.try_push(std::move(ev))) {
+      if (abort.load(std::memory_order_relaxed)) return false;
+      std::this_thread::yield();
+    }
+    tel.stall_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - blocked_at)
+                .count()),
+        std::memory_order_relaxed);
+    return true;
+  }
+
+  const TraceGenerator* generator_;
+  std::vector<std::uint32_t> bss_;
+  SpscRing<EngineEvent> ring_;
+  std::uint64_t sessions_ = 0;
+};
+
+}  // namespace
+
+StreamEngine::StreamEngine(const Network& network, const TraceConfig& trace,
+                           EngineConfig config)
+    : generator_(network, trace),
+      config_(std::move(config)),
+      fingerprint_(network_fingerprint(network)) {
+  if (config_.num_workers == 0) {
+    config_.num_workers =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  config_.num_workers = std::min(config_.num_workers, network.size());
+  require(config_.queue_capacity >= 2,
+          "StreamEngine: queue_capacity must be at least 2");
+}
+
+EngineResult StreamEngine::run(TraceSink& sink) {
+  return run_days(sink, 0, 0, 0, 0.0);
+}
+
+EngineResult StreamEngine::resume(const EngineCheckpoint& from,
+                                  TraceSink& sink) {
+  const TraceConfig& trace = generator_.config();
+  require(from.seed == trace.seed,
+          "StreamEngine::resume: checkpoint seed does not match the trace");
+  require(from.num_days == trace.num_days,
+          "StreamEngine::resume: checkpoint horizon does not match");
+  require(from.rate_scale == trace.rate_scale &&
+              from.weekend_rate_factor == trace.weekend_rate_factor,
+          "StreamEngine::resume: checkpoint rate scaling does not match");
+  require(from.network_fingerprint == fingerprint_,
+          "StreamEngine::resume: checkpoint was taken on a different network");
+  require(from.next_day <= trace.num_days,
+          "StreamEngine::resume: checkpoint cursor beyond the horizon");
+  return run_days(sink, from.next_day, from.sessions_emitted,
+                  from.minutes_emitted, from.volume_mb);
+}
+
+EngineResult StreamEngine::run_days(TraceSink& sink, std::size_t first_day,
+                                    std::uint64_t prior_sessions,
+                                    std::uint64_t prior_minutes,
+                                    double prior_volume) {
+  const Network& network = generator_.network();
+  const TraceConfig& trace = generator_.config();
+  const std::size_t budget =
+      config_.stop_after_days == 0 ? trace.num_days : config_.stop_after_days;
+  const std::size_t last_day =
+      std::min(trace.num_days, first_day + budget);
+  const std::size_t num_workers = config_.num_workers;
+
+  // `volume_mb` is the absolute committed volume: prior volume plus one
+  // per-day increment per finished day, each folded over BSs in index
+  // order. That single canonical association order makes the counter
+  // bit-identical across worker counts and stop/resume splits.
+  auto make_checkpoint = [&](std::size_t next_day, std::uint64_t sessions,
+                             double volume_mb,
+                             const std::vector<std::uint64_t>& per_shard) {
+    EngineCheckpoint cp;
+    cp.seed = trace.seed;
+    cp.num_days = trace.num_days;
+    cp.rate_scale = trace.rate_scale;
+    cp.weekend_rate_factor = trace.weekend_rate_factor;
+    cp.network_fingerprint = fingerprint_;
+    cp.next_day = next_day;
+    cp.clock_minute = next_day * kMinutesPerDay;
+    cp.sessions_emitted = prior_sessions + sessions;
+    cp.minutes_emitted =
+        prior_minutes + static_cast<std::uint64_t>(network.size()) *
+                            kMinutesPerDay * (next_day - first_day);
+    cp.volume_mb = volume_mb;
+    for (std::size_t w = 0; w < per_shard.size(); ++w) {
+      cp.shards.push_back(EngineShardCursor{w, next_day, per_shard[w]});
+    }
+    return cp;
+  };
+
+  Telemetry telemetry(num_workers);
+  telemetry.start(prior_sessions, prior_volume);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    telemetry.worker(w).produced_minute.store(first_day * kMinutesPerDay,
+                                              std::memory_order_relaxed);
+  }
+
+  // Nothing to stream (resume of a finished replay, or zero-day budget).
+  if (first_day >= last_day) {
+    EngineResult result;
+    result.checkpoint = make_checkpoint(
+        first_day, 0, prior_volume, std::vector<std::uint64_t>(num_workers, 0));
+    result.telemetry = telemetry.snapshot(0);
+    return result;
+  }
+
+  // Strided BS partition keeps the decile mix balanced per shard. Workers
+  // hold atomics (the ring), so they live behind stable pointers.
+  std::vector<std::unique_ptr<ShardWorker>> shards;
+  shards.reserve(num_workers);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    std::vector<std::uint32_t> bss;
+    for (std::size_t b = w; b < network.size(); b += num_workers) {
+      bss.push_back(static_cast<std::uint32_t>(b));
+    }
+    shards.push_back(std::make_unique<ShardWorker>(generator_, std::move(bss),
+                                                   config_.queue_capacity));
+  }
+
+  VirtualClock clock{config_.time_scale, std::chrono::steady_clock::now(),
+                     first_day * kMinutesPerDay};
+  std::atomic<bool> abort{false};
+  std::atomic<std::size_t> active{num_workers};
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_workers);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    threads.emplace_back([&, w] {
+      shards[w]->run(first_day, last_day, clock, config_.backpressure,
+                     telemetry.worker(w), abort);
+      active.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  // Consumer: this thread drains every ring into the sink.
+  EngineResult result;
+  std::vector<std::size_t> shard_next_day(num_workers, first_day);
+  std::vector<std::uint64_t> shard_sessions(num_workers, 0);
+  // Per-BS volumes of each not-yet-committed day; folded into
+  // committed_volume in (day, BS) order once every shard passes the day.
+  std::map<std::size_t, std::vector<double>> day_volumes;
+  double committed_volume = prior_volume;
+  std::size_t checkpointed_day = first_day;  // next_day of the last checkpoint
+  auto last_snapshot = std::chrono::steady_clock::now();
+  std::uint64_t delivered_since_check = 0;
+  std::exception_ptr sink_error;
+
+  auto queue_depth = [&] {
+    std::uint64_t depth = 0;
+    for (const auto& s : shards) depth += s->ring().size();
+    return depth;
+  };
+  auto maybe_snapshot = [&] {
+    if (config_.telemetry_period_s <= 0.0 || !snapshot_callback_) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (std::chrono::duration<double>(now - last_snapshot).count() <
+        config_.telemetry_period_s) {
+      return;
+    }
+    last_snapshot = now;
+    snapshot_callback_(telemetry.snapshot(queue_depth()));
+  };
+
+  auto deliver = [&](EngineEvent& ev, std::size_t w) {
+    switch (ev.kind) {
+      case EngineEvent::Kind::kMinute:
+        sink.on_minute(network[ev.session.bs], ev.session.day,
+                       ev.session.minute_of_day, ev.count);
+        telemetry.count_minute();
+        break;
+      case EngineEvent::Kind::kSession:
+        sink.on_session(ev.session);
+        telemetry.count_session(ev.session.volume_mb);
+        break;
+      case EngineEvent::Kind::kBsDayVolume: {
+        auto& volumes = day_volumes[ev.session.day];
+        if (volumes.empty()) volumes.assign(network.size(), 0.0);
+        volumes[ev.session.bs] = ev.bs_day_volume_mb;
+        break;
+      }
+      case EngineEvent::Kind::kDayEnd: {
+        shard_next_day[w] = static_cast<std::size_t>(ev.session.day) + 1;
+        shard_sessions[w] = ev.shard_sessions;
+        const std::size_t day_low_water =
+            *std::min_element(shard_next_day.begin(), shard_next_day.end());
+        if (day_low_water > checkpointed_day) {
+          // Rings are FIFO and every kBsDayVolume precedes its shard's
+          // kDayEnd, so all per-BS volumes of the finished days are here.
+          for (std::size_t d = checkpointed_day; d < day_low_water; ++d) {
+            const auto it = day_volumes.find(d);
+            double day_total = 0.0;
+            if (it != day_volumes.end()) {
+              for (double v : it->second) day_total += v;
+              day_volumes.erase(it);
+            }
+            committed_volume += day_total;
+          }
+          checkpointed_day = day_low_water;
+          std::uint64_t sessions = 0;
+          for (std::size_t i = 0; i < num_workers; ++i) {
+            sessions += shard_sessions[i];
+          }
+          result.checkpoint = make_checkpoint(checkpointed_day, sessions,
+                                              committed_volume, shard_sessions);
+          if (!config_.checkpoint_path.empty()) {
+            result.checkpoint.save(config_.checkpoint_path);
+          }
+        }
+        break;
+      }
+    }
+  };
+
+  try {
+    for (;;) {
+      bool any = false;
+      for (std::size_t w = 0; w < num_workers; ++w) {
+        EngineEvent ev;
+        while (shards[w]->ring().try_pop(ev)) {
+          any = true;
+          deliver(ev, w);
+          if (++delivered_since_check >= 4096) {
+            delivered_since_check = 0;
+            maybe_snapshot();
+          }
+        }
+      }
+      if (!any) {
+        if (active.load(std::memory_order_acquire) == 0) {
+          // Workers are done; one final sweep drains anything pushed
+          // between our empty check and their exit.
+          for (std::size_t w = 0; w < num_workers; ++w) {
+            EngineEvent ev;
+            while (shards[w]->ring().try_pop(ev)) deliver(ev, w);
+          }
+          break;
+        }
+        maybe_snapshot();
+        std::this_thread::yield();
+      }
+    }
+  } catch (...) {
+    // Unblock producers (they check the flag while spinning on a full
+    // ring and at every minute tick), then re-throw to the caller.
+    sink_error = std::current_exception();
+    abort.store(true, std::memory_order_relaxed);
+    // Drain without delivering so blocked producers can finish.
+    for (;;) {
+      bool any = false;
+      EngineEvent ev;
+      for (const auto& s : shards) {
+        while (s->ring().try_pop(ev)) any = true;
+      }
+      if (!any && active.load(std::memory_order_acquire) == 0) break;
+      if (!any) std::this_thread::yield();
+    }
+  }
+  for (std::thread& t : threads) t.join();
+  if (sink_error) std::rethrow_exception(sink_error);
+
+  result.telemetry = telemetry.snapshot(0);
+  if (snapshot_callback_) snapshot_callback_(result.telemetry);
+  return result;
+}
+
+}  // namespace mtd

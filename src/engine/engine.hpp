@@ -1,0 +1,106 @@
+// Sharded streaming replay engine.
+//
+// Turns the batch trace generator into an online runtime: the network's
+// base stations are sharded across N worker threads, each advancing a
+// minute-tick virtual clock and producing (minute, session) events into its
+// own bounded SPSC ring; a single consumer thread drains the rings into one
+// TraceSink. Because every (BS, day) has an independent RNG stream (see
+// TraceGenerator::bs_day_rng), the per-BS event sequence delivered to the
+// sink is bit-identical to the batch path for any worker count — sharding
+// changes only the interleaving across BSs, never the content.
+//
+// Two pacing modes: a scaled virtual clock (time_scale simulated seconds
+// per wall second) for live replay, or max-throughput (time_scale <= 0).
+// When the consumer falls behind, the configured backpressure policy either
+// blocks the producers (lossless; stall time is metered) or drops events
+// (drop counters in telemetry). Day boundaries act as global barriers at
+// which the engine records a checkpoint (engine/checkpoint.hpp) from which
+// a later run resumes bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "dataset/generator.hpp"
+#include "dataset/network.hpp"
+#include "engine/checkpoint.hpp"
+#include "engine/telemetry.hpp"
+
+namespace mtd {
+
+/// What producers do when their ring is full.
+enum class BackpressurePolicy : std::uint8_t {
+  kBlock,      ///< wait for the consumer; lossless, stall time metered
+  kDropNewest, ///< drop the event being pushed; counted in telemetry
+};
+
+[[nodiscard]] const char* to_string(BackpressurePolicy p) noexcept;
+
+struct EngineConfig {
+  /// Worker (producer) threads; clamped to the number of BSs.
+  std::size_t num_workers = 2;
+  /// Slots per worker ring (rounded up to a power of two).
+  std::size_t queue_capacity = 8192;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Simulated seconds per wall-clock second; <= 0 streams at maximum
+  /// throughput. 60 replays one simulated minute per real second; 86400
+  /// replays a whole day in one second (clock granularity is one minute).
+  double time_scale = 0.0;
+  /// Wall seconds between telemetry snapshots handed to the snapshot
+  /// callback; 0 disables periodic snapshots (the final one is always
+  /// produced).
+  double telemetry_period_s = 0.0;
+  /// Stop after this many days of this run (0 = run to the trace horizon).
+  /// The engine returns a resumable checkpoint either way.
+  std::size_t stop_after_days = 0;
+  /// When non-empty, the latest checkpoint JSON is (re)written here at
+  /// every completed day boundary.
+  std::string checkpoint_path;
+};
+
+/// Outcome of a (partial) engine run.
+struct EngineResult {
+  EngineCheckpoint checkpoint;
+  TelemetrySnapshot telemetry;
+};
+
+class StreamEngine {
+ public:
+  StreamEngine(const Network& network, const TraceConfig& trace,
+               EngineConfig config = {});
+
+  /// Streams days [0, horizon) — or fewer under stop_after_days — into
+  /// `sink`. All sink callbacks happen on one consumer thread. Blocking
+  /// call; returns once producers and consumer have drained.
+  EngineResult run(TraceSink& sink);
+
+  /// Continues a run from a day-boundary checkpoint. Throws
+  /// InvalidArgument when the checkpoint does not match this engine's
+  /// network/trace configuration. The worker count may differ from the
+  /// run that produced the checkpoint — per-BS streams do not depend on
+  /// the sharding.
+  EngineResult resume(const EngineCheckpoint& from, TraceSink& sink);
+
+  /// Called with every periodic telemetry snapshot (consumer thread).
+  void on_snapshot(std::function<void(const TelemetrySnapshot&)> callback) {
+    snapshot_callback_ = std::move(callback);
+  }
+
+  [[nodiscard]] const Network& network() const noexcept {
+    return generator_.network();
+  }
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+ private:
+  EngineResult run_days(TraceSink& sink, std::size_t first_day,
+                        std::uint64_t prior_sessions,
+                        std::uint64_t prior_minutes, double prior_volume);
+
+  TraceGenerator generator_;
+  EngineConfig config_;
+  std::uint64_t fingerprint_;
+  std::function<void(const TelemetrySnapshot&)> snapshot_callback_;
+};
+
+}  // namespace mtd

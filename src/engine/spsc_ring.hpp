@@ -1,0 +1,92 @@
+// Bounded lock-free single-producer / single-consumer ring buffer.
+//
+// The streaming replay engine runs one producer (shard worker) and one
+// consumer (sink thread) per ring, which is exactly the SPSC setting: a
+// Lamport queue with C++11 atomics needs no locks and no CAS. Head and tail
+// live on separate cache lines, and each side keeps a cached copy of the
+// opposite index so the fast path touches only its own line (the classic
+// "cached index" optimization; coherence traffic only on apparent
+// full/empty).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mtd {
+
+/// Rounds up to the next power of two (minimum 2).
+[[nodiscard]] constexpr std::size_t ceil_pow2(std::size_t n) noexcept {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two. Indices are monotonically
+  /// increasing 64-bit counters (masked on access), so every slot is usable
+  /// and full (tail - head == capacity) is unambiguous from empty.
+  explicit SpscRing(std::size_t capacity)
+      : mask_(ceil_pow2(capacity) - 1), slots_(mask_ + 1) {
+    require(capacity >= 2, "SpscRing: capacity must be at least 2");
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer side. Returns false when the ring is full.
+  bool try_push(T&& value) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy; exact only when both sides are quiescent.
+  /// Callable from any thread (telemetry).
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+ private:
+  static constexpr std::size_t kCacheLine = 64;
+
+  std::size_t mask_;
+  std::vector<T> slots_;
+
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};  // next pop
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};  // next push
+  // Producer-local cache of head_ / consumer-local cache of tail_.
+  alignas(kCacheLine) std::uint64_t cached_head_{0};
+  alignas(kCacheLine) std::uint64_t cached_tail_{0};
+};
+
+}  // namespace mtd

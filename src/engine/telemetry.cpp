@@ -1,0 +1,72 @@
+#include "engine/telemetry.hpp"
+
+#include <algorithm>
+
+namespace mtd {
+
+Telemetry::Telemetry(std::size_t num_workers)
+    : workers_(num_workers), start_(std::chrono::steady_clock::now()) {}
+
+void Telemetry::start(std::uint64_t prior_sessions, double prior_volume_mb) {
+  base_sessions_ = prior_sessions;
+  base_volume_mb_ = prior_volume_mb;
+  start_ = std::chrono::steady_clock::now();
+}
+
+TelemetrySnapshot Telemetry::snapshot(std::uint64_t queue_depth) const {
+  TelemetrySnapshot snap;
+  snap.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  snap.queue_depth = queue_depth;
+
+  std::uint64_t produced = 0;
+  std::uint64_t stall_ns = 0;
+  std::uint64_t min_minute = ~std::uint64_t{0};
+  for (const PerWorker& w : workers_) {
+    produced += w.sessions_produced.load(std::memory_order_relaxed);
+    snap.dropped_sessions +=
+        w.dropped_sessions.load(std::memory_order_relaxed);
+    snap.dropped_minutes += w.dropped_minutes.load(std::memory_order_relaxed);
+    stall_ns += w.stall_ns.load(std::memory_order_relaxed);
+    min_minute = std::min(
+        min_minute, w.produced_minute.load(std::memory_order_relaxed));
+  }
+  snap.clock_minute = workers_.empty() || min_minute == ~std::uint64_t{0}
+                          ? 0
+                          : min_minute;
+  snap.sessions_produced = base_sessions_ + produced;
+  snap.sessions_consumed =
+      base_sessions_ + sessions_consumed_.load(std::memory_order_relaxed);
+  snap.minutes_consumed = minutes_consumed_.load(std::memory_order_relaxed);
+  snap.volume_mb =
+      base_volume_mb_ + volume_mb_.load(std::memory_order_relaxed);
+  snap.producer_stall_seconds = static_cast<double>(stall_ns) * 1e-9;
+  if (snap.wall_seconds > 0.0) {
+    snap.sessions_per_second =
+        static_cast<double>(snap.sessions_consumed - base_sessions_) /
+        snap.wall_seconds;
+    snap.mbytes_per_second =
+        (snap.volume_mb - base_volume_mb_) / snap.wall_seconds;
+  }
+  return snap;
+}
+
+Json TelemetrySnapshot::to_json() const {
+  JsonObject obj;
+  obj.emplace("wall_s", wall_seconds);
+  obj.emplace("clock_minute", static_cast<double>(clock_minute));
+  obj.emplace("sessions_produced", static_cast<double>(sessions_produced));
+  obj.emplace("sessions_consumed", static_cast<double>(sessions_consumed));
+  obj.emplace("minutes_consumed", static_cast<double>(minutes_consumed));
+  obj.emplace("volume_mb", volume_mb);
+  obj.emplace("queue_depth", static_cast<double>(queue_depth));
+  obj.emplace("dropped_sessions", static_cast<double>(dropped_sessions));
+  obj.emplace("dropped_minutes", static_cast<double>(dropped_minutes));
+  obj.emplace("producer_stall_s", producer_stall_seconds);
+  obj.emplace("sessions_per_s", sessions_per_second);
+  obj.emplace("mbytes_per_s", mbytes_per_second);
+  return Json(std::move(obj));
+}
+
+}  // namespace mtd

@@ -1,0 +1,91 @@
+// Engine telemetry: lock-free counters and periodic JSON snapshots.
+//
+// Shard workers and the consumer thread update disjoint sets of atomic
+// counters (relaxed ordering; the numbers feed monitoring, not control
+// flow). Snapshots aggregate them into a consistent-enough view — exact
+// once the engine has drained — and serialize to a flat JSON object that
+// benches and the example binary print as one line per snapshot.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "io/json.hpp"
+
+namespace mtd {
+
+/// Point-in-time aggregate of the engine counters.
+struct TelemetrySnapshot {
+  double wall_seconds = 0.0;           // since run() started
+  std::uint64_t clock_minute = 0;      // virtual-clock low-water mark
+  std::uint64_t sessions_produced = 0; // entered the rings (cumulative)
+  std::uint64_t sessions_consumed = 0; // delivered to the sink (cumulative)
+  std::uint64_t minutes_consumed = 0;  // minute callbacks delivered
+  double volume_mb = 0.0;              // traffic delivered to the sink
+  std::uint64_t queue_depth = 0;       // sum of ring occupancies now
+  std::uint64_t dropped_sessions = 0;  // drop backpressure policy only
+  std::uint64_t dropped_minutes = 0;
+  double producer_stall_seconds = 0.0; // blocked-on-full time, all workers
+  double sessions_per_second = 0.0;    // consumed / wall
+  double mbytes_per_second = 0.0;      // delivered volume / wall
+
+  /// Flat JSON object; keys are stable for downstream tooling.
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Shared counter block. One PerWorker entry per shard keeps producer-side
+/// counters uncontended (each worker writes only its own cache line).
+class Telemetry {
+ public:
+  struct alignas(64) PerWorker {
+    std::atomic<std::uint64_t> sessions_produced{0};
+    std::atomic<std::uint64_t> dropped_sessions{0};
+    std::atomic<std::uint64_t> dropped_minutes{0};
+    std::atomic<std::uint64_t> stall_ns{0};
+    /// Absolute virtual minute this worker has fully produced, +1 (0 = none).
+    std::atomic<std::uint64_t> produced_minute{0};
+  };
+
+  explicit Telemetry(std::size_t num_workers);
+
+  /// Re-arms the wall clock and seeds cumulative totals (checkpoint resume
+  /// continues counting where the interrupted run stopped).
+  void start(std::uint64_t prior_sessions, double prior_volume_mb);
+
+  [[nodiscard]] PerWorker& worker(std::size_t i) { return workers_[i]; }
+  [[nodiscard]] std::size_t num_workers() const noexcept {
+    return workers_.size();
+  }
+
+  // Consumer-side counters (single writer; the CAS loop below never spins
+  // in practice, it exists because fetch_add on atomic<double> is C++20
+  // library support we cannot rely on everywhere).
+  void count_session(double volume_mb) noexcept {
+    sessions_consumed_.fetch_add(1, std::memory_order_relaxed);
+    double cur = volume_mb_.load(std::memory_order_relaxed);
+    while (!volume_mb_.compare_exchange_weak(cur, cur + volume_mb,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+  void count_minute() noexcept {
+    minutes_consumed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Aggregates all counters. `queue_depth` is supplied by the engine (it
+  /// owns the rings).
+  [[nodiscard]] TelemetrySnapshot snapshot(std::uint64_t queue_depth) const;
+
+ private:
+  std::vector<PerWorker> workers_;
+  std::atomic<std::uint64_t> sessions_consumed_{0};
+  std::atomic<std::uint64_t> minutes_consumed_{0};
+  std::atomic<double> volume_mb_{0.0};
+  std::uint64_t base_sessions_ = 0;  // carried over from a resumed run
+  double base_volume_mb_ = 0.0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mtd

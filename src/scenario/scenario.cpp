@@ -237,17 +237,65 @@ void from_json(const Json& json, PacketScheduleConfig& config) {
       num_or(json, "max_packets", static_cast<double>(config.max_packets)));
 }
 
+namespace {
+
+BackpressurePolicy backpressure_from(const std::string& name) {
+  if (name == "block") return BackpressurePolicy::kBlock;
+  if (name == "drop") return BackpressurePolicy::kDropNewest;
+  throw ParseError("EngineConfig: unknown backpressure policy '" + name +
+                   "'");
+}
+
+}  // namespace
+
+Json to_json(const EngineConfig& config) {
+  JsonObject obj;
+  obj.emplace("num_workers", config.num_workers);
+  obj.emplace("queue_capacity", config.queue_capacity);
+  obj.emplace("backpressure", to_string(config.backpressure));
+  obj.emplace("time_scale", config.time_scale);
+  obj.emplace("telemetry_period_s", config.telemetry_period_s);
+  obj.emplace("stop_after_days", config.stop_after_days);
+  obj.emplace("checkpoint_path", config.checkpoint_path);
+  return Json(std::move(obj));
+}
+
+void from_json(const Json& json, EngineConfig& config) {
+  check_keys(json,
+             {"num_workers", "queue_capacity", "backpressure", "time_scale",
+              "telemetry_period_s", "stop_after_days", "checkpoint_path"},
+             "EngineConfig");
+  config.num_workers = static_cast<std::size_t>(
+      num_or(json, "num_workers", static_cast<double>(config.num_workers)));
+  config.queue_capacity = static_cast<std::size_t>(num_or(
+      json, "queue_capacity", static_cast<double>(config.queue_capacity)));
+  if (json.contains("backpressure")) {
+    config.backpressure =
+        backpressure_from(json.at("backpressure").as_string());
+  }
+  config.time_scale = num_or(json, "time_scale", config.time_scale);
+  config.telemetry_period_s =
+      num_or(json, "telemetry_period_s", config.telemetry_period_s);
+  config.stop_after_days = static_cast<std::size_t>(num_or(
+      json, "stop_after_days", static_cast<double>(config.stop_after_days)));
+  if (json.contains("checkpoint_path")) {
+    config.checkpoint_path = json.at("checkpoint_path").as_string();
+  }
+}
+
 Json Scenario::to_json() const {
   JsonObject obj;
   obj.emplace("network", mtd::to_json(network));
   obj.emplace("trace", mtd::to_json(trace));
   obj.emplace("slicing", mtd::to_json(slicing));
   obj.emplace("vran", mtd::to_json(vran));
+  obj.emplace("engine", mtd::to_json(engine));
   return Json(std::move(obj));
 }
 
 Scenario Scenario::from_json(const Json& json) {
-  check_keys(json, {"network", "trace", "slicing", "vran"}, "Scenario");
+  check_keys(json, {"network", "trace", "slicing", "vran", "engine"},
+             "Scenario");
   Scenario scenario;
   if (json.contains("network")) {
     mtd::from_json(json.at("network"), scenario.network);
@@ -260,6 +308,9 @@ Scenario Scenario::from_json(const Json& json) {
   }
   if (json.contains("vran")) {
     mtd::from_json(json.at("vran"), scenario.vran);
+  }
+  if (json.contains("engine")) {
+    mtd::from_json(json.at("engine"), scenario.engine);
   }
   return scenario;
 }

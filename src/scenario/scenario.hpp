@@ -7,6 +7,7 @@
 #pragma once
 
 #include "core/traffic_generator.hpp"
+#include "engine/engine.hpp"
 #include "io/json.hpp"
 #include "mobility/handover.hpp"
 #include "packet/packet_schedule.hpp"
@@ -21,6 +22,7 @@ namespace mtd {
 [[nodiscard]] Json to_json(const VranConfig& config);
 [[nodiscard]] Json to_json(const MobilityConfig& config);
 [[nodiscard]] Json to_json(const PacketScheduleConfig& config);
+[[nodiscard]] Json to_json(const EngineConfig& config);
 
 void from_json(const Json& json, NetworkConfig& config);
 void from_json(const Json& json, TraceConfig& config);
@@ -28,14 +30,16 @@ void from_json(const Json& json, SlicingConfig& config);
 void from_json(const Json& json, VranConfig& config);
 void from_json(const Json& json, MobilityConfig& config);
 void from_json(const Json& json, PacketScheduleConfig& config);
+void from_json(const Json& json, EngineConfig& config);
 
 /// A complete experiment description: the measurement campaign plus the
-/// two use-case scenarios.
+/// two use-case scenarios and the streaming-replay engine setup.
 struct Scenario {
   NetworkConfig network;
   TraceConfig trace;
   SlicingConfig slicing;
   VranConfig vran;
+  EngineConfig engine;
 
   [[nodiscard]] Json to_json() const;
   static Scenario from_json(const Json& json);

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/time_utils.hpp"
+#include "dataset/measurement.hpp"
+#include "engine/checkpoint.hpp"
+#include "engine/engine.hpp"
+
+namespace mtd {
+namespace {
+
+Network make_network(std::size_t n = 10) {
+  if (n >= kNumDeciles) {
+    NetworkConfig config;
+    config.num_bs = n;
+    config.last_decile_rate = 25.0;
+    Rng rng(9);
+    return Network::build(config, rng);
+  }
+  std::vector<BaseStation> bss(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bss[i].decile = static_cast<std::uint8_t>((i * kNumDeciles) / n);
+    bss[i].peak_rate = 5.0 + 3.0 * static_cast<double>(i);
+    bss[i].offpeak_scale = 0.25;
+  }
+  return Network::from_base_stations(std::move(bss));
+}
+
+TraceConfig make_trace(std::size_t days = 3, std::uint64_t seed = 77) {
+  TraceConfig trace;
+  trace.num_days = days;
+  trace.seed = seed;
+  return trace;
+}
+
+/// Records the full per-BS session sequence so runs can be compared for
+/// bit-identical content and order.
+struct RecordingSink final : TraceSink {
+  std::vector<std::vector<Session>> per_bs;
+
+  explicit RecordingSink(std::size_t num_bs) : per_bs(num_bs) {}
+
+  void on_minute(const BaseStation&, std::size_t, std::size_t,
+                 std::uint32_t) override {}
+  void on_session(const Session& session) override {
+    per_bs[session.bs].push_back(session);
+  }
+};
+
+void expect_identical_streams(const RecordingSink& a, const RecordingSink& b) {
+  ASSERT_EQ(a.per_bs.size(), b.per_bs.size());
+  for (std::size_t bs = 0; bs < a.per_bs.size(); ++bs) {
+    ASSERT_EQ(a.per_bs[bs].size(), b.per_bs[bs].size()) << "bs " << bs;
+    for (std::size_t i = 0; i < a.per_bs[bs].size(); ++i) {
+      const Session& x = a.per_bs[bs][i];
+      const Session& y = b.per_bs[bs][i];
+      EXPECT_EQ(x.day, y.day);
+      EXPECT_EQ(x.minute_of_day, y.minute_of_day);
+      EXPECT_EQ(x.service, y.service);
+      EXPECT_DOUBLE_EQ(x.duration_s, y.duration_s);
+      EXPECT_DOUBLE_EQ(x.volume_mb, y.volume_mb);
+    }
+  }
+}
+
+// The headline checkpoint guarantee: stop at a day boundary, resume (even
+// with a different worker count), and the concatenated per-BS session
+// sequence is bit-identical to an uninterrupted run.
+TEST(EngineCheckpoint, StopAndResumeIsBitIdentical) {
+  const Network network = make_network();
+  const TraceConfig trace = make_trace();
+
+  RecordingSink uninterrupted(network.size());
+  StreamEngine full(network, trace);
+  const EngineResult full_result = full.run(uninterrupted);
+  EXPECT_TRUE(full_result.checkpoint.complete());
+
+  EngineConfig first_leg;
+  first_leg.num_workers = 2;
+  first_leg.stop_after_days = 1;
+  RecordingSink resumed_sink(network.size());
+  StreamEngine leg1(network, trace, first_leg);
+  EngineResult result = leg1.run(resumed_sink);
+  ASSERT_FALSE(result.checkpoint.complete());
+  EXPECT_EQ(result.checkpoint.next_day, 1u);
+  EXPECT_EQ(result.checkpoint.clock_minute, std::uint64_t(kMinutesPerDay));
+
+  // Resume with a different sharding: 4 workers instead of 2, and run the
+  // remaining days through a JSON round trip of the checkpoint.
+  EngineConfig second_leg;
+  second_leg.num_workers = 4;
+  StreamEngine leg2(network, trace, second_leg);
+  const EngineCheckpoint reloaded =
+      EngineCheckpoint::from_json(result.checkpoint.to_json());
+  result = leg2.resume(reloaded, resumed_sink);
+  EXPECT_TRUE(result.checkpoint.complete());
+  EXPECT_EQ(result.checkpoint.next_day, trace.num_days);
+
+  expect_identical_streams(resumed_sink, uninterrupted);
+
+  // Cumulative totals carried across the resume.
+  EXPECT_EQ(result.checkpoint.sessions_emitted,
+            full_result.checkpoint.sessions_emitted);
+  EXPECT_EQ(result.checkpoint.minutes_emitted,
+            full_result.checkpoint.minutes_emitted);
+  EXPECT_DOUBLE_EQ(result.checkpoint.volume_mb,
+                   full_result.checkpoint.volume_mb);
+}
+
+TEST(EngineCheckpoint, ResumedRunMatchesBatchDataset) {
+  const Network network = make_network(8);
+  const TraceConfig trace = make_trace(2);
+  const MeasurementDataset serial = collect_dataset(network, trace);
+
+  EngineConfig config;
+  config.stop_after_days = 1;
+  StreamEngine engine(network, trace, config);
+  MeasurementDataset streamed(network, trace.num_days);
+  EngineResult result = engine.run(streamed);
+  while (!result.checkpoint.complete()) {
+    result = engine.resume(result.checkpoint, streamed);
+  }
+  streamed.finalize();
+
+  EXPECT_EQ(streamed.total_sessions(), serial.total_sessions());
+  EXPECT_DOUBLE_EQ(streamed.total_volume_mb(), serial.total_volume_mb());
+  const auto a = serial.session_shares();
+  const auto b = streamed.session_shares();
+  for (std::size_t s = 0; s < a.size(); ++s) EXPECT_DOUBLE_EQ(b[s], a[s]);
+}
+
+TEST(EngineCheckpoint, JsonRoundTripPreservesEverything) {
+  EngineCheckpoint cp;
+  cp.seed = 0xdeadbeefcafef00dULL;  // > 2^53: must survive JSON (hex-encoded)
+  cp.num_days = 45;
+  cp.rate_scale = 1.25;
+  cp.weekend_rate_factor = 0.85;
+  cp.network_fingerprint = 0xffffffffffffffffULL;
+  cp.next_day = 7;
+  cp.clock_minute = 7ull * kMinutesPerDay;
+  cp.sessions_emitted = (1ull << 60) + 12345;  // beyond double precision
+  cp.minutes_emitted = 987654;
+  cp.volume_mb = 3.14159e9;
+  cp.shards = {{0, 7, 500}, {1, 7, 600}};
+
+  const EngineCheckpoint back = EngineCheckpoint::from_json(cp.to_json());
+  EXPECT_EQ(back.seed, cp.seed);
+  EXPECT_EQ(back.num_days, cp.num_days);
+  EXPECT_DOUBLE_EQ(back.rate_scale, cp.rate_scale);
+  EXPECT_DOUBLE_EQ(back.weekend_rate_factor, cp.weekend_rate_factor);
+  EXPECT_EQ(back.network_fingerprint, cp.network_fingerprint);
+  EXPECT_EQ(back.next_day, cp.next_day);
+  EXPECT_EQ(back.clock_minute, cp.clock_minute);
+  EXPECT_EQ(back.sessions_emitted, cp.sessions_emitted);
+  EXPECT_EQ(back.minutes_emitted, cp.minutes_emitted);
+  EXPECT_DOUBLE_EQ(back.volume_mb, cp.volume_mb);
+  ASSERT_EQ(back.shards.size(), 2u);
+  EXPECT_EQ(back.shards[1].shard, 1u);
+  EXPECT_EQ(back.shards[1].next_day, 7u);
+  EXPECT_EQ(back.shards[1].sessions_produced, 600u);
+}
+
+TEST(EngineCheckpoint, SaveLoadRoundTrip) {
+  const Network network = make_network(4);
+  const TraceConfig trace = make_trace(2);
+  const std::string path = "test_engine_checkpoint.json";
+
+  EngineConfig config;
+  config.stop_after_days = 1;
+  config.checkpoint_path = path;
+  StreamEngine engine(network, trace, config);
+  RecordingSink sink(network.size());
+  const EngineResult result = engine.run(sink);
+
+  const EngineCheckpoint loaded = EngineCheckpoint::load(path);
+  EXPECT_EQ(loaded.next_day, result.checkpoint.next_day);
+  EXPECT_EQ(loaded.sessions_emitted, result.checkpoint.sessions_emitted);
+  EXPECT_EQ(loaded.network_fingerprint, result.checkpoint.network_fingerprint);
+  std::remove(path.c_str());
+}
+
+TEST(EngineCheckpoint, ResumeRejectsMismatchedIdentity) {
+  const Network network = make_network(6);
+  const TraceConfig trace = make_trace(2);
+
+  EngineConfig config;
+  config.stop_after_days = 1;
+  StreamEngine engine(network, trace, config);
+  RecordingSink sink(network.size());
+  const EngineResult result = engine.run(sink);
+
+  {
+    TraceConfig other = trace;
+    other.seed = trace.seed + 1;
+    StreamEngine wrong(network, other);
+    EXPECT_THROW(wrong.resume(result.checkpoint, sink), InvalidArgument);
+  }
+  {
+    TraceConfig other = trace;
+    other.num_days = trace.num_days + 1;
+    StreamEngine wrong(network, other);
+    EXPECT_THROW(wrong.resume(result.checkpoint, sink), InvalidArgument);
+  }
+  {
+    TraceConfig other = trace;
+    other.rate_scale = 2.0;
+    StreamEngine wrong(network, other);
+    EXPECT_THROW(wrong.resume(result.checkpoint, sink), InvalidArgument);
+  }
+  {
+    const Network other_network = [] {
+      NetworkConfig nc;
+      nc.num_bs = 10;
+      Rng rng(10);  // different build seed -> different topology
+      return Network::build(nc, rng);
+    }();
+    StreamEngine wrong(other_network, trace);
+    EXPECT_THROW(wrong.resume(result.checkpoint, sink), InvalidArgument);
+  }
+}
+
+TEST(EngineCheckpoint, FromJsonRejectsCorruptDocuments) {
+  EngineCheckpoint cp;
+  cp.num_days = 2;
+  cp.next_day = 1;
+  cp.clock_minute = kMinutesPerDay;
+  cp.shards = {{0, 1, 10}};
+  const Json good = cp.to_json();
+
+  {
+    Json bad = good;
+    bad.as_object().at("format") = Json("mtd-other-format");
+    EXPECT_THROW(EngineCheckpoint::from_json(bad), Error);
+  }
+  {
+    Json bad = good;
+    bad.as_object().at("clock_minute") = Json(std::size_t(17));
+    EXPECT_THROW(EngineCheckpoint::from_json(bad), Error);
+  }
+  {
+    Json bad = good;
+    bad.as_object()
+        .at("shards")
+        .as_array()[0]
+        .as_object()
+        .at("next_day") = Json(std::size_t(0));  // behind the global cursor
+    EXPECT_THROW(EngineCheckpoint::from_json(bad), Error);
+  }
+}
+
+TEST(EngineCheckpoint, ResumingACompleteCheckpointIsANoOp) {
+  const Network network = make_network(4);
+  const TraceConfig trace = make_trace(1);
+  StreamEngine engine(network, trace);
+  RecordingSink sink(network.size());
+  const EngineResult result = engine.run(sink);
+  ASSERT_TRUE(result.checkpoint.complete());
+
+  RecordingSink empty(network.size());
+  const EngineResult again = engine.resume(result.checkpoint, empty);
+  EXPECT_TRUE(again.checkpoint.complete());
+  for (const auto& sessions : empty.per_bs) EXPECT_TRUE(sessions.empty());
+  EXPECT_EQ(again.checkpoint.sessions_emitted,
+            result.checkpoint.sessions_emitted);
+}
+
+TEST(NetworkFingerprint, SensitiveToTopology) {
+  const Network a = make_network(10);
+  const Network b = [] {
+    NetworkConfig nc;
+    nc.num_bs = 10;
+    Rng rng(10);
+    return Network::build(nc, rng);
+  }();
+  EXPECT_EQ(network_fingerprint(a), network_fingerprint(a));
+  EXPECT_NE(network_fingerprint(a), network_fingerprint(b));
+}
+
+}  // namespace
+}  // namespace mtd

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/time_utils.hpp"
 #include "math/metrics.hpp"
 #include "test_helpers.hpp"
 
@@ -211,6 +213,63 @@ TEST(MeasurementDataset, SliceToStringNames) {
   EXPECT_STREQ(to_string(Slice::kWeekend), "weekend");
   EXPECT_STREQ(to_string(Slice::kCity3), "city-3");
   EXPECT_STREQ(to_string(Slice::k5G), "5G");
+}
+
+TEST(MeasurementDataset, CrossCellEventOrderDoesNotChangeTheAggregates) {
+  // The dataset must give bit-identical results whether events arrive in
+  // per-BS blocks (batch generator) or interleaved minute-by-minute across
+  // BSs (streaming engine). Only the per-(BS, day) stream order is fixed.
+  NetworkConfig nc;
+  nc.num_bs = 10;
+  nc.last_decile_rate = 25.0;
+  Rng build_rng(9);
+  const Network network = Network::build(nc, build_rng);
+  TraceConfig trace;
+  trace.num_days = 1;
+  trace.seed = 123;
+  const TraceGenerator generator(network, trace);
+
+  MeasurementDataset blocked(network, 1);
+  for (std::size_t b = 0; b < network.size(); ++b) {
+    generator.run_bs_day(network[b], 0, blocked);
+  }
+  blocked.finalize();
+
+  MeasurementDataset interleaved(network, 1);
+  std::vector<BaseStation> scaled;
+  std::vector<Rng> rngs;
+  for (std::size_t b = 0; b < network.size(); ++b) {
+    scaled.push_back(generator.day_scaled(network[b], 0));
+    rngs.push_back(generator.bs_day_rng(network[b], 0));
+  }
+  for (std::size_t minute = 0; minute < kMinutesPerDay; ++minute) {
+    // Reverse BS order each minute to make the interleaving adversarial.
+    for (std::size_t i = network.size(); i-- > 0;) {
+      const std::uint32_t count =
+          ArrivalProcess(scaled[i]).sample(minute, rngs[i]);
+      interleaved.on_minute(network[i], 0, minute, count);
+      for (std::uint32_t k = 0; k < count; ++k) {
+        interleaved.on_session(
+            generator.sample_session(network[i], 0, minute, rngs[i]));
+      }
+    }
+  }
+  interleaved.finalize();
+
+  EXPECT_EQ(interleaved.total_sessions(), blocked.total_sessions());
+  EXPECT_DOUBLE_EQ(interleaved.total_volume_mb(), blocked.total_volume_mb());
+  const auto a = blocked.session_shares();
+  const auto b = interleaved.session_shares();
+  for (std::size_t s = 0; s < a.size(); ++s) EXPECT_DOUBLE_EQ(b[s], a[s]);
+  const auto ta = blocked.traffic_shares();
+  const auto tb = interleaved.traffic_shares();
+  for (std::size_t s = 0; s < ta.size(); ++s) {
+    EXPECT_DOUBLE_EQ(tb[s], ta[s]);
+  }
+  for (std::uint8_t d = 0; d < kNumDeciles; ++d) {
+    EXPECT_DOUBLE_EQ(interleaved.decile_arrivals(d).day_stats.mean(),
+                     blocked.decile_arrivals(d).day_stats.mean());
+  }
 }
 
 TEST(MeasurementDataset, VolumeAxisCoversExpectedRange) {

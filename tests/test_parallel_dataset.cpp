@@ -7,11 +7,21 @@ namespace mtd {
 namespace {
 
 Network make_network(std::size_t n = 20) {
-  NetworkConfig config;
-  config.num_bs = n;
-  config.last_decile_rate = 25.0;
-  Rng rng(9);
-  return Network::build(config, rng);
+  if (n >= kNumDeciles) {
+    NetworkConfig config;
+    config.num_bs = n;
+    config.last_decile_rate = 25.0;
+    Rng rng(9);
+    return Network::build(config, rng);
+  }
+  // Below one BS per decile Network::build refuses; hand-build the list.
+  std::vector<BaseStation> bss(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bss[i].decile = static_cast<std::uint8_t>((i * kNumDeciles) / n);
+    bss[i].peak_rate = 5.0 + 3.0 * static_cast<double>(i);
+    bss[i].offpeak_scale = 0.25;
+  }
+  return Network::from_base_stations(std::move(bss));
 }
 
 TEST(ParallelDataset, MatchesSerialAggregation) {
@@ -87,19 +97,61 @@ TEST(ParallelDataset, SingleThreadFallsBackToSerial) {
   EXPECT_EQ(a.total_sessions(), b.total_sessions());
 }
 
+// Checks every observable statistic of `parallel` against `serial` for exact
+// (bit-level) agreement.
+void expect_identical(const MeasurementDataset& parallel,
+                      const MeasurementDataset& serial) {
+  EXPECT_EQ(parallel.total_sessions(), serial.total_sessions());
+  EXPECT_DOUBLE_EQ(parallel.total_volume_mb(), serial.total_volume_mb());
+  const auto serial_shares = serial.session_shares();
+  const auto parallel_shares = parallel.session_shares();
+  for (std::size_t s = 0; s < serial_shares.size(); ++s) {
+    EXPECT_DOUBLE_EQ(parallel_shares[s], serial_shares[s]);
+  }
+  for (std::size_t s = 0; s < serial.num_services(); ++s) {
+    const auto& a = serial.slice(s, Slice::kTotal);
+    const auto& b = parallel.slice(s, Slice::kTotal);
+    EXPECT_EQ(a.sessions, b.sessions);
+    EXPECT_DOUBLE_EQ(a.volume_mb, b.volume_mb);
+  }
+  for (std::uint8_t d = 0; d < kNumDeciles; ++d) {
+    EXPECT_EQ(parallel.decile_arrivals(d).day_stats.count(),
+              serial.decile_arrivals(d).day_stats.count());
+    EXPECT_DOUBLE_EQ(parallel.decile_arrivals(d).day_stats.mean(),
+                     serial.decile_arrivals(d).day_stats.mean());
+  }
+}
+
 TEST(ParallelDataset, MoreThreadsThanBsIsClamped) {
   const Network network = make_network(10);
   TraceConfig trace;
   trace.num_days = 1;
-  const MeasurementDataset ds =
-      collect_dataset_parallel(network, trace, 64);
-  EXPECT_GT(ds.total_sessions(), 0u);
+  const MeasurementDataset serial = collect_dataset(network, trace);
+  const MeasurementDataset ds = collect_dataset_parallel(network, trace, 64);
+  expect_identical(ds, serial);
 }
 
-TEST(ParallelDataset, ValidatesThreadCount) {
+TEST(ParallelDataset, ZeroThreadsAutoDetects) {
+  // threads == 0 means "use hardware concurrency" and must still reproduce
+  // the serial aggregation exactly.
   const Network network = make_network(10);
   TraceConfig trace;
-  EXPECT_THROW(collect_dataset_parallel(network, trace, 0), InvalidArgument);
+  trace.num_days = 1;
+  const MeasurementDataset serial = collect_dataset(network, trace);
+  const MeasurementDataset ds = collect_dataset_parallel(network, trace, 0);
+  expect_identical(ds, serial);
+}
+
+TEST(ParallelDataset, SingleBsNetwork) {
+  const Network network = make_network(1);
+  TraceConfig trace;
+  trace.num_days = 2;
+  const MeasurementDataset serial = collect_dataset(network, trace);
+  for (std::size_t threads : {0u, 1u, 4u}) {
+    const MeasurementDataset ds =
+        collect_dataset_parallel(network, trace, threads);
+    expect_identical(ds, serial);
+  }
 }
 
 TEST(MergeDataset, RejectsMismatchedConfigurations) {

@@ -85,12 +85,52 @@ TEST(ScenarioJson, MobilityAndPacketConfigsRoundTrip) {
   EXPECT_DOUBLE_EQ(pkt_restored.duty_cycle, 0.7);
 }
 
+TEST(ScenarioJson, EngineConfigRoundTrip) {
+  EngineConfig config;
+  config.num_workers = 6;
+  config.queue_capacity = 1024;
+  config.backpressure = BackpressurePolicy::kDropNewest;
+  config.time_scale = 60.0;
+  config.telemetry_period_s = 2.5;
+  config.stop_after_days = 3;
+  config.checkpoint_path = "out/cp.json";
+  EngineConfig restored;
+  from_json(to_json(config), restored);
+  EXPECT_EQ(restored.num_workers, 6u);
+  EXPECT_EQ(restored.queue_capacity, 1024u);
+  EXPECT_EQ(restored.backpressure, BackpressurePolicy::kDropNewest);
+  EXPECT_DOUBLE_EQ(restored.time_scale, 60.0);
+  EXPECT_DOUBLE_EQ(restored.telemetry_period_s, 2.5);
+  EXPECT_EQ(restored.stop_after_days, 3u);
+  EXPECT_EQ(restored.checkpoint_path, "out/cp.json");
+}
+
+TEST(ScenarioJson, EngineConfigRejectsBadInput) {
+  EngineConfig config;
+  EXPECT_THROW(from_json(Json::parse(R"({"backpressure": "explode"})"),
+                         config),
+               ParseError);
+  EXPECT_THROW(from_json(Json::parse(R"({"num_wrkers": 2})"), config),
+               ParseError);
+}
+
+TEST(ScenarioJson, EngineBackpressureNamesAreStable) {
+  // The JSON vocabulary is part of the scenario file format.
+  EngineConfig config;
+  config.backpressure = BackpressurePolicy::kBlock;
+  EXPECT_EQ(to_json(config).at("backpressure").as_string(), "block");
+  config.backpressure = BackpressurePolicy::kDropNewest;
+  EXPECT_EQ(to_json(config).at("backpressure").as_string(), "drop");
+}
+
 TEST(Scenario, FullRoundTripThroughFile) {
   Scenario scenario;
   scenario.network.num_bs = 55;
   scenario.trace.num_days = 4;
   scenario.slicing.num_antennas = 3;
   scenario.vran.packing = PackingPolicy::kBestFitDecreasing;
+  scenario.engine.num_workers = 4;
+  scenario.engine.backpressure = BackpressurePolicy::kDropNewest;
 
   const std::string path = ::testing::TempDir() + "/mtd_scenario_test.json";
   scenario.save(path);
@@ -99,6 +139,8 @@ TEST(Scenario, FullRoundTripThroughFile) {
   EXPECT_EQ(loaded.trace.num_days, 4u);
   EXPECT_EQ(loaded.slicing.num_antennas, 3u);
   EXPECT_EQ(loaded.vran.packing, PackingPolicy::kBestFitDecreasing);
+  EXPECT_EQ(loaded.engine.num_workers, 4u);
+  EXPECT_EQ(loaded.engine.backpressure, BackpressurePolicy::kDropNewest);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+#include "engine/spsc_ring.hpp"
+
+namespace mtd {
+namespace {
+
+TEST(SpscRing, PushPopRoundTrip) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(int(i)));
+  EXPECT_FALSE(ring.try_push(99));  // full: all capacity slots usable
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));  // empty
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(SpscRing<int>(1024).capacity(), 1024u);
+  EXPECT_THROW(SpscRing<int>(1), InvalidArgument);
+}
+
+TEST(SpscRing, WrapsAroundManyTimes) {
+  SpscRing<std::uint64_t> ring(8);
+  std::uint64_t out = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.try_push(std::uint64_t(i)));
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  // Interleaved partial fills across the wrap point.
+  std::uint64_t next_push = 0, next_pop = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int k = 0; k < 5; ++k) ASSERT_TRUE(ring.try_push(next_push++));
+    for (int k = 0; k < 5; ++k) {
+      ASSERT_TRUE(ring.try_pop(out));
+      EXPECT_EQ(out, next_pop++);
+    }
+  }
+}
+
+TEST(SpscRing, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<std::string>> ring(2);
+  ASSERT_TRUE(ring.try_push(std::make_unique<std::string>("hello")));
+  std::unique_ptr<std::string> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, "hello");
+}
+
+TEST(SpscRing, TwoThreadStressPreservesOrder) {
+  constexpr std::uint64_t kCount = 200000;
+  SpscRing<std::uint64_t> ring(64);
+  std::thread producer([&ring] {
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      while (!ring.try_push(std::uint64_t(i))) std::this_thread::yield();
+    }
+  });
+  std::uint64_t expected = 0;
+  std::uint64_t out = 0;
+  while (expected < kCount) {
+    if (ring.try_pop(out)) {
+      ASSERT_EQ(out, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+}  // namespace
+}  // namespace mtd

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "common/time_utils.hpp"
 #include "io/json.hpp"
@@ -43,6 +44,54 @@ TEST(SessionCsvWriter, WritesHeaderAndRows) {
             0u);
   EXPECT_NE(content.find("3,Netflix,1,600,42.5,630"), std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST(SessionCsvWriter, CloseIsIdempotentOnSuccess) {
+  const std::string path = temp_path("mtd_trace_close.csv");
+  SessionCsvWriter writer(path);
+  EXPECT_FALSE(writer.write_failed());
+  writer.close();
+  writer.close();  // second close is a no-op, not an error
+  EXPECT_FALSE(writer.write_failed());
+  std::remove(path.c_str());
+}
+
+TEST(SessionCsvWriter, ReportsWriteFailureOnClose) {
+  // /dev/full accepts opens and swallows nothing: every flush fails with
+  // ENOSPC, which is exactly the silent-truncation hazard close() exists to
+  // surface.
+  if (!std::ofstream("/dev/full").is_open()) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  SessionCsvWriter writer("/dev/full");
+  Session session;
+  session.bs = 0;
+  session.service = static_cast<std::uint16_t>(service_index("Netflix"));
+  session.volume_mb = 1.0;
+  session.duration_s = 10.0;
+  // Exceed the stream buffer so at least one write has already hit the
+  // device before close().
+  for (int i = 0; i < 100000; ++i) writer.on_session(session);
+  EXPECT_THROW(writer.close(), Error);
+  EXPECT_TRUE(writer.write_failed());
+}
+
+TEST(SessionCsvWriter, DestructorSwallowsTheFailureButReportsIt) {
+  if (!std::ofstream("/dev/full").is_open()) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  testing::internal::CaptureStderr();
+  {
+    SessionCsvWriter writer("/dev/full");
+    Session session;
+    session.service = static_cast<std::uint16_t>(service_index("Netflix"));
+    session.volume_mb = 1.0;
+    session.duration_s = 10.0;
+    for (int i = 0; i < 100000; ++i) writer.on_session(session);
+    // Destructor runs close() and must not throw.
+  }
+  const std::string stderr_text = testing::internal::GetCapturedStderr();
+  EXPECT_NE(stderr_text.find("write failure"), std::string::npos);
 }
 
 TEST(TraceIo, RoundTripPreservesTheDataset) {
