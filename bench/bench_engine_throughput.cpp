@@ -19,6 +19,7 @@
 
 #include "bench_common.hpp"
 #include "engine/engine.hpp"
+#include "engine/fault.hpp"
 #include "engine/spsc_ring.hpp"
 #include "io/json.hpp"
 
@@ -122,6 +123,32 @@ void BM_EngineMaxThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineMaxThroughput)->Arg(1)->Arg(2)->Arg(4)->Unit(
     benchmark::kMillisecond);
+
+// Cost of the fault-tolerance layer on the hot path: the fault-injection
+// hooks compiled into workers, consumer, and sink adapters are a null-check
+// when no injector is armed (arg 0); with an injector present but every
+// point disarmed (arg 1) each hook adds a mutex-guarded map lookup. The
+// delta between the two rows is the price of leaving injection compiled in.
+void BM_EngineFaultHookOverhead(benchmark::State& state) {
+  TraceConfig trace;
+  trace.num_days = 1;
+  trace.seed = 7;
+  FaultInjector idle_injector;
+  EngineConfig config;
+  config.num_workers = 2;
+  config.sink_error_policy = SinkErrorPolicy::kDegrade;
+  if (state.range(0) == 1) config.fault = &idle_injector;
+  for (auto _ : state) {
+    StreamEngine engine(mtd::bench::bench_network(), trace, config);
+    CountingSink sink;
+    const EngineResult result = engine.run(sink);
+    state.counters["sessions_per_s"] = result.telemetry.sessions_per_second;
+  }
+}
+BENCHMARK(BM_EngineFaultHookOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,19 +1,23 @@
 // Streaming replay: drive the measurement campaign through the sharded
-// engine instead of the batch collector.
+// engine under Supervisor fault tolerance instead of the batch collector.
 //
-// Streams the scenario's trace through StreamEngine into an aggregating
-// MeasurementDataset sink (optionally teeing every session to a CSV file),
-// printing one telemetry JSON line per snapshot period. When the scenario
-// sets engine.stop_after_days, the run suspends at that day boundary,
-// writes a checkpoint, and this binary immediately resumes from it to
-// demonstrate stop/resume — the session stream is bit-identical to an
-// uninterrupted run.
+// Streams the scenario's trace through a supervised StreamEngine into an
+// aggregating MeasurementDataset sink (optionally teeing every session to a
+// CSV file), printing one telemetry JSON line per snapshot period. The
+// Supervisor restarts from the last good day-boundary checkpoint on
+// retryable failures (worker faults, watchdog stalls, transient checkpoint
+// I/O) and its RunReport — attempts, failure causes, recovered day ranges —
+// is printed at the end. When the scenario sets engine.stop_after_days, the
+// run suspends at that day boundary and this binary resumes from the
+// checkpoint to demonstrate stop/resume; the session stream stays
+// bit-identical to an uninterrupted run in both cases.
 //
 // Run:  ./stream_replay [scenario.json] [trace.csv]
 #include <iostream>
 #include <memory>
 
 #include "dataset/trace_io.hpp"
+#include "engine/supervisor.hpp"
 #include "scenario/scenario.hpp"
 
 int main(int argc, char** argv) {
@@ -25,6 +29,7 @@ int main(int argc, char** argv) {
   scenario.trace.num_days = 3;
   scenario.engine.num_workers = 0;  // auto: one per hardware thread
   scenario.engine.telemetry_period_s = 1.0;
+  scenario.engine.watchdog_timeout_s = 30.0;
 
   if (argc > 1) {
     std::cout << "Loading scenario from " << argv[1] << "\n";
@@ -38,15 +43,17 @@ int main(int argc, char** argv) {
 
   Rng rng(scenario.trace.seed);
   const Network network = Network::build(scenario.network, rng);
-  StreamEngine engine(network, scenario.trace, scenario.engine);
+  Supervisor supervisor(network, scenario.trace, scenario.engine);
   std::cout << "Streaming " << network.size() << " BSs x "
-            << scenario.trace.num_days << " days over "
-            << engine.config().num_workers << " workers ("
-            << to_string(engine.config().backpressure) << " backpressure, "
-            << (engine.config().time_scale > 0.0 ? "scaled real time"
+            << scenario.trace.num_days << " days ("
+            << to_string(scenario.engine.backpressure) << " backpressure, "
+            << to_string(scenario.engine.sink_error_policy)
+            << " sink errors, "
+            << (scenario.engine.time_scale > 0.0 ? "scaled real time"
                                                  : "max throughput")
-            << ")\n";
-  engine.on_snapshot([](const TelemetrySnapshot& snap) {
+            << ", up to " << supervisor.config().max_restarts
+            << " restarts)\n";
+  supervisor.on_snapshot([](const TelemetrySnapshot& snap) {
     std::cout << snap.to_json().dump() << "\n";
   });
 
@@ -59,27 +66,27 @@ int main(int argc, char** argv) {
     std::cout << "Teeing sessions to " << argv[2] << "\n";
   }
 
-  EngineResult result = engine.run(*sink);
-  if (!result.checkpoint.complete()) {
-    std::cout << "Suspended at day boundary " << result.checkpoint.next_day
+  RunReport report = supervisor.run(*sink);
+  while (report.succeeded && !report.result.checkpoint.complete()) {
+    std::cout << "Suspended at day boundary "
+              << report.result.checkpoint.next_day
               << "; resuming from the checkpoint...\n";
-    // A fresh engine resumes across process restarts just the same; the
-    // JSON round trip stands in for the file a long-lived replay would
-    // reload after a crash or migration.
-    StreamEngine resumed(network, scenario.trace, scenario.engine);
-    resumed.on_snapshot([](const TelemetrySnapshot& snap) {
-      std::cout << snap.to_json().dump() << "\n";
-    });
-    while (!result.checkpoint.complete()) {
-      result = resumed.resume(
-          EngineCheckpoint::from_json(result.checkpoint.to_json()), *sink);
-    }
+    // A JSON round trip stands in for the checkpoint file a long-lived
+    // replay would reload after a crash or migration.
+    report = supervisor.resume(
+        EngineCheckpoint::from_json(report.result.checkpoint.to_json()),
+        *sink);
+  }
+  if (!report.succeeded) {
+    std::cerr << "Supervised run FAILED after " << report.attempts.size()
+              << " attempt(s): " << report.attempts.back().error << "\n";
+    std::cerr << report.to_json().dump(2) << "\n";
+    return 1;
   }
   dataset.finalize();
   if (csv) csv->close();
 
-  std::cout << "\nFinal telemetry: " << result.telemetry.to_json().dump()
-            << "\n";
+  std::cout << "\nRun report: " << report.to_json().dump() << "\n";
   std::cout << "Dataset: " << dataset.total_sessions() << " sessions, "
             << dataset.total_volume_mb() / 1e3 << " GB across "
             << dataset.num_services() << " services\n";

@@ -1,11 +1,22 @@
 #!/usr/bin/env bash
-# CI-style sanitizer gate: configure with MTD_SANITIZE=ON (ASan + UBSan on
-# every target), build, and run the full test suite. Any sanitizer report
-# aborts the run (-fno-sanitize-recover=all) and fails the job.
+# CI-style sanitizer gate, two stages:
+#
+#   1. MTD_SANITIZE=ON (ASan + UBSan on every target), build, run the full
+#      test suite.
+#   2. MTD_TSAN=ON (ThreadSanitizer), build, run the engine-side suites —
+#      the tests that exercise the SPSC rings, the stop-token/watchdog
+#      synchronization, fault-injection shutdown paths, and supervised
+#      recovery.
+#
+# Any sanitizer report aborts the run (-fno-sanitize-recover=all) and fails
+# the job.
 #
 # Usage: scripts/check_sanitize.sh [build-dir] [ctest-regex]
-#   build-dir    defaults to build-sanitize
-#   ctest-regex  optional -R filter, e.g. 'Engine|SpscRing'
+#   build-dir    defaults to build-sanitize (the TSan stage appends -tsan)
+#   ctest-regex  optional -R filter for the ASan stage, e.g. 'Engine|SpscRing'
+#
+# Environment:
+#   MTD_SKIP_TSAN=1  run only the ASan/UBSan stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,6 +24,10 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-sanitize}"
 FILTER="${2:-}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+# Engine-side tests gated under TSan: everything with cross-thread
+# synchronization (rings, engine, checkpoint/resume, faults, supervision).
+TSAN_FILTER='SpscRing|StreamEngine|EngineCheckpoint|EngineFault|Supervisor|NetworkFingerprint'
 
 cmake -B "$BUILD_DIR" -S . \
   -DMTD_SANITIZE=ON \
@@ -28,4 +43,23 @@ if [[ -n "$FILTER" ]]; then
 fi
 ctest "${CTEST_ARGS[@]}"
 
+echo "asan/ubsan check passed"
+
+if [[ "${MTD_SKIP_TSAN:-0}" == "1" ]]; then
+  echo "skipping tsan stage (MTD_SKIP_TSAN=1)"
+  exit 0
+fi
+
+TSAN_BUILD_DIR="${BUILD_DIR}-tsan"
+cmake -B "$TSAN_BUILD_DIR" -S . \
+  -DMTD_TSAN=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$TSAN_BUILD_DIR" -j "$JOBS"
+
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+
+ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
+  -R "$TSAN_FILTER"
+
+echo "tsan check passed"
 echo "sanitize check passed"

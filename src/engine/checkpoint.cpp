@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/time_utils.hpp"
+#include "engine/fault.hpp"
 
 namespace mtd {
 
@@ -135,12 +136,30 @@ EngineCheckpoint EngineCheckpoint::from_json(const Json& json) {
   return cp;
 }
 
-void EngineCheckpoint::save(const std::string& path) const {
-  write_file(path, to_json().dump(2));
+void EngineCheckpoint::save(const std::string& path,
+                            FaultInjector* fault) const {
+  fault_fire(fault, "checkpoint.write");
+  write_file_atomic(path, to_json().dump(2));
 }
 
 EngineCheckpoint EngineCheckpoint::load(const std::string& path) {
-  return from_json(Json::parse(read_file(path)));
+  const std::string text = read_file(path);
+  Json doc;
+  try {
+    doc = Json::parse(text);
+  } catch (const ParseError& e) {
+    // A torn or truncated file must name its provenance: the raw parser
+    // error has the byte offset but not the path or the file size.
+    throw ParseError("EngineCheckpoint: corrupt checkpoint file '" + path +
+                     "' (" + std::to_string(text.size()) +
+                     " bytes): " + e.what());
+  }
+  try {
+    return from_json(doc);
+  } catch (const ParseError& e) {
+    throw ParseError("EngineCheckpoint: invalid checkpoint file '" + path +
+                     "': " + e.what());
+  }
 }
 
 }  // namespace mtd

@@ -21,6 +21,8 @@
 
 namespace mtd {
 
+class FaultInjector;
+
 /// Progress of one shard worker at a checkpoint.
 struct EngineShardCursor {
   std::size_t shard = 0;
@@ -57,7 +59,15 @@ struct EngineCheckpoint {
   [[nodiscard]] Json to_json() const;
   static EngineCheckpoint from_json(const Json& json);
 
-  void save(const std::string& path) const;
+  /// Crash-safe write: serializes to `<path>.tmp`, flushes, then atomically
+  /// renames over `path`, so a kill mid-write never leaves a torn file —
+  /// the previous checkpoint survives any failed save. Throws IoError.
+  /// `fault` (tests only) arms the "checkpoint.write" failure point.
+  void save(const std::string& path, FaultInjector* fault = nullptr) const;
+
+  /// Loads and validates a checkpoint file. Truncated or corrupt content
+  /// raises ParseError naming the file, its size, and the parser's byte
+  /// offset — never a raw JSON error with no provenance.
   static EngineCheckpoint load(const std::string& path);
 };
 

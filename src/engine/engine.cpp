@@ -1,15 +1,18 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <exception>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/time_utils.hpp"
+#include "engine/fault.hpp"
 #include "engine/spsc_ring.hpp"
 
 namespace mtd {
@@ -22,7 +25,51 @@ const char* to_string(BackpressurePolicy p) noexcept {
   return "?";
 }
 
+const char* to_string(SinkErrorPolicy p) noexcept {
+  switch (p) {
+    case SinkErrorPolicy::kFailFast: return "fail_fast";
+    case SinkErrorPolicy::kDegrade: return "degrade";
+  }
+  return "?";
+}
+
 namespace {
+
+std::string hex_str(std::uint64_t v) {
+  char buf[19] = "0x";
+  const auto [ptr, ec] = std::to_chars(buf + 2, buf + sizeof(buf), v, 16);
+  return std::string(buf, ptr);
+}
+
+/// Cooperative cross-thread failure propagation: any thread (worker,
+/// consumer, watchdog) signals the first failure it sees; producers observe
+/// the flag at every minute tick and while spinning on a full ring, the
+/// consumer at every sweep. Only the first exception is kept — later ones
+/// are cascade effects of the same abort.
+struct StopState {
+  std::atomic<bool> flag{false};
+
+  void signal(std::exception_ptr error) noexcept {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_) first_ = std::move(error);
+    }
+    flag.store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool requested() const noexcept {
+    return flag.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::exception_ptr first_error() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return first_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::exception_ptr first_;
+};
 
 /// One entry of a worker's ring. kMinute and kSession reuse the Session
 /// bs/day/minute fields. At each day boundary a worker emits one
@@ -69,13 +116,15 @@ class ShardWorker {
 
   void run(std::size_t first_day, std::size_t last_day,
            const VirtualClock& clock, BackpressurePolicy policy,
-           Telemetry::PerWorker& tel, const std::atomic<bool>& abort) {
+           Telemetry::PerWorker& tel, const std::atomic<bool>& abort,
+           FaultInjector* fault) {
     const Network& network = generator_->network();
     std::vector<BaseStation> scaled(bss_.size());
     std::vector<Rng> rngs(bss_.size(), Rng(0));
     std::vector<double> day_volume(bss_.size(), 0.0);
 
     for (std::size_t day = first_day; day < last_day; ++day) {
+      fault_fire(fault, "worker.day");
       // Day boundary: every (BS, day) stream re-seeds, which is what makes
       // day-boundary checkpoints O(1) (see engine/checkpoint.hpp).
       for (std::size_t i = 0; i < bss_.size(); ++i) {
@@ -103,6 +152,7 @@ class ShardWorker {
             return;  // aborted while blocked
           }
           for (std::uint32_t k = 0; k < count; ++k) {
+            fault_fire(fault, "worker.session");
             EngineEvent sev;
             sev.kind = EngineEvent::Kind::kSession;
             sev.session =
@@ -192,6 +242,8 @@ StreamEngine::StreamEngine(const Network& network, const TraceConfig& trace,
   config_.num_workers = std::min(config_.num_workers, network.size());
   require(config_.queue_capacity >= 2,
           "StreamEngine: queue_capacity must be at least 2");
+  require(config_.checkpoint_max_attempts >= 1,
+          "StreamEngine: checkpoint_max_attempts must be at least 1");
 }
 
 EngineResult StreamEngine::run(TraceSink& sink) {
@@ -201,17 +253,39 @@ EngineResult StreamEngine::run(TraceSink& sink) {
 EngineResult StreamEngine::resume(const EngineCheckpoint& from,
                                   TraceSink& sink) {
   const TraceConfig& trace = generator_.config();
-  require(from.seed == trace.seed,
-          "StreamEngine::resume: checkpoint seed does not match the trace");
-  require(from.num_days == trace.num_days,
-          "StreamEngine::resume: checkpoint horizon does not match");
-  require(from.rate_scale == trace.rate_scale &&
-              from.weekend_rate_factor == trace.weekend_rate_factor,
-          "StreamEngine::resume: checkpoint rate scaling does not match");
-  require(from.network_fingerprint == fingerprint_,
-          "StreamEngine::resume: checkpoint was taken on a different network");
-  require(from.next_day <= trace.num_days,
-          "StreamEngine::resume: checkpoint cursor beyond the horizon");
+  const auto mismatch = [](const char* field, const std::string& expected,
+                           const std::string& actual) {
+    return InvalidArgument(std::string("StreamEngine::resume: checkpoint "
+                                       "mismatch on ") +
+                           field + ": engine expects " + expected +
+                           ", checkpoint has " + actual);
+  };
+  if (from.seed != trace.seed) {
+    throw mismatch("trace.seed", hex_str(trace.seed), hex_str(from.seed));
+  }
+  if (from.num_days != trace.num_days) {
+    throw mismatch("trace.num_days", std::to_string(trace.num_days),
+                   std::to_string(from.num_days));
+  }
+  if (from.rate_scale != trace.rate_scale) {
+    throw mismatch("trace.rate_scale", std::to_string(trace.rate_scale),
+                   std::to_string(from.rate_scale));
+  }
+  if (from.weekend_rate_factor != trace.weekend_rate_factor) {
+    throw mismatch("trace.weekend_rate_factor",
+                   std::to_string(trace.weekend_rate_factor),
+                   std::to_string(from.weekend_rate_factor));
+  }
+  if (from.network_fingerprint != fingerprint_) {
+    throw mismatch("network_fingerprint", hex_str(fingerprint_),
+                   hex_str(from.network_fingerprint));
+  }
+  if (from.next_day > trace.num_days) {
+    throw InvalidArgument(
+        "StreamEngine::resume: checkpoint cursor (next_day=" +
+        std::to_string(from.next_day) + ") is beyond the horizon (num_days=" +
+        std::to_string(trace.num_days) + ")");
+  }
   return run_days(sink, from.next_day, from.sessions_emitted,
                   from.minutes_emitted, from.volume_mb);
 }
@@ -285,16 +359,76 @@ EngineResult StreamEngine::run_days(TraceSink& sink, std::size_t first_day,
 
   VirtualClock clock{config_.time_scale, std::chrono::steady_clock::now(),
                      first_day * kMinutesPerDay};
-  std::atomic<bool> abort{false};
+  StopState stop;
   std::atomic<std::size_t> active{num_workers};
+  // Deterministic backoff jitter for checkpoint-write retries: seeded from
+  // the trace, not the wall clock, so a replayed failure schedule produces
+  // the same retry timing.
+  Rng backoff_rng(trace.seed ^ 0x636b7074ULL /* "ckpt" */);
 
   std::vector<std::thread> threads;
   threads.reserve(num_workers);
   for (std::size_t w = 0; w < num_workers; ++w) {
     threads.emplace_back([&, w] {
-      shards[w]->run(first_day, last_day, clock, config_.backpressure,
-                     telemetry.worker(w), abort);
+      try {
+        shards[w]->run(first_day, last_day, clock, config_.backpressure,
+                       telemetry.worker(w), stop.flag, config_.fault);
+      } catch (...) {
+        // First-exception capture: a worker fault stops the whole engine;
+        // the consumer notices, drains, joins, and rethrows this.
+        stop.signal(std::current_exception());
+      }
       active.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  auto queue_depth = [&] {
+    std::uint64_t depth = 0;
+    for (const auto& s : shards) depth += s->ring().size();
+    return depth;
+  };
+
+  // Watchdog: aborts the run when no counter moves for the configured
+  // deadline — a consumer wedged in a sink call, a stuck worker, a
+  // livelocked pipeline. It only observes atomics, so it can never deadlock
+  // with the threads it guards; a genuinely unbounded stall inside a sink
+  // callback is beyond its reach (we never detach threads).
+  std::atomic<bool> engine_done{false};
+  std::thread watchdog;
+  if (config_.watchdog_timeout_s > 0.0) {
+    watchdog = std::thread([&] {
+      const auto deadline =
+          std::chrono::duration<double>(config_.watchdog_timeout_s);
+      const auto poll = std::min(std::chrono::duration<double>(0.05),
+                                 deadline / 4.0);
+      auto signature = [&] {
+        const TelemetrySnapshot s = telemetry.snapshot(0);
+        return s.sessions_produced + s.sessions_consumed + s.minutes_consumed +
+               s.dropped_sessions + s.dropped_minutes + s.sink_errors +
+               s.sink_error_minutes + s.discarded_sessions +
+               s.discarded_minutes + s.clock_minute;
+      };
+      std::uint64_t last_signature = signature();
+      auto last_change = std::chrono::steady_clock::now();
+      while (!engine_done.load(std::memory_order_acquire) &&
+             !stop.requested()) {
+        std::this_thread::sleep_for(poll);
+        const std::uint64_t now_signature = signature();
+        const auto now = std::chrono::steady_clock::now();
+        if (now_signature != last_signature) {
+          last_signature = now_signature;
+          last_change = now;
+          continue;
+        }
+        if (now - last_change >= deadline) {
+          stop.signal(std::make_exception_ptr(EngineError(
+              "StreamEngine: watchdog detected a stalled pipeline (no "
+              "progress for " +
+                  std::to_string(config_.watchdog_timeout_s) + " s)",
+              /*retryable=*/true)));
+          break;
+        }
+      }
     });
   }
 
@@ -309,13 +443,7 @@ EngineResult StreamEngine::run_days(TraceSink& sink, std::size_t first_day,
   std::size_t checkpointed_day = first_day;  // next_day of the last checkpoint
   auto last_snapshot = std::chrono::steady_clock::now();
   std::uint64_t delivered_since_check = 0;
-  std::exception_ptr sink_error;
 
-  auto queue_depth = [&] {
-    std::uint64_t depth = 0;
-    for (const auto& s : shards) depth += s->ring().size();
-    return depth;
-  };
   auto maybe_snapshot = [&] {
     if (config_.telemetry_period_s <= 0.0 || !snapshot_callback_) return;
     const auto now = std::chrono::steady_clock::now();
@@ -327,15 +455,56 @@ EngineResult StreamEngine::run_days(TraceSink& sink, std::size_t first_day,
     snapshot_callback_(telemetry.snapshot(queue_depth()));
   };
 
+  // Checkpoint writes retry with exponential backoff on retryable errors
+  // (transient I/O); foreign or non-retryable exceptions propagate at once.
+  auto save_checkpoint = [&](const EngineCheckpoint& cp) {
+    double backoff_ms = std::max(0.0, config_.checkpoint_backoff_ms);
+    for (std::size_t attempt = 1;; ++attempt) {
+      try {
+        cp.save(config_.checkpoint_path, config_.fault);
+        return;
+      } catch (const Error& e) {
+        if (!e.retryable() || attempt >= config_.checkpoint_max_attempts) {
+          throw;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          backoff_ms * (1.0 + 0.25 * backoff_rng.uniform())));
+      backoff_ms *= 2.0;
+    }
+  };
+
   auto deliver = [&](EngineEvent& ev, std::size_t w) {
     switch (ev.kind) {
       case EngineEvent::Kind::kMinute:
-        sink.on_minute(network[ev.session.bs], ev.session.day,
-                       ev.session.minute_of_day, ev.count);
+        try {
+          fault_fire(config_.fault, "sink.minute");
+          sink.on_minute(network[ev.session.bs], ev.session.day,
+                         ev.session.minute_of_day, ev.count);
+        } catch (...) {
+          if (config_.sink_error_policy == SinkErrorPolicy::kFailFast) {
+            // The in-flight event dies with the abort; count it discarded
+            // so the conservation identity stays exact on failure paths.
+            telemetry.count_discarded_minute();
+            throw;
+          }
+          telemetry.count_sink_error(/*minute=*/true);
+          break;
+        }
         telemetry.count_minute();
         break;
       case EngineEvent::Kind::kSession:
-        sink.on_session(ev.session);
+        try {
+          fault_fire(config_.fault, "sink.session");
+          sink.on_session(ev.session);
+        } catch (...) {
+          if (config_.sink_error_policy == SinkErrorPolicy::kFailFast) {
+            telemetry.count_discarded_session();
+            throw;
+          }
+          telemetry.count_sink_error(/*minute=*/false);
+          break;
+        }
         telemetry.count_session(ev.session.volume_mb);
         break;
       case EngineEvent::Kind::kBsDayVolume: {
@@ -368,8 +537,14 @@ EngineResult StreamEngine::run_days(TraceSink& sink, std::size_t first_day,
           }
           result.checkpoint = make_checkpoint(checkpointed_day, sessions,
                                               committed_volume, shard_sessions);
+          // Commit order matters for exactly-once recovery: the callback
+          // (the Supervisor flushing buffered days downstream) runs before
+          // the checkpoint is persisted, so a failed save leaves the
+          // downstream state covered by the in-memory checkpoint, never
+          // ahead of it.
+          if (checkpoint_callback_) checkpoint_callback_(result.checkpoint);
           if (!config_.checkpoint_path.empty()) {
-            result.checkpoint.save(config_.checkpoint_path);
+            save_checkpoint(result.checkpoint);
           }
         }
         break;
@@ -379,6 +554,8 @@ EngineResult StreamEngine::run_days(TraceSink& sink, std::size_t first_day,
 
   try {
     for (;;) {
+      if (stop.requested()) break;  // worker fault or watchdog stall
+      fault_fire(config_.fault, "consumer.loop");
       bool any = false;
       for (std::size_t w = 0; w < num_workers; ++w) {
         EngineEvent ev;
@@ -406,23 +583,44 @@ EngineResult StreamEngine::run_days(TraceSink& sink, std::size_t first_day,
       }
     }
   } catch (...) {
-    // Unblock producers (they check the flag while spinning on a full
-    // ring and at every minute tick), then re-throw to the caller.
-    sink_error = std::current_exception();
-    abort.store(true, std::memory_order_relaxed);
-    // Drain without delivering so blocked producers can finish.
+    // Sink failure under kFailFast, checkpoint save that exhausted its
+    // retries, or a checkpoint-callback error.
+    stop.signal(std::current_exception());
+  }
+  if (stop.requested()) {
+    // Unblock producers (they check the flag while spinning on a full ring
+    // and at every minute tick), draining without delivering. Every drained
+    // event is counted, so produced/consumed/dropped accounting stays exact
+    // on the failure path too.
     for (;;) {
       bool any = false;
       EngineEvent ev;
       for (const auto& s : shards) {
-        while (s->ring().try_pop(ev)) any = true;
+        while (s->ring().try_pop(ev)) {
+          any = true;
+          if (ev.kind == EngineEvent::Kind::kSession) {
+            telemetry.count_discarded_session();
+          } else if (ev.kind == EngineEvent::Kind::kMinute) {
+            telemetry.count_discarded_minute();
+          }
+        }
       }
       if (!any && active.load(std::memory_order_acquire) == 0) break;
       if (!any) std::this_thread::yield();
     }
   }
+  engine_done.store(true, std::memory_order_release);
   for (std::thread& t : threads) t.join();
-  if (sink_error) std::rethrow_exception(sink_error);
+  if (watchdog.joinable()) watchdog.join();
+
+  if (std::exception_ptr error = stop.first_error()) {
+    // Final diagnostic snapshot before the failure propagates: the last
+    // exact accounting of what was produced, delivered, shed, and
+    // discarded.
+    result.telemetry = telemetry.snapshot(0);
+    if (snapshot_callback_) snapshot_callback_(result.telemetry);
+    std::rethrow_exception(error);
+  }
 
   result.telemetry = telemetry.snapshot(0);
   if (snapshot_callback_) snapshot_callback_(result.telemetry);

@@ -29,6 +29,8 @@
 
 namespace mtd {
 
+class FaultInjector;
+
 /// What producers do when their ring is full.
 enum class BackpressurePolicy : std::uint8_t {
   kBlock,      ///< wait for the consumer; lossless, stall time metered
@@ -36,6 +38,14 @@ enum class BackpressurePolicy : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(BackpressurePolicy p) noexcept;
+
+/// What the consumer does when a sink callback throws.
+enum class SinkErrorPolicy : std::uint8_t {
+  kFailFast, ///< abort the run and rethrow (the historical behavior)
+  kDegrade,  ///< count the failed delivery in telemetry and keep streaming
+};
+
+[[nodiscard]] const char* to_string(SinkErrorPolicy p) noexcept;
 
 struct EngineConfig {
   /// Worker (producer) threads; clamped to the number of BSs.
@@ -55,8 +65,26 @@ struct EngineConfig {
   /// The engine returns a resumable checkpoint either way.
   std::size_t stop_after_days = 0;
   /// When non-empty, the latest checkpoint JSON is (re)written here at
-  /// every completed day boundary.
+  /// every completed day boundary (crash-safe: tmp file + atomic rename).
   std::string checkpoint_path;
+  /// How a throwing sink is handled (see SinkErrorPolicy). Under kDegrade
+  /// the accounting identity produced == consumed + dropped + sink_errors
+  /// still holds exactly; failed deliveries are never silently lost.
+  SinkErrorPolicy sink_error_policy = SinkErrorPolicy::kFailFast;
+  /// When > 0, a watchdog thread aborts the run with a retryable
+  /// EngineError if no counter makes progress for this many wall seconds
+  /// (stalled consumer, wedged worker). 0 disables the watchdog. Pick a
+  /// deadline well above one virtual-minute interval when pacing with
+  /// time_scale, or the idle wait between minutes will trip it.
+  double watchdog_timeout_s = 0.0;
+  /// Checkpoint writes are retried with exponential backoff on retryable
+  /// I/O errors: total attempts (>= 1) and initial backoff. The backoff
+  /// jitter is drawn from a trace-seeded RNG, so runs stay reproducible.
+  std::size_t checkpoint_max_attempts = 3;
+  double checkpoint_backoff_ms = 10.0;
+  /// Optional failure-injection registry (non-owning; tests). Null in
+  /// production: every fault point is then a single branch.
+  FaultInjector* fault = nullptr;
 };
 
 /// Outcome of a (partial) engine run.
@@ -82,9 +110,19 @@ class StreamEngine {
   /// the sharding.
   EngineResult resume(const EngineCheckpoint& from, TraceSink& sink);
 
-  /// Called with every periodic telemetry snapshot (consumer thread).
+  /// Called with every periodic telemetry snapshot (consumer thread). The
+  /// final snapshot is always delivered — also on the failure path, as the
+  /// last diagnostic before the error propagates.
   void on_snapshot(std::function<void(const TelemetrySnapshot&)> callback) {
     snapshot_callback_ = std::move(callback);
+  }
+
+  /// Called (consumer thread) every time a day-boundary checkpoint is
+  /// recorded, before it is persisted to checkpoint_path. The Supervisor
+  /// uses this to commit buffered output downstream exactly once; an
+  /// exception from the callback aborts the run like a sink failure.
+  void on_checkpoint(std::function<void(const EngineCheckpoint&)> callback) {
+    checkpoint_callback_ = std::move(callback);
   }
 
   [[nodiscard]] const Network& network() const noexcept {
@@ -101,6 +139,7 @@ class StreamEngine {
   EngineConfig config_;
   std::uint64_t fingerprint_;
   std::function<void(const TelemetrySnapshot&)> snapshot_callback_;
+  std::function<void(const EngineCheckpoint&)> checkpoint_callback_;
 };
 
 }  // namespace mtd

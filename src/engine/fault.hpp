@@ -1,0 +1,102 @@
+// Deterministic failure injection for the streaming engine.
+//
+// A FaultInjector is a registry of named failure points compiled into the
+// engine's hot paths (worker day loop, consumer drain loop, the sink
+// adapter call sites, the checkpoint writer). Production runs pass no
+// injector and every point is a branch on a null pointer; tests arm
+// individual points to throw a foreign exception, raise a typed retryable
+// error, stall for a fixed time, or fail probabilistically from a seeded
+// RNG — so every failure path in engine/supervisor code is exercised
+// deterministically, without mocks or real faulty hardware.
+//
+// Compiled-in points (see fault.cpp for the canonical list):
+//   worker.day        fired by each shard worker at every day start
+//   worker.session    fired before each generated session is pushed
+//   sink.minute       fired before each on_minute sink delivery
+//   sink.session      fired before each on_session sink delivery
+//   consumer.loop     fired once per consumer sweep (stall target)
+//   checkpoint.write  fired by EngineCheckpoint::save before writing
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mtd {
+
+/// What an armed failure point does when it fires.
+enum class FaultAction : std::uint8_t {
+  kError,  ///< throw InjectedFault (an mtd EngineError, retryable)
+  kThrow,  ///< throw std::runtime_error — a foreign, non-retryable exception
+  kStall,  ///< sleep for stall_ms, then return normally
+};
+
+/// The exception raised by FaultAction::kError. Retryable, so supervised
+/// runs recover from it; tests catch it to distinguish injected failures
+/// from organic ones.
+class InjectedFault : public EngineError {
+ public:
+  explicit InjectedFault(const std::string& what) : EngineError(what, true) {}
+};
+
+/// How one failure point misbehaves once armed.
+struct FaultSpec {
+  FaultAction action = FaultAction::kError;
+  /// Chance that an eligible hit fires, drawn from the injector's seeded
+  /// RNG; 1.0 fires on every eligible hit.
+  double probability = 1.0;
+  /// Number of initial hits that pass through unharmed before the point
+  /// becomes eligible (e.g. "fail on the third checkpoint write").
+  std::uint64_t after = 0;
+  /// Maximum number of times the point fires; kUnlimited never disarms.
+  std::uint64_t times = 1;
+  /// kStall only: how long the firing thread sleeps.
+  double stall_ms = 0.0;
+
+  static constexpr std::uint64_t kUnlimited = ~std::uint64_t{0};
+};
+
+/// Thread-safe registry of armed failure points. Fire sites may be hit from
+/// any engine thread; arming/disarming normally happens before run().
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0) : rng_(seed) {}
+
+  /// Arms (or re-arms, resetting counters) the named point.
+  void arm(const std::string& point, FaultSpec spec);
+
+  /// Disarms the point; unknown names are a no-op.
+  void disarm(const std::string& point);
+
+  /// Called by the compiled-in sites. Unarmed points only pay the map
+  /// lookup; armed points count the hit and apply their FaultSpec, which
+  /// may throw or stall. Never throws for unarmed points.
+  void fire(const char* point);
+
+  /// Total times the point was reached (armed hits only).
+  [[nodiscard]] std::uint64_t hits(const std::string& point) const;
+  /// Times the point actually fired its action.
+  [[nodiscard]] std::uint64_t fired(const std::string& point) const;
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    std::uint64_t hits = 0;
+    std::uint64_t fired = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Armed, std::less<>> points_;
+  Rng rng_;
+};
+
+/// Null-safe fire helper used at every compiled-in site.
+inline void fault_fire(FaultInjector* injector, const char* point) {
+  if (injector != nullptr) injector->fire(point);
+}
+
+}  // namespace mtd

@@ -1,0 +1,180 @@
+#include "engine/supervisor.hpp"
+
+#include <chrono>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mtd {
+
+namespace {
+
+/// Holds every delivered event of the not-yet-checkpointed days and
+/// replays complete days downstream in day order once they commit. Within
+/// a day events flush in arrival order, so each BS's subsequence is exactly
+/// its generation order — the downstream sink cannot tell it apart from an
+/// unfailed direct run.
+class DayCommitBuffer final : public TraceSink {
+ public:
+  explicit DayCommitBuffer(TraceSink& downstream) : downstream_(&downstream) {}
+
+  void on_minute(const BaseStation& bs, std::size_t day,
+                 std::size_t minute_of_day, std::uint32_t count) override {
+    Event ev;
+    ev.is_minute = true;
+    ev.bs = &bs;
+    ev.minute_of_day = minute_of_day;
+    ev.count = count;
+    pending_[day].push_back(ev);
+  }
+
+  void on_session(const Session& session) override {
+    Event ev;
+    ev.is_minute = false;
+    ev.session = session;
+    pending_[session.day].push_back(ev);
+  }
+
+  /// Flushes every buffered day below `next_day` downstream, oldest first.
+  void commit_through(std::size_t next_day) {
+    while (!pending_.empty() && pending_.begin()->first < next_day) {
+      const std::size_t day = pending_.begin()->first;
+      for (const Event& ev : pending_.begin()->second) {
+        if (ev.is_minute) {
+          downstream_->on_minute(*ev.bs, day, ev.minute_of_day, ev.count);
+        } else {
+          downstream_->on_session(ev.session);
+        }
+      }
+      pending_.erase(pending_.begin());
+    }
+  }
+
+  /// Drops the uncommitted tail after a failed attempt; the resume
+  /// regenerates it from the checkpoint.
+  void discard() { pending_.clear(); }
+
+ private:
+  struct Event {
+    bool is_minute = false;
+    const BaseStation* bs = nullptr;  // minutes only; network-owned
+    std::size_t minute_of_day = 0;
+    std::uint32_t count = 0;
+    Session session;
+  };
+
+  TraceSink* downstream_;
+  std::map<std::size_t, std::vector<Event>> pending_;
+};
+
+}  // namespace
+
+Json RunReport::to_json() const {
+  JsonObject obj;
+  obj.emplace("succeeded", succeeded);
+  obj.emplace("attempts", attempts.size());
+  obj.emplace("restarts", restarts());
+  JsonArray arr;
+  for (const SupervisorAttempt& a : attempts) {
+    JsonObject at;
+    at.emplace("attempt", a.attempt);
+    at.emplace("start_day", a.start_day);
+    at.emplace("reached_day", a.reached_day);
+    at.emplace("error", a.error);
+    at.emplace("retryable", a.retryable);
+    at.emplace("backoff_ms", a.backoff_ms);
+    arr.emplace_back(std::move(at));
+  }
+  obj.emplace("attempt_log", Json(std::move(arr)));
+  if (succeeded) {
+    obj.emplace("telemetry", result.telemetry.to_json());
+    obj.emplace("next_day", result.checkpoint.next_day);
+    obj.emplace("complete", result.checkpoint.complete());
+  }
+  return Json(std::move(obj));
+}
+
+Supervisor::Supervisor(const Network& network, const TraceConfig& trace,
+                       EngineConfig engine_config, SupervisorConfig config)
+    : network_(&network),
+      trace_(trace),
+      engine_config_(std::move(engine_config)),
+      config_(config) {
+  require(config_.backoff_multiplier >= 1.0,
+          "Supervisor: backoff_multiplier must be >= 1");
+  require(config_.backoff_jitter >= 0.0,
+          "Supervisor: backoff_jitter must be >= 0");
+}
+
+RunReport Supervisor::run(TraceSink& sink) {
+  return supervise(std::nullopt, sink);
+}
+
+RunReport Supervisor::resume(const EngineCheckpoint& from, TraceSink& sink) {
+  return supervise(from, sink);
+}
+
+RunReport Supervisor::supervise(std::optional<EngineCheckpoint> from,
+                                TraceSink& sink) {
+  RunReport report;
+  DayCommitBuffer buffer(sink);
+  TraceSink& engine_sink =
+      config_.buffer_uncommitted ? static_cast<TraceSink&>(buffer) : sink;
+  std::optional<EngineCheckpoint> last_good = std::move(from);
+  Rng backoff_rng(trace_.seed ^ 0x73757076ULL /* "supv" */);
+  double backoff_ms = config_.backoff_initial_ms;
+  const std::size_t max_attempts = config_.max_restarts + 1;
+
+  for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    SupervisorAttempt record;
+    record.attempt = attempt;
+    record.start_day = last_good ? last_good->next_day : 0;
+    record.reached_day = record.start_day;
+
+    StreamEngine engine(*network_, trace_, engine_config_);
+    if (snapshot_callback_) engine.on_snapshot(snapshot_callback_);
+    engine.on_checkpoint([&](const EngineCheckpoint& cp) {
+      // Flush complete days downstream BEFORE adopting the checkpoint as
+      // the restart point: a resume must never skip a day the downstream
+      // sink has not fully received.
+      if (config_.buffer_uncommitted) buffer.commit_through(cp.next_day);
+      last_good = cp;
+      record.reached_day = cp.next_day;
+    });
+
+    try {
+      report.result = last_good ? engine.resume(*last_good, engine_sink)
+                                : engine.run(engine_sink);
+      report.succeeded = true;
+      report.attempts.push_back(std::move(record));
+      return report;
+    } catch (const Error& e) {
+      record.error = e.what();
+      record.retryable = e.retryable();
+    } catch (const std::exception& e) {
+      // Foreign exceptions (user sink code, injected kThrow faults) carry
+      // no retryability contract: never restart on them.
+      record.error = e.what();
+      record.retryable = false;
+    }
+
+    if (config_.buffer_uncommitted) buffer.discard();
+    const bool retry = record.retryable && attempt < max_attempts;
+    if (retry) {
+      record.backoff_ms =
+          backoff_ms * (1.0 + config_.backoff_jitter * backoff_rng.uniform());
+    }
+    report.attempts.push_back(std::move(record));
+    if (!retry) return report;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        report.attempts.back().backoff_ms));
+    backoff_ms *= config_.backoff_multiplier;
+  }
+  return report;
+}
+
+}  // namespace mtd

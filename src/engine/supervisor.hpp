@@ -1,0 +1,108 @@
+// Checkpoint-based auto-recovery around StreamEngine.
+//
+// The Supervisor wraps run()/resume() in a bounded restart loop: when a run
+// fails with a retryable error (worker fault, watchdog-detected stall,
+// transient checkpoint I/O), it reloads the last good day-boundary
+// checkpoint and resumes, with exponential backoff between attempts
+// (jitter drawn from a trace-seeded RNG, so failure schedules replay
+// reproducibly). Because every (BS, day) RNG stream is independent and
+// re-seeds at day boundaries, the recovered stream is bit-identical to an
+// unfailed run.
+//
+// Exactly-once delivery across restarts: the engine's sink sees events of a
+// day before that day's checkpoint commits, so a naive restart would replay
+// the partial day into the downstream sink twice. The Supervisor therefore
+// interposes a commit buffer — events are held per day and flushed
+// downstream only when the engine checkpoints past that day; on failure the
+// uncommitted tail is discarded and regenerated from the checkpoint. The
+// one hole is the downstream sink itself throwing mid-flush (its state is
+// then unknown); such errors are foreign/non-retryable and end supervision.
+//
+// The product of a supervised run is a RunReport: every attempt with its
+// day range, failure cause, retryability, and the backoff applied — the
+// operational record a replay of the paper's 45-day horizon needs when
+// transient faults are a matter of when, not if.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+
+namespace mtd {
+
+struct SupervisorConfig {
+  /// Restarts after the first attempt; attempts = max_restarts + 1.
+  std::size_t max_restarts = 3;
+  /// Backoff before restart k is initial * multiplier^(k-1) * (1 + U[0,
+  /// jitter)), with U drawn from a trace-seeded RNG.
+  double backoff_initial_ms = 25.0;
+  double backoff_multiplier = 2.0;
+  double backoff_jitter = 0.25;
+  /// Buffer sink output per day and flush on checkpoint commit (see file
+  /// header). Disable only for idempotent sinks that tolerate replayed
+  /// partial days; the recovered stream then degrades to at-least-once.
+  bool buffer_uncommitted = true;
+};
+
+/// One engine attempt inside a supervised run.
+struct SupervisorAttempt {
+  std::size_t attempt = 0;      ///< 1-based
+  std::size_t start_day = 0;    ///< day the attempt started/resumed from
+  std::size_t reached_day = 0;  ///< last committed day boundary
+  std::string error;            ///< empty when the attempt succeeded
+  bool retryable = false;
+  double backoff_ms = 0.0;      ///< wait applied before the next attempt
+};
+
+/// Outcome of a supervised run. `result` is meaningful when `succeeded`.
+struct RunReport {
+  bool succeeded = false;
+  std::vector<SupervisorAttempt> attempts;
+  EngineResult result;
+
+  [[nodiscard]] std::size_t restarts() const noexcept {
+    return attempts.empty() ? 0 : attempts.size() - 1;
+  }
+  /// Flat JSON for ops tooling: outcome plus the per-attempt record.
+  [[nodiscard]] Json to_json() const;
+};
+
+class Supervisor {
+ public:
+  /// `network` must outlive the Supervisor. A FaultInjector armed in
+  /// `engine_config.fault` is honored by every attempt.
+  Supervisor(const Network& network, const TraceConfig& trace,
+             EngineConfig engine_config = {}, SupervisorConfig config = {});
+
+  /// Supervised equivalent of StreamEngine::run. Never throws for
+  /// retryable engine failures while restart budget remains; when the
+  /// budget is exhausted or the failure is not retryable, the report
+  /// records every attempt and `succeeded` is false.
+  RunReport run(TraceSink& sink);
+
+  /// Supervised equivalent of StreamEngine::resume.
+  RunReport resume(const EngineCheckpoint& from, TraceSink& sink);
+
+  /// Telemetry passthrough, re-registered on every attempt's engine.
+  void on_snapshot(std::function<void(const TelemetrySnapshot&)> callback) {
+    snapshot_callback_ = std::move(callback);
+  }
+
+  [[nodiscard]] const SupervisorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  RunReport supervise(std::optional<EngineCheckpoint> from, TraceSink& sink);
+
+  const Network* network_;
+  TraceConfig trace_;
+  EngineConfig engine_config_;
+  SupervisorConfig config_;
+  std::function<void(const TelemetrySnapshot&)> snapshot_callback_;
+};
+
+}  // namespace mtd

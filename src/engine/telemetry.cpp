@@ -39,6 +39,12 @@ TelemetrySnapshot Telemetry::snapshot(std::uint64_t queue_depth) const {
   snap.sessions_consumed =
       base_sessions_ + sessions_consumed_.load(std::memory_order_relaxed);
   snap.minutes_consumed = minutes_consumed_.load(std::memory_order_relaxed);
+  snap.sink_errors = sink_errors_.load(std::memory_order_relaxed);
+  snap.sink_error_minutes =
+      sink_error_minutes_.load(std::memory_order_relaxed);
+  snap.discarded_sessions =
+      discarded_sessions_.load(std::memory_order_relaxed);
+  snap.discarded_minutes = discarded_minutes_.load(std::memory_order_relaxed);
   snap.volume_mb =
       base_volume_mb_ + volume_mb_.load(std::memory_order_relaxed);
   snap.producer_stall_seconds = static_cast<double>(stall_ns) * 1e-9;
@@ -63,6 +69,10 @@ Json TelemetrySnapshot::to_json() const {
   obj.emplace("queue_depth", static_cast<double>(queue_depth));
   obj.emplace("dropped_sessions", static_cast<double>(dropped_sessions));
   obj.emplace("dropped_minutes", static_cast<double>(dropped_minutes));
+  obj.emplace("sink_errors", static_cast<double>(sink_errors));
+  obj.emplace("sink_error_minutes", static_cast<double>(sink_error_minutes));
+  obj.emplace("discarded_sessions", static_cast<double>(discarded_sessions));
+  obj.emplace("discarded_minutes", static_cast<double>(discarded_minutes));
   obj.emplace("producer_stall_s", producer_stall_seconds);
   obj.emplace("sessions_per_s", sessions_per_second);
   obj.emplace("mbytes_per_s", mbytes_per_second);

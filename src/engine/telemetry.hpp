@@ -28,9 +28,21 @@ struct TelemetrySnapshot {
   std::uint64_t queue_depth = 0;       // sum of ring occupancies now
   std::uint64_t dropped_sessions = 0;  // drop backpressure policy only
   std::uint64_t dropped_minutes = 0;
+  std::uint64_t sink_errors = 0;          // failed on_session deliveries
+  std::uint64_t sink_error_minutes = 0;   // failed on_minute deliveries
+  std::uint64_t discarded_sessions = 0;   // drained undelivered on abort
+  std::uint64_t discarded_minutes = 0;
   double producer_stall_seconds = 0.0; // blocked-on-full time, all workers
   double sessions_per_second = 0.0;    // consumed / wall
   double mbytes_per_second = 0.0;      // delivered volume / wall
+
+  /// The conservation identity that holds at every drained snapshot, on
+  /// success and failure paths alike: every produced session was delivered,
+  /// shed by backpressure, rejected by the sink, or discarded on abort.
+  [[nodiscard]] bool sessions_accounted_for() const noexcept {
+    return sessions_produced == sessions_consumed + dropped_sessions +
+                                    sink_errors + discarded_sessions;
+  }
 
   /// Flat JSON object; keys are stable for downstream tooling.
   [[nodiscard]] Json to_json() const;
@@ -73,6 +85,18 @@ class Telemetry {
   void count_minute() noexcept {
     minutes_consumed_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// A sink delivery failed under SinkErrorPolicy::kDegrade.
+  void count_sink_error(bool minute) noexcept {
+    (minute ? sink_error_minutes_ : sink_errors_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  /// An event was drained without delivery while aborting.
+  void count_discarded_session() noexcept {
+    discarded_sessions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_discarded_minute() noexcept {
+    discarded_minutes_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Aggregates all counters. `queue_depth` is supplied by the engine (it
   /// owns the rings).
@@ -82,6 +106,10 @@ class Telemetry {
   std::vector<PerWorker> workers_;
   std::atomic<std::uint64_t> sessions_consumed_{0};
   std::atomic<std::uint64_t> minutes_consumed_{0};
+  std::atomic<std::uint64_t> sink_errors_{0};
+  std::atomic<std::uint64_t> sink_error_minutes_{0};
+  std::atomic<std::uint64_t> discarded_sessions_{0};
+  std::atomic<std::uint64_t> discarded_minutes_{0};
   std::atomic<double> volume_mb_{0.0};
   std::uint64_t base_sessions_ = 0;  // carried over from a resumed run
   double base_volume_mb_ = 0.0;

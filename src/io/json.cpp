@@ -123,7 +123,7 @@ class Parser {
   }
 
   char peek() const {
-    if (pos_ >= text_.size()) throw ParseError("Json: unexpected end");
+    if (pos_ >= text_.size()) fail("unexpected end");
     return text_[pos_];
   }
 
@@ -340,7 +340,7 @@ Json Json::parse(std::string_view text) {
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("read_file: cannot open " + path);
+  if (!in) throw IoError("read_file: cannot open " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
@@ -348,9 +348,28 @@ std::string read_file(const std::string& path) {
 
 void write_file(const std::string& path, std::string_view content) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw Error("write_file: cannot open " + path);
+  if (!out) throw IoError("write_file: cannot open " + path);
   out.write(content.data(), static_cast<std::streamsize>(content.size()));
-  if (!out) throw Error("write_file: short write to " + path);
+  if (!out) throw IoError("write_file: short write to " + path);
+}
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("write_file_atomic: cannot open " + tmp);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw IoError("write_file_atomic: short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("write_file_atomic: cannot rename " + tmp + " over " + path);
+  }
 }
 
 }  // namespace mtd

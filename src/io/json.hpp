@@ -84,10 +84,18 @@ class Json {
       value_;
 };
 
-/// Reads an entire file into a string. Throws Error when unreadable.
+/// Reads an entire file into a string. Throws IoError when unreadable.
 [[nodiscard]] std::string read_file(const std::string& path);
 
-/// Writes `content` to `path`, replacing any existing file.
+/// Writes `content` to `path`, replacing any existing file. Throws IoError
+/// on open or short-write failure; the target may be left torn.
 void write_file(const std::string& path, std::string_view content);
+
+/// Crash-safe replacement of `path`: writes `content` to `<path>.tmp`,
+/// flushes and closes it, then atomically renames it over `path`, so a
+/// crash or kill at any point leaves either the old complete file or the
+/// new complete file — never a torn one. Throws IoError (and removes the
+/// temporary) when any step fails.
+void write_file_atomic(const std::string& path, std::string_view content);
 
 }  // namespace mtd

@@ -246,6 +246,12 @@ BackpressurePolicy backpressure_from(const std::string& name) {
                    "'");
 }
 
+SinkErrorPolicy sink_error_policy_from(const std::string& name) {
+  if (name == "fail_fast") return SinkErrorPolicy::kFailFast;
+  if (name == "degrade") return SinkErrorPolicy::kDegrade;
+  throw ParseError("EngineConfig: unknown sink error policy '" + name + "'");
+}
+
 }  // namespace
 
 Json to_json(const EngineConfig& config) {
@@ -257,13 +263,20 @@ Json to_json(const EngineConfig& config) {
   obj.emplace("telemetry_period_s", config.telemetry_period_s);
   obj.emplace("stop_after_days", config.stop_after_days);
   obj.emplace("checkpoint_path", config.checkpoint_path);
+  obj.emplace("sink_error_policy", to_string(config.sink_error_policy));
+  obj.emplace("watchdog_timeout_s", config.watchdog_timeout_s);
+  obj.emplace("checkpoint_max_attempts", config.checkpoint_max_attempts);
+  obj.emplace("checkpoint_backoff_ms", config.checkpoint_backoff_ms);
+  // config.fault (a live injector pointer) is intentionally not serialized.
   return Json(std::move(obj));
 }
 
 void from_json(const Json& json, EngineConfig& config) {
   check_keys(json,
              {"num_workers", "queue_capacity", "backpressure", "time_scale",
-              "telemetry_period_s", "stop_after_days", "checkpoint_path"},
+              "telemetry_period_s", "stop_after_days", "checkpoint_path",
+              "sink_error_policy", "watchdog_timeout_s",
+              "checkpoint_max_attempts", "checkpoint_backoff_ms"},
              "EngineConfig");
   config.num_workers = static_cast<std::size_t>(
       num_or(json, "num_workers", static_cast<double>(config.num_workers)));
@@ -281,6 +294,17 @@ void from_json(const Json& json, EngineConfig& config) {
   if (json.contains("checkpoint_path")) {
     config.checkpoint_path = json.at("checkpoint_path").as_string();
   }
+  if (json.contains("sink_error_policy")) {
+    config.sink_error_policy =
+        sink_error_policy_from(json.at("sink_error_policy").as_string());
+  }
+  config.watchdog_timeout_s =
+      num_or(json, "watchdog_timeout_s", config.watchdog_timeout_s);
+  config.checkpoint_max_attempts = static_cast<std::size_t>(
+      num_or(json, "checkpoint_max_attempts",
+             static_cast<double>(config.checkpoint_max_attempts)));
+  config.checkpoint_backoff_ms =
+      num_or(json, "checkpoint_backoff_ms", config.checkpoint_backoff_ms);
 }
 
 Json Scenario::to_json() const {

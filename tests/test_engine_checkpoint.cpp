@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,8 @@
 #include "dataset/measurement.hpp"
 #include "engine/checkpoint.hpp"
 #include "engine/engine.hpp"
+#include "engine/fault.hpp"
+#include "io/json.hpp"
 
 namespace mtd {
 namespace {
@@ -265,6 +268,165 @@ TEST(EngineCheckpoint, ResumingACompleteCheckpointIsANoOp) {
   for (const auto& sessions : empty.per_bs) EXPECT_TRUE(sessions.empty());
   EXPECT_EQ(again.checkpoint.sessions_emitted,
             result.checkpoint.sessions_emitted);
+}
+
+// A checkpoint file torn at ANY byte boundary must be rejected with an
+// error that names the file and where parsing failed — the operator's first
+// question after a crash is "which file, and is it salvageable".
+TEST(EngineCheckpoint, TruncatedFilesAreRejectedAtEveryLength) {
+  EngineCheckpoint cp;
+  cp.seed = 0xabcdef12345ULL;
+  cp.num_days = 3;
+  cp.next_day = 2;
+  cp.clock_minute = 2ull * kMinutesPerDay;
+  cp.sessions_emitted = 1234;
+  cp.minutes_emitted = 5678;
+  cp.volume_mb = 42.5;
+  cp.shards = {{0, 2, 700}, {1, 2, 534}};
+  const std::string text = cp.to_json().dump(2);
+  const std::string path = "test_truncated_checkpoint.json";
+
+  // Sanity: the full document loads.
+  write_file(path, text);
+  EXPECT_EQ(EngineCheckpoint::load(path).sessions_emitted, 1234u);
+
+  for (std::size_t len = 0; len < text.size(); ++len) {
+    write_file(path, text.substr(0, len));
+    try {
+      EngineCheckpoint::load(path);
+      FAIL() << "prefix of " << len << " bytes was accepted";
+    } catch (const ParseError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find(path), std::string::npos) << msg;
+      EXPECT_NE(msg.find(std::to_string(len) + " bytes"), std::string::npos)
+          << "length missing for prefix " << len << ": " << msg;
+      EXPECT_NE(msg.find("offset"), std::string::npos) << msg;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EngineCheckpoint, LoadNamesThePathForStructurallyInvalidFiles) {
+  // Parseable JSON that is not a checkpoint: the error must still carry
+  // the file path, via the from_json wrapping branch.
+  const std::string path = "test_invalid_checkpoint.json";
+  write_file(path, "{\"format\": \"mtd-other-format\"}");
+  try {
+    EngineCheckpoint::load(path);
+    FAIL() << "wrong format was accepted";
+  } catch (const ParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path), std::string::npos) << msg;
+    EXPECT_NE(msg.find("invalid checkpoint"), std::string::npos) << msg;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EngineCheckpoint, SaveIsAtomicAndLeavesNoTempFile) {
+  EngineCheckpoint cp;
+  cp.num_days = 2;
+  cp.next_day = 1;
+  cp.clock_minute = kMinutesPerDay;
+  cp.shards = {{0, 1, 10}};
+  const std::string path = "test_atomic_checkpoint.json";
+
+  // A stale temp file from a previous crash must not break the commit.
+  write_file(path + ".tmp", "garbage from a torn write");
+  cp.save(path);
+  EXPECT_EQ(EngineCheckpoint::load(path).next_day, 1u);
+  EXPECT_THROW(read_file(path + ".tmp"), Error);  // temp file gone
+
+  // Overwrite commits the new state in one rename.
+  cp.next_day = 2;
+  cp.clock_minute = 2ull * kMinutesPerDay;
+  cp.shards = {{0, 2, 20}};
+  cp.save(path);
+  EXPECT_EQ(EngineCheckpoint::load(path).next_day, 2u);
+  EXPECT_THROW(read_file(path + ".tmp"), Error);
+  std::remove(path.c_str());
+}
+
+TEST(EngineCheckpoint, FailedSavePreservesThePreviousCheckpoint) {
+  EngineCheckpoint cp;
+  cp.num_days = 2;
+  cp.next_day = 1;
+  cp.clock_minute = kMinutesPerDay;
+  cp.shards = {{0, 1, 10}};
+  const std::string path = "test_preserved_checkpoint.json";
+  cp.save(path);
+
+  FaultInjector fault;
+  fault.arm("checkpoint.write", FaultSpec{});
+  cp.next_day = 2;
+  cp.clock_minute = 2ull * kMinutesPerDay;
+  cp.shards = {{0, 2, 20}};
+  EXPECT_THROW(cp.save(path, &fault), EngineError);
+  // The last good checkpoint is untouched: recovery can still use it.
+  EXPECT_EQ(EngineCheckpoint::load(path).next_day, 1u);
+  std::remove(path.c_str());
+}
+
+// Mismatch diagnostics: the error must say WHICH field diverged and show
+// both values, so a failed resume is debuggable from the message alone.
+TEST(EngineCheckpoint, ResumeMismatchNamesFieldAndBothValues) {
+  const Network network = make_network(6);
+  const TraceConfig trace = make_trace(2, 77);  // 77 = 0x4d
+
+  EngineConfig config;
+  config.stop_after_days = 1;
+  StreamEngine engine(network, trace, config);
+  RecordingSink sink(network.size());
+  const EngineResult result = engine.run(sink);
+
+  const auto expect_message = [](const std::function<void()>& call,
+                                 const std::vector<std::string>& needles) {
+    try {
+      call();
+      FAIL() << "mismatch was accepted";
+    } catch (const InvalidArgument& e) {
+      const std::string msg = e.what();
+      for (const std::string& needle : needles) {
+        EXPECT_NE(msg.find(needle), std::string::npos)
+            << "missing '" << needle << "' in: " << msg;
+      }
+    }
+  };
+
+  {
+    TraceConfig other = trace;
+    other.seed = 78;  // 0x4e
+    StreamEngine wrong(network, other);
+    expect_message(
+        [&] { wrong.resume(result.checkpoint, sink); },
+        {"trace.seed", "expects 0x4e", "checkpoint has 0x4d"});
+  }
+  {
+    TraceConfig other = trace;
+    other.num_days = 9;
+    StreamEngine wrong(network, other);
+    expect_message([&] { wrong.resume(result.checkpoint, sink); },
+                   {"trace.num_days", "expects 9", "checkpoint has 2"});
+  }
+  {
+    const Network other_network = [] {
+      NetworkConfig nc;
+      nc.num_bs = 10;
+      Rng rng(10);
+      return Network::build(nc, rng);
+    }();
+    StreamEngine wrong(other_network, trace);
+    expect_message([&] { wrong.resume(result.checkpoint, sink); },
+                   {"network_fingerprint", "expects 0x", "checkpoint has 0x"});
+  }
+  {
+    EngineCheckpoint beyond = result.checkpoint;
+    beyond.next_day = trace.num_days + 1;
+    beyond.clock_minute = beyond.next_day * kMinutesPerDay;
+    for (auto& shard : beyond.shards) shard.next_day = beyond.next_day;
+    StreamEngine fresh(network, trace);
+    expect_message([&] { fresh.resume(beyond, sink); },
+                   {"next_day=3", "beyond the horizon", "num_days=2"});
+  }
 }
 
 TEST(NetworkFingerprint, SensitiveToTopology) {

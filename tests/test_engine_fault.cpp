@@ -1,0 +1,526 @@
+// Fault-injection matrix for the engine's failure semantics: every armed
+// failure point must end in clean, accounted-for shutdown (no deadlock, no
+// lost events) and — where the error is retryable — in supervised recovery
+// that is bit-identical to an unfailed run.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/time_utils.hpp"
+#include "dataset/measurement.hpp"
+#include "engine/fault.hpp"
+#include "engine/supervisor.hpp"
+
+namespace mtd {
+namespace {
+
+Network make_network(std::size_t n = 10) {
+  if (n >= kNumDeciles) {
+    NetworkConfig config;
+    config.num_bs = n;
+    config.last_decile_rate = 25.0;
+    Rng rng(9);
+    return Network::build(config, rng);
+  }
+  std::vector<BaseStation> bss(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bss[i].decile = static_cast<std::uint8_t>((i * kNumDeciles) / n);
+    bss[i].peak_rate = 5.0 + 3.0 * static_cast<double>(i);
+    bss[i].offpeak_scale = 0.25;
+  }
+  return Network::from_base_stations(std::move(bss));
+}
+
+TraceConfig make_trace(std::size_t days = 2, std::uint64_t seed = 55) {
+  TraceConfig trace;
+  trace.num_days = days;
+  trace.seed = seed;
+  return trace;
+}
+
+struct CountingSink final : TraceSink {
+  std::uint64_t minutes = 0;
+  std::uint64_t sessions = 0;
+  void on_minute(const BaseStation&, std::size_t, std::size_t,
+                 std::uint32_t) override {
+    ++minutes;
+  }
+  void on_session(const Session&) override { ++sessions; }
+};
+
+/// Records the full per-BS session sequence for bit-identity comparisons.
+struct RecordingSink final : TraceSink {
+  std::vector<std::vector<Session>> per_bs;
+  std::uint64_t minutes = 0;
+
+  explicit RecordingSink(std::size_t num_bs) : per_bs(num_bs) {}
+
+  void on_minute(const BaseStation&, std::size_t, std::size_t,
+                 std::uint32_t) override {
+    ++minutes;
+  }
+  void on_session(const Session& session) override {
+    per_bs[session.bs].push_back(session);
+  }
+};
+
+void expect_identical_streams(const RecordingSink& a, const RecordingSink& b) {
+  ASSERT_EQ(a.per_bs.size(), b.per_bs.size());
+  for (std::size_t bs = 0; bs < a.per_bs.size(); ++bs) {
+    ASSERT_EQ(a.per_bs[bs].size(), b.per_bs[bs].size()) << "bs " << bs;
+    for (std::size_t i = 0; i < a.per_bs[bs].size(); ++i) {
+      const Session& x = a.per_bs[bs][i];
+      const Session& y = b.per_bs[bs][i];
+      EXPECT_EQ(x.day, y.day);
+      EXPECT_EQ(x.minute_of_day, y.minute_of_day);
+      EXPECT_EQ(x.service, y.service);
+      EXPECT_DOUBLE_EQ(x.duration_s, y.duration_s);
+      EXPECT_DOUBLE_EQ(x.volume_mb, y.volume_mb);
+    }
+  }
+}
+
+TEST(EngineFault, InjectorHonorsAfterTimesAndCounts) {
+  FaultInjector fault;
+  FaultSpec spec;
+  spec.action = FaultAction::kError;
+  spec.after = 2;   // hits 0 and 1 pass
+  spec.times = 2;   // hits 2 and 3 fire, later hits pass again
+  fault.arm("p", spec);
+
+  fault.fire("p");
+  fault.fire("p");
+  EXPECT_THROW(fault.fire("p"), InjectedFault);
+  EXPECT_THROW(fault.fire("p"), InjectedFault);
+  fault.fire("p");  // budget spent: armed but inert
+  EXPECT_EQ(fault.hits("p"), 5u);
+  EXPECT_EQ(fault.fired("p"), 2u);
+
+  // Unarmed points never fire, and disarm works.
+  fault.fire("unarmed");
+  fault.disarm("p");
+  fault.fire("p");
+  EXPECT_EQ(fault.hits("p"), 0u);
+}
+
+TEST(EngineFault, InjectorActionsAreTypedCorrectly) {
+  FaultInjector fault;
+  fault.arm("err", FaultSpec{});
+  try {
+    fault.fire("err");
+    FAIL() << "did not throw";
+  } catch (const EngineError& e) {
+    EXPECT_TRUE(e.retryable());
+    EXPECT_NE(std::string(e.what()).find("err"), std::string::npos);
+  }
+
+  FaultSpec foreign;
+  foreign.action = FaultAction::kThrow;
+  fault.arm("for", foreign);
+  EXPECT_THROW(fault.fire("for"), std::runtime_error);
+
+  FaultSpec stall;
+  stall.action = FaultAction::kStall;
+  stall.stall_ms = 30.0;
+  fault.arm("st", stall);
+  const auto t0 = std::chrono::steady_clock::now();
+  fault.fire("st");
+  EXPECT_GE(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count(),
+            0.025);
+}
+
+TEST(EngineFault, InjectorProbabilityIsSeededAndDeterministic) {
+  auto count_fired = [](std::uint64_t seed) {
+    FaultInjector fault(seed);
+    FaultSpec spec;
+    spec.probability = 0.3;
+    spec.times = FaultSpec::kUnlimited;
+    fault.arm("p", spec);
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      try {
+        fault.fire("p");
+      } catch (const InjectedFault&) {
+        ++fired;
+      }
+    }
+    return fired;
+  };
+  const std::uint64_t a = count_fired(7);
+  EXPECT_EQ(a, count_fired(7));        // same seed, same schedule
+  EXPECT_NE(a, count_fired(8));        // different seed, different schedule
+  EXPECT_GT(a, 200u);                  // ~300 expected
+  EXPECT_LT(a, 400u);
+}
+
+// Sink throws under kBlock while producers are wedged on full rings: the
+// engine must propagate the exception, join every producer (a leak would
+// hang the test, caught by the ctest timeout), and account for every
+// produced session.
+TEST(EngineFault, SinkThrowUnderBlockJoinsAllProducersWithExactAccounting) {
+  const Network network = make_network(8);
+  const TraceConfig trace = make_trace(2);
+  FaultInjector fault;
+  FaultSpec spec;
+  spec.action = FaultAction::kThrow;
+  spec.after = 500;  // fail mid-stream, with rings full of backlog
+  fault.arm("sink.session", spec);
+
+  EngineConfig config;
+  config.num_workers = 4;
+  config.queue_capacity = 4;  // producers blocked mid-throw
+  config.fault = &fault;
+  StreamEngine engine(network, trace, config);
+  TelemetrySnapshot last;
+  engine.on_snapshot([&](const TelemetrySnapshot& snap) { last = snap; });
+  CountingSink sink;
+  EXPECT_THROW(engine.run(sink), std::runtime_error);
+  EXPECT_EQ(fault.fired("sink.session"), 1u);
+  // The final diagnostic snapshot closes the books: every produced session
+  // was delivered, shed, rejected, or discarded while aborting.
+  EXPECT_GT(last.sessions_produced, 0u);
+  EXPECT_GT(last.discarded_sessions, 0u);
+  EXPECT_TRUE(last.sessions_accounted_for())
+      << last.to_json().dump(2);
+}
+
+TEST(EngineFault, WorkerThrowStopsTheRunWithARetryableError) {
+  const Network network = make_network(8);
+  const TraceConfig trace = make_trace(3);
+  FaultInjector fault;
+  FaultSpec spec;
+  spec.after = 2;  // both workers pass day 0, first day-1 entry fires
+  fault.arm("worker.day", spec);
+
+  EngineConfig config;
+  config.num_workers = 2;
+  config.queue_capacity = 64;
+  config.fault = &fault;
+  StreamEngine engine(network, trace, config);
+  TelemetrySnapshot last;
+  engine.on_snapshot([&](const TelemetrySnapshot& snap) { last = snap; });
+  CountingSink sink;
+  try {
+    engine.run(sink);
+    FAIL() << "worker fault did not propagate";
+  } catch (const EngineError& e) {
+    EXPECT_TRUE(e.retryable());
+    EXPECT_NE(std::string(e.what()).find("worker.day"), std::string::npos);
+  }
+  EXPECT_TRUE(last.sessions_accounted_for()) << last.to_json().dump(2);
+}
+
+// kDropNewest with an intermittently failing sink under kDegrade: the run
+// completes, and produced == consumed + dropped + sink_errors exactly.
+TEST(EngineFault, DegradePolicyKeepsDropAccountingExact) {
+  const Network network = make_network(6);
+  const TraceConfig trace = make_trace(1);
+  const MeasurementDataset serial = collect_dataset(network, trace);
+  FaultInjector fault(1234);
+  FaultSpec spec;
+  spec.probability = 0.2;
+  spec.times = FaultSpec::kUnlimited;
+  fault.arm("sink.session", spec);
+  fault.arm("sink.minute", spec);
+
+  EngineConfig config;
+  config.num_workers = 2;
+  config.queue_capacity = 16;
+  config.backpressure = BackpressurePolicy::kDropNewest;
+  config.sink_error_policy = SinkErrorPolicy::kDegrade;
+  config.fault = &fault;
+  StreamEngine engine(network, trace, config);
+  CountingSink sink;
+  const EngineResult result = engine.run(sink);
+  const TelemetrySnapshot& t = result.telemetry;
+
+  // Production is deterministic regardless of failures downstream.
+  EXPECT_EQ(t.sessions_produced, serial.total_sessions());
+  EXPECT_GT(t.sink_errors, 0u);
+  EXPECT_EQ(t.discarded_sessions, 0u);  // no abort: nothing discarded
+  EXPECT_EQ(t.sessions_consumed + t.dropped_sessions + t.sink_errors,
+            t.sessions_produced)
+      << t.to_json().dump(2);
+  EXPECT_TRUE(t.sessions_accounted_for());
+  // The sink saw exactly the consumed events.
+  EXPECT_EQ(sink.sessions, t.sessions_consumed);
+  EXPECT_EQ(sink.minutes, t.minutes_consumed);
+  EXPECT_GT(t.sink_error_minutes, 0u);
+}
+
+TEST(EngineFault, WatchdogDetectsAStalledConsumer) {
+  const Network network = make_network(6);
+  const TraceConfig trace = make_trace(1);
+  FaultInjector fault;
+  FaultSpec stall;
+  stall.action = FaultAction::kStall;
+  stall.stall_ms = 1500.0;
+  fault.arm("consumer.loop", stall);
+
+  EngineConfig config;
+  config.num_workers = 2;
+  config.queue_capacity = 8;  // rings fill fast, progress freezes fast
+  config.watchdog_timeout_s = 0.25;
+  config.fault = &fault;
+  StreamEngine engine(network, trace, config);
+  CountingSink sink;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    engine.run(sink);
+    FAIL() << "watchdog did not fire";
+  } catch (const EngineError& e) {
+    EXPECT_TRUE(e.retryable());
+    EXPECT_NE(std::string(e.what()).find("watchdog"), std::string::npos);
+  }
+  // Terminated promptly once the stall ended — not a hang.
+  EXPECT_LT(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count(),
+            10.0);
+}
+
+TEST(EngineFault, CheckpointWriteRetriesTransientFailures) {
+  const Network network = make_network(4);
+  const TraceConfig trace = make_trace(2);
+  const std::string path = "test_fault_checkpoint.json";
+  FaultInjector fault;
+  FaultSpec spec;
+  spec.times = 2;  // two transient failures, third attempt succeeds
+  fault.arm("checkpoint.write", spec);
+
+  EngineConfig config;
+  config.checkpoint_path = path;
+  config.checkpoint_max_attempts = 3;
+  config.checkpoint_backoff_ms = 1.0;
+  config.fault = &fault;
+  StreamEngine engine(network, trace, config);
+  CountingSink sink;
+  const EngineResult result = engine.run(sink);
+  EXPECT_TRUE(result.checkpoint.complete());
+  EXPECT_GE(fault.fired("checkpoint.write"), 2u);
+  const EngineCheckpoint loaded = EngineCheckpoint::load(path);
+  EXPECT_EQ(loaded.next_day, trace.num_days);
+  std::remove(path.c_str());
+}
+
+TEST(EngineFault, CheckpointWriteExhaustedRetriesAbortTheRun) {
+  const Network network = make_network(4);
+  const TraceConfig trace = make_trace(2);
+  const std::string path = "test_fault_checkpoint_fatal.json";
+  FaultInjector fault;
+  FaultSpec spec;
+  spec.times = FaultSpec::kUnlimited;  // persistent I/O failure
+  fault.arm("checkpoint.write", spec);
+
+  EngineConfig config;
+  config.checkpoint_path = path;
+  config.checkpoint_max_attempts = 2;
+  config.checkpoint_backoff_ms = 1.0;
+  config.fault = &fault;
+  StreamEngine engine(network, trace, config);
+  CountingSink sink;
+  try {
+    engine.run(sink);
+    FAIL() << "persistent checkpoint failure did not propagate";
+  } catch (const Error& e) {
+    EXPECT_TRUE(e.retryable());  // the Supervisor may restart elsewhere
+  }
+  EXPECT_EQ(fault.fired("checkpoint.write"), 2u);
+  std::remove(path.c_str());
+}
+
+// The headline recovery guarantee: a supervised run that loses a worker
+// mid-replay restarts from the last good checkpoint and delivers a stream
+// bit-identical to a run that never failed.
+TEST(Supervisor, RecoveryFromWorkerFaultIsBitIdentical) {
+  const Network network = make_network(10);
+  const TraceConfig trace = make_trace(3);
+
+  RecordingSink clean(network.size());
+  StreamEngine reference(network, trace);
+  const EngineResult clean_result = reference.run(clean);
+
+  FaultInjector fault;
+  FaultSpec spec;
+  spec.after = 2;  // fail at the first day-1 entry
+  fault.arm("worker.day", spec);
+  EngineConfig config;
+  config.num_workers = 2;
+  config.queue_capacity = 64;
+  config.fault = &fault;
+  SupervisorConfig sup;
+  sup.max_restarts = 2;
+  sup.backoff_initial_ms = 1.0;
+  Supervisor supervisor(network, trace, config, sup);
+  RecordingSink recovered(network.size());
+  const RunReport report = supervisor.run(recovered);
+
+  ASSERT_TRUE(report.succeeded) << report.to_json().dump(2);
+  ASSERT_EQ(report.attempts.size(), 2u);
+  EXPECT_TRUE(report.attempts[0].retryable);
+  EXPECT_NE(report.attempts[0].error.find("worker.day"), std::string::npos);
+  EXPECT_TRUE(report.attempts[1].error.empty());
+  // Backoff is recorded on the failed attempt; the successful retry has none.
+  EXPECT_GE(report.attempts[0].backoff_ms, sup.backoff_initial_ms);
+  EXPECT_EQ(report.attempts[1].backoff_ms, 0.0);
+  EXPECT_TRUE(report.result.checkpoint.complete());
+
+  expect_identical_streams(recovered, clean);
+  EXPECT_EQ(recovered.minutes, clean.minutes);
+  EXPECT_EQ(report.result.checkpoint.sessions_emitted,
+            clean_result.checkpoint.sessions_emitted);
+  EXPECT_DOUBLE_EQ(report.result.checkpoint.volume_mb,
+                   clean_result.checkpoint.volume_mb);
+}
+
+// Checkpoint persistence fails once; the commit-before-save ordering means
+// the supervisor resumes past the already-flushed day without duplicating
+// it downstream.
+TEST(Supervisor, RecoveryFromCheckpointWriteFailureIsBitIdentical) {
+  const Network network = make_network(8);
+  const TraceConfig trace = make_trace(3);
+  const std::string path = "test_supervisor_checkpoint.json";
+
+  RecordingSink clean(network.size());
+  StreamEngine reference(network, trace);
+  reference.run(clean);
+
+  FaultInjector fault;
+  fault.arm("checkpoint.write", FaultSpec{});  // one failure, then healthy
+  EngineConfig config;
+  config.num_workers = 2;
+  config.checkpoint_path = path;
+  config.checkpoint_max_attempts = 1;  // no engine-level retry: force the
+                                       // supervisor to handle it
+  config.fault = &fault;
+  SupervisorConfig sup;
+  sup.max_restarts = 2;
+  sup.backoff_initial_ms = 1.0;
+  Supervisor supervisor(network, trace, config, sup);
+  RecordingSink recovered(network.size());
+  const RunReport report = supervisor.run(recovered);
+
+  ASSERT_TRUE(report.succeeded) << report.to_json().dump(2);
+  ASSERT_EQ(report.attempts.size(), 2u);
+  EXPECT_TRUE(report.attempts[0].retryable);
+  // The first attempt committed day 0 before the failed save.
+  EXPECT_EQ(report.attempts[0].reached_day, 1u);
+  EXPECT_EQ(report.attempts[1].start_day, 1u);
+  expect_identical_streams(recovered, clean);
+  EXPECT_EQ(recovered.minutes, clean.minutes);
+  std::remove(path.c_str());
+}
+
+TEST(Supervisor, RecoveryFromWatchdogStallIsBitIdentical) {
+  const Network network = make_network(6);
+  const TraceConfig trace = make_trace(2);
+
+  RecordingSink clean(network.size());
+  StreamEngine reference(network, trace);
+  reference.run(clean);
+
+  FaultInjector fault;
+  FaultSpec stall;
+  stall.action = FaultAction::kStall;
+  stall.stall_ms = 1200.0;
+  fault.arm("consumer.loop", stall);
+  EngineConfig config;
+  config.num_workers = 2;
+  config.queue_capacity = 8;
+  config.watchdog_timeout_s = 0.25;
+  config.fault = &fault;
+  SupervisorConfig sup;
+  sup.max_restarts = 1;
+  sup.backoff_initial_ms = 1.0;
+  Supervisor supervisor(network, trace, config, sup);
+  RecordingSink recovered(network.size());
+  const RunReport report = supervisor.run(recovered);
+
+  ASSERT_TRUE(report.succeeded) << report.to_json().dump(2);
+  ASSERT_EQ(report.attempts.size(), 2u);
+  EXPECT_NE(report.attempts[0].error.find("watchdog"), std::string::npos);
+  expect_identical_streams(recovered, clean);
+  EXPECT_EQ(recovered.minutes, clean.minutes);
+}
+
+TEST(Supervisor, ForeignExceptionsAreNotRetried) {
+  const Network network = make_network(6);
+  const TraceConfig trace = make_trace(2);
+  FaultInjector fault;
+  FaultSpec spec;
+  spec.action = FaultAction::kThrow;  // foreign exception: no contract
+  fault.arm("sink.session", spec);
+  EngineConfig config;
+  config.fault = &fault;
+  SupervisorConfig sup;
+  sup.max_restarts = 3;
+  Supervisor supervisor(network, trace, config, sup);
+  CountingSink sink;
+  const RunReport report = supervisor.run(sink);
+
+  EXPECT_FALSE(report.succeeded);
+  ASSERT_EQ(report.attempts.size(), 1u);  // never restarted
+  EXPECT_FALSE(report.attempts[0].retryable);
+  EXPECT_NE(report.attempts[0].error.find("injected exception"),
+            std::string::npos);
+}
+
+TEST(Supervisor, GivesUpAfterTheRestartBudget) {
+  const Network network = make_network(6);
+  const TraceConfig trace = make_trace(2);
+  FaultInjector fault;
+  FaultSpec spec;
+  spec.times = FaultSpec::kUnlimited;  // permanently broken worker
+  fault.arm("worker.day", spec);
+  EngineConfig config;
+  config.fault = &fault;
+  SupervisorConfig sup;
+  sup.max_restarts = 2;
+  sup.backoff_initial_ms = 1.0;
+  Supervisor supervisor(network, trace, config, sup);
+  CountingSink sink;
+  const RunReport report = supervisor.run(sink);
+
+  EXPECT_FALSE(report.succeeded);
+  ASSERT_EQ(report.attempts.size(), 3u);  // 1 run + 2 restarts
+  EXPECT_EQ(report.restarts(), 2u);
+  for (const SupervisorAttempt& a : report.attempts) {
+    EXPECT_TRUE(a.retryable);
+    EXPECT_FALSE(a.error.empty());
+  }
+  // Deterministic exponential backoff: the second wait is at least the
+  // base-doubled first wait's undithered floor.
+  EXPECT_GE(report.attempts[0].backoff_ms, 1.0);
+  EXPECT_GE(report.attempts[1].backoff_ms, 2.0);
+  EXPECT_EQ(report.attempts[2].backoff_ms, 0.0);  // no retry after the last
+  EXPECT_EQ(sink.sessions, 0u);  // nothing ever committed downstream
+}
+
+TEST(Supervisor, CleanRunReportsOneAttempt) {
+  const Network network = make_network(6);
+  const TraceConfig trace = make_trace(2);
+  const MeasurementDataset serial = collect_dataset(network, trace);
+
+  Supervisor supervisor(network, trace);
+  MeasurementDataset streamed(network, trace.num_days);
+  const RunReport report = supervisor.run(streamed);
+  streamed.finalize();
+
+  ASSERT_TRUE(report.succeeded);
+  EXPECT_EQ(report.attempts.size(), 1u);
+  EXPECT_EQ(report.restarts(), 0u);
+  EXPECT_EQ(streamed.total_sessions(), serial.total_sessions());
+  EXPECT_DOUBLE_EQ(streamed.total_volume_mb(), serial.total_volume_mb());
+  const Json json = report.to_json();
+  EXPECT_TRUE(json.at("succeeded").as_bool());
+  EXPECT_EQ(json.at("attempt_log").as_array().size(), 1u);
+}
+
+}  // namespace
+}  // namespace mtd
