@@ -19,7 +19,7 @@
 #   MTD_SKIP_TSAN=1  run only the ASan/UBSan stage
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 BUILD_DIR="${1:-build-sanitize}"
 FILTER="${2:-}"

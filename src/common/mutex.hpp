@@ -1,0 +1,54 @@
+// Annotated mutex wrappers for Clang Thread Safety Analysis.
+//
+// libstdc++'s std::mutex carries no capability annotations, so code locking
+// it directly is invisible to -Wthread-safety. mtd::Mutex is a zero-cost
+// std::mutex wrapper declared as a capability, and mtd::MutexLock is the
+// annotated lock_guard equivalent; together they let the analysis prove
+// that every MTD_GUARDED_BY member is only touched under its lock. All
+// concurrent engine code uses these instead of std::mutex/std::lock_guard.
+#pragma once
+
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace mtd {
+
+/// A std::mutex the thread-safety analysis can reason about.
+class MTD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MTD_ACQUIRE() { mutex_.lock(); }
+  void unlock() MTD_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() MTD_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+  /// Escape hatch for APIs that require a std::mutex (condition variables).
+  /// Accesses through it are outside the analysis.
+  [[nodiscard]] std::mutex& native() noexcept { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII lock with scope-level capability tracking (std::lock_guard shape:
+/// no unlock before destruction, not movable).
+class MTD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) MTD_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() MTD_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace mtd

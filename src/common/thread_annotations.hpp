@@ -1,0 +1,75 @@
+// Portable Clang Thread Safety Analysis annotations.
+//
+// The streaming engine's correctness contract — bit-identical aggregates
+// under any worker count and any fault schedule — rests on lock discipline
+// that runtime sanitizers only validate for the interleavings a test
+// happens to hit. These macros express that discipline in the type system
+// so `clang -Wthread-safety` (enabled by the MTD_ANALYZE CMake option)
+// proves it for every build. Under compilers without the attribute
+// (GCC) they expand to nothing and cost nothing.
+//
+// Conventions (see DESIGN.md section 9):
+//  - Every mutex-guarded member is declared with MTD_GUARDED_BY(mutex_).
+//  - Functions that must be called with a capability held use
+//    MTD_REQUIRES(mutex_); functions that take the lock themselves use
+//    MTD_EXCLUDES(mutex_) so re-entrant locking is a compile error.
+//  - Raw std::mutex cannot participate in the analysis (libstdc++ ships no
+//    annotations), so engine code uses mtd::Mutex / mtd::MutexLock from
+//    common/mutex.hpp instead.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define MTD_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MTD_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a capability (a lockable resource).
+#define MTD_CAPABILITY(x) MTD_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define MTD_SCOPED_CAPABILITY MTD_THREAD_ANNOTATION_(scoped_lockable)
+
+/// A data member readable/writable only while holding the capability.
+#define MTD_GUARDED_BY(x) MTD_THREAD_ANNOTATION_(guarded_by(x))
+
+/// A pointer member whose pointee is guarded by the capability.
+#define MTD_PT_GUARDED_BY(x) MTD_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The function must be called with the capabilities held.
+#define MTD_REQUIRES(...) \
+  MTD_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// The function must be called with the capabilities held in shared mode.
+#define MTD_REQUIRES_SHARED(...) \
+  MTD_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capabilities and does not release them.
+#define MTD_ACQUIRE(...) \
+  MTD_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capabilities.
+#define MTD_RELEASE(...) \
+  MTD_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `ret`.
+#define MTD_TRY_ACQUIRE(ret, ...) \
+  MTD_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// The function must be called with the capabilities NOT held (deadlock
+/// guard: it will acquire them itself).
+#define MTD_EXCLUDES(...) MTD_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declaration between capabilities.
+#define MTD_ACQUIRED_BEFORE(...) \
+  MTD_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define MTD_ACQUIRED_AFTER(...) \
+  MTD_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// The function returns a reference to the named capability.
+#define MTD_RETURN_CAPABILITY(x) MTD_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Opt-out for code the analysis cannot model (use sparingly; justify in a
+/// comment at the call site).
+#define MTD_NO_THREAD_SAFETY_ANALYSIS \
+  MTD_THREAD_ANNOTATION_(no_thread_safety_analysis)

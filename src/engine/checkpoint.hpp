@@ -57,7 +57,7 @@ struct EngineCheckpoint {
   [[nodiscard]] bool complete() const noexcept { return next_day >= num_days; }
 
   [[nodiscard]] Json to_json() const;
-  static EngineCheckpoint from_json(const Json& json);
+  [[nodiscard]] static EngineCheckpoint from_json(const Json& json);
 
   /// Crash-safe write: serializes to `<path>.tmp`, flushes, then atomically
   /// renames over `path`, so a kill mid-write never leaves a torn file —
@@ -68,7 +68,7 @@ struct EngineCheckpoint {
   /// Loads and validates a checkpoint file. Truncated or corrupt content
   /// raises ParseError naming the file, its size, and the parser's byte
   /// offset — never a raw JSON error with no provenance.
-  static EngineCheckpoint load(const std::string& path);
+  [[nodiscard]] static EngineCheckpoint load(const std::string& path);
 };
 
 /// Order- and content-sensitive FNV-1a digest of the network topology

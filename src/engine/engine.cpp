@@ -6,11 +6,12 @@
 #include <exception>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/time_utils.hpp"
 #include "engine/fault.hpp"
 #include "engine/spsc_ring.hpp"
@@ -46,12 +47,13 @@ std::string hex_str(std::uint64_t v) {
 /// the flag at every minute tick and while spinning on a full ring, the
 /// consumer at every sweep. Only the first exception is kept — later ones
 /// are cascade effects of the same abort.
-struct StopState {
+class StopState {
+ public:
   std::atomic<bool> flag{false};
 
-  void signal(std::exception_ptr error) noexcept {
+  void signal(std::exception_ptr error) noexcept MTD_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!first_) first_ = std::move(error);
     }
     flag.store(true, std::memory_order_release);
@@ -61,14 +63,14 @@ struct StopState {
     return flag.load(std::memory_order_acquire);
   }
 
-  [[nodiscard]] std::exception_ptr first_error() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] std::exception_ptr first_error() MTD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return first_;
   }
 
  private:
-  std::mutex mutex_;
-  std::exception_ptr first_;
+  Mutex mutex_;
+  std::exception_ptr first_ MTD_GUARDED_BY(mutex_);
 };
 
 /// One entry of a worker's ring. kMinute and kSession reuse the Session

@@ -101,14 +101,15 @@ class StreamEngine {
   /// Streams days [0, horizon) — or fewer under stop_after_days — into
   /// `sink`. All sink callbacks happen on one consumer thread. Blocking
   /// call; returns once producers and consumer have drained.
-  EngineResult run(TraceSink& sink);
+  [[nodiscard]] EngineResult run(TraceSink& sink);
 
   /// Continues a run from a day-boundary checkpoint. Throws
   /// InvalidArgument when the checkpoint does not match this engine's
   /// network/trace configuration. The worker count may differ from the
   /// run that produced the checkpoint — per-BS streams do not depend on
   /// the sharding.
-  EngineResult resume(const EngineCheckpoint& from, TraceSink& sink);
+  [[nodiscard]] EngineResult resume(const EngineCheckpoint& from,
+                                    TraceSink& sink);
 
   /// Called with every periodic telemetry snapshot (consumer thread). The
   /// final snapshot is always delivered — also on the failure path, as the
@@ -131,9 +132,11 @@ class StreamEngine {
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
 
  private:
-  EngineResult run_days(TraceSink& sink, std::size_t first_day,
-                        std::uint64_t prior_sessions,
-                        std::uint64_t prior_minutes, double prior_volume);
+  [[nodiscard]] EngineResult run_days(TraceSink& sink,
+                                      std::size_t first_day,
+                                      std::uint64_t prior_sessions,
+                                      std::uint64_t prior_minutes,
+                                      double prior_volume);
 
   TraceGenerator generator_;
   EngineConfig config_;

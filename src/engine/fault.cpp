@@ -7,12 +7,12 @@
 namespace mtd {
 
 void FaultInjector::arm(const std::string& point, FaultSpec spec) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   points_[point] = Armed{spec, 0, 0};
 }
 
 void FaultInjector::disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   points_.erase(point);
 }
 
@@ -20,7 +20,7 @@ void FaultInjector::fire(const char* point) {
   FaultAction action;
   double stall_ms;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = points_.find(point);
     if (it == points_.end()) return;
     Armed& armed = it->second;
@@ -53,13 +53,13 @@ void FaultInjector::fire(const char* point) {
 }
 
 std::uint64_t FaultInjector::hits(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.hits;
 }
 
 std::uint64_t FaultInjector::fired(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.fired;
 }

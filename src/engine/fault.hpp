@@ -20,11 +20,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/error.hpp"
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace mtd {
 
@@ -67,20 +68,22 @@ class FaultInjector {
   explicit FaultInjector(std::uint64_t seed = 0) : rng_(seed) {}
 
   /// Arms (or re-arms, resetting counters) the named point.
-  void arm(const std::string& point, FaultSpec spec);
+  void arm(const std::string& point, FaultSpec spec) MTD_EXCLUDES(mutex_);
 
   /// Disarms the point; unknown names are a no-op.
-  void disarm(const std::string& point);
+  void disarm(const std::string& point) MTD_EXCLUDES(mutex_);
 
   /// Called by the compiled-in sites. Unarmed points only pay the map
   /// lookup; armed points count the hit and apply their FaultSpec, which
   /// may throw or stall. Never throws for unarmed points.
-  void fire(const char* point);
+  void fire(const char* point) MTD_EXCLUDES(mutex_);
 
   /// Total times the point was reached (armed hits only).
-  [[nodiscard]] std::uint64_t hits(const std::string& point) const;
+  [[nodiscard]] std::uint64_t hits(const std::string& point) const
+      MTD_EXCLUDES(mutex_);
   /// Times the point actually fired its action.
-  [[nodiscard]] std::uint64_t fired(const std::string& point) const;
+  [[nodiscard]] std::uint64_t fired(const std::string& point) const
+      MTD_EXCLUDES(mutex_);
 
  private:
   struct Armed {
@@ -89,9 +92,11 @@ class FaultInjector {
     std::uint64_t fired = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Armed, std::less<>> points_;
-  Rng rng_;
+  mutable Mutex mutex_;
+  std::map<std::string, Armed, std::less<>> points_ MTD_GUARDED_BY(mutex_);
+  /// Probability draws happen under the lock: concurrent fire() calls on
+  /// armed points must consume the seeded stream in a serialized order.
+  Rng rng_ MTD_GUARDED_BY(mutex_);
 };
 
 /// Null-safe fire helper used at every compiled-in site.

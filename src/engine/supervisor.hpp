@@ -81,10 +81,10 @@ class Supervisor {
   /// retryable engine failures while restart budget remains; when the
   /// budget is exhausted or the failure is not retryable, the report
   /// records every attempt and `succeeded` is false.
-  RunReport run(TraceSink& sink);
+  [[nodiscard]] RunReport run(TraceSink& sink);
 
   /// Supervised equivalent of StreamEngine::resume.
-  RunReport resume(const EngineCheckpoint& from, TraceSink& sink);
+  [[nodiscard]] RunReport resume(const EngineCheckpoint& from, TraceSink& sink);
 
   /// Telemetry passthrough, re-registered on every attempt's engine.
   void on_snapshot(std::function<void(const TelemetrySnapshot&)> callback) {
@@ -96,7 +96,8 @@ class Supervisor {
   }
 
  private:
-  RunReport supervise(std::optional<EngineCheckpoint> from, TraceSink& sink);
+  [[nodiscard]] RunReport supervise(std::optional<EngineCheckpoint> from,
+                                    TraceSink& sink);
 
   const Network* network_;
   TraceConfig trace_;

@@ -6,10 +6,8 @@
 // surrogate pairs outside the BMP.
 #pragma once
 
-#include <cstdint>
-#include <initializer_list>
+#include <cstddef>
 #include <map>
-#include <memory>
 #include <string>
 #include <string_view>
 #include <variant>

@@ -17,11 +17,11 @@ class TextTable {
   void add_row(std::vector<std::string> cells);
 
   /// Convenience: formats a double with the given precision.
-  static std::string num(double v, int precision = 2);
+  [[nodiscard]] static std::string num(double v, int precision = 2);
   /// Formats as a percentage with the given precision (value 0.1 -> "10.0%").
-  static std::string pct(double fraction, int precision = 1);
+  [[nodiscard]] static std::string pct(double fraction, int precision = 1);
   /// Formats in scientific notation.
-  static std::string sci(double v, int precision = 2);
+  [[nodiscard]] static std::string sci(double v, int precision = 2);
 
   void print(std::ostream& os) const;
 

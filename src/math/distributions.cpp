@@ -1,6 +1,5 @@
 #include "math/distributions.hpp"
 
-#include <limits>
 
 namespace mtd {
 

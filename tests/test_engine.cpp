@@ -162,7 +162,7 @@ TEST(StreamEngine, ScaledRealTimeClockPacesTheReplay) {
   StreamEngine engine(network, trace, config);
   CountingSink sink;
   const auto t0 = std::chrono::steady_clock::now();
-  engine.run(sink);
+  static_cast<void>(engine.run(sink));
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -188,7 +188,7 @@ TEST(StreamEngine, PeriodicSnapshotsReachTheCallback) {
     last_consumed = snap.sessions_consumed;
   });
   CountingSink sink;
-  engine.run(sink);
+  static_cast<void>(engine.run(sink));
   // At least one periodic snapshot plus the final one.
   EXPECT_GE(snapshots.load(), 2u);
   EXPECT_EQ(last_consumed, sink.sessions);

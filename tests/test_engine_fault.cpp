@@ -207,7 +207,7 @@ TEST(EngineFault, WorkerThrowStopsTheRunWithARetryableError) {
   engine.on_snapshot([&](const TelemetrySnapshot& snap) { last = snap; });
   CountingSink sink;
   try {
-    engine.run(sink);
+    static_cast<void>(engine.run(sink));
     FAIL() << "worker fault did not propagate";
   } catch (const EngineError& e) {
     EXPECT_TRUE(e.retryable());
@@ -272,7 +272,7 @@ TEST(EngineFault, WatchdogDetectsAStalledConsumer) {
   CountingSink sink;
   const auto t0 = std::chrono::steady_clock::now();
   try {
-    engine.run(sink);
+    static_cast<void>(engine.run(sink));
     FAIL() << "watchdog did not fire";
   } catch (const EngineError& e) {
     EXPECT_TRUE(e.retryable());
@@ -326,7 +326,7 @@ TEST(EngineFault, CheckpointWriteExhaustedRetriesAbortTheRun) {
   StreamEngine engine(network, trace, config);
   CountingSink sink;
   try {
-    engine.run(sink);
+    static_cast<void>(engine.run(sink));
     FAIL() << "persistent checkpoint failure did not propagate";
   } catch (const Error& e) {
     EXPECT_TRUE(e.retryable());  // the Supervisor may restart elsewhere
@@ -389,7 +389,7 @@ TEST(Supervisor, RecoveryFromCheckpointWriteFailureIsBitIdentical) {
 
   RecordingSink clean(network.size());
   StreamEngine reference(network, trace);
-  reference.run(clean);
+  static_cast<void>(reference.run(clean));
 
   FaultInjector fault;
   fault.arm("checkpoint.write", FaultSpec{});  // one failure, then healthy
@@ -423,7 +423,7 @@ TEST(Supervisor, RecoveryFromWatchdogStallIsBitIdentical) {
 
   RecordingSink clean(network.size());
   StreamEngine reference(network, trace);
-  reference.run(clean);
+  static_cast<void>(reference.run(clean));
 
   FaultInjector fault;
   FaultSpec stall;

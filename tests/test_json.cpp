@@ -22,11 +22,11 @@ TEST(Json, ScalarConstructionAndAccess) {
 
 TEST(Json, WrongTypeAccessThrows) {
   const Json j(1.0);
-  EXPECT_THROW(j.as_string(), ParseError);
-  EXPECT_THROW(j.as_bool(), ParseError);
-  EXPECT_THROW(j.as_array(), ParseError);
-  EXPECT_THROW(j.as_object(), ParseError);
-  EXPECT_THROW(j.at("x"), ParseError);
+  EXPECT_THROW(static_cast<void>(j.as_string()), ParseError);
+  EXPECT_THROW(static_cast<void>(j.as_bool()), ParseError);
+  EXPECT_THROW(static_cast<void>(j.as_array()), ParseError);
+  EXPECT_THROW(static_cast<void>(j.as_object()), ParseError);
+  EXPECT_THROW(static_cast<void>(j.at("x")), ParseError);
 }
 
 TEST(Json, ParseScalars) {
@@ -53,7 +53,7 @@ TEST(Json, ParseNestedDocument) {
   EXPECT_TRUE(doc.at("extra").is_null());
   EXPECT_TRUE(doc.contains("mu"));
   EXPECT_FALSE(doc.contains("absent"));
-  EXPECT_THROW(doc.at("absent"), ParseError);
+  EXPECT_THROW(static_cast<void>(doc.at("absent")), ParseError);
 }
 
 TEST(Json, ParseEmptyContainers) {

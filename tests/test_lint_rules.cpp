@@ -1,0 +1,189 @@
+// Fixture-driven tests for mtd-lint (tools/lint). Each bad fixture proves
+// its rule fires at the documented lines; the ok fixtures prove the
+// suppression grammar and that idiomatic engine code stays clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "io/json.hpp"
+#include "lint/lint.hpp"
+
+namespace {
+
+using mtd::lint::Finding;
+using mtd::lint::RuleRegistry;
+using mtd::lint::SourceFile;
+
+std::string fixture_path(const std::string& name) {
+  return std::string(MTD_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::vector<Finding> lint_fixture(const std::string& name) {
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile::from_path(fixture_path(name)));
+  return RuleRegistry::built_in().run(files);
+}
+
+std::vector<std::size_t> lines_of(const std::vector<Finding>& findings,
+                                  const std::string& rule) {
+  std::vector<std::size_t> lines;
+  for (const auto& f : findings) {
+    if (f.rule == rule) lines.push_back(f.line);
+  }
+  return lines;
+}
+
+TEST(LintRules, BannedRandomFiresOnEntropyCallsOnly) {
+  const auto findings = lint_fixture("banned_random_bad.cpp");
+  EXPECT_EQ(lines_of(findings, "banned-random"),
+            (std::vector<std::size_t>{6, 11, 12}));
+  // The mentions inside comments and string literals must not fire, so
+  // banned-random accounts for every finding in this fixture.
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "banned-random") << f.line;
+}
+
+TEST(LintRules, WallClockFiresButSteadyClockIsSanctioned) {
+  const auto findings = lint_fixture("wall_clock_bad.cpp");
+  EXPECT_EQ(lines_of(findings, "wall-clock"),
+            (std::vector<std::size_t>{6, 11, 15}));
+}
+
+TEST(LintRules, UnorderedFoldFlagsOrderSensitiveAccumulation) {
+  const auto findings = lint_fixture("unordered_fold_bad.cpp");
+  // The += fold and the push_back collection fire at their for-statements;
+  // the pure lookup loop at the bottom of the fixture must not.
+  EXPECT_EQ(lines_of(findings, "unordered-fold"),
+            (std::vector<std::size_t>{12, 22}));
+}
+
+TEST(LintRules, MissingNodiscardFlagsBareResultDeclarations) {
+  const auto findings = lint_fixture("missing_nodiscard_bad.hpp");
+  EXPECT_EQ(lines_of(findings, "missing-nodiscard"),
+            (std::vector<std::size_t>{13, 15}));
+}
+
+TEST(LintRules, IgnoredResultFlagsDiscardedCalls) {
+  const auto findings = lint_fixture("ignored_result_bad.cpp");
+  // Bare parse_all() and engine.run(); the bound and static_cast<void>
+  // uses further down must not fire.
+  EXPECT_EQ(lines_of(findings, "ignored-result"),
+            (std::vector<std::size_t>{15, 16}));
+}
+
+TEST(LintRules, IncludeHygieneFlagsPragmaDuplicatesAndParentPaths) {
+  const auto findings = lint_fixture("include_hygiene_bad.hpp");
+  EXPECT_EQ(lines_of(findings, "include-hygiene"),
+            (std::vector<std::size_t>{1, 5, 6}));
+}
+
+TEST(LintRules, InlineAllowSuppressesSameAndPrecedingLine) {
+  const auto findings = lint_fixture("suppressed_ok.cpp");
+  EXPECT_TRUE(findings.empty()) << findings.front().rule << " at line "
+                                << findings.front().line;
+}
+
+TEST(LintRules, AllowFileScopesToTheNamedRuleOnly) {
+  const auto findings = lint_fixture("allow_file_ok.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "banned-random");
+  EXPECT_EQ(findings[0].line, 9u);
+}
+
+TEST(LintRules, CleanEngineStyleCodePasses) {
+  const auto findings = lint_fixture("clean_ok.cpp");
+  EXPECT_TRUE(findings.empty()) << findings.front().rule << " at line "
+                                << findings.front().line;
+}
+
+TEST(LintRules, CommentsAndLiteralsAreBlanked) {
+  const auto file = SourceFile::from_content(
+      "blank.cpp",
+      "// std::random_device in a comment\n"
+      "/* rand() in a block\n"
+      "   comment spanning lines */\n"
+      "const char* msg = \"calls rand() and localtime()\";\n"
+      "char c = 'r';\n");
+  std::vector<SourceFile> files;
+  files.push_back(file);
+  const auto findings = RuleRegistry::built_in().run(files);
+  EXPECT_TRUE(findings.empty()) << findings.front().rule << " at line "
+                                << findings.front().line;
+}
+
+TEST(LintRules, RawStringsAreBlanked) {
+  const auto file = SourceFile::from_content(
+      "raw.cpp",
+      "const char* doc = R\"(uses rand() and std::random_device)\";\n"
+      "int after() { return rand(); }\n");
+  std::vector<SourceFile> files;
+  files.push_back(file);
+  const auto findings = RuleRegistry::built_in().run(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "banned-random");
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(LintRules, MustCheckFunctionsCrossFiles) {
+  // A declaration in one file makes a bare call in another file a finding:
+  // the registry's pre-pass collects must-check names project-wide.
+  auto decl = SourceFile::from_content(
+      "api.hpp",
+      "#pragma once\n[[nodiscard]] LoadResult load_everything();\n");
+  auto use = SourceFile::from_content(
+      "use.cpp", "void go() {\n  load_everything();\n}\n");
+  std::vector<SourceFile> files;
+  files.push_back(std::move(decl));
+  files.push_back(std::move(use));
+  const auto findings = RuleRegistry::built_in().run(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "ignored-result");
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[0].path, "use.cpp");
+}
+
+TEST(LintRules, JsonReportRoundTrips) {
+  const auto findings = lint_fixture("banned_random_bad.cpp");
+  const std::string doc =
+      mtd::lint::findings_to_json(findings, /*files_scanned=*/1);
+  const mtd::Json parsed = mtd::Json::parse(doc);
+  EXPECT_EQ(parsed.at("files_scanned").as_number(), 1.0);
+  EXPECT_EQ(parsed.at("violations").as_number(),
+            static_cast<double>(findings.size()));
+  const auto& arr = parsed.at("findings").as_array();
+  ASSERT_EQ(arr.size(), findings.size());
+  EXPECT_EQ(arr[0].at("rule").as_string(), "banned-random");
+  EXPECT_EQ(arr[0].at("line").as_number(), 6.0);
+  EXPECT_EQ(arr[0].at("path").as_string(),
+            fixture_path("banned_random_bad.cpp"));
+  EXPECT_FALSE(arr[0].at("message").as_string().empty());
+}
+
+TEST(LintRules, CatalogHasUniqueNonEmptyNames) {
+  const auto registry = RuleRegistry::built_in();
+  std::vector<std::string> names;
+  for (const auto& rule : registry.rules()) {
+    EXPECT_FALSE(rule->name().empty());
+    EXPECT_FALSE(rule->description().empty());
+    names.emplace_back(rule->name());
+  }
+  EXPECT_GE(names.size(), 6u);
+  std::sort(names.begin(), names.end());
+  EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end());
+}
+
+TEST(LintRules, FindingsAreOrderedByPathLineRule) {
+  const auto findings = lint_fixture("include_hygiene_bad.hpp");
+  ASSERT_GE(findings.size(), 2u);
+  for (std::size_t i = 1; i < findings.size(); ++i) {
+    const auto& a = findings[i - 1];
+    const auto& b = findings[i];
+    EXPECT_TRUE(std::tie(a.path, a.line, a.rule) <=
+                std::tie(b.path, b.line, b.rule));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,9 @@
+// Fixture: a file-wide suppression silences every hit of one rule while
+// other rules keep firing. Never compiled.
+// mtd-lint: allow-file(wall-clock)
+#include <ctime>
+
+long first() { return std::time(nullptr); }   // silenced by allow-file
+long second() { return std::time(nullptr); }  // silenced by allow-file
+
+int still_flagged() { return rand(); }  // line 9: banned-random still fires

@@ -1,0 +1,17 @@
+// Fixture: seeded-bad input for the banned-random rule. Never compiled.
+#include <cstdlib>
+#include <random>
+
+int entropy_from_hardware() {
+  std::random_device rd;  // line 6: banned
+  return static_cast<int>(rd());
+}
+
+int libc_generator() {
+  srand(42);          // line 11: banned
+  return rand() % 6;  // line 12: banned
+}
+
+// A mention of std::random_device inside a comment must NOT fire, and
+// neither must the string below.
+const char* kDoc = "never use rand() in engine code";

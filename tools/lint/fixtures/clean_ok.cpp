@@ -1,0 +1,40 @@
+// Fixture: representative engine-style code the linter must accept with
+// zero findings. Never compiled.
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+struct DeterministicRng {
+  std::uint64_t state = 0x6d7464u;
+  std::uint64_t next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state;
+  }
+};
+
+// Ordered fold: std::map iterates in key order, so the sum is stable.
+double total(const std::map<std::uint32_t, double>& per_bs) {
+  double sum = 0.0;
+  for (const auto& [bs, volume] : per_bs) {
+    sum += volume;
+  }
+  return sum;
+}
+
+// steady_clock for pacing is sanctioned.
+double elapsed_s(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct StepResult {
+  bool ok = false;
+};
+
+[[nodiscard]] StepResult step(DeterministicRng& rng);
+
+bool drive(DeterministicRng& rng) {
+  const StepResult r = step(rng);
+  return r.ok;
+}

@@ -1,0 +1,25 @@
+// Fixture: seeded-bad input for the ignored-result rule. Never compiled.
+#pragma once
+
+struct ParseResult {
+  bool ok = false;
+};
+
+[[nodiscard]] ParseResult parse_all();
+
+struct Engine {
+  [[nodiscard]] ParseResult run();
+};
+
+void drops_results(Engine& engine) {
+  parse_all();    // line 15: result discarded
+  engine.run();   // line 16: result discarded
+}
+
+void uses_results(Engine& engine) {
+  const ParseResult a = parse_all();
+  if (!a.ok) return;
+  auto b = engine.run();
+  static_cast<void>(b);
+  static_cast<void>(parse_all());  // explicit discard is acknowledged
+}

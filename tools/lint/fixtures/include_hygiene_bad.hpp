@@ -1,0 +1,8 @@
+// Fixture: seeded-bad input for the include-hygiene rule. Never compiled.
+// Missing #pragma once: fires at line 1.
+#include <vector>
+#include <string>
+#include <vector>
+#include "../common/error.hpp"
+
+inline int three() { return 3; }

@@ -1,0 +1,27 @@
+// Fixture: seeded-bad input for the missing-nodiscard rule. Never compiled.
+#pragma once
+
+struct FitResult {
+  double chi2 = 0.0;
+  bool converged = false;
+};
+
+struct RunReport {
+  bool succeeded = false;
+};
+
+FitResult fit_everything();  // line 13: missing [[nodiscard]]
+
+RunReport run_supervised();  // line 15: missing [[nodiscard]]
+
+[[nodiscard]] FitResult fit_annotated();  // fine
+
+// Attribute on its own line is also fine:
+[[nodiscard]]
+FitResult fit_split_attribute();
+
+// Accessors returning references are not producers; must not fire:
+struct Holder {
+  FitResult& result();
+  const FitResult& view() const;
+};

@@ -1,0 +1,32 @@
+// Fixture: every violation below carries an inline suppression, so the
+// linter must report zero findings for this file. Never compiled.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int sanctioned_entropy() {
+  std::random_device rd;  // mtd-lint: allow(banned-random)
+  return static_cast<int>(rd());
+}
+
+// mtd-lint: allow(wall-clock)
+long sanctioned_time() { return std::time(nullptr); }
+
+// Preceding-line form:
+// mtd-lint: allow(banned-random)
+int sanctioned_rand() { return rand(); }
+
+// Multiple rules in one directive:
+long both() {
+  return std::time(nullptr) + rand();  // mtd-lint: allow(wall-clock, banned-random)
+}
+
+struct SeedResult {
+  int value = 0;
+};
+
+[[nodiscard]] SeedResult reseed();
+
+void fire_and_forget() {
+  reseed();  // mtd-lint: allow(ignored-result)
+}

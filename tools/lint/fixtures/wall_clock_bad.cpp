@@ -1,0 +1,24 @@
+// Fixture: seeded-bad input for the wall-clock rule. Never compiled.
+#include <chrono>
+#include <ctime>
+
+double seconds_since_epoch() {
+  const auto now = std::chrono::system_clock::now();  // line 6: banned
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+long unix_time() {
+  return std::time(nullptr);  // line 11: banned
+}
+
+struct tm* local_now(std::time_t t) {
+  return localtime(&t);  // line 15: banned
+}
+
+// steady_clock is sanctioned (pacing/telemetry only) and must not fire:
+double pacing() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}

@@ -1,0 +1,276 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "io/json.hpp"
+
+namespace mtd::lint {
+
+namespace {
+
+/// Blanks comments and string/character literal contents to spaces,
+/// preserving line structure (newlines survive, columns stay aligned).
+/// Handles //, /* */, "..." with escapes, '...' with escapes, and raw
+/// string literals R"delim(...)delim".
+std::string blank_comments_and_literals(std::string_view text) {
+  std::string out(text);
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // the )delim" terminator of a raw string
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  auto blank = [&](std::size_t pos) {
+    if (out[pos] != '\n') out[pos] = ' ';
+  };
+  while (i < n) {
+    const char c = text[i];
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kLineComment;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          state = State::kBlockComment;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          // R"delim( ... )delim"
+          std::size_t j = i + 2;
+          std::string delim;
+          while (j < n && text[j] != '(' && j - i - 2 < 16) {
+            delim += text[j];
+            ++j;
+          }
+          if (j < n && text[j] == '(') {
+            raw_delim = ")" + delim + "\"";
+            state = State::kRawString;
+            i = j + 1;
+          } else {
+            ++i;  // not a raw string after all
+          }
+        } else if (c == '"') {
+          state = State::kString;
+          ++i;
+        } else if (c == '\'' && i > 0 &&
+                   !std::isdigit(static_cast<unsigned char>(text[i - 1]))) {
+          // Skip digit separators (1'000'000); everything else that starts
+          // with a quote is a character literal.
+          state = State::kChar;
+          ++i;
+        } else {
+          ++i;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          blank(i);
+        }
+        ++i;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          blank(i);
+          blank(i + 1);
+          state = State::kCode;
+          i += 2;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char close = state == State::kString ? '"' : '\'';
+        if (c == '\\' && i + 1 < n) {
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == close) {
+          state = State::kCode;
+          ++i;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      }
+      case State::kRawString:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size();
+          state = State::kCode;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      lines.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  // A trailing newline produces one empty phantom line; keep it, rules
+  // never fire on empty lines.
+  return lines;
+}
+
+constexpr std::string_view kMarker = "mtd-lint:";
+
+/// Parses "allow(r1, r2)" / "allow-file(r1)" directives out of one raw
+/// line; returns the rule names and whether the directive is file-scoped.
+void parse_directives(const std::string& line, std::size_t line_no,
+                      SourceFile& file) {
+  std::size_t pos = line.find(kMarker);
+  while (pos != std::string::npos) {
+    std::size_t p = pos + kMarker.size();
+    while (p < line.size() && line[p] == ' ') ++p;
+    bool file_scope = false;
+    if (line.compare(p, 11, "allow-file(") == 0) {
+      file_scope = true;
+      p += 11;
+    } else if (line.compare(p, 6, "allow(") == 0) {
+      p += 6;
+    } else {
+      pos = line.find(kMarker, p);
+      continue;
+    }
+    const std::size_t close = line.find(')', p);
+    if (close == std::string::npos) break;
+    std::string name;
+    for (std::size_t i = p; i <= close; ++i) {
+      const char c = i < close ? line[i] : ',';
+      if (c == ',' ) {
+        // Trim the collected rule name.
+        const auto b = name.find_first_not_of(" \t");
+        const auto e = name.find_last_not_of(" \t");
+        if (b != std::string::npos) {
+          const std::string rule = name.substr(b, e - b + 1);
+          if (file_scope) {
+            file.file_allows.insert(rule);
+          } else {
+            file.line_allows.emplace(rule, line_no);
+          }
+        }
+        name.clear();
+      } else {
+        name += c;
+      }
+    }
+    pos = line.find(kMarker, close);
+  }
+}
+
+}  // namespace
+
+bool SourceFile::suppressed(std::string_view rule, std::size_t line) const {
+  if (file_allows.count(rule) != 0) return true;
+  const std::string key(rule);
+  // An allow() on the finding's own line, or on the line above it.
+  if (line_allows.count({key, line}) != 0) return true;
+  return line > 1 && line_allows.count({key, line - 1}) != 0;
+}
+
+bool SourceFile::is_header() const {
+  return path.size() >= 4 && (path.compare(path.size() - 4, 4, ".hpp") == 0 ||
+                              path.compare(path.size() - 2, 2, ".h") == 0);
+}
+
+SourceFile SourceFile::from_content(std::string path,
+                                    std::string_view content) {
+  SourceFile file;
+  file.path = std::move(path);
+  file.lines = split_lines(content);
+  file.code = split_lines(blank_comments_and_literals(content));
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    if (file.lines[i].find(kMarker) != std::string::npos) {
+      parse_directives(file.lines[i], i + 1, file);
+    }
+  }
+  return file;
+}
+
+SourceFile SourceFile::from_path(const std::string& path) {
+  return from_content(path, read_file(path));
+}
+
+void RuleRegistry::add(std::unique_ptr<Rule> rule) {
+  rules_.push_back(std::move(rule));
+}
+
+ProjectContext RuleRegistry::build_context(
+    const std::vector<SourceFile>& files) const {
+  ProjectContext project;
+  for (const SourceFile& file : files) {
+    collect_must_check_functions(file, project.must_check_functions);
+    collect_void_functions(file, project.void_functions);
+  }
+  return project;
+}
+
+std::vector<Finding> RuleRegistry::run(
+    const std::vector<SourceFile>& files) const {
+  const ProjectContext project = build_context(files);
+  std::vector<Finding> findings;
+  for (const SourceFile& file : files) {
+    std::vector<Finding> raw;
+    for (const auto& rule : rules_) {
+      rule->check(file, project, raw);
+    }
+    for (Finding& f : raw) {
+      if (!file.suppressed(f.rule, f.line)) {
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::string findings_to_json(const std::vector<Finding>& findings,
+                             std::size_t files_scanned) {
+  JsonObject doc;
+  doc.emplace("files_scanned", files_scanned);
+  doc.emplace("violations", findings.size());
+  JsonArray arr;
+  for (const Finding& f : findings) {
+    JsonObject item;
+    item.emplace("rule", f.rule);
+    item.emplace("path", f.path);
+    item.emplace("line", f.line);
+    item.emplace("message", f.message);
+    arr.emplace_back(std::move(item));
+  }
+  doc.emplace("findings", Json(std::move(arr)));
+  return Json(std::move(doc)).dump(2);
+}
+
+}  // namespace mtd::lint

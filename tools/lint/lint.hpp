@@ -1,0 +1,136 @@
+// mtd-lint: a determinism/discipline linter for this repository.
+//
+// The reproduction's core guarantee — bit-identical aggregates for any
+// worker count, fault schedule, or stop/resume split — is easy to break
+// with one innocent line: a std::random_device seed, a wall-clock read
+// folded into results, an iteration over an unordered container feeding an
+// order-sensitive sum (the exact bug class collect_dataset_parallel once
+// had). These are correctness bugs that compile cleanly and pass tests
+// until the thread schedule shifts. mtd-lint bans them at analysis time.
+//
+// Architecture: a RuleRegistry owns Rule instances; each rule performs a
+// lexical check over a SourceFile whose comments and string/character
+// literals have been blanked (so banned tokens inside strings or docs never
+// fire). Findings are suppressible inline:
+//
+//   foo();  // mtd-lint: allow(rule-name[, other-rule])   same line
+//   // mtd-lint: allow(rule-name)                          next line
+//   // mtd-lint: allow-file(rule-name)                     whole file
+//
+// The CLI (main.cpp) prints human-readable "path:line: [rule] message"
+// lines or, with --json, a machine-readable document built with mtd::Json.
+// Rules live in rules.cpp; DESIGN.md section 9 documents how to add one.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mtd::lint {
+
+/// One rule violation.
+struct Finding {
+  std::string rule;
+  std::string path;
+  std::size_t line = 0;  ///< 1-based
+  std::string message;
+};
+
+/// A source file prepared for lexical analysis.
+struct SourceFile {
+  std::string path;
+  /// Raw lines, as read (suppression comments are parsed from these).
+  std::vector<std::string> lines;
+  /// Same lines with comments and string/char literal contents blanked to
+  /// spaces; rules match against these so docs and literals cannot fire.
+  std::vector<std::string> code;
+
+  /// True when findings of `rule` at `line` (1-based) are suppressed by an
+  /// allow() on the same or preceding line, or an allow-file() anywhere.
+  [[nodiscard]] bool suppressed(std::string_view rule,
+                                std::size_t line) const;
+
+  [[nodiscard]] bool is_header() const;
+
+  /// Splits `content` into lines, blanks comments/literals, and parses
+  /// suppression comments. `path` is used for reporting and per-path rule
+  /// sanctioning only; the file is not read from disk.
+  [[nodiscard]] static SourceFile from_content(std::string path,
+                                               std::string_view content);
+
+  /// Reads `path` and delegates to from_content. Throws mtd::IoError.
+  [[nodiscard]] static SourceFile from_path(const std::string& path);
+
+  // (rule, 1-based line) pairs enabled by inline allow() comments.
+  std::set<std::pair<std::string, std::size_t>> line_allows;
+  // Rules disabled for the whole file by allow-file().
+  std::set<std::string, std::less<>> file_allows;
+};
+
+/// Cross-file facts gathered in a pre-pass before rules run (e.g. the names
+/// of every function whose return value must not be ignored).
+struct ProjectContext {
+  std::set<std::string, std::less<>> must_check_functions;
+  /// Names also declared somewhere with a void return. A name on both
+  /// lists is ambiguous under lexical matching (e.g. a void run() on one
+  /// class and a Result-returning run() on another), so ignored-result
+  /// skips it rather than guess.
+  std::set<std::string, std::less<>> void_functions;
+};
+
+/// A lint rule. Stateless; findings are appended to `out` unsuppressed —
+/// the registry applies suppressions afterwards.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+  virtual void check(const SourceFile& file, const ProjectContext& project,
+                     std::vector<Finding>& out) const = 0;
+};
+
+class RuleRegistry {
+ public:
+  void add(std::unique_ptr<Rule> rule);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Rule>>& rules()
+      const noexcept {
+    return rules_;
+  }
+
+  /// Builds the cross-file context (pre-pass over every file).
+  [[nodiscard]] ProjectContext build_context(
+      const std::vector<SourceFile>& files) const;
+
+  /// Runs every rule over every file and returns the surviving
+  /// (unsuppressed) findings, ordered by (path, line, rule).
+  [[nodiscard]] std::vector<Finding> run(
+      const std::vector<SourceFile>& files) const;
+
+  /// All built-in rules (see rules.cpp for the catalog).
+  [[nodiscard]] static RuleRegistry built_in();
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/// Collects function names whose declared return type marks them
+/// must-check (types matching *Result, RunReport, ErrorCode, Status).
+/// Shared by the missing-nodiscard and ignored-result rules.
+void collect_must_check_functions(const SourceFile& file,
+                                  std::set<std::string, std::less<>>& out);
+
+/// Collects function names declared with a void return, used to disqualify
+/// ambiguous names from the ignored-result rule.
+void collect_void_functions(const SourceFile& file,
+                            std::set<std::string, std::less<>>& out);
+
+/// Machine-readable report: {"files_scanned": N, "findings": [...]}.
+[[nodiscard]] std::string findings_to_json(const std::vector<Finding>& findings,
+                                           std::size_t files_scanned);
+
+}  // namespace mtd::lint

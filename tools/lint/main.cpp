@@ -1,0 +1,93 @@
+// mtd_lint CLI. See lint.hpp for the architecture and DESIGN.md section 9
+// for the rule catalog.
+//
+// Usage:
+//   mtd_lint [--json] [--list-rules] file...
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "lint/lint.hpp"
+
+namespace {
+
+void print_usage() {
+  std::fputs(
+      "usage: mtd_lint [--json] [--list-rules] file...\n"
+      "\n"
+      "Determinism/discipline linter for the mtd codebase.\n"
+      "  --json        machine-readable report on stdout\n"
+      "  --list-rules  print the rule catalog and exit\n"
+      "\n"
+      "Suppressions: // mtd-lint: allow(rule)       (same or next line)\n"
+      "              // mtd-lint: allow-file(rule)  (whole file)\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool list_rules = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "mtd_lint: unknown option '%s'\n",
+                   std::string(arg).c_str());
+      print_usage();
+      return 2;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+
+  const mtd::lint::RuleRegistry registry = mtd::lint::RuleRegistry::built_in();
+  if (list_rules) {
+    for (const auto& rule : registry.rules()) {
+      std::printf("%-18s %s\n", std::string(rule->name()).c_str(),
+                  std::string(rule->description()).c_str());
+    }
+    return 0;
+  }
+  if (paths.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  std::vector<mtd::lint::SourceFile> files;
+  files.reserve(paths.size());
+  for (const std::string& path : paths) {
+    try {
+      files.push_back(mtd::lint::SourceFile::from_path(path));
+    } catch (const mtd::Error& e) {
+      std::fprintf(stderr, "mtd_lint: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  const std::vector<mtd::lint::Finding> findings = registry.run(files);
+  if (json) {
+    std::printf("%s\n",
+                mtd::lint::findings_to_json(findings, files.size()).c_str());
+  } else {
+    for (const mtd::lint::Finding& f : findings) {
+      std::printf("%s:%zu: [%s] %s\n", f.path.c_str(), f.line,
+                  f.rule.c_str(), f.message.c_str());
+    }
+    std::printf("mtd_lint: %zu file(s), %zu violation(s)\n", files.size(),
+                findings.size());
+  }
+  return findings.empty() ? 0 : 1;
+}

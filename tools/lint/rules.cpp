@@ -1,0 +1,563 @@
+// Built-in rule catalog for mtd-lint.
+//
+// Every rule is a lexical heuristic, deliberately: the point is a
+// dependency-free gate that runs in milliseconds on every commit, not a
+// second compiler. Each rule documents its heuristic and its escape hatch
+// (the inline allow() comment). Fixture files under tools/lint/fixtures/
+// prove each rule fires on seeded-bad input (tests/test_lint_rules.cpp).
+#include <array>
+#include <cctype>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace mtd::lint {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Finds `ident` in `line` as a whole identifier (not a substring of a
+/// longer one). A ':' before the match is accepted so both `rand` and
+/// `std::rand` hit the same token list.
+std::size_t find_identifier(std::string_view line, std::string_view ident,
+                            std::size_t from = 0) {
+  std::size_t pos = line.find(ident, from);
+  while (pos != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+    const std::size_t end = pos + ident.size();
+    const bool right_ok = end >= line.size() || !ident_char(line[end]);
+    if (left_ok && right_ok) return pos;
+    pos = line.find(ident, pos + 1);
+  }
+  return std::string_view::npos;
+}
+
+bool path_contains(const SourceFile& file,
+                   std::initializer_list<std::string_view> fragments) {
+  for (std::string_view frag : fragments) {
+    if (file.path.find(frag) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Reads one identifier (possibly ::-qualified) starting at `pos`; returns
+/// empty when `pos` does not start one.
+std::string_view read_qualified_identifier(std::string_view s,
+                                           std::size_t pos) {
+  const std::size_t start = pos;
+  while (pos < s.size() && (ident_char(s[pos]) || s[pos] == ':')) ++pos;
+  return s.substr(start, pos - start);
+}
+
+/// True when the (possibly ::-qualified) type name marks a must-check
+/// return: *Result, RunReport, ErrorCode, Status.
+bool is_must_check_type(std::string_view type) {
+  const std::size_t sep = type.rfind("::");
+  const std::string_view base =
+      sep == std::string_view::npos ? type : type.substr(sep + 2);
+  if (base.size() > 6 &&
+      base.compare(base.size() - 6, 6, "Result") == 0) {
+    return true;
+  }
+  return base == "RunReport" || base == "ErrorCode" || base == "Status";
+}
+
+/// A parsed candidate "TYPE name(" declaration head.
+struct DeclHead {
+  std::string_view type;
+  std::string_view name;
+  bool valid = false;
+};
+
+/// Matches a line whose first tokens are a return type followed by a
+/// function name and '('. Leading specifiers and attributes are skipped;
+/// `has_nodiscard` reports whether an attribute block containing
+/// "nodiscard" was seen among them. Callers filter on `type`.
+DeclHead parse_decl_head(std::string_view line, bool& has_nodiscard) {
+  DeclHead head;
+  std::string_view s = trim(line);
+  has_nodiscard = false;
+  for (;;) {
+    if (s.rfind("[[", 0) == 0) {
+      const std::size_t close = s.find("]]");
+      if (close == std::string_view::npos) return head;
+      if (s.substr(0, close).find("nodiscard") != std::string_view::npos) {
+        has_nodiscard = true;
+      }
+      s = trim(s.substr(close + 2));
+      continue;
+    }
+    bool stripped = false;
+    for (std::string_view spec :
+         {"static ", "virtual ", "inline ", "constexpr ", "friend ",
+          "explicit ", "extern "}) {
+      if (s.rfind(spec, 0) == 0) {
+        s = trim(s.substr(spec.size()));
+        stripped = true;
+        break;
+      }
+    }
+    if (!stripped) break;
+  }
+  const std::string_view type = read_qualified_identifier(s, 0);
+  if (type.empty()) return head;
+  std::size_t pos = type.size();
+  while (pos < s.size() && s[pos] == ' ') ++pos;
+  // A '&' or '*' here means the function returns a reference/pointer to a
+  // result object (an accessor) — not a must-check producer.
+  if (pos >= s.size() || !ident_char(s[pos]) ||
+      std::isdigit(static_cast<unsigned char>(s[pos])) != 0) {
+    return head;
+  }
+  const std::string_view name = read_qualified_identifier(s, pos);
+  pos += name.size();
+  while (pos < s.size() && s[pos] == ' ') ++pos;
+  if (pos >= s.size() || s[pos] != '(') return head;
+  head.type = type;
+  head.name = name;
+  head.valid = true;
+  return head;
+}
+
+/// Scans forward from `line_idx` for the first ';' or '{' that terminates
+/// a declaration head. Returns ';', '{', or 0 when neither shows up within
+/// a few lines (macro soup — treated as not-a-declaration).
+char decl_terminator(const SourceFile& file, std::size_t line_idx) {
+  const std::size_t limit = std::min(file.code.size(), line_idx + 8);
+  for (std::size_t i = line_idx; i < limit; ++i) {
+    for (const char c : file.code[i]) {
+      if (c == ';') return ';';
+      if (c == '{') return '{';
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// banned-random: nondeterministic randomness sources.
+// ---------------------------------------------------------------------------
+
+class BannedRandomRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "banned-random";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "bans std::random_device, rand()/srand() and friends: every "
+           "stochastic draw must come from a seeded mtd::Rng stream "
+           "(sanctioned file: src/common/rng.*)";
+  }
+  void check(const SourceFile& file, const ProjectContext&,
+             std::vector<Finding>& out) const override {
+    if (path_contains(file, {"common/rng."})) return;
+    static constexpr std::array<std::string_view, 6> kBanned = {
+        "random_device", "rand", "srand", "drand48",
+        "random_shuffle", "mrand48",
+    };
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      for (const std::string_view tok : kBanned) {
+        if (find_identifier(file.code[i], tok) != std::string_view::npos) {
+          out.push_back(
+              {std::string(name()), file.path, i + 1,
+               "nondeterministic randomness source '" + std::string(tok) +
+                   "'; draw from a seeded mtd::Rng stream "
+                   "(src/common/rng.hpp) so replays stay bit-identical"});
+          break;  // one finding per line is enough
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// wall-clock: wall-time reads that can leak into results.
+// ---------------------------------------------------------------------------
+
+class WallClockRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "wall-clock";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "bans system_clock/time()/gettimeofday wall-clock reads: "
+           "simulated time comes from the virtual clock, pacing and "
+           "telemetry from steady_clock";
+  }
+  void check(const SourceFile& file, const ProjectContext&,
+             std::vector<Finding>& out) const override {
+    static constexpr std::array<std::string_view, 6> kBanned = {
+        "system_clock", "gettimeofday", "clock_gettime",
+        "localtime",    "gmtime",       "mktime",
+    };
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      const std::string& line = file.code[i];
+      std::string_view hit;
+      for (const std::string_view tok : kBanned) {
+        if (find_identifier(line, tok) != std::string_view::npos) {
+          hit = tok;
+          break;
+        }
+      }
+      if (hit.empty()) {
+        // `time` alone only as a call: time(...) / std::time(...).
+        std::size_t pos = find_identifier(line, "time");
+        while (pos != std::string_view::npos) {
+          std::size_t after = pos + 4;
+          while (after < line.size() && line[after] == ' ') ++after;
+          if (after < line.size() && line[after] == '(') {
+            hit = "time";
+            break;
+          }
+          pos = find_identifier(line, "time", pos + 1);
+        }
+      }
+      if (!hit.empty()) {
+        out.push_back(
+            {std::string(name()), file.path, i + 1,
+             "wall-clock read '" + std::string(hit) +
+                 "'; results must not depend on wall time — use the "
+                 "engine's virtual clock, or steady_clock for "
+                 "pacing/telemetry only"});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// unordered-fold: unordered-container iteration feeding an order-sensitive
+// accumulation.
+// ---------------------------------------------------------------------------
+
+class UnorderedFoldRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "unordered-fold";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "flags range-for over std::unordered_* containers whose body "
+           "accumulates (+=, push_back, streaming): iteration order is "
+           "unspecified, so folds must run over ordered containers or "
+           "sorted copies";
+  }
+  void check(const SourceFile& file, const ProjectContext&,
+             std::vector<Finding>& out) const override {
+    // Pass 1: names declared as std::unordered_* in this file.
+    std::vector<std::string> unordered_names;
+    for (const std::string& line : file.code) {
+      std::size_t pos = line.find("unordered_");
+      while (pos != std::string::npos) {
+        const std::size_t lt = line.find('<', pos);
+        if (lt == std::string::npos) break;
+        int depth = 0;
+        std::size_t i = lt;
+        for (; i < line.size(); ++i) {
+          if (line[i] == '<') ++depth;
+          if (line[i] == '>' && --depth == 0) break;
+        }
+        if (i < line.size()) {
+          std::size_t p = i + 1;
+          while (p < line.size() && (line[p] == ' ' || line[p] == '&')) ++p;
+          const std::string_view var = read_qualified_identifier(line, p);
+          if (!var.empty()) unordered_names.emplace_back(var);
+        }
+        pos = line.find("unordered_", lt);
+      }
+    }
+    if (unordered_names.empty()) return;
+
+    // Pass 2: range-for loops whose range is one of those names and whose
+    // body (brace-balanced) accumulates.
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      const std::string& line = file.code[i];
+      const std::size_t for_pos = find_identifier(line, "for");
+      if (for_pos == std::string_view::npos) continue;
+      const std::size_t open = line.find('(', for_pos);
+      const std::size_t colon = line.find(':', for_pos);
+      if (open == std::string::npos || colon == std::string::npos ||
+          colon < open) {
+        continue;
+      }
+      std::size_t close = line.rfind(')');
+      if (close == std::string::npos || close < colon) close = line.size();
+      std::string_view range = trim(line.substr(colon + 1, close - colon - 1));
+      while (!range.empty() && (range.front() == '*' || range.front() == '&')) {
+        range.remove_prefix(1);
+      }
+      const std::string range_name(read_qualified_identifier(range, 0));
+      bool is_unordered = false;
+      for (const std::string& n : unordered_names) {
+        if (range_name == n) {
+          is_unordered = true;
+          break;
+        }
+      }
+      if (!is_unordered) continue;
+
+      // Body extent: from the first '{' after the for, to its match; a
+      // braceless body is the next line.
+      static constexpr std::array<std::string_view, 7> kFolds = {
+          "+=", "-=", "*=", "/=", "push_back", "emplace_back", "<<",
+      };
+      int depth = 0;
+      bool saw_brace = false;
+      bool fold = false;
+      for (std::size_t j = i; j < file.code.size(); ++j) {
+        const std::string& body = file.code[j];
+        const std::string_view scan =
+            j == i ? std::string_view(body).substr(close) : body;
+        for (const std::string_view tok : kFolds) {
+          if (scan.find(tok) != std::string_view::npos) fold = true;
+        }
+        for (const char c : scan) {
+          if (c == '{') {
+            ++depth;
+            saw_brace = true;
+          }
+          if (c == '}') --depth;
+        }
+        if (saw_brace && depth <= 0) break;
+        if (!saw_brace && j > i) break;  // braceless single-statement body
+      }
+      if (fold) {
+        out.push_back(
+            {std::string(name()), file.path, i + 1,
+             "iteration over unordered container '" + range_name +
+                 "' feeds an order-sensitive fold; iterate an ordered "
+                 "container or a sorted copy so aggregates stay "
+                 "bit-identical"});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// missing-nodiscard: error/Result-returning declarations without
+// [[nodiscard]].
+// ---------------------------------------------------------------------------
+
+class MissingNodiscardRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "missing-nodiscard";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "function declarations returning *Result/RunReport/ErrorCode/"
+           "Status must be [[nodiscard]]: a silently dropped outcome is a "
+           "swallowed failure";
+  }
+  void check(const SourceFile& file, const ProjectContext&,
+             std::vector<Finding>& out) const override {
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      bool has_nodiscard = false;
+      const DeclHead head = parse_decl_head(file.code[i], has_nodiscard);
+      if (!head.valid || !is_must_check_type(head.type)) continue;
+      // Out-of-class definitions carry the attribute on their declaration.
+      if (head.name.find("::") != std::string_view::npos) continue;
+      if (decl_terminator(file, i) != ';') continue;  // definition or macro
+      if (!has_nodiscard && i > 0) {
+        // Attribute-only previous line: "[[nodiscard]]\n Type name(...);".
+        const std::string_view prev = trim(file.code[i - 1]);
+        if (!prev.empty() && prev.size() >= 2 &&
+            prev.compare(prev.size() - 2, 2, "]]") == 0 &&
+            prev.find("nodiscard") != std::string_view::npos) {
+          has_nodiscard = true;
+        }
+      }
+      if (!has_nodiscard) {
+        out.push_back({std::string(name()), file.path, i + 1,
+                       "declaration of '" + std::string(head.name) +
+                           "' returns " + std::string(head.type) +
+                           " but is not [[nodiscard]]"});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ignored-result: bare-statement calls to must-check functions.
+// ---------------------------------------------------------------------------
+
+class IgnoredResultRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "ignored-result";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "flags expression-statement calls to functions that return "
+           "*Result/RunReport/ErrorCode/Status (collected from the scanned "
+           "declarations) whose value is discarded";
+  }
+  void check(const SourceFile& file, const ProjectContext& project,
+             std::vector<Finding>& out) const override {
+    if (project.must_check_functions.empty()) return;
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      const std::string_view line = trim(file.code[i]);
+      if (line.size() < 4 || line.compare(line.size() - 2, 2, ");") != 0) {
+        continue;
+      }
+      // A line continuing the previous statement (multi-line assignment
+      // RHS, ternary arm) is not a bare call: skip when the nearest
+      // non-blank predecessor does not end a statement, or when this line
+      // opens with a ternary/initializer punctuator.
+      if (line.front() == ':' || line.front() == '?') continue;
+      bool continuation = false;
+      for (std::size_t p = i; p > 0; --p) {
+        const std::string_view prev = trim(file.code[p - 1]);
+        if (prev.empty()) continue;
+        const char last = prev.back();
+        continuation =
+            last != ';' && last != '{' && last != '}' && last != ')';
+        break;
+      }
+      if (continuation) continue;
+      // Control-flow keywords, assignments and explicit discards are fine.
+      const std::string_view first = read_qualified_identifier(line, 0);
+      if (first.empty()) continue;
+      static constexpr std::array<std::string_view, 10> kSkip = {
+          "if",     "while", "for",   "switch", "return",
+          "throw",  "case",  "else",  "do",     "delete",
+      };
+      bool skip = false;
+      for (const std::string_view kw : kSkip) skip = skip || first == kw;
+      if (skip || line.find('=') != std::string_view::npos ||
+          line.find("void") != std::string_view::npos) {
+        continue;
+      }
+      // The callee is the identifier right before the first '('; the text
+      // before it must be a plain object path (obj.method, ptr->method).
+      const std::size_t paren = line.find('(');
+      if (paren == std::string_view::npos || paren == 0) continue;
+      std::size_t name_start = paren;
+      while (name_start > 0 && ident_char(line[name_start - 1])) --name_start;
+      const std::string callee(line.substr(name_start, paren - name_start));
+      bool plain_chain = true;
+      for (std::size_t p = 0; p < name_start; ++p) {
+        const char c = line[p];
+        if (!ident_char(c) && c != '.' && c != ':' && c != '-' && c != '>' &&
+            c != ' ' && c != '(' && c != '*') {
+          plain_chain = false;
+          break;
+        }
+      }
+      if (!plain_chain) continue;
+      if (project.must_check_functions.count(callee) != 0 &&
+          project.void_functions.count(callee) == 0) {
+        out.push_back({std::string(name()), file.path, i + 1,
+                       "result of '" + callee +
+                           "' is discarded; bind it, check it, or discard "
+                           "explicitly with static_cast<void>"});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// include-hygiene: pragma once, duplicate includes, parent-relative paths.
+// ---------------------------------------------------------------------------
+
+class IncludeHygieneRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "include-hygiene";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "headers must start with #pragma once; no duplicate #include of "
+           "the same file; no \"..\"-relative include paths";
+  }
+  void check(const SourceFile& file, const ProjectContext&,
+             std::vector<Finding>& out) const override {
+    bool pragma_once = false;
+    std::vector<std::string> seen;
+    for (std::size_t i = 0; i < file.lines.size(); ++i) {
+      const std::string_view line = trim(file.lines[i]);
+      if (line.rfind("#pragma", 0) == 0 &&
+          line.find("once") != std::string_view::npos) {
+        pragma_once = true;
+      }
+      if (line.rfind("#include", 0) != 0) continue;
+      const std::size_t open = line.find_first_of("\"<", 8);
+      if (open == std::string_view::npos) continue;
+      const char close_c = line[open] == '"' ? '"' : '>';
+      const std::size_t close = line.find(close_c, open + 1);
+      if (close == std::string_view::npos) continue;
+      const std::string target(line.substr(open + 1, close - open - 1));
+      if (target.find("..") != std::string::npos) {
+        out.push_back({std::string(name()), file.path, i + 1,
+                       "include path '" + target +
+                           "' escapes with '..'; include project headers "
+                           "relative to src/"});
+      }
+      bool dup = false;
+      for (const std::string& s : seen) dup = dup || s == target;
+      if (dup) {
+        out.push_back({std::string(name()), file.path, i + 1,
+                       "duplicate #include of '" + target + "'"});
+      } else {
+        seen.push_back(target);
+      }
+    }
+    if (!pragma_once && file.is_header()) {
+      out.push_back({std::string(name()), file.path, 1,
+                     "header is missing #pragma once"});
+    }
+  }
+};
+
+}  // namespace
+
+void collect_must_check_functions(const SourceFile& file,
+                                  std::set<std::string, std::less<>>& out) {
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    bool has_nodiscard = false;
+    const DeclHead head = parse_decl_head(file.code[i], has_nodiscard);
+    if (!head.valid || !is_must_check_type(head.type)) continue;
+    // Both declarations and definitions contribute; qualified definition
+    // names (Class::method) register their unqualified tail.
+    std::string_view n = head.name;
+    const std::size_t sep = n.rfind("::");
+    if (sep != std::string_view::npos) n = n.substr(sep + 2);
+    out.emplace(n);
+  }
+}
+
+void collect_void_functions(const SourceFile& file,
+                            std::set<std::string, std::less<>>& out) {
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    bool has_nodiscard = false;
+    const DeclHead head = parse_decl_head(file.code[i], has_nodiscard);
+    if (!head.valid || head.type != "void") continue;
+    std::string_view n = head.name;
+    const std::size_t sep = n.rfind("::");
+    if (sep != std::string_view::npos) n = n.substr(sep + 2);
+    out.emplace(n);
+  }
+}
+
+RuleRegistry RuleRegistry::built_in() {
+  RuleRegistry registry;
+  registry.add(std::make_unique<BannedRandomRule>());
+  registry.add(std::make_unique<WallClockRule>());
+  registry.add(std::make_unique<UnorderedFoldRule>());
+  registry.add(std::make_unique<MissingNodiscardRule>());
+  registry.add(std::make_unique<IgnoredResultRule>());
+  registry.add(std::make_unique<IncludeHygieneRule>());
+  return registry;
+}
+
+}  // namespace mtd::lint
