@@ -1,4 +1,4 @@
-// Streaming-engine throughput: sessions/s by worker count.
+// Streaming-engine throughput: sessions/s by worker count and batch size.
 //
 // Streams the bench network through StreamEngine in max-throughput mode at
 // 1, 2, 4 and 8 workers into a minimal counting sink, and prints one JSON
@@ -10,6 +10,11 @@
 // relative to the measured single-worker rate; on a single-core host the
 // curve is flat (the engine cannot conjure parallelism the hardware does
 // not have), which the "hw_threads" field makes explicit.
+//
+// A second sweep varies EngineConfig::batch_size (1/16/64/256) at a fixed
+// worker count to measure the cost of per-event ring traffic vs batched
+// transfers. Both sweeps are written to BENCH_engine.json (machine-readable;
+// schema documented in batch_sweep below) for CI trend tracking.
 //
 // google-benchmark timings of the SPSC ring primitive follow the JSON
 // lines.
@@ -44,7 +49,11 @@ struct CountingSink final : TraceSink {
   }
 };
 
-void throughput_sweep() {
+JsonArray throughput_sweep();
+JsonArray batch_sweep();
+
+JsonArray throughput_sweep() {
+  JsonArray rows;
   TraceConfig trace;
   trace.num_days = mtd::bench::fast_mode() ? 1 : 3;
   trace.seed = 20231024;
@@ -91,8 +100,69 @@ void throughput_sweep() {
     row.emplace("speedup_vs_1", reference_rate > 0.0
                                     ? t.sessions_per_second / reference_rate
                                     : 1.0);
-    std::cout << Json(std::move(row)).dump() << "\n";
+    Json json(std::move(row));
+    std::cout << json.dump() << "\n";
+    rows.push_back(std::move(json));
   }
+  return rows;
+}
+
+/// Batch-size sweep at a fixed worker count: how much does amortizing ring
+/// traffic over EventBatch transfers buy? Row schema: bench, batch_size,
+/// workers, sessions, events, wall_s, sessions_per_s, events_per_s,
+/// speedup_vs_batch1. batch_size=1 degenerates to one ring item per event
+/// (the pre-batching data plane); the identical session count across batch
+/// sizes is asserted.
+JsonArray batch_sweep() {
+  JsonArray rows;
+  TraceConfig trace;
+  trace.num_days = mtd::bench::fast_mode() ? 1 : 3;
+  trace.seed = 20231024;
+  const Network& network = mtd::bench::bench_network();
+
+  std::uint64_t reference_sessions = 0;
+  double reference_rate = 0.0;
+  for (std::size_t batch : {1u, 16u, 64u, 256u}) {
+    EngineConfig config;
+    config.num_workers = 2;
+    config.queue_capacity = 16384;
+    config.batch_size = batch;
+    config.backpressure = BackpressurePolicy::kBlock;
+
+    StreamEngine engine(network, trace, config);
+    CountingSink sink;
+    const EngineResult result = engine.run(sink);
+    const TelemetrySnapshot& t = result.telemetry;
+
+    if (batch == 1) {
+      reference_sessions = sink.sessions;
+      reference_rate = t.sessions_per_second;
+    } else if (sink.sessions != reference_sessions) {
+      std::cerr << "FATAL: session count diverged at batch_size " << batch
+                << "\n";
+      std::exit(1);
+    }
+
+    std::uint64_t events = 0;
+    for (const auto& kind : t.kinds) events += kind.consumed;
+
+    JsonObject row;
+    row.emplace("bench", "engine_batch");
+    row.emplace("batch_size", static_cast<double>(batch));
+    row.emplace("workers", static_cast<double>(config.num_workers));
+    row.emplace("sessions", static_cast<double>(sink.sessions));
+    row.emplace("events", static_cast<double>(events));
+    row.emplace("wall_s", t.wall_seconds);
+    row.emplace("sessions_per_s", t.sessions_per_second);
+    row.emplace("events_per_s", t.events_per_second);
+    row.emplace("speedup_vs_batch1",
+                reference_rate > 0.0 ? t.sessions_per_second / reference_rate
+                                     : 1.0);
+    Json json(std::move(row));
+    std::cout << json.dump() << "\n";
+    rows.push_back(std::move(json));
+  }
+  return rows;
 }
 
 void BM_SpscRingPushPop(benchmark::State& state) {
@@ -153,6 +223,14 @@ BENCHMARK(BM_EngineFaultHookOverhead)
 }  // namespace
 
 int main(int argc, char** argv) {
-  throughput_sweep();
+  mtd::JsonObject report;
+  report.emplace("bench", "engine_throughput");
+  report.emplace(
+      "hw_threads",
+      static_cast<double>(std::thread::hardware_concurrency()));
+  report.emplace("worker_sweep", mtd::Json(throughput_sweep()));
+  report.emplace("batch_sweep", mtd::Json(batch_sweep()));
+  mtd::write_file("BENCH_engine.json", mtd::Json(std::move(report)).dump());
+  std::cerr << "[bench] wrote BENCH_engine.json\n";
   return mtd::bench::run_benchmarks(argc, argv);
 }

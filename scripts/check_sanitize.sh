@@ -17,6 +17,8 @@
 #
 # Environment:
 #   MTD_SKIP_TSAN=1  run only the ASan/UBSan stage
+#   MTD_SKIP_ASAN=1  run only the TSan stage (the CI tsan job uses this so
+#                    the two stages run as parallel jobs instead of serially)
 set -euo pipefail
 
 cd "$(dirname "$0")/.." || exit 1
@@ -26,24 +28,29 @@ FILTER="${2:-}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 # Engine-side tests gated under TSan: everything with cross-thread
-# synchronization (rings, engine, checkpoint/resume, faults, supervision).
-TSAN_FILTER='SpscRing|StreamEngine|EngineCheckpoint|EngineFault|Supervisor|NetworkFingerprint'
+# synchronization (rings, the typed event plane, engine, checkpoint/resume,
+# faults, supervision).
+TSAN_FILTER='SpscRing|EventPlane|StreamEngine|EngineCheckpoint|EngineFault|Supervisor|NetworkFingerprint'
 
-cmake -B "$BUILD_DIR" -S . \
-  -DMTD_SANITIZE=ON \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j "$JOBS"
+if [[ "${MTD_SKIP_ASAN:-0}" == "1" ]]; then
+  echo "skipping asan/ubsan stage (MTD_SKIP_ASAN=1)"
+else
+  cmake -B "$BUILD_DIR" -S . \
+    -DMTD_SANITIZE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD_DIR" -j "$JOBS"
 
-export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
-export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+  export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+  export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 
-CTEST_ARGS=(--test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS")
-if [[ -n "$FILTER" ]]; then
-  CTEST_ARGS+=(-R "$FILTER")
+  CTEST_ARGS=(--test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS")
+  if [[ -n "$FILTER" ]]; then
+    CTEST_ARGS+=(-R "$FILTER")
+  fi
+  ctest "${CTEST_ARGS[@]}"
+
+  echo "asan/ubsan check passed"
 fi
-ctest "${CTEST_ARGS[@]}"
-
-echo "asan/ubsan check passed"
 
 if [[ "${MTD_SKIP_TSAN:-0}" == "1" ]]; then
   echo "skipping tsan stage (MTD_SKIP_TSAN=1)"

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Static correctness gate, four stages:
+# Static correctness gate, five stages:
 #
 #   1. clang-tidy over every first-party translation unit, using the
 #      profile in .clang-tidy (WarningsAsErrors: '*').
@@ -11,6 +11,9 @@
 #      other compilers the annotations compile as no-ops and the stage
 #      still proves they parse.
 #   4. shellcheck over scripts/*.sh.
+#   5. The lint fixture suite (LintRules.* in tests/): proves every rule
+#      still fires at its documented fixture lines — a rule that silently
+#      stopped matching would otherwise pass stage 2 forever.
 #
 # Stages whose tool is not installed (clang-tidy, clang++, shellcheck) are
 # skipped with a notice so the gate degrades gracefully on minimal
@@ -69,5 +72,10 @@ if command -v shellcheck >/dev/null 2>&1; then
 else
   echo "shellcheck: not installed, stage skipped"
 fi
+
+# --- Stage 5: lint fixture suite.
+cmake --build "$BUILD_DIR" -j "$JOBS" --target mtd_tests
+"$BUILD_DIR/tests/mtd_tests" --gtest_filter='LintRules.*'
+echo "lint fixture suite: clean"
 
 echo "static check passed"

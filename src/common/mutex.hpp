@@ -2,12 +2,16 @@
 //
 // libstdc++'s std::mutex carries no capability annotations, so code locking
 // it directly is invisible to -Wthread-safety. mtd::Mutex is a zero-cost
-// std::mutex wrapper declared as a capability, and mtd::MutexLock is the
-// annotated lock_guard equivalent; together they let the analysis prove
-// that every MTD_GUARDED_BY member is only touched under its lock. All
-// concurrent engine code uses these instead of std::mutex/std::lock_guard.
+// std::mutex wrapper declared as a capability, mtd::MutexLock is the
+// annotated lock_guard equivalent, and mtd::ConditionVariable waits
+// directly on a held Mutex; together they let the analysis prove that
+// every MTD_GUARDED_BY member is only touched under its lock. All
+// concurrent code uses these instead of the raw std primitives — the
+// mtd-lint raw-mutex rule bans std::mutex/std::lock_guard/
+// std::condition_variable everywhere outside this file.
 #pragma once
 
+#include <condition_variable>
 #include <mutex>
 
 #include "common/thread_annotations.hpp"
@@ -49,6 +53,32 @@ class MTD_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex& mutex_;
+};
+
+/// Condition variable that waits on an mtd::Mutex held via MutexLock.
+/// Built on std::condition_variable_any (Mutex satisfies BasicLockable).
+/// wait() releases and re-acquires the mutex internally, which the static
+/// analysis cannot track; the MTD_REQUIRES contract states the caller-side
+/// invariant (held before and after), and the body opts out of analysis.
+class ConditionVariable {
+ public:
+  ConditionVariable() = default;
+  ConditionVariable(const ConditionVariable&) = delete;
+  ConditionVariable& operator=(const ConditionVariable&) = delete;
+
+  /// Blocks until `predicate` holds; `mutex` must be held by the caller
+  /// (it is released while waiting and re-held when this returns).
+  template <typename Predicate>
+  void wait(Mutex& mutex, Predicate predicate) MTD_REQUIRES(mutex)
+      MTD_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mutex, std::move(predicate));
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
 };
 
 }  // namespace mtd

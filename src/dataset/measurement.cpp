@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <thread>
+
+#include "common/mutex.hpp"
 
 #include "common/error.hpp"
 #include "common/time_utils.hpp"
@@ -429,9 +429,9 @@ MeasurementDataset collect_dataset_parallel(
   const TraceGenerator generator(network, trace_config);
   const std::size_t window = threads * 4;
 
-  std::mutex mu;
-  std::condition_variable ready_cv;   // consumer waits for the next unit
-  std::condition_variable space_cv;   // workers wait for window space
+  Mutex mu;
+  ConditionVariable ready_cv;         // consumer waits for the next unit
+  ConditionVariable space_cv;         // workers wait for window space
   std::map<std::size_t, RecordedUnit> ready;  // guarded by mu
   std::size_t claim_cursor = 0;               // guarded by mu
   std::size_t replay_cursor = 0;              // guarded by mu
@@ -443,8 +443,8 @@ MeasurementDataset collect_dataset_parallel(
       for (;;) {
         std::size_t unit_index;
         {
-          std::unique_lock<std::mutex> lock(mu);
-          space_cv.wait(lock, [&] {
+          MutexLock lock(mu);
+          space_cv.wait(mu, [&] {
             return claim_cursor >= units ||
                    claim_cursor < replay_cursor + window;
           });
@@ -457,7 +457,7 @@ MeasurementDataset collect_dataset_parallel(
         generator.run_bs_day(network[unit_index / num_days],
                              unit_index % num_days, recorder);
         {
-          std::lock_guard<std::mutex> lock(mu);
+          MutexLock lock(mu);
           ready.emplace(unit_index, std::move(unit));
         }
         ready_cv.notify_one();
@@ -468,8 +468,8 @@ MeasurementDataset collect_dataset_parallel(
   for (std::size_t u = 0; u < units; ++u) {
     RecordedUnit unit;
     {
-      std::unique_lock<std::mutex> lock(mu);
-      ready_cv.wait(lock, [&] { return ready.count(u) != 0; });
+      MutexLock lock(mu);
+      ready_cv.wait(mu, [&] { return ready.count(u) != 0; });
       unit = std::move(ready.find(u)->second);
       ready.erase(u);
       replay_cursor = u + 1;

@@ -73,6 +73,8 @@ Json EngineCheckpoint::to_json() const {
   // can push them past 2^53, where JSON doubles silently round.
   obj.emplace("sessions_emitted", to_hex(sessions_emitted));
   obj.emplace("minutes_emitted", to_hex(minutes_emitted));
+  obj.emplace("segments_emitted", to_hex(segments_emitted));
+  obj.emplace("packets_emitted", to_hex(packets_emitted));
   obj.emplace("volume_mb", volume_mb);
   // The RNG-stream state of every shard: streams re-seed per (BS, day), so
   // (seed, next_day) pins them; recorded explicitly for forward
@@ -115,6 +117,16 @@ EngineCheckpoint EngineCheckpoint::from_json(const Json& json) {
                                  "EngineCheckpoint.sessions_emitted");
   cp.minutes_emitted = from_hex(json.at("minutes_emitted").as_string(),
                                 "EngineCheckpoint.minutes_emitted");
+  // Absent in files written before the typed event plane; those replays
+  // streamed no segment or packet events.
+  if (json.contains("segments_emitted")) {
+    cp.segments_emitted = from_hex(json.at("segments_emitted").as_string(),
+                                   "EngineCheckpoint.segments_emitted");
+  }
+  if (json.contains("packets_emitted")) {
+    cp.packets_emitted = from_hex(json.at("packets_emitted").as_string(),
+                                  "EngineCheckpoint.packets_emitted");
+  }
   cp.volume_mb = json.at("volume_mb").as_number();
   if (cp.clock_minute != cp.next_day * kMinutesPerDay) {
     throw ParseError(

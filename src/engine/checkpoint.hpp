@@ -46,9 +46,14 @@ struct EngineCheckpoint {
   std::size_t next_day = 0;       ///< first day not yet streamed
   std::uint64_t clock_minute = 0; ///< virtual clock, == next_day * 1440
 
-  // Cumulative totals, for telemetry continuity across resumes.
+  // Cumulative per-kind totals, for telemetry continuity across resumes.
+  // "Emitted" counts events produced into the rings (including any the
+  // backpressure policy later dropped); segment/packet counters are zero
+  // unless the engine's event_kinds mask enables those expansions.
   std::uint64_t sessions_emitted = 0;
   std::uint64_t minutes_emitted = 0;
+  std::uint64_t segments_emitted = 0;
+  std::uint64_t packets_emitted = 0;
   double volume_mb = 0.0;
 
   std::vector<EngineShardCursor> shards;

@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -26,14 +27,6 @@ const char* to_string(BackpressurePolicy p) noexcept {
   return "?";
 }
 
-const char* to_string(SinkErrorPolicy p) noexcept {
-  switch (p) {
-    case SinkErrorPolicy::kFailFast: return "fail_fast";
-    case SinkErrorPolicy::kDegrade: return "degrade";
-  }
-  return "?";
-}
-
 namespace {
 
 std::string hex_str(std::uint64_t v) {
@@ -41,6 +34,16 @@ std::string hex_str(std::uint64_t v) {
   const auto [ptr, ec] = std::to_chars(buf + 2, buf + sizeof(buf), v, 16);
   return std::string(buf, ptr);
 }
+
+/// The consumer-side fault point of each event kind.
+constexpr const char* kSinkFaultPoint[kNumEventKinds] = {
+    "sink.minute", "sink.session", "sink.segment", "sink.packet"};
+
+/// Independent expansion streams derived from the (BS, day) base stream:
+/// segment and packet draws never touch the session RNG, so enabling the
+/// expansions keeps session content bit-identical.
+constexpr std::uint64_t kSegmentStream = 0x7365676dULL;  // "segm"
+constexpr std::uint64_t kPacketStream = 0x70616b74ULL;   // "pakt"
 
 /// Cooperative cross-thread failure propagation: any thread (worker,
 /// consumer, watchdog) signals the first failure it sees; producers observe
@@ -73,20 +76,22 @@ class StopState {
   std::exception_ptr first_ MTD_GUARDED_BY(mutex_);
 };
 
-/// One entry of a worker's ring. kMinute and kSession reuse the Session
-/// bs/day/minute fields. At each day boundary a worker emits one
-/// kBsDayVolume per BS (the volume that BS produced that day) followed by
-/// a kDayEnd with its cumulative session counter: the consumer commits the
-/// day's volume as a fold over BSs in canonical index order, which keeps
-/// the checkpoint's volume counter bit-identical across worker counts and
-/// stop/resume splits.
-struct EngineEvent {
-  enum class Kind : std::uint8_t { kMinute, kSession, kBsDayVolume, kDayEnd };
-  Kind kind = Kind::kMinute;
-  std::uint32_t count = 0;  // kMinute: arrivals that minute
-  Session session;
-  std::uint64_t shard_sessions = 0;  // kDayEnd: produced so far this run
-  double bs_day_volume_mb = 0.0;     // kBsDayVolume: this BS, this day
+/// One ring slot. kBatch carries up to batch_size data events in
+/// generation order. At each day boundary a worker emits one kBsDayVolume
+/// per BS (the volume that BS produced that day) followed by a kDayEnd
+/// with its cumulative per-kind produced counters: the consumer commits
+/// the day's volume as a fold over BSs in canonical index order, which
+/// keeps the checkpoint's counters bit-identical across worker counts,
+/// batch sizes, and stop/resume splits. Control items always block, never
+/// drop.
+struct RingItem {
+  enum class Kind : std::uint8_t { kBatch, kBsDayVolume, kDayEnd };
+  Kind kind = Kind::kBatch;
+  EventBatch batch;                   // kBatch
+  std::uint32_t bs = 0;               // kBsDayVolume
+  std::uint16_t day = 0;              // kBsDayVolume, kDayEnd
+  double bs_day_volume_mb = 0.0;      // kBsDayVolume
+  std::array<std::uint64_t, kNumEventKinds> shard_produced{};  // kDayEnd
 };
 
 /// Scaled virtual clock: minute m of the replay maps to a wall-clock
@@ -110,30 +115,57 @@ struct VirtualClock {
 
 class ShardWorker {
  public:
-  ShardWorker(const TraceGenerator& generator, std::vector<std::uint32_t> bss,
-              std::size_t queue_capacity)
-      : generator_(&generator), bss_(std::move(bss)), ring_(queue_capacity) {}
+  ShardWorker(const TraceGenerator& generator, const EngineConfig& config,
+              std::vector<std::uint32_t> bss)
+      : generator_(&generator),
+        bss_(std::move(bss)),
+        ring_(config.queue_capacity),
+        batch_size_(config.batch_size),
+        kinds_(config.event_kinds),
+        mobility_(config.mobility),
+        packet_(config.packet) {
+    pending_.reserve(batch_size_);
+  }
 
-  SpscRing<EngineEvent>& ring() noexcept { return ring_; }
+  SpscRing<RingItem>& ring() noexcept { return ring_; }
+
+  /// Events staged but never pushed (abort before the batch flushed). Read
+  /// by the engine after the worker thread has been joined.
+  [[nodiscard]] const EventBatch& pending() const noexcept {
+    return pending_;
+  }
 
   void run(std::size_t first_day, std::size_t last_day,
            const VirtualClock& clock, BackpressurePolicy policy,
            Telemetry::PerWorker& tel, const std::atomic<bool>& abort,
            FaultInjector* fault) {
+    abort_ = &abort;
     const Network& network = generator_->network();
+    const bool emit_minutes = kinds_.contains(EventKind::kMinute);
+    const bool emit_sessions = kinds_.contains(EventKind::kSession);
+    const bool emit_segments = kinds_.contains(EventKind::kSegment);
+    const bool emit_packets = kinds_.contains(EventKind::kPacket);
     std::vector<BaseStation> scaled(bss_.size());
     std::vector<Rng> rngs(bss_.size(), Rng(0));
+    std::vector<Rng> seg_rngs(bss_.size(), Rng(0));
+    std::vector<Rng> pkt_rngs(bss_.size(), Rng(0));
     std::vector<double> day_volume(bss_.size(), 0.0);
+    std::vector<std::uint64_t> seqs(bss_.size(), 0);
 
     for (std::size_t day = first_day; day < last_day; ++day) {
       fault_fire(fault, "worker.day");
       // Day boundary: every (BS, day) stream re-seeds, which is what makes
-      // day-boundary checkpoints O(1) (see engine/checkpoint.hpp).
+      // day-boundary checkpoints O(1) (see engine/checkpoint.hpp). The
+      // expansion streams are split off the base stream without consuming
+      // it, so the session draws stay exactly the batch generator's.
       for (std::size_t i = 0; i < bss_.size(); ++i) {
         const BaseStation& bs = network[bss_[i]];
         scaled[i] = generator_->day_scaled(bs, day);
         rngs[i] = generator_->bs_day_rng(bs, day);
+        seg_rngs[i] = rngs[i].split(kSegmentStream);
+        pkt_rngs[i] = rngs[i].split(kPacketStream);
         day_volume[i] = 0.0;
+        seqs[i] = 0;
       }
       for (std::size_t minute = 0; minute < kMinutesPerDay; ++minute) {
         const std::uint64_t abs_minute = day * kMinutesPerDay + minute;
@@ -143,76 +175,127 @@ class ShardWorker {
           const BaseStation& bs = network[bss_[i]];
           const std::uint32_t count =
               ArrivalProcess(scaled[i]).sample(minute, rngs[i]);
-          EngineEvent ev;
-          ev.kind = EngineEvent::Kind::kMinute;
-          ev.count = count;
-          ev.session.bs = bs.id;
-          ev.session.day = static_cast<std::uint16_t>(day);
-          ev.session.minute_of_day = static_cast<std::uint16_t>(minute);
-          if (!push(std::move(ev), policy, tel, &tel.dropped_minutes,
-                    abort)) {
-            return;  // aborted while blocked
+          const EventKey base_key{bs.id, static_cast<std::uint16_t>(day),
+                                  static_cast<std::uint16_t>(minute), 0};
+          if (emit_minutes) {
+            StreamEvent ev;
+            ev.key = base_key;
+            ev.key.seq = seqs[i]++;
+            ev.payload = MinuteEvent{count};
+            if (!append(std::move(ev), policy, tel)) return;
           }
           for (std::uint32_t k = 0; k < count; ++k) {
             fault_fire(fault, "worker.session");
-            EngineEvent sev;
-            sev.kind = EngineEvent::Kind::kSession;
-            sev.session =
+            const Session session =
                 generator_->sample_session(bs, day, minute, rngs[i]);
-            const double volume = sev.session.volume_mb;
-            if (!push(std::move(sev), policy, tel, &tel.dropped_sessions,
-                      abort)) {
-              return;
+            day_volume[i] += session.volume_mb;
+            // The session's slot in the (BS, day) order is allocated even
+            // when session events are masked out, so segment and packet
+            // events always reference a stable session_seq.
+            const std::uint64_t session_seq = seqs[i]++;
+            if (emit_sessions) {
+              StreamEvent ev;
+              ev.key = base_key;
+              ev.key.seq = session_seq;
+              ev.payload = SessionEvent{session};
+              if (!append(std::move(ev), policy, tel)) return;
             }
-            // Produced counters include dropped events: they were
-            // generated; the drop counters say what never reached the sink.
-            ++sessions_;
-            day_volume[i] += volume;
-            tel.sessions_produced.store(sessions_,
-                                        std::memory_order_relaxed);
+            if (emit_segments) {
+              const HandoverChain chain = mobility_.split(
+                  session.volume_mb, session.duration_s, seg_rngs[i]);
+              for (const SessionSegment& segment : chain.segments) {
+                StreamEvent ev;
+                ev.key = base_key;
+                ev.key.seq = seqs[i]++;
+                ev.payload = SegmentEvent{segment, session.service,
+                                          chain.state, session_seq};
+                if (!append(std::move(ev), policy, tel)) return;
+              }
+            }
+            if (emit_packets) {
+              packet_.generate_stream(
+                  session.volume_mb, session.duration_s, pkt_rngs[i],
+                  [&](const Packet& packet) {
+                    if (aborted_) return;  // cannot break out of the stream
+                    StreamEvent ev;
+                    ev.key = base_key;
+                    ev.key.seq = seqs[i]++;
+                    ev.payload =
+                        PacketEvent{packet, session.service, session_seq};
+                    static_cast<void>(append(std::move(ev), policy, tel));
+                  });
+              if (aborted_) return;
+            }
           }
         }
         tel.produced_minute.store(abs_minute + 1, std::memory_order_relaxed);
       }
-      // Per-BS day volumes, then the day-end marker that gates checkpoints;
-      // all of these always block, never drop.
+      // Flush the partial batch, then the per-BS day volumes and the
+      // day-end marker that gates checkpoints; controls always block.
+      if (!flush(policy, tel)) return;
       for (std::size_t i = 0; i < bss_.size(); ++i) {
-        EngineEvent dv;
-        dv.kind = EngineEvent::Kind::kBsDayVolume;
-        dv.session.bs = bss_[i];
-        dv.session.day = static_cast<std::uint16_t>(day);
+        RingItem dv;
+        dv.kind = RingItem::Kind::kBsDayVolume;
+        dv.bs = bss_[i];
+        dv.day = static_cast<std::uint16_t>(day);
         dv.bs_day_volume_mb = day_volume[i];
-        if (!push(std::move(dv), BackpressurePolicy::kBlock, tel, nullptr,
-                  abort)) {
+        if (!push_item(std::move(dv), BackpressurePolicy::kBlock, tel)) {
           return;
         }
       }
-      EngineEvent end;
-      end.kind = EngineEvent::Kind::kDayEnd;
-      end.session.day = static_cast<std::uint16_t>(day);
-      end.shard_sessions = sessions_;
-      if (!push(std::move(end), BackpressurePolicy::kBlock, tel, nullptr,
-                abort)) {
+      RingItem end;
+      end.kind = RingItem::Kind::kDayEnd;
+      end.day = static_cast<std::uint16_t>(day);
+      end.shard_produced = produced_;
+      if (!push_item(std::move(end), BackpressurePolicy::kBlock, tel)) {
         return;
       }
     }
   }
 
  private:
-  /// Pushes one event under the backpressure policy. Returns false only
+  /// Stages one event into the pending batch, flushing when full.
+  /// Produced counters include dropped events: they were generated; the
+  /// drop counters say what never reached the sink. Returns false only
   /// when aborted while waiting for ring space.
-  bool push(EngineEvent&& ev, BackpressurePolicy policy,
-            Telemetry::PerWorker& tel,
-            std::atomic<std::uint64_t>* drop_counter,
-            const std::atomic<bool>& abort) {
-    if (ring_.try_push(std::move(ev))) return true;
-    if (policy == BackpressurePolicy::kDropNewest && drop_counter != nullptr) {
-      drop_counter->fetch_add(1, std::memory_order_relaxed);
+  bool append(StreamEvent&& ev, BackpressurePolicy policy,
+              Telemetry::PerWorker& tel) {
+    if (aborted_) return false;
+    const auto kind = static_cast<std::size_t>(ev.kind());
+    ++produced_[kind];
+    tel.produced[kind].fetch_add(1, std::memory_order_relaxed);
+    pending_.push_back(std::move(ev));
+    if (pending_.size() >= batch_size_) return flush(policy, tel);
+    return true;
+  }
+
+  bool flush(BackpressurePolicy policy, Telemetry::PerWorker& tel) {
+    if (pending_.empty()) return true;
+    RingItem item;
+    item.batch = std::move(pending_);
+    pending_ = EventBatch();
+    pending_.reserve(batch_size_);
+    return push_item(std::move(item), policy, tel);
+  }
+
+  /// Pushes one ring slot under the backpressure policy. A dropped kBatch
+  /// counts every event it carried, per kind.
+  bool push_item(RingItem&& item, BackpressurePolicy policy,
+                 Telemetry::PerWorker& tel) {
+    if (ring_.try_push(std::move(item))) return true;
+    if (policy == BackpressurePolicy::kDropNewest &&
+        item.kind == RingItem::Kind::kBatch) {
+      for (const StreamEvent& ev : item.batch) {
+        tel.count_dropped(ev.kind());
+      }
       return true;
     }
     const auto blocked_at = std::chrono::steady_clock::now();
-    while (!ring_.try_push(std::move(ev))) {
-      if (abort.load(std::memory_order_relaxed)) return false;
+    while (!ring_.try_push(std::move(item))) {
+      if (abort_->load(std::memory_order_relaxed)) {
+        aborted_ = true;
+        return false;
+      }
       std::this_thread::yield();
     }
     tel.stall_ns.fetch_add(
@@ -226,8 +309,15 @@ class ShardWorker {
 
   const TraceGenerator* generator_;
   std::vector<std::uint32_t> bss_;
-  SpscRing<EngineEvent> ring_;
-  std::uint64_t sessions_ = 0;
+  SpscRing<RingItem> ring_;
+  std::size_t batch_size_;
+  EventKindMask kinds_;
+  HandoverChainGenerator mobility_;
+  PacketScheduleGenerator packet_;
+  EventBatch pending_;
+  std::array<std::uint64_t, kNumEventKinds> produced_{};
+  const std::atomic<bool>* abort_ = nullptr;
+  bool aborted_ = false;
 };
 
 }  // namespace
@@ -244,16 +334,23 @@ StreamEngine::StreamEngine(const Network& network, const TraceConfig& trace,
   config_.num_workers = std::min(config_.num_workers, network.size());
   require(config_.queue_capacity >= 2,
           "StreamEngine: queue_capacity must be at least 2");
+  require(config_.batch_size >= 1,
+          "StreamEngine: batch_size must be at least 1");
   require(config_.checkpoint_max_attempts >= 1,
           "StreamEngine: checkpoint_max_attempts must be at least 1");
 }
 
+EngineResult StreamEngine::run(EventSink& sink) {
+  return run_days(sink, 0, {}, 0.0);
+}
+
 EngineResult StreamEngine::run(TraceSink& sink) {
-  return run_days(sink, 0, 0, 0, 0.0);
+  TraceSinkAdapter adapter(network(), sink);
+  return run(adapter);
 }
 
 EngineResult StreamEngine::resume(const EngineCheckpoint& from,
-                                  TraceSink& sink) {
+                                  EventSink& sink) {
   const TraceConfig& trace = generator_.config();
   const auto mismatch = [](const char* field, const std::string& expected,
                            const std::string& actual) {
@@ -288,14 +385,26 @@ EngineResult StreamEngine::resume(const EngineCheckpoint& from,
         std::to_string(from.next_day) + ") is beyond the horizon (num_days=" +
         std::to_string(trace.num_days) + ")");
   }
-  return run_days(sink, from.next_day, from.sessions_emitted,
-                  from.minutes_emitted, from.volume_mb);
+  std::array<std::uint64_t, kNumEventKinds> prior{};
+  prior[static_cast<std::size_t>(EventKind::kMinute)] = from.minutes_emitted;
+  prior[static_cast<std::size_t>(EventKind::kSession)] =
+      from.sessions_emitted;
+  prior[static_cast<std::size_t>(EventKind::kSegment)] =
+      from.segments_emitted;
+  prior[static_cast<std::size_t>(EventKind::kPacket)] = from.packets_emitted;
+  return run_days(sink, from.next_day, prior, from.volume_mb);
 }
 
-EngineResult StreamEngine::run_days(TraceSink& sink, std::size_t first_day,
-                                    std::uint64_t prior_sessions,
-                                    std::uint64_t prior_minutes,
-                                    double prior_volume) {
+EngineResult StreamEngine::resume(const EngineCheckpoint& from,
+                                  TraceSink& sink) {
+  TraceSinkAdapter adapter(network(), sink);
+  return resume(from, adapter);
+}
+
+EngineResult StreamEngine::run_days(
+    EventSink& sink, std::size_t first_day,
+    const std::array<std::uint64_t, kNumEventKinds>& prior,
+    double prior_volume) {
   const Network& network = generator_.network();
   const TraceConfig& trace = generator_.config();
   const std::size_t budget =
@@ -303,14 +412,16 @@ EngineResult StreamEngine::run_days(TraceSink& sink, std::size_t first_day,
   const std::size_t last_day =
       std::min(trace.num_days, first_day + budget);
   const std::size_t num_workers = config_.num_workers;
+  using KindTotals = std::array<std::uint64_t, kNumEventKinds>;
 
   // `volume_mb` is the absolute committed volume: prior volume plus one
   // per-day increment per finished day, each folded over BSs in index
   // order. That single canonical association order makes the counter
-  // bit-identical across worker counts and stop/resume splits.
-  auto make_checkpoint = [&](std::size_t next_day, std::uint64_t sessions,
+  // bit-identical across worker counts, batch sizes, and stop/resume
+  // splits.
+  auto make_checkpoint = [&](std::size_t next_day, const KindTotals& totals,
                              double volume_mb,
-                             const std::vector<std::uint64_t>& per_shard) {
+                             const std::vector<KindTotals>& per_shard) {
     EngineCheckpoint cp;
     cp.seed = trace.seed;
     cp.num_days = trace.num_days;
@@ -319,19 +430,25 @@ EngineResult StreamEngine::run_days(TraceSink& sink, std::size_t first_day,
     cp.network_fingerprint = fingerprint_;
     cp.next_day = next_day;
     cp.clock_minute = next_day * kMinutesPerDay;
-    cp.sessions_emitted = prior_sessions + sessions;
+    const auto idx = [](EventKind k) { return static_cast<std::size_t>(k); };
     cp.minutes_emitted =
-        prior_minutes + static_cast<std::uint64_t>(network.size()) *
-                            kMinutesPerDay * (next_day - first_day);
+        prior[idx(EventKind::kMinute)] + totals[idx(EventKind::kMinute)];
+    cp.sessions_emitted =
+        prior[idx(EventKind::kSession)] + totals[idx(EventKind::kSession)];
+    cp.segments_emitted =
+        prior[idx(EventKind::kSegment)] + totals[idx(EventKind::kSegment)];
+    cp.packets_emitted =
+        prior[idx(EventKind::kPacket)] + totals[idx(EventKind::kPacket)];
     cp.volume_mb = volume_mb;
     for (std::size_t w = 0; w < per_shard.size(); ++w) {
-      cp.shards.push_back(EngineShardCursor{w, next_day, per_shard[w]});
+      cp.shards.push_back(EngineShardCursor{
+          w, next_day, per_shard[w][idx(EventKind::kSession)]});
     }
     return cp;
   };
 
   Telemetry telemetry(num_workers);
-  telemetry.start(prior_sessions, prior_volume);
+  telemetry.start(prior, prior_volume);
   for (std::size_t w = 0; w < num_workers; ++w) {
     telemetry.worker(w).produced_minute.store(first_day * kMinutesPerDay,
                                               std::memory_order_relaxed);
@@ -340,8 +457,9 @@ EngineResult StreamEngine::run_days(TraceSink& sink, std::size_t first_day,
   // Nothing to stream (resume of a finished replay, or zero-day budget).
   if (first_day >= last_day) {
     EngineResult result;
-    result.checkpoint = make_checkpoint(
-        first_day, 0, prior_volume, std::vector<std::uint64_t>(num_workers, 0));
+    result.checkpoint =
+        make_checkpoint(first_day, KindTotals{}, prior_volume,
+                        std::vector<KindTotals>(num_workers));
     result.telemetry = telemetry.snapshot(0);
     return result;
   }
@@ -355,8 +473,8 @@ EngineResult StreamEngine::run_days(TraceSink& sink, std::size_t first_day,
     for (std::size_t b = w; b < network.size(); b += num_workers) {
       bss.push_back(static_cast<std::uint32_t>(b));
     }
-    shards.push_back(std::make_unique<ShardWorker>(generator_, std::move(bss),
-                                                   config_.queue_capacity));
+    shards.push_back(
+        std::make_unique<ShardWorker>(generator_, config_, std::move(bss)));
   }
 
   VirtualClock clock{config_.time_scale, std::chrono::steady_clock::now(),
@@ -405,10 +523,12 @@ EngineResult StreamEngine::run_days(TraceSink& sink, std::size_t first_day,
                                  deadline / 4.0);
       auto signature = [&] {
         const TelemetrySnapshot s = telemetry.snapshot(0);
-        return s.sessions_produced + s.sessions_consumed + s.minutes_consumed +
-               s.dropped_sessions + s.dropped_minutes + s.sink_errors +
-               s.sink_error_minutes + s.discarded_sessions +
-               s.discarded_minutes + s.clock_minute;
+        std::uint64_t sum = s.clock_minute;
+        for (const EventKindCounters& c : s.kinds) {
+          sum += c.produced + c.consumed + c.dropped + c.sink_errors +
+                 c.discarded;
+        }
+        return sum;
       };
       std::uint64_t last_signature = signature();
       auto last_change = std::chrono::steady_clock::now();
@@ -437,7 +557,7 @@ EngineResult StreamEngine::run_days(TraceSink& sink, std::size_t first_day,
   // Consumer: this thread drains every ring into the sink.
   EngineResult result;
   std::vector<std::size_t> shard_next_day(num_workers, first_day);
-  std::vector<std::uint64_t> shard_sessions(num_workers, 0);
+  std::vector<KindTotals> shard_produced(num_workers);
   // Per-BS volumes of each not-yet-committed day; folded into
   // committed_volume in (day, BS) order once every shard passes the day.
   std::map<std::size_t, std::vector<double>> day_volumes;
@@ -476,48 +596,54 @@ EngineResult StreamEngine::run_days(TraceSink& sink, std::size_t first_day,
     }
   };
 
-  auto deliver = [&](EngineEvent& ev, std::size_t w) {
-    switch (ev.kind) {
-      case EngineEvent::Kind::kMinute:
-        try {
-          fault_fire(config_.fault, "sink.minute");
-          sink.on_minute(network[ev.session.bs], ev.session.day,
-                         ev.session.minute_of_day, ev.count);
-        } catch (...) {
-          if (config_.sink_error_policy == SinkErrorPolicy::kFailFast) {
-            // The in-flight event dies with the abort; count it discarded
-            // so the conservation identity stays exact on failure paths.
-            telemetry.count_discarded_minute();
+  auto deliver_event = [&](const StreamEvent& ev) {
+    const EventKind kind = ev.kind();
+    try {
+      fault_fire(config_.fault,
+                 kSinkFaultPoint[static_cast<std::size_t>(kind)]);
+      sink.on_event(ev);
+    } catch (...) {
+      if (config_.sink_error_policy == SinkErrorPolicy::kFailFast) {
+        // The in-flight event dies with the abort; count it discarded so
+        // the per-kind conservation identity stays exact on failure paths.
+        telemetry.count_discarded(kind);
+        throw;
+      }
+      telemetry.count_sink_error(kind);
+      return;
+    }
+    telemetry.count_consumed(
+        kind, kind == EventKind::kSession
+                  ? std::get<SessionEvent>(ev.payload).session.volume_mb
+                  : 0.0);
+  };
+
+  auto deliver = [&](RingItem& item, std::size_t w) {
+    switch (item.kind) {
+      case RingItem::Kind::kBatch:
+        for (std::size_t i = 0; i < item.batch.size(); ++i) {
+          try {
+            deliver_event(item.batch[i]);
+          } catch (...) {
+            // The batch is already popped from the ring, so the events
+            // behind the failing one can never be delivered or drained:
+            // count them discarded to keep the per-kind identity exact.
+            for (std::size_t j = i + 1; j < item.batch.size(); ++j) {
+              telemetry.count_discarded(item.batch[j].kind());
+            }
             throw;
           }
-          telemetry.count_sink_error(/*minute=*/true);
-          break;
         }
-        telemetry.count_minute();
         break;
-      case EngineEvent::Kind::kSession:
-        try {
-          fault_fire(config_.fault, "sink.session");
-          sink.on_session(ev.session);
-        } catch (...) {
-          if (config_.sink_error_policy == SinkErrorPolicy::kFailFast) {
-            telemetry.count_discarded_session();
-            throw;
-          }
-          telemetry.count_sink_error(/*minute=*/false);
-          break;
-        }
-        telemetry.count_session(ev.session.volume_mb);
-        break;
-      case EngineEvent::Kind::kBsDayVolume: {
-        auto& volumes = day_volumes[ev.session.day];
+      case RingItem::Kind::kBsDayVolume: {
+        auto& volumes = day_volumes[item.day];
         if (volumes.empty()) volumes.assign(network.size(), 0.0);
-        volumes[ev.session.bs] = ev.bs_day_volume_mb;
+        volumes[item.bs] = item.bs_day_volume_mb;
         break;
       }
-      case EngineEvent::Kind::kDayEnd: {
-        shard_next_day[w] = static_cast<std::size_t>(ev.session.day) + 1;
-        shard_sessions[w] = ev.shard_sessions;
+      case RingItem::Kind::kDayEnd: {
+        shard_next_day[w] = static_cast<std::size_t>(item.day) + 1;
+        shard_produced[w] = item.shard_produced;
         const std::size_t day_low_water =
             *std::min_element(shard_next_day.begin(), shard_next_day.end());
         if (day_low_water > checkpointed_day) {
@@ -533,12 +659,15 @@ EngineResult StreamEngine::run_days(TraceSink& sink, std::size_t first_day,
             committed_volume += day_total;
           }
           checkpointed_day = day_low_water;
-          std::uint64_t sessions = 0;
+          KindTotals totals{};
           for (std::size_t i = 0; i < num_workers; ++i) {
-            sessions += shard_sessions[i];
+            for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+              totals[k] += shard_produced[i][k];
+            }
           }
-          result.checkpoint = make_checkpoint(checkpointed_day, sessions,
-                                              committed_volume, shard_sessions);
+          result.checkpoint = make_checkpoint(checkpointed_day, totals,
+                                              committed_volume,
+                                              shard_produced);
           // Commit order matters for exactly-once recovery: the callback
           // (the Supervisor flushing buffered days downstream) runs before
           // the checkpoint is persisted, so a failed save leaves the
@@ -560,11 +689,13 @@ EngineResult StreamEngine::run_days(TraceSink& sink, std::size_t first_day,
       fault_fire(config_.fault, "consumer.loop");
       bool any = false;
       for (std::size_t w = 0; w < num_workers; ++w) {
-        EngineEvent ev;
-        while (shards[w]->ring().try_pop(ev)) {
+        RingItem item;
+        while (shards[w]->ring().try_pop(item)) {
           any = true;
-          deliver(ev, w);
-          if (++delivered_since_check >= 4096) {
+          deliver(item, w);
+          delivered_since_check += std::max<std::size_t>(
+              1, item.kind == RingItem::Kind::kBatch ? item.batch.size() : 1);
+          if (delivered_since_check >= 4096) {
             delivered_since_check = 0;
             maybe_snapshot();
           }
@@ -575,8 +706,8 @@ EngineResult StreamEngine::run_days(TraceSink& sink, std::size_t first_day,
           // Workers are done; one final sweep drains anything pushed
           // between our empty check and their exit.
           for (std::size_t w = 0; w < num_workers; ++w) {
-            EngineEvent ev;
-            while (shards[w]->ring().try_pop(ev)) deliver(ev, w);
+            RingItem item;
+            while (shards[w]->ring().try_pop(item)) deliver(item, w);
           }
           break;
         }
@@ -592,18 +723,18 @@ EngineResult StreamEngine::run_days(TraceSink& sink, std::size_t first_day,
   if (stop.requested()) {
     // Unblock producers (they check the flag while spinning on a full ring
     // and at every minute tick), draining without delivering. Every drained
-    // event is counted, so produced/consumed/dropped accounting stays exact
-    // on the failure path too.
+    // data event is counted, so the per-kind accounting identity stays
+    // exact on the failure path too.
     for (;;) {
       bool any = false;
-      EngineEvent ev;
+      RingItem item;
       for (const auto& s : shards) {
-        while (s->ring().try_pop(ev)) {
+        while (s->ring().try_pop(item)) {
           any = true;
-          if (ev.kind == EngineEvent::Kind::kSession) {
-            telemetry.count_discarded_session();
-          } else if (ev.kind == EngineEvent::Kind::kMinute) {
-            telemetry.count_discarded_minute();
+          if (item.kind == RingItem::Kind::kBatch) {
+            for (const StreamEvent& ev : item.batch) {
+              telemetry.count_discarded(ev.kind());
+            }
           }
         }
       }
@@ -614,6 +745,16 @@ EngineResult StreamEngine::run_days(TraceSink& sink, std::size_t first_day,
   engine_done.store(true, std::memory_order_release);
   for (std::thread& t : threads) t.join();
   if (watchdog.joinable()) watchdog.join();
+
+  if (stop.requested()) {
+    // Events an aborted worker staged but never flushed were produced and
+    // undelivered: count them discarded so the identity closes exactly.
+    for (const auto& s : shards) {
+      for (const StreamEvent& ev : s->pending()) {
+        telemetry.count_discarded(ev.kind());
+      }
+    }
+  }
 
   if (std::exception_ptr error = stop.first_error()) {
     // Final diagnostic snapshot before the failure propagates: the last

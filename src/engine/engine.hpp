@@ -2,22 +2,28 @@
 //
 // Turns the batch trace generator into an online runtime: the network's
 // base stations are sharded across N worker threads, each advancing a
-// minute-tick virtual clock and producing (minute, session) events into its
-// own bounded SPSC ring; a single consumer thread drains the rings into one
-// TraceSink. Because every (BS, day) has an independent RNG stream (see
-// TraceGenerator::bs_day_rng), the per-BS event sequence delivered to the
-// sink is bit-identical to the batch path for any worker count — sharding
-// changes only the interleaving across BSs, never the content.
+// minute-tick virtual clock and producing typed StreamEvents (minute
+// counts, sessions, and — when enabled — handover segments and packet
+// schedules expanding each session) into its own bounded SPSC ring; a
+// single consumer thread drains the rings into one EventSink. Events move
+// through the rings in batches of EngineConfig::batch_size to amortize the
+// atomic head/tail traffic. Because every (BS, day) has an independent RNG
+// stream (see TraceGenerator::bs_day_rng; segment/packet expansion draws
+// from separately salted per-(BS, day) streams), the per-BS event sequence
+// delivered to the sink is bit-identical to the batch path for any worker
+// count and any batch size — sharding and batching change only the
+// interleaving across BSs, never the content.
 //
 // Two pacing modes: a scaled virtual clock (time_scale simulated seconds
 // per wall second) for live replay, or max-throughput (time_scale <= 0).
 // When the consumer falls behind, the configured backpressure policy either
 // blocks the producers (lossless; stall time is metered) or drops events
-// (drop counters in telemetry). Day boundaries act as global barriers at
-// which the engine records a checkpoint (engine/checkpoint.hpp) from which
-// a later run resumes bit-identically.
+// (per-kind drop counters in telemetry). Day boundaries act as global
+// barriers at which the engine records a checkpoint (engine/checkpoint.hpp)
+// from which a later run resumes bit-identically.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -26,6 +32,10 @@
 #include "dataset/network.hpp"
 #include "engine/checkpoint.hpp"
 #include "engine/telemetry.hpp"
+#include "events/event_sink.hpp"
+#include "events/stream_event.hpp"
+#include "mobility/handover.hpp"
+#include "packet/packet_schedule.hpp"
 
 namespace mtd {
 
@@ -34,24 +44,30 @@ class FaultInjector;
 /// What producers do when their ring is full.
 enum class BackpressurePolicy : std::uint8_t {
   kBlock,      ///< wait for the consumer; lossless, stall time metered
-  kDropNewest, ///< drop the event being pushed; counted in telemetry
+  kDropNewest, ///< drop the batch being pushed; counted in telemetry
 };
 
 [[nodiscard]] const char* to_string(BackpressurePolicy p) noexcept;
 
-/// What the consumer does when a sink callback throws.
-enum class SinkErrorPolicy : std::uint8_t {
-  kFailFast, ///< abort the run and rethrow (the historical behavior)
-  kDegrade,  ///< count the failed delivery in telemetry and keep streaming
-};
-
-[[nodiscard]] const char* to_string(SinkErrorPolicy p) noexcept;
-
 struct EngineConfig {
   /// Worker (producer) threads; clamped to the number of BSs.
   std::size_t num_workers = 2;
-  /// Slots per worker ring (rounded up to a power of two).
+  /// Slots per worker ring (rounded up to a power of two). Each slot holds
+  /// one EventBatch, so the buffered-event bound is queue_capacity *
+  /// batch_size per worker.
   std::size_t queue_capacity = 8192;
+  /// Events per ring transfer (>= 1). Larger batches amortize the atomic
+  /// ring traffic; under kDropNewest a full ring drops a whole batch.
+  std::size_t batch_size = 64;
+  /// Which event kinds the workers produce. Minute and session events
+  /// reproduce the pre-refactor session replay; adding kSegment expands
+  /// every session into its handover chain (config `mobility`), adding
+  /// kPacket into its packet schedule (config `packet`). Expansion draws
+  /// from separately salted per-(BS, day) RNG streams, so enabling it
+  /// never perturbs the session content.
+  EventKindMask event_kinds = EventKindMask::session_replay();
+  MobilityConfig mobility;
+  PacketScheduleConfig packet;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
   /// Simulated seconds per wall-clock second; <= 0 streams at maximum
   /// throughput. 60 replays one simulated minute per real second; 86400
@@ -68,8 +84,9 @@ struct EngineConfig {
   /// every completed day boundary (crash-safe: tmp file + atomic rename).
   std::string checkpoint_path;
   /// How a throwing sink is handled (see SinkErrorPolicy). Under kDegrade
-  /// the accounting identity produced == consumed + dropped + sink_errors
-  /// still holds exactly; failed deliveries are never silently lost.
+  /// the per-kind accounting identity produced == consumed + dropped +
+  /// sink_errors still holds exactly; failed deliveries are never silently
+  /// lost.
   SinkErrorPolicy sink_error_policy = SinkErrorPolicy::kFailFast;
   /// When > 0, a watchdog thread aborts the run with a retryable
   /// EngineError if no counter makes progress for this many wall seconds
@@ -101,6 +118,11 @@ class StreamEngine {
   /// Streams days [0, horizon) — or fewer under stop_after_days — into
   /// `sink`. All sink callbacks happen on one consumer thread. Blocking
   /// call; returns once producers and consumer have drained.
+  [[nodiscard]] EngineResult run(EventSink& sink);
+
+  /// Legacy entry point: wraps `sink` in a TraceSinkAdapter (minute and
+  /// session events only; segment/packet events are dropped by the
+  /// adapter, so pair it with a session_replay() event mask).
   [[nodiscard]] EngineResult run(TraceSink& sink);
 
   /// Continues a run from a day-boundary checkpoint. Throws
@@ -108,6 +130,8 @@ class StreamEngine {
   /// network/trace configuration. The worker count may differ from the
   /// run that produced the checkpoint — per-BS streams do not depend on
   /// the sharding.
+  [[nodiscard]] EngineResult resume(const EngineCheckpoint& from,
+                                    EventSink& sink);
   [[nodiscard]] EngineResult resume(const EngineCheckpoint& from,
                                     TraceSink& sink);
 
@@ -132,11 +156,10 @@ class StreamEngine {
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
 
  private:
-  [[nodiscard]] EngineResult run_days(TraceSink& sink,
-                                      std::size_t first_day,
-                                      std::uint64_t prior_sessions,
-                                      std::uint64_t prior_minutes,
-                                      double prior_volume);
+  [[nodiscard]] EngineResult run_days(
+      EventSink& sink, std::size_t first_day,
+      const std::array<std::uint64_t, kNumEventKinds>& prior,
+      double prior_volume);
 
   TraceGenerator generator_;
   EngineConfig config_;

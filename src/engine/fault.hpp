@@ -11,9 +11,11 @@
 //
 // Compiled-in points (see fault.cpp for the canonical list):
 //   worker.day        fired by each shard worker at every day start
-//   worker.session    fired before each generated session is pushed
-//   sink.minute       fired before each on_minute sink delivery
-//   sink.session      fired before each on_session sink delivery
+//   worker.session    fired before each generated session is staged
+//   sink.minute       fired before each minute-event sink delivery
+//   sink.session      fired before each session-event sink delivery
+//   sink.segment      fired before each segment-event sink delivery
+//   sink.packet       fired before each packet-event sink delivery
 //   consumer.loop     fired once per consumer sweep (stall target)
 //   checkpoint.write  fired by EngineCheckpoint::save before writing
 #pragma once

@@ -2,50 +2,92 @@
 //
 // Shard workers and the consumer thread update disjoint sets of atomic
 // counters (relaxed ordering; the numbers feed monitoring, not control
-// flow). Snapshots aggregate them into a consistent-enough view — exact
-// once the engine has drained — and serialize to a flat JSON object that
-// benches and the example binary print as one line per snapshot.
+// flow). Counters are kept per event kind (minute, session, segment,
+// packet — see events/stream_event.hpp): the conservation identity
+// produced == consumed + dropped + sink_errors + discarded holds for every
+// kind independently. Snapshots aggregate them into a consistent-enough
+// view — exact once the engine has drained — and serialize to a flat JSON
+// object (plus a per-kind "kinds" object) that benches and the example
+// binary print as one line per snapshot.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "events/stream_event.hpp"
 #include "io/json.hpp"
 
 namespace mtd {
+
+/// Counter block of one event kind. Drops happen under the kDropNewest
+/// backpressure policy, sink errors under SinkErrorPolicy::kDegrade,
+/// discards while draining on an abort.
+struct EventKindCounters {
+  std::uint64_t produced = 0;
+  std::uint64_t consumed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t sink_errors = 0;
+  std::uint64_t discarded = 0;
+
+  /// Conservation identity of one kind: every produced event was delivered,
+  /// shed by backpressure, rejected by the sink, or discarded on abort.
+  [[nodiscard]] bool accounted_for() const noexcept {
+    return produced == consumed + dropped + sink_errors + discarded;
+  }
+};
 
 /// Point-in-time aggregate of the engine counters.
 struct TelemetrySnapshot {
   double wall_seconds = 0.0;           // since run() started
   std::uint64_t clock_minute = 0;      // virtual-clock low-water mark
-  std::uint64_t sessions_produced = 0; // entered the rings (cumulative)
-  std::uint64_t sessions_consumed = 0; // delivered to the sink (cumulative)
-  std::uint64_t minutes_consumed = 0;  // minute callbacks delivered
+  std::array<EventKindCounters, kNumEventKinds> kinds{};
   double volume_mb = 0.0;              // traffic delivered to the sink
   std::uint64_t queue_depth = 0;       // sum of ring occupancies now
-  std::uint64_t dropped_sessions = 0;  // drop backpressure policy only
-  std::uint64_t dropped_minutes = 0;
-  std::uint64_t sink_errors = 0;          // failed on_session deliveries
-  std::uint64_t sink_error_minutes = 0;   // failed on_minute deliveries
-  std::uint64_t discarded_sessions = 0;   // drained undelivered on abort
-  std::uint64_t discarded_minutes = 0;
   double producer_stall_seconds = 0.0; // blocked-on-full time, all workers
   double sessions_per_second = 0.0;    // consumed / wall
+  double events_per_second = 0.0;      // consumed, all kinds / wall
   double mbytes_per_second = 0.0;      // delivered volume / wall
 
-  /// The conservation identity that holds at every drained snapshot, on
-  /// success and failure paths alike: every produced session was delivered,
-  /// shed by backpressure, rejected by the sink, or discarded on abort.
-  [[nodiscard]] bool sessions_accounted_for() const noexcept {
-    return sessions_produced == sessions_consumed + dropped_sessions +
-                                    sink_errors + discarded_sessions;
+  // Legacy scalar views of the per-kind counters; kept as first-class
+  // fields (and JSON keys) for downstream tooling written before events
+  // became typed. Always equal to the corresponding kinds[] entries.
+  std::uint64_t sessions_produced = 0;
+  std::uint64_t sessions_consumed = 0;
+  std::uint64_t minutes_consumed = 0;
+  std::uint64_t dropped_sessions = 0;
+  std::uint64_t dropped_minutes = 0;
+  std::uint64_t sink_errors = 0;          // failed session deliveries
+  std::uint64_t sink_error_minutes = 0;   // failed minute deliveries
+  std::uint64_t discarded_sessions = 0;
+  std::uint64_t discarded_minutes = 0;
+
+  [[nodiscard]] const EventKindCounters& of(EventKind kind) const noexcept {
+    return kinds[static_cast<std::size_t>(kind)];
   }
 
-  /// Flat JSON object; keys are stable for downstream tooling.
+  /// Re-derives the legacy scalar fields from kinds[].
+  void sync_legacy_fields() noexcept;
+
+  [[nodiscard]] bool sessions_accounted_for() const noexcept {
+    return of(EventKind::kSession).accounted_for();
+  }
+  /// The conservation identity over every event kind.
+  [[nodiscard]] bool accounted_for() const noexcept {
+    for (const EventKindCounters& c : kinds) {
+      if (!c.accounted_for()) return false;
+    }
+    return true;
+  }
+
+  /// Flat JSON object; legacy keys are stable for downstream tooling, the
+  /// "kinds" member carries the per-kind counter blocks.
   [[nodiscard]] Json to_json() const;
+  /// Inverse of to_json (round-trip exact for counters below 2^53).
+  [[nodiscard]] static TelemetrySnapshot from_json(const Json& json);
 };
 
 /// Shared counter block. One PerWorker entry per shard keeps producer-side
@@ -53,19 +95,30 @@ struct TelemetrySnapshot {
 class Telemetry {
  public:
   struct alignas(64) PerWorker {
-    std::atomic<std::uint64_t> sessions_produced{0};
-    std::atomic<std::uint64_t> dropped_sessions{0};
-    std::atomic<std::uint64_t> dropped_minutes{0};
+    std::array<std::atomic<std::uint64_t>, kNumEventKinds> produced{};
+    std::array<std::atomic<std::uint64_t>, kNumEventKinds> dropped{};
     std::atomic<std::uint64_t> stall_ns{0};
     /// Absolute virtual minute this worker has fully produced, +1 (0 = none).
     std::atomic<std::uint64_t> produced_minute{0};
+
+    void count_produced(EventKind kind, std::uint64_t n = 1) noexcept {
+      produced[static_cast<std::size_t>(kind)].fetch_add(
+          n, std::memory_order_relaxed);
+    }
+    void count_dropped(EventKind kind) noexcept {
+      dropped[static_cast<std::size_t>(kind)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
   };
 
   explicit Telemetry(std::size_t num_workers);
 
-  /// Re-arms the wall clock and seeds cumulative totals (checkpoint resume
-  /// continues counting where the interrupted run stopped).
-  void start(std::uint64_t prior_sessions, double prior_volume_mb);
+  /// Re-arms the wall clock and seeds cumulative per-kind totals
+  /// (checkpoint resume continues counting where the interrupted run
+  /// stopped; the prior counts apply to produced and consumed alike — a
+  /// checkpointed event was both).
+  void start(const std::array<std::uint64_t, kNumEventKinds>& prior,
+             double prior_volume_mb);
 
   [[nodiscard]] PerWorker& worker(std::size_t i) { return workers_[i]; }
   [[nodiscard]] std::size_t num_workers() const noexcept {
@@ -75,27 +128,25 @@ class Telemetry {
   // Consumer-side counters (single writer; the CAS loop below never spins
   // in practice, it exists because fetch_add on atomic<double> is C++20
   // library support we cannot rely on everywhere).
-  void count_session(double volume_mb) noexcept {
-    sessions_consumed_.fetch_add(1, std::memory_order_relaxed);
-    double cur = volume_mb_.load(std::memory_order_relaxed);
-    while (!volume_mb_.compare_exchange_weak(cur, cur + volume_mb,
-                                             std::memory_order_relaxed)) {
+  void count_consumed(EventKind kind, double volume_mb = 0.0) noexcept {
+    consumed_[static_cast<std::size_t>(kind)].fetch_add(
+        1, std::memory_order_relaxed);
+    if (volume_mb != 0.0) {
+      double cur = volume_mb_.load(std::memory_order_relaxed);
+      while (!volume_mb_.compare_exchange_weak(cur, cur + volume_mb,
+                                               std::memory_order_relaxed)) {
+      }
     }
   }
-  void count_minute() noexcept {
-    minutes_consumed_.fetch_add(1, std::memory_order_relaxed);
-  }
   /// A sink delivery failed under SinkErrorPolicy::kDegrade.
-  void count_sink_error(bool minute) noexcept {
-    (minute ? sink_error_minutes_ : sink_errors_)
-        .fetch_add(1, std::memory_order_relaxed);
+  void count_sink_error(EventKind kind) noexcept {
+    sink_errors_[static_cast<std::size_t>(kind)].fetch_add(
+        1, std::memory_order_relaxed);
   }
   /// An event was drained without delivery while aborting.
-  void count_discarded_session() noexcept {
-    discarded_sessions_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void count_discarded_minute() noexcept {
-    discarded_minutes_.fetch_add(1, std::memory_order_relaxed);
+  void count_discarded(EventKind kind) noexcept {
+    discarded_[static_cast<std::size_t>(kind)].fetch_add(
+        1, std::memory_order_relaxed);
   }
 
   /// Aggregates all counters. `queue_depth` is supplied by the engine (it
@@ -104,14 +155,12 @@ class Telemetry {
 
  private:
   std::vector<PerWorker> workers_;
-  std::atomic<std::uint64_t> sessions_consumed_{0};
-  std::atomic<std::uint64_t> minutes_consumed_{0};
-  std::atomic<std::uint64_t> sink_errors_{0};
-  std::atomic<std::uint64_t> sink_error_minutes_{0};
-  std::atomic<std::uint64_t> discarded_sessions_{0};
-  std::atomic<std::uint64_t> discarded_minutes_{0};
+  std::array<std::atomic<std::uint64_t>, kNumEventKinds> consumed_{};
+  std::array<std::atomic<std::uint64_t>, kNumEventKinds> sink_errors_{};
+  std::array<std::atomic<std::uint64_t>, kNumEventKinds> discarded_{};
   std::atomic<double> volume_mb_{0.0};
-  std::uint64_t base_sessions_ = 0;  // carried over from a resumed run
+  // Carried over from a resumed run.
+  std::array<std::uint64_t, kNumEventKinds> base_{};
   double base_volume_mb_ = 0.0;
   std::chrono::steady_clock::time_point start_;
 };

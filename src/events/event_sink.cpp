@@ -1,0 +1,433 @@
+#include "events/event_sink.hpp"
+
+#include <bit>
+#include <fstream>
+#include <iostream>
+
+#include "common/error.hpp"
+#include "io/json.hpp"
+
+namespace mtd {
+
+const char* to_string(SinkErrorPolicy p) noexcept {
+  switch (p) {
+    case SinkErrorPolicy::kFailFast: return "fail_fast";
+    case SinkErrorPolicy::kDegrade: return "degrade";
+  }
+  return "?";
+}
+
+void TraceSinkAdapter::on_event(const StreamEvent& event) {
+  switch (event.kind()) {
+    case EventKind::kMinute:
+      sink_->on_minute((*network_)[event.key.bs], event.key.day,
+                       event.key.minute_of_day,
+                       std::get<MinuteEvent>(event.payload).arrivals);
+      break;
+    case EventKind::kSession:
+      sink_->on_session(std::get<SessionEvent>(event.payload).session);
+      break;
+    case EventKind::kSegment:
+    case EventKind::kPacket:
+      break;  // TraceSink predates these kinds
+  }
+}
+
+SessionCsvEventSink::SessionCsvEventSink(const Network& network,
+                                         const std::string& path)
+    : network_(&network), writer_(path) {}
+
+void SessionCsvEventSink::on_event(const StreamEvent& event) {
+  switch (event.kind()) {
+    case EventKind::kMinute:
+      writer_.on_minute((*network_)[event.key.bs], event.key.day,
+                        event.key.minute_of_day,
+                        std::get<MinuteEvent>(event.payload).arrivals);
+      break;
+    case EventKind::kSession:
+      writer_.on_session(std::get<SessionEvent>(event.payload).session);
+      break;
+    case EventKind::kSegment:
+    case EventKind::kPacket:
+      break;  // not part of the CSV schema
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ndjson
+
+struct NdjsonEventWriter::Impl {
+  std::ofstream out;
+};
+
+NdjsonEventWriter::NdjsonEventWriter(const std::string& path)
+    : impl_(std::make_unique<Impl>()), path_(path) {
+  impl_->out.open(path, std::ios::binary | std::ios::trunc);
+  if (!impl_->out) throw Error("NdjsonEventWriter: cannot open " + path);
+}
+
+NdjsonEventWriter::~NdjsonEventWriter() {
+  try {
+    close();
+  } catch (const Error& e) {
+    std::cerr << "NdjsonEventWriter: " << e.what() << "\n";
+  }
+}
+
+void NdjsonEventWriter::on_event(const StreamEvent& event) {
+  JsonObject obj;
+  obj.emplace("kind", to_string(event.kind()));
+  obj.emplace("bs", static_cast<double>(event.key.bs));
+  obj.emplace("day", static_cast<double>(event.key.day));
+  obj.emplace("minute", static_cast<double>(event.key.minute_of_day));
+  obj.emplace("seq", static_cast<double>(event.key.seq));
+  switch (event.kind()) {
+    case EventKind::kMinute:
+      obj.emplace("arrivals",
+                  static_cast<double>(
+                      std::get<MinuteEvent>(event.payload).arrivals));
+      break;
+    case EventKind::kSession: {
+      const Session& s = std::get<SessionEvent>(event.payload).session;
+      obj.emplace("service", static_cast<double>(s.service));
+      obj.emplace("transient", s.transient);
+      obj.emplace("volume_mb", s.volume_mb);
+      obj.emplace("duration_s", s.duration_s);
+      break;
+    }
+    case EventKind::kSegment: {
+      const SegmentEvent& e = std::get<SegmentEvent>(event.payload);
+      obj.emplace("service", static_cast<double>(e.service));
+      obj.emplace("state", to_string(e.state));
+      obj.emplace("session_seq", static_cast<double>(e.session_seq));
+      obj.emplace("hop", static_cast<double>(e.segment.hop));
+      obj.emplace("first", e.segment.first);
+      obj.emplace("last", e.segment.last);
+      obj.emplace("volume_mb", e.segment.volume_mb);
+      obj.emplace("duration_s", e.segment.duration_s);
+      break;
+    }
+    case EventKind::kPacket: {
+      const PacketEvent& e = std::get<PacketEvent>(event.payload);
+      obj.emplace("service", static_cast<double>(e.service));
+      obj.emplace("session_seq", static_cast<double>(e.session_seq));
+      obj.emplace("time_s", e.packet.time_s);
+      obj.emplace("size_bytes", static_cast<double>(e.packet.size_bytes));
+      break;
+    }
+  }
+  impl_->out << Json(std::move(obj)).dump() << '\n';
+  ++events_;
+}
+
+void NdjsonEventWriter::close() {
+  if (!impl_ || !impl_->out.is_open()) return;
+  impl_->out.flush();
+  bool failed = impl_->out.fail();
+  impl_->out.close();
+  failed = failed || impl_->out.fail();
+  if (failed) {
+    throw Error("NdjsonEventWriter: write failure on " + path_ + " after " +
+                std::to_string(events_) +
+                " events (disk full or I/O error); stream is incomplete");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// length-prefixed binary
+
+namespace {
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked little-endian reads over a byte range. `require` throws
+/// ParseError with the file path and absolute byte offset on truncation.
+class ByteReader {
+ public:
+  ByteReader(const std::string& data, std::size_t begin, std::size_t end,
+             const std::string& path)
+      : data_(&data), pos_(begin), end_(end), path_(&path) {}
+
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return end_ - pos_; }
+
+  std::uint8_t u8(const char* what) {
+    require(1, what);
+    return static_cast<std::uint8_t>((*data_)[pos_++]);
+  }
+  std::uint16_t u16(const char* what) {
+    require(2, what);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v = static_cast<std::uint16_t>(
+          v | (static_cast<std::uint16_t>(
+                   static_cast<std::uint8_t>((*data_)[pos_ + i]))
+               << (8 * i)));
+    }
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32(const char* what) {
+    require(4, what);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>((*data_)[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64(const char* what) {
+    require(8, what);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>((*data_)[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  double f64(const char* what) { return std::bit_cast<double>(u64(what)); }
+
+ private:
+  void require(std::size_t n, const char* what) const {
+    if (end_ - pos_ < n) {
+      throw ParseError("binary event log '" + *path_ + "': truncated " +
+                       what + " at byte " + std::to_string(pos_));
+    }
+  }
+
+  const std::string* data_;
+  std::size_t pos_;
+  std::size_t end_;
+  const std::string* path_;
+};
+
+}  // namespace
+
+struct BinaryEventWriter::Impl {
+  std::ofstream out;
+  std::string buf;
+};
+
+BinaryEventWriter::BinaryEventWriter(const std::string& path)
+    : impl_(std::make_unique<Impl>()), path_(path) {
+  impl_->out.open(path, std::ios::binary | std::ios::trunc);
+  if (!impl_->out) throw Error("BinaryEventWriter: cannot open " + path);
+  impl_->out.write(kMagic, sizeof(kMagic));
+}
+
+BinaryEventWriter::~BinaryEventWriter() {
+  try {
+    close();
+  } catch (const Error& e) {
+    std::cerr << "BinaryEventWriter: " << e.what() << "\n";
+  }
+}
+
+void BinaryEventWriter::on_event(const StreamEvent& event) {
+  std::string& buf = impl_->buf;
+  buf.clear();
+  buf.push_back(static_cast<char>(event.kind()));
+  put_u32(buf, event.key.bs);
+  put_u16(buf, event.key.day);
+  put_u16(buf, event.key.minute_of_day);
+  put_u64(buf, event.key.seq);
+  switch (event.kind()) {
+    case EventKind::kMinute:
+      put_u32(buf, std::get<MinuteEvent>(event.payload).arrivals);
+      break;
+    case EventKind::kSession: {
+      const Session& s = std::get<SessionEvent>(event.payload).session;
+      put_u16(buf, s.service);
+      buf.push_back(s.transient ? 1 : 0);
+      put_f64(buf, s.volume_mb);
+      put_f64(buf, s.duration_s);
+      break;
+    }
+    case EventKind::kSegment: {
+      const SegmentEvent& e = std::get<SegmentEvent>(event.payload);
+      put_u16(buf, e.service);
+      buf.push_back(static_cast<char>(e.state));
+      put_u64(buf, e.session_seq);
+      put_u32(buf, e.segment.hop);
+      buf.push_back(e.segment.first ? 1 : 0);
+      buf.push_back(e.segment.last ? 1 : 0);
+      put_f64(buf, e.segment.volume_mb);
+      put_f64(buf, e.segment.duration_s);
+      break;
+    }
+    case EventKind::kPacket: {
+      const PacketEvent& e = std::get<PacketEvent>(event.payload);
+      put_u16(buf, e.service);
+      put_u64(buf, e.session_seq);
+      put_f64(buf, e.packet.time_s);
+      put_u32(buf, e.packet.size_bytes);
+      break;
+    }
+  }
+  std::string frame;
+  put_u32(frame, static_cast<std::uint32_t>(buf.size()));
+  impl_->out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  impl_->out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  ++events_;
+}
+
+void BinaryEventWriter::close() {
+  if (!impl_ || !impl_->out.is_open()) return;
+  impl_->out.flush();
+  bool failed = impl_->out.fail();
+  impl_->out.close();
+  failed = failed || impl_->out.fail();
+  if (failed) {
+    throw Error("BinaryEventWriter: write failure on " + path_ + " after " +
+                std::to_string(events_) +
+                " events (disk full or I/O error); log is incomplete");
+  }
+}
+
+std::uint64_t read_binary_events(const std::string& path, EventSink& sink) {
+  const std::string data = read_file(path);
+  constexpr std::size_t kMagicLen = sizeof(BinaryEventWriter::kMagic);
+  if (data.size() < kMagicLen ||
+      data.compare(0, kMagicLen, BinaryEventWriter::kMagic, kMagicLen) != 0) {
+    throw ParseError("binary event log '" + path +
+                     "': missing or bad magic header");
+  }
+  std::uint64_t delivered = 0;
+  ByteReader framing(data, kMagicLen, data.size(), path);
+  while (framing.remaining() > 0) {
+    const std::uint32_t len = framing.u32("record length");
+    if (framing.remaining() < len) {
+      throw ParseError("binary event log '" + path + "': record at byte " +
+                       std::to_string(framing.pos() - 4) + " claims " +
+                       std::to_string(len) + " bytes but only " +
+                       std::to_string(framing.remaining()) + " remain");
+    }
+    ByteReader rec(data, framing.pos(), framing.pos() + len, path);
+    const std::uint8_t kind = rec.u8("event kind");
+    StreamEvent event;
+    event.key.bs = rec.u32("event key");
+    event.key.day = rec.u16("event key");
+    event.key.minute_of_day = rec.u16("event key");
+    event.key.seq = rec.u64("event key");
+    bool known = true;
+    switch (kind) {
+      case static_cast<std::uint8_t>(EventKind::kMinute): {
+        MinuteEvent e;
+        e.arrivals = rec.u32("minute payload");
+        event.payload = e;
+        break;
+      }
+      case static_cast<std::uint8_t>(EventKind::kSession): {
+        SessionEvent e;
+        e.session.bs = event.key.bs;
+        e.session.day = event.key.day;
+        e.session.minute_of_day = event.key.minute_of_day;
+        e.session.service = rec.u16("session payload");
+        e.session.transient = rec.u8("session payload") != 0;
+        e.session.volume_mb = rec.f64("session payload");
+        e.session.duration_s = rec.f64("session payload");
+        event.payload = e;
+        break;
+      }
+      case static_cast<std::uint8_t>(EventKind::kSegment): {
+        SegmentEvent e;
+        e.service = rec.u16("segment payload");
+        e.state = static_cast<MobilityState>(rec.u8("segment payload"));
+        e.session_seq = rec.u64("segment payload");
+        e.segment.hop = rec.u32("segment payload");
+        e.segment.first = rec.u8("segment payload") != 0;
+        e.segment.last = rec.u8("segment payload") != 0;
+        e.segment.volume_mb = rec.f64("segment payload");
+        e.segment.duration_s = rec.f64("segment payload");
+        event.payload = e;
+        break;
+      }
+      case static_cast<std::uint8_t>(EventKind::kPacket): {
+        PacketEvent e;
+        e.service = rec.u16("packet payload");
+        e.session_seq = rec.u64("packet payload");
+        e.packet.time_s = rec.f64("packet payload");
+        e.packet.size_bytes = rec.u32("packet payload");
+        event.payload = e;
+        break;
+      }
+      default:
+        known = false;  // forward compatibility: skip by length prefix
+        break;
+    }
+    if (known) {
+      sink.on_event(event);
+      ++delivered;
+    }
+    // Advance by the declared length, not by what we parsed: records may
+    // grow trailing fields in future versions.
+    ByteReader skipped(data, framing.pos() + len, data.size(), path);
+    framing = skipped;
+  }
+  return delivered;
+}
+
+// ---------------------------------------------------------------------------
+// combinators
+
+FanOutSink::FanOutSink(std::vector<EventSink*> branches,
+                       SinkErrorPolicy policy)
+    : branches_(std::move(branches)),
+      policy_(policy),
+      errors_(branches_.size(), 0),
+      last_errors_(branches_.size()) {}
+
+void FanOutSink::on_event(const StreamEvent& event) {
+  for (std::size_t i = 0; i < branches_.size(); ++i) {
+    if (policy_ == SinkErrorPolicy::kFailFast) {
+      branches_[i]->on_event(event);
+      continue;
+    }
+    try {
+      branches_[i]->on_event(event);
+    } catch (const std::exception& e) {
+      ++errors_[i];
+      last_errors_[i] = e.what();
+    } catch (...) {
+      ++errors_[i];
+      last_errors_[i] = "unknown exception";
+    }
+  }
+}
+
+void FanOutSink::close() {
+  std::exception_ptr first;
+  for (EventSink* branch : branches_) {
+    try {
+      branch->close();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace mtd

@@ -258,6 +258,17 @@ Json to_json(const EngineConfig& config) {
   JsonObject obj;
   obj.emplace("num_workers", config.num_workers);
   obj.emplace("queue_capacity", config.queue_capacity);
+  obj.emplace("batch_size", config.batch_size);
+  JsonArray kinds;
+  for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    if (config.event_kinds.contains(kind)) {
+      kinds.emplace_back(to_string(kind));
+    }
+  }
+  obj.emplace("event_kinds", Json(std::move(kinds)));
+  obj.emplace("mobility", to_json(config.mobility));
+  obj.emplace("packet_schedule", to_json(config.packet));
   obj.emplace("backpressure", to_string(config.backpressure));
   obj.emplace("time_scale", config.time_scale);
   obj.emplace("telemetry_period_s", config.telemetry_period_s);
@@ -273,7 +284,8 @@ Json to_json(const EngineConfig& config) {
 
 void from_json(const Json& json, EngineConfig& config) {
   check_keys(json,
-             {"num_workers", "queue_capacity", "backpressure", "time_scale",
+             {"num_workers", "queue_capacity", "batch_size", "event_kinds",
+              "mobility", "packet_schedule", "backpressure", "time_scale",
               "telemetry_period_s", "stop_after_days", "checkpoint_path",
               "sink_error_policy", "watchdog_timeout_s",
               "checkpoint_max_attempts", "checkpoint_backoff_ms"},
@@ -282,6 +294,21 @@ void from_json(const Json& json, EngineConfig& config) {
       num_or(json, "num_workers", static_cast<double>(config.num_workers)));
   config.queue_capacity = static_cast<std::size_t>(num_or(
       json, "queue_capacity", static_cast<double>(config.queue_capacity)));
+  config.batch_size = static_cast<std::size_t>(
+      num_or(json, "batch_size", static_cast<double>(config.batch_size)));
+  if (json.contains("event_kinds")) {
+    EventKindMask mask;
+    for (const Json& kind : json.at("event_kinds").as_array()) {
+      mask.set(event_kind_from_name(kind.as_string()));
+    }
+    config.event_kinds = mask;
+  }
+  if (json.contains("mobility")) {
+    from_json(json.at("mobility"), config.mobility);
+  }
+  if (json.contains("packet_schedule")) {
+    from_json(json.at("packet_schedule"), config.packet);
+  }
   if (json.contains("backpressure")) {
     config.backpressure =
         backpressure_from(json.at("backpressure").as_string());

@@ -204,11 +204,47 @@ TEST(StreamEngine, SnapshotJsonHasStableKeys) {
        {"wall_s", "clock_minute", "sessions_produced", "sessions_consumed",
         "minutes_consumed", "volume_mb", "queue_depth", "dropped_sessions",
         "dropped_minutes", "producer_stall_s", "sessions_per_s",
-        "mbytes_per_s"}) {
+        "mbytes_per_s", "events_per_s", "kinds"}) {
     EXPECT_TRUE(json.contains(key)) << key;
   }
   EXPECT_DOUBLE_EQ(json.at("sessions_consumed").as_number(),
                    static_cast<double>(sink.sessions));
+  // The per-kind object carries one counter block per event kind.
+  const Json& kinds = json.at("kinds");
+  for (const char* kind : {"minute", "session", "segment", "packet"}) {
+    ASSERT_TRUE(kinds.contains(kind)) << kind;
+    for (const char* counter :
+         {"produced", "consumed", "dropped", "sink_errors", "discarded"}) {
+      EXPECT_TRUE(kinds.at(kind).contains(counter)) << kind << counter;
+    }
+  }
+  EXPECT_DOUBLE_EQ(kinds.at("session").at("consumed").as_number(),
+                   static_cast<double>(sink.sessions));
+}
+
+TEST(StreamEngine, TelemetrySnapshotJsonRoundTrips) {
+  const Network network = make_network(4);
+  StreamEngine engine(network, make_trace(1));
+  CountingSink sink;
+  const EngineResult result = engine.run(sink);
+  const TelemetrySnapshot& t = result.telemetry;
+
+  const TelemetrySnapshot back = TelemetrySnapshot::from_json(t.to_json());
+  for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+    EXPECT_EQ(back.kinds[k].produced, t.kinds[k].produced) << k;
+    EXPECT_EQ(back.kinds[k].consumed, t.kinds[k].consumed) << k;
+    EXPECT_EQ(back.kinds[k].dropped, t.kinds[k].dropped) << k;
+    EXPECT_EQ(back.kinds[k].sink_errors, t.kinds[k].sink_errors) << k;
+    EXPECT_EQ(back.kinds[k].discarded, t.kinds[k].discarded) << k;
+  }
+  EXPECT_EQ(back.sessions_produced, t.sessions_produced);
+  EXPECT_EQ(back.sessions_consumed, t.sessions_consumed);
+  EXPECT_EQ(back.minutes_consumed, t.minutes_consumed);
+  EXPECT_EQ(back.clock_minute, t.clock_minute);
+  EXPECT_DOUBLE_EQ(back.volume_mb, t.volume_mb);
+  EXPECT_DOUBLE_EQ(back.wall_seconds, t.wall_seconds);
+  EXPECT_DOUBLE_EQ(back.events_per_second, t.events_per_second);
+  EXPECT_TRUE(back.accounted_for());
 }
 
 TEST(StreamEngine, WorkerCountIsClampedAndZeroMeansAuto) {

@@ -52,6 +52,22 @@ TEST(LintRules, WallClockFiresButSteadyClockIsSanctioned) {
             (std::vector<std::size_t>{6, 11, 15}));
 }
 
+TEST(LintRules, RawMutexFiresOutsideWrapperAndSkipsPreprocessor) {
+  const auto findings = lint_fixture("raw_mutex_bad.cpp");
+  // The two `#include <mutex>`/`<condition_variable>` lines and the
+  // suppressed recursive_mutex must not fire; the four raw uses must.
+  EXPECT_EQ(lines_of(findings, "raw-mutex"),
+            (std::vector<std::size_t>{6, 7, 12, 17}));
+}
+
+TEST(LintRules, RawMutexSanctionsTheWrapperFileItself) {
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile::from_content("src/common/mutex.hpp",
+                                           "std::mutex mutex_;\n"));
+  const auto findings = RuleRegistry::built_in().run(files);
+  EXPECT_EQ(lines_of(findings, "raw-mutex"), (std::vector<std::size_t>{}));
+}
+
 TEST(LintRules, UnorderedFoldFlagsOrderSensitiveAccumulation) {
   const auto findings = lint_fixture("unordered_fold_bad.cpp");
   // The += fold and the push_back collection fire at their for-statements;

@@ -89,6 +89,10 @@ TEST(ScenarioJson, EngineConfigRoundTrip) {
   EngineConfig config;
   config.num_workers = 6;
   config.queue_capacity = 1024;
+  config.batch_size = 16;
+  config.event_kinds = EventKindMask::all();
+  config.mobility.vehicular_dwell_median_s = 33.0;
+  config.packet.mtu_bytes = 9000;
   config.backpressure = BackpressurePolicy::kDropNewest;
   config.time_scale = 60.0;
   config.telemetry_period_s = 2.5;
@@ -98,11 +102,37 @@ TEST(ScenarioJson, EngineConfigRoundTrip) {
   from_json(to_json(config), restored);
   EXPECT_EQ(restored.num_workers, 6u);
   EXPECT_EQ(restored.queue_capacity, 1024u);
+  EXPECT_EQ(restored.batch_size, 16u);
+  EXPECT_EQ(restored.event_kinds, EventKindMask::all());
+  EXPECT_DOUBLE_EQ(restored.mobility.vehicular_dwell_median_s, 33.0);
+  EXPECT_EQ(restored.packet.mtu_bytes, 9000u);
   EXPECT_EQ(restored.backpressure, BackpressurePolicy::kDropNewest);
   EXPECT_DOUBLE_EQ(restored.time_scale, 60.0);
   EXPECT_DOUBLE_EQ(restored.telemetry_period_s, 2.5);
   EXPECT_EQ(restored.stop_after_days, 3u);
   EXPECT_EQ(restored.checkpoint_path, "out/cp.json");
+}
+
+TEST(ScenarioJson, EngineEventKindNamesAreStable) {
+  // The JSON vocabulary is part of the scenario file format: event kinds
+  // serialize as an array of names, defaults stay when the key is absent.
+  EngineConfig config;
+  config.event_kinds =
+      EventKindMask{}.set(EventKind::kSession).set(EventKind::kPacket);
+  const Json json = to_json(config);
+  const JsonArray& kinds = json.at("event_kinds").as_array();
+  ASSERT_EQ(kinds.size(), 2u);
+  EXPECT_EQ(kinds[0].as_string(), "session");
+  EXPECT_EQ(kinds[1].as_string(), "packet");
+
+  EngineConfig defaulted;
+  from_json(Json::parse(R"({"num_workers": 2})"), defaulted);
+  EXPECT_EQ(defaulted.event_kinds, EventKindMask::session_replay());
+
+  EngineConfig rejected;
+  EXPECT_THROW(
+      from_json(Json::parse(R"({"event_kinds": ["sessions"]})"), rejected),
+      ParseError);
 }
 
 TEST(ScenarioJson, EngineConfigRejectsBadInput) {

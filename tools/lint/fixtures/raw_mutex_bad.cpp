@@ -1,0 +1,30 @@
+// Fixture: seeded-bad input for the raw-mutex rule. Never compiled.
+#include <condition_variable>
+#include <mutex>
+
+struct RawQueue {
+  std::mutex mu;                  // line 6: banned
+  std::condition_variable ready;  // line 7: banned
+  int depth = 0;
+};
+
+void push(RawQueue& q) {
+  std::lock_guard<std::mutex> lock(q.mu);  // line 12: banned
+  ++q.depth;
+}
+
+int pop(RawQueue& q) {
+  std::unique_lock<std::mutex> lock(q.mu);  // line 17: banned
+  q.ready.wait(lock, [&] { return q.depth > 0; });
+  return --q.depth;
+}
+
+// The preprocessor include lines above never fire (the sanctioned wrapper's
+// includers legitimately say `#include <mutex>`), and a suppressed use is
+// sanctioned:
+std::recursive_mutex legacy;  // mtd-lint: allow(raw-mutex)
+
+// The annotated wrappers are different identifiers and must not fire:
+struct Annotated {
+  int value = 0;  // mtd::Mutex / mtd::MutexLock guard members elsewhere
+};

@@ -240,6 +240,54 @@ class WallClockRule final : public Rule {
 };
 
 // ---------------------------------------------------------------------------
+// raw-mutex: direct std synchronization primitives outside the annotated
+// wrappers.
+// ---------------------------------------------------------------------------
+
+class RawMutexRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "raw-mutex";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "bans std::mutex/std::lock_guard/std::condition_variable and "
+           "friends: concurrent code must use the annotated mtd::Mutex/"
+           "MutexLock/ConditionVariable wrappers so Clang thread-safety "
+           "analysis sees every lock (sanctioned file: src/common/mutex.*)";
+  }
+  void check(const SourceFile& file, const ProjectContext&,
+             std::vector<Finding>& out) const override {
+    if (path_contains(file, {"common/mutex."})) return;
+    static constexpr std::array<std::string_view, 12> kBanned = {
+        "mutex",           "timed_mutex",
+        "recursive_mutex", "recursive_timed_mutex",
+        "shared_mutex",    "shared_timed_mutex",
+        "lock_guard",      "scoped_lock",
+        "unique_lock",     "shared_lock",
+        "condition_variable", "condition_variable_any",
+    };
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      const std::string& line = file.code[i];
+      // Preprocessor lines: `#include <mutex>` in the sanctioned wrapper's
+      // includers is fine; bodies are what must stay off raw primitives.
+      const std::string_view trimmed = trim(line);
+      if (trimmed.empty() || trimmed.front() == '#') continue;
+      for (const std::string_view tok : kBanned) {
+        if (find_identifier(line, tok) != std::string_view::npos) {
+          out.push_back(
+              {std::string(name()), file.path, i + 1,
+               "raw synchronization primitive '" + std::string(tok) +
+                   "'; use mtd::Mutex/MutexLock/ConditionVariable "
+                   "(src/common/mutex.hpp) so the thread-safety analysis "
+                   "tracks the lock"});
+          break;  // one finding per line is enough
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
 // unordered-fold: unordered-container iteration feeding an order-sensitive
 // accumulation.
 // ---------------------------------------------------------------------------
@@ -295,7 +343,10 @@ class UnorderedFoldRule final : public Rule {
       }
       std::size_t close = line.rfind(')');
       if (close == std::string::npos || close < colon) close = line.size();
-      std::string_view range = trim(line.substr(colon + 1, close - colon - 1));
+      // substr of the reference-bound line, not a temporary: the trimmed
+      // view below must outlive this statement.
+      const std::string range_expr = line.substr(colon + 1, close - colon - 1);
+      std::string_view range = trim(range_expr);
       while (!range.empty() && (range.front() == '*' || range.front() == '&')) {
         range.remove_prefix(1);
       }
@@ -553,6 +604,7 @@ RuleRegistry RuleRegistry::built_in() {
   RuleRegistry registry;
   registry.add(std::make_unique<BannedRandomRule>());
   registry.add(std::make_unique<WallClockRule>());
+  registry.add(std::make_unique<RawMutexRule>());
   registry.add(std::make_unique<UnorderedFoldRule>());
   registry.add(std::make_unique<MissingNodiscardRule>());
   registry.add(std::make_unique<IgnoredResultRule>());
