@@ -1,0 +1,490 @@
+// Hot-path micro-benchmarks: the O(1) sampling kernels and the
+// zero-allocation serializers against the implementations they replaced.
+//
+// Each section times the optimized kernel and a faithful local
+// reimplementation of the retired baseline over the same inputs:
+//   service_draw     alias table vs lower_bound over the Table-1 share CDF
+//   mixture_draw     alias component pick vs cumulative-weight linear scan
+//   circadian_minute per-minute activity LUT vs direct evaluation
+//   pow10            exp2-based base-10 exponential vs std::pow(10, x)
+//   ndjson_serialize hand-rolled buffered writer vs JsonObject-per-event
+//   binary_serialize patched-length single buffer vs frame-per-event
+//   csv_serialize    to_chars rows vs ofstream operator<<
+//
+// One JSON line per row goes to stdout and the full report to
+// BENCH_hotpaths.json (schema: {bench, fast, rows: [{name, unit,
+// baseline_per_s, optimized_per_s, speedup}]}) for CI trend tracking.
+// MTD_BENCH_FAST shrinks iteration counts for smoke runs. google-benchmark
+// timings of the same kernels follow the JSON lines.
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/alias_table.hpp"
+#include "common/time_utils.hpp"
+#include "dataset/service_catalog.hpp"
+#include "dataset/trace_io.hpp"
+#include "events/event_sink.hpp"
+#include "io/json.hpp"
+
+namespace {
+
+using namespace mtd;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string temp_file(const char* name) {
+  return std::string("/tmp/") + name;
+}
+
+/// One comparison row; `per_s` is ops (draws, events) per second.
+JsonObject make_row(const char* name, const char* unit, double baseline_per_s,
+                    double optimized_per_s) {
+  JsonObject row;
+  row.emplace("name", name);
+  row.emplace("unit", unit);
+  row.emplace("baseline_per_s", baseline_per_s);
+  row.emplace("optimized_per_s", optimized_per_s);
+  row.emplace("speedup",
+              baseline_per_s > 0.0 ? optimized_per_s / baseline_per_s : 0.0);
+  return row;
+}
+
+void print_row(const JsonObject& row) {
+  std::cout << Json(JsonObject(row)).dump() << "\n";
+}
+
+// ---------------------------------------------------------------------------
+// sampling kernels
+
+std::vector<double> share_cdf() {
+  const std::vector<double> shares = normalized_session_shares();
+  std::vector<double> cdf(shares.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    acc += shares[i];
+    cdf[i] = acc;
+  }
+  cdf.back() = 1.0;
+  return cdf;
+}
+
+/// Pre-drawn uniforms so the kernel comparisons time only the selection,
+/// not the shared RNG cost. 4096 values defeat the branch predictor
+/// without falling out of L1.
+std::vector<double> uniform_grid(std::uint64_t seed) {
+  std::vector<double> us(4096);
+  Rng rng(seed);
+  for (double& u : us) u = rng.uniform();
+  return us;
+}
+
+/// Best ops/s over `reps` runs of `loop` (min-time discipline: the fastest
+/// rep is the least perturbed by whatever else the host is doing).
+template <typename F>
+double best_rate(std::uint64_t iters, int reps, F&& loop) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    loop();
+    const double rate = static_cast<double>(iters) / seconds_since(t0);
+    best = std::max(best, rate);
+  }
+  return best;
+}
+
+JsonObject bench_service_draw(std::uint64_t iters) {
+  const std::vector<double> cdf = share_cdf();
+  const AliasTable alias{std::span<const double>(normalized_session_shares())};
+  const std::vector<double> us = uniform_grid(123);
+
+  std::uint64_t sink = 0;
+  const double base = best_rate(iters, 3, [&] {
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      const auto it = std::lower_bound(cdf.begin(), cdf.end(), us[i & 4095]);
+      sink += static_cast<std::size_t>(it - cdf.begin());
+    }
+  });
+  const double opt = best_rate(iters, 3, [&] {
+    for (std::uint64_t i = 0; i < iters; ++i) sink += alias.pick(us[i & 4095]);
+  });
+
+  benchmark::DoNotOptimize(sink);
+  return make_row("service_draw", "draws", base, opt);
+}
+
+JsonObject bench_mixture_draw(std::uint64_t iters) {
+  // The largest mixture in the catalog (main + up to three residual
+  // peaks): the case where component selection costs the most.
+  std::size_t widest = 0;
+  for (std::size_t s = 0; s < service_catalog().size(); ++s) {
+    if (service_catalog()[s].volume_mixture().size() >
+        service_catalog()[widest].volume_mixture().size()) {
+      widest = s;
+    }
+  }
+  const Log10NormalMixture mixture = service_catalog()[widest].volume_mixture();
+  const auto components = mixture.components();
+  const std::vector<double> us = uniform_grid(456);
+
+  std::uint64_t sink = 0;
+  const double base = best_rate(iters, 3, [&] {
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      // The retired selection: cumulative linear scan over the weights.
+      double u = us[i & 4095];
+      std::size_t pick = components.size() - 1;
+      for (std::size_t c = 0; c < components.size(); ++c) {
+        u -= components[c].weight;
+        if (u <= 0.0) {
+          pick = c;
+          break;
+        }
+      }
+      sink += pick;
+    }
+  });
+  const double opt = best_rate(iters, 3, [&] {
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      sink += mixture.component_alias().pick(us[i & 4095]);
+    }
+  });
+
+  benchmark::DoNotOptimize(sink);
+  return make_row("mixture_draw", "picks", base, opt);
+}
+
+JsonObject bench_circadian(std::uint64_t sweeps) {
+  double sink = 0.0;
+  const auto t0 = Clock::now();
+  for (std::uint64_t s = 0; s < sweeps; ++s) {
+    for (std::size_t m = 0; m < kMinutesPerDay; ++m) {
+      sink += circadian_activity(m);
+    }
+  }
+  const double base_s = seconds_since(t0);
+
+  const auto t1 = Clock::now();
+  for (std::uint64_t s = 0; s < sweeps; ++s) {
+    for (std::size_t m = 0; m < kMinutesPerDay; ++m) {
+      sink += circadian_activity_lut(m);
+    }
+  }
+  const double opt_s = seconds_since(t1);
+
+  benchmark::DoNotOptimize(sink);
+  const double evals = static_cast<double>(sweeps * kMinutesPerDay);
+  return make_row("circadian_minute", "evals", evals / base_s, evals / opt_s);
+}
+
+JsonObject bench_pow10(std::uint64_t iters) {
+  // Pre-drawn exponents so both loops time only the exponential.
+  std::vector<double> xs(4096);
+  Rng rng(789);
+  for (double& x : xs) x = rng.normal(0.5, 1.2);
+
+  double sink = 0.0;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    sink += std::pow(10.0, xs[i & 4095]);
+  }
+  const double base_s = seconds_since(t0);
+
+  const auto t1 = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    sink += pow10_fast(xs[i & 4095]);
+  }
+  const double opt_s = seconds_since(t1);
+
+  benchmark::DoNotOptimize(sink);
+  return make_row("pow10", "evals", static_cast<double>(iters) / base_s,
+                  static_cast<double>(iters) / opt_s);
+}
+
+// ---------------------------------------------------------------------------
+// serialization
+
+std::vector<StreamEvent> serialization_events(std::size_t count) {
+  std::vector<StreamEvent> events;
+  events.reserve(count);
+  Rng rng(20231024);
+  const std::size_t services = service_catalog().size();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i % 64 == 0) {
+      events.push_back(StreamEvent{
+          {static_cast<std::uint32_t>(i % 100), 1,
+           static_cast<std::uint16_t>(i % kMinutesPerDay), i},
+          MinuteEvent{static_cast<std::uint32_t>(i % 37)}});
+      continue;
+    }
+    Session s;
+    s.bs = static_cast<std::uint32_t>(i % 100);
+    s.service = static_cast<std::uint16_t>(i % services);
+    s.day = 1;
+    s.minute_of_day = static_cast<std::uint16_t>(i % kMinutesPerDay);
+    s.transient = (i % 5) == 0;
+    s.volume_mb = rng.log10_normal(0.5, 1.2);
+    s.duration_s = 1.0 + rng.uniform() * 21599.0;
+    events.push_back(
+        StreamEvent{{s.bs, 1, s.minute_of_day, i}, SessionEvent{s}});
+  }
+  return events;
+}
+
+/// The retired NDJSON encoding: one JsonObject (std::map) and one dump
+/// string per event, written line-by-line through the stream.
+void json_era_ndjson(const std::vector<StreamEvent>& events,
+                     std::ofstream& out) {
+  for (const StreamEvent& event : events) {
+    JsonObject obj;
+    obj.emplace("kind", to_string(event.kind()));
+    obj.emplace("bs", static_cast<double>(event.key.bs));
+    obj.emplace("day", static_cast<double>(event.key.day));
+    obj.emplace("minute", static_cast<double>(event.key.minute_of_day));
+    obj.emplace("seq", static_cast<double>(event.key.seq));
+    if (event.kind() == EventKind::kMinute) {
+      obj.emplace("arrivals",
+                  static_cast<double>(
+                      std::get<MinuteEvent>(event.payload).arrivals));
+    } else {
+      const Session& s = std::get<SessionEvent>(event.payload).session;
+      obj.emplace("service", static_cast<double>(s.service));
+      obj.emplace("transient", s.transient);
+      obj.emplace("volume_mb", s.volume_mb);
+      obj.emplace("duration_s", s.duration_s);
+    }
+    out << Json(std::move(obj)).dump() << '\n';
+  }
+}
+
+JsonObject bench_ndjson(const std::vector<StreamEvent>& events) {
+  const std::string base_path = temp_file("mtd_bench_base.ndjson");
+  const std::string opt_path = temp_file("mtd_bench_opt.ndjson");
+
+  const auto t0 = Clock::now();
+  {
+    std::ofstream out(base_path, std::ios::binary | std::ios::trunc);
+    json_era_ndjson(events, out);
+  }
+  const double base_s = seconds_since(t0);
+
+  const auto t1 = Clock::now();
+  {
+    NdjsonEventWriter writer(opt_path);
+    for (const StreamEvent& e : events) writer.on_event(e);
+    writer.close();
+  }
+  const double opt_s = seconds_since(t1);
+
+  std::remove(base_path.c_str());
+  std::remove(opt_path.c_str());
+  const double n = static_cast<double>(events.size());
+  return make_row("ndjson_serialize", "events", n / base_s, n / opt_s);
+}
+
+/// The retired binary framing: payload into a reused buffer but a fresh
+/// frame string and two stream writes per event.
+void frame_era_binary(const std::vector<StreamEvent>& events,
+                      std::ofstream& out) {
+  const auto put_u16 = [](std::string& b, std::uint16_t v) {
+    b.push_back(static_cast<char>(v & 0xff));
+    b.push_back(static_cast<char>((v >> 8) & 0xff));
+  };
+  const auto put_u32 = [](std::string& b, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      b.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  const auto put_u64 = [](std::string& b, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      b.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  const auto put_f64 = [&put_u64](std::string& b, double v) {
+    put_u64(b, std::bit_cast<std::uint64_t>(v));
+  };
+  out.write(BinaryEventWriter::kMagic, sizeof(BinaryEventWriter::kMagic));
+  std::string buf;
+  for (const StreamEvent& event : events) {
+    buf.clear();
+    buf.push_back(static_cast<char>(event.kind()));
+    put_u32(buf, event.key.bs);
+    put_u16(buf, event.key.day);
+    put_u16(buf, event.key.minute_of_day);
+    put_u64(buf, event.key.seq);
+    if (event.kind() == EventKind::kMinute) {
+      put_u32(buf, std::get<MinuteEvent>(event.payload).arrivals);
+    } else {
+      const Session& s = std::get<SessionEvent>(event.payload).session;
+      put_u16(buf, s.service);
+      buf.push_back(s.transient ? 1 : 0);
+      put_f64(buf, s.volume_mb);
+      put_f64(buf, s.duration_s);
+    }
+    std::string frame;
+    put_u32(frame, static_cast<std::uint32_t>(buf.size()));
+    out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  }
+}
+
+JsonObject bench_binary(const std::vector<StreamEvent>& events) {
+  const std::string base_path = temp_file("mtd_bench_base.bin");
+  const std::string opt_path = temp_file("mtd_bench_opt.bin");
+
+  const auto t0 = Clock::now();
+  {
+    std::ofstream out(base_path, std::ios::binary | std::ios::trunc);
+    frame_era_binary(events, out);
+  }
+  const double base_s = seconds_since(t0);
+
+  const auto t1 = Clock::now();
+  {
+    BinaryEventWriter writer(opt_path);
+    for (const StreamEvent& e : events) writer.on_event(e);
+    writer.close();
+  }
+  const double opt_s = seconds_since(t1);
+
+  std::remove(base_path.c_str());
+  std::remove(opt_path.c_str());
+  const double n = static_cast<double>(events.size());
+  return make_row("binary_serialize", "events", n / base_s, n / opt_s);
+}
+
+JsonObject bench_csv(const std::vector<StreamEvent>& events) {
+  const std::string base_path = temp_file("mtd_bench_base.csv");
+  const std::string opt_path = temp_file("mtd_bench_opt.csv");
+
+  std::uint64_t sessions = 0;
+  const auto t0 = Clock::now();
+  {
+    std::ofstream out(base_path, std::ios::binary | std::ios::trunc);
+    out << "bs,service,day,minute_of_day,volume_mb,duration_s\n";
+    for (const StreamEvent& e : events) {
+      if (e.kind() != EventKind::kSession) continue;
+      const Session& s = std::get<SessionEvent>(e.payload).session;
+      const std::string& name = service_catalog()[s.service].name;
+      out << s.bs << ',';
+      if (name.find(',') != std::string::npos) {
+        out << '"' << name << '"';
+      } else {
+        out << name;
+      }
+      out << ',' << s.day << ',' << s.minute_of_day << ',' << s.volume_mb
+          << ',' << s.duration_s << '\n';
+      ++sessions;
+    }
+  }
+  const double base_s = seconds_since(t0);
+
+  const auto t1 = Clock::now();
+  {
+    SessionCsvWriter writer(opt_path);
+    for (const StreamEvent& e : events) {
+      if (e.kind() != EventKind::kSession) continue;
+      writer.on_session(std::get<SessionEvent>(e.payload).session);
+    }
+    writer.close();
+  }
+  const double opt_s = seconds_since(t1);
+
+  std::remove(base_path.c_str());
+  std::remove(opt_path.c_str());
+  const double n = static_cast<double>(sessions);
+  return make_row("csv_serialize", "sessions", n / base_s, n / opt_s);
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark timings of the same kernels
+
+void BM_ServiceDrawAlias(benchmark::State& state) {
+  const AliasTable alias{std::span<const double>(normalized_session_shares())};
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(alias.sample(rng));
+}
+BENCHMARK(BM_ServiceDrawAlias);
+
+void BM_ServiceDrawLowerBound(benchmark::State& state) {
+  const std::vector<double> cdf = share_cdf();
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), rng.uniform());
+    benchmark::DoNotOptimize(it);
+  }
+}
+BENCHMARK(BM_ServiceDrawLowerBound);
+
+void BM_Pow10Fast(benchmark::State& state) {
+  double x = 0.73;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pow10_fast(x));
+  }
+}
+BENCHMARK(BM_Pow10Fast);
+
+void BM_Pow10Std(benchmark::State& state) {
+  double x = 0.73;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(std::pow(10.0, x));
+  }
+}
+BENCHMARK(BM_Pow10Std);
+
+void BM_CircadianLut(benchmark::State& state) {
+  std::size_t m = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circadian_activity_lut(m));
+    m = (m + 1) % kMinutesPerDay;
+  }
+}
+BENCHMARK(BM_CircadianLut);
+
+void BM_CircadianDirect(benchmark::State& state) {
+  std::size_t m = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circadian_activity(m));
+    m = (m + 1) % kMinutesPerDay;
+  }
+}
+BENCHMARK(BM_CircadianDirect);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool fast = mtd::bench::fast_mode();
+  const std::uint64_t draw_iters = fast ? 200000 : 4000000;
+  const std::uint64_t sweeps = fast ? 100 : 2000;
+  const std::size_t event_count = fast ? 50000 : 500000;
+
+  const std::vector<StreamEvent> events = serialization_events(event_count);
+
+  JsonArray rows;
+  for (JsonObject row :
+       {bench_service_draw(draw_iters), bench_mixture_draw(draw_iters),
+        bench_circadian(sweeps), bench_pow10(draw_iters),
+        bench_ndjson(events), bench_binary(events), bench_csv(events)}) {
+    print_row(row);
+    rows.emplace_back(std::move(row));
+  }
+
+  JsonObject report;
+  report.emplace("bench", "hot_paths");
+  report.emplace("fast", fast);
+  report.emplace("rows", std::move(rows));
+  mtd::write_file("BENCH_hotpaths.json", Json(std::move(report)).dump());
+  std::cerr << "[bench] wrote BENCH_hotpaths.json\n";
+  return mtd::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Benchmark smoke gate, three stages:
+#
+#   1. Build the two perf-tracking binaries (bench_hot_paths,
+#      bench_engine_throughput). When ccache is installed it is wired in as
+#      the compiler launcher so repeat CI runs rebuild only what changed.
+#   2. Run both under MTD_BENCH_FAST=1 with google-benchmark timings
+#      filtered out: a smoke pass that exercises every measured kernel and
+#      writes BENCH_hotpaths.json / BENCH_engine.json into the build dir.
+#   3. Validate the JSON reports against their documented schemas (skipped
+#      with a notice when python3 is unavailable).
+#
+# The reports are the CI perf artifacts; trends are read across runs, so
+# the gate checks shape and sanity (positive rates, required keys), never
+# absolute numbers — a loaded CI host must not fail the build.
+#
+# Usage: scripts/check_bench.sh [build-dir]
+#   build-dir  defaults to build-bench
+set -euo pipefail
+
+cd "$(dirname "$0")/.." || exit 1
+
+BUILD_DIR="${1:-build-bench}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+# --- Stage 1: build.
+CONFIGURE_ARGS=(-DCMAKE_BUILD_TYPE=Release)
+if command -v ccache >/dev/null 2>&1; then
+  CONFIGURE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+  echo "ccache: enabled"
+else
+  echo "ccache: not installed, building without a launcher"
+fi
+cmake -B "$BUILD_DIR" -S . "${CONFIGURE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$JOBS" \
+  --target bench_hot_paths bench_engine_throughput
+
+# --- Stage 2: smoke runs (reports land in the build dir).
+(
+  cd "$BUILD_DIR"
+  MTD_BENCH_FAST=1 ./bench/bench_hot_paths --benchmark_filter=NONE
+  MTD_BENCH_FAST=1 ./bench/bench_engine_throughput --benchmark_filter=NONE
+)
+test -s "$BUILD_DIR/BENCH_hotpaths.json"
+test -s "$BUILD_DIR/BENCH_engine.json"
+
+# --- Stage 3: schema validation.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$BUILD_DIR/BENCH_hotpaths.json" "$BUILD_DIR/BENCH_engine.json" \
+      <<'PYEOF'
+import json
+import sys
+
+hotpaths = json.load(open(sys.argv[1]))
+assert hotpaths["bench"] == "hot_paths", hotpaths.get("bench")
+rows = hotpaths["rows"]
+assert rows, "BENCH_hotpaths.json has no rows"
+for row in rows:
+    for key in ("name", "unit", "baseline_per_s", "optimized_per_s",
+                "speedup"):
+        assert key in row, f"hot_paths row missing {key}: {row}"
+    assert row["baseline_per_s"] > 0, row
+    assert row["optimized_per_s"] > 0, row
+names = {row["name"] for row in rows}
+for expected in ("service_draw", "mixture_draw", "circadian_minute", "pow10",
+                 "ndjson_serialize", "binary_serialize", "csv_serialize"):
+    assert expected in names, f"hot_paths rows missing {expected}"
+
+engine = json.load(open(sys.argv[2]))
+assert engine["bench"] == "engine_throughput", engine.get("bench")
+for sweep, key in (("worker_sweep", "workers"), ("batch_sweep",
+                                                 "batch_size")):
+    rows = engine[sweep]
+    assert rows, f"BENCH_engine.json has empty {sweep}"
+    for row in rows:
+        for field in (key, "sessions", "wall_s", "sessions_per_s"):
+            assert field in row, f"{sweep} row missing {field}: {row}"
+        assert row["sessions"] > 0, row
+        assert row["dropped"] == 0 if "dropped" in row else True, row
+
+print("bench report schemas: ok")
+PYEOF
+else
+  echo "python3: not installed, schema validation skipped"
+fi
+
+echo "bench smoke passed"

@@ -1,0 +1,87 @@
+#include "common/alias_table.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mtd {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  require(!weights.empty(), "AliasTable: no weights");
+  double total = 0.0;
+  for (const double w : weights) {
+    require(std::isfinite(w) && w >= 0.0,
+            "AliasTable: weights must be finite and non-negative");
+    total += w;
+  }
+  require(total > 0.0, "AliasTable: zero total weight");
+
+  const std::size_t n = weights.size();
+  buckets_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    buckets_[i] = Bucket{1.0, static_cast<std::uint32_t>(i)};
+  }
+  scale_ = static_cast<double>(n);
+
+  // Vose's worklist construction over scaled weights p_i = w_i * n / total:
+  // every underfull bucket (p < 1) is topped up by exactly one overfull
+  // outcome, whose surplus shrinks and is re-queued. Both worklists are
+  // filled and drained in ascending index order, so construction is
+  // deterministic for a given weight vector.
+  std::vector<double> scaled(n);
+  const double scale = static_cast<double>(n) / total;
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] * scale;
+
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Drain from the front to keep index order; positions, not pop_back.
+  std::size_t small_head = 0;
+  std::size_t large_head = 0;
+  while (small_head < small.size() && large_head < large.size()) {
+    const std::uint32_t s = small[small_head++];
+    const std::uint32_t l = large[large_head];
+    buckets_[s] = Bucket{scaled[s], l};
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      // The donor dropped below 1: it becomes a small bucket itself.
+      ++large_head;
+      small.push_back(l);
+    }
+  }
+  // Leftovers on either list sit at (numerically) exactly 1.
+  while (large_head < large.size()) buckets_[large[large_head++]].prob = 1.0;
+  while (small_head < small.size()) buckets_[small[small_head++]].prob = 1.0;
+}
+
+double AliasTable::outcome_probability(std::size_t i) const {
+  require(i < buckets_.size(), "AliasTable: outcome index out of range");
+  double mass = buckets_[i].prob;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b].alias == i && b != i) mass += 1.0 - buckets_[b].prob;
+  }
+  return mass / static_cast<double>(buckets_.size());
+}
+
+std::vector<double> AliasTable::bucket_probabilities() const {
+  std::vector<double> probs(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    probs[i] = buckets_[i].prob;
+  }
+  return probs;
+}
+
+std::vector<std::uint32_t> AliasTable::bucket_aliases() const {
+  std::vector<std::uint32_t> aliases(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    aliases[i] = buckets_[i].alias;
+  }
+  return aliases;
+}
+
+}  // namespace mtd

@@ -1,0 +1,88 @@
+// Walker alias table: O(1) sampling from a fixed discrete distribution.
+//
+// The replay hot path draws one service per session (Table 1 shares) and
+// one mixture component per volume draw (Eq. 5). A binary search over the
+// CDF costs O(log n) data-dependent branches per draw; the alias method
+// (Walker 1977, Vose 1991) converts the same weights once into two flat
+// n-entry tables and answers every draw with one multiply, one floor and
+// one compare.
+//
+// Draw discipline: sample() consumes exactly ONE Rng::uniform() — the same
+// count as the CDF inversion it replaces — by splitting the draw into its
+// integer part (the bucket) and fractional part (the accept/alias coin).
+// For u uniform on [0, 1), floor(n u) and frac(n u) are independent and
+// uniform, so the method stays exact. Construction is deterministic: the
+// Vose worklists are processed in ascending index order, so the same
+// weights always yield byte-identical tables on every platform.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mtd {
+
+/// Precomputed alias tables over a fixed weight vector; immutable once
+/// built. Weights must be non-negative, finite, with a positive total;
+/// zero-weight outcomes are representable and are never drawn.
+class AliasTable {
+ public:
+  /// An empty table; sample() must not be called until assigned from a
+  /// weighted constructor (supports deferred init in deserializers).
+  AliasTable() = default;
+
+  /// Builds the tables from (unnormalized) weights via Vose's algorithm.
+  /// Throws InvalidArgument on an empty span, a negative or non-finite
+  /// weight, or a zero total.
+  explicit AliasTable(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t size() const noexcept { return buckets_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return buckets_.empty(); }
+
+  /// O(1) draw consuming exactly one rng.uniform().
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept {
+    return pick(rng.uniform());
+  }
+
+  /// The deterministic outcome for a given u in [0, 1). Exposed so tests
+  /// can enumerate the mapping and so callers that already hold a uniform
+  /// deviate can reuse it.
+  [[nodiscard]] std::size_t pick(double u) const noexcept {
+    // scale_ caches n as a double: no size recomputation or int-to-double
+    // conversion per draw, and threshold + alias sit in one Bucket so a
+    // draw touches a single cache line of table data.
+    const double x = u * scale_;
+    std::size_t bucket = static_cast<std::size_t>(x);
+    // u is < 1 but x can round up to n at the last representable double.
+    if (bucket >= static_cast<std::size_t>(scale_)) {
+      bucket = static_cast<std::size_t>(scale_) - 1;
+    }
+    const Bucket& b = buckets_[bucket];
+    return x - static_cast<double>(bucket) < b.prob ? bucket : b.alias;
+  }
+
+  /// Reconstructs the exact probability mass the table assigns to outcome
+  /// `i` (sum of its own column retention plus every column aliasing to
+  /// it, each divided by n). Used by goodness-of-fit tests to prove the
+  /// construction preserved the input distribution.
+  [[nodiscard]] double outcome_probability(std::size_t i) const;
+
+  /// Per-bucket acceptance thresholds and alias targets, unpacked from the
+  /// interleaved layout (test introspection).
+  [[nodiscard]] std::vector<double> bucket_probabilities() const;
+  [[nodiscard]] std::vector<std::uint32_t> bucket_aliases() const;
+
+ private:
+  struct Bucket {
+    double prob;          // acceptance threshold
+    std::uint32_t alias;  // fallback outcome
+  };
+
+  std::vector<Bucket> buckets_;
+  double scale_ = 0.0;  // buckets_.size() as a double (exact for n < 2^53)
+};
+
+}  // namespace mtd

@@ -1,0 +1,52 @@
+// Allocation-free number-to-text formatting for the serialization hot path.
+//
+// The event sinks format millions of numbers per run. Both encodings in
+// use predate this header — CSV doubles were written by ofstream's default
+// operator<< (printf %g semantics, 6 significant digits) and JSON numbers
+// by mtd::Json's serializer (integral values as %.0f, everything else as
+// %.17g). The appenders here reproduce those encodings byte-for-byte with
+// std::to_chars into caller-owned buffers, so sinks can drop per-event
+// iostream/Json round trips without changing a single output byte
+// (tests/test_serialization_golden.cpp holds the equivalence proof).
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace mtd {
+
+/// Appends an unsigned integer in decimal.
+inline void append_uint(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, ptr);
+}
+
+/// Appends a double exactly as ostream's default formatting does
+/// (std::defaultfloat, precision 6 — printf %g semantics).
+inline void append_double_g6(std::string& out, double v) {
+  char buf[40];
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof buf, v, std::chars_format::general, 6);
+  out.append(buf, ptr);
+}
+
+/// Appends a double exactly as mtd::Json's serializer does: integral
+/// values below 1e15 in magnitude print without a decimal point or
+/// exponent (printf %.0f, including the "-0" of negative zero), everything
+/// else as printf %.17g (lossless for IEEE-754 doubles).
+inline void append_json_number(std::string& out, double d) {
+  if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 1e15) {
+    if (std::signbit(d)) out += '-';
+    append_uint(out, static_cast<std::uint64_t>(std::abs(d)));
+    return;
+  }
+  char buf[40];
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof buf, d, std::chars_format::general, 17);
+  out.append(buf, ptr);
+}
+
+}  // namespace mtd

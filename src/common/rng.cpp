@@ -39,7 +39,7 @@ double Rng::pareto(double shape, double scale) noexcept {
 }
 
 double Rng::log10_normal(double mu, double sigma) noexcept {
-  return std::pow(10.0, normal(mu, sigma));
+  return pow10_fast(normal(mu, sigma));
 }
 
 std::uint64_t Rng::poisson(double mean) noexcept {

@@ -25,10 +25,23 @@ double circadian_activity(std::size_t minute_of_day) noexcept {
   return 0.02 + 0.98 * std::fmin(activity, 1.0);
 }
 
+const CircadianTables& circadian_tables() noexcept {
+  static const CircadianTables tables = [] {
+    CircadianTables t;
+    for (std::size_t m = 0; m < kMinutesPerDay; ++m) {
+      t.activity[m] = circadian_activity(m);
+      t.day_phase[m] = t.activity[m] > kCircadianDayThreshold;
+    }
+    return t;
+  }();
+  return tables;
+}
+
 double circadian_high_fraction() noexcept {
+  const CircadianTables& tables = circadian_tables();
   std::size_t high = 0;
   for (std::size_t m = 0; m < kMinutesPerDay; ++m) {
-    if (circadian_activity(m) > 0.5) ++high;
+    if (tables.day_phase[m]) ++high;
   }
   return static_cast<double>(high) / static_cast<double>(kMinutesPerDay);
 }

@@ -41,4 +41,34 @@ enum class DayType { kWorkday, kWeekend };
 /// (activity above 0.5); used by tests and by the arrival-model fitting.
 [[nodiscard]] double circadian_high_fraction() noexcept;
 
+/// Activity threshold separating the day and night circadian phases.
+inline constexpr double kCircadianDayThreshold = 0.5;
+
+/// Per-minute tables of the circadian profile, precomputed once: the
+/// activity value and the day-phase predicate (activity > 0.5) for every
+/// minute of the day. The arrival hot path evaluates the profile once per
+/// (BS, minute); the logistic ramps and the Gaussian evening bump cost
+/// three exp calls each time, so per-minute generation reads these tables
+/// instead. Values are computed by circadian_activity itself, so table
+/// lookups are bit-identical to direct evaluation.
+struct CircadianTables {
+  std::array<double, kMinutesPerDay> activity;
+  std::array<bool, kMinutesPerDay> day_phase;
+};
+
+/// The process-wide precomputed tables (built on first use, immutable).
+[[nodiscard]] const CircadianTables& circadian_tables() noexcept;
+
+/// Table-backed circadian_activity; bit-identical to the direct call.
+[[nodiscard]] inline double circadian_activity_lut(
+    std::size_t minute_of_day) noexcept {
+  return circadian_tables().activity[minute_of_day % kMinutesPerDay];
+}
+
+/// Table-backed day-phase predicate (activity > kCircadianDayThreshold).
+[[nodiscard]] inline bool circadian_day_phase(
+    std::size_t minute_of_day) noexcept {
+  return circadian_tables().day_phase[minute_of_day % kMinutesPerDay];
+}
+
 }  // namespace mtd

@@ -21,7 +21,7 @@ std::uint32_t ArrivalClassModel::sample(bool day_phase, Rng& rng) const {
 
 std::uint32_t ArrivalClassModel::sample_minute(std::size_t minute_of_day,
                                                Rng& rng) const {
-  return sample(circadian_activity(minute_of_day) > 0.5, rng);
+  return sample(circadian_day_phase(minute_of_day), rng);
 }
 
 ArrivalModel ArrivalModel::fit(const MeasurementDataset& dataset) {
@@ -61,15 +61,10 @@ ArrivalModel ArrivalModel::fit(const MeasurementDataset& dataset) {
   }
 
   model.shares_ = dataset.session_shares();
-  model.share_cdf_ = model.shares_;
   double acc = 0.0;
-  for (double& v : model.share_cdf_) {
-    acc += v;
-    v = acc;
-  }
+  for (const double v : model.shares_) acc += v;
   require(acc > 0.0, "ArrivalModel::fit: dataset has no sessions");
-  // Guard against rounding: force the last CDF entry to 1.
-  model.share_cdf_.back() = 1.0;
+  model.service_alias_ = AliasTable(model.shares_);
   return model;
 }
 
@@ -80,28 +75,16 @@ ArrivalModel ArrivalModel::from_parts(std::vector<ArrivalFitReport> classes,
   ArrivalModel model;
   model.classes_ = std::move(classes);
   model.shares_ = std::move(shares);
-  model.share_cdf_ = model.shares_;
   double acc = 0.0;
-  for (double& v : model.share_cdf_) {
-    acc += v;
-    v = acc;
-  }
+  for (const double v : model.shares_) acc += v;
   require(acc > 0.0, "ArrivalModel::from_parts: zero total share");
-  for (double& v : model.share_cdf_) v /= acc;
-  model.share_cdf_.back() = 1.0;
+  model.service_alias_ = AliasTable(model.shares_);
   return model;
 }
 
 const ArrivalClassModel& ArrivalModel::class_model(std::uint8_t decile) const {
   require(decile < classes_.size(), "ArrivalModel: bad decile");
   return classes_[decile].model;
-}
-
-std::size_t ArrivalModel::sample_service(Rng& rng) const {
-  const double u = rng.uniform();
-  const auto it = std::lower_bound(share_cdf_.begin(), share_cdf_.end(), u);
-  return std::min(static_cast<std::size_t>(it - share_cdf_.begin()),
-                  share_cdf_.size() - 1);
 }
 
 }  // namespace mtd

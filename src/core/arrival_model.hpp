@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/alias_table.hpp"
 #include "common/rng.hpp"
 #include "dataset/measurement.hpp"
 
@@ -71,13 +72,21 @@ class ArrivalModel {
     return shares_;
   }
 
-  /// Draws the service of a newly established session.
-  [[nodiscard]] std::size_t sample_service(Rng& rng) const;
+  /// Draws the service of a newly established session. O(1) via the alias
+  /// table built over the shares; consumes exactly one rng.uniform().
+  [[nodiscard]] std::size_t sample_service(Rng& rng) const {
+    return service_alias_.sample(rng);
+  }
+
+  /// The alias table backing sample_service (test introspection).
+  [[nodiscard]] const AliasTable& service_alias() const noexcept {
+    return service_alias_;
+  }
 
  private:
   std::vector<ArrivalFitReport> classes_;
   std::vector<double> shares_;
-  std::vector<double> share_cdf_;
+  AliasTable service_alias_;
 };
 
 }  // namespace mtd

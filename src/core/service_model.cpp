@@ -26,7 +26,7 @@ ServiceModel::Draw ServiceModel::sample(Rng& rng,
   draw.volume_mb = std::max(volume_.mixture().sample(rng), 1e-4);
   double d = duration_.duration(draw.volume_mb);
   if (duration_jitter_sigma > 0.0) {
-    d *= std::pow(10.0, rng.normal(0.0, duration_jitter_sigma));
+    d *= rng.log10_normal(0.0, duration_jitter_sigma);
   }
   draw.duration_s = std::clamp(d, 1.0, 6.0 * 3600.0);
   return draw;

@@ -9,12 +9,14 @@
 namespace mtd {
 
 bool ArrivalProcess::is_day_phase(std::size_t minute_of_day) {
-  return circadian_activity(minute_of_day) > kDayThreshold;
+  return circadian_day_phase(minute_of_day);
 }
 
 std::uint32_t ArrivalProcess::sample(std::size_t minute_of_day,
                                      Rng& rng) const {
-  const double activity = circadian_activity(minute_of_day);
+  // Precomputed per-minute table: the logistic ramps + evening bump cost
+  // three exp calls when evaluated directly, once per (BS, minute).
+  const double activity = circadian_activity_lut(minute_of_day);
   if (activity > kDayThreshold) {
     // Daytime mode: Gaussian around the BS peak rate, modulated by the
     // (mild) intra-day activity fluctuation; sigma = mu / 10 (Sec. 5.1).
@@ -41,7 +43,7 @@ SessionSampler::Draw SessionSampler::sample(Rng& rng) const {
   volume = std::max(volume, 1e-4);  // >= 0.1 KB
   double duration =
       std::pow(volume / alpha_, 1.0 / profile_->beta) *
-      std::pow(10.0, rng.normal(0.0, profile_->duration_sigma));
+      rng.log10_normal(0.0, profile_->duration_sigma);
   duration = std::clamp(duration, 1.0, 6.0 * 3600.0);
 
   Draw draw{volume, duration, false};
@@ -70,12 +72,7 @@ TraceGenerator::TraceGenerator(const Network& network, TraceConfig config)
   const auto& catalog = service_catalog();
   samplers_.reserve(catalog.size());
   for (const auto& profile : catalog) samplers_.emplace_back(profile);
-  service_cdf_ = normalized_session_shares();
-  double acc = 0.0;
-  for (double& share : service_cdf_) {
-    acc += share;
-    share = acc;
-  }
+  service_alias_ = AliasTable(normalized_session_shares());
 }
 
 Rng TraceGenerator::bs_day_rng(const BaseStation& bs, std::size_t day) const {
@@ -97,14 +94,9 @@ BaseStation TraceGenerator::day_scaled(const BaseStation& bs,
 Session TraceGenerator::sample_session(const BaseStation& bs, std::size_t day,
                                        std::size_t minute_of_day,
                                        Rng& rng) const {
-  // Service assignment by Table-1 session shares.
-  const double u = rng.uniform();
-  const auto it =
-      std::lower_bound(service_cdf_.begin(), service_cdf_.end(), u);
-  const auto svc = static_cast<std::size_t>(
-      std::min<std::ptrdiff_t>(it - service_cdf_.begin(),
-                               static_cast<std::ptrdiff_t>(
-                                   service_cdf_.size() - 1)));
+  // Service assignment by Table-1 session shares: O(1) alias draw
+  // consuming exactly one uniform, as the CDF inversion it replaced did.
+  const std::size_t svc = service_alias_.sample(rng);
   const SessionSampler::Draw draw = samplers_[svc].sample(rng);
   Session session;
   session.bs = bs.id;

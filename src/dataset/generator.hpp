@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/alias_table.hpp"
 #include "common/rng.hpp"
 #include "dataset/network.hpp"
 #include "dataset/service_catalog.hpp"
@@ -147,7 +148,7 @@ class TraceGenerator {
   const Network* network_;
   TraceConfig config_;
   std::vector<SessionSampler> samplers_;
-  std::vector<double> service_cdf_;  // cumulative session shares
+  AliasTable service_alias_;  // O(1) Table-1 share draws
 };
 
 }  // namespace mtd

@@ -8,18 +8,35 @@
 #include <map>
 
 #include "common/error.hpp"
+#include "common/fmt.hpp"
 #include "common/time_utils.hpp"
 
 namespace mtd {
 
+namespace {
+
+/// Pending formatted rows are handed to the stream in blocks of this size
+/// instead of once per session.
+constexpr std::size_t kCsvFlushBytes = 1 << 16;
+
+}  // namespace
+
 struct SessionCsvWriter::Impl {
   std::ofstream out;
+  std::string buf;  // formatted rows awaiting a block write
+
+  void flush_buf() {
+    if (buf.empty()) return;
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    buf.clear();
+  }
 };
 
 SessionCsvWriter::SessionCsvWriter(const std::string& path, TraceSink* forward)
     : impl_(std::make_unique<Impl>()), path_(path), forward_(forward) {
   impl_->out.open(path, std::ios::binary | std::ios::trunc);
   if (!impl_->out) throw Error("SessionCsvWriter: cannot open " + path);
+  impl_->buf.reserve(kCsvFlushBytes + 256);
   impl_->out << "bs,service,day,minute_of_day,volume_mb,duration_s\n";
 }
 
@@ -38,6 +55,7 @@ bool SessionCsvWriter::write_failed() const noexcept {
 
 void SessionCsvWriter::close() {
   if (!impl_ || !impl_->out.is_open()) return;
+  impl_->flush_buf();
   impl_->out.flush();
   bool failed = impl_->out.fail();
   impl_->out.close();
@@ -58,11 +76,29 @@ void SessionCsvWriter::on_minute(const BaseStation& bs, std::size_t day,
 void SessionCsvWriter::on_session(const Session& session) {
   const std::string& name = service_catalog()[session.service].name;
   const bool quote = name.find(',') != std::string::npos;
-  impl_->out << session.bs << ',';
-  if (quote) impl_->out << '"' << name << '"';
-  else impl_->out << name;
-  impl_->out << ',' << session.day << ',' << session.minute_of_day << ','
-             << session.volume_mb << ',' << session.duration_s << '\n';
+  // Rows are formatted with std::to_chars into the reusable buffer; the
+  // doubles use %g/precision-6 semantics, byte-identical to the ostream
+  // formatting this path used before.
+  std::string& buf = impl_->buf;
+  append_uint(buf, session.bs);
+  buf += ',';
+  if (quote) {
+    buf += '"';
+    buf += name;
+    buf += '"';
+  } else {
+    buf += name;
+  }
+  buf += ',';
+  append_uint(buf, session.day);
+  buf += ',';
+  append_uint(buf, session.minute_of_day);
+  buf += ',';
+  append_double_g6(buf, session.volume_mb);
+  buf += ',';
+  append_double_g6(buf, session.duration_s);
+  buf += '\n';
+  if (buf.size() >= kCsvFlushBytes) impl_->flush_buf();
   ++sessions_;
   if (forward_ != nullptr) forward_->on_session(session);
 }

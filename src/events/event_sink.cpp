@@ -1,13 +1,23 @@
 #include "events/event_sink.hpp"
 
 #include <bit>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 
 #include "common/error.hpp"
+#include "common/fmt.hpp"
 #include "io/json.hpp"
 
 namespace mtd {
+
+namespace {
+
+/// Pending serialized events are handed to the stream in blocks of this
+/// size instead of once per event.
+constexpr std::size_t kSinkFlushBytes = 1 << 16;
+
+}  // namespace
 
 const char* to_string(SinkErrorPolicy p) noexcept {
   switch (p) {
@@ -58,12 +68,20 @@ void SessionCsvEventSink::on_event(const StreamEvent& event) {
 
 struct NdjsonEventWriter::Impl {
   std::ofstream out;
+  std::string buf;  // serialized lines awaiting a block write
+
+  void flush_buf() {
+    if (buf.empty()) return;
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    buf.clear();
+  }
 };
 
 NdjsonEventWriter::NdjsonEventWriter(const std::string& path)
     : impl_(std::make_unique<Impl>()), path_(path) {
   impl_->out.open(path, std::ios::binary | std::ios::trunc);
   if (!impl_->out) throw Error("NdjsonEventWriter: cannot open " + path);
+  impl_->buf.reserve(kSinkFlushBytes + 512);
 }
 
 NdjsonEventWriter::~NdjsonEventWriter() {
@@ -75,53 +93,100 @@ NdjsonEventWriter::~NdjsonEventWriter() {
 }
 
 void NdjsonEventWriter::on_event(const StreamEvent& event) {
-  JsonObject obj;
-  obj.emplace("kind", to_string(event.kind()));
-  obj.emplace("bs", static_cast<double>(event.key.bs));
-  obj.emplace("day", static_cast<double>(event.key.day));
-  obj.emplace("minute", static_cast<double>(event.key.minute_of_day));
-  obj.emplace("seq", static_cast<double>(event.key.seq));
+  // Serialized by hand into the reusable buffer: no JsonObject (a std::map
+  // allocating one node per field) and no dump string per event. Keys are
+  // emitted in the alphabetical order the map-based serializer produced,
+  // and every numeric field goes through the same double cast and
+  // Json-number encoding, so the output is byte-identical to the old path.
+  std::string& buf = impl_->buf;
+  const auto num = [&buf](const char* key, double v) {
+    buf += ",\"";
+    buf += key;
+    buf += "\":";
+    append_json_number(buf, v);
+  };
+  const auto text = [&buf](const char* key, const char* v) {
+    buf += ",\"";
+    buf += key;
+    buf += "\":\"";
+    buf += v;  // fixed enum tokens: nothing to escape
+    buf += '"';
+  };
+  const auto flag = [&buf](const char* key, bool v) {
+    buf += ",\"";
+    buf += key;
+    buf += "\":";
+    buf += v ? "true" : "false";
+  };
+  const EventKey& k = event.key;
   switch (event.kind()) {
-    case EventKind::kMinute:
-      obj.emplace("arrivals",
-                  static_cast<double>(
-                      std::get<MinuteEvent>(event.payload).arrivals));
+    case EventKind::kMinute: {
+      buf += "{\"arrivals\":";
+      append_json_number(
+          buf,
+          static_cast<double>(std::get<MinuteEvent>(event.payload).arrivals));
+      num("bs", static_cast<double>(k.bs));
+      num("day", static_cast<double>(k.day));
+      text("kind", "minute");
+      num("minute", static_cast<double>(k.minute_of_day));
+      num("seq", static_cast<double>(k.seq));
       break;
+    }
     case EventKind::kSession: {
       const Session& s = std::get<SessionEvent>(event.payload).session;
-      obj.emplace("service", static_cast<double>(s.service));
-      obj.emplace("transient", s.transient);
-      obj.emplace("volume_mb", s.volume_mb);
-      obj.emplace("duration_s", s.duration_s);
+      buf += "{\"bs\":";
+      append_json_number(buf, static_cast<double>(k.bs));
+      num("day", static_cast<double>(k.day));
+      num("duration_s", s.duration_s);
+      text("kind", "session");
+      num("minute", static_cast<double>(k.minute_of_day));
+      num("seq", static_cast<double>(k.seq));
+      num("service", static_cast<double>(s.service));
+      flag("transient", s.transient);
+      num("volume_mb", s.volume_mb);
       break;
     }
     case EventKind::kSegment: {
       const SegmentEvent& e = std::get<SegmentEvent>(event.payload);
-      obj.emplace("service", static_cast<double>(e.service));
-      obj.emplace("state", to_string(e.state));
-      obj.emplace("session_seq", static_cast<double>(e.session_seq));
-      obj.emplace("hop", static_cast<double>(e.segment.hop));
-      obj.emplace("first", e.segment.first);
-      obj.emplace("last", e.segment.last);
-      obj.emplace("volume_mb", e.segment.volume_mb);
-      obj.emplace("duration_s", e.segment.duration_s);
+      buf += "{\"bs\":";
+      append_json_number(buf, static_cast<double>(k.bs));
+      num("day", static_cast<double>(k.day));
+      num("duration_s", e.segment.duration_s);
+      flag("first", e.segment.first);
+      num("hop", static_cast<double>(e.segment.hop));
+      text("kind", "segment");
+      flag("last", e.segment.last);
+      num("minute", static_cast<double>(k.minute_of_day));
+      num("seq", static_cast<double>(k.seq));
+      num("service", static_cast<double>(e.service));
+      num("session_seq", static_cast<double>(e.session_seq));
+      text("state", to_string(e.state));
+      num("volume_mb", e.segment.volume_mb);
       break;
     }
     case EventKind::kPacket: {
       const PacketEvent& e = std::get<PacketEvent>(event.payload);
-      obj.emplace("service", static_cast<double>(e.service));
-      obj.emplace("session_seq", static_cast<double>(e.session_seq));
-      obj.emplace("time_s", e.packet.time_s);
-      obj.emplace("size_bytes", static_cast<double>(e.packet.size_bytes));
+      buf += "{\"bs\":";
+      append_json_number(buf, static_cast<double>(k.bs));
+      num("day", static_cast<double>(k.day));
+      text("kind", "packet");
+      num("minute", static_cast<double>(k.minute_of_day));
+      num("seq", static_cast<double>(k.seq));
+      num("service", static_cast<double>(e.service));
+      num("session_seq", static_cast<double>(e.session_seq));
+      num("size_bytes", static_cast<double>(e.packet.size_bytes));
+      num("time_s", e.packet.time_s);
       break;
     }
   }
-  impl_->out << Json(std::move(obj)).dump() << '\n';
+  buf += "}\n";
+  if (buf.size() >= kSinkFlushBytes) impl_->flush_buf();
   ++events_;
 }
 
 void NdjsonEventWriter::close() {
   if (!impl_ || !impl_->out.is_open()) return;
+  impl_->flush_buf();
   impl_->out.flush();
   bool failed = impl_->out.fail();
   impl_->out.close();
@@ -138,25 +203,23 @@ void NdjsonEventWriter::close() {
 
 namespace {
 
-void put_u16(std::string& out, std::uint16_t v) {
-  out.push_back(static_cast<char>(v & 0xff));
-  out.push_back(static_cast<char>((v >> 8) & 0xff));
-}
-
-void put_u32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+/// Stores an unsigned integer little-endian at `p` and returns the
+/// advanced pointer. On little-endian hosts this is a single memcpy the
+/// compiler folds into one unaligned store.
+template <typename T>
+char* store_le(char* p, T v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(p, &v, sizeof v);
+  } else {
+    for (std::size_t i = 0; i < sizeof v; ++i) {
+      p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
   }
+  return p + sizeof v;
 }
 
-void put_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-void put_f64(std::string& out, double v) {
-  put_u64(out, std::bit_cast<std::uint64_t>(v));
+char* store_f64(char* p, double v) {
+  return store_le(p, std::bit_cast<std::uint64_t>(v));
 }
 
 /// Bounds-checked little-endian reads over a byte range. `require` throws
@@ -228,13 +291,20 @@ class ByteReader {
 
 struct BinaryEventWriter::Impl {
   std::ofstream out;
-  std::string buf;
+  std::string buf;  // framed records awaiting a block write
+
+  void flush_buf() {
+    if (buf.empty()) return;
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    buf.clear();
+  }
 };
 
 BinaryEventWriter::BinaryEventWriter(const std::string& path)
     : impl_(std::make_unique<Impl>()), path_(path) {
   impl_->out.open(path, std::ios::binary | std::ios::trunc);
   if (!impl_->out) throw Error("BinaryEventWriter: cannot open " + path);
+  impl_->buf.reserve(kSinkFlushBytes + 128);
   impl_->out.write(kMagic, sizeof(kMagic));
 }
 
@@ -247,55 +317,59 @@ BinaryEventWriter::~BinaryEventWriter() {
 }
 
 void BinaryEventWriter::on_event(const StreamEvent& event) {
-  std::string& buf = impl_->buf;
-  buf.clear();
-  buf.push_back(static_cast<char>(event.kind()));
-  put_u32(buf, event.key.bs);
-  put_u16(buf, event.key.day);
-  put_u16(buf, event.key.minute_of_day);
-  put_u64(buf, event.key.seq);
+  // Frame = u32 payload length + payload, serialized into a stack scratch
+  // with bulk little-endian stores, then appended to the pending buffer in
+  // one copy — no per-event frame string and no per-event stream writes.
+  // The largest record (segment) is 4 + 50 bytes; 64 leaves headroom.
+  char scratch[64];
+  char* p = scratch + 4;  // length goes in front once known
+  *p++ = static_cast<char>(event.kind());
+  p = store_le(p, event.key.bs);
+  p = store_le(p, event.key.day);
+  p = store_le(p, event.key.minute_of_day);
+  p = store_le(p, event.key.seq);
   switch (event.kind()) {
     case EventKind::kMinute:
-      put_u32(buf, std::get<MinuteEvent>(event.payload).arrivals);
+      p = store_le(p, std::get<MinuteEvent>(event.payload).arrivals);
       break;
     case EventKind::kSession: {
       const Session& s = std::get<SessionEvent>(event.payload).session;
-      put_u16(buf, s.service);
-      buf.push_back(s.transient ? 1 : 0);
-      put_f64(buf, s.volume_mb);
-      put_f64(buf, s.duration_s);
+      p = store_le(p, s.service);
+      *p++ = s.transient ? 1 : 0;
+      p = store_f64(p, s.volume_mb);
+      p = store_f64(p, s.duration_s);
       break;
     }
     case EventKind::kSegment: {
       const SegmentEvent& e = std::get<SegmentEvent>(event.payload);
-      put_u16(buf, e.service);
-      buf.push_back(static_cast<char>(e.state));
-      put_u64(buf, e.session_seq);
-      put_u32(buf, e.segment.hop);
-      buf.push_back(e.segment.first ? 1 : 0);
-      buf.push_back(e.segment.last ? 1 : 0);
-      put_f64(buf, e.segment.volume_mb);
-      put_f64(buf, e.segment.duration_s);
+      p = store_le(p, e.service);
+      *p++ = static_cast<char>(e.state);
+      p = store_le(p, e.session_seq);
+      p = store_le(p, e.segment.hop);
+      *p++ = e.segment.first ? 1 : 0;
+      *p++ = e.segment.last ? 1 : 0;
+      p = store_f64(p, e.segment.volume_mb);
+      p = store_f64(p, e.segment.duration_s);
       break;
     }
     case EventKind::kPacket: {
       const PacketEvent& e = std::get<PacketEvent>(event.payload);
-      put_u16(buf, e.service);
-      put_u64(buf, e.session_seq);
-      put_f64(buf, e.packet.time_s);
-      put_u32(buf, e.packet.size_bytes);
+      p = store_le(p, e.service);
+      p = store_le(p, e.session_seq);
+      p = store_f64(p, e.packet.time_s);
+      p = store_le(p, e.packet.size_bytes);
       break;
     }
   }
-  std::string frame;
-  put_u32(frame, static_cast<std::uint32_t>(buf.size()));
-  impl_->out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
-  impl_->out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  (void)store_le(scratch, static_cast<std::uint32_t>(p - (scratch + 4)));
+  impl_->buf.append(scratch, static_cast<std::size_t>(p - scratch));
+  if (impl_->buf.size() >= kSinkFlushBytes) impl_->flush_buf();
   ++events_;
 }
 
 void BinaryEventWriter::close() {
   if (!impl_ || !impl_->out.is_open()) return;
+  impl_->flush_buf();
   impl_->out.flush();
   bool failed = impl_->out.fail();
   impl_->out.close();

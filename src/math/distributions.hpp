@@ -80,7 +80,9 @@ class Log10Normal {
   }
 
   [[nodiscard]] double sample(Rng& rng) const noexcept {
-    return std::pow(10.0, gauss_.sample(rng));
+    // Same fast base-10 exponential as Rng::log10_normal, so every
+    // log-normal draw in the system shares one bit-identical pow10.
+    return pow10_fast(gauss_.sample(rng));
   }
 
   /// Median of x: 10^mu.

@@ -21,6 +21,7 @@ Log10NormalMixture::Log10NormalMixture(std::vector<double> relative_weights,
   for (std::size_t i = 0; i < dists.size(); ++i) {
     components_.push_back(Component{relative_weights[i] / total, dists[i]});
   }
+  component_alias_ = AliasTable(relative_weights);
 }
 
 Log10NormalMixture Log10NormalMixture::from_main_and_peaks(
@@ -73,15 +74,6 @@ double Log10NormalMixture::quantile(double p) const {
     }
   }
   return std::pow(10.0, 0.5 * (lo + hi));
-}
-
-double Log10NormalMixture::sample(Rng& rng) const noexcept {
-  double u = rng.uniform();
-  for (const auto& c : components_) {
-    if (u < c.weight) return c.dist.sample(rng);
-    u -= c.weight;
-  }
-  return components_.back().dist.sample(rng);
 }
 
 double Log10NormalMixture::mean() const noexcept {

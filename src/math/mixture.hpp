@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/alias_table.hpp"
 #include "common/rng.hpp"
 #include "math/distributions.hpp"
 
@@ -47,13 +48,24 @@ class Log10NormalMixture {
   [[nodiscard]] double cdf(double x) const noexcept;
   /// Numeric inverse CDF (bisection over log10 x); p in (0, 1).
   [[nodiscard]] double quantile(double p) const;
-  [[nodiscard]] double sample(Rng& rng) const noexcept;
+  /// Draws from the mixture: one uniform picks the component via the
+  /// precomputed alias table (O(1)), one normal deviate samples it.
+  /// Defined inline — this sits on the per-session hot path.
+  [[nodiscard]] double sample(Rng& rng) const noexcept {
+    return components_[component_alias_.sample(rng)].dist.sample(rng);
+  }
+
+  /// The alias table over component weights (test introspection).
+  [[nodiscard]] const AliasTable& component_alias() const noexcept {
+    return component_alias_;
+  }
 
   /// Mixture mean of x.
   [[nodiscard]] double mean() const noexcept;
 
  private:
   std::vector<Component> components_;
+  AliasTable component_alias_;
 };
 
 }  // namespace mtd

@@ -1,0 +1,197 @@
+// AliasTable correctness: construction invariants, exact mass
+// preservation, equivalence with the CDF inversion it replaced, and a
+// chi-square goodness-of-fit draw against the Table-1 service shares.
+#include "common/alias_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dataset/service_catalog.hpp"
+
+namespace mtd {
+namespace {
+
+TEST(AliasTable, RejectsInvalidWeightVectors) {
+  EXPECT_THROW(AliasTable(std::span<const double>{}), InvalidArgument);
+  const std::vector<double> negative{0.5, -0.1, 0.6};
+  EXPECT_THROW(AliasTable(std::span<const double>(negative)), InvalidArgument);
+  const std::vector<double> nan_weight{
+      0.5, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW(AliasTable(std::span<const double>(nan_weight)),
+               InvalidArgument);
+  const std::vector<double> inf_weight{
+      0.5, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(AliasTable(std::span<const double>(inf_weight)),
+               InvalidArgument);
+  const std::vector<double> all_zero{0.0, 0.0, 0.0};
+  EXPECT_THROW(AliasTable(std::span<const double>(all_zero)), InvalidArgument);
+}
+
+TEST(AliasTable, OutcomeProbabilityReproducesNormalizedWeights) {
+  // The tables are a rearrangement of the input mass, not an approximation:
+  // reconstructing each outcome's mass from the buckets must return the
+  // normalized weights up to floating-point summation error.
+  const std::vector<std::vector<double>> cases = {
+      {1.0},
+      {1.0, 1.0},
+      {3.0, 1.0},
+      {0.5, 0.25, 0.125, 0.125},
+      {0.0, 1.0, 0.0, 2.0, 5.0},
+      {1e-9, 1.0, 1e-9},
+      {10.0, 20.0, 30.0, 25.0, 15.0},
+  };
+  for (const auto& weights : cases) {
+    const AliasTable table{std::span<const double>(weights)};
+    double total = 0.0;
+    for (double w : weights) total += w;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      EXPECT_NEAR(table.outcome_probability(i), weights[i] / total, 1e-12)
+          << "outcome " << i;
+    }
+  }
+}
+
+TEST(AliasTable, ZeroWeightOutcomesAreNeverPicked) {
+  const std::vector<double> weights{0.0, 1.0, 0.0, 2.0};
+  const AliasTable table{std::span<const double>(weights)};
+  const int kGrid = 100000;
+  for (int g = 0; g < kGrid; ++g) {
+    const double u = (g + 0.5) / kGrid;
+    const std::size_t outcome = table.pick(u);
+    EXPECT_TRUE(outcome == 1 || outcome == 3) << "u=" << u;
+  }
+}
+
+TEST(AliasTable, ConstructionIsDeterministic) {
+  const std::vector<double> weights{4.0, 1.0, 2.5, 0.5, 8.0, 0.0, 3.0};
+  const AliasTable a{std::span<const double>(weights)};
+  const AliasTable b{std::span<const double>(weights)};
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.bucket_probabilities()[i], b.bucket_probabilities()[i]);
+    EXPECT_EQ(a.bucket_aliases()[i], b.bucket_aliases()[i]);
+  }
+}
+
+TEST(AliasTable, SampleConsumesExactlyOneUniform) {
+  // The alias draw must advance the RNG stream exactly as the CDF
+  // inversion it replaced did (one uniform), or every downstream draw in
+  // a generation stream would desynchronize across code versions.
+  const std::vector<double> weights = normalized_session_shares();
+  const AliasTable table{std::span<const double>(weights)};
+  Rng sampled(1234);
+  Rng reference(1234);
+  for (int i = 0; i < 100; ++i) {
+    (void)table.sample(sampled);
+    (void)reference.uniform();
+    EXPECT_EQ(sampled.uniform(), reference.uniform()) << "draw " << i;
+  }
+}
+
+/// The CDF-inversion draw the alias table replaced (lower_bound over the
+/// cumulative shares), kept here as the reference implementation.
+std::size_t cdf_pick(const std::vector<double>& cdf, double u) {
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  std::size_t idx = static_cast<std::size_t>(it - cdf.begin());
+  if (idx >= cdf.size()) idx = cdf.size() - 1;
+  return idx;
+}
+
+std::vector<double> cdf_of(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  std::vector<double> cdf(weights.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i] / total;
+    cdf[i] = acc;
+  }
+  cdf.back() = 1.0;
+  return cdf;
+}
+
+TEST(AliasTable, MatchesCdfInversionOnDenseQuantileGrid) {
+  // The two draws cannot agree pointwise (the alias method permutes which
+  // u maps to which outcome), but over a dense uniform grid each outcome
+  // must receive the same number of grid points up to per-bucket boundary
+  // effects — both are exact partitions of [0, 1) by mass.
+  const std::vector<std::vector<double>> cases = {
+      {1.0, 1.0, 1.0, 1.0},
+      {8.0, 4.0, 2.0, 1.0, 1.0},
+      {0.05, 0.6, 0.05, 0.3},
+      normalized_session_shares(),
+  };
+  const int kGrid = 1 << 20;
+  for (const auto& weights : cases) {
+    const AliasTable table{std::span<const double>(weights)};
+    const std::vector<double> cdf = cdf_of(weights);
+    std::vector<long> alias_counts(weights.size(), 0);
+    std::vector<long> cdf_counts(weights.size(), 0);
+    for (int g = 0; g < kGrid; ++g) {
+      const double u = (g + 0.5) / kGrid;
+      ++alias_counts[table.pick(u)];
+      ++cdf_counts[cdf_pick(cdf, u)];
+    }
+    // Each of the n buckets contributes at most a couple of grid points of
+    // rounding at its acceptance threshold; the same holds for each CDF
+    // step. 4(n + 1) bounds both comfortably.
+    const long tolerance = 4 * (static_cast<long>(weights.size()) + 1);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      EXPECT_NEAR(alias_counts[i], cdf_counts[i], tolerance)
+          << "outcome " << i << " of " << weights.size();
+    }
+  }
+}
+
+TEST(AliasTable, ChiSquareGoodnessOfFitAgainstTable1Shares) {
+  // One million seeded draws against the paper's Table-1 service shares.
+  // With ~30 categories the 99.9% chi-square quantile is ~59.7 (df = 30);
+  // the draw is deterministic, so a generous fixed threshold cannot flake
+  // yet still catches any systematic distortion of the shares.
+  const std::vector<double> shares = normalized_session_shares();
+  const AliasTable table{std::span<const double>(shares)};
+  ASSERT_EQ(table.size(), shares.size());
+
+  const int kDraws = 1000000;
+  std::vector<long> counts(shares.size(), 0);
+  Rng rng(20230815);
+  for (int i = 0; i < kDraws; ++i) ++counts[table.sample(rng)];
+
+  double chi2 = 0.0;
+  std::size_t categories = 0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    const double expected = shares[i] * kDraws;
+    if (expected < 5.0) {
+      // Sparse cells break the chi-square approximation; they still must
+      // not be over-drawn.
+      EXPECT_LE(counts[i], 5 * expected + 10.0) << "service " << i;
+      continue;
+    }
+    const double delta = counts[i] - expected;
+    chi2 += delta * delta / expected;
+    ++categories;
+  }
+  ASSERT_GE(categories, 10u);
+  // 99.9% quantile of chi-square with df = categories - 1 is below
+  // df + 4 sqrt(2 df) for every df >= 10.
+  const double df = static_cast<double>(categories - 1);
+  EXPECT_LT(chi2, df + 4.0 * std::sqrt(2.0 * df));
+}
+
+TEST(AliasTable, SingleOutcomeAlwaysWins) {
+  const std::vector<double> weights{7.5};
+  const AliasTable table{std::span<const double>(weights)};
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(rng), 0u);
+  EXPECT_EQ(table.pick(0.0), 0u);
+  EXPECT_EQ(table.pick(std::nextafter(1.0, 0.0)), 0u);
+}
+
+}  // namespace
+}  // namespace mtd

@@ -191,6 +191,27 @@ TEST(LintRules, CatalogHasUniqueNonEmptyNames) {
   EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end());
 }
 
+TEST(LintRules, HotPathFilesLintClean) {
+  // The hot-path additions (alias sampling, to_chars formatters, the
+  // micro-benchmark) are linted here as shipped, pinning include-hygiene
+  // and must-check coverage to the real files rather than fixtures. All
+  // files run in one registry pass so the must-check pre-pass sees every
+  // [[nodiscard]] declaration project-style.
+  const std::vector<std::string> paths = {
+      "src/common/alias_table.hpp", "src/common/alias_table.cpp",
+      "src/common/fmt.hpp",         "bench/bench_hot_paths.cpp",
+  };
+  std::vector<SourceFile> files;
+  for (const auto& p : paths) {
+    files.push_back(
+        SourceFile::from_path(std::string(MTD_LINT_SOURCE_DIR) + "/" + p));
+  }
+  const auto findings = RuleRegistry::built_in().run(files);
+  EXPECT_TRUE(findings.empty())
+      << findings.front().rule << " at " << findings.front().path << ":"
+      << findings.front().line;
+}
+
 TEST(LintRules, FindingsAreOrderedByPathLineRule) {
   const auto findings = lint_fixture("include_hygiene_bad.hpp");
   ASSERT_GE(findings.size(), 2u);
