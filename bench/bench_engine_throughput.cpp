@@ -24,7 +24,7 @@
 
 #include "bench_common.hpp"
 #include "engine/engine.hpp"
-#include "engine/fault.hpp"
+#include "common/fault.hpp"
 #include "engine/spsc_ring.hpp"
 #include "io/json.hpp"
 

@@ -1,0 +1,233 @@
+// Trace-store benchmarks: ingest rate, query latency, and index pruning.
+//
+// One engine run is streamed into a fresh on-disk store (one committed
+// B-tree segment per simulated day), then a reader is measured over it:
+//
+//   ingest        events/s through TraceStoreWriter commits
+//   point_lookup  get() latency and pages touched per lookup
+//   scan          single-BS day-range scan: pages read and leaves pruned
+//                 by fences and bloom filters
+//   replay        full-store key-order replay into a counting sink
+//
+// The pruning claim of the index is asserted, not just reported: the
+// single-BS scan must read strictly fewer pages than the full replay, and
+// the replayed event count must equal the ingested one. The report goes to
+// BENCH_store.json (schema: {bench: "store", fast, ingest: {...},
+// point_lookup: {...}, scan: {...}, replay: {...}}) for CI trend tracking.
+// MTD_BENCH_FAST shrinks the scenario for smoke runs. google-benchmark
+// timings of the point-lookup and bloom kernels follow.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "engine/engine.hpp"
+#include "engine/store_runner.hpp"
+#include "io/json.hpp"
+#include "store/bloom.hpp"
+#include "store/trace_store.hpp"
+
+namespace {
+
+using namespace mtd;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct CountingSink final : EventSink {
+  std::uint64_t events = 0;
+  void on_event(const StreamEvent&) override { ++events; }
+};
+
+const char* store_path() { return "/tmp/mtd_bench_trace.store"; }
+
+std::size_t bench_days() { return mtd::bench::fast_mode() ? 1 : 3; }
+
+TraceConfig bench_trace() {
+  TraceConfig trace;
+  trace.num_days = bench_days();
+  trace.seed = 20231024;
+  trace.rate_scale = mtd::bench::fast_mode() ? 0.05 : 0.2;
+  return trace;
+}
+
+JsonObject run_ingest() {
+  const Network& network = mtd::bench::bench_network();
+  const TraceConfig trace = bench_trace();
+  const auto t0 = Clock::now();
+  store::TraceStoreWriter writer = store::TraceStoreWriter::create(
+      store_path(), store::StoreOptions{});
+  StreamEngine engine(network, trace);
+  const EngineResult result = run_engine_into_store(engine, writer);
+  writer.close();
+  const double wall_s = seconds_since(t0);
+  (void)result;
+
+  const store::StoreManifest& manifest = writer.manifest();
+  JsonObject row;
+  row.emplace("events", static_cast<double>(manifest.events));
+  row.emplace("segments", manifest.segments.size());
+  row.emplace("pages", static_cast<double>(manifest.committed_pages));
+  row.emplace("bytes", static_cast<double>(manifest.committed_bytes()));
+  row.emplace("wall_s", wall_s);
+  row.emplace("events_per_s",
+              wall_s > 0.0 ? static_cast<double>(manifest.events) / wall_s
+                           : 0.0);
+  return row;
+}
+
+JsonObject run_point_lookups(store::TraceStore& reader,
+                             const std::vector<EventKey>& probes) {
+  reader.reset_telemetry();
+  const auto t0 = Clock::now();
+  std::uint64_t found = 0;
+  for (const EventKey& key : probes) {
+    if (reader.get(key).has_value()) ++found;
+  }
+  const double wall_s = seconds_since(t0);
+  if (found != probes.size()) {
+    std::cerr << "FATAL: only " << found << " of " << probes.size()
+              << " ingested keys were found again\n";
+    std::exit(1);
+  }
+  const store::StoreReadTelemetry& t = reader.telemetry();
+  JsonObject row;
+  row.emplace("lookups", probes.size());
+  row.emplace("wall_s", wall_s);
+  row.emplace("lookups_per_s",
+              wall_s > 0.0 ? static_cast<double>(probes.size()) / wall_s
+                           : 0.0);
+  row.emplace("pages_read", static_cast<double>(t.pages_read));
+  row.emplace("pages_per_lookup",
+              static_cast<double>(t.pages_read) /
+                  static_cast<double>(probes.size()));
+  row.emplace("leaves_skipped_bloom",
+              static_cast<double>(t.leaves_skipped_bloom));
+  return row;
+}
+
+JsonObject run_scan(store::TraceStore& reader, std::uint32_t bs,
+                    std::uint64_t* pages_read_out) {
+  reader.reset_telemetry();
+  const auto t0 = Clock::now();
+  std::uint64_t events = 0;
+  const std::uint64_t delivered =
+      reader.scan(bs, 0, static_cast<std::uint16_t>(bench_days() - 1),
+                  [&events](const StreamEvent&) { ++events; });
+  const double wall_s = seconds_since(t0);
+  const store::StoreReadTelemetry& t = reader.telemetry();
+  *pages_read_out = t.pages_read;
+  JsonObject row;
+  row.emplace("bs", static_cast<double>(bs));
+  row.emplace("events", static_cast<double>(delivered));
+  row.emplace("wall_s", wall_s);
+  row.emplace("pages_read", static_cast<double>(t.pages_read));
+  row.emplace("leaves_skipped_fence",
+              static_cast<double>(t.leaves_skipped_fence));
+  row.emplace("leaves_skipped_bloom",
+              static_cast<double>(t.leaves_skipped_bloom));
+  return row;
+}
+
+JsonObject run_replay(store::TraceStore& reader, std::uint64_t ingested,
+                      std::uint64_t* pages_read_out) {
+  reader.reset_telemetry();
+  CountingSink sink;
+  const auto t0 = Clock::now();
+  const std::uint64_t replayed = reader.replay(sink);
+  const double wall_s = seconds_since(t0);
+  if (replayed != ingested || sink.events != ingested) {
+    std::cerr << "FATAL: replay returned " << replayed << " events, ingest "
+              << "committed " << ingested << "\n";
+    std::exit(1);
+  }
+  const store::StoreReadTelemetry& t = reader.telemetry();
+  *pages_read_out = t.pages_read;
+  JsonObject row;
+  row.emplace("events", static_cast<double>(replayed));
+  row.emplace("wall_s", wall_s);
+  row.emplace("events_per_s",
+              wall_s > 0.0 ? static_cast<double>(replayed) / wall_s : 0.0);
+  row.emplace("pages_read", static_cast<double>(t.pages_read));
+  return row;
+}
+
+void BM_StorePointLookup(benchmark::State& state) {
+  store::TraceStore reader(store_path());
+  const store::SegmentInfo& seg = reader.manifest().segments.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reader.get(seg.min_key));
+  }
+}
+BENCHMARK(BM_StorePointLookup)->Unit(benchmark::kMicrosecond);
+
+void BM_BloomProbe(benchmark::State& state) {
+  store::BsBloom bloom(128, store::bloom_hashes_for(10.0));
+  for (std::uint32_t bs = 0; bs < 64; ++bs) bloom.add(bs * 3);
+  std::uint32_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bloom.maybe_contains(probe));
+    ++probe;
+  }
+}
+BENCHMARK(BM_BloomProbe);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonObject report;
+  report.emplace("bench", "store");
+  report.emplace("fast", mtd::bench::fast_mode());
+
+  JsonObject ingest = run_ingest();
+  const auto ingested =
+      static_cast<std::uint64_t>(ingest.at("events").as_number());
+  std::cout << Json(JsonObject(ingest)).dump() << "\n";
+
+  store::TraceStore reader(store_path());
+  const store::StoreVerifyReport verified = reader.verify();
+  if (verified.events != ingested) {
+    std::cerr << "FATAL: verify counted " << verified.events
+              << " events, ingest committed " << ingested << "\n";
+    return 1;
+  }
+
+  // Probe keys: each segment's fence keys are guaranteed present.
+  std::vector<EventKey> probes;
+  for (const store::SegmentInfo& seg : reader.manifest().segments) {
+    probes.push_back(seg.min_key);
+    probes.push_back(seg.max_key);
+  }
+  JsonObject lookups = run_point_lookups(reader, probes);
+  std::cout << Json(JsonObject(lookups)).dump() << "\n";
+
+  const std::uint32_t probe_bs =
+      reader.manifest().segments.front().min_key.bs;
+  std::uint64_t scan_pages = 0;
+  std::uint64_t replay_pages = 0;
+  JsonObject scan = run_scan(reader, probe_bs, &scan_pages);
+  std::cout << Json(JsonObject(scan)).dump() << "\n";
+  JsonObject replay = run_replay(reader, ingested, &replay_pages);
+  std::cout << Json(JsonObject(replay)).dump() << "\n";
+
+  // The index must prune: a one-BS scan cannot legitimately touch as many
+  // pages as reading the whole store.
+  if (scan_pages >= replay_pages) {
+    std::cerr << "FATAL: single-BS scan read " << scan_pages
+              << " pages, full replay " << replay_pages
+              << " — the index pruned nothing\n";
+    return 1;
+  }
+
+  report.emplace("ingest", Json(std::move(ingest)));
+  report.emplace("point_lookup", Json(std::move(lookups)));
+  report.emplace("scan", Json(std::move(scan)));
+  report.emplace("replay", Json(std::move(replay)));
+  mtd::write_file("BENCH_store.json", Json(std::move(report)).dump());
+  std::cerr << "[bench] wrote BENCH_store.json\n";
+  return mtd::bench::run_benchmarks(argc, argv);
+}

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Benchmark smoke gate, three stages:
 #
-#   1. Build the two perf-tracking binaries (bench_hot_paths,
-#      bench_engine_throughput). When ccache is installed it is wired in as
-#      the compiler launcher so repeat CI runs rebuild only what changed.
-#   2. Run both under MTD_BENCH_FAST=1 with google-benchmark timings
+#   1. Build the perf-tracking binaries (bench_hot_paths,
+#      bench_engine_throughput, bench_store). When ccache is installed it is
+#      wired in as the compiler launcher so repeat CI runs rebuild only what
+#      changed.
+#   2. Run them under MTD_BENCH_FAST=1 with google-benchmark timings
 #      filtered out: a smoke pass that exercises every measured kernel and
-#      writes BENCH_hotpaths.json / BENCH_engine.json into the build dir.
+#      writes BENCH_hotpaths.json / BENCH_engine.json / BENCH_store.json
+#      into the build dir.
 #   3. Validate the JSON reports against their documented schemas (skipped
 #      with a notice when python3 is unavailable).
 #
@@ -33,21 +35,23 @@ else
 fi
 cmake -B "$BUILD_DIR" -S . "${CONFIGURE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS" \
-  --target bench_hot_paths bench_engine_throughput
+  --target bench_hot_paths bench_engine_throughput bench_store
 
 # --- Stage 2: smoke runs (reports land in the build dir).
 (
   cd "$BUILD_DIR"
   MTD_BENCH_FAST=1 ./bench/bench_hot_paths --benchmark_filter=NONE
   MTD_BENCH_FAST=1 ./bench/bench_engine_throughput --benchmark_filter=NONE
+  MTD_BENCH_FAST=1 ./bench/bench_store --benchmark_filter=NONE
 )
 test -s "$BUILD_DIR/BENCH_hotpaths.json"
 test -s "$BUILD_DIR/BENCH_engine.json"
+test -s "$BUILD_DIR/BENCH_store.json"
 
 # --- Stage 3: schema validation.
 if command -v python3 >/dev/null 2>&1; then
   python3 - "$BUILD_DIR/BENCH_hotpaths.json" "$BUILD_DIR/BENCH_engine.json" \
-      <<'PYEOF'
+      "$BUILD_DIR/BENCH_store.json" <<'PYEOF'
 import json
 import sys
 
@@ -77,6 +81,22 @@ for sweep, key in (("worker_sweep", "workers"), ("batch_sweep",
             assert field in row, f"{sweep} row missing {field}: {row}"
         assert row["sessions"] > 0, row
         assert row["dropped"] == 0 if "dropped" in row else True, row
+
+store = json.load(open(sys.argv[3]))
+assert store["bench"] == "store", store.get("bench")
+for section, rate in (("ingest", "events_per_s"),
+                      ("point_lookup", "lookups_per_s"),
+                      ("replay", "events_per_s")):
+    row = store[section]
+    assert rate in row, f"store {section} missing {rate}: {row}"
+    assert row[rate] > 0, f"store {section} rate not positive: {row}"
+assert store["ingest"]["events"] > 0, store["ingest"]
+assert store["ingest"]["pages"] > 0, store["ingest"]
+assert store["replay"]["events"] == store["ingest"]["events"], store
+for key in ("pages_read", "leaves_skipped_fence", "leaves_skipped_bloom"):
+    assert key in store["scan"], f"store scan missing {key}: {store['scan']}"
+# The index must prune: the single-BS scan reads fewer pages than replay.
+assert store["scan"]["pages_read"] < store["replay"]["pages_read"], store
 
 print("bench report schemas: ok")
 PYEOF

@@ -3,8 +3,9 @@
 #
 #   1. clang-tidy over every first-party translation unit, using the
 #      profile in .clang-tidy (WarningsAsErrors: '*').
-#   2. mtd-lint (tools/lint) over src/, tests/, bench/, examples/ and the
-#      linter itself — zero violations required; suppressions are inline
+#   2. mtd-lint (tools/lint) over src/, tests/, bench/, examples/ and all
+#      of tools/ (the linter itself and the mtd_store CLI) — zero
+#      violations required; suppressions are inline
 #      `// mtd-lint: allow(rule)` comments.
 #   3. A from-scratch build with -DMTD_ANALYZE=ON. Under Clang this turns
 #      on Thread Safety Analysis as errors (-Werror=thread-safety); under
@@ -30,7 +31,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 
 # Every first-party C++ file; linter fixtures are deliberately bad code.
 collect_sources() {
-  find src tests bench examples tools/lint \
+  find src tests bench examples tools \
     \( -name '*.hpp' -o -name '*.cpp' \) \
     -not -path 'tools/lint/fixtures/*' | sort
 }

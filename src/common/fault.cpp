@@ -1,4 +1,4 @@
-#include "engine/fault.hpp"
+#include "common/fault.hpp"
 
 #include <chrono>
 #include <stdexcept>

@@ -1,23 +1,29 @@
-// Deterministic failure injection for the streaming engine.
+// Deterministic failure injection (lives in common/ so layers below the
+// engine — the trace store's commit path — can compile in points too).
 //
 // A FaultInjector is a registry of named failure points compiled into the
-// engine's hot paths (worker day loop, consumer drain loop, the sink
-// adapter call sites, the checkpoint writer). Production runs pass no
-// injector and every point is a branch on a null pointer; tests arm
-// individual points to throw a foreign exception, raise a typed retryable
-// error, stall for a fixed time, or fail probabilistically from a seeded
-// RNG — so every failure path in engine/supervisor code is exercised
-// deterministically, without mocks or real faulty hardware.
+// system's hot paths (worker day loop, consumer drain loop, the sink
+// adapter call sites, the checkpoint writer, the trace-store commit).
+// Production runs pass no injector and every point is a branch on a null
+// pointer; tests arm individual points to throw a foreign exception, raise
+// a typed retryable error, stall for a fixed time, or fail
+// probabilistically from a seeded RNG — so every failure path in
+// engine/store/supervisor code is exercised deterministically, without
+// mocks or real faulty hardware.
 //
-// Compiled-in points (see fault.cpp for the canonical list):
-//   worker.day        fired by each shard worker at every day start
-//   worker.session    fired before each generated session is staged
-//   sink.minute       fired before each minute-event sink delivery
-//   sink.session      fired before each session-event sink delivery
-//   sink.segment      fired before each segment-event sink delivery
-//   sink.packet       fired before each packet-event sink delivery
-//   consumer.loop     fired once per consumer sweep (stall target)
-//   checkpoint.write  fired by EngineCheckpoint::save before writing
+// Compiled-in points:
+//   worker.day            fired by each shard worker at every day start
+//   worker.session        fired before each generated session is staged
+//   sink.minute           fired before each minute-event sink delivery
+//   sink.session          fired before each session-event sink delivery
+//   sink.segment          fired before each segment-event sink delivery
+//   sink.packet           fired before each packet-event sink delivery
+//   consumer.loop         fired once per consumer sweep (stall target)
+//   checkpoint.write      fired by EngineCheckpoint::save before writing
+//   store.commit.pages    fired by TraceStoreWriter::commit before the
+//                         segment pages are appended
+//   store.commit.sync     fired after the append, before the page flush
+//   store.commit.manifest fired before the atomic manifest replace
 #pragma once
 
 #include <cstdint>

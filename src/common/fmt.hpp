@@ -1,18 +1,24 @@
-// Allocation-free number-to-text formatting for the serialization hot path.
+// Allocation-free number formatting and byte storing for the
+// serialization hot paths.
 //
-// The event sinks format millions of numbers per run. Both encodings in
-// use predate this header — CSV doubles were written by ofstream's default
-// operator<< (printf %g semantics, 6 significant digits) and JSON numbers
-// by mtd::Json's serializer (integral values as %.0f, everything else as
-// %.17g). The appenders here reproduce those encodings byte-for-byte with
-// std::to_chars into caller-owned buffers, so sinks can drop per-event
-// iostream/Json round trips without changing a single output byte
-// (tests/test_serialization_golden.cpp holds the equivalence proof).
+// The event sinks format millions of numbers per run. Both text encodings
+// in use predate this header — CSV doubles were written by ofstream's
+// default operator<< (printf %g semantics, 6 significant digits) and JSON
+// numbers by mtd::Json's serializer (integral values as %.0f, everything
+// else as %.17g). The appenders here reproduce those encodings
+// byte-for-byte with std::to_chars into caller-owned buffers, so sinks can
+// drop per-event iostream/Json round trips without changing a single
+// output byte (tests/test_serialization_golden.cpp holds the equivalence
+// proof). The little-endian stores back the binary encodings (the
+// length-prefixed event log and the trace store pages), which fix
+// little-endian byte order regardless of host.
 #pragma once
 
+#include <bit>
 #include <charconv>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <string>
 
 namespace mtd {
@@ -47,6 +53,26 @@ inline void append_json_number(std::string& out, double d) {
   const auto [ptr, ec] =
       std::to_chars(buf, buf + sizeof buf, d, std::chars_format::general, 17);
   out.append(buf, ptr);
+}
+
+/// Stores an unsigned integer little-endian at `p` and returns the advanced
+/// pointer. On little-endian hosts this is a single memcpy the compiler
+/// folds into one unaligned store.
+template <typename T>
+inline char* store_le(char* p, T v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(p, &v, sizeof v);
+  } else {
+    for (std::size_t i = 0; i < sizeof v; ++i) {
+      p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+  }
+  return p + sizeof v;
+}
+
+/// Stores a double as the little-endian bytes of its IEEE-754 bit pattern.
+inline char* store_f64_le(char* p, double v) {
+  return store_le(p, std::bit_cast<std::uint64_t>(v));
 }
 
 }  // namespace mtd

@@ -5,7 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/time_utils.hpp"
-#include "engine/fault.hpp"
+#include "common/fault.hpp"
 
 namespace mtd {
 

@@ -14,7 +14,7 @@
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/time_utils.hpp"
-#include "engine/fault.hpp"
+#include "common/fault.hpp"
 #include "engine/spsc_ring.hpp"
 
 namespace mtd {

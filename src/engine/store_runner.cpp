@@ -1,0 +1,55 @@
+#include "engine/store_runner.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace mtd {
+
+namespace {
+
+EngineResult run_into_store(StreamEngine& engine,
+                            store::TraceStoreWriter& writer,
+                            const EngineCheckpoint* from) {
+  engine.on_checkpoint([&writer](const EngineCheckpoint& checkpoint) {
+    writer.set_engine_cursor(checkpoint.next_day);
+    writer.commit();
+  });
+  EngineResult result =
+      from != nullptr ? engine.resume(*from, writer) : engine.run(writer);
+  // A zero-day run fires no checkpoint callback; publish the final cursor
+  // either way (a no-op commit when the last day boundary already did).
+  writer.set_engine_cursor(result.checkpoint.next_day);
+  writer.commit();
+  return result;
+}
+
+}  // namespace
+
+EngineResult run_engine_into_store(StreamEngine& engine,
+                                   store::TraceStoreWriter& writer) {
+  const std::int64_t cursor = writer.manifest().engine_next_day;
+  if (cursor > 0) {
+    throw InvalidArgument(
+        "run_engine_into_store: store already holds days up to " +
+        std::to_string(cursor) + "; use resume_engine_into_store");
+  }
+  return run_into_store(engine, writer, nullptr);
+}
+
+EngineResult resume_engine_into_store(StreamEngine& engine,
+                                      const EngineCheckpoint& from,
+                                      store::TraceStoreWriter& writer) {
+  const std::int64_t cursor = writer.manifest().engine_next_day;
+  if (cursor < 0 ||
+      static_cast<std::size_t>(cursor) != from.next_day) {
+    throw InvalidArgument(
+        "resume_engine_into_store: store cursor is at day " +
+        std::to_string(cursor) + " but the checkpoint resumes from day " +
+        std::to_string(from.next_day) +
+        " — the store would duplicate or skip days");
+  }
+  return run_into_store(engine, writer, &from);
+}
+
+}  // namespace mtd

@@ -1,0 +1,34 @@
+// Engine → trace store wiring: stream a replay into a TraceStoreWriter
+// with store commits aligned to the engine's day-boundary checkpoints.
+//
+// The engine's on_checkpoint callback fires on the consumer thread once
+// per completed day, before the checkpoint file is persisted — exactly the
+// point where buffered downstream output must become durable. These
+// runners hook that callback to record the checkpoint's day cursor in the
+// store manifest and commit the buffered events, so after a crash the
+// store's committed state and its recorded engine cursor always describe
+// the same day boundary: resuming the engine from that cursor regenerates
+// precisely the days the store is missing, never duplicating or skipping
+// one.
+#pragma once
+
+#include "engine/engine.hpp"
+#include "store/trace_store.hpp"
+
+namespace mtd {
+
+/// Runs `engine` from day 0 into `writer`, committing one store segment
+/// per completed day (plus a final commit). The writer is left open; the
+/// caller closes it. Returns the engine result as StreamEngine::run does.
+[[nodiscard]] EngineResult run_engine_into_store(
+    StreamEngine& engine, store::TraceStoreWriter& writer);
+
+/// Resumes `engine` from `from` into `writer`, with the same per-day
+/// commit wiring. Throws InvalidArgument when the store's recorded engine
+/// cursor does not match the checkpoint's next_day — a mismatched pair
+/// would duplicate or skip days in the store.
+[[nodiscard]] EngineResult resume_engine_into_store(
+    StreamEngine& engine, const EngineCheckpoint& from,
+    store::TraceStoreWriter& writer);
+
+}  // namespace mtd

@@ -1,12 +1,13 @@
 #include "events/event_sink.hpp"
 
-#include <bit>
-#include <cstring>
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <string_view>
 
 #include "common/error.hpp"
 #include "common/fmt.hpp"
+#include "events/event_codec.hpp"
 #include "io/json.hpp"
 
 namespace mtd {
@@ -201,94 +202,6 @@ void NdjsonEventWriter::close() {
 // ---------------------------------------------------------------------------
 // length-prefixed binary
 
-namespace {
-
-/// Stores an unsigned integer little-endian at `p` and returns the
-/// advanced pointer. On little-endian hosts this is a single memcpy the
-/// compiler folds into one unaligned store.
-template <typename T>
-char* store_le(char* p, T v) {
-  if constexpr (std::endian::native == std::endian::little) {
-    std::memcpy(p, &v, sizeof v);
-  } else {
-    for (std::size_t i = 0; i < sizeof v; ++i) {
-      p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
-    }
-  }
-  return p + sizeof v;
-}
-
-char* store_f64(char* p, double v) {
-  return store_le(p, std::bit_cast<std::uint64_t>(v));
-}
-
-/// Bounds-checked little-endian reads over a byte range. `require` throws
-/// ParseError with the file path and absolute byte offset on truncation.
-class ByteReader {
- public:
-  ByteReader(const std::string& data, std::size_t begin, std::size_t end,
-             const std::string& path)
-      : data_(&data), pos_(begin), end_(end), path_(&path) {}
-
-  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
-  [[nodiscard]] std::size_t remaining() const noexcept { return end_ - pos_; }
-
-  std::uint8_t u8(const char* what) {
-    require(1, what);
-    return static_cast<std::uint8_t>((*data_)[pos_++]);
-  }
-  std::uint16_t u16(const char* what) {
-    require(2, what);
-    std::uint16_t v = 0;
-    for (int i = 0; i < 2; ++i) {
-      v = static_cast<std::uint16_t>(
-          v | (static_cast<std::uint16_t>(
-                   static_cast<std::uint8_t>((*data_)[pos_ + i]))
-               << (8 * i)));
-    }
-    pos_ += 2;
-    return v;
-  }
-  std::uint32_t u32(const char* what) {
-    require(4, what);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(
-               static_cast<std::uint8_t>((*data_)[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 4;
-    return v;
-  }
-  std::uint64_t u64(const char* what) {
-    require(8, what);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(
-               static_cast<std::uint8_t>((*data_)[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 8;
-    return v;
-  }
-  double f64(const char* what) { return std::bit_cast<double>(u64(what)); }
-
- private:
-  void require(std::size_t n, const char* what) const {
-    if (end_ - pos_ < n) {
-      throw ParseError("binary event log '" + *path_ + "': truncated " +
-                       what + " at byte " + std::to_string(pos_));
-    }
-  }
-
-  const std::string* data_;
-  std::size_t pos_;
-  std::size_t end_;
-  const std::string* path_;
-};
-
-}  // namespace
-
 struct BinaryEventWriter::Impl {
   std::ofstream out;
   std::string buf;  // framed records awaiting a block write
@@ -320,49 +233,10 @@ void BinaryEventWriter::on_event(const StreamEvent& event) {
   // Frame = u32 payload length + payload, serialized into a stack scratch
   // with bulk little-endian stores, then appended to the pending buffer in
   // one copy — no per-event frame string and no per-event stream writes.
-  // The largest record (segment) is 4 + 50 bytes; 64 leaves headroom.
-  char scratch[64];
-  char* p = scratch + 4;  // length goes in front once known
-  *p++ = static_cast<char>(event.kind());
-  p = store_le(p, event.key.bs);
-  p = store_le(p, event.key.day);
-  p = store_le(p, event.key.minute_of_day);
-  p = store_le(p, event.key.seq);
-  switch (event.kind()) {
-    case EventKind::kMinute:
-      p = store_le(p, std::get<MinuteEvent>(event.payload).arrivals);
-      break;
-    case EventKind::kSession: {
-      const Session& s = std::get<SessionEvent>(event.payload).session;
-      p = store_le(p, s.service);
-      *p++ = s.transient ? 1 : 0;
-      p = store_f64(p, s.volume_mb);
-      p = store_f64(p, s.duration_s);
-      break;
-    }
-    case EventKind::kSegment: {
-      const SegmentEvent& e = std::get<SegmentEvent>(event.payload);
-      p = store_le(p, e.service);
-      *p++ = static_cast<char>(e.state);
-      p = store_le(p, e.session_seq);
-      p = store_le(p, e.segment.hop);
-      *p++ = e.segment.first ? 1 : 0;
-      *p++ = e.segment.last ? 1 : 0;
-      p = store_f64(p, e.segment.volume_mb);
-      p = store_f64(p, e.segment.duration_s);
-      break;
-    }
-    case EventKind::kPacket: {
-      const PacketEvent& e = std::get<PacketEvent>(event.payload);
-      p = store_le(p, e.service);
-      p = store_le(p, e.session_seq);
-      p = store_f64(p, e.packet.time_s);
-      p = store_le(p, e.packet.size_bytes);
-      break;
-    }
-  }
-  (void)store_le(scratch, static_cast<std::uint32_t>(p - (scratch + 4)));
-  impl_->buf.append(scratch, static_cast<std::size_t>(p - scratch));
+  char scratch[4 + kMaxEventPayloadBytes];
+  const std::size_t len = encode_event_payload(event, scratch + 4);
+  (void)store_le(scratch, static_cast<std::uint32_t>(len));
+  impl_->buf.append(scratch, 4 + len);
   if (impl_->buf.size() >= kSinkFlushBytes) impl_->flush_buf();
   ++events_;
 }
@@ -381,87 +255,105 @@ void BinaryEventWriter::close() {
   }
 }
 
-std::uint64_t read_binary_events(const std::string& path, EventSink& sink) {
-  const std::string data = read_file(path);
+struct BinaryEventReader::Impl {
+  std::ifstream in;
+  std::string context;       // "binary event log '<path>'" error prefix
+  std::uint64_t file_size = 0;
+  std::uint64_t file_pos = 0;  // absolute offset of buf[0]
+  std::string buf;             // refill window
+  std::size_t buf_pos = 0;     // next unconsumed byte within buf
+
+  /// Bytes of the file not yet consumed (buffered or still on disk).
+  [[nodiscard]] std::uint64_t remaining() const noexcept {
+    return file_size - file_pos - buf_pos;
+  }
+
+  /// Ensures at least `n` unconsumed bytes are buffered. Returns false
+  /// (rather than throwing) when the file ends first, leaving whatever is
+  /// available buffered; callers turn a short tail into their own error.
+  [[nodiscard]] bool ensure(std::size_t n) {
+    if (buf.size() - buf_pos >= n) return true;
+    if (remaining() < n) n = static_cast<std::size_t>(remaining());
+    buf.erase(0, buf_pos);
+    file_pos += buf_pos;
+    buf_pos = 0;
+    while (buf.size() < n) {
+      const std::size_t want =
+          std::max<std::size_t>(kSinkFlushBytes, n - buf.size());
+      const std::size_t old = buf.size();
+      buf.resize(old + want);
+      in.read(buf.data() + old, static_cast<std::streamsize>(want));
+      const auto got = static_cast<std::size_t>(in.gcount());
+      buf.resize(old + got);
+      if (got == 0) break;  // EOF (or error) — remaining() said otherwise
+    }
+    return buf.size() >= n;
+  }
+};
+
+BinaryEventReader::BinaryEventReader(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->context = "binary event log '" + path + "'";
+  impl_->in.open(path, std::ios::binary);
+  if (!impl_->in) throw IoError("BinaryEventReader: cannot open " + path);
+  impl_->in.seekg(0, std::ios::end);
+  impl_->file_size = static_cast<std::uint64_t>(impl_->in.tellg());
+  impl_->in.seekg(0, std::ios::beg);
+
   constexpr std::size_t kMagicLen = sizeof(BinaryEventWriter::kMagic);
-  if (data.size() < kMagicLen ||
-      data.compare(0, kMagicLen, BinaryEventWriter::kMagic, kMagicLen) != 0) {
-    throw ParseError("binary event log '" + path +
-                     "': missing or bad magic header");
+  if (!impl_->ensure(kMagicLen) ||
+      impl_->buf.compare(0, kMagicLen, BinaryEventWriter::kMagic,
+                         kMagicLen) != 0) {
+    throw ParseError(impl_->context + ": missing or bad magic header");
   }
-  std::uint64_t delivered = 0;
-  ByteReader framing(data, kMagicLen, data.size(), path);
-  while (framing.remaining() > 0) {
+  impl_->buf_pos += kMagicLen;
+}
+
+BinaryEventReader::~BinaryEventReader() = default;
+
+bool BinaryEventReader::next(StreamEvent& out) {
+  Impl& im = *impl_;
+  for (;;) {
+    if (im.remaining() == 0) return false;
+    const std::uint64_t frame_start = im.file_pos + im.buf_pos;
+    if (!im.ensure(4)) {
+      throw ParseError(im.context + ": truncated record length at byte " +
+                       std::to_string(frame_start));
+    }
+    ByteCursor framing(
+        std::string_view(im.buf).substr(im.buf_pos, 4), frame_start,
+        im.context);
     const std::uint32_t len = framing.u32("record length");
-    if (framing.remaining() < len) {
-      throw ParseError("binary event log '" + path + "': record at byte " +
-                       std::to_string(framing.pos() - 4) + " claims " +
+    im.buf_pos += 4;
+    if (im.remaining() < len) {
+      throw ParseError(im.context + ": record at byte " +
+                       std::to_string(frame_start) + " claims " +
                        std::to_string(len) + " bytes but only " +
-                       std::to_string(framing.remaining()) + " remain");
+                       std::to_string(im.remaining()) + " remain");
     }
-    ByteReader rec(data, framing.pos(), framing.pos() + len, path);
-    const std::uint8_t kind = rec.u8("event kind");
-    StreamEvent event;
-    event.key.bs = rec.u32("event key");
-    event.key.day = rec.u16("event key");
-    event.key.minute_of_day = rec.u16("event key");
-    event.key.seq = rec.u64("event key");
-    bool known = true;
-    switch (kind) {
-      case static_cast<std::uint8_t>(EventKind::kMinute): {
-        MinuteEvent e;
-        e.arrivals = rec.u32("minute payload");
-        event.payload = e;
-        break;
-      }
-      case static_cast<std::uint8_t>(EventKind::kSession): {
-        SessionEvent e;
-        e.session.bs = event.key.bs;
-        e.session.day = event.key.day;
-        e.session.minute_of_day = event.key.minute_of_day;
-        e.session.service = rec.u16("session payload");
-        e.session.transient = rec.u8("session payload") != 0;
-        e.session.volume_mb = rec.f64("session payload");
-        e.session.duration_s = rec.f64("session payload");
-        event.payload = e;
-        break;
-      }
-      case static_cast<std::uint8_t>(EventKind::kSegment): {
-        SegmentEvent e;
-        e.service = rec.u16("segment payload");
-        e.state = static_cast<MobilityState>(rec.u8("segment payload"));
-        e.session_seq = rec.u64("segment payload");
-        e.segment.hop = rec.u32("segment payload");
-        e.segment.first = rec.u8("segment payload") != 0;
-        e.segment.last = rec.u8("segment payload") != 0;
-        e.segment.volume_mb = rec.f64("segment payload");
-        e.segment.duration_s = rec.f64("segment payload");
-        event.payload = e;
-        break;
-      }
-      case static_cast<std::uint8_t>(EventKind::kPacket): {
-        PacketEvent e;
-        e.service = rec.u16("packet payload");
-        e.session_seq = rec.u64("packet payload");
-        e.packet.time_s = rec.f64("packet payload");
-        e.packet.size_bytes = rec.u32("packet payload");
-        event.payload = e;
-        break;
-      }
-      default:
-        known = false;  // forward compatibility: skip by length prefix
-        break;
+    if (!im.ensure(len)) {  // remaining() lied: the file shrank under us
+      throw ParseError(im.context + ": truncated record at byte " +
+                       std::to_string(frame_start));
     }
-    if (known) {
-      sink.on_event(event);
-      ++delivered;
-    }
+    ByteCursor rec(std::string_view(im.buf).substr(im.buf_pos, len),
+                   im.file_pos + im.buf_pos, im.context);
+    const bool known = decode_event_payload(rec, out);
     // Advance by the declared length, not by what we parsed: records may
-    // grow trailing fields in future versions.
-    ByteReader skipped(data, framing.pos() + len, data.size(), path);
-    framing = skipped;
+    // grow trailing fields in future versions; unknown kinds are skipped
+    // whole.
+    im.buf_pos += len;
+    if (known) {
+      ++delivered_;
+      return true;
+    }
   }
-  return delivered;
+}
+
+std::uint64_t read_binary_events(const std::string& path, EventSink& sink) {
+  BinaryEventReader reader(path);
+  StreamEvent event;
+  while (reader.next(event)) sink.on_event(event);
+  return reader.events_delivered();
 }
 
 // ---------------------------------------------------------------------------

@@ -133,10 +133,39 @@ class BinaryEventWriter final : public EventSink {
   std::uint64_t events_ = 0;
 };
 
-/// Streams a BinaryEventWriter file back into a sink. Throws ParseError
-/// (naming the path and byte offset) on a bad magic, a truncated record,
-/// or a payload shorter than its kind requires; unknown kinds are skipped
-/// via the length prefix. Returns the number of events delivered.
+/// Incremental reader over a BinaryEventWriter file: one record per next()
+/// call, pulled through a fixed-size refill buffer, so arbitrarily large
+/// logs stream without ever materializing the file (or an event vector) in
+/// memory. Throws ParseError (naming the path and byte offset) on a bad
+/// magic, a truncated record, or a payload shorter than its kind requires;
+/// unknown kinds are skipped via their length prefix. A cut exactly on a
+/// record boundary reads as a valid shorter log.
+class BinaryEventReader {
+ public:
+  explicit BinaryEventReader(const std::string& path);
+  ~BinaryEventReader();
+
+  BinaryEventReader(const BinaryEventReader&) = delete;
+  BinaryEventReader& operator=(const BinaryEventReader&) = delete;
+
+  /// Parses the next known-kind event into `out`. Returns false at a clean
+  /// end of file.
+  [[nodiscard]] bool next(StreamEvent& out);
+
+  /// Known-kind events returned by next() so far.
+  [[nodiscard]] std::uint64_t events_delivered() const noexcept {
+    return delivered_;
+  }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t delivered_ = 0;
+};
+
+/// Streams a BinaryEventWriter file back into a sink — a thin loop over
+/// BinaryEventReader, with its error contract. Returns the number of
+/// events delivered.
 std::uint64_t read_binary_events(const std::string& path, EventSink& sink);
 
 /// Duplicates a stream across branches (non-owning). Under kFailFast the

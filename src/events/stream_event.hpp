@@ -86,11 +86,17 @@ struct EventKindMask {
 
 /// Ordering key of every event: where it belongs in the trace and its
 /// position in the (BS, day) generation stream, counted across all kinds.
+/// The comparison order (bs, day, minute, seq) is the canonical trace
+/// order: within one (BS, day) it is exactly generation order, which is
+/// what replay-sensitive consumers (aggregation, the trace store) sort by.
 struct EventKey {
   std::uint32_t bs = 0;
   std::uint16_t day = 0;
   std::uint16_t minute_of_day = 0;
   std::uint64_t seq = 0;
+
+  friend constexpr auto operator<=>(const EventKey&,
+                                    const EventKey&) noexcept = default;
 };
 
 /// Arrival count of one (BS, day, minute), including zero.

@@ -1,0 +1,67 @@
+#include "store/bloom.hpp"
+
+#include <cmath>
+
+namespace mtd::store {
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche mix of the 32-bit BS id.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+BsBloom::BsBloom(std::size_t byte_size, std::size_t num_hashes)
+    : bits_(byte_size, 0), k_(num_hashes == 0 ? 1 : num_hashes) {}
+
+BsBloom BsBloom::from_bytes(std::vector<std::uint8_t> bytes,
+                            std::size_t num_hashes) {
+  BsBloom bloom(0, num_hashes);
+  bloom.bits_ = std::move(bytes);
+  return bloom;
+}
+
+void BsBloom::add(std::uint32_t bs) {
+  const std::uint64_t h = mix64(bs);
+  const std::uint64_t h1 = h & 0xffffffffULL;
+  // An odd step cannot collapse the probe sequence onto one position.
+  const std::uint64_t h2 = (h >> 32) | 1ULL;
+  const std::uint64_t m = static_cast<std::uint64_t>(bits_.size()) * 8;
+  if (m == 0) return;
+  for (std::size_t i = 0; i < k_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % m;
+    bits_[bit >> 3] |= static_cast<std::uint8_t>(1u << (bit & 7));
+  }
+}
+
+bool BsBloom::maybe_contains(std::uint32_t bs) const {
+  const std::uint64_t h = mix64(bs);
+  const std::uint64_t h1 = h & 0xffffffffULL;
+  const std::uint64_t h2 = (h >> 32) | 1ULL;
+  const std::uint64_t m = static_cast<std::uint64_t>(bits_.size()) * 8;
+  if (m == 0) return true;
+  for (std::size_t i = 0; i < k_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % m;
+    if ((bits_[bit >> 3] & (1u << (bit & 7))) == 0) return false;
+  }
+  return true;
+}
+
+std::size_t bloom_bytes_for(std::size_t keys, double bits_per_key) {
+  const double bits = std::ceil(static_cast<double>(keys) * bits_per_key);
+  const auto bytes = static_cast<std::size_t>((bits + 7.0) / 8.0);
+  return bytes < 8 ? 8 : bytes;
+}
+
+std::size_t bloom_hashes_for(double bits_per_key) {
+  const auto k = static_cast<std::size_t>(
+      std::lround(0.6931471805599453 * bits_per_key));
+  return k == 0 ? 1 : k;
+}
+
+}  // namespace mtd::store

@@ -1,0 +1,55 @@
+// Per-page bloom filters over BS ids.
+//
+// Leaf pages of a sorted segment have tight key fences, but a fence is an
+// interval: a leaf spanning (bs 3 .. bs 7) matches a probe for bs 5 even
+// when the segment holds no bs-5 events at all (sparse networks,
+// per-commit BS subsets). The bloom filter answers that containment
+// question without reading the leaf: k deterministic bit probes per BS id,
+// no false negatives, false positives at the classic (1 - e^{-kn/m})^k
+// rate. Sizing is policy-driven (StoreOptions::bloom_bits_per_key): the
+// writer sizes one fixed-width filter per leaf from the largest
+// distinct-BS count of the commit, and derives k = round(ln 2 *
+// bits_per_key) — the optimum for the configured density.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mtd::store {
+
+/// Bit probes of one BS id: double hashing from two halves of a
+/// splitmix64-mixed id, so the k probe positions are derived from one hash.
+class BsBloom {
+ public:
+  /// An empty filter of `byte_size` bytes probed `num_hashes` times per id.
+  BsBloom(std::size_t byte_size, std::size_t num_hashes);
+
+  /// Wraps serialized filter bytes (the writer's exact representation).
+  static BsBloom from_bytes(std::vector<std::uint8_t> bytes,
+                            std::size_t num_hashes);
+
+  void add(std::uint32_t bs);
+  /// False means definitely absent; true means possibly present.
+  [[nodiscard]] bool maybe_contains(std::uint32_t bs) const;
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return bits_;
+  }
+  [[nodiscard]] std::size_t num_hashes() const noexcept { return k_; }
+
+ private:
+  std::vector<std::uint8_t> bits_;
+  std::size_t k_;
+};
+
+/// Filter width (bytes) for `keys` distinct ids at `bits_per_key`, rounded
+/// up to a whole byte with a floor of 8 bytes (so degenerate tiny leaves
+/// still get a usable filter).
+[[nodiscard]] std::size_t bloom_bytes_for(std::size_t keys,
+                                          double bits_per_key);
+
+/// The probe count matching `bits_per_key`: max(1, round(ln 2 * bits/key)).
+[[nodiscard]] std::size_t bloom_hashes_for(double bits_per_key);
+
+}  // namespace mtd::store

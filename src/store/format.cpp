@@ -1,0 +1,171 @@
+#include "store/format.hpp"
+
+#include "common/error.hpp"
+#include "common/fmt.hpp"
+
+namespace mtd::store {
+
+const char* to_string(PageType type) noexcept {
+  switch (type) {
+    case PageType::kSuper: return "super";
+    case PageType::kLeaf: return "leaf";
+    case PageType::kBloom: return "bloom";
+    case PageType::kInternal: return "internal";
+  }
+  return "?";
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void encode_page_header(const PageHeader& header, char* out) {
+  char* p = out;
+  p = store_le(p, kPageMagic);
+  p = store_le(p, header.page_id);
+  *p++ = static_cast<char>(header.type);
+  *p++ = static_cast<char>(kFormatVersion);
+  p = store_le(p, header.entry_count);
+  p = store_le(p, header.payload_bytes);
+  p = store_le(p, header.checksum);
+  p = store_le(p, std::uint32_t{0});  // reserved
+}
+
+PageHeader decode_page_header(ByteCursor& cursor) {
+  const std::size_t at = cursor.file_pos();
+  const std::uint64_t magic = cursor.u64("page magic");
+  if (magic != kPageMagic) {
+    throw ParseError(cursor.context() + ": bad page magic at byte " +
+                     std::to_string(at) +
+                     " (not a store page, or a torn write)");
+  }
+  PageHeader header;
+  header.page_id = cursor.u64("page id");
+  const std::uint8_t type = cursor.u8("page type");
+  if (type > static_cast<std::uint8_t>(PageType::kInternal)) {
+    throw ParseError(cursor.context() + ": unknown page type " +
+                     std::to_string(type) + " at byte " + std::to_string(at));
+  }
+  header.type = static_cast<PageType>(type);
+  const std::uint8_t version = cursor.u8("page version");
+  if (version != kFormatVersion) {
+    throw ParseError(cursor.context() + ": unsupported page version " +
+                     std::to_string(version) + " at byte " +
+                     std::to_string(at));
+  }
+  header.entry_count = cursor.u16("page entry count");
+  header.payload_bytes = cursor.u32("page payload length");
+  header.checksum = cursor.u64("page checksum");
+  cursor.skip(4, "page header padding");
+  return header;
+}
+
+void encode_key(const EventKey& key, char* out) {
+  char* p = out;
+  p = store_le(p, key.bs);
+  p = store_le(p, key.day);
+  p = store_le(p, key.minute_of_day);
+  (void)store_le(p, key.seq);
+}
+
+EventKey decode_key(ByteCursor& cursor, const char* what) {
+  EventKey key;
+  key.bs = cursor.u32(what);
+  key.day = cursor.u16(what);
+  key.minute_of_day = cursor.u16(what);
+  key.seq = cursor.u64(what);
+  return key;
+}
+
+std::string build_page(std::uint64_t page_id, PageType type,
+                       std::uint16_t entry_count, std::string_view payload,
+                       std::size_t page_size) {
+  PageHeader header;
+  header.page_id = page_id;
+  header.type = type;
+  header.entry_count = entry_count;
+  header.payload_bytes = static_cast<std::uint32_t>(payload.size());
+  header.checksum = fnv1a64(payload);
+  std::string page(page_size, '\0');
+  encode_page_header(header, page.data());
+  payload.copy(page.data() + kPageHeaderBytes, payload.size());
+  return page;
+}
+
+std::string build_superblock(std::size_t page_size) {
+  char payload[8 + 4 + 8];
+  char* p = payload;
+  for (const char c : kStoreMagic) *p++ = c;
+  p = store_le(p, kFormatVersion);
+  (void)store_le(p, static_cast<std::uint64_t>(page_size));
+  return build_page(0, PageType::kSuper, 0,
+                    std::string_view(payload, sizeof payload), page_size);
+}
+
+void check_superblock(std::string_view page, std::size_t page_size,
+                      const std::string& context) {
+  std::string_view payload;
+  const PageHeader header = check_page(page, 0, context, &payload);
+  if (header.type != PageType::kSuper) {
+    throw ParseError(context + ": page 0 is a " +
+                     std::string(to_string(header.type)) +
+                     " page, not the superblock");
+  }
+  ByteCursor cursor(payload, kPageHeaderBytes, context);
+  for (const char c : kStoreMagic) {
+    if (static_cast<char>(cursor.u8("superblock magic")) != c) {
+      throw ParseError(context +
+                       ": not a trace store page file (bad superblock "
+                       "magic at byte " +
+                       std::to_string(kPageHeaderBytes) + ")");
+    }
+  }
+  const std::uint32_t version = cursor.u32("superblock version");
+  if (version != kFormatVersion) {
+    throw ParseError(context + ": unsupported store format version " +
+                     std::to_string(version));
+  }
+  const std::uint64_t recorded = cursor.u64("superblock page size");
+  if (recorded != page_size) {
+    throw ParseError(context + ": superblock records page size " +
+                     std::to_string(recorded) + " but the manifest says " +
+                     std::to_string(page_size));
+  }
+}
+
+PageHeader check_page(std::string_view page, std::uint64_t page_id,
+                      const std::string& context, std::string_view* payload) {
+  const std::size_t base = page_id * page.size();
+  ByteCursor cursor(page, base, context);
+  const PageHeader header = decode_page_header(cursor);
+  if (header.page_id != page_id) {
+    throw ParseError(context + ": page " + std::to_string(page_id) +
+                     " carries id " + std::to_string(header.page_id) +
+                     " at byte " + std::to_string(base) +
+                     " (misdirected write)");
+  }
+  if (header.payload_bytes > page.size() - kPageHeaderBytes) {
+    throw ParseError(context + ": page " + std::to_string(page_id) +
+                     " claims " + std::to_string(header.payload_bytes) +
+                     " payload bytes, over the page capacity of " +
+                     std::to_string(page.size() - kPageHeaderBytes) +
+                     ", at byte " + std::to_string(base));
+  }
+  const std::string_view body =
+      page.substr(kPageHeaderBytes, header.payload_bytes);
+  const std::uint64_t checksum = fnv1a64(body);
+  if (checksum != header.checksum) {
+    throw ParseError(context + ": page " + std::to_string(page_id) +
+                     " checksum mismatch at byte " + std::to_string(base) +
+                     " (torn or corrupt page)");
+  }
+  if (payload != nullptr) *payload = body;
+  return header;
+}
+
+}  // namespace mtd::store

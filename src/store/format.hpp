@@ -1,0 +1,129 @@
+// On-disk format of the trace store (DESIGN.md section 12).
+//
+// A store is two files. `<path>` is the manifest: a small JSON document
+// replaced atomically (tmp + flush + rename) at every commit — it is the
+// single commit point, so the page file never needs to be consistent
+// beyond the byte length the manifest vouches for. `<path>.pages` is a
+// flat array of fixed-size pages: page 0 is the superblock (file magic,
+// format version, page size), every later page carries a 40-byte header
+// with its own id, type, entry count, payload length and an FNV-1a
+// checksum of the payload, so torn or misdirected reads are detected at
+// the page that suffered them, with a byte offset.
+//
+// Committed events live in immutable sorted segments (one per commit):
+// leaf pages holding length-prefixed event records in (bs, day, minute,
+// seq) order, bloom pages holding one fixed-width bloom filter per leaf
+// (keyed on bs ids, so point and range queries skip leaves whose fences
+// overlap the probe but whose content cannot match), and internal B-tree
+// pages of (min key, max key, child) fences, built bottom-up to a single
+// root.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "events/event_codec.hpp"
+#include "events/stream_event.hpp"
+
+namespace mtd::store {
+
+/// Magic of the page file's superblock ("MTDSTOR1").
+inline constexpr char kStoreMagic[8] = {'M', 'T', 'D', 'S', 'T', 'O', 'R',
+                                        '1'};
+/// Magic leading every page header ("MTDPAGE1", little-endian u64).
+inline constexpr std::uint64_t kPageMagic = 0x314547415044544dULL;
+inline constexpr std::uint32_t kFormatVersion = 1;
+/// Manifest format tag.
+inline constexpr const char* kManifestFormat = "mtd-trace-store-v1";
+
+enum class PageType : std::uint8_t {
+  kSuper = 0,     ///< page 0 only
+  kLeaf = 1,      ///< sorted event records
+  kBloom = 2,     ///< per-leaf bloom filters of one segment
+  kInternal = 3,  ///< B-tree fence entries
+};
+
+[[nodiscard]] const char* to_string(PageType type) noexcept;
+
+/// Fixed-size header at the start of every page.
+struct PageHeader {
+  std::uint64_t page_id = 0;
+  PageType type = PageType::kLeaf;
+  std::uint16_t entry_count = 0;
+  std::uint32_t payload_bytes = 0;
+  std::uint64_t checksum = 0;  ///< fnv1a64 of the payload bytes
+};
+
+inline constexpr std::size_t kPageHeaderBytes = 40;
+/// Serialized EventKey: u32 bs, u16 day, u16 minute, u64 seq.
+inline constexpr std::size_t kKeyBytes = 16;
+/// Internal-page entry: min key, max key, u64 child page id.
+inline constexpr std::size_t kFenceEntryBytes = 2 * kKeyBytes + 8;
+/// Smallest supported page: must fit the header plus one maximal event
+/// record, one fence entry and a minimal bloom slot with room to spare.
+inline constexpr std::size_t kMinPageSize = 512;
+
+/// FNV-1a over a byte range; the page payload checksum.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// Serializes `header` into `out` (kPageHeaderBytes bytes).
+void encode_page_header(const PageHeader& header, char* out);
+
+/// Parses and validates a page header from `cursor` (magic and version
+/// checked; id/type are the caller's to verify against expectations).
+/// Throws ParseError through the cursor's context on truncation or a bad
+/// magic/version.
+[[nodiscard]] PageHeader decode_page_header(ByteCursor& cursor);
+
+/// Serializes `key` into `out` (kKeyBytes bytes).
+void encode_key(const EventKey& key, char* out);
+[[nodiscard]] EventKey decode_key(ByteCursor& cursor, const char* what);
+
+/// Serializes one complete page image: header, payload, zero padding to
+/// `page_size`. The checksum is computed here.
+[[nodiscard]] std::string build_page(std::uint64_t page_id, PageType type,
+                                     std::uint16_t entry_count,
+                                     std::string_view payload,
+                                     std::size_t page_size);
+
+/// The superblock page (page 0) of a new store: store magic, format
+/// version, page size — enough for any reader to validate the manifest it
+/// arrived with against the file it found.
+[[nodiscard]] std::string build_superblock(std::size_t page_size);
+
+/// Validates a page-0 image against the manifest's page size: store magic,
+/// format version, recorded page size, header checksum. Throws ParseError
+/// (prefixed with `context`, carrying the byte offset) on any mismatch.
+void check_superblock(std::string_view page, std::size_t page_size,
+                      const std::string& context);
+
+/// Decodes and fully validates one page image whose first byte sits at
+/// file offset `page_id * page.size()`: header magic and version, the
+/// recorded page id against `page_id`, payload length against the page
+/// bounds, and the payload checksum. Returns the header and points
+/// `payload` at the checked payload bytes. Throws ParseError through
+/// `context` with the exact byte offset of the defect.
+[[nodiscard]] PageHeader check_page(std::string_view page,
+                                    std::uint64_t page_id,
+                                    const std::string& context,
+                                    std::string_view* payload);
+
+/// How many fixed-width bloom filters of `bloom_bytes` fit one bloom page
+/// (the writer packs and the reader locates filters with the same
+/// arithmetic; entry counts are u16, hence the cap).
+[[nodiscard]] constexpr std::size_t bloom_filters_per_page(
+    std::size_t page_size, std::size_t bloom_bytes) noexcept {
+  const std::size_t fit = (page_size - kPageHeaderBytes) / bloom_bytes;
+  return fit > 0xffff ? 0xffff : fit;
+}
+
+/// How many (min key, max key, child) fences fit one internal page.
+[[nodiscard]] constexpr std::size_t fence_entries_per_page(
+    std::size_t page_size) noexcept {
+  const std::size_t fit = (page_size - kPageHeaderBytes) / kFenceEntryBytes;
+  return fit > 0xffff ? 0xffff : fit;
+}
+
+}  // namespace mtd::store

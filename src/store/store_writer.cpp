@@ -1,0 +1,367 @@
+#include <algorithm>
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/fmt.hpp"
+#include "events/event_codec.hpp"
+#include "io/json.hpp"
+#include "store/bloom.hpp"
+#include "store/trace_store.hpp"
+
+namespace mtd::store {
+
+namespace {
+
+/// Sentinel for "no cursor update pending" (valid cursors are >= -1).
+constexpr std::int64_t kNoCursor = -2;
+
+std::string pages_path_of(const std::string& path) { return path + ".pages"; }
+
+std::string context_of(const std::string& pages_path) {
+  return "trace store '" + pages_path + "'";
+}
+
+}  // namespace
+
+struct TraceStoreWriter::Impl {
+  std::string path;
+  std::string pages_path;
+  std::string context;
+  std::fstream file;
+  FaultInjector* fault = nullptr;
+  StoreManifest manifest;
+  std::vector<StreamEvent> pending;
+  std::array<std::uint64_t, kNumEventKinds> pending_by_kind{};
+  std::int64_t pending_cursor = kNoCursor;
+  bool open = false;
+
+  void commit();
+  SegmentInfo build_segment(std::string& buf) const;
+};
+
+TraceStoreWriter::TraceStoreWriter(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+TraceStoreWriter::~TraceStoreWriter() = default;
+TraceStoreWriter::TraceStoreWriter(TraceStoreWriter&&) noexcept = default;
+TraceStoreWriter& TraceStoreWriter::operator=(TraceStoreWriter&&) noexcept =
+    default;
+
+TraceStoreWriter TraceStoreWriter::create(const std::string& path,
+                                          StoreOptions options,
+                                          FaultInjector* fault) {
+  require(options.page_size >= kMinPageSize,
+          "TraceStoreWriter: page_size must be at least " +
+              std::to_string(kMinPageSize) + " bytes");
+  require(options.bloom_bits_per_key > 0.0,
+          "TraceStoreWriter: bloom_bits_per_key must be positive");
+  auto impl = std::make_unique<Impl>();
+  impl->path = path;
+  impl->pages_path = pages_path_of(path);
+  impl->context = context_of(impl->pages_path);
+  impl->fault = fault;
+  impl->manifest.options = options;
+  {
+    // A fresh page file holding only the superblock. create() itself is not
+    // crash-atomic (it replaces an existing store destructively); commit()
+    // is.
+    std::ofstream out(impl->pages_path,
+                      std::ios::binary | std::ios::trunc | std::ios::out);
+    if (!out) {
+      throw IoError("TraceStoreWriter: cannot create '" + impl->pages_path +
+                    "'");
+    }
+    const std::string super = build_superblock(options.page_size);
+    out.write(super.data(), static_cast<std::streamsize>(super.size()));
+    out.flush();
+    if (out.fail()) {
+      throw IoError("TraceStoreWriter: short write creating '" +
+                    impl->pages_path + "'");
+    }
+  }
+  write_file_atomic(path, impl->manifest.to_text());
+  impl->file.open(impl->pages_path,
+                  std::ios::binary | std::ios::in | std::ios::out);
+  if (!impl->file) {
+    throw IoError("TraceStoreWriter: cannot reopen '" + impl->pages_path +
+                  "'");
+  }
+  impl->open = true;
+  return TraceStoreWriter(std::move(impl));
+}
+
+TraceStoreWriter TraceStoreWriter::append(const std::string& path,
+                                          FaultInjector* fault) {
+  auto impl = std::make_unique<Impl>();
+  impl->path = path;
+  impl->pages_path = pages_path_of(path);
+  impl->context = context_of(impl->pages_path);
+  impl->fault = fault;
+  impl->manifest = StoreManifest::load(path);
+  const std::uint64_t committed = impl->manifest.committed_bytes();
+  std::uint64_t size = 0;
+  {
+    std::ifstream in(impl->pages_path, std::ios::binary);
+    if (!in) {
+      throw IoError("TraceStoreWriter: cannot open '" + impl->pages_path +
+                    "'");
+    }
+    in.seekg(0, std::ios::end);
+    size = static_cast<std::uint64_t>(in.tellg());
+    if (size < committed) {
+      throw ParseError(impl->context + ": page file is " +
+                       std::to_string(size) +
+                       " bytes but the manifest commits " +
+                       std::to_string(committed) + " — truncated at byte " +
+                       std::to_string(size));
+    }
+    in.seekg(0);
+    std::string page(impl->manifest.options.page_size, '\0');
+    in.read(page.data(), static_cast<std::streamsize>(page.size()));
+    if (static_cast<std::size_t>(in.gcount()) != page.size()) {
+      throw ParseError(impl->context + ": truncated superblock at byte " +
+                       std::to_string(in.gcount()));
+    }
+    check_superblock(page, impl->manifest.options.page_size, impl->context);
+  }
+  if (size > committed) {
+    // Reclaim the uncommitted tail a crashed commit left behind; the
+    // manifest never vouched for those bytes.
+    std::error_code ec;
+    std::filesystem::resize_file(impl->pages_path, committed, ec);
+    if (ec) {
+      throw IoError("TraceStoreWriter: cannot truncate uncommitted tail of '" +
+                    impl->pages_path + "': " + ec.message());
+    }
+  }
+  impl->file.open(impl->pages_path,
+                  std::ios::binary | std::ios::in | std::ios::out);
+  if (!impl->file) {
+    throw IoError("TraceStoreWriter: cannot reopen '" + impl->pages_path +
+                  "'");
+  }
+  impl->open = true;
+  return TraceStoreWriter(std::move(impl));
+}
+
+void TraceStoreWriter::on_event(const StreamEvent& event) {
+  ++impl_->pending_by_kind[static_cast<std::size_t>(event.kind())];
+  impl_->pending.push_back(event);
+}
+
+void TraceStoreWriter::close() {
+  if (impl_ == nullptr || !impl_->open) return;
+  impl_->commit();
+  impl_->file.close();
+  impl_->open = false;
+}
+
+void TraceStoreWriter::commit() { impl_->commit(); }
+
+void TraceStoreWriter::set_engine_cursor(std::size_t next_day) {
+  impl_->pending_cursor = static_cast<std::int64_t>(next_day);
+}
+
+const StoreManifest& TraceStoreWriter::manifest() const noexcept {
+  return impl_->manifest;
+}
+
+std::uint64_t TraceStoreWriter::events_pending() const noexcept {
+  return impl_->pending.size();
+}
+
+std::uint64_t TraceStoreWriter::events_committed() const noexcept {
+  return impl_->manifest.events;
+}
+
+void TraceStoreWriter::Impl::commit() {
+  const bool cursor_dirty =
+      pending_cursor != kNoCursor && pending_cursor != manifest.engine_next_day;
+  if (pending.empty() && !cursor_dirty) return;
+  if (!open) {
+    throw IoError("TraceStoreWriter: commit on a closed store '" + path + "'",
+                  false);
+  }
+
+  StoreManifest next = manifest;
+  if (pending_cursor != kNoCursor) next.engine_next_day = pending_cursor;
+
+  std::string buf;
+  if (!pending.empty()) {
+    // Canonical trace order; stable so equal keys (which do not occur in
+    // engine streams, but are not rejected) keep arrival order.
+    std::stable_sort(pending.begin(), pending.end(),
+                     [](const StreamEvent& a, const StreamEvent& b) {
+                       return a.key < b.key;
+                     });
+    SegmentInfo seg = build_segment(buf);
+    next.committed_pages += seg.num_pages;
+    next.events += seg.events;
+    for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+      next.events_by_kind[k] += pending_by_kind[k];
+    }
+    next.segments.push_back(std::move(seg));
+  }
+
+  // The commit sequence: append pages past the committed length, flush
+  // them, then atomically publish the manifest that vouches for them. A
+  // failure (or injected fault) anywhere leaves the previous manifest in
+  // place — the appended bytes are invisible garbage and the pending
+  // events are kept for a retry.
+  fault_fire(fault, "store.commit.pages");
+  if (!buf.empty()) {
+    file.clear();
+    file.seekp(static_cast<std::streamoff>(manifest.committed_bytes()));
+    file.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  }
+  fault_fire(fault, "store.commit.sync");
+  file.flush();
+  if (file.fail()) {
+    file.clear();
+    throw IoError("TraceStoreWriter: short write appending a segment to '" +
+                  pages_path + "'");
+  }
+  fault_fire(fault, "store.commit.manifest");
+  write_file_atomic(path, next.to_text());
+
+  manifest = std::move(next);
+  pending.clear();
+  pending_by_kind = {};
+  pending_cursor = kNoCursor;
+}
+
+SegmentInfo TraceStoreWriter::Impl::build_segment(std::string& buf) const {
+  const std::size_t page_size = manifest.options.page_size;
+  const std::size_t capacity = page_size - kPageHeaderBytes;
+
+  // Pack the sorted records into leaves, tracking each leaf's key fences
+  // and (sorted, hence run-length) distinct BS ids for its bloom filter.
+  struct Leaf {
+    std::string payload;
+    std::uint16_t entries = 0;
+    EventKey min_key;
+    EventKey max_key;
+    std::vector<std::uint32_t> bss;
+  };
+  std::vector<Leaf> leaves;
+  char scratch[4 + kMaxEventPayloadBytes];
+  for (const StreamEvent& event : pending) {
+    const std::size_t len = encode_event_payload(event, scratch + 4);
+    (void)store_le(scratch, static_cast<std::uint32_t>(len));
+    const std::size_t record = 4 + len;
+    if (leaves.empty() || leaves.back().payload.size() + record > capacity ||
+        leaves.back().entries == 0xffff) {
+      leaves.emplace_back();
+      leaves.back().min_key = event.key;
+    }
+    Leaf& leaf = leaves.back();
+    leaf.payload.append(scratch, record);
+    leaf.max_key = event.key;
+    if (leaf.bss.empty() || leaf.bss.back() != event.key.bs) {
+      leaf.bss.push_back(event.key.bs);
+    }
+    ++leaf.entries;
+  }
+
+  // One bloom width per segment, sized for its densest leaf (filters must
+  // be fixed-width so the reader can locate leaf L's filter by arithmetic).
+  std::size_t max_distinct = 1;
+  for (const Leaf& leaf : leaves) {
+    max_distinct = std::max(max_distinct, leaf.bss.size());
+  }
+  const std::size_t bloom_bytes = std::min(
+      bloom_bytes_for(max_distinct, manifest.options.bloom_bits_per_key),
+      capacity);
+  const std::size_t bloom_hashes =
+      bloom_hashes_for(manifest.options.bloom_bits_per_key);
+  const std::size_t filters_per_page =
+      bloom_filters_per_page(page_size, bloom_bytes);
+
+  SegmentInfo seg;
+  seg.first_page = manifest.committed_pages;
+  seg.first_leaf = seg.first_page;
+  seg.num_leaves = leaves.size();
+  seg.bloom_bytes = static_cast<std::uint32_t>(bloom_bytes);
+  seg.bloom_hashes = static_cast<std::uint32_t>(bloom_hashes);
+  seg.events = pending.size();
+  seg.min_key = leaves.front().min_key;
+  seg.max_key = leaves.back().max_key;
+
+  std::uint64_t next_id = seg.first_page;
+  for (const Leaf& leaf : leaves) {
+    buf += build_page(next_id++, PageType::kLeaf, leaf.entries, leaf.payload,
+                      page_size);
+  }
+
+  seg.first_bloom_page = next_id;
+  {
+    std::string payload;
+    std::uint16_t entries = 0;
+    for (const Leaf& leaf : leaves) {
+      BsBloom bloom(bloom_bytes, bloom_hashes);
+      for (const std::uint32_t bs : leaf.bss) bloom.add(bs);
+      payload.append(reinterpret_cast<const char*>(bloom.bytes().data()),
+                     bloom_bytes);
+      if (++entries == filters_per_page) {
+        buf += build_page(next_id++, PageType::kBloom, entries, payload,
+                          page_size);
+        payload.clear();
+        entries = 0;
+      }
+    }
+    if (entries > 0) {
+      buf += build_page(next_id++, PageType::kBloom, entries, payload,
+                        page_size);
+    }
+  }
+  seg.num_bloom_pages = next_id - seg.first_bloom_page;
+
+  // Fence levels, bottom-up: each level packs (min, max, child) entries of
+  // the level below until a single root remains.
+  struct Fence {
+    EventKey min_key;
+    EventKey max_key;
+    std::uint64_t child = 0;
+  };
+  std::vector<Fence> level;
+  level.reserve(leaves.size());
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    level.push_back(
+        {leaves[i].min_key, leaves[i].max_key, seg.first_leaf + i});
+  }
+  const std::size_t fences_per_page = fence_entries_per_page(page_size);
+  seg.depth = 0;
+  while (level.size() > 1) {
+    ++seg.depth;
+    std::vector<Fence> parents;
+    std::size_t begin = 0;
+    while (begin < level.size()) {
+      const std::size_t count =
+          std::min(fences_per_page, level.size() - begin);
+      std::string payload(count * kFenceEntryBytes, '\0');
+      char* p = payload.data();
+      for (std::size_t i = 0; i < count; ++i) {
+        const Fence& f = level[begin + i];
+        encode_key(f.min_key, p);
+        encode_key(f.max_key, p + kKeyBytes);
+        (void)store_le(p + 2 * kKeyBytes, f.child);
+        p += kFenceEntryBytes;
+      }
+      const std::uint64_t id = next_id++;
+      buf += build_page(id, PageType::kInternal,
+                        static_cast<std::uint16_t>(count), payload, page_size);
+      parents.push_back(
+          {level[begin].min_key, level[begin + count - 1].max_key, id});
+      begin += count;
+    }
+    level = std::move(parents);
+  }
+  seg.root = level.front().child;
+  seg.num_pages = next_id - seg.first_page;
+  return seg;
+}
+
+}  // namespace mtd::store

@@ -1,0 +1,213 @@
+// Queryable on-disk trace store: a persistent, indexed home for generated
+// StreamEvents (DESIGN.md section 12).
+//
+// A 45-day × 100k-BS synthetic run used to be consumable only as flat
+// event logs or in-memory aggregates; every downstream question meant
+// regenerating or rescanning everything. The store turns the stream into a
+// servable artifact: TraceStoreWriter is just another EventSink — batches
+// flow in, commits seal them into immutable sorted B-tree segments — and
+// TraceStore serves point lookups, (bs, day-range) scans and full replay
+// in canonical key order, pruning cold pages with fences and per-leaf
+// bloom filters and counting every page it touches in read telemetry.
+//
+// Durability contract: a commit appends pages beyond the manifest's
+// committed length, flushes them, then atomically replaces the manifest
+// (tmp + flush + rename, the PR-2 checkpoint discipline). A crash or
+// injected fault at ANY point of that sequence leaves the store opening at
+// the previous committed state — uncommitted page bytes past the committed
+// length are invisible and are reclaimed on the next writer open. A pages
+// file shorter than the manifest's committed length, or a page whose
+// checksum disagrees, is reported with path and byte offset — never
+// silently skipped.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "events/event_sink.hpp"
+#include "events/stream_event.hpp"
+#include "store/format.hpp"
+
+namespace mtd {
+class FaultInjector;
+}  // namespace mtd
+
+namespace mtd::store {
+
+/// Layout policy, fixed at store creation and recorded in the manifest.
+struct StoreOptions {
+  /// Page (== B-tree node) size in bytes; the fan-out policy knob. 4 KiB
+  /// holds ~100 event records per leaf / ~100 fences per internal node.
+  std::size_t page_size = 4096;
+  /// Bloom sizing policy: filter bits per distinct BS id per leaf.
+  double bloom_bits_per_key = 10.0;
+};
+
+/// One immutable sorted run, sealed by one commit.
+struct SegmentInfo {
+  std::uint64_t first_page = 0;   ///< first page of the segment
+  std::uint64_t num_pages = 0;    ///< total pages (leaves, blooms, internals)
+  std::uint64_t first_leaf = 0;
+  std::uint64_t num_leaves = 0;
+  std::uint64_t first_bloom_page = 0;
+  std::uint64_t num_bloom_pages = 0;
+  std::uint32_t bloom_bytes = 0;   ///< fixed per-leaf filter width
+  std::uint32_t bloom_hashes = 0;  ///< probes per id
+  std::uint64_t root = 0;          ///< root page (== the leaf when depth 0)
+  std::uint32_t depth = 0;         ///< internal levels above the leaves
+  std::uint64_t events = 0;
+  EventKey min_key;
+  EventKey max_key;
+};
+
+/// The committed state of a store, as recorded in the manifest file.
+struct StoreManifest {
+  StoreOptions options;
+  /// Pages vouched for, superblock included; committed bytes is this times
+  /// the page size. Anything beyond is uncommitted garbage.
+  std::uint64_t committed_pages = 1;
+  std::uint64_t events = 0;
+  std::array<std::uint64_t, kNumEventKinds> events_by_kind{};
+  /// Engine resume cursor: first day not yet ingested (-1 = never set).
+  /// Kept by run_engine_into_store so a resumed engine and its store agree
+  /// on where the stream stopped.
+  std::int64_t engine_next_day = -1;
+  std::vector<SegmentInfo> segments;
+
+  [[nodiscard]] std::uint64_t committed_bytes() const noexcept {
+    return committed_pages * options.page_size;
+  }
+
+  /// Serialization to/from the manifest JSON document. Like the engine
+  /// checkpoint, 64-bit counters are hex strings (JSON numbers are doubles
+  /// and would round above 2^53).
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] static StoreManifest from_text(std::string_view text);
+
+  /// Loads and validates the manifest at `path`. Truncated or corrupt
+  /// content raises ParseError naming the file, its size and the parser's
+  /// byte offset.
+  [[nodiscard]] static StoreManifest load(const std::string& path);
+};
+
+/// Counters of what a TraceStore actually touched; the proof that the
+/// index and the bloom filters prune (tests assert on them).
+struct StoreReadTelemetry {
+  std::uint64_t pages_read = 0;  ///< all page reads, any type
+  std::uint64_t leaf_pages_read = 0;
+  std::uint64_t internal_pages_read = 0;
+  std::uint64_t bloom_pages_read = 0;
+  /// Leaf candidates rejected by parent fences during a descent.
+  std::uint64_t leaves_skipped_fence = 0;
+  /// Leaf candidates whose fences matched but whose bloom ruled them out.
+  std::uint64_t leaves_skipped_bloom = 0;
+  std::uint64_t point_lookups = 0;
+  std::uint64_t range_scans = 0;
+};
+
+/// Outcome of TraceStore::verify: every committed page walked and proven.
+struct StoreVerifyReport {
+  std::uint64_t pages = 0;
+  std::uint64_t leaf_pages = 0;
+  std::uint64_t events = 0;
+  std::uint64_t segments = 0;
+};
+
+/// Ingest side: buffers events, seals a sorted segment per commit().
+/// Implements EventSink so it drops into any sink composition (fan-out,
+/// filter, engine consumer). Single-threaded like every sink.
+class TraceStoreWriter final : public EventSink {
+ public:
+  /// Creates a new empty store at `path` (manifest) + `path`.pages,
+  /// replacing any existing one. `fault` (tests only) arms the
+  /// store.commit.* failure points.
+  static TraceStoreWriter create(const std::string& path,
+                                 StoreOptions options = {},
+                                 FaultInjector* fault = nullptr);
+
+  /// Reopens an existing store for appending. Validates manifest and page
+  /// file against each other (ParseError with path + byte offset on a
+  /// truncated page file) and discards any uncommitted tail a crashed
+  /// commit left behind.
+  static TraceStoreWriter append(const std::string& path,
+                                 FaultInjector* fault = nullptr);
+
+  ~TraceStoreWriter() override;
+  TraceStoreWriter(TraceStoreWriter&&) noexcept;
+  TraceStoreWriter& operator=(TraceStoreWriter&&) noexcept;
+
+  /// Buffers one event for the next commit.
+  void on_event(const StreamEvent& event) override;
+  /// Commits anything pending, then closes the page file. Throws when the
+  /// final commit cannot be made durable.
+  void close() override;
+
+  /// Seals buffered events into a new sorted segment and publishes it:
+  /// append pages → flush → atomically replace the manifest. On any
+  /// failure the store stays at its previous committed state and the
+  /// buffered events are kept, so a caller may retry. No-op when nothing
+  /// is pending and the cursor is unchanged.
+  void commit();
+
+  /// Records the engine resume cursor; published by the next commit().
+  void set_engine_cursor(std::size_t next_day);
+
+  [[nodiscard]] const StoreManifest& manifest() const noexcept;
+  [[nodiscard]] std::uint64_t events_pending() const noexcept;
+  [[nodiscard]] std::uint64_t events_committed() const noexcept;
+
+ private:
+  struct Impl;
+  explicit TraceStoreWriter(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Query side: opens the committed state of a store (a concurrently
+/// appending writer never disturbs it — segments are immutable and the
+/// manifest snapshot was atomic). Not thread-safe; one TraceStore per
+/// reader thread.
+class TraceStore {
+ public:
+  /// Opens and validates manifest + page file. ParseError (path + byte
+  /// offset / sizes) on truncation or a corrupt superblock.
+  explicit TraceStore(const std::string& path);
+  ~TraceStore();
+  TraceStore(TraceStore&&) noexcept;
+  TraceStore& operator=(TraceStore&&) noexcept;
+
+  [[nodiscard]] const StoreManifest& manifest() const noexcept;
+
+  /// Exact-key point lookup across all segments.
+  [[nodiscard]] std::optional<StreamEvent> get(const EventKey& key);
+
+  /// Streams every event with bs == `bs` and day in [day_lo, day_hi] to
+  /// `fn`, in key order (segments are merged). Returns the event count.
+  std::uint64_t scan(std::uint32_t bs, std::uint16_t day_lo,
+                     std::uint16_t day_hi,
+                     const std::function<void(const StreamEvent&)>& fn);
+
+  /// Streams the whole store in canonical (bs, day, minute, seq) order
+  /// into `sink` — the replay-from-store path. Feeding the result through
+  /// the aggregation layer reproduces a direct generation run bit-exactly
+  /// (per-cell event order is preserved; see MeasurementDataset::finalize).
+  std::uint64_t replay(EventSink& sink);
+
+  /// Walks every committed page and validates header + checksum; decodes
+  /// every leaf and recounts events per segment. Throws ParseError with
+  /// path and byte offset at the first corrupt page.
+  [[nodiscard]] StoreVerifyReport verify();
+
+  [[nodiscard]] const StoreReadTelemetry& telemetry() const noexcept;
+  void reset_telemetry() noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mtd::store

@@ -9,7 +9,7 @@
 #include "dataset/measurement.hpp"
 #include "engine/checkpoint.hpp"
 #include "engine/engine.hpp"
-#include "engine/fault.hpp"
+#include "common/fault.hpp"
 #include "io/json.hpp"
 
 namespace mtd {

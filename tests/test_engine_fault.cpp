@@ -12,7 +12,7 @@
 
 #include "common/time_utils.hpp"
 #include "dataset/measurement.hpp"
-#include "engine/fault.hpp"
+#include "common/fault.hpp"
 #include "engine/supervisor.hpp"
 
 namespace mtd {

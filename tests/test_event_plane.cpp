@@ -18,7 +18,7 @@
 #include "common/time_utils.hpp"
 #include "dataset/measurement.hpp"
 #include "engine/engine.hpp"
-#include "engine/fault.hpp"
+#include "common/fault.hpp"
 #include "events/event_sink.hpp"
 
 namespace mtd {

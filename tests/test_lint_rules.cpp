@@ -212,6 +212,29 @@ TEST(LintRules, HotPathFilesLintClean) {
       << findings.front().line;
 }
 
+TEST(LintRules, StoreFilesLintClean) {
+  // The trace-store subsystem (PR 6) is linted as shipped: the on-disk
+  // format helpers, the writer's commit path, the reader, the engine
+  // runner, and the CLI all stay include-hygienic and must-check clean.
+  const std::vector<std::string> paths = {
+      "src/store/trace_store.hpp",    "src/store/format.hpp",
+      "src/store/format.cpp",         "src/store/bloom.hpp",
+      "src/store/bloom.cpp",          "src/store/manifest.cpp",
+      "src/store/store_writer.cpp",   "src/store/store_reader.cpp",
+      "src/engine/store_runner.hpp",  "src/engine/store_runner.cpp",
+      "tools/store/main.cpp",
+  };
+  std::vector<SourceFile> files;
+  for (const auto& p : paths) {
+    files.push_back(
+        SourceFile::from_path(std::string(MTD_LINT_SOURCE_DIR) + "/" + p));
+  }
+  const auto findings = RuleRegistry::built_in().run(files);
+  EXPECT_TRUE(findings.empty())
+      << findings.front().rule << " at " << findings.front().path << ":"
+      << findings.front().line;
+}
+
 TEST(LintRules, FindingsAreOrderedByPathLineRule) {
   const auto findings = lint_fixture("include_hygiene_bad.hpp");
   ASSERT_GE(findings.size(), 2u);

@@ -1,0 +1,406 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dataset/measurement.hpp"
+#include "engine/engine.hpp"
+#include "engine/store_runner.hpp"
+#include "events/event_sink.hpp"
+#include "store/bloom.hpp"
+#include "store/trace_store.hpp"
+
+namespace mtd {
+namespace {
+
+using store::StoreOptions;
+using store::TraceStore;
+using store::TraceStoreWriter;
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Network make_network(std::size_t n = 12) {
+  NetworkConfig config;
+  config.num_bs = n;
+  config.last_decile_rate = 25.0;
+  Rng rng(9);
+  return Network::build(config, rng);
+}
+
+StreamEvent minute_event(std::uint32_t bs, std::uint16_t day,
+                         std::uint16_t minute, std::uint64_t seq,
+                         std::uint32_t arrivals) {
+  StreamEvent event;
+  event.key = EventKey{bs, day, minute, seq};
+  event.payload = MinuteEvent{arrivals};
+  return event;
+}
+
+StreamEvent session_event(std::uint32_t bs, std::uint16_t day,
+                          std::uint16_t minute, std::uint64_t seq,
+                          double volume_mb) {
+  StreamEvent event;
+  event.key = EventKey{bs, day, minute, seq};
+  SessionEvent payload;
+  payload.session.bs = bs;
+  payload.session.day = day;
+  payload.session.minute_of_day = minute;
+  payload.session.service = 3;
+  payload.session.transient = false;
+  payload.session.volume_mb = volume_mb;
+  payload.session.duration_s = 42.5;
+  event.payload = payload;
+  return event;
+}
+
+TEST(TraceStore, RoundTripsEventsThroughDiskPages) {
+  const std::string path = temp_path("mtd_store_roundtrip.store");
+  {
+    TraceStoreWriter writer = TraceStoreWriter::create(path);
+    writer.on_event(minute_event(3, 0, 5, 0, 17));
+    writer.on_event(session_event(3, 0, 5, 1, 12.25));
+    writer.on_event(minute_event(7, 1, 0, 0, 4));
+    writer.commit();
+    EXPECT_EQ(writer.events_committed(), 3u);
+    EXPECT_EQ(writer.events_pending(), 0u);
+    writer.close();
+  }
+
+  TraceStore reader(path);
+  EXPECT_EQ(reader.manifest().events, 3u);
+  ASSERT_EQ(reader.manifest().segments.size(), 1u);
+
+  const auto minute = reader.get(EventKey{3, 0, 5, 0});
+  ASSERT_TRUE(minute.has_value());
+  EXPECT_EQ(minute->kind(), EventKind::kMinute);
+  EXPECT_EQ(std::get<MinuteEvent>(minute->payload).arrivals, 17u);
+
+  const auto session = reader.get(EventKey{3, 0, 5, 1});
+  ASSERT_TRUE(session.has_value());
+  ASSERT_EQ(session->kind(), EventKind::kSession);
+  const Session& s = std::get<SessionEvent>(session->payload).session;
+  EXPECT_EQ(s.bs, 3u);
+  EXPECT_DOUBLE_EQ(s.volume_mb, 12.25);
+  EXPECT_DOUBLE_EQ(s.duration_s, 42.5);
+
+  EXPECT_FALSE(reader.get(EventKey{3, 0, 5, 2}).has_value());
+  EXPECT_FALSE(reader.get(EventKey{99, 0, 5, 0}).has_value());
+
+  const auto report = reader.verify();
+  EXPECT_EQ(report.events, 3u);
+  EXPECT_EQ(report.segments, 1u);
+  EXPECT_EQ(report.pages, reader.manifest().committed_pages);
+}
+
+TEST(TraceStore, CommitSortsIntoCanonicalKeyOrder) {
+  const std::string path = temp_path("mtd_store_sorted.store");
+  {
+    TraceStoreWriter writer = TraceStoreWriter::create(path);
+    // Deliberately shuffled arrival order across BSs and days.
+    writer.on_event(minute_event(9, 1, 3, 0, 1));
+    writer.on_event(minute_event(2, 0, 8, 5, 2));
+    writer.on_event(minute_event(2, 1, 0, 0, 3));
+    writer.on_event(minute_event(2, 0, 1, 2, 4));
+    writer.on_event(minute_event(9, 0, 0, 0, 5));
+    writer.commit();
+    writer.close();
+  }
+
+  TraceStore reader(path);
+  struct Collect final : EventSink {
+    std::vector<EventKey> keys;
+    void on_event(const StreamEvent& event) override {
+      keys.push_back(event.key);
+    }
+  } sink;
+  EXPECT_EQ(reader.replay(sink), 5u);
+  ASSERT_EQ(sink.keys.size(), 5u);
+  for (std::size_t i = 1; i < sink.keys.size(); ++i) {
+    EXPECT_TRUE(sink.keys[i - 1] < sink.keys[i]) << "position " << i;
+  }
+}
+
+TEST(TraceStore, MergesMultipleSegmentsInKeyOrder) {
+  const std::string path = temp_path("mtd_store_merge.store");
+  {
+    TraceStoreWriter writer = TraceStoreWriter::create(path);
+    // Segment 1: even days; segment 2: odd days, interleaving in key space.
+    for (std::uint16_t day : {0, 2, 4}) {
+      writer.on_event(minute_event(1, day, 0, 0, day + 1u));
+    }
+    writer.commit();
+    for (std::uint16_t day : {1, 3, 5}) {
+      writer.on_event(minute_event(1, day, 0, 0, day + 1u));
+    }
+    writer.commit();
+    writer.close();
+  }
+
+  TraceStore reader(path);
+  ASSERT_EQ(reader.manifest().segments.size(), 2u);
+  std::vector<std::uint16_t> days;
+  const std::uint64_t count =
+      reader.scan(1, 0, 5, [&days](const StreamEvent& event) {
+        days.push_back(event.key.day);
+      });
+  EXPECT_EQ(count, 6u);
+  EXPECT_EQ(days, (std::vector<std::uint16_t>{0, 1, 2, 3, 4, 5}));
+
+  // Day-range scans narrow correctly across segments.
+  days.clear();
+  EXPECT_EQ(reader.scan(1, 2, 3,
+                        [&days](const StreamEvent& event) {
+                          days.push_back(event.key.day);
+                        }),
+            2u);
+  EXPECT_EQ(days, (std::vector<std::uint16_t>{2, 3}));
+}
+
+TEST(TraceStore, AppendReopensAndExtends) {
+  const std::string path = temp_path("mtd_store_append.store");
+  {
+    TraceStoreWriter writer = TraceStoreWriter::create(path);
+    writer.on_event(minute_event(1, 0, 0, 0, 10));
+    writer.close();  // close commits the pending batch
+  }
+  {
+    TraceStoreWriter writer = TraceStoreWriter::append(path);
+    EXPECT_EQ(writer.events_committed(), 1u);
+    writer.on_event(minute_event(2, 0, 0, 0, 20));
+    writer.close();
+  }
+
+  TraceStore reader(path);
+  EXPECT_EQ(reader.manifest().events, 2u);
+  EXPECT_EQ(reader.manifest().segments.size(), 2u);
+  EXPECT_TRUE(reader.get(EventKey{1, 0, 0, 0}).has_value());
+  EXPECT_TRUE(reader.get(EventKey{2, 0, 0, 0}).has_value());
+  (void)reader.verify();
+}
+
+TEST(TraceStore, BloomFiltersPruneLeafReads) {
+  const std::string path = temp_path("mtd_store_bloom.store");
+  // Small pages force many leaves; two segments whose key fences overlap
+  // (both span the full BS range) but whose BS populations are disjoint
+  // (even vs odd), so only the bloom filters can tell a probe apart.
+  constexpr std::uint32_t kNumBs = 64;
+  constexpr std::uint16_t kMinutes = 40;
+  {
+    StoreOptions options;
+    options.page_size = 512;
+    TraceStoreWriter writer = TraceStoreWriter::create(path, options);
+    for (std::uint32_t bs = 0; bs < kNumBs; bs += 2) {
+      for (std::uint16_t m = 0; m < kMinutes; ++m) {
+        writer.on_event(minute_event(bs, 0, m, m, bs + m));
+      }
+    }
+    writer.commit();
+    for (std::uint32_t bs = 1; bs < kNumBs; bs += 2) {
+      for (std::uint16_t m = 0; m < kMinutes; ++m) {
+        writer.on_event(minute_event(bs, 0, m, m, bs + m));
+      }
+    }
+    writer.commit();
+    writer.close();
+  }
+
+  TraceStore reader(path);
+  ASSERT_EQ(reader.manifest().segments.size(), 2u);
+  ASSERT_GT(reader.manifest().segments[0].num_leaves, 4u);
+
+  // Point lookups for an odd BS first probe the even segment (in commit
+  // order), whose fences cover the key wherever a leaf spans the
+  // surrounding even BSs — the bloom filter must reject those leaves
+  // unread before the odd segment serves the event.
+  reader.reset_telemetry();
+  for (std::uint32_t bs = 1; bs < kNumBs; bs += 2) {
+    ASSERT_TRUE(reader.get(EventKey{bs, 0, 0, 0}).has_value()) << bs;
+  }
+  const std::uint64_t skipped = reader.telemetry().leaves_skipped_bloom;
+  EXPECT_GT(skipped, 0u);
+
+  // A single-BS scan must read strictly fewer pages than the full replay.
+  reader.reset_telemetry();
+  std::uint64_t scanned = 0;
+  (void)reader.scan(6, 0, 0, [&scanned](const StreamEvent&) { ++scanned; });
+  const std::uint64_t scan_pages = reader.telemetry().pages_read;
+  EXPECT_EQ(scanned, kMinutes);
+  EXPECT_GT(reader.telemetry().leaves_skipped_fence, 0u);
+
+  reader.reset_telemetry();
+  struct Null final : EventSink {
+    void on_event(const StreamEvent&) override {}
+  } null_sink;
+  (void)reader.replay(null_sink);
+  const std::uint64_t replay_pages = reader.telemetry().pages_read;
+  EXPECT_LT(scan_pages, replay_pages);
+}
+
+TEST(TraceStore, BloomSizingPolicyFollowsBitsPerKey) {
+  EXPECT_EQ(store::bloom_bytes_for(0, 10.0), 8u);   // floor
+  EXPECT_EQ(store::bloom_bytes_for(100, 10.0), 125u);
+  EXPECT_EQ(store::bloom_hashes_for(10.0), 7u);  // round(ln2 * 10)
+  EXPECT_EQ(store::bloom_hashes_for(0.5), 1u);   // never zero probes
+
+  store::BsBloom bloom(store::bloom_bytes_for(10, 10.0),
+                       store::bloom_hashes_for(10.0));
+  for (std::uint32_t bs = 0; bs < 10; ++bs) bloom.add(bs * 7);
+  for (std::uint32_t bs = 0; bs < 10; ++bs) {
+    EXPECT_TRUE(bloom.maybe_contains(bs * 7)) << bs;  // no false negatives
+  }
+}
+
+TEST(TraceStore, RejectsBadOptions) {
+  EXPECT_THROW((void)TraceStoreWriter::create(
+                   temp_path("mtd_store_bad1.store"),
+                   StoreOptions{.page_size = 64}),
+               InvalidArgument);
+  EXPECT_THROW((void)TraceStoreWriter::create(
+                   temp_path("mtd_store_bad2.store"),
+                   StoreOptions{.bloom_bits_per_key = 0.0}),
+               InvalidArgument);
+}
+
+// The acceptance gate of the subsystem: a store filled by the streaming
+// engine, closed and reopened, replays into aggregates bit-identical to
+// direct generation — for any worker count and batch size, because within
+// each (BS, day) cell the canonical key order equals generation order and
+// MeasurementDataset::finalize folds cells deterministically.
+TEST(TraceStore, ReplayFromStoreMatchesDirectGenerationBitExact) {
+  const Network network = make_network();
+  TraceConfig trace;
+  trace.num_days = 2;
+  trace.seed = 33;
+  const MeasurementDataset direct = collect_dataset(network, trace);
+
+  struct Variant {
+    std::size_t workers;
+    std::size_t batch;
+  };
+  for (const Variant v : {Variant{1, 1}, Variant{3, 64}}) {
+    const std::string path = temp_path("mtd_store_parity.store");
+    {
+      EngineConfig config;
+      config.num_workers = v.workers;
+      config.batch_size = v.batch;
+      StreamEngine engine(network, trace, config);
+      TraceStoreWriter writer = TraceStoreWriter::create(path);
+      const EngineResult result = run_engine_into_store(engine, writer);
+      EXPECT_TRUE(result.checkpoint.complete());
+      writer.close();
+      EXPECT_EQ(writer.manifest().engine_next_day,
+                static_cast<std::int64_t>(trace.num_days));
+    }
+
+    TraceStore reader(path);
+    MeasurementDataset replayed(network, trace.num_days);
+    TraceSinkAdapter adapter(network, replayed);
+    EXPECT_EQ(reader.replay(adapter), reader.manifest().events);
+    replayed.finalize();
+
+    EXPECT_EQ(replayed.total_sessions(), direct.total_sessions());
+    EXPECT_DOUBLE_EQ(replayed.total_volume_mb(), direct.total_volume_mb());
+    const auto a = direct.session_shares();
+    const auto b = replayed.session_shares();
+    for (std::size_t s = 0; s < a.size(); ++s) EXPECT_DOUBLE_EQ(b[s], a[s]);
+    for (std::size_t s = 0; s < direct.num_services(); ++s) {
+      const auto& sa = direct.slice(s, Slice::kTotal);
+      const auto& sb = replayed.slice(s, Slice::kTotal);
+      EXPECT_EQ(sa.sessions, sb.sessions);
+      EXPECT_DOUBLE_EQ(sa.volume_mb, sb.volume_mb);
+      for (std::size_t i = 0; i < sa.volume_pdf.size(); ++i) {
+        EXPECT_DOUBLE_EQ(sa.volume_pdf[i], sb.volume_pdf[i]);
+      }
+    }
+    for (std::uint8_t d = 0; d < kNumDeciles; ++d) {
+      EXPECT_EQ(replayed.decile_arrivals(d).day_stats.count(),
+                direct.decile_arrivals(d).day_stats.count());
+      EXPECT_DOUBLE_EQ(replayed.decile_arrivals(d).day_stats.mean(),
+                       direct.decile_arrivals(d).day_stats.mean());
+    }
+  }
+}
+
+// A run split across a stop + resume lands in the same store as one
+// uninterrupted run: the store's engine cursor and the checkpoint must
+// agree, and the merged segments replay to the identical aggregates.
+TEST(TraceStore, ResumeIntoStoreContinuesWhereItStopped) {
+  const Network network = make_network();
+  TraceConfig trace;
+  trace.num_days = 2;
+  trace.seed = 33;
+  const std::string path = temp_path("mtd_store_resume.store");
+
+  EngineCheckpoint checkpoint;
+  {
+    EngineConfig config;
+    config.stop_after_days = 1;
+    StreamEngine engine(network, trace, config);
+    TraceStoreWriter writer = TraceStoreWriter::create(path);
+    const EngineResult result = run_engine_into_store(engine, writer);
+    checkpoint = result.checkpoint;
+    writer.close();
+    EXPECT_FALSE(checkpoint.complete());
+    EXPECT_EQ(writer.manifest().engine_next_day, 1);
+  }
+  {
+    StreamEngine engine(network, trace);
+    TraceStoreWriter writer = TraceStoreWriter::append(path);
+    const EngineResult result =
+        resume_engine_into_store(engine, checkpoint, writer);
+    EXPECT_TRUE(result.checkpoint.complete());
+    writer.close();
+  }
+
+  TraceStore reader(path);
+  MeasurementDataset replayed(network, trace.num_days);
+  TraceSinkAdapter adapter(network, replayed);
+  (void)reader.replay(adapter);
+  replayed.finalize();
+
+  const MeasurementDataset direct = collect_dataset(network, trace);
+  EXPECT_EQ(replayed.total_sessions(), direct.total_sessions());
+  EXPECT_DOUBLE_EQ(replayed.total_volume_mb(), direct.total_volume_mb());
+}
+
+TEST(TraceStore, CursorMismatchIsRejected) {
+  const Network network = make_network();
+  TraceConfig trace;
+  trace.num_days = 2;
+  trace.seed = 33;
+  const std::string path = temp_path("mtd_store_cursor.store");
+
+  EngineCheckpoint checkpoint;
+  {
+    EngineConfig config;
+    config.stop_after_days = 1;
+    StreamEngine engine(network, trace, config);
+    TraceStoreWriter writer = TraceStoreWriter::create(path);
+    checkpoint = run_engine_into_store(engine, writer).checkpoint;
+    writer.close();
+  }
+
+  // A fresh run into a store that already holds days must be rejected …
+  {
+    StreamEngine engine(network, trace);
+    TraceStoreWriter writer = TraceStoreWriter::append(path);
+    EXPECT_THROW((void)run_engine_into_store(engine, writer),
+                 InvalidArgument);
+  }
+  // … as must resuming from a checkpoint that disagrees with the cursor.
+  {
+    StreamEngine engine(network, trace);
+    TraceStoreWriter writer = TraceStoreWriter::append(path);
+    EngineCheckpoint wrong = checkpoint;
+    wrong.next_day = 0;
+    wrong.clock_minute = 0;
+    EXPECT_THROW(
+        (void)resume_engine_into_store(engine, wrong, writer),
+        InvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace mtd
