@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Chaos-soak smoke gate (DESIGN.md section 13), three stages:
+#
+#   1. Build the mtd_chaos driver (ccache-wired when available, like the
+#      bench gate).
+#   2. --list-fault-points: prove the registry is non-empty and printable —
+#      the soak arms every listed point, so an empty registry would pass a
+#      run while covering nothing.
+#   3. A fast soak under MTD_SOAK_FAST=1: the full two-phase protocol
+#      (clean reference run, then supervised incarnations with injected
+#      faults, simulated kills and store tampering between restarts) on a
+#      horizon sized for CI minutes rather than the paper's 45 days. The
+#      driver exits non-zero unless the recovered store is bit-identical
+#      to the clean run and every conservation identity holds; its JSON
+#      report is written into the build dir as the CI artifact.
+#
+# The full-horizon endurance run (mtd_chaos --days 45 --faults all) is the
+# release gate, not a per-commit one; this script keeps every line of that
+# machinery exercised on each push in well under two minutes.
+#
+# Usage: scripts/check_soak.sh [build-dir]
+#   build-dir  defaults to build-soak
+set -euo pipefail
+
+cd "$(dirname "$0")/.." || exit 1
+
+BUILD_DIR="${1:-build-soak}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+# --- Stage 1: build.
+CONFIGURE_ARGS=(-DCMAKE_BUILD_TYPE=Release)
+if command -v ccache >/dev/null 2>&1; then
+  CONFIGURE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+  echo "ccache: enabled"
+else
+  echo "ccache: not installed, building without a launcher"
+fi
+cmake -B "$BUILD_DIR" -S . "${CONFIGURE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$JOBS" --target mtd_chaos_cli
+
+CHAOS="$BUILD_DIR/tools/chaos/mtd_chaos"
+
+# --- Stage 2: fault-point registry sanity.
+POINTS="$("$CHAOS" --list-fault-points)"
+echo "$POINTS"
+COUNT="$(echo "$POINTS" | grep -c .)"
+if [ "$COUNT" -lt 1 ]; then
+  echo "check_soak: --list-fault-points printed no points" >&2
+  exit 1
+fi
+echo "fault-point registry: $COUNT points"
+
+# --- Stage 3: fast soak (exit status is the verdict; the report is the
+# artifact).
+REPORT="$BUILD_DIR/SOAK_report.json"
+MTD_SOAK_FAST=1 "$CHAOS" --seed 42 --faults all --json > "$REPORT"
+echo "soak report: $REPORT"
+
+echo "chaos soak smoke passed"

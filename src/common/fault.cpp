@@ -64,4 +64,23 @@ std::uint64_t FaultInjector::fired(const std::string& point) const {
   return it == points_.end() ? 0 : it->second.fired;
 }
 
+const std::vector<std::string>& FaultInjector::known_points() {
+  // Sorted; keep in sync with the compiled-in sites listed in the header
+  // (tests grep the tree for fault_fire call sites and compare).
+  static const std::vector<std::string> points = {
+      "checkpoint.write",
+      "consumer.loop",
+      "sink.minute",
+      "sink.packet",
+      "sink.segment",
+      "sink.session",
+      "store.commit.manifest",
+      "store.commit.pages",
+      "store.commit.sync",
+      "worker.day",
+      "worker.session",
+  };
+  return points;
+}
+
 }  // namespace mtd

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/mutex.hpp"
@@ -92,6 +93,13 @@ class FaultInjector {
   /// Times the point actually fired its action.
   [[nodiscard]] std::uint64_t fired(const std::string& point) const
       MTD_EXCLUDES(mutex_);
+
+  /// Every failure point compiled into the tree, sorted — the registry the
+  /// chaos soak arms exhaustively (`mtd_chaos --faults all`). The list must
+  /// name every fault_fire call site; a grep-style test
+  /// (FaultPoints.RegistryCoversEveryFireSite) fails the build tree when a
+  /// new point is added without registering it here.
+  [[nodiscard]] static const std::vector<std::string>& known_points();
 
  private:
   struct Armed {

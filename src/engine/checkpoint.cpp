@@ -11,7 +11,8 @@ namespace mtd {
 
 namespace {
 
-constexpr const char* kFormat = "mtd-engine-checkpoint-v1";
+constexpr const char* kFormatV1 = "mtd-engine-checkpoint-v1";
+constexpr const char* kFormatV2 = "mtd-engine-checkpoint-v2";
 
 /// 64-bit values (seeds, fingerprints) are stored as hex strings: JSON
 /// numbers are doubles and would silently lose bits above 2^53.
@@ -59,50 +60,55 @@ std::uint64_t network_fingerprint(const Network& network) {
   return h;
 }
 
-Json EngineCheckpoint::to_json() const {
+namespace {
+
+/// One raw RNG stream of an EngineBsCursor: the four xoshiro words (hex)
+/// plus the cached Marsaglia-polar spare. The spare is a JSON number —
+/// dump() prints doubles with %.17g, which round-trips bit-exactly.
+Json rng_state_to_json(const Rng::FullState& state) {
   JsonObject obj;
-  obj.emplace("format", kFormat);
-  obj.emplace("seed", to_hex(seed));
-  obj.emplace("num_days", num_days);
-  obj.emplace("rate_scale", rate_scale);
-  obj.emplace("weekend_rate_factor", weekend_rate_factor);
-  obj.emplace("network_fingerprint", to_hex(network_fingerprint));
-  obj.emplace("next_day", next_day);
-  obj.emplace("clock_minute", static_cast<double>(clock_minute));
-  // Cumulative counters are hex-encoded like the seeds: a long-lived engine
-  // can push them past 2^53, where JSON doubles silently round.
-  obj.emplace("sessions_emitted", to_hex(sessions_emitted));
-  obj.emplace("minutes_emitted", to_hex(minutes_emitted));
-  obj.emplace("segments_emitted", to_hex(segments_emitted));
-  obj.emplace("packets_emitted", to_hex(packets_emitted));
-  obj.emplace("volume_mb", volume_mb);
-  // The RNG-stream state of every shard: streams re-seed per (BS, day), so
-  // (seed, next_day) pins them; recorded explicitly for forward
-  // compatibility with engines that keep raw mid-day RNG state.
-  JsonObject rng;
-  rng.emplace("kind", "per-bs-day-reseed");
-  rng.emplace("seed", to_hex(seed));
-  rng.emplace("next_day", next_day);
-  obj.emplace("rng_streams", Json(std::move(rng)));
-  JsonArray shard_arr;
-  for (const EngineShardCursor& s : shards) {
-    JsonObject sh;
-    sh.emplace("shard", s.shard);
-    sh.emplace("next_day", s.next_day);
-    sh.emplace("sessions_produced", to_hex(s.sessions_produced));
-    shard_arr.emplace_back(std::move(sh));
-  }
-  obj.emplace("shards", Json(std::move(shard_arr)));
+  JsonArray words;
+  for (const std::uint64_t w : state.words) words.emplace_back(to_hex(w));
+  obj.emplace("words", Json(std::move(words)));
+  obj.emplace("has_spare", state.has_spare);
+  obj.emplace("spare", state.spare);
   return Json(std::move(obj));
 }
 
-EngineCheckpoint EngineCheckpoint::from_json(const Json& json) {
-  if (!json.contains("format") ||
-      json.at("format").as_string() != kFormat) {
-    throw ParseError("EngineCheckpoint: not a " + std::string(kFormat) +
-                     " file");
+Rng::FullState rng_state_from_json(const Json& json, const char* what) {
+  Rng::FullState state;
+  const JsonArray& words = json.at("words").as_array();
+  if (words.size() != state.words.size()) {
+    throw ParseError(std::string(what) + ": expected " +
+                     std::to_string(state.words.size()) +
+                     " state words, got " + std::to_string(words.size()));
   }
-  EngineCheckpoint cp;
+  for (std::size_t i = 0; i < state.words.size(); ++i) {
+    state.words[i] = from_hex(words[i].as_string(), what);
+  }
+  state.has_spare = json.at("has_spare").as_bool();
+  state.spare = json.at("spare").as_number();
+  return state;
+}
+
+void parse_shards(const Json& json, EngineCheckpoint& cp) {
+  for (const Json& sh : json.at("shards").as_array()) {
+    EngineShardCursor cursor;
+    cursor.shard = static_cast<std::size_t>(sh.at("shard").as_number());
+    cursor.next_day = static_cast<std::size_t>(sh.at("next_day").as_number());
+    cursor.sessions_produced = from_hex(
+        sh.at("sessions_produced").as_string(), "EngineShardCursor.sessions");
+    if (cursor.next_day != cp.next_day) {
+      throw ParseError("EngineCheckpoint: shard " +
+                       std::to_string(cursor.shard) +
+                       " is not at the global cursor day");
+    }
+    cp.shards.push_back(cursor);
+  }
+}
+
+/// Fields shared by the v1 and v2 documents (identity, cursor, counters).
+void parse_common(const Json& json, EngineCheckpoint& cp) {
   cp.seed = from_hex(json.at("seed").as_string(), "EngineCheckpoint.seed");
   cp.num_days = static_cast<std::size_t>(json.at("num_days").as_number());
   cp.rate_scale = json.at("rate_scale").as_number();
@@ -128,22 +134,116 @@ EngineCheckpoint EngineCheckpoint::from_json(const Json& json) {
                                   "EngineCheckpoint.packets_emitted");
   }
   cp.volume_mb = json.at("volume_mb").as_number();
-  if (cp.clock_minute != cp.next_day * kMinutesPerDay) {
-    throw ParseError(
-        "EngineCheckpoint: clock_minute is not at the next_day boundary");
+}
+
+}  // namespace
+
+Json EngineCheckpoint::to_json() const {
+  JsonObject obj;
+  obj.emplace("format", kFormatV2);
+  obj.emplace("seed", to_hex(seed));
+  obj.emplace("num_days", num_days);
+  obj.emplace("rate_scale", rate_scale);
+  obj.emplace("weekend_rate_factor", weekend_rate_factor);
+  obj.emplace("network_fingerprint", to_hex(network_fingerprint));
+  obj.emplace("next_day", next_day);
+  obj.emplace("clock_minute", static_cast<double>(clock_minute));
+  // Cumulative counters are hex-encoded like the seeds: a long-lived engine
+  // can push them past 2^53, where JSON doubles silently round.
+  obj.emplace("sessions_emitted", to_hex(sessions_emitted));
+  obj.emplace("minutes_emitted", to_hex(minutes_emitted));
+  obj.emplace("segments_emitted", to_hex(segments_emitted));
+  obj.emplace("packets_emitted", to_hex(packets_emitted));
+  obj.emplace("volume_mb", volume_mb);
+  // How a resume re-derives the generation streams: at a day boundary they
+  // re-seed from (seed, next_day); mid-day the raw words live in bs_states.
+  JsonObject rng;
+  rng.emplace("kind", mid_day() ? "raw-xoshiro" : "per-bs-day-reseed");
+  rng.emplace("seed", to_hex(seed));
+  rng.emplace("next_day", next_day);
+  obj.emplace("rng_streams", Json(std::move(rng)));
+  JsonArray shard_arr;
+  for (const EngineShardCursor& s : shards) {
+    JsonObject sh;
+    sh.emplace("shard", s.shard);
+    sh.emplace("next_day", s.next_day);
+    sh.emplace("sessions_produced", to_hex(s.sessions_produced));
+    shard_arr.emplace_back(std::move(sh));
   }
-  for (const Json& sh : json.at("shards").as_array()) {
-    EngineShardCursor cursor;
-    cursor.shard = static_cast<std::size_t>(sh.at("shard").as_number());
-    cursor.next_day = static_cast<std::size_t>(sh.at("next_day").as_number());
-    cursor.sessions_produced = from_hex(
-        sh.at("sessions_produced").as_string(), "EngineShardCursor.sessions");
-    if (cursor.next_day != cp.next_day) {
-      throw ParseError("EngineCheckpoint: shard " +
-                       std::to_string(cursor.shard) +
-                       " is not at the global day boundary");
+  obj.emplace("shards", Json(std::move(shard_arr)));
+  if (!bs_states.empty()) {
+    JsonArray bs_arr;
+    for (const EngineBsCursor& c : bs_states) {
+      JsonObject bs;
+      bs.emplace("bs", static_cast<std::size_t>(c.bs));
+      bs.emplace("session_rng", rng_state_to_json(c.session_rng));
+      bs.emplace("segment_rng", rng_state_to_json(c.segment_rng));
+      bs.emplace("packet_rng", rng_state_to_json(c.packet_rng));
+      bs.emplace("next_seq", to_hex(c.next_seq));
+      bs.emplace("day_volume_mb", c.day_volume_mb);
+      bs_arr.emplace_back(std::move(bs));
     }
-    cp.shards.push_back(cursor);
+    obj.emplace("bs_states", Json(std::move(bs_arr)));
+  }
+  return Json(std::move(obj));
+}
+
+EngineCheckpoint EngineCheckpoint::from_json(const Json& json) {
+  if (!json.contains("format")) {
+    throw ParseError(std::string("EngineCheckpoint: not a ") + kFormatV2 +
+                     " (or " + kFormatV1 + ") file");
+  }
+  const std::string& format = json.at("format").as_string();
+  if (format != kFormatV1 && format != kFormatV2) {
+    throw ParseError(std::string("EngineCheckpoint: not a ") + kFormatV2 +
+                     " (or " + kFormatV1 + ") file");
+  }
+  EngineCheckpoint cp;
+  parse_common(json, cp);
+  if (format == kFormatV1) {
+    // v1 checkpoints are day-boundary only; the clock must sit exactly on
+    // the next_day boundary and no raw stream state may be present.
+    if (cp.clock_minute != cp.next_day * kMinutesPerDay) {
+      throw ParseError(
+          "EngineCheckpoint: clock_minute is not at the next_day boundary");
+    }
+    parse_shards(json, cp);
+    return cp;
+  }
+  // v2: the clock may sit anywhere inside day next_day.
+  if (cp.clock_minute / kMinutesPerDay != cp.next_day) {
+    throw ParseError(
+        "EngineCheckpoint: clock_minute is not inside day next_day");
+  }
+  parse_shards(json, cp);
+  if (json.contains("bs_states")) {
+    for (const Json& bs : json.at("bs_states").as_array()) {
+      EngineBsCursor c;
+      c.bs = static_cast<std::uint32_t>(bs.at("bs").as_number());
+      c.session_rng = rng_state_from_json(bs.at("session_rng"),
+                                          "EngineBsCursor.session_rng");
+      c.segment_rng = rng_state_from_json(bs.at("segment_rng"),
+                                          "EngineBsCursor.segment_rng");
+      c.packet_rng = rng_state_from_json(bs.at("packet_rng"),
+                                         "EngineBsCursor.packet_rng");
+      c.next_seq = from_hex(bs.at("next_seq").as_string(),
+                            "EngineBsCursor.next_seq");
+      c.day_volume_mb = bs.at("day_volume_mb").as_number();
+      if (!cp.bs_states.empty() && cp.bs_states.back().bs >= c.bs) {
+        throw ParseError(
+            "EngineCheckpoint: bs_states must be sorted by BS index");
+      }
+      cp.bs_states.push_back(std::move(c));
+    }
+  }
+  if (cp.mid_day() && cp.bs_states.empty()) {
+    throw ParseError(
+        "EngineCheckpoint: a mid-day checkpoint must carry bs_states");
+  }
+  if (!cp.mid_day() && !cp.bs_states.empty()) {
+    throw ParseError(
+        "EngineCheckpoint: a day-boundary checkpoint must not carry "
+        "bs_states");
   }
   return cp;
 }

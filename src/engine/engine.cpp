@@ -82,16 +82,23 @@ class StopState {
 /// with its cumulative per-kind produced counters: the consumer commits
 /// the day's volume as a fold over BSs in canonical index order, which
 /// keeps the checkpoint's counters bit-identical across worker counts,
-/// batch sizes, and stop/resume splits. Control items always block, never
-/// drop.
+/// batch sizes, and stop/resume splits. When checkpoint_interval_minutes
+/// is set, workers additionally emit a kMinuteMark after every minute on
+/// the absolute mark grid, carrying the raw per-BS stream cursors of the
+/// shard; once every worker's mark for the same minute has arrived, the
+/// consumer records a mid-day v2 checkpoint. Control items always block,
+/// never drop.
 struct RingItem {
-  enum class Kind : std::uint8_t { kBatch, kBsDayVolume, kDayEnd };
+  enum class Kind : std::uint8_t { kBatch, kBsDayVolume, kDayEnd,
+                                   kMinuteMark };
   Kind kind = Kind::kBatch;
   EventBatch batch;                   // kBatch
   std::uint32_t bs = 0;               // kBsDayVolume
   std::uint16_t day = 0;              // kBsDayVolume, kDayEnd
   double bs_day_volume_mb = 0.0;      // kBsDayVolume
-  std::array<std::uint64_t, kNumEventKinds> shard_produced{};  // kDayEnd
+  std::uint64_t minute_end = 0;       // kMinuteMark: first unproduced minute
+  std::array<std::uint64_t, kNumEventKinds> shard_produced{};  // kDayEnd/Mark
+  std::vector<EngineBsCursor> bs_states;  // kMinuteMark, in bss_ order
 };
 
 /// Scaled virtual clock: minute m of the replay maps to a wall-clock
@@ -121,6 +128,7 @@ class ShardWorker {
         bss_(std::move(bss)),
         ring_(config.queue_capacity),
         batch_size_(config.batch_size),
+        interval_(config.checkpoint_interval_minutes),
         kinds_(config.event_kinds),
         mobility_(config.mobility),
         packet_(config.packet) {
@@ -135,9 +143,11 @@ class ShardWorker {
     return pending_;
   }
 
-  void run(std::size_t first_day, std::size_t last_day,
-           const VirtualClock& clock, BackpressurePolicy policy,
-           Telemetry::PerWorker& tel, const std::atomic<bool>& abort,
+  void run(std::size_t first_day, std::size_t first_minute,
+           std::size_t last_day, const VirtualClock& clock,
+           BackpressurePolicy policy, Telemetry::PerWorker& tel,
+           const std::atomic<bool>& abort,
+           const std::vector<EngineBsCursor>* resume_states,
            FaultInjector* fault) {
     abort_ = &abort;
     const Network& network = generator_->network();
@@ -154,6 +164,10 @@ class ShardWorker {
 
     for (std::size_t day = first_day; day < last_day; ++day) {
       fault_fire(fault, "worker.day");
+      // A mid-day resume re-enters the first day at first_minute with the
+      // raw stream cursors of the suspended run restored (including any
+      // cached spare normal deviate — see Rng::FullState).
+      const bool resuming = day == first_day && first_minute > 0;
       // Day boundary: every (BS, day) stream re-seeds, which is what makes
       // day-boundary checkpoints O(1) (see engine/checkpoint.hpp). The
       // expansion streams are split off the base stream without consuming
@@ -161,13 +175,23 @@ class ShardWorker {
       for (std::size_t i = 0; i < bss_.size(); ++i) {
         const BaseStation& bs = network[bss_[i]];
         scaled[i] = generator_->day_scaled(bs, day);
-        rngs[i] = generator_->bs_day_rng(bs, day);
-        seg_rngs[i] = rngs[i].split(kSegmentStream);
-        pkt_rngs[i] = rngs[i].split(kPacketStream);
-        day_volume[i] = 0.0;
-        seqs[i] = 0;
+        if (resuming) {
+          const EngineBsCursor& c = (*resume_states)[bss_[i]];
+          rngs[i].set_full_state(c.session_rng);
+          seg_rngs[i].set_full_state(c.segment_rng);
+          pkt_rngs[i].set_full_state(c.packet_rng);
+          day_volume[i] = c.day_volume_mb;
+          seqs[i] = c.next_seq;
+        } else {
+          rngs[i] = generator_->bs_day_rng(bs, day);
+          seg_rngs[i] = rngs[i].split(kSegmentStream);
+          pkt_rngs[i] = rngs[i].split(kPacketStream);
+          day_volume[i] = 0.0;
+          seqs[i] = 0;
+        }
       }
-      for (std::size_t minute = 0; minute < kMinutesPerDay; ++minute) {
+      for (std::size_t minute = resuming ? first_minute : 0;
+           minute < kMinutesPerDay; ++minute) {
         const std::uint64_t abs_minute = day * kMinutesPerDay + minute;
         clock.wait_until(abs_minute);
         if (abort.load(std::memory_order_relaxed)) return;
@@ -229,6 +253,36 @@ class ShardWorker {
           }
         }
         tel.produced_minute.store(abs_minute + 1, std::memory_order_relaxed);
+        // Minute-interval mark: the grid is absolute minutes, so a resumed
+        // run marks the same minutes the original would have. Marks on a
+        // day boundary are skipped — the kDayEnd checkpoint covers them
+        // (and is cheaper: no raw stream state).
+        const std::uint64_t next_minute = abs_minute + 1;
+        if (interval_ > 0 && next_minute % interval_ == 0 &&
+            next_minute % kMinutesPerDay != 0) {
+          // Flush first so every event before the mark precedes it in the
+          // FIFO ring; the cursors then describe exactly the post-flush
+          // stream positions.
+          if (!flush(policy, tel)) return;
+          RingItem mark;
+          mark.kind = RingItem::Kind::kMinuteMark;
+          mark.minute_end = next_minute;
+          mark.shard_produced = produced_;
+          mark.bs_states.reserve(bss_.size());
+          for (std::size_t i = 0; i < bss_.size(); ++i) {
+            EngineBsCursor c;
+            c.bs = bss_[i];
+            c.session_rng = rngs[i].full_state();
+            c.segment_rng = seg_rngs[i].full_state();
+            c.packet_rng = pkt_rngs[i].full_state();
+            c.next_seq = seqs[i];
+            c.day_volume_mb = day_volume[i];
+            mark.bs_states.push_back(c);
+          }
+          if (!push_item(std::move(mark), BackpressurePolicy::kBlock, tel)) {
+            return;
+          }
+        }
       }
       // Flush the partial batch, then the per-BS day volumes and the
       // day-end marker that gates checkpoints; controls always block.
@@ -294,6 +348,11 @@ class ShardWorker {
     while (!ring_.try_push(std::move(item))) {
       if (abort_->load(std::memory_order_relaxed)) {
         aborted_ = true;
+        // The batch never reached the ring: hand its events back to
+        // pending_ (always empty here — a kBatch only spins from flush)
+        // so the post-join sweep counts them discarded and the per-kind
+        // conservation identity closes on this path too.
+        for (StreamEvent& ev : item.batch) pending_.push_back(std::move(ev));
         return false;
       }
       std::this_thread::yield();
@@ -311,6 +370,7 @@ class ShardWorker {
   std::vector<std::uint32_t> bss_;
   SpscRing<RingItem> ring_;
   std::size_t batch_size_;
+  std::size_t interval_;
   EventKindMask kinds_;
   HandoverChainGenerator mobility_;
   PacketScheduleGenerator packet_;
@@ -341,7 +401,7 @@ StreamEngine::StreamEngine(const Network& network, const TraceConfig& trace,
 }
 
 EngineResult StreamEngine::run(EventSink& sink) {
-  return run_days(sink, 0, {}, 0.0);
+  return run_days(sink, 0, 0, nullptr, {}, 0.0);
 }
 
 EngineResult StreamEngine::run(TraceSink& sink) {
@@ -385,6 +445,26 @@ EngineResult StreamEngine::resume(const EngineCheckpoint& from,
         std::to_string(from.next_day) + ") is beyond the horizon (num_days=" +
         std::to_string(trace.num_days) + ")");
   }
+  if (from.mid_day()) {
+    // A mid-day resume restores raw per-BS streams; the cursor set must
+    // cover the whole network, indexed by network index, so any worker
+    // count can pick its shard's entries directly.
+    if (from.bs_states.size() != network().size()) {
+      throw InvalidArgument(
+          "StreamEngine::resume: mid-day checkpoint has " +
+          std::to_string(from.bs_states.size()) + " BS cursors, network has " +
+          std::to_string(network().size()));
+    }
+    for (std::size_t i = 0; i < from.bs_states.size(); ++i) {
+      if (from.bs_states[i].bs != i) {
+        throw InvalidArgument(
+            "StreamEngine::resume: mid-day checkpoint BS cursors are not "
+            "the contiguous network index range (entry " +
+            std::to_string(i) + " is BS " +
+            std::to_string(from.bs_states[i].bs) + ")");
+      }
+    }
+  }
   std::array<std::uint64_t, kNumEventKinds> prior{};
   prior[static_cast<std::size_t>(EventKind::kMinute)] = from.minutes_emitted;
   prior[static_cast<std::size_t>(EventKind::kSession)] =
@@ -392,7 +472,8 @@ EngineResult StreamEngine::resume(const EngineCheckpoint& from,
   prior[static_cast<std::size_t>(EventKind::kSegment)] =
       from.segments_emitted;
   prior[static_cast<std::size_t>(EventKind::kPacket)] = from.packets_emitted;
-  return run_days(sink, from.next_day, prior, from.volume_mb);
+  return run_days(sink, from.next_day, from.minute_of_day(), &from.bs_states,
+                  prior, from.volume_mb);
 }
 
 EngineResult StreamEngine::resume(const EngineCheckpoint& from,
@@ -402,7 +483,8 @@ EngineResult StreamEngine::resume(const EngineCheckpoint& from,
 }
 
 EngineResult StreamEngine::run_days(
-    EventSink& sink, std::size_t first_day,
+    EventSink& sink, std::size_t first_day, std::size_t first_minute,
+    const std::vector<EngineBsCursor>* resume_states,
     const std::array<std::uint64_t, kNumEventKinds>& prior,
     double prior_volume) {
   const Network& network = generator_.network();
@@ -419,17 +501,20 @@ EngineResult StreamEngine::run_days(
   // order. That single canonical association order makes the counter
   // bit-identical across worker counts, batch sizes, and stop/resume
   // splits.
-  auto make_checkpoint = [&](std::size_t next_day, const KindTotals& totals,
-                             double volume_mb,
-                             const std::vector<KindTotals>& per_shard) {
+  auto make_checkpoint = [&](std::uint64_t clock_minute,
+                             const KindTotals& totals, double volume_mb,
+                             const std::vector<KindTotals>& per_shard,
+                             std::vector<EngineBsCursor> bs_states =
+                                 std::vector<EngineBsCursor>()) {
     EngineCheckpoint cp;
     cp.seed = trace.seed;
     cp.num_days = trace.num_days;
     cp.rate_scale = trace.rate_scale;
     cp.weekend_rate_factor = trace.weekend_rate_factor;
     cp.network_fingerprint = fingerprint_;
-    cp.next_day = next_day;
-    cp.clock_minute = next_day * kMinutesPerDay;
+    cp.next_day = static_cast<std::size_t>(clock_minute / kMinutesPerDay);
+    cp.clock_minute = clock_minute;
+    cp.bs_states = std::move(bs_states);
     const auto idx = [](EventKind k) { return static_cast<std::size_t>(k); };
     cp.minutes_emitted =
         prior[idx(EventKind::kMinute)] + totals[idx(EventKind::kMinute)];
@@ -442,15 +527,18 @@ EngineResult StreamEngine::run_days(
     cp.volume_mb = volume_mb;
     for (std::size_t w = 0; w < per_shard.size(); ++w) {
       cp.shards.push_back(EngineShardCursor{
-          w, next_day, per_shard[w][idx(EventKind::kSession)]});
+          w, cp.next_day, per_shard[w][idx(EventKind::kSession)]});
     }
     return cp;
   };
 
+  const std::uint64_t start_minute =
+      static_cast<std::uint64_t>(first_day) * kMinutesPerDay + first_minute;
+
   Telemetry telemetry(num_workers);
   telemetry.start(prior, prior_volume);
   for (std::size_t w = 0; w < num_workers; ++w) {
-    telemetry.worker(w).produced_minute.store(first_day * kMinutesPerDay,
+    telemetry.worker(w).produced_minute.store(start_minute,
                                               std::memory_order_relaxed);
   }
 
@@ -458,7 +546,7 @@ EngineResult StreamEngine::run_days(
   if (first_day >= last_day) {
     EngineResult result;
     result.checkpoint =
-        make_checkpoint(first_day, KindTotals{}, prior_volume,
+        make_checkpoint(start_minute, KindTotals{}, prior_volume,
                         std::vector<KindTotals>(num_workers));
     result.telemetry = telemetry.snapshot(0);
     return result;
@@ -478,7 +566,7 @@ EngineResult StreamEngine::run_days(
   }
 
   VirtualClock clock{config_.time_scale, std::chrono::steady_clock::now(),
-                     first_day * kMinutesPerDay};
+                     start_minute};
   StopState stop;
   std::atomic<std::size_t> active{num_workers};
   // Deterministic backoff jitter for checkpoint-write retries: seeded from
@@ -491,8 +579,9 @@ EngineResult StreamEngine::run_days(
   for (std::size_t w = 0; w < num_workers; ++w) {
     threads.emplace_back([&, w] {
       try {
-        shards[w]->run(first_day, last_day, clock, config_.backpressure,
-                       telemetry.worker(w), stop.flag, config_.fault);
+        shards[w]->run(first_day, first_minute, last_day, clock,
+                       config_.backpressure, telemetry.worker(w), stop.flag,
+                       resume_states, config_.fault);
       } catch (...) {
         // First-exception capture: a worker fault stops the whole engine;
         // the consumer notices, drains, joins, and rethrows this.
@@ -563,6 +652,17 @@ EngineResult StreamEngine::run_days(
   std::map<std::size_t, std::vector<double>> day_volumes;
   double committed_volume = prior_volume;
   std::size_t checkpointed_day = first_day;  // next_day of the last checkpoint
+  // Minute-interval marks in flight: a mid-day checkpoint is recorded once
+  // every worker's mark for the same minute has been popped (a consistent
+  // cut — FIFO rings guarantee each shard's events up to that minute
+  // precede its mark).
+  struct PendingMark {
+    std::size_t workers = 0;
+    std::vector<EngineBsCursor> bs_states;
+    std::vector<KindTotals> per_shard;
+  };
+  std::map<std::uint64_t, PendingMark> pending_marks;
+  std::uint64_t checkpointed_minute = start_minute;
   auto last_snapshot = std::chrono::steady_clock::now();
   std::uint64_t delivered_since_check = 0;
 
@@ -665,18 +765,59 @@ EngineResult StreamEngine::run_days(
               totals[k] += shard_produced[i][k];
             }
           }
-          result.checkpoint = make_checkpoint(checkpointed_day, totals,
+          checkpointed_minute =
+              static_cast<std::uint64_t>(checkpointed_day) * kMinutesPerDay;
+          // Marks inside the now-checkpointed range are obsolete: a
+          // day-boundary checkpoint supersedes any mid-day cut before it.
+          pending_marks.erase(pending_marks.begin(),
+                              pending_marks.upper_bound(checkpointed_minute));
+          result.checkpoint = make_checkpoint(checkpointed_minute, totals,
                                               committed_volume,
                                               shard_produced);
           // Commit order matters for exactly-once recovery: the callback
-          // (the Supervisor flushing buffered days downstream) runs before
-          // the checkpoint is persisted, so a failed save leaves the
+          // (the Supervisor flushing buffered minutes downstream) runs
+          // before the checkpoint is persisted, so a failed save leaves the
           // downstream state covered by the in-memory checkpoint, never
           // ahead of it.
           if (checkpoint_callback_) checkpoint_callback_(result.checkpoint);
           if (!config_.checkpoint_path.empty()) {
             save_checkpoint(result.checkpoint);
           }
+        }
+        break;
+      }
+      case RingItem::Kind::kMinuteMark: {
+        if (item.minute_end <= checkpointed_minute) break;  // superseded
+        PendingMark& mark = pending_marks[item.minute_end];
+        if (mark.per_shard.empty()) mark.per_shard.assign(num_workers, {});
+        mark.per_shard[w] = item.shard_produced;
+        mark.bs_states.insert(mark.bs_states.end(),
+                              item.bs_states.begin(), item.bs_states.end());
+        if (++mark.workers < num_workers) break;
+        // Every shard has crossed the mark: take the mid-day checkpoint.
+        // committed_volume is exact through the last fully finished day —
+        // each worker's kDayEnd for that day precedes its mark in the FIFO
+        // ring — and the in-progress day's partial volumes ride in the
+        // per-BS cursors.
+        std::sort(mark.bs_states.begin(), mark.bs_states.end(),
+                  [](const EngineBsCursor& a, const EngineBsCursor& b) {
+                    return a.bs < b.bs;
+                  });
+        KindTotals totals{};
+        for (std::size_t i = 0; i < num_workers; ++i) {
+          for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+            totals[k] += mark.per_shard[i][k];
+          }
+        }
+        checkpointed_minute = item.minute_end;
+        result.checkpoint =
+            make_checkpoint(checkpointed_minute, totals, committed_volume,
+                            mark.per_shard, std::move(mark.bs_states));
+        pending_marks.erase(pending_marks.begin(),
+                            pending_marks.upper_bound(checkpointed_minute));
+        if (checkpoint_callback_) checkpoint_callback_(result.checkpoint);
+        if (!config_.checkpoint_path.empty()) {
+          save_checkpoint(result.checkpoint);
         }
         break;
       }

@@ -83,6 +83,14 @@ struct EngineConfig {
   /// When non-empty, the latest checkpoint JSON is (re)written here at
   /// every completed day boundary (crash-safe: tmp file + atomic rename).
   std::string checkpoint_path;
+  /// When > 0, the engine additionally checkpoints every time the replay
+  /// clock crosses a multiple of this many minutes (absolute simulated
+  /// minutes, so the mark grid is stable across stop/resume splits).
+  /// Mid-day marks produce v2 checkpoints carrying raw per-BS RNG state
+  /// (see EngineBsCursor); marks landing exactly on a day boundary defer
+  /// to the regular day-boundary checkpoint. 0 checkpoints at day
+  /// boundaries only.
+  std::size_t checkpoint_interval_minutes = 0;
   /// How a throwing sink is handled (see SinkErrorPolicy). Under kDegrade
   /// the per-kind accounting identity produced == consumed + dropped +
   /// sink_errors still holds exactly; failed deliveries are never silently
@@ -125,7 +133,8 @@ class StreamEngine {
   /// adapter, so pair it with a session_replay() event mask).
   [[nodiscard]] EngineResult run(TraceSink& sink);
 
-  /// Continues a run from a day-boundary checkpoint. Throws
+  /// Continues a run from a checkpoint — a day boundary, or any mid-day
+  /// minute for v2 checkpoints carrying per-BS stream state. Throws
   /// InvalidArgument when the checkpoint does not match this engine's
   /// network/trace configuration. The worker count may differ from the
   /// run that produced the checkpoint — per-BS streams do not depend on
@@ -142,10 +151,11 @@ class StreamEngine {
     snapshot_callback_ = std::move(callback);
   }
 
-  /// Called (consumer thread) every time a day-boundary checkpoint is
-  /// recorded, before it is persisted to checkpoint_path. The Supervisor
-  /// uses this to commit buffered output downstream exactly once; an
-  /// exception from the callback aborts the run like a sink failure.
+  /// Called (consumer thread) every time a checkpoint — day-boundary or
+  /// minute-interval — is recorded, before it is persisted to
+  /// checkpoint_path. The Supervisor uses this to commit buffered output
+  /// downstream exactly once; an exception from the callback aborts the
+  /// run like a sink failure.
   void on_checkpoint(std::function<void(const EngineCheckpoint&)> callback) {
     checkpoint_callback_ = std::move(callback);
   }
@@ -156,8 +166,12 @@ class StreamEngine {
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
 
  private:
+  /// `first_minute` is the minute of day `first_day` to start at; when
+  /// non-zero, `resume_states` must hold one EngineBsCursor per BS
+  /// (indexed by network index) to restore the mid-day streams from.
   [[nodiscard]] EngineResult run_days(
-      EventSink& sink, std::size_t first_day,
+      EventSink& sink, std::size_t first_day, std::size_t first_minute,
+      const std::vector<EngineBsCursor>* resume_states,
       const std::array<std::uint64_t, kNumEventKinds>& prior,
       double prior_volume);
 

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "events/commit_buffer.hpp"
 
 namespace mtd {
 
@@ -11,15 +12,25 @@ namespace {
 EngineResult run_into_store(StreamEngine& engine,
                             store::TraceStoreWriter& writer,
                             const EngineCheckpoint* from) {
-  engine.on_checkpoint([&writer](const EngineCheckpoint& checkpoint) {
+  // Exactly-once across crashes: the writer must never persist events the
+  // checkpoint does not cover, so the stream is held back per minute and
+  // released only when a checkpoint commits that minute.
+  MinuteCommitBuffer buffer(writer);
+  engine.on_checkpoint([&buffer, &writer](const EngineCheckpoint& checkpoint) {
+    buffer.commit_through(checkpoint.clock_minute);
     writer.set_engine_cursor(checkpoint.next_day);
+    writer.set_engine_checkpoint(checkpoint.to_json().dump(2));
     writer.commit();
   });
   EngineResult result =
-      from != nullptr ? engine.resume(*from, writer) : engine.run(writer);
+      from != nullptr ? engine.resume(*from, buffer) : engine.run(buffer);
   // A zero-day run fires no checkpoint callback; publish the final cursor
-  // either way (a no-op commit when the last day boundary already did).
+  // and checkpoint either way (a no-op commit when the last checkpoint
+  // already did). A successful run always ends on a day-boundary
+  // checkpoint, so commit_through releases every buffered event here.
+  buffer.commit_through(result.checkpoint.clock_minute);
   writer.set_engine_cursor(result.checkpoint.next_day);
+  writer.set_engine_checkpoint(result.checkpoint.to_json().dump(2));
   writer.commit();
   return result;
 }
@@ -29,7 +40,7 @@ EngineResult run_into_store(StreamEngine& engine,
 EngineResult run_engine_into_store(StreamEngine& engine,
                                    store::TraceStoreWriter& writer) {
   const std::int64_t cursor = writer.manifest().engine_next_day;
-  if (cursor > 0) {
+  if (cursor > 0 || !writer.manifest().engine_checkpoint.empty()) {
     throw InvalidArgument(
         "run_engine_into_store: store already holds days up to " +
         std::to_string(cursor) + "; use resume_engine_into_store");
@@ -49,7 +60,23 @@ EngineResult resume_engine_into_store(StreamEngine& engine,
         std::to_string(from.next_day) +
         " — the store would duplicate or skip days");
   }
+  if (const std::optional<EngineCheckpoint> stored =
+          load_store_checkpoint(writer.manifest());
+      stored && stored->clock_minute != from.clock_minute) {
+    throw InvalidArgument(
+        "resume_engine_into_store: store committed through minute " +
+        std::to_string(stored->clock_minute) +
+        " but the checkpoint resumes from minute " +
+        std::to_string(from.clock_minute) +
+        " — the store would duplicate or skip events");
+  }
   return run_into_store(engine, writer, &from);
+}
+
+std::optional<EngineCheckpoint> load_store_checkpoint(
+    const store::StoreManifest& manifest) {
+  if (manifest.engine_checkpoint.empty()) return std::nullopt;
+  return EngineCheckpoint::from_json(Json::parse(manifest.engine_checkpoint));
 }
 
 }  // namespace mtd

@@ -1,16 +1,20 @@
 // Engine → trace store wiring: stream a replay into a TraceStoreWriter
-// with store commits aligned to the engine's day-boundary checkpoints.
+// with store commits aligned to the engine's checkpoints (day-boundary
+// and, when checkpoint_interval_minutes is set, mid-day minute marks).
 //
-// The engine's on_checkpoint callback fires on the consumer thread once
-// per completed day, before the checkpoint file is persisted — exactly the
-// point where buffered downstream output must become durable. These
-// runners hook that callback to record the checkpoint's day cursor in the
-// store manifest and commit the buffered events, so after a crash the
-// store's committed state and its recorded engine cursor always describe
-// the same day boundary: resuming the engine from that cursor regenerates
-// precisely the days the store is missing, never duplicating or skipping
-// one.
+// The engine's on_checkpoint callback fires on the consumer thread before
+// the checkpoint file is persisted — exactly the point where buffered
+// downstream output must become durable. These runners interpose a
+// MinuteCommitBuffer so the store never holds events past the checkpoint
+// (fast workers deliver ahead of the checkpoint cut; persisting that tail
+// would make a crash + resume ingest it twice), then commit the buffered
+// prefix, the day cursor, AND the full checkpoint JSON into the manifest
+// in one atomic manifest replace. After a crash the store alone carries
+// everything a resume needs — data, cursor and checkpoint can never
+// drift apart, because they publish together or not at all.
 #pragma once
+
+#include <optional>
 
 #include "engine/engine.hpp"
 #include "store/trace_store.hpp"
@@ -18,17 +22,24 @@
 namespace mtd {
 
 /// Runs `engine` from day 0 into `writer`, committing one store segment
-/// per completed day (plus a final commit). The writer is left open; the
+/// per checkpoint (plus a final commit). The writer is left open; the
 /// caller closes it. Returns the engine result as StreamEngine::run does.
 [[nodiscard]] EngineResult run_engine_into_store(
     StreamEngine& engine, store::TraceStoreWriter& writer);
 
-/// Resumes `engine` from `from` into `writer`, with the same per-day
-/// commit wiring. Throws InvalidArgument when the store's recorded engine
-/// cursor does not match the checkpoint's next_day — a mismatched pair
-/// would duplicate or skip days in the store.
+/// Resumes `engine` from `from` into `writer`, with the same per-
+/// checkpoint commit wiring. Throws InvalidArgument when the store's
+/// recorded engine cursor (day, and minute when the manifest carries a
+/// checkpoint) does not match `from` — a mismatched pair would duplicate
+/// or skip events in the store.
 [[nodiscard]] EngineResult resume_engine_into_store(
     StreamEngine& engine, const EngineCheckpoint& from,
     store::TraceStoreWriter& writer);
+
+/// Extracts the engine checkpoint a store-runner commit embedded in the
+/// manifest (std::nullopt when the store has never been committed through
+/// these runners). ParseError when the blob is present but corrupt.
+[[nodiscard]] std::optional<EngineCheckpoint> load_store_checkpoint(
+    const store::StoreManifest& manifest);
 
 }  // namespace mtd

@@ -8,44 +8,49 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/time_utils.hpp"
 
 namespace mtd {
 
 namespace {
 
-/// Holds every delivered event of the not-yet-checkpointed days and
-/// replays complete days downstream in day order once they commit. Within
-/// a day events flush in arrival order, so each BS's subsequence is exactly
-/// its generation order — the downstream sink cannot tell it apart from an
-/// unfailed direct run.
-class DayCommitBuffer final : public TraceSink {
+/// Holds every delivered event of the not-yet-checkpointed simulated
+/// minutes and replays them downstream in minute order once they commit.
+/// Within a minute events flush in arrival order, so each BS's subsequence
+/// is exactly its generation order — the downstream sink cannot tell it
+/// apart from an unfailed direct run. Keying by absolute minute (not day)
+/// lets mid-day checkpoints flush a partial day's committed prefix while
+/// holding back only the tail past the checkpoint.
+class CommitBuffer final : public TraceSink {
  public:
-  explicit DayCommitBuffer(TraceSink& downstream) : downstream_(&downstream) {}
+  explicit CommitBuffer(TraceSink& downstream) : downstream_(&downstream) {}
 
   void on_minute(const BaseStation& bs, std::size_t day,
                  std::size_t minute_of_day, std::uint32_t count) override {
     Event ev;
     ev.is_minute = true;
     ev.bs = &bs;
+    ev.day = day;
     ev.minute_of_day = minute_of_day;
     ev.count = count;
-    pending_[day].push_back(ev);
+    pending_[key(day, minute_of_day)].push_back(std::move(ev));
   }
 
   void on_session(const Session& session) override {
     Event ev;
     ev.is_minute = false;
     ev.session = session;
-    pending_[session.day].push_back(ev);
+    pending_[key(session.day, session.minute_of_day)].push_back(
+        std::move(ev));
   }
 
-  /// Flushes every buffered day below `next_day` downstream, oldest first.
-  void commit_through(std::size_t next_day) {
-    while (!pending_.empty() && pending_.begin()->first < next_day) {
-      const std::size_t day = pending_.begin()->first;
+  /// Flushes every buffered minute below the checkpoint's clock_minute
+  /// downstream, oldest first.
+  void commit_through(std::uint64_t clock_minute) {
+    while (!pending_.empty() && pending_.begin()->first < clock_minute) {
       for (const Event& ev : pending_.begin()->second) {
         if (ev.is_minute) {
-          downstream_->on_minute(*ev.bs, day, ev.minute_of_day, ev.count);
+          downstream_->on_minute(*ev.bs, ev.day, ev.minute_of_day, ev.count);
         } else {
           downstream_->on_session(ev.session);
         }
@@ -62,13 +67,18 @@ class DayCommitBuffer final : public TraceSink {
   struct Event {
     bool is_minute = false;
     const BaseStation* bs = nullptr;  // minutes only; network-owned
+    std::size_t day = 0;
     std::size_t minute_of_day = 0;
     std::uint32_t count = 0;
     Session session;
   };
 
+  static std::uint64_t key(std::size_t day, std::size_t minute_of_day) {
+    return static_cast<std::uint64_t>(day) * kMinutesPerDay + minute_of_day;
+  }
+
   TraceSink* downstream_;
-  std::map<std::size_t, std::vector<Event>> pending_;
+  std::map<std::uint64_t, std::vector<Event>> pending_;
 };
 
 }  // namespace
@@ -84,6 +94,8 @@ Json RunReport::to_json() const {
     at.emplace("attempt", a.attempt);
     at.emplace("start_day", a.start_day);
     at.emplace("reached_day", a.reached_day);
+    at.emplace("start_minute", static_cast<double>(a.start_minute));
+    at.emplace("reached_minute", static_cast<double>(a.reached_minute));
     at.emplace("error", a.error);
     at.emplace("retryable", a.retryable);
     at.emplace("backoff_ms", a.backoff_ms);
@@ -93,6 +105,8 @@ Json RunReport::to_json() const {
   if (succeeded) {
     obj.emplace("telemetry", result.telemetry.to_json());
     obj.emplace("next_day", result.checkpoint.next_day);
+    obj.emplace("clock_minute",
+                static_cast<double>(result.checkpoint.clock_minute));
     obj.emplace("complete", result.checkpoint.complete());
   }
   return Json(std::move(obj));
@@ -121,11 +135,12 @@ RunReport Supervisor::resume(const EngineCheckpoint& from, TraceSink& sink) {
 RunReport Supervisor::supervise(std::optional<EngineCheckpoint> from,
                                 TraceSink& sink) {
   RunReport report;
-  DayCommitBuffer buffer(sink);
+  CommitBuffer buffer(sink);
   TraceSink& engine_sink =
       config_.buffer_uncommitted ? static_cast<TraceSink&>(buffer) : sink;
   std::optional<EngineCheckpoint> last_good = std::move(from);
-  Rng backoff_rng(trace_.seed ^ 0x73757076ULL /* "supv" */);
+  Rng backoff_rng(
+      config_.backoff_seed.value_or(trace_.seed ^ 0x73757076ULL /* "supv" */));
   double backoff_ms = config_.backoff_initial_ms;
   const std::size_t max_attempts = config_.max_restarts + 1;
 
@@ -134,16 +149,19 @@ RunReport Supervisor::supervise(std::optional<EngineCheckpoint> from,
     record.attempt = attempt;
     record.start_day = last_good ? last_good->next_day : 0;
     record.reached_day = record.start_day;
+    record.start_minute = last_good ? last_good->clock_minute : 0;
+    record.reached_minute = record.start_minute;
 
     StreamEngine engine(*network_, trace_, engine_config_);
     if (snapshot_callback_) engine.on_snapshot(snapshot_callback_);
     engine.on_checkpoint([&](const EngineCheckpoint& cp) {
-      // Flush complete days downstream BEFORE adopting the checkpoint as
-      // the restart point: a resume must never skip a day the downstream
-      // sink has not fully received.
-      if (config_.buffer_uncommitted) buffer.commit_through(cp.next_day);
+      // Flush committed minutes downstream BEFORE adopting the checkpoint
+      // as the restart point: a resume must never skip a minute the
+      // downstream sink has not fully received.
+      if (config_.buffer_uncommitted) buffer.commit_through(cp.clock_minute);
       last_good = cp;
       record.reached_day = cp.next_day;
+      record.reached_minute = cp.clock_minute;
     });
 
     try {

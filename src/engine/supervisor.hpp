@@ -2,21 +2,24 @@
 //
 // The Supervisor wraps run()/resume() in a bounded restart loop: when a run
 // fails with a retryable error (worker fault, watchdog-detected stall,
-// transient checkpoint I/O), it reloads the last good day-boundary
-// checkpoint and resumes, with exponential backoff between attempts
-// (jitter drawn from a trace-seeded RNG, so failure schedules replay
-// reproducibly). Because every (BS, day) RNG stream is independent and
-// re-seeds at day boundaries, the recovered stream is bit-identical to an
-// unfailed run.
+// transient checkpoint I/O), it reloads the last good checkpoint — a day
+// boundary, or any minute-interval mark when the engine runs with
+// checkpoint_interval_minutes — and resumes, with exponential backoff
+// between attempts (jitter drawn from a seeded RNG, so failure schedules
+// replay reproducibly). Because every (BS, day) RNG stream is independent
+// and mid-day checkpoints carry the raw stream cursors, the recovered
+// stream is bit-identical to an unfailed run either way.
 //
-// Exactly-once delivery across restarts: the engine's sink sees events of a
-// day before that day's checkpoint commits, so a naive restart would replay
-// the partial day into the downstream sink twice. The Supervisor therefore
-// interposes a commit buffer — events are held per day and flushed
-// downstream only when the engine checkpoints past that day; on failure the
-// uncommitted tail is discarded and regenerated from the checkpoint. The
-// one hole is the downstream sink itself throwing mid-flush (its state is
-// then unknown); such errors are foreign/non-retryable and end supervision.
+// Exactly-once delivery across restarts: the engine's sink sees events
+// past the last checkpoint before the next one commits, so a naive restart
+// would replay that tail into the downstream sink twice. The Supervisor
+// therefore interposes a commit buffer — events are held per simulated
+// minute and flushed downstream only when the engine checkpoints past that
+// minute; on failure the uncommitted tail is discarded and regenerated
+// from the checkpoint. Minute granularity makes the buffered window the
+// checkpoint interval, not a whole day. The one hole is the downstream
+// sink itself throwing mid-flush (its state is then unknown); such errors
+// are foreign/non-retryable and end supervision.
 //
 // The product of a supervised run is a RunReport: every attempt with its
 // day range, failure cause, retryability, and the backoff applied — the
@@ -24,6 +27,7 @@
 // transient faults are a matter of when, not if.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -37,13 +41,19 @@ struct SupervisorConfig {
   /// Restarts after the first attempt; attempts = max_restarts + 1.
   std::size_t max_restarts = 3;
   /// Backoff before restart k is initial * multiplier^(k-1) * (1 + U[0,
-  /// jitter)), with U drawn from a trace-seeded RNG.
+  /// jitter)), with U drawn from a seeded RNG (see backoff_seed).
   double backoff_initial_ms = 25.0;
   double backoff_multiplier = 2.0;
   double backoff_jitter = 0.25;
-  /// Buffer sink output per day and flush on checkpoint commit (see file
-  /// header). Disable only for idempotent sinks that tolerate replayed
-  /// partial days; the recovered stream then degrades to at-least-once.
+  /// Seed of the backoff-jitter RNG; unset derives it from the trace seed.
+  /// Two supervised runs with the same seed and failure schedule apply
+  /// identical backoff sequences (asserted in tests), which keeps chaos
+  /// runs reproducible end to end.
+  std::optional<std::uint64_t> backoff_seed;
+  /// Buffer sink output per simulated minute and flush on checkpoint
+  /// commit (see file header). Disable only for idempotent sinks that
+  /// tolerate replayed uncommitted tails; the recovered stream then
+  /// degrades to at-least-once.
   bool buffer_uncommitted = true;
 };
 
@@ -51,7 +61,13 @@ struct SupervisorConfig {
 struct SupervisorAttempt {
   std::size_t attempt = 0;      ///< 1-based
   std::size_t start_day = 0;    ///< day the attempt started/resumed from
-  std::size_t reached_day = 0;  ///< last committed day boundary
+  std::size_t reached_day = 0;  ///< day of the last committed checkpoint
+  /// Simulated-minute resolution of the same cursors: which absolute
+  /// minute the attempt resumed from and the clock_minute of its last
+  /// committed checkpoint (equal to the day cursors * 1440 when the engine
+  /// checkpoints at day boundaries only).
+  std::uint64_t start_minute = 0;
+  std::uint64_t reached_minute = 0;
   std::string error;            ///< empty when the attempt succeeded
   bool retryable = false;
   double backoff_ms = 0.0;      ///< wait applied before the next attempt

@@ -1,0 +1,78 @@
+// Minute-keyed exactly-once commit buffer for EventSink pipelines.
+//
+// The streaming engine delivers events ahead of its checkpoints: by the
+// time a checkpoint for clock minute M is recorded, fast workers may
+// already have pushed events past M through the consumer. A durable sink
+// (the trace store writer) that persists everything it has seen would
+// therefore hold events the checkpoint does not cover — and a crash +
+// resume from that checkpoint would regenerate and re-deliver them.
+// MinuteCommitBuffer closes that hole: it holds events grouped by absolute
+// simulated minute and forwards them downstream only when commit_through()
+// is called with a checkpoint's clock_minute, so the downstream sink's
+// state never runs ahead of the checkpoint that describes it. On a failed
+// attempt, discard() drops the uncommitted tail; the resume regenerates it
+// bit-identically from the checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "events/event_sink.hpp"
+
+namespace mtd {
+
+/// Buffers a typed event stream per absolute simulated minute and releases
+/// whole minutes downstream in minute order on commit_through(). Within a
+/// minute, arrival order is preserved, so each BS's subsequence reaches
+/// the downstream sink exactly in generation order.
+class MinuteCommitBuffer final : public EventSink {
+ public:
+  /// `downstream` must outlive the buffer. close() flushes every buffered
+  /// event but does NOT close the downstream sink — the pipeline owner
+  /// decides when the terminal sink closes.
+  explicit MinuteCommitBuffer(EventSink& downstream)
+      : downstream_(&downstream) {}
+
+  void on_event(const StreamEvent& event) override {
+    pending_[event.key.clock_minute()].push_back(event);
+    ++buffered_;
+  }
+
+  /// Flushes every buffered minute strictly below `clock_minute` (a
+  /// checkpoint cursor: the first minute NOT covered) downstream.
+  void commit_through(std::uint64_t clock_minute) {
+    while (!pending_.empty() && pending_.begin()->first < clock_minute) {
+      for (const StreamEvent& event : pending_.begin()->second) {
+        downstream_->on_event(event);
+        --buffered_;
+      }
+      pending_.erase(pending_.begin());
+    }
+  }
+
+  /// Drops the uncommitted tail (failed attempt; the resume regenerates
+  /// it). Never throws.
+  void discard() noexcept {
+    pending_.clear();
+    buffered_ = 0;
+  }
+
+  /// Events currently held back.
+  [[nodiscard]] std::uint64_t events_buffered() const noexcept {
+    return buffered_;
+  }
+
+  /// Flushes everything (end of a successful run where the caller wants
+  /// the full stream). Deliberately does not close the downstream sink.
+  void close() override {
+    commit_through(~std::uint64_t{0});
+  }
+
+ private:
+  EventSink* downstream_;
+  std::map<std::uint64_t, std::vector<StreamEvent>> pending_;
+  std::uint64_t buffered_ = 0;
+};
+
+}  // namespace mtd

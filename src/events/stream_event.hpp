@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/time_utils.hpp"
 #include "dataset/generator.hpp"
 #include "mobility/handover.hpp"
 #include "packet/packet_schedule.hpp"
@@ -94,6 +95,12 @@ struct EventKey {
   std::uint16_t day = 0;
   std::uint16_t minute_of_day = 0;
   std::uint64_t seq = 0;
+
+  /// Absolute simulated minute of the event — the granularity engine
+  /// checkpoints and exactly-once commit buffers cut the stream at.
+  [[nodiscard]] constexpr std::uint64_t clock_minute() const noexcept {
+    return static_cast<std::uint64_t>(day) * kMinutesPerDay + minute_of_day;
+  }
 
   friend constexpr auto operator<=>(const EventKey&,
                                     const EventKey&) noexcept = default;

@@ -274,6 +274,7 @@ Json to_json(const EngineConfig& config) {
   obj.emplace("telemetry_period_s", config.telemetry_period_s);
   obj.emplace("stop_after_days", config.stop_after_days);
   obj.emplace("checkpoint_path", config.checkpoint_path);
+  obj.emplace("checkpoint_interval_minutes", config.checkpoint_interval_minutes);
   obj.emplace("sink_error_policy", to_string(config.sink_error_policy));
   obj.emplace("watchdog_timeout_s", config.watchdog_timeout_s);
   obj.emplace("checkpoint_max_attempts", config.checkpoint_max_attempts);
@@ -287,8 +288,9 @@ void from_json(const Json& json, EngineConfig& config) {
              {"num_workers", "queue_capacity", "batch_size", "event_kinds",
               "mobility", "packet_schedule", "backpressure", "time_scale",
               "telemetry_period_s", "stop_after_days", "checkpoint_path",
-              "sink_error_policy", "watchdog_timeout_s",
-              "checkpoint_max_attempts", "checkpoint_backoff_ms"},
+              "checkpoint_interval_minutes", "sink_error_policy",
+              "watchdog_timeout_s", "checkpoint_max_attempts",
+              "checkpoint_backoff_ms"},
              "EngineConfig");
   config.num_workers = static_cast<std::size_t>(
       num_or(json, "num_workers", static_cast<double>(config.num_workers)));
@@ -321,6 +323,9 @@ void from_json(const Json& json, EngineConfig& config) {
   if (json.contains("checkpoint_path")) {
     config.checkpoint_path = json.at("checkpoint_path").as_string();
   }
+  config.checkpoint_interval_minutes = static_cast<std::size_t>(
+      num_or(json, "checkpoint_interval_minutes",
+             static_cast<double>(config.checkpoint_interval_minutes)));
   if (json.contains("sink_error_policy")) {
     config.sink_error_policy =
         sink_error_policy_from(json.at("sink_error_policy").as_string());

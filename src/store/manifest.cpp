@@ -114,6 +114,11 @@ std::string StoreManifest::to_text() const {
   }
   obj.emplace("events_by_kind", Json(std::move(by_kind)));
   obj.emplace("engine_next_day", static_cast<double>(engine_next_day));
+  // Opaque blob, written only when set — older manifests stay readable and
+  // stores never touched by the engine runner carry no dead field.
+  if (!engine_checkpoint.empty()) {
+    obj.emplace("engine_checkpoint", engine_checkpoint);
+  }
   JsonArray seg_arr;
   seg_arr.reserve(segments.size());
   for (const SegmentInfo& seg : segments) seg_arr.push_back(segment_to_json(seg));
@@ -155,6 +160,9 @@ StoreManifest StoreManifest::from_text(std::string_view text) {
   }
   manifest.engine_next_day =
       static_cast<std::int64_t>(json.at("engine_next_day").as_number());
+  if (json.contains("engine_checkpoint")) {
+    manifest.engine_checkpoint = json.at("engine_checkpoint").as_string();
+  }
   for (const Json& seg : json.at("segments").as_array()) {
     manifest.segments.push_back(segment_from_json(seg));
   }

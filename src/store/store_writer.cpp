@@ -2,6 +2,7 @@
 #include <array>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <utility>
 
 #include "common/error.hpp"
@@ -37,6 +38,7 @@ struct TraceStoreWriter::Impl {
   std::vector<StreamEvent> pending;
   std::array<std::uint64_t, kNumEventKinds> pending_by_kind{};
   std::int64_t pending_cursor = kNoCursor;
+  std::optional<std::string> pending_checkpoint;
   bool open = false;
 
   void commit();
@@ -165,6 +167,10 @@ void TraceStoreWriter::set_engine_cursor(std::size_t next_day) {
   impl_->pending_cursor = static_cast<std::int64_t>(next_day);
 }
 
+void TraceStoreWriter::set_engine_checkpoint(std::string checkpoint_json) {
+  impl_->pending_checkpoint = std::move(checkpoint_json);
+}
+
 const StoreManifest& TraceStoreWriter::manifest() const noexcept {
   return impl_->manifest;
 }
@@ -180,7 +186,10 @@ std::uint64_t TraceStoreWriter::events_committed() const noexcept {
 void TraceStoreWriter::Impl::commit() {
   const bool cursor_dirty =
       pending_cursor != kNoCursor && pending_cursor != manifest.engine_next_day;
-  if (pending.empty() && !cursor_dirty) return;
+  const bool checkpoint_dirty =
+      pending_checkpoint.has_value() &&
+      *pending_checkpoint != manifest.engine_checkpoint;
+  if (pending.empty() && !cursor_dirty && !checkpoint_dirty) return;
   if (!open) {
     throw IoError("TraceStoreWriter: commit on a closed store '" + path + "'",
                   false);
@@ -188,6 +197,9 @@ void TraceStoreWriter::Impl::commit() {
 
   StoreManifest next = manifest;
   if (pending_cursor != kNoCursor) next.engine_next_day = pending_cursor;
+  if (pending_checkpoint.has_value()) {
+    next.engine_checkpoint = *pending_checkpoint;
+  }
 
   std::string buf;
   if (!pending.empty()) {
@@ -231,6 +243,7 @@ void TraceStoreWriter::Impl::commit() {
   pending.clear();
   pending_by_kind = {};
   pending_cursor = kNoCursor;
+  pending_checkpoint.reset();
 }
 
 SegmentInfo TraceStoreWriter::Impl::build_segment(std::string& buf) const {

@@ -77,6 +77,13 @@ struct StoreManifest {
   /// Kept by run_engine_into_store so a resumed engine and its store agree
   /// on where the stream stopped.
   std::int64_t engine_next_day = -1;
+  /// Opaque engine checkpoint document (JSON text), published atomically
+  /// with the data it covers: run_engine_into_store records the engine's
+  /// checkpoint here at every commit, so after a crash the store itself
+  /// carries the exact resume point for its committed events — no separate
+  /// checkpoint file can drift from the data. Empty = never set. The store
+  /// layer treats it as a blob; serialized only when non-empty.
+  std::string engine_checkpoint;
   std::vector<SegmentInfo> segments;
 
   [[nodiscard]] std::uint64_t committed_bytes() const noexcept {
@@ -156,6 +163,12 @@ class TraceStoreWriter final : public EventSink {
 
   /// Records the engine resume cursor; published by the next commit().
   void set_engine_cursor(std::size_t next_day);
+
+  /// Records the engine checkpoint blob (JSON text) to publish with the
+  /// next commit(); data and resume point then become durable in the same
+  /// atomic manifest replace. An empty string clears the recorded
+  /// checkpoint.
+  void set_engine_checkpoint(std::string checkpoint_json);
 
   [[nodiscard]] const StoreManifest& manifest() const noexcept;
   [[nodiscard]] std::uint64_t events_pending() const noexcept;

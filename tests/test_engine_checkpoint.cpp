@@ -2,7 +2,10 @@
 
 #include <cstdio>
 #include <functional>
+#include <stdexcept>
 #include <string>
+#include <utility>
+#include <variant>
 #include <vector>
 
 #include "common/time_utils.hpp"
@@ -10,6 +13,8 @@
 #include "engine/checkpoint.hpp"
 #include "engine/engine.hpp"
 #include "common/fault.hpp"
+#include "events/commit_buffer.hpp"
+#include "events/event_sink.hpp"
 #include "io/json.hpp"
 
 namespace mtd {
@@ -426,6 +431,252 @@ TEST(EngineCheckpoint, ResumeMismatchNamesFieldAndBothValues) {
     StreamEngine fresh(network, trace);
     expect_message([&] { fresh.resume(beyond, sink); },
                    {"next_day=3", "beyond the horizon", "num_days=2"});
+  }
+}
+
+/// EventSink-side recorder (the typed pipeline's analogue of
+/// RecordingSink): per-BS session sequences plus a minute-event count, so
+/// mid-day resumes can be compared for bit-identical content and order.
+struct SessionEventRecorder final : EventSink {
+  std::vector<std::vector<Session>> per_bs;
+  std::uint64_t minutes = 0;
+
+  explicit SessionEventRecorder(std::size_t num_bs) : per_bs(num_bs) {}
+
+  void on_event(const StreamEvent& event) override {
+    if (event.kind() == EventKind::kSession) {
+      per_bs[event.key.bs].push_back(
+          std::get<SessionEvent>(event.payload).session);
+    } else if (event.kind() == EventKind::kMinute) {
+      ++minutes;
+    }
+  }
+};
+
+void expect_identical_events(const SessionEventRecorder& a,
+                             const SessionEventRecorder& b) {
+  EXPECT_EQ(a.minutes, b.minutes);
+  ASSERT_EQ(a.per_bs.size(), b.per_bs.size());
+  for (std::size_t bs = 0; bs < a.per_bs.size(); ++bs) {
+    ASSERT_EQ(a.per_bs[bs].size(), b.per_bs[bs].size()) << "bs " << bs;
+    for (std::size_t i = 0; i < a.per_bs[bs].size(); ++i) {
+      const Session& x = a.per_bs[bs][i];
+      const Session& y = b.per_bs[bs][i];
+      EXPECT_EQ(x.day, y.day);
+      EXPECT_EQ(x.minute_of_day, y.minute_of_day);
+      EXPECT_EQ(x.service, y.service);
+      EXPECT_DOUBLE_EQ(x.duration_s, y.duration_s);
+      EXPECT_DOUBLE_EQ(x.volume_mb, y.volume_mb);
+    }
+  }
+}
+
+// The tentpole mid-day guarantee: crash at a minute-interval mark strictly
+// inside a day, resume from the v2 checkpoint with a different worker
+// count, and the committed-prefix + regenerated-tail stream is
+// bit-identical to an uninterrupted run. The crash leg follows the
+// supervisor's protocol: commit the buffered prefix through the mark,
+// discard the uncommitted tail, resume through a JSON round trip.
+TEST(EngineCheckpoint, MidDayStopAndResumeIsBitIdentical) {
+  const Network network = make_network();
+  const TraceConfig trace = make_trace(2);
+
+  SessionEventRecorder uninterrupted(network.size());
+  StreamEngine full(network, trace);
+  const EngineResult full_result =
+      full.run(static_cast<EventSink&>(uninterrupted));
+  EXPECT_TRUE(full_result.checkpoint.complete());
+
+  // Leg 1: crash at the FIRST mid-day mark, after committing minutes
+  // strictly below it (exactly what the store runner does per mark).
+  SessionEventRecorder resumed(network.size());
+  MinuteCommitBuffer buffer(resumed);
+  EngineConfig first_leg;
+  first_leg.num_workers = 2;
+  first_leg.checkpoint_interval_minutes = 311;  // does not divide 1440
+  StreamEngine leg1(network, trace, first_leg);
+  EngineCheckpoint saved;
+  bool have_mark = false;
+  leg1.on_checkpoint([&](const EngineCheckpoint& cp) {
+    buffer.commit_through(cp.clock_minute);
+    if (cp.mid_day() && !have_mark) {
+      saved = cp;
+      have_mark = true;
+      throw std::runtime_error("simulated crash at the minute mark");
+    }
+  });
+  bool crashed = false;
+  try {
+    static_cast<void>(leg1.run(buffer));
+  } catch (const std::exception&) {
+    crashed = true;
+  }
+  ASSERT_TRUE(crashed);
+  ASSERT_TRUE(have_mark);
+  EXPECT_EQ(saved.clock_minute, 311u);
+  EXPECT_EQ(saved.next_day, 0u);
+  ASSERT_TRUE(saved.mid_day());
+  ASSERT_EQ(saved.bs_states.size(), network.size());
+  buffer.discard();  // the uncommitted tail regenerates from the mark
+
+  // Leg 2: different sharding, checkpoint reloaded from its serialized
+  // text — the same path a post-crash recovery takes.
+  EngineConfig second_leg;
+  second_leg.num_workers = 4;
+  second_leg.checkpoint_interval_minutes = 311;
+  StreamEngine leg2(network, trace, second_leg);
+  const EngineCheckpoint reloaded =
+      EngineCheckpoint::from_json(Json::parse(saved.to_json().dump(2)));
+  MinuteCommitBuffer tail(resumed);
+  const EngineResult result = leg2.resume(reloaded, tail);
+  tail.close();
+  EXPECT_TRUE(result.checkpoint.complete());
+  EXPECT_EQ(tail.events_buffered(), 0u);
+
+  expect_identical_events(resumed, uninterrupted);
+  EXPECT_EQ(result.checkpoint.sessions_emitted,
+            full_result.checkpoint.sessions_emitted);
+  EXPECT_EQ(result.checkpoint.minutes_emitted,
+            full_result.checkpoint.minutes_emitted);
+  EXPECT_DOUBLE_EQ(result.checkpoint.volume_mb,
+                   full_result.checkpoint.volume_mb);
+}
+
+TEST(EngineCheckpoint, MidDayJsonRoundTripPreservesRawStreams) {
+  EngineCheckpoint cp;
+  cp.seed = 0x123456789abcdef0ULL;
+  cp.num_days = 3;
+  cp.next_day = 1;
+  cp.clock_minute = kMinutesPerDay + 290;  // minute 290 of day 1
+  cp.sessions_emitted = (1ull << 55) + 7;  // beyond double precision
+  cp.minutes_emitted = 4321;
+  cp.segments_emitted = 99;
+  cp.packets_emitted = 100000;
+  cp.volume_mb = 6.5e3;
+  cp.shards = {{0, 1, 10}, {1, 1, 20}};
+  EngineBsCursor a;
+  a.bs = 0;
+  a.session_rng = Rng::FullState{
+      {0xdeadbeefULL, 2, 3, ~std::uint64_t{0}}, true, -1.2345678901234567};
+  a.segment_rng = Rng::FullState{{5, 6, 7, 8}, false, 0.0};
+  a.packet_rng = Rng::FullState{{9, 10, 11, (1ull << 63)}, true, 0.25};
+  a.next_seq = (1ull << 60) + 1;
+  a.day_volume_mb = 0.123456789012345;
+  EngineBsCursor b;
+  b.bs = 5;  // indices need not be dense, only ascending
+  b.session_rng = Rng::FullState{{13, 14, 15, 16}, false, 0.0};
+  b.segment_rng = b.session_rng;
+  b.packet_rng = b.session_rng;
+  b.next_seq = 17;
+  b.day_volume_mb = 1e-12;
+  cp.bs_states = {a, b};
+
+  const EngineCheckpoint back =
+      EngineCheckpoint::from_json(Json::parse(cp.to_json().dump(2)));
+  EXPECT_EQ(back.clock_minute, cp.clock_minute);
+  EXPECT_TRUE(back.mid_day());
+  EXPECT_EQ(back.segments_emitted, 99u);
+  EXPECT_EQ(back.packets_emitted, 100000u);
+  ASSERT_EQ(back.bs_states.size(), 2u);
+  EXPECT_EQ(back.bs_states[0].bs, 0u);
+  EXPECT_TRUE(back.bs_states[0].session_rng == a.session_rng);
+  EXPECT_TRUE(back.bs_states[0].segment_rng == a.segment_rng);
+  EXPECT_TRUE(back.bs_states[0].packet_rng == a.packet_rng);
+  EXPECT_EQ(back.bs_states[0].next_seq, a.next_seq);
+  EXPECT_DOUBLE_EQ(back.bs_states[0].day_volume_mb, a.day_volume_mb);
+  EXPECT_EQ(back.bs_states[1].bs, 5u);
+  EXPECT_TRUE(back.bs_states[1].session_rng == b.session_rng);
+  EXPECT_EQ(back.bs_states[1].next_seq, 17u);
+}
+
+// Files written by the retired v1 day-boundary format (hand-built here
+// byte-for-byte as the old writer emitted them) must keep loading.
+TEST(EngineCheckpoint, V1DayBoundaryDocumentsStillLoad) {
+  const char* doc = R"json({
+    "format": "mtd-engine-checkpoint-v1",
+    "seed": "0x4d",
+    "num_days": 3,
+    "rate_scale": 1.5,
+    "weekend_rate_factor": 0.85,
+    "network_fingerprint": "0xfeedface",
+    "next_day": 2,
+    "clock_minute": 2880,
+    "sessions_emitted": "0x64",
+    "minutes_emitted": "0x5a0",
+    "volume_mb": 12.5,
+    "shards": [
+      {"shard": 0, "next_day": 2, "sessions_produced": "0x32"},
+      {"shard": 1, "next_day": 2, "sessions_produced": "0x32"}
+    ]
+  })json";
+  const EngineCheckpoint cp = EngineCheckpoint::from_json(Json::parse(doc));
+  EXPECT_EQ(cp.seed, 0x4du);
+  EXPECT_EQ(cp.num_days, 3u);
+  EXPECT_DOUBLE_EQ(cp.rate_scale, 1.5);
+  EXPECT_EQ(cp.network_fingerprint, 0xfeedfaceu);
+  EXPECT_EQ(cp.next_day, 2u);
+  EXPECT_EQ(cp.clock_minute, 2u * kMinutesPerDay);
+  EXPECT_EQ(cp.sessions_emitted, 0x64u);
+  EXPECT_EQ(cp.minutes_emitted, 0x5a0u);
+  EXPECT_EQ(cp.segments_emitted, 0u);  // v1 predates segment expansion
+  EXPECT_EQ(cp.packets_emitted, 0u);
+  EXPECT_TRUE(cp.bs_states.empty());  // v1 is day-boundary only
+  EXPECT_FALSE(cp.mid_day());
+  ASSERT_EQ(cp.shards.size(), 2u);
+  EXPECT_EQ(cp.shards[1].sessions_produced, 0x32u);
+
+  // A v1 cursor off a day boundary is rejected: the format cannot express
+  // mid-day state, so such a file can only be corrupt.
+  Json bad = Json::parse(doc);
+  bad.as_object().at("clock_minute") = Json(std::size_t(2879));
+  EXPECT_THROW(EngineCheckpoint::from_json(bad), ParseError);
+}
+
+// The v2 consistency rules: a mid-day cursor needs raw stream state, a
+// day-boundary cursor must not carry any, and both cursor fields and the
+// bs_states ordering are validated — a checkpoint that lies about where
+// the replay stopped must never load.
+TEST(EngineCheckpoint, V2ValidationRejectsInconsistentCursorState) {
+  EngineCheckpoint cp;
+  cp.num_days = 2;
+  cp.next_day = 0;
+  cp.clock_minute = 311;
+  cp.shards = {{0, 0, 5}};
+  EngineBsCursor s0;
+  s0.bs = 0;
+  EngineBsCursor s1;
+  s1.bs = 1;
+  cp.bs_states = {s0, s1};
+  const Json good = cp.to_json();
+  EXPECT_EQ(EngineCheckpoint::from_json(good).bs_states.size(), 2u);
+
+  {  // clock_minute outside day next_day
+    Json bad = good;
+    bad.as_object().at("clock_minute") = Json(std::size_t(1441));
+    EXPECT_THROW(EngineCheckpoint::from_json(bad), ParseError);
+  }
+  {  // bs_states out of order
+    Json bad = good;
+    auto& arr = bad.as_object().at("bs_states").as_array();
+    std::swap(arr[0], arr[1]);
+    EXPECT_THROW(EngineCheckpoint::from_json(bad), ParseError);
+  }
+  {  // a mid-day cursor with no stream state to resume from
+    Json bad = good;
+    bad.as_object().erase("bs_states");
+    EXPECT_THROW(EngineCheckpoint::from_json(bad), ParseError);
+  }
+  {  // a day-boundary cursor carrying raw streams
+    Json bad = good;
+    bad.as_object().at("next_day") = Json(std::size_t(1));
+    bad.as_object().at("clock_minute") =
+        Json(std::size_t(kMinutesPerDay));
+    bad.as_object()
+        .at("shards")
+        .as_array()[0]
+        .as_object()
+        .at("next_day") = Json(std::size_t(1));
+    EXPECT_THROW(EngineCheckpoint::from_json(bad), ParseError);
   }
 }
 

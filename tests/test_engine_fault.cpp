@@ -502,6 +502,98 @@ TEST(Supervisor, GivesUpAfterTheRestartBudget) {
   EXPECT_EQ(sink.sessions, 0u);  // nothing ever committed downstream
 }
 
+// Backoff jitter comes from a seeded RNG: the same seed and failure
+// schedule replay the exact same wait sequence, and the default seed is
+// derived from the trace seed so even unconfigured runs are reproducible.
+TEST(Supervisor, BackoffJitterIsSeededAndReproducible) {
+  const Network network = make_network(6);
+  const TraceConfig trace = make_trace(2);
+
+  const auto backoffs = [&](std::optional<std::uint64_t> seed) {
+    FaultInjector fault;
+    FaultSpec spec;
+    spec.times = FaultSpec::kUnlimited;  // every attempt fails the same way
+    fault.arm("worker.day", spec);
+    EngineConfig config;
+    config.fault = &fault;
+    SupervisorConfig sup;
+    sup.max_restarts = 3;
+    sup.backoff_initial_ms = 1.0;
+    sup.backoff_seed = seed;
+    Supervisor supervisor(network, trace, config, sup);
+    CountingSink sink;
+    const RunReport report = supervisor.run(sink);
+    EXPECT_FALSE(report.succeeded);
+    EXPECT_EQ(report.attempts.size(), 4u);
+    std::vector<double> waits;
+    for (const SupervisorAttempt& a : report.attempts) {
+      waits.push_back(a.backoff_ms);
+    }
+    return waits;
+  };
+
+  const std::vector<double> seeded = backoffs(1234);
+  EXPECT_EQ(seeded, backoffs(1234));
+  EXPECT_NE(seeded, backoffs(99));
+  EXPECT_EQ(backoffs(std::nullopt), backoffs(std::nullopt));
+}
+
+// Minute-granularity recovery: with checkpoint_interval_minutes set, a
+// worker fault deep inside day 0 resumes from the last mid-day mark — not
+// from the day boundary — and the recovered stream is still bit-identical.
+TEST(Supervisor, MidDayRecoveryResumesFromTheMinuteMark) {
+  const Network network = make_network(10);
+  const TraceConfig trace = make_trace(2);
+
+  RecordingSink clean(network.size());
+  StreamEngine reference(network, trace);
+  static_cast<void>(reference.run(clean));
+
+  // Probe day 0's session count so the fault can be pinned deep inside the
+  // day (three quarters in — far past the first 173-minute mark, with the
+  // diurnal profile concentrating arrivals in the afternoon and evening).
+  const std::uint64_t day0_sessions = [&] {
+    EngineConfig probe_config;
+    probe_config.stop_after_days = 1;
+    StreamEngine probe(network, trace, probe_config);
+    CountingSink counter;
+    static_cast<void>(probe.run(counter));
+    return counter.sessions;
+  }();
+  ASSERT_GT(day0_sessions, 8u);
+
+  FaultInjector fault;
+  FaultSpec spec;
+  spec.after = (day0_sessions / 4) * 3;
+  fault.arm("worker.session", spec);
+  EngineConfig config;
+  config.num_workers = 2;
+  config.checkpoint_interval_minutes = 173;  // does not divide 1440
+  config.fault = &fault;
+  SupervisorConfig sup;
+  sup.max_restarts = 1;
+  sup.backoff_initial_ms = 1.0;
+  Supervisor supervisor(network, trace, config, sup);
+  RecordingSink recovered(network.size());
+  const RunReport report = supervisor.run(recovered);
+
+  ASSERT_TRUE(report.succeeded) << report.to_json().dump(2);
+  ASSERT_EQ(report.attempts.size(), 2u);
+  EXPECT_NE(report.attempts[0].error.find("worker.session"),
+            std::string::npos);
+  // The restart picked up at a committed minute mark strictly inside day 0.
+  EXPECT_EQ(report.attempts[0].reached_day, 0u);
+  EXPECT_EQ(report.attempts[1].start_day, 0u);
+  const std::uint64_t resumed_at = report.attempts[1].start_minute;
+  EXPECT_GT(resumed_at, 0u);
+  EXPECT_NE(resumed_at % kMinutesPerDay, 0u);
+  EXPECT_EQ(resumed_at % 173, 0u);
+  EXPECT_EQ(report.attempts[0].reached_minute, resumed_at);
+
+  expect_identical_streams(recovered, clean);
+  EXPECT_EQ(recovered.minutes, clean.minutes);
+}
+
 TEST(Supervisor, CleanRunReportsOneAttempt) {
   const Network network = make_network(6);
   const TraceConfig trace = make_trace(2);

@@ -1,0 +1,129 @@
+// Grep fixture for the fault-point registry: walks the shipped sources,
+// extracts every compiled-in fault_fire site, and requires set equality
+// with FaultInjector::known_points() in both directions. Adding a new
+// fire site without registering it (or registering a point with no site)
+// fails this test — the chaos soak arms the registry exhaustively, so an
+// unregistered point would silently escape fault coverage.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fault.hpp"
+
+namespace mtd {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_whole_file(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Splits source text into lines; the scanner works line-wise so it can
+/// pair a `fault_fire(` opener with a literal on the continuation line.
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Quoted dotted-lowercase names ("worker.day", "store.commit.sync") — the
+/// naming shape every fault point follows.
+void collect_point_literals(const std::string& line,
+                            std::set<std::string>& out) {
+  static const std::regex kPoint("\"([a-z]+(?:\\.[a-z]+){1,2})\"");
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), kPoint);
+       it != std::sregex_iterator(); ++it) {
+    out.insert((*it)[1].str());
+  }
+}
+
+TEST(FaultPoints, RegistryCoversEveryFireSite) {
+  const fs::path src_root = fs::path(MTD_LINT_SOURCE_DIR) / "src";
+  ASSERT_TRUE(fs::exists(src_root)) << src_root;
+
+  std::set<std::string> sites;
+  std::vector<std::string> unresolved;
+  for (const auto& entry : fs::recursive_directory_iterator(src_root)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& path = entry.path();
+    const std::string ext = path.extension().string();
+    if (ext != ".cpp" && ext != ".hpp") continue;
+    // The registry's own definition and the injector implementation spell
+    // out every point by name; scanning them would make the test a
+    // tautology.
+    if (path.filename() == "fault.cpp" || path.filename() == "fault.hpp") {
+      continue;
+    }
+
+    const std::vector<std::string> lines = split_lines(read_whole_file(path));
+    bool in_sink_table = false;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const std::string& line = lines[i];
+      // The per-kind sink dispatch table (engine.cpp kSinkFaultPoint) is a
+      // fire site whose literals live in an array initializer, not in the
+      // fault_fire call itself.
+      if (line.find("kSinkFaultPoint[") != std::string::npos &&
+          line.find("constexpr") != std::string::npos) {
+        in_sink_table = true;
+      }
+      if (in_sink_table) {
+        collect_point_literals(line, sites);
+        if (line.find(';') != std::string::npos) in_sink_table = false;
+        continue;
+      }
+      if (line.find("fault_fire(") == std::string::npos) continue;
+      std::set<std::string> found;
+      collect_point_literals(line, found);
+      std::string window = line;
+      if (found.empty() && i + 1 < lines.size()) {
+        collect_point_literals(lines[i + 1], found);
+        window += lines[i + 1];
+      }
+      if (!found.empty()) {
+        sites.insert(found.begin(), found.end());
+      } else if (window.find("kSinkFaultPoint") == std::string::npos) {
+        // A site this fixture cannot resolve to a name defeats the
+        // coverage guarantee; keep fire sites greppable.
+        unresolved.push_back(path.string() + ":" + std::to_string(i + 1) +
+                             ": " + line);
+      }
+    }
+  }
+  EXPECT_TRUE(unresolved.empty()) << "fault_fire sites without a resolvable "
+                                     "point name:\n"
+                                  << ::testing::PrintToString(unresolved);
+  ASSERT_FALSE(sites.empty());
+
+  const std::vector<std::string>& registry = FaultInjector::known_points();
+  const std::set<std::string> registered(registry.begin(), registry.end());
+
+  // The registry list itself is sorted and duplicate-free (mtd_chaos
+  // prints and arms it in this order).
+  EXPECT_TRUE(std::is_sorted(registry.begin(), registry.end()));
+  EXPECT_EQ(registered.size(), registry.size());
+
+  for (const std::string& site : sites) {
+    EXPECT_TRUE(registered.count(site) != 0)
+        << "fire site '" << site << "' is not in FaultInjector::known_points()";
+  }
+  for (const std::string& point : registered) {
+    EXPECT_TRUE(sites.count(point) != 0)
+        << "registered point '" << point << "' has no fault_fire site";
+  }
+}
+
+}  // namespace
+}  // namespace mtd

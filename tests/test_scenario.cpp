@@ -98,6 +98,7 @@ TEST(ScenarioJson, EngineConfigRoundTrip) {
   config.telemetry_period_s = 2.5;
   config.stop_after_days = 3;
   config.checkpoint_path = "out/cp.json";
+  config.checkpoint_interval_minutes = 173;
   EngineConfig restored;
   from_json(to_json(config), restored);
   EXPECT_EQ(restored.num_workers, 6u);
@@ -111,6 +112,7 @@ TEST(ScenarioJson, EngineConfigRoundTrip) {
   EXPECT_DOUBLE_EQ(restored.telemetry_period_s, 2.5);
   EXPECT_EQ(restored.stop_after_days, 3u);
   EXPECT_EQ(restored.checkpoint_path, "out/cp.json");
+  EXPECT_EQ(restored.checkpoint_interval_minutes, 173u);
 }
 
 TEST(ScenarioJson, EngineEventKindNamesAreStable) {

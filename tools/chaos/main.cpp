@@ -1,0 +1,656 @@
+// mtd_chaos: long-horizon chaos-soak endurance driver (DESIGN.md §13).
+//
+// Proves the whole recovery stack — minute-granularity v2 checkpoints,
+// supervised restarts, the trace store's crash-safe commit protocol, and
+// the exactly-once minute commit buffer — by running the paper's 45-day
+// replay twice with the same seed:
+//
+//   1. a clean, fault-free run into a reference store (also counting how
+//      often every compiled-in fault point is reached), then
+//   2. a chaos run into a second store, where every registered fault point
+//      is armed from a seeded schedule, whole "process incarnations" are
+//      killed with foreign exceptions mid-run, and the store's page file
+//      is tampered with between incarnations (garbage appended to / torn
+//      off the uncommitted tail — never the committed prefix).
+//
+// The run passes only if the chaos store ends bit-identical to the clean
+// one: same final checkpoint counters, same replay digest, same per-BS
+// scan digests, and both stores verify page-by-page. Every attempt's
+// final telemetry must satisfy the per-kind conservation identity
+// produced == consumed + dropped + sink_errors + discarded.
+//
+// Usage: mtd_chaos [--days N] [--bs N] [--workers N] [--seed S]
+//                  [--interval MIN] [--faults all|none] [--fault-seed S]
+//                  [--incarnations K] [--max-restarts R] [--rate-scale X]
+//                  [--kinds replay|segments|all] [--dir PATH] [--keep]
+//                  [--json] [--list-fault-points]
+// Env: MTD_SOAK_FAST=1 shrinks the horizon to a CI-sized smoke (~2 days).
+// Exit codes: 0 identical, 1 divergence/failure, 2 usage error.
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/rng.hpp"
+#include "engine/checkpoint.hpp"
+#include "engine/engine.hpp"
+#include "engine/store_runner.hpp"
+#include "engine/telemetry.hpp"
+#include "events/event_codec.hpp"
+#include "io/json.hpp"
+#include "store/trace_store.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using mtd::EngineCheckpoint;
+using mtd::EngineConfig;
+using mtd::EventKindMask;
+using mtd::FaultAction;
+using mtd::FaultInjector;
+using mtd::FaultSpec;
+using mtd::Json;
+using mtd::JsonArray;
+using mtd::JsonObject;
+using mtd::Network;
+using mtd::Rng;
+using mtd::StreamEngine;
+using mtd::StreamEvent;
+using mtd::TelemetrySnapshot;
+using mtd::TraceConfig;
+
+struct Options {
+  std::size_t days = 45;
+  std::size_t num_bs = 10;
+  std::size_t workers = 3;
+  std::uint64_t seed = 42;
+  /// Mid-day checkpoint interval; deliberately does not divide 1440, so
+  /// marks land at a different minute-of-day every day.
+  std::size_t interval_minutes = 173;
+  bool faults = true;
+  std::uint64_t fault_seed = 0x63686173ULL;  // "chas"
+  std::size_t incarnations = 8;
+  std::size_t max_restarts = 14;
+  /// Default well below 1.0: the soak's subject is the recovery protocol,
+  /// not raw throughput, and 45 days at full paper rates is a multi-GB
+  /// store. --rate-scale 1.0 restores full load.
+  double rate_scale = 0.2;
+  std::string kinds = "segments";
+  std::string dir;
+  bool keep = false;
+  bool json = false;
+  bool list_points = false;
+};
+
+void print_usage() {
+  std::fputs(
+      "usage: mtd_chaos [--days N] [--bs N] [--workers N] [--seed S]\n"
+      "                 [--interval MIN] [--faults all|none]\n"
+      "                 [--fault-seed S] [--incarnations K]\n"
+      "                 [--max-restarts R] [--rate-scale X]\n"
+      "                 [--kinds replay|segments|all] [--dir PATH]\n"
+      "                 [--keep] [--json] [--list-fault-points]\n"
+      "\n"
+      "Chaos-soak endurance driver: replays the same seeded trace clean\n"
+      "and under exhaustive fault injection + simulated process kills +\n"
+      "store tampering, and requires the two stores to end bit-identical.\n"
+      "MTD_SOAK_FAST=1 shrinks the horizon for CI smoke runs.\n",
+      stderr);
+}
+
+std::uint64_t parse_u64(std::string_view arg, const char* what) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(arg.data(), arg.data() + arg.size(), v);
+  if (ec != std::errc{} || ptr != arg.data() + arg.size()) {
+    throw mtd::InvalidArgument("mtd_chaos: bad " + std::string(what) + " '" +
+                               std::string(arg) + "'");
+  }
+  return v;
+}
+
+double parse_double(std::string_view arg, const char* what) {
+  const std::string s(arg);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) {
+    throw mtd::InvalidArgument("mtd_chaos: bad " + std::string(what) + " '" +
+                               s + "'");
+  }
+  return v;
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> std::string_view {
+      if (i + 1 >= argc) {
+        throw mtd::InvalidArgument("mtd_chaos: " + std::string(arg) +
+                                   " needs a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--days") {
+      opt.days = parse_u64(value(), "--days");
+    } else if (arg == "--bs") {
+      opt.num_bs = parse_u64(value(), "--bs");
+    } else if (arg == "--workers") {
+      opt.workers = parse_u64(value(), "--workers");
+    } else if (arg == "--seed") {
+      opt.seed = parse_u64(value(), "--seed");
+    } else if (arg == "--interval") {
+      opt.interval_minutes = parse_u64(value(), "--interval");
+    } else if (arg == "--faults") {
+      const std::string_view v = value();
+      if (v == "all") {
+        opt.faults = true;
+      } else if (v == "none") {
+        opt.faults = false;
+      } else {
+        throw mtd::InvalidArgument("mtd_chaos: --faults must be all|none");
+      }
+    } else if (arg == "--fault-seed") {
+      opt.fault_seed = parse_u64(value(), "--fault-seed");
+    } else if (arg == "--incarnations") {
+      opt.incarnations = parse_u64(value(), "--incarnations");
+    } else if (arg == "--max-restarts") {
+      opt.max_restarts = parse_u64(value(), "--max-restarts");
+    } else if (arg == "--rate-scale") {
+      opt.rate_scale = parse_double(value(), "--rate-scale");
+    } else if (arg == "--kinds") {
+      const std::string_view v = value();
+      if (v != "replay" && v != "segments" && v != "all") {
+        throw mtd::InvalidArgument(
+            "mtd_chaos: --kinds must be replay|segments|all");
+      }
+      opt.kinds = std::string(v);
+    } else if (arg == "--dir") {
+      opt.dir = std::string(value());
+    } else if (arg == "--keep") {
+      opt.keep = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--list-fault-points") {
+      opt.list_points = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      std::exit(0);
+    } else {
+      throw mtd::InvalidArgument("mtd_chaos: unknown flag '" +
+                                 std::string(arg) + "'");
+    }
+  }
+  // CI smoke profile: same machinery, minutes-not-hours horizon. Packet
+  // expansion stays off — a single session can expand into millions of
+  // packet events (PacketScheduleConfig::max_packets), which is throughput
+  // territory, not a recovery-protocol test.
+  if (const char* fast = std::getenv("MTD_SOAK_FAST");
+      fast != nullptr && fast[0] != '\0' && fast != std::string_view("0")) {
+    opt.days = std::min<std::size_t>(opt.days, 2);
+    opt.num_bs = std::min<std::size_t>(opt.num_bs, 6);
+    opt.incarnations = std::min<std::size_t>(opt.incarnations, 3);
+    opt.rate_scale = std::min(opt.rate_scale, 0.25);
+  }
+  return opt;
+}
+
+Network make_network(std::size_t n) {
+  if (n >= mtd::kNumDeciles) {
+    mtd::NetworkConfig config;
+    config.num_bs = n;
+    config.last_decile_rate = 25.0;
+    Rng rng(9);
+    return Network::build(config, rng);
+  }
+  std::vector<mtd::BaseStation> bss(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bss[i].decile = static_cast<std::uint8_t>((i * mtd::kNumDeciles) / n);
+    bss[i].peak_rate = 5.0 + 3.0 * static_cast<double>(i);
+    bss[i].offpeak_scale = 0.25;
+  }
+  return Network::from_base_stations(std::move(bss));
+}
+
+EventKindMask kinds_mask(const std::string& kinds) {
+  if (kinds == "replay") return EventKindMask::session_replay();
+  if (kinds == "all") return EventKindMask::all();
+  return EventKindMask::session_replay().set(mtd::EventKind::kSegment);
+}
+
+/// Order-sensitive FNV-1a over the canonical binary encoding of every
+/// event it sees (the codec covers kind, key, and payload), so two stores
+/// digest equal iff their replayed streams are bit-identical.
+class DigestSink final : public mtd::EventSink {
+ public:
+  void on_event(const StreamEvent& event) override {
+    char buf[mtd::kMaxEventPayloadBytes];
+    const std::size_t len = mtd::encode_event_payload(event, buf);
+    for (std::size_t i = 0; i < len; ++i) {
+      hash_ ^= static_cast<unsigned char>(buf[i]);
+      hash_ *= 0x100000001b3ULL;
+    }
+    ++count_;
+  }
+  [[nodiscard]] std::uint64_t hash() const noexcept { return hash_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+  std::uint64_t count_ = 0;
+};
+
+/// Everything we compare between the clean and the chaos store.
+struct RunFingerprint {
+  EngineCheckpoint checkpoint;
+  std::uint64_t replay_hash = 0;
+  std::uint64_t replay_count = 0;
+  std::vector<std::uint64_t> scan_hashes;  // one per BS
+  std::uint64_t verified_pages = 0;
+};
+
+RunFingerprint fingerprint_store(const std::string& path, std::size_t num_bs,
+                                 std::size_t days,
+                                 const EngineCheckpoint& final_checkpoint) {
+  RunFingerprint fp;
+  fp.checkpoint = final_checkpoint;
+  mtd::store::TraceStore reader(path);
+  DigestSink digest;
+  fp.replay_count = reader.replay(digest);
+  fp.replay_hash = digest.hash();
+  const auto day_hi = static_cast<std::uint16_t>(days == 0 ? 0 : days - 1);
+  for (std::size_t bs = 0; bs < num_bs; ++bs) {
+    DigestSink per_bs;
+    reader.scan(static_cast<std::uint32_t>(bs), 0, day_hi,
+                [&per_bs](const StreamEvent& ev) { per_bs.on_event(ev); });
+    fp.scan_hashes.push_back(per_bs.hash());
+  }
+  fp.verified_pages = reader.verify().pages;
+  return fp;
+}
+
+struct AttemptRecord {
+  std::size_t incarnation = 0;
+  std::size_t attempt = 0;
+  std::uint64_t start_minute = 0;
+  std::uint64_t reached_minute = 0;
+  std::string error;
+  bool retryable = false;
+  bool conservation_ok = true;
+};
+
+struct ChaosOutcome {
+  bool completed = false;
+  bool conservation_ok = true;
+  std::size_t incarnations = 0;
+  std::size_t kills = 0;
+  std::size_t tampers = 0;
+  std::vector<AttemptRecord> attempts;
+  std::map<std::string, std::uint64_t> fired;
+  EngineCheckpoint final_checkpoint;
+};
+
+EngineConfig make_engine_config(const Options& opt, FaultInjector* fault,
+                                const std::string& checkpoint_path) {
+  EngineConfig config;
+  config.num_workers = opt.workers;
+  config.event_kinds = kinds_mask(opt.kinds);
+  config.checkpoint_interval_minutes = opt.interval_minutes;
+  config.checkpoint_path = checkpoint_path;
+  config.queue_capacity = 256;
+  config.batch_size = 32;
+  config.fault = fault;
+  return config;
+}
+
+TraceConfig make_trace(const Options& opt) {
+  TraceConfig trace;
+  trace.num_days = opt.days;
+  trace.seed = opt.seed;
+  trace.rate_scale = opt.rate_scale;
+  return trace;
+}
+
+/// Seeded tampering with the chaos store between incarnations: appends
+/// garbage past the committed length, or tears bytes off the uncommitted
+/// tail. The committed prefix is never touched — the point is to prove the
+/// writer reclaims anything the manifest does not vouch for.
+void tamper_store(const std::string& store_path, Rng& rng) {
+  const mtd::store::StoreManifest manifest =
+      mtd::store::StoreManifest::load(store_path);
+  const std::string pages = store_path + ".pages";
+  const std::uint64_t committed = manifest.committed_bytes();
+  std::error_code ec;
+  const std::uint64_t size = fs::file_size(pages, ec);
+  if (ec || size < committed) return;  // reader will report it; not ours
+  if (rng.bernoulli(0.5)) {
+    // Garbage append: a torn post-crash write beyond the committed length.
+    const std::size_t len = 1 + static_cast<std::size_t>(
+                                    rng.uniform_index(2 * 4096));
+    std::string junk(len, '\0');
+    for (char& c : junk) c = static_cast<char>(rng.next_u64() & 0xff);
+    std::ofstream out(pages, std::ios::binary | std::ios::app);
+    out.write(junk.data(), static_cast<std::streamsize>(junk.size()));
+  } else if (size > committed) {
+    // Tear: truncate somewhere inside the uncommitted tail.
+    const std::uint64_t keep =
+        committed + rng.uniform_index(size - committed + 1);
+    fs::resize_file(pages, keep, ec);
+  }
+}
+
+/// One "process incarnation": a bounded-restart supervision loop around
+/// resume_engine_into_store, reopening the store from disk on every
+/// attempt exactly as a freshly exec'd process would. Returns true when
+/// the replay ran to the horizon.
+bool run_incarnation(const Options& opt, const Network& network,
+                     const TraceConfig& trace, const std::string& store_path,
+                     const std::string& checkpoint_path,
+                     FaultInjector* injector, std::size_t incarnation,
+                     ChaosOutcome& outcome) {
+  for (std::size_t attempt = 1; attempt <= opt.max_restarts + 1; ++attempt) {
+    AttemptRecord record;
+    record.incarnation = incarnation;
+    record.attempt = attempt;
+
+    StreamEngine engine(network, trace,
+                        make_engine_config(opt, injector, checkpoint_path));
+    TelemetrySnapshot last_snapshot;
+    engine.on_snapshot([&last_snapshot](const TelemetrySnapshot& snapshot) {
+      last_snapshot = snapshot;
+    });
+
+    bool retry = false;
+    try {
+      // Fresh handles per attempt: state crosses attempts only through the
+      // store files, exactly like a real crash + restart.
+      auto writer = mtd::store::TraceStoreWriter::append(store_path, injector);
+      const std::optional<EngineCheckpoint> stored =
+          mtd::load_store_checkpoint(writer.manifest());
+      record.start_minute = stored ? stored->clock_minute : 0;
+      const mtd::EngineResult result =
+          stored ? mtd::resume_engine_into_store(engine, *stored, writer)
+                 : mtd::run_engine_into_store(engine, writer);
+      writer.close();
+      record.reached_minute = result.checkpoint.clock_minute;
+      record.conservation_ok = result.telemetry.accounted_for();
+      outcome.conservation_ok =
+          outcome.conservation_ok && record.conservation_ok;
+      outcome.final_checkpoint = result.checkpoint;
+      outcome.attempts.push_back(std::move(record));
+      return result.checkpoint.complete();
+    } catch (const mtd::Error& e) {
+      record.error = e.what();
+      record.retryable = e.retryable();
+      retry = e.retryable() && attempt <= opt.max_restarts;
+    } catch (const std::exception& e) {
+      // Foreign exception == the simulated process kill: this incarnation
+      // is dead; the next one starts from whatever the store committed.
+      record.error = e.what();
+      record.retryable = false;
+    }
+    record.reached_minute = last_snapshot.clock_minute;
+    // The engine delivers a final telemetry snapshot on failure paths too;
+    // the conservation identity must hold even for aborted attempts.
+    record.conservation_ok = last_snapshot.accounted_for();
+    if (!record.conservation_ok) {
+      std::fprintf(stderr,
+                   "mtd_chaos: conservation violated (incarnation %zu "
+                   "attempt %zu, %s):\n%s\n",
+                   incarnation, attempt, record.error.c_str(),
+                   last_snapshot.to_json().dump(2).c_str());
+    }
+    outcome.conservation_ok =
+        outcome.conservation_ok && record.conservation_ok;
+    outcome.attempts.push_back(std::move(record));
+    if (!retry) return false;
+  }
+  return false;
+}
+
+int run_soak(const Options& opt) {
+  const fs::path dir = opt.dir.empty()
+                           ? fs::temp_directory_path() /
+                                 ("mtd-chaos-" + std::to_string(opt.seed))
+                           : fs::path(opt.dir);
+  fs::create_directories(dir);
+  const std::string clean_path = (dir / "clean.store").string();
+  const std::string chaos_path = (dir / "chaos.store").string();
+  const std::string checkpoint_path = (dir / "engine.ckpt").string();
+
+  const Network network = make_network(opt.num_bs);
+  const TraceConfig trace = make_trace(opt);
+
+  // ---- Phase 1: clean reference run. The injector only counts hits
+  // (after = kUnlimited never becomes eligible), giving the per-point hit
+  // universe the chaos schedule draws fault positions from.
+  FaultInjector counting(opt.fault_seed);
+  for (const std::string& point : FaultInjector::known_points()) {
+    counting.arm(point, FaultSpec{FaultAction::kStall, 1.0,
+                                  FaultSpec::kUnlimited, 1, 0.0});
+  }
+  EngineCheckpoint clean_final;
+  {
+    auto writer = mtd::store::TraceStoreWriter::create(clean_path, {},
+                                                       &counting);
+    StreamEngine engine(network, trace,
+                        make_engine_config(opt, &counting, ""));
+    const mtd::EngineResult result = run_engine_into_store(engine, writer);
+    writer.close();
+    if (!result.telemetry.accounted_for()) {
+      std::fprintf(stderr,
+                   "mtd_chaos: clean run violates the conservation "
+                   "identity\n");
+      return 1;
+    }
+    clean_final = result.checkpoint;
+  }
+  const RunFingerprint clean = fingerprint_store(
+      clean_path, network.size(), opt.days, clean_final);
+
+  // ---- Phase 2: chaos run against a second store with the same seed.
+  ChaosOutcome outcome;
+  Rng schedule(opt.fault_seed);
+  FaultInjector injector(opt.fault_seed ^ 0x6e6f6973ULL /* "nois" */);
+  const std::vector<std::string>& points = FaultInjector::known_points();
+  std::vector<std::string> reachable;
+  for (const std::string& point : points) {
+    if (counting.hits(point) > 0) reachable.push_back(point);
+  }
+
+  // Seeds the chaos store (fresh, no faults armed yet — creation is not
+  // part of the protocol under test).
+  mtd::store::TraceStoreWriter::create(chaos_path, {}, nullptr).close();
+
+  const auto arm_error_faults = [&] {
+    if (!opt.faults) return;
+    for (const std::string& point : reachable) {
+      const std::uint64_t universe = counting.hits(point);
+      injector.arm(point,
+                   FaultSpec{FaultAction::kError, 1.0,
+                             schedule.uniform_index(universe), 1, 0.0});
+    }
+  };
+
+  bool completed = false;
+  for (std::size_t inc = 1; !completed && inc <= opt.incarnations; ++inc) {
+    ++outcome.incarnations;
+    arm_error_faults();
+    if (opt.faults && !reachable.empty()) {
+      // One point per incarnation upgrades to a foreign exception — the
+      // simulated hard kill supervision must not retry.
+      const std::string& kill =
+          reachable[schedule.uniform_index(reachable.size())];
+      injector.arm(kill,
+                   FaultSpec{FaultAction::kThrow, 1.0,
+                             schedule.uniform_index(counting.hits(kill)), 1,
+                             0.0});
+      ++outcome.kills;
+    }
+    completed = run_incarnation(opt, network, trace, chaos_path,
+                                checkpoint_path, opt.faults ? &injector
+                                                            : nullptr,
+                                inc, outcome);
+    for (const std::string& point : points) {
+      outcome.fired[point] += injector.fired(point);
+    }
+    if (!completed) {
+      tamper_store(chaos_path, schedule);
+      ++outcome.tampers;
+    }
+  }
+  if (!completed) {
+    // Final incarnation: retryable faults only; the run must finish now.
+    ++outcome.incarnations;
+    arm_error_faults();
+    completed = run_incarnation(opt, network, trace, chaos_path,
+                                checkpoint_path, opt.faults ? &injector
+                                                            : nullptr,
+                                outcome.incarnations, outcome);
+    for (const std::string& point : points) {
+      outcome.fired[point] += injector.fired(point);
+    }
+  }
+  outcome.completed = completed;
+
+  // ---- Compare. Shard counters are per-attempt and legitimately differ
+  // after restarts; everything cumulative must match bit-exactly.
+  bool ok = completed && outcome.conservation_ok;
+  std::vector<std::string> mismatches;
+  if (!completed) mismatches.emplace_back("chaos run did not complete");
+  if (!outcome.conservation_ok) {
+    mismatches.emplace_back("conservation identity violated");
+  }
+  if (completed) {
+    const RunFingerprint chaos = fingerprint_store(
+        chaos_path, network.size(), opt.days, outcome.final_checkpoint);
+    const auto check = [&](bool same, const char* what) {
+      if (!same) {
+        ok = false;
+        mismatches.emplace_back(what);
+      }
+    };
+    const EngineCheckpoint& a = clean.checkpoint;
+    const EngineCheckpoint& b = chaos.checkpoint;
+    check(a.next_day == b.next_day && a.clock_minute == b.clock_minute,
+          "final cursor differs");
+    check(a.sessions_emitted == b.sessions_emitted &&
+              a.minutes_emitted == b.minutes_emitted &&
+              a.segments_emitted == b.segments_emitted &&
+              a.packets_emitted == b.packets_emitted,
+          "emitted counters differ");
+    check(a.volume_mb == b.volume_mb, "committed volume differs");
+    check(a.network_fingerprint == b.network_fingerprint &&
+              a.seed == b.seed,
+          "replay identity differs");
+    check(clean.replay_count == chaos.replay_count,
+          "store event count differs");
+    check(clean.replay_hash == chaos.replay_hash,
+          "store replay digest differs");
+    check(clean.scan_hashes == chaos.scan_hashes,
+          "per-BS scan digests differ");
+  }
+
+  // ---- Report.
+  std::uint64_t total_fired = 0;
+  for (const auto& [point, fired] : outcome.fired) total_fired += fired;
+  if (opt.json) {
+    JsonObject report;
+    report.emplace("ok", ok);
+    report.emplace("completed", outcome.completed);
+    report.emplace("conservation_ok", outcome.conservation_ok);
+    report.emplace("days", opt.days);
+    report.emplace("num_bs", opt.num_bs);
+    report.emplace("seed", static_cast<double>(opt.seed));
+    report.emplace("interval_minutes", opt.interval_minutes);
+    report.emplace("incarnations", outcome.incarnations);
+    report.emplace("kills", outcome.kills);
+    report.emplace("tampers", outcome.tampers);
+    report.emplace("attempts", outcome.attempts.size());
+    report.emplace("faults_fired", static_cast<double>(total_fired));
+    JsonObject fired_obj;
+    for (const auto& [point, fired] : outcome.fired) {
+      fired_obj.emplace(point, static_cast<double>(fired));
+    }
+    report.emplace("fired_by_point", Json(std::move(fired_obj)));
+    JsonArray attempt_arr;
+    for (const AttemptRecord& a : outcome.attempts) {
+      JsonObject at;
+      at.emplace("incarnation", a.incarnation);
+      at.emplace("attempt", a.attempt);
+      at.emplace("start_minute", static_cast<double>(a.start_minute));
+      at.emplace("reached_minute", static_cast<double>(a.reached_minute));
+      at.emplace("error", a.error);
+      at.emplace("retryable", a.retryable);
+      at.emplace("conservation_ok", a.conservation_ok);
+      attempt_arr.emplace_back(std::move(at));
+    }
+    report.emplace("attempt_log", Json(std::move(attempt_arr)));
+    JsonArray mismatch_arr;
+    for (const std::string& m : mismatches) mismatch_arr.emplace_back(m);
+    report.emplace("mismatches", Json(std::move(mismatch_arr)));
+    std::printf("%s\n", Json(std::move(report)).dump(2).c_str());
+  } else {
+    std::printf("mtd_chaos: %zu simulated days, %zu BS, seed %llu\n",
+                opt.days, opt.num_bs,
+                static_cast<unsigned long long>(opt.seed));
+    std::printf("  incarnations: %zu (%zu kills, %zu store tampers)\n",
+                outcome.incarnations, outcome.kills, outcome.tampers);
+    std::printf("  attempts:     %zu, faults fired: %llu\n",
+                outcome.attempts.size(),
+                static_cast<unsigned long long>(total_fired));
+    std::printf("  clean store:  %llu events, replay digest %016llx\n",
+                static_cast<unsigned long long>(clean.replay_count),
+                static_cast<unsigned long long>(clean.replay_hash));
+    if (ok) {
+      std::printf("  chaos store:  bit-identical to the clean run\n");
+    } else {
+      for (const std::string& m : mismatches) {
+        std::printf("  FAILED: %s\n", m.c_str());
+      }
+    }
+  }
+
+  if (!opt.keep) {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  } else {
+    std::fprintf(stderr, "mtd_chaos: artifacts kept in %s\n",
+                 dir.string().c_str());
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    opt = parse_options(argc, argv);
+  } catch (const mtd::Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    print_usage();
+    return 2;
+  }
+  if (opt.list_points) {
+    for (const std::string& point : FaultInjector::known_points()) {
+      std::printf("%s\n", point.c_str());
+    }
+    return 0;
+  }
+  try {
+    return run_soak(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mtd_chaos: %s\n", e.what());
+    return 2;
+  }
+}
