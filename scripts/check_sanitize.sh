@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI-style sanitizer gate, two stages:
+# CI-style sanitizer gate, three stages:
 #
 #   1. MTD_SANITIZE=ON (ASan + UBSan on every target), build, run the full
 #      test suite.
@@ -7,18 +7,29 @@
 #      the tests that exercise the SPSC rings, the stop-token/watchdog
 #      synchronization, fault-injection shutdown paths, and supervised
 #      recovery.
+#   3. MTD_UBSAN=ON (UBSan alone, no ASan), build, run the full suite.
+#      ASan's shadow memory and interceptors perturb layout and timing
+#      enough to mask some UB; this lane checks the code the way the
+#      uninstrumented release binary runs it.
 #
 # Any sanitizer report aborts the run (-fno-sanitize-recover=all) and fails
 # the job.
 #
 # Usage: scripts/check_sanitize.sh [build-dir] [ctest-regex]
-#   build-dir    defaults to build-sanitize (the TSan stage appends -tsan)
+#   build-dir    defaults to build-sanitize (the TSan stage appends -tsan,
+#                the standalone UBSan stage appends -ubsan)
 #   ctest-regex  optional -R filter for the ASan stage, e.g. 'Engine|SpscRing'
 #
 # Environment:
-#   MTD_SKIP_TSAN=1  run only the ASan/UBSan stage
-#   MTD_SKIP_ASAN=1  run only the TSan stage (the CI tsan job uses this so
-#                    the two stages run as parallel jobs instead of serially)
+#   MTD_SKIP_TSAN=1   skip the TSan stage
+#   MTD_SKIP_ASAN=1   skip the ASan/UBSan stage (the CI tsan and ubsan jobs
+#                     use the skips so the stages run as parallel jobs
+#                     instead of serially)
+#   MTD_SKIP_UBSAN=1  skip the standalone UBSan stage
+#
+# The standalone UBSan stage probes the toolchain first and skips gracefully
+# (exit 0 with a notice) when the compiler cannot link -fsanitize=undefined
+# on its own, so the gate stays usable on minimal images.
 set -euo pipefail
 
 cd "$(dirname "$0")/.." || exit 1
@@ -55,19 +66,50 @@ fi
 
 if [[ "${MTD_SKIP_TSAN:-0}" == "1" ]]; then
   echo "skipping tsan stage (MTD_SKIP_TSAN=1)"
-  exit 0
+else
+  TSAN_BUILD_DIR="${BUILD_DIR}-tsan"
+  cmake -B "$TSAN_BUILD_DIR" -S . \
+    -DMTD_TSAN=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$TSAN_BUILD_DIR" -j "$JOBS"
+
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+
+  ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
+    -R "$TSAN_FILTER"
+
+  echo "tsan check passed"
 fi
 
-TSAN_BUILD_DIR="${BUILD_DIR}-tsan"
-cmake -B "$TSAN_BUILD_DIR" -S . \
-  -DMTD_TSAN=ON \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$TSAN_BUILD_DIR" -j "$JOBS"
+if [[ "${MTD_SKIP_UBSAN:-0}" == "1" ]]; then
+  echo "skipping standalone ubsan stage (MTD_SKIP_UBSAN=1)"
+else
+  # Probe: can this toolchain compile and link -fsanitize=undefined on its
+  # own? Some minimal images ship the ASan runtime but not libubsan; skip
+  # gracefully rather than failing the gate on an environment limitation.
+  PROBE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$PROBE_DIR"' EXIT
+  echo 'int main() { return 0; }' > "$PROBE_DIR/probe.cpp"
+  CXX_BIN="${CXX:-c++}"
+  if ! "$CXX_BIN" -fsanitize=undefined -fno-sanitize-recover=all \
+      -o "$PROBE_DIR/probe" "$PROBE_DIR/probe.cpp" 2>/dev/null; then
+    echo "skipping standalone ubsan stage: $CXX_BIN cannot link" \
+      "-fsanitize=undefined on this image"
+    echo "sanitize check passed"
+    exit 0
+  fi
 
-export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+  UBSAN_BUILD_DIR="${BUILD_DIR}-ubsan"
+  cmake -B "$UBSAN_BUILD_DIR" -S . \
+    -DMTD_UBSAN=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$UBSAN_BUILD_DIR" -j "$JOBS"
 
-ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
-  -R "$TSAN_FILTER"
+  export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 
-echo "tsan check passed"
+  ctest --test-dir "$UBSAN_BUILD_DIR" --output-on-failure -j "$JOBS"
+
+  echo "standalone ubsan check passed"
+fi
+
 echo "sanitize check passed"

@@ -1,24 +1,34 @@
 #!/usr/bin/env bash
-# Static correctness gate, five stages:
+# Static correctness gate, six stages:
 #
 #   1. clang-tidy over every first-party translation unit, using the
 #      profile in .clang-tidy (WarningsAsErrors: '*').
 #   2. mtd-lint (tools/lint) over src/, tests/, bench/, examples/ and all
-#      of tools/ (the linter itself and the mtd_store CLI) — zero
-#      violations required; suppressions are inline
-#      `// mtd-lint: allow(rule)` comments.
-#   3. A from-scratch build with -DMTD_ANALYZE=ON. Under Clang this turns
+#      of tools/ (the linter itself and the mtd_store CLI), gated against
+#      the committed baseline in tools/lint/baseline.txt. Fresh findings
+#      fail; stale baseline entries fail too, so the baseline can only
+#      ratchet down. Suppressions are inline `// mtd-lint: allow(rule)`
+#      comments; see `mtd_lint --list-rules` for the per-rule escape hatch.
+#   3. Baseline drift: regenerate the baseline with --update-baseline into
+#      a scratch file and compare entry lines against the committed one.
+#      A hand-edited or out-of-date tools/lint/baseline.txt fails here even
+#      when stage 2 happens to pass.
+#   4. A from-scratch build with -DMTD_ANALYZE=ON. Under Clang this turns
 #      on Thread Safety Analysis as errors (-Werror=thread-safety); under
 #      other compilers the annotations compile as no-ops and the stage
 #      still proves they parse.
-#   4. shellcheck over scripts/*.sh.
-#   5. The lint fixture suite (LintRules.* in tests/): proves every rule
-#      still fires at its documented fixture lines — a rule that silently
-#      stopped matching would otherwise pass stage 2 forever.
+#   5. shellcheck over an explicit list of the repo's gate scripts — the
+#      stage fails if a listed script is missing, so check_soak.sh and
+#      check_bench.sh cannot silently drop out of coverage.
+#   6. The lint suite (Lint*.* in tests/): proves every rule still fires
+#      at its documented fixture lines and the baseline ratchet still
+#      classifies fresh/stale/grandfathered — a rule that silently stopped
+#      matching would otherwise pass stage 2 forever.
 #
 # Stages whose tool is not installed (clang-tidy, clang++, shellcheck) are
 # skipped with a notice so the gate degrades gracefully on minimal
-# toolchains; the mtd-lint and MTD_ANALYZE-build stages always run.
+# toolchains; the mtd-lint, baseline-drift, and MTD_ANALYZE-build stages
+# always run.
 #
 # Usage: scripts/check_static.sh [build-dir]
 #   build-dir  defaults to build-static (the analyze stage appends -analyze)
@@ -28,6 +38,7 @@ cd "$(dirname "$0")/.." || exit 1
 
 BUILD_DIR="${1:-build-static}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
+BASELINE=tools/lint/baseline.txt
 
 # Every first-party C++ file; linter fixtures are deliberately bad code.
 collect_sources() {
@@ -49,11 +60,26 @@ else
   echo "clang-tidy: not installed, stage skipped"
 fi
 
-# --- Stage 2: mtd-lint.
+# --- Stage 2: mtd-lint against the committed baseline.
 mapfile -t LINT_SOURCES < <(collect_sources)
-"$BUILD_DIR/tools/lint/mtd_lint" "${LINT_SOURCES[@]}"
+"$BUILD_DIR/tools/lint/mtd_lint" --baseline "$BASELINE" "${LINT_SOURCES[@]}"
 
-# --- Stage 3: MTD_ANALYZE build (thread-safety annotations as errors).
+# --- Stage 3: baseline drift. Regenerate into a scratch file and compare
+# entry lines (comments are free-form; entries are not).
+SCRATCH_BASELINE="$(mktemp)"
+trap 'rm -f "$SCRATCH_BASELINE"' EXIT
+"$BUILD_DIR/tools/lint/mtd_lint" --baseline "$SCRATCH_BASELINE" \
+  --update-baseline "${LINT_SOURCES[@]}"
+if ! diff -u \
+    <(grep -v '^#' "$BASELINE" | sed '/^[[:space:]]*$/d') \
+    <(grep -v '^#' "$SCRATCH_BASELINE" | sed '/^[[:space:]]*$/d'); then
+  echo "baseline drift: $BASELINE does not match what --update-baseline" \
+    "regenerates; refresh it (and justify any additions in review)"
+  exit 1
+fi
+echo "baseline: in sync with $BASELINE"
+
+# --- Stage 4: MTD_ANALYZE build (thread-safety annotations as errors).
 ANALYZE_DIR="${BUILD_DIR}-analyze"
 ANALYZE_ARGS=(-DMTD_ANALYZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo)
 if command -v clang++ >/dev/null 2>&1; then
@@ -66,17 +92,30 @@ cmake -B "$ANALYZE_DIR" -S . "${ANALYZE_ARGS[@]}"
 cmake --build "$ANALYZE_DIR" -j "$JOBS"
 echo "MTD_ANALYZE build: clean"
 
-# --- Stage 4: shellcheck.
+# --- Stage 5: shellcheck over the explicit gate-script list.
+GATE_SCRIPTS=(
+  scripts/check_bench.sh
+  scripts/check_sanitize.sh
+  scripts/check_soak.sh
+  scripts/check_static.sh
+)
+for script in "${GATE_SCRIPTS[@]}"; do
+  if [[ ! -f "$script" ]]; then
+    echo "shellcheck: listed gate script '$script' is missing"
+    exit 1
+  fi
+done
 if command -v shellcheck >/dev/null 2>&1; then
-  shellcheck scripts/*.sh
-  echo "shellcheck: clean"
+  shellcheck "${GATE_SCRIPTS[@]}"
+  echo "shellcheck: clean (${#GATE_SCRIPTS[@]} scripts)"
 else
   echo "shellcheck: not installed, stage skipped"
 fi
 
-# --- Stage 5: lint fixture suite.
+# --- Stage 6: lint suite (file rules, cross-file rules, baseline ratchet).
 cmake --build "$BUILD_DIR" -j "$JOBS" --target mtd_tests
-"$BUILD_DIR/tests/mtd_tests" --gtest_filter='LintRules.*'
-echo "lint fixture suite: clean"
+"$BUILD_DIR/tests/mtd_tests" \
+  --gtest_filter='LintRules.*:LintCrossRules.*:LintBaseline.*:LintCatalog.*'
+echo "lint suite: clean"
 
 echo "static check passed"

@@ -445,6 +445,27 @@ EngineResult StreamEngine::resume(const EngineCheckpoint& from,
         std::to_string(from.next_day) + ") is beyond the horizon (num_days=" +
         std::to_string(trace.num_days) + ")");
   }
+  // from_json enforces these internal-consistency invariants at load time,
+  // but resume() also accepts checkpoints built in memory; a clock or shard
+  // cursor disagreeing with next_day would re-enter the minute loop at a
+  // different point than the counters describe and diverge silently.
+  if (from.clock_minute / kMinutesPerDay != from.next_day) {
+    throw InvalidArgument(
+        "StreamEngine::resume: checkpoint clock (clock_minute=" +
+        std::to_string(from.clock_minute) + " is in day " +
+        std::to_string(from.clock_minute / kMinutesPerDay) +
+        ") disagrees with its cursor (next_day=" +
+        std::to_string(from.next_day) + ")");
+  }
+  for (const EngineShardCursor& shard : from.shards) {
+    if (shard.next_day != from.next_day) {
+      throw InvalidArgument(
+          "StreamEngine::resume: shard " + std::to_string(shard.shard) +
+          " cursor (next_day=" + std::to_string(shard.next_day) +
+          ") disagrees with the checkpoint cursor (next_day=" +
+          std::to_string(from.next_day) + ")");
+    }
+  }
   if (from.mid_day()) {
     // A mid-day resume restores raw per-BS streams; the cursor set must
     // cover the whole network, indexed by network index, so any worker

@@ -200,15 +200,15 @@ class TraceStore {
 
   /// Streams every event with bs == `bs` and day in [day_lo, day_hi] to
   /// `fn`, in key order (segments are merged). Returns the event count.
-  std::uint64_t scan(std::uint32_t bs, std::uint16_t day_lo,
-                     std::uint16_t day_hi,
-                     const std::function<void(const StreamEvent&)>& fn);
+  [[nodiscard]] std::uint64_t scan(
+      std::uint32_t bs, std::uint16_t day_lo, std::uint16_t day_hi,
+      const std::function<void(const StreamEvent&)>& fn);
 
   /// Streams the whole store in canonical (bs, day, minute, seq) order
   /// into `sink` — the replay-from-store path. Feeding the result through
   /// the aggregation layer reproduces a direct generation run bit-exactly
   /// (per-cell event order is preserved; see MeasurementDataset::finalize).
-  std::uint64_t replay(EventSink& sink);
+  [[nodiscard]] std::uint64_t replay(EventSink& sink);
 
   /// Walks every committed page and validates header + checksum; decodes
   /// every leaf and recounts events per segment. Throws ParseError with

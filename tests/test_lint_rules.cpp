@@ -9,11 +9,14 @@
 #include <utility>
 #include <vector>
 
+#include "common/error.hpp"
 #include "io/json.hpp"
+#include "lint/baseline.hpp"
 #include "lint/lint.hpp"
 
 namespace {
 
+using mtd::lint::Baseline;
 using mtd::lint::Finding;
 using mtd::lint::RuleRegistry;
 using mtd::lint::SourceFile;
@@ -26,6 +29,56 @@ std::vector<Finding> lint_fixture(const std::string& name) {
   std::vector<SourceFile> files;
   files.push_back(SourceFile::from_path(fixture_path(name)));
   return RuleRegistry::built_in().run(files);
+}
+
+// Lints a whole fixture mini-tree (a `<name>/src/...` directory) in one
+// registry pass, the way the CLI lints the real tree. The file list is
+// spelled out so a stray file added to the fixture dir cannot silently
+// change what these tests cover.
+std::vector<Finding> lint_tree(const std::string& tree,
+                               const std::vector<std::string>& rel_paths) {
+  std::vector<SourceFile> files;
+  for (const auto& rel : rel_paths) {
+    files.push_back(SourceFile::from_path(fixture_path(tree + "/" + rel)));
+  }
+  return RuleRegistry::built_in().run(files);
+}
+
+const std::vector<std::string>& project_ok_files() {
+  static const std::vector<std::string> kFiles = {
+      "src/common/base.hpp",       "src/core/locks.cpp",
+      "src/engine/checkpoint.cpp", "src/engine/checkpoint.hpp",
+      "src/events/event.hpp",      "src/events/sink.cpp",
+      "src/store/writer.cpp",
+  };
+  return kFiles;
+}
+
+const std::vector<std::string>& project_bad_files() {
+  static const std::vector<std::string> kFiles = {
+      "src/common/a.hpp",          "src/common/b.hpp",
+      "src/common/util.hpp",       "src/core/locks.cpp",
+      "src/core/locks_reverse.cpp", "src/engine/checkpoint.cpp",
+      "src/engine/checkpoint.hpp", "src/events/event.hpp",
+      "src/events/sink.cpp",       "src/math/helper.hpp",
+      "src/store/writer.cpp",
+  };
+  return kFiles;
+}
+
+// True iff a finding for `rule` exists whose path ends with `path_suffix`
+// at exactly `line`.
+bool has_finding(const std::vector<Finding>& findings, const std::string& rule,
+                 const std::string& path_suffix, std::size_t line) {
+  for (const auto& f : findings) {
+    if (f.rule != rule || f.line != line) continue;
+    if (f.path.size() >= path_suffix.size() &&
+        f.path.compare(f.path.size() - path_suffix.size(), path_suffix.size(),
+                       path_suffix) == 0) {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::vector<std::size_t> lines_of(const std::vector<Finding>& findings,
@@ -186,7 +239,7 @@ TEST(LintRules, CatalogHasUniqueNonEmptyNames) {
     EXPECT_FALSE(rule->description().empty());
     names.emplace_back(rule->name());
   }
-  EXPECT_GE(names.size(), 6u);
+  EXPECT_GE(names.size(), 12u);
   std::sort(names.begin(), names.end());
   EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end());
 }
@@ -233,6 +286,172 @@ TEST(LintRules, StoreFilesLintClean) {
   EXPECT_TRUE(findings.empty())
       << findings.front().rule << " at " << findings.front().path << ":"
       << findings.front().line;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-file rules: the project_ok / project_bad fixture mini-trees.
+
+TEST(LintCrossRules, CleanProjectTreePasses) {
+  const auto findings = lint_tree("project_ok", project_ok_files());
+  EXPECT_TRUE(findings.empty())
+      << findings.front().rule << " at " << findings.front().path << ":"
+      << findings.front().line;
+}
+
+TEST(LintCrossRules, BadProjectTreeFiresEveryRuleAtDocumentedLines) {
+  const auto findings = lint_tree("project_bad", project_bad_files());
+
+  // include-layering: an a.hpp <-> b.hpp cycle (reported once, on the edge
+  // that closes it), an upward common -> engine include, and a math -> io
+  // peer include.
+  EXPECT_TRUE(has_finding(findings, "include-layering", "common/b.hpp", 5));
+  EXPECT_TRUE(has_finding(findings, "include-layering", "common/util.hpp", 5));
+  EXPECT_TRUE(has_finding(findings, "include-layering", "math/helper.hpp", 5));
+
+  // checkpoint-field-coverage: clock_minute is serialized and loaded but
+  // never compared in StreamEngine::resume.
+  EXPECT_TRUE(has_finding(findings, "checkpoint-field-coverage",
+                          "engine/checkpoint.hpp", 11));
+
+  // commit-protocol-order: a counter bump between fault_fire and the write
+  // it guards, and a publish that renames before flushing.
+  EXPECT_TRUE(
+      has_finding(findings, "commit-protocol-order", "store/writer.cpp", 11));
+  EXPECT_TRUE(
+      has_finding(findings, "commit-protocol-order", "store/writer.cpp", 17));
+
+  // event-kind-exhaustiveness: a switch missing kSession with no default,
+  // and a default that hides it without the exhaustive-default marker.
+  EXPECT_TRUE(
+      has_finding(findings, "event-kind-exhaustiveness", "events/sink.cpp", 9));
+  EXPECT_TRUE(has_finding(findings, "event-kind-exhaustiveness",
+                          "events/sink.cpp", 21));
+
+  // lock-ordering: locks.cpp takes table -> stats, locks_reverse.cpp takes
+  // stats -> table; both acquisition sites are reported.
+  EXPECT_TRUE(has_finding(findings, "lock-ordering", "core/locks.cpp", 10));
+  EXPECT_TRUE(
+      has_finding(findings, "lock-ordering", "core/locks_reverse.cpp", 9));
+
+  // Exactly the documented violations — nothing extra fires on the tree.
+  EXPECT_EQ(findings.size(), 10u);
+}
+
+TEST(LintCrossRules, CrossRulesStayInertOnPartialFileLists) {
+  // Linting only the struct definition (no role bodies, no enum users)
+  // must not fire coverage or exhaustiveness: the model cannot tell a
+  // missing mention from a file it never scanned.
+  const auto findings =
+      lint_tree("project_bad", {"src/engine/checkpoint.hpp"});
+  for (const auto& f : findings) {
+    EXPECT_NE(f.rule, "checkpoint-field-coverage")
+        << f.path << ":" << f.line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline: parse/serialize round-trip and the ratchet protocol.
+
+TEST(LintBaseline, TextRoundTripsThroughParse) {
+  const auto findings = lint_tree("project_bad", project_bad_files());
+  ASSERT_FALSE(findings.empty());
+  const std::string text = Baseline::to_text(findings);
+  const Baseline parsed = Baseline::from_text(text);
+  ASSERT_EQ(parsed.entries().size(), findings.size());
+  // Serializing the parsed entries reproduces the exact committed form.
+  EXPECT_EQ(Baseline::to_text(parsed.entries()), text);
+}
+
+TEST(LintBaseline, MalformedEntryLineThrows) {
+  EXPECT_THROW(Baseline::from_text("not a finding line\n"), mtd::ParseError);
+  EXPECT_THROW(Baseline::from_text("path/only.cpp: [rule] no line number\n"),
+               mtd::ParseError);
+}
+
+TEST(LintBaseline, CommentsAndBlankLinesAreIgnored) {
+  const Baseline b = Baseline::from_text(
+      "# header comment\n"
+      "\n"
+      "a.cpp:3: [banned-random] uses rand()\n");
+  ASSERT_EQ(b.entries().size(), 1u);
+  EXPECT_EQ(b.entries()[0].rule, "banned-random");
+  EXPECT_EQ(b.entries()[0].path, "a.cpp");
+  EXPECT_EQ(b.entries()[0].line, 3u);
+}
+
+TEST(LintBaseline, DiffClassifiesFreshStaleGrandfathered) {
+  const auto findings = lint_tree("project_bad", project_bad_files());
+  ASSERT_GE(findings.size(), 2u);
+
+  // Baseline everything: every finding is grandfathered, the gate passes.
+  const Baseline full = Baseline::from_text(Baseline::to_text(findings));
+  const auto all_old = full.diff(findings);
+  EXPECT_TRUE(all_old.fresh.empty());
+  EXPECT_TRUE(all_old.stale.empty());
+  EXPECT_EQ(all_old.grandfathered.size(), findings.size());
+
+  // Drop one entry from the baseline: that finding comes back fresh.
+  auto fewer = findings;
+  const Finding dropped = fewer.back();
+  fewer.pop_back();
+  const Baseline partial = Baseline::from_text(Baseline::to_text(fewer));
+  const auto ratchet = partial.diff(findings);
+  ASSERT_EQ(ratchet.fresh.size(), 1u);
+  EXPECT_EQ(ratchet.fresh[0].rule, dropped.rule);
+  EXPECT_EQ(ratchet.fresh[0].line, dropped.line);
+  EXPECT_TRUE(ratchet.stale.empty());
+  EXPECT_EQ(ratchet.grandfathered.size(), findings.size() - 1);
+
+  // Fix the code instead (fewer findings than baseline): the leftover
+  // baseline entry is stale and forces a --update-baseline ratchet.
+  const auto burn_down = full.diff(fewer);
+  EXPECT_TRUE(burn_down.fresh.empty());
+  ASSERT_EQ(burn_down.stale.size(), 1u);
+  EXPECT_EQ(burn_down.stale[0].rule, dropped.rule);
+  EXPECT_EQ(burn_down.grandfathered.size(), fewer.size());
+}
+
+TEST(LintBaseline, MatchIsExactOnRulePathLineMessage) {
+  // Moving a finding by one line un-baselines it: the old entry goes
+  // stale and the moved finding is fresh.
+  auto findings = lint_tree("project_bad", project_bad_files());
+  ASSERT_FALSE(findings.empty());
+  const Baseline base = Baseline::from_text(Baseline::to_text(findings));
+  findings.front().line += 1;
+  const auto moved = base.diff(findings);
+  EXPECT_EQ(moved.fresh.size(), 1u);
+  EXPECT_EQ(moved.stale.size(), 1u);
+  EXPECT_EQ(moved.grandfathered.size(), findings.size() - 1);
+}
+
+TEST(LintBaseline, EmptyBaselineGrandfathersNothing) {
+  const Baseline empty = Baseline::from_text("# nothing grandfathered\n");
+  const auto findings = lint_tree("project_bad", project_bad_files());
+  const auto diff = empty.diff(findings);
+  EXPECT_EQ(diff.fresh.size(), findings.size());
+  EXPECT_TRUE(diff.stale.empty());
+  EXPECT_TRUE(diff.grandfathered.empty());
+}
+
+// ---------------------------------------------------------------------------
+// --list-rules: the printed catalog must match the registry.
+
+TEST(LintCatalog, ListRulesTextCoversEveryRegisteredRule) {
+  const auto registry = RuleRegistry::built_in();
+  const std::string text = mtd::lint::list_rules_text(registry);
+  std::size_t blocks = 0;
+  for (std::size_t pos = 0;
+       (pos = text.find("escape hatch:", pos)) != std::string::npos; ++pos) {
+    ++blocks;
+  }
+  EXPECT_EQ(blocks, registry.rules().size());
+  for (const auto& rule : registry.rules()) {
+    EXPECT_NE(text.find(rule->name()), std::string::npos) << rule->name();
+    EXPECT_NE(text.find(rule->description()), std::string::npos)
+        << rule->name();
+    EXPECT_NE(text.find(rule->escape_hatch()), std::string::npos)
+        << rule->name();
+  }
 }
 
 TEST(LintRules, FindingsAreOrderedByPathLineRule) {

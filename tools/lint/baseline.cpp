@@ -1,0 +1,136 @@
+#include "lint/baseline.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.hpp"
+#include "io/json.hpp"
+#include "lint/lex.hpp"
+
+namespace mtd::lint {
+
+namespace {
+
+constexpr std::string_view kHeader =
+    "# mtd-lint baseline: grandfathered findings, ratcheted down only.\n"
+    "# New findings fail the gate; entries no longer reproduced fail too\n"
+    "# (burned-down debt must be removed). Regenerate with:\n"
+    "#   mtd_lint --baseline <this file> --update-baseline <files...>\n";
+
+[[nodiscard]] bool same_finding(const Finding& a, const Finding& b) {
+  return a.rule == b.rule && a.path == b.path && a.line == b.line &&
+         a.message == b.message;
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+}
+
+}  // namespace
+
+Baseline Baseline::from_text(std::string_view text) {
+  Baseline baseline;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i != text.size() && text[i] != '\n') continue;
+    const std::string_view line = lex::trim(text.substr(start, i - start));
+    start = i + 1;
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+    // path:line: [rule] message
+    const std::size_t bracket = line.find(": [");
+    const std::size_t close =
+        bracket == std::string_view::npos ? bracket : line.find(']', bracket);
+    std::size_t colon = std::string_view::npos;
+    if (bracket != std::string_view::npos) {
+      colon = line.rfind(':', bracket - 1);
+    }
+    bool valid = close != std::string_view::npos &&
+                 colon != std::string_view::npos && colon + 1 < bracket;
+    std::size_t num = 0;
+    if (valid) {
+      for (std::size_t p = colon + 1; p < bracket; ++p) {
+        if (std::isdigit(static_cast<unsigned char>(line[p])) == 0) {
+          valid = false;
+          break;
+        }
+        num = num * 10 + static_cast<std::size_t>(line[p] - '0');
+      }
+    }
+    if (!valid) {
+      throw ParseError("mtd-lint baseline line " + std::to_string(line_no) +
+                       ": expected 'path:line: [rule] message', got '" +
+                       std::string(line) + "'");
+    }
+    Finding f;
+    f.path = std::string(line.substr(0, colon));
+    f.line = num;
+    f.rule = std::string(line.substr(bracket + 3, close - bracket - 3));
+    f.message = std::string(
+        lex::trim(line.substr(std::min(close + 2, line.size()))));
+    baseline.entries_.push_back(std::move(f));
+  }
+  return baseline;
+}
+
+std::string Baseline::to_text(std::vector<Finding> findings) {
+  sort_findings(findings);
+  std::string out(kHeader);
+  for (const Finding& f : findings) {
+    out += f.path + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+           f.message + "\n";
+  }
+  return out;
+}
+
+BaselineDiff Baseline::diff(const std::vector<Finding>& findings) const {
+  BaselineDiff result;
+  std::vector<bool> matched(entries_.size(), false);
+  for (const Finding& f : findings) {
+    bool grandfathered = false;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (!matched[i] && same_finding(entries_[i], f)) {
+        matched[i] = true;
+        grandfathered = true;
+        break;
+      }
+    }
+    (grandfathered ? result.grandfathered : result.fresh).push_back(f);
+  }
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (!matched[i]) result.stale.push_back(entries_[i]);
+  }
+  sort_findings(result.fresh);
+  sort_findings(result.stale);
+  sort_findings(result.grandfathered);
+  return result;
+}
+
+std::string baseline_report_to_json(const BaselineDiff& diff,
+                                    std::size_t files_scanned) {
+  JsonObject doc;
+  doc.emplace("files_scanned", files_scanned);
+  doc.emplace("violations", diff.fresh.size() + diff.stale.size());
+  doc.emplace("stale_baseline_entries", diff.stale.size());
+  doc.emplace("grandfathered", diff.grandfathered.size());
+  JsonArray arr;
+  for (const Finding& f : diff.fresh) {
+    JsonObject item;
+    item.emplace("rule", f.rule);
+    item.emplace("path", f.path);
+    item.emplace("line", f.line);
+    item.emplace("message", f.message);
+    arr.emplace_back(std::move(item));
+  }
+  doc.emplace("findings", Json(std::move(arr)));
+  return Json(std::move(doc)).dump(2);
+}
+
+}  // namespace mtd::lint

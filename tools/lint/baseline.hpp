@@ -1,0 +1,63 @@
+// Baseline ratcheting for mtd-lint.
+//
+// A baseline is a committed list of grandfathered findings that may only
+// ever shrink. The gate compares the current run against it:
+//
+//   fresh          finding not in the baseline            -> FAIL (new debt)
+//   stale          baseline entry no longer reproduced    -> FAIL (burned
+//                  down or drifted; refresh with --update-baseline so the
+//                  committed file keeps matching reality)
+//   grandfathered  finding present in both                -> pass (tracked)
+//
+// Entries match on the full (rule, path, line, message) tuple, so a
+// baseline goes stale the moment the code around an entry moves — that is
+// deliberate: every edit near grandfathered debt forces a conscious
+// ratchet instead of silently keeping the exemption alive. The file format
+// is the human-readable "path:line: [rule] message" the CLI prints, plus
+// '#' comments, so diffs in review read like lint output.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace mtd::lint {
+
+struct BaselineDiff {
+  std::vector<Finding> fresh;          ///< new findings, fail the gate
+  std::vector<Finding> stale;          ///< baseline entries no longer seen
+  std::vector<Finding> grandfathered;  ///< tracked, passing debt
+};
+
+class Baseline {
+ public:
+  /// Parses baseline text ("path:line: [rule] message" lines; '#' comments
+  /// and blank lines ignored). Malformed entry lines throw mtd::ParseError
+  /// naming the line — a typo silently dropping an entry would un-baseline
+  /// it as a stale failure with no explanation.
+  [[nodiscard]] static Baseline from_text(std::string_view text);
+
+  /// Serializes the canonical committed form: a header comment plus the
+  /// entries sorted by (path, line, rule).
+  [[nodiscard]] static std::string to_text(std::vector<Finding> findings);
+
+  /// Splits `findings` against the baseline.
+  [[nodiscard]] BaselineDiff diff(const std::vector<Finding>& findings) const;
+
+  [[nodiscard]] const std::vector<Finding>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::vector<Finding> entries_;
+};
+
+/// Machine-readable report for a baselined run: files_scanned, violations
+/// (fresh + stale), the fresh findings array, and the stale/grandfathered
+/// counts.
+[[nodiscard]] std::string baseline_report_to_json(const BaselineDiff& diff,
+                                                  std::size_t files_scanned);
+
+}  // namespace mtd::lint

@@ -1,0 +1,14 @@
+// Fixture mini-tree (project_bad): half of an include cycle (a -> b -> a).
+// Same-directory includes pass the layer check, so only the cycle rule
+// fires here. Never compiled.
+#pragma once
+
+#include "common/b.hpp"
+
+namespace fx {
+
+struct A {
+  int from_b = 0;
+};
+
+}  // namespace fx

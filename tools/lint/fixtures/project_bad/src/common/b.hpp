@@ -1,0 +1,13 @@
+// Fixture mini-tree (project_bad): the other half of the include cycle.
+// Never compiled.
+#pragma once
+
+#include "common/a.hpp"
+
+namespace fx {
+
+struct B {
+  int from_a = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,13 @@
+// Fixture mini-tree (project_bad): the lowest layer reaching UP into the
+// engine layer — include-layering must fire. Never compiled.
+#pragma once
+
+#include "engine/checkpoint.hpp"
+
+namespace fx {
+
+inline unsigned long checkpoint_seed(const EngineCheckpoint& cp) {
+  return cp.seed;
+}
+
+}  // namespace fx

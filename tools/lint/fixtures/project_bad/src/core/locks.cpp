@@ -1,0 +1,14 @@
+// Fixture mini-tree (project_bad): acquires mu_table_ then mu_stats_;
+// locks_reverse.cpp takes the same pair the other way around, closing a
+// deadlock cycle. Never compiled.
+#include "common/a.hpp"
+
+namespace fx {
+
+void Registry::update() {
+  MutexLock outer(mu_table_);
+  MutexLock inner(mu_stats_);  // line 10: table -> stats
+  stats_.bump();
+}
+
+}  // namespace fx

@@ -1,0 +1,13 @@
+// Fixture mini-tree (project_bad): the reversed acquisition order that
+// completes the lock-ordering cycle with locks.cpp. Never compiled.
+#include "common/a.hpp"
+
+namespace fx {
+
+void Registry::snapshot() {
+  MutexLock outer(mu_stats_);
+  MutexLock inner(mu_table_);  // line 9: stats -> table
+  table_.copy_into(out_);
+}
+
+}  // namespace fx

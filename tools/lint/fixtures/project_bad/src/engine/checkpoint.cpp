@@ -1,0 +1,29 @@
+// Fixture mini-tree (project_bad): serialize and load mention every
+// field, but StreamEngine::resume validates only the seed — resumes with
+// an inconsistent clock would diverge silently. Never compiled.
+#include "engine/checkpoint.hpp"
+
+namespace fx {
+
+Json EngineCheckpoint::to_json() const {
+  Json obj;
+  obj.emplace("seed", seed);
+  obj.emplace("clock_minute", clock_minute);
+  return obj;
+}
+
+EngineCheckpoint EngineCheckpoint::from_json(const Json& json) {
+  EngineCheckpoint cp;
+  cp.seed = json.at("seed");
+  cp.clock_minute = json.at("clock_minute");
+  return cp;
+}
+
+EngineResult StreamEngine::resume(const EngineCheckpoint& from) {
+  if (from.seed != seed_) {
+    fail("seed mismatch");
+  }
+  return run_from(from);
+}
+
+}  // namespace fx

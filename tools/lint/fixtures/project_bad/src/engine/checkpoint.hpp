@@ -1,0 +1,14 @@
+// Fixture mini-tree (project_bad): clock_minute is serialized and loaded
+// but never compared on resume (checkpoint.cpp) — the exact "added a
+// field, forgot resume parity" hole checkpoint-field-coverage exists to
+// catch. Never compiled.
+#pragma once
+
+namespace fx {
+
+struct EngineCheckpoint {
+  unsigned long seed = 0;
+  unsigned long clock_minute = 0;  // line 11: missing from resume-compare
+};
+
+}  // namespace fx

@@ -1,0 +1,11 @@
+// Fixture mini-tree (project_bad): the event-kind enum. Never compiled.
+#pragma once
+
+namespace fx {
+
+enum class EventKind : unsigned char {
+  kMinute = 0,
+  kSession = 1,
+};
+
+}  // namespace fx

@@ -1,0 +1,26 @@
+// Fixture mini-tree (project_bad): one switch silently drops kSession
+// (no default at all); another hides it behind an unmarked default.
+// Never compiled.
+#include "events/event.hpp"
+
+namespace fx {
+
+void Sink::on_event(const Event& event) {
+  switch (event.kind()) {  // line 9: kSession unhandled, no default
+    case EventKind::kMinute:
+      on_minute(event);
+      break;
+  }
+}
+
+void Sink::count(const Event& event) {
+  switch (event.kind()) {
+    case EventKind::kMinute:
+      ++minutes_;
+      break;
+    default:  // line 21: default without the exhaustive-default marker
+      break;
+  }
+}
+
+}  // namespace fx

@@ -1,0 +1,11 @@
+// Fixture mini-tree (project_bad): a same-rank peer include (math -> io)
+// — peers may not depend on each other. Never compiled.
+#pragma once
+
+#include "io/stream.hpp"
+
+namespace fx {
+
+inline double scaled(double x) { return x * 2.0; }
+
+}  // namespace fx

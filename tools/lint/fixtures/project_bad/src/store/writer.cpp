@@ -1,0 +1,23 @@
+// Fixture mini-tree (project_bad): two broken commit paths. commit()
+// mutates state between a fault_fire and the write it guards; publish()
+// atomically replaces the manifest before flushing the data it points at.
+// Never compiled.
+#include "common/util.hpp"
+
+namespace fx {
+
+void Writer::commit() {
+  fault_fire(fault_, "store.commit.pages");
+  committed_pages_ += 1;  // line 11: mutation between fire and the write
+  file_.write(buf_.data(), buf_.size());
+  file_.flush();
+  write_file_atomic(manifest_path_, manifest_text_);
+}
+
+void Writer::publish() {
+  file_.write(buf_.data(), buf_.size());
+  write_file_atomic(manifest_path_, manifest_text_);
+  file_.flush();  // line 20: durability barrier after the replace
+}
+
+}  // namespace fx

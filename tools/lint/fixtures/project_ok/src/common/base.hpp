@@ -1,0 +1,12 @@
+// Fixture mini-tree (project_ok): lowest-layer header, included by the
+// layers above it. Never compiled.
+#pragma once
+
+namespace fx {
+
+struct BaseIds {
+  unsigned bs = 0;
+  unsigned day = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,23 @@
+// Fixture mini-tree (project_ok): two call paths acquire the same pair of
+// locks in the same order, so the acquisition graph stays acyclic.
+// Never compiled.
+#include "common/base.hpp"
+
+namespace fx {
+
+void Registry::update() {
+  MutexLock outer(mu_table_);
+  refresh_unlocked();
+  {
+    MutexLock inner(mu_stats_);
+    stats_.bump();
+  }
+}
+
+void Registry::drain() {
+  MutexLock outer(mu_table_);
+  MutexLock inner(mu_stats_);
+  flush_unlocked();
+}
+
+}  // namespace fx

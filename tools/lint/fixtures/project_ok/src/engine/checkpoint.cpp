@@ -1,0 +1,32 @@
+// Fixture mini-tree (project_ok): serialize, load, and resume-compare
+// bodies each mention every EngineCheckpoint field, so the
+// checkpoint-field-coverage rule stays quiet. Never compiled.
+#include "engine/checkpoint.hpp"
+
+namespace fx {
+
+Json EngineCheckpoint::to_json() const {
+  Json obj;
+  obj.emplace("seed", seed);
+  obj.emplace("clock_minute", clock_minute);
+  return obj;
+}
+
+EngineCheckpoint EngineCheckpoint::from_json(const Json& json) {
+  EngineCheckpoint cp;
+  cp.seed = json.at("seed");
+  cp.clock_minute = json.at("clock_minute");
+  return cp;
+}
+
+EngineResult StreamEngine::resume(const EngineCheckpoint& from) {
+  if (from.seed != seed_) {
+    fail("seed mismatch");
+  }
+  if (from.clock_minute > horizon_) {
+    fail("clock_minute beyond horizon");
+  }
+  return run_from(from);
+}
+
+}  // namespace fx

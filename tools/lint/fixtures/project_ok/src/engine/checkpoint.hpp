@@ -1,0 +1,16 @@
+// Fixture mini-tree (project_ok): a persisted checkpoint struct whose
+// every field is covered in serialize, load, and resume-compare code
+// (checkpoint.cpp). The include reaches strictly down the layer DAG.
+// Never compiled.
+#pragma once
+
+#include "common/base.hpp"
+
+namespace fx {
+
+struct EngineCheckpoint {
+  unsigned long seed = 0;
+  unsigned long clock_minute = 0;
+};
+
+}  // namespace fx

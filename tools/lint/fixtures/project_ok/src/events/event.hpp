@@ -1,0 +1,12 @@
+// Fixture mini-tree (project_ok): the event-kind enum the sink switches
+// must cover. Never compiled.
+#pragma once
+
+namespace fx {
+
+enum class EventKind : unsigned char {
+  kMinute = 0,
+  kSession = 1,
+};
+
+}  // namespace fx

@@ -1,0 +1,30 @@
+// Fixture mini-tree (project_ok): one switch handles every EventKind;
+// another leans on a default that is explicitly marked lint-visible.
+// Never compiled.
+#include "events/event.hpp"
+
+namespace fx {
+
+void Sink::on_event(const Event& event) {
+  switch (event.kind()) {
+    case EventKind::kMinute:
+      on_minute(event);
+      break;
+    case EventKind::kSession:
+      on_session(event);
+      break;
+  }
+}
+
+void Sink::count(const Event& event) {
+  switch (event.kind()) {
+    case EventKind::kMinute:
+      ++minutes_;
+      break;
+    default:  // mtd-lint: exhaustive-default
+      ++others_;
+      break;
+  }
+}
+
+}  // namespace fx

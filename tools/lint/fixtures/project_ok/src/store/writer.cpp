@@ -1,0 +1,17 @@
+// Fixture mini-tree (project_ok): a commit path following the protocol —
+// writes, then flush, then atomic manifest replace — with every
+// fault_fire immediately adjacent to the I/O it guards. Never compiled.
+#include "common/base.hpp"
+
+namespace fx {
+
+void Writer::commit() {
+  fault_fire(fault_, "store.commit.pages");
+  file_.write(buf_.data(), buf_.size());
+  fault_fire(fault_, "store.commit.sync");
+  file_.flush();
+  fault_fire(fault_, "store.commit.manifest");
+  write_file_atomic(manifest_path_, manifest_text_);
+}
+
+}  // namespace fx

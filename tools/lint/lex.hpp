@@ -1,0 +1,114 @@
+// Shared lexical helpers for mtd-lint rules and the ProjectModel builder.
+//
+// Everything here operates on blanked code lines (SourceFile::code):
+// comment and literal contents are already spaces, so identifier matching
+// never fires inside docs or strings. These helpers were private to
+// rules.cpp while the linter was single-pass; the two-pass analyzer's
+// pass 1 (project_model.cpp) needs the same tokenizer, so they live in one
+// internal header now. Not part of the public lint.hpp surface.
+#pragma once
+
+#include <cctype>
+#include <string_view>
+
+namespace mtd::lint::lex {
+
+inline bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Finds `ident` in `line` as a whole identifier (not a substring of a
+/// longer one). A ':' before the match is accepted so both `rand` and
+/// `std::rand` hit the same token list.
+inline std::size_t find_identifier(std::string_view line,
+                                   std::string_view ident,
+                                   std::size_t from = 0) {
+  std::size_t pos = line.find(ident, from);
+  while (pos != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+    const std::size_t end = pos + ident.size();
+    const bool right_ok = end >= line.size() || !ident_char(line[end]);
+    if (left_ok && right_ok) return pos;
+    pos = line.find(ident, pos + 1);
+  }
+  return std::string_view::npos;
+}
+
+inline std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Reads one identifier (possibly ::-qualified) starting at `pos`; returns
+/// empty when `pos` does not start one.
+inline std::string_view read_qualified_identifier(std::string_view s,
+                                                  std::size_t pos) {
+  const std::size_t start = pos;
+  while (pos < s.size() && (ident_char(s[pos]) || s[pos] == ':')) ++pos;
+  return s.substr(start, pos - start);
+}
+
+/// A parsed candidate "TYPE name(" declaration head.
+struct DeclHead {
+  std::string_view type;
+  std::string_view name;
+  bool valid = false;
+};
+
+/// Matches a line whose first tokens are a return type followed by a
+/// function name and '('. Leading specifiers and attributes are skipped;
+/// `has_nodiscard` reports whether an attribute block containing
+/// "nodiscard" was seen among them. Callers filter on `type`.
+inline DeclHead parse_decl_head(std::string_view line, bool& has_nodiscard) {
+  DeclHead head;
+  std::string_view s = trim(line);
+  has_nodiscard = false;
+  for (;;) {
+    if (s.rfind("[[", 0) == 0) {
+      const std::size_t close = s.find("]]");
+      if (close == std::string_view::npos) return head;
+      if (s.substr(0, close).find("nodiscard") != std::string_view::npos) {
+        has_nodiscard = true;
+      }
+      s = trim(s.substr(close + 2));
+      continue;
+    }
+    bool stripped = false;
+    for (std::string_view spec :
+         {"static ", "virtual ", "inline ", "constexpr ", "friend ",
+          "explicit ", "extern "}) {
+      if (s.rfind(spec, 0) == 0) {
+        s = trim(s.substr(spec.size()));
+        stripped = true;
+        break;
+      }
+    }
+    if (!stripped) break;
+  }
+  const std::string_view type = read_qualified_identifier(s, 0);
+  if (type.empty()) return head;
+  std::size_t pos = type.size();
+  while (pos < s.size() && s[pos] == ' ') ++pos;
+  // A '&' or '*' here means the function returns a reference/pointer to a
+  // result object (an accessor) — not a must-check producer.
+  if (pos >= s.size() || !ident_char(s[pos]) ||
+      std::isdigit(static_cast<unsigned char>(s[pos])) != 0) {
+    return head;
+  }
+  const std::string_view name = read_qualified_identifier(s, pos);
+  pos += name.size();
+  while (pos < s.size() && s[pos] == ' ') ++pos;
+  if (pos >= s.size() || s[pos] != '(') return head;
+  head.type = type;
+  head.name = name;
+  head.valid = true;
+  return head;
+}
+
+}  // namespace mtd::lint::lex

@@ -217,33 +217,61 @@ SourceFile SourceFile::from_path(const std::string& path) {
   return from_content(path, read_file(path));
 }
 
+std::string Rule::escape_hatch() const {
+  return "// mtd-lint: allow(" + std::string(name()) + ")";
+}
+
+void Rule::check(const SourceFile&, const ProjectModel&,
+                 std::vector<Finding>&) const {}
+
+void Rule::check_project(const ProjectModel&, std::vector<Finding>&) const {}
+
 void RuleRegistry::add(std::unique_ptr<Rule> rule) {
   rules_.push_back(std::move(rule));
 }
 
-ProjectContext RuleRegistry::build_context(
-    const std::vector<SourceFile>& files) const {
-  ProjectContext project;
-  for (const SourceFile& file : files) {
-    collect_must_check_functions(file, project.must_check_functions);
-    collect_void_functions(file, project.void_functions);
-  }
-  return project;
+RuleRegistry RuleRegistry::built_in() {
+  RuleRegistry registry;
+  register_file_rules(registry);
+  register_cross_rules(registry);
+  return registry;
 }
 
 std::vector<Finding> RuleRegistry::run(
     const std::vector<SourceFile>& files) const {
-  const ProjectContext project = build_context(files);
+  const ProjectModel model = build_project_model(files);
   std::vector<Finding> findings;
-  for (const SourceFile& file : files) {
-    std::vector<Finding> raw;
-    for (const auto& rule : rules_) {
-      rule->check(file, project, raw);
-    }
+  auto keep_unsuppressed = [&](const SourceFile& file,
+                               std::vector<Finding>& raw) {
     for (Finding& f : raw) {
       if (!file.suppressed(f.rule, f.line)) {
         findings.push_back(std::move(f));
       }
+    }
+  };
+  for (const SourceFile& file : files) {
+    std::vector<Finding> raw;
+    for (const auto& rule : rules_) {
+      rule->check(file, model, raw);
+    }
+    keep_unsuppressed(file, raw);
+  }
+  // Pass 2: project-level rules, once. Each finding anchors to a file:line
+  // site; the ordinary allow() grammar applies through that file.
+  std::vector<Finding> project_raw;
+  for (const auto& rule : rules_) {
+    rule->check_project(model, project_raw);
+  }
+  for (Finding& f : project_raw) {
+    const SourceFile* anchor = nullptr;
+    for (const SourceFile& file : files) {
+      if (file.path == f.path) {
+        anchor = &file;
+        break;
+      }
+    }
+    if (anchor == nullptr || !anchor->suppressed(f.rule, f.line)) {
+      findings.push_back(std::move(f));
     }
   }
   std::sort(findings.begin(), findings.end(),
@@ -271,6 +299,19 @@ std::string findings_to_json(const std::vector<Finding>& findings,
   }
   doc.emplace("findings", Json(std::move(arr)));
   return Json(std::move(doc)).dump(2);
+}
+
+std::string list_rules_text(const RuleRegistry& registry) {
+  std::string out;
+  for (const auto& rule : registry.rules()) {
+    out += rule->name();
+    out += "\n  heuristic: ";
+    out += rule->description();
+    out += "\n  escape hatch: ";
+    out += rule->escape_hatch();
+    out += "\n";
+  }
+  return out;
 }
 
 }  // namespace mtd::lint

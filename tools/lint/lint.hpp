@@ -8,18 +8,28 @@
 // had). These are correctness bugs that compile cleanly and pass tests
 // until the thread schedule shifts. mtd-lint bans them at analysis time.
 //
-// Architecture: a RuleRegistry owns Rule instances; each rule performs a
-// lexical check over a SourceFile whose comments and string/character
-// literals have been blanked (so banned tokens inside strings or docs never
-// fire). Findings are suppressible inline:
+// Architecture: a two-pass analyzer. Pass 1 builds a ProjectModel
+// (project_model.hpp) — include graph, struct fields, function bodies,
+// fault_fire sites, EventKind switches, lock-acquisition edges — from
+// every scanned SourceFile, whose comments and string/character literals
+// have been blanked (so banned tokens inside strings or docs never fire).
+// Pass 2 runs the rules: per-file rules override check() and see one file
+// at a time; cross-file rules override check_project() and see the model,
+// anchoring findings back to concrete file:line sites. Findings are
+// suppressible inline either way:
 //
 //   foo();  // mtd-lint: allow(rule-name[, other-rule])   same line
 //   // mtd-lint: allow(rule-name)                          next line
 //   // mtd-lint: allow-file(rule-name)                     whole file
 //
+// Pre-existing findings can also be grandfathered in a committed baseline
+// file (baseline.hpp) that only ever shrinks: new findings fail the gate,
+// fixed ones must be removed with --update-baseline.
+//
 // The CLI (main.cpp) prints human-readable "path:line: [rule] message"
 // lines or, with --json, a machine-readable document built with mtd::Json.
-// Rules live in rules.cpp; DESIGN.md section 9 documents how to add one.
+// Per-file rules live in rules.cpp, cross-file rules in cross_rules.cpp;
+// DESIGN.md sections 9 and 14 document how to add one.
 #pragma once
 
 #include <cstddef>
@@ -29,6 +39,8 @@
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "lint/project_model.hpp"
 
 namespace mtd::lint {
 
@@ -71,26 +83,24 @@ struct SourceFile {
   std::set<std::string, std::less<>> file_allows;
 };
 
-/// Cross-file facts gathered in a pre-pass before rules run (e.g. the names
-/// of every function whose return value must not be ignored).
-struct ProjectContext {
-  std::set<std::string, std::less<>> must_check_functions;
-  /// Names also declared somewhere with a void return. A name on both
-  /// lists is ambiguous under lexical matching (e.g. a void run() on one
-  /// class and a Result-returning run() on another), so ignored-result
-  /// skips it rather than guess.
-  std::set<std::string, std::less<>> void_functions;
-};
-
 /// A lint rule. Stateless; findings are appended to `out` unsuppressed —
-/// the registry applies suppressions afterwards.
+/// the registry applies suppressions afterwards. Per-file rules override
+/// check(); cross-file rules override check_project() (called once per
+/// run, after the model is built). Either default is a no-op so a rule
+/// implements only the pass it needs.
 class Rule {
  public:
   virtual ~Rule() = default;
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
   [[nodiscard]] virtual std::string_view description() const noexcept = 0;
-  virtual void check(const SourceFile& file, const ProjectContext& project,
-                     std::vector<Finding>& out) const = 0;
+  /// The suppression comment that silences this rule at one site. The
+  /// default is the generic allow(); rules with a more specific mechanism
+  /// (e.g. an exhaustive-default marker) override it.
+  [[nodiscard]] virtual std::string escape_hatch() const;
+  virtual void check(const SourceFile& file, const ProjectModel& model,
+                     std::vector<Finding>& out) const;
+  virtual void check_project(const ProjectModel& model,
+                             std::vector<Finding>& out) const;
 };
 
 class RuleRegistry {
@@ -102,21 +112,25 @@ class RuleRegistry {
     return rules_;
   }
 
-  /// Builds the cross-file context (pre-pass over every file).
-  [[nodiscard]] ProjectContext build_context(
-      const std::vector<SourceFile>& files) const;
-
-  /// Runs every rule over every file and returns the surviving
-  /// (unsuppressed) findings, ordered by (path, line, rule).
+  /// Runs pass 1 (build_project_model) then every rule over every file,
+  /// and returns the surviving (unsuppressed) findings, ordered by
+  /// (path, line, rule). Cross-file findings are suppressed through the
+  /// SourceFile they anchor to, same grammar as per-file ones.
   [[nodiscard]] std::vector<Finding> run(
       const std::vector<SourceFile>& files) const;
 
-  /// All built-in rules (see rules.cpp for the catalog).
+  /// All built-in rules: the per-file catalog (rules.cpp) followed by the
+  /// cross-file catalog (cross_rules.cpp).
   [[nodiscard]] static RuleRegistry built_in();
 
  private:
   std::vector<std::unique_ptr<Rule>> rules_;
 };
+
+/// Registers the per-file rules (rules.cpp). Used by built_in().
+void register_file_rules(RuleRegistry& registry);
+/// Registers the cross-file rules (cross_rules.cpp). Used by built_in().
+void register_cross_rules(RuleRegistry& registry);
 
 /// Collects function names whose declared return type marks them
 /// must-check (types matching *Result, RunReport, ErrorCode, Status).
@@ -132,5 +146,10 @@ void collect_void_functions(const SourceFile& file,
 /// Machine-readable report: {"files_scanned": N, "findings": [...]}.
 [[nodiscard]] std::string findings_to_json(const std::vector<Finding>& findings,
                                            std::size_t files_scanned);
+
+/// The --list-rules text: one block per registered rule with its name,
+/// one-line heuristic, and escape hatch. Factored out of main.cpp so the
+/// test suite can assert the listing matches the registry.
+[[nodiscard]] std::string list_rules_text(const RuleRegistry& registry);
 
 }  // namespace mtd::lint

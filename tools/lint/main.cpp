@@ -1,27 +1,38 @@
-// mtd_lint CLI. See lint.hpp for the architecture and DESIGN.md section 9
-// for the rule catalog.
+// mtd_lint CLI. See lint.hpp for the architecture and DESIGN.md sections 9
+// and 14 for the rule catalog.
 //
 // Usage:
-//   mtd_lint [--json] [--list-rules] file...
+//   mtd_lint [--json] [--list-rules] [--baseline FILE [--update-baseline]]
+//            file...
 //
-// Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+// Exit codes: 0 clean, 1 violations found, 2 usage or I/O error. With a
+// baseline, "violations" means fresh findings plus stale (burned-down)
+// baseline entries — grandfathered findings pass but are counted.
 #include <cstdio>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/error.hpp"
+#include "io/json.hpp"
+#include "lint/baseline.hpp"
 #include "lint/lint.hpp"
 
 namespace {
 
 void print_usage() {
   std::fputs(
-      "usage: mtd_lint [--json] [--list-rules] file...\n"
+      "usage: mtd_lint [--json] [--list-rules]\n"
+      "                [--baseline FILE [--update-baseline]] file...\n"
       "\n"
       "Determinism/discipline linter for the mtd codebase.\n"
-      "  --json        machine-readable report on stdout\n"
-      "  --list-rules  print the rule catalog and exit\n"
+      "  --json             machine-readable report on stdout\n"
+      "  --list-rules       print the rule catalog (name, heuristic,\n"
+      "                     escape hatch) and exit\n"
+      "  --baseline FILE    compare findings against a committed baseline:\n"
+      "                     fresh findings and stale entries fail,\n"
+      "                     grandfathered ones pass\n"
+      "  --update-baseline  rewrite FILE from the current findings\n"
       "\n"
       "Suppressions: // mtd-lint: allow(rule)       (same or next line)\n"
       "              // mtd-lint: allow-file(rule)  (whole file)\n",
@@ -33,6 +44,8 @@ void print_usage() {
 int main(int argc, char** argv) {
   bool json = false;
   bool list_rules = false;
+  bool update_baseline = false;
+  std::string baseline_path;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -40,6 +53,14 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--list-rules") {
       list_rules = true;
+    } else if (arg == "--baseline") {
+      if (i + 1 >= argc) {
+        std::fputs("mtd_lint: --baseline needs a file argument\n", stderr);
+        return 2;
+      }
+      baseline_path = argv[++i];
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
     } else if (arg == "--help" || arg == "-h") {
       print_usage();
       return 0;
@@ -52,13 +73,15 @@ int main(int argc, char** argv) {
       paths.emplace_back(arg);
     }
   }
+  if (update_baseline && baseline_path.empty()) {
+    std::fputs("mtd_lint: --update-baseline requires --baseline FILE\n",
+               stderr);
+    return 2;
+  }
 
   const mtd::lint::RuleRegistry registry = mtd::lint::RuleRegistry::built_in();
   if (list_rules) {
-    for (const auto& rule : registry.rules()) {
-      std::printf("%-18s %s\n", std::string(rule->name()).c_str(),
-                  std::string(rule->description()).c_str());
-    }
+    std::fputs(mtd::lint::list_rules_text(registry).c_str(), stdout);
     return 0;
   }
   if (paths.empty()) {
@@ -78,16 +101,62 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<mtd::lint::Finding> findings = registry.run(files);
+
+  if (baseline_path.empty()) {
+    if (json) {
+      std::printf("%s\n",
+                  mtd::lint::findings_to_json(findings, files.size()).c_str());
+    } else {
+      for (const mtd::lint::Finding& f : findings) {
+        std::printf("%s:%zu: [%s] %s\n", f.path.c_str(), f.line,
+                    f.rule.c_str(), f.message.c_str());
+      }
+      std::printf("mtd_lint: %zu file(s), %zu violation(s)\n", files.size(),
+                  findings.size());
+    }
+    return findings.empty() ? 0 : 1;
+  }
+
+  if (update_baseline) {
+    try {
+      mtd::write_file_atomic(baseline_path,
+                             mtd::lint::Baseline::to_text(findings));
+    } catch (const mtd::Error& e) {
+      std::fprintf(stderr, "mtd_lint: %s\n", e.what());
+      return 2;
+    }
+    std::printf("mtd_lint: baseline '%s' rewritten with %zu finding(s)\n",
+                baseline_path.c_str(), findings.size());
+    return 0;
+  }
+
+  mtd::lint::BaselineDiff diff;
+  try {
+    const mtd::lint::Baseline baseline =
+        mtd::lint::Baseline::from_text(mtd::read_file(baseline_path));
+    diff = baseline.diff(findings);
+  } catch (const mtd::Error& e) {
+    std::fprintf(stderr, "mtd_lint: %s\n", e.what());
+    return 2;
+  }
   if (json) {
     std::printf("%s\n",
-                mtd::lint::findings_to_json(findings, files.size()).c_str());
+                mtd::lint::baseline_report_to_json(diff, files.size()).c_str());
   } else {
-    for (const mtd::lint::Finding& f : findings) {
+    for (const mtd::lint::Finding& f : diff.fresh) {
       std::printf("%s:%zu: [%s] %s\n", f.path.c_str(), f.line,
                   f.rule.c_str(), f.message.c_str());
     }
-    std::printf("mtd_lint: %zu file(s), %zu violation(s)\n", files.size(),
-                findings.size());
+    for (const mtd::lint::Finding& f : diff.stale) {
+      std::printf(
+          "%s:%zu: [%s] stale baseline entry (no longer reproduced); "
+          "remove it via --update-baseline to ratchet down\n",
+          f.path.c_str(), f.line, f.rule.c_str());
+    }
+    std::printf(
+        "mtd_lint: %zu file(s), %zu fresh, %zu stale, %zu grandfathered\n",
+        files.size(), diff.fresh.size(), diff.stale.size(),
+        diff.grandfathered.size());
   }
-  return findings.empty() ? 0 : 1;
+  return diff.fresh.empty() && diff.stale.empty() ? 0 : 1;
 }

@@ -1,0 +1,495 @@
+#include "lint/project_model.hpp"
+
+#include <array>
+#include <utility>
+
+#include "lint/lex.hpp"
+#include "lint/lint.hpp"
+
+namespace mtd::lint {
+
+namespace {
+
+using lex::find_identifier;
+using lex::ident_char;
+using lex::parse_decl_head;
+using lex::read_qualified_identifier;
+using lex::trim;
+
+/// Keywords that disqualify a struct-body statement from being a field.
+constexpr std::array<std::string_view, 12> kNonFieldStarts = {
+    "struct",  "class",    "enum",      "using", "friend", "static",
+    "public",  "private",  "protected", "template", "typedef", "operator",
+};
+
+/// The trailing identifier of `text` (the declared name of a field whose
+/// declaration text runs up to '=', '{' or ';'), or empty.
+std::string_view last_identifier(std::string_view text) {
+  text = trim(text);
+  if (text.empty() || !ident_char(text.back())) return {};
+  std::size_t start = text.size();
+  while (start > 0 && ident_char(text[start - 1])) --start;
+  // A lone identifier is a type without a name (e.g. "Impl;"), not a field.
+  if (trim(text.substr(0, start)).empty()) return {};
+  return text.substr(start);
+}
+
+bool starts_with_non_field_keyword(std::string_view text) {
+  for (const std::string_view k : kNonFieldStarts) {
+    if (text.rfind(k, 0) == 0 &&
+        (text.size() == k.size() || !ident_char(text[k.size()]))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Collects the data members of every struct/class defined in a file.
+/// Heuristic: inside the struct's braces, a depth-1 statement terminated
+/// by ';' or a brace initializer that contains no '(' (methods, ctors and
+/// annotated members carry parens) and does not start with a declaration
+/// keyword is a field; its name is the last identifier before any
+/// initializer. Nested blocks (inline method bodies, nested types) are
+/// skipped wholesale.
+void collect_struct_fields(const SourceFile& file,
+                           std::vector<StructField>& out) {
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string_view line = trim(file.code[i]);
+    std::string_view kw;
+    if (line.rfind("struct ", 0) == 0) kw = "struct ";
+    else if (line.rfind("class ", 0) == 0) kw = "class ";
+    else continue;
+    const std::string_view name =
+        read_qualified_identifier(line, kw.size());
+    if (name.empty()) continue;
+    // Find the opening brace before any ';' (forward declarations have
+    // none); search at most a few lines ahead.
+    std::size_t open_line = i;
+    std::size_t open_col = std::string::npos;
+    bool found = false;
+    for (std::size_t j = i; j < std::min(file.code.size(), i + 4) && !found;
+         ++j) {
+      const std::string& probe = file.code[j];
+      for (std::size_t c = 0; c < probe.size(); ++c) {
+        if (probe[c] == ';') { found = true; break; }
+        if (probe[c] == '{') {
+          open_line = j;
+          open_col = c;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (open_col == std::string::npos) continue;
+
+    // Walk the body as a depth-1 statement machine. `stmt` accumulates the
+    // current statement's text; everything at depth >= 2 is ignored.
+    auto emit_field = [&](std::string_view text, std::size_t line_no) {
+      text = trim(text);
+      if (text.empty() || text.find('(') != std::string_view::npos) return;
+      if (starts_with_non_field_keyword(text)) return;
+      std::size_t end = text.size();
+      const std::size_t eq = text.find('=');
+      if (eq != std::string_view::npos) end = std::min(end, eq);
+      const std::string_view field = last_identifier(text.substr(0, end));
+      if (!field.empty()) {
+        out.push_back(
+            {std::string(name), std::string(field), file.path, line_no});
+      }
+    };
+    int depth = 0;
+    std::string stmt;
+    bool done = false;
+    for (std::size_t j = open_line; j < file.code.size() && !done; ++j) {
+      const std::string& body = file.code[j];
+      for (std::size_t c = j == open_line ? open_col : 0; c < body.size();
+           ++c) {
+        const char ch = body[c];
+        if (ch == '{') {
+          ++depth;
+          if (depth == 2) {
+            // Entering a nested block: a brace-initialized field keeps its
+            // head as the field declaration; a method body / nested type
+            // is discarded wholesale.
+            const std::string_view text = trim(stmt);
+            if (!text.empty() &&
+                text.find('(') == std::string_view::npos &&
+                !starts_with_non_field_keyword(text)) {
+              emit_field(text, j + 1);
+            }
+            stmt.clear();
+          }
+          continue;
+        }
+        if (ch == '}') {
+          --depth;
+          if (depth == 0) {
+            done = true;
+            break;
+          }
+          continue;
+        }
+        if (depth != 1) continue;
+        if (ch == ';') {
+          emit_field(stmt, j + 1);
+          stmt.clear();
+          continue;
+        }
+        if (ch == ':') {
+          // Access specifiers reset the statement; "::" and bit-fields
+          // keep accumulating.
+          const std::string_view text = trim(stmt);
+          if (text == "public" || text == "private" || text == "protected") {
+            stmt.clear();
+            continue;
+          }
+        }
+        stmt += ch;
+      }
+      if (!done && depth >= 1) stmt += ' ';  // line break inside a statement
+    }
+  }
+}
+
+/// Collects every function definition body: a "TYPE name(" head whose
+/// statement terminator is '{' rather than ';'. The body text (blanked) is
+/// captured from that '{' through its matching '}'.
+void collect_function_bodies(const SourceFile& file,
+                             std::vector<FunctionBody>& out) {
+  // Statement keywords that parse_decl_head can mistake for return types
+  // ("return Foo(...)", "co_return Bar(...)").
+  static constexpr std::array<std::string_view, 12> kStmtKeywords = {
+      "return", "throw",    "new",   "delete",    "goto",     "do",
+      "using",  "typedef",  "else",  "co_return", "co_await", "co_yield",
+  };
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    bool has_nodiscard = false;
+    const lex::DeclHead head = parse_decl_head(file.code[i], has_nodiscard);
+    if (!head.valid) continue;
+    bool keyword = false;
+    for (const std::string_view k : kStmtKeywords) {
+      if (head.type == k) { keyword = true; break; }
+    }
+    if (keyword) continue;
+    // Scan forward for the statement terminator; ';' means declaration.
+    std::size_t open_line = 0;
+    std::size_t open_col = 0;
+    bool found = false;
+    for (std::size_t j = i; j < std::min(file.code.size(), i + 8) && !found;
+         ++j) {
+      for (std::size_t c = 0; c < file.code[j].size(); ++c) {
+        const char ch = file.code[j][c];
+        if (ch == ';') { found = true; open_col = std::string::npos; break; }
+        if (ch == '{') { found = true; open_line = j; open_col = c; break; }
+      }
+    }
+    if (!found || open_col == std::string::npos) continue;
+
+    FunctionBody body;
+    body.name = std::string(head.name);
+    body.path = file.path;
+    body.line = i + 1;
+    int depth = 0;
+    bool done = false;
+    for (std::size_t j = open_line; j < file.code.size() && !done; ++j) {
+      const std::string& text = file.code[j];
+      for (std::size_t c = j == open_line ? open_col : 0; c < text.size();
+           ++c) {
+        const char ch = text[c];
+        body.text += ch;
+        if (ch == '{') ++depth;
+        if (ch == '}' && --depth == 0) { done = true; break; }
+      }
+      body.text += '\n';
+    }
+    if (done) out.push_back(std::move(body));
+  }
+}
+
+/// Captures the enumerators of `enum class EventKind` when a scanned file
+/// declares it.
+void collect_event_kinds(const SourceFile& file,
+                         std::vector<std::string>& out) {
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::size_t pos = file.code[i].find("enum class EventKind");
+    if (pos == std::string::npos) continue;
+    // Enumerators: identifiers at depth 1 that open a "name [= value] ,|}"
+    // item.
+    int depth = 0;
+    bool expecting = false;
+    for (std::size_t j = i; j < file.code.size(); ++j) {
+      const std::string& line = file.code[j];
+      for (std::size_t c = j == i ? pos : 0; c < line.size(); ++c) {
+        const char ch = line[c];
+        if (ch == '{') {
+          ++depth;
+          expecting = true;
+          continue;
+        }
+        if (ch == '}') return;  // EventKind is a flat enum: first '}' ends it
+        if (depth != 1) continue;
+        if (ch == ',') {
+          expecting = true;
+          continue;
+        }
+        if (expecting && ident_char(ch)) {
+          const std::string_view name =
+              read_qualified_identifier(line, c);
+          out.emplace_back(name);
+          c += name.size() - 1;
+          expecting = false;
+        }
+      }
+    }
+    return;
+  }
+}
+
+/// Collects switch statements over an event kind and their EventKind case
+/// labels / default labels.
+void collect_kind_switches(const SourceFile& file,
+                           std::vector<KindSwitch>& out) {
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::size_t sw = find_identifier(file.code[i], "switch");
+    if (sw == std::string::npos) continue;
+    const std::size_t open = file.code[i].find('(', sw);
+    if (open == std::string::npos) continue;
+    // Condition text (single line is enough: every switch head in this
+    // codebase fits one line; a multi-line head simply isn't matched).
+    int pdepth = 0;
+    std::size_t close = std::string::npos;
+    for (std::size_t c = open; c < file.code[i].size(); ++c) {
+      if (file.code[i][c] == '(') ++pdepth;
+      if (file.code[i][c] == ')' && --pdepth == 0) { close = c; break; }
+    }
+    if (close == std::string::npos) continue;
+    const std::string_view cond =
+        std::string_view(file.code[i]).substr(open + 1, close - open - 1);
+    if (cond.find("kind") == std::string_view::npos) continue;
+
+    KindSwitch ks;
+    ks.path = file.path;
+    ks.line = i + 1;
+    // Walk the switch body collecting labels.
+    int depth = 0;
+    bool entered = false;
+    bool done = false;
+    for (std::size_t j = i; j < file.code.size() && !done; ++j) {
+      const std::string& line = file.code[j];
+      for (std::size_t c = j == i ? close : 0; c < line.size(); ++c) {
+        if (line[c] == '{') { ++depth; entered = true; }
+        if (line[c] == '}' && --depth == 0 && entered) { done = true; break; }
+      }
+      if (!entered) continue;
+      const std::string_view t = trim(line);
+      if (t.rfind("case ", 0) == 0) {
+        const std::size_t ek = t.find("EventKind::");
+        if (ek != std::string_view::npos) {
+          // read_qualified_identifier accepts ':' (for "::"), so the
+          // label's terminating colon rides along; strip it.
+          std::string_view label = read_qualified_identifier(t, ek + 11);
+          while (!label.empty() && label.back() == ':') {
+            label.remove_suffix(1);
+          }
+          if (!label.empty()) ks.cases.emplace(label);
+        }
+      } else if (t.rfind("default", 0) == 0 &&
+                 t.find(':') != std::string_view::npos) {
+        ks.default_lines.push_back(j + 1);
+        ks.default_marked.push_back(
+            j < file.lines.size() &&
+            file.lines[j].find("mtd-lint: exhaustive-default") !=
+                std::string::npos);
+      }
+    }
+    if (!ks.cases.empty() || !ks.default_lines.empty()) {
+      out.push_back(std::move(ks));
+    }
+  }
+}
+
+/// Normalizes a mutex expression: strips spaces, leading '&'/'*' and a
+/// "this->" prefix, so `mutex_`, `this->mutex_` and `*mutex_` unify.
+std::string normalize_mutex(std::string_view expr) {
+  std::string norm;
+  for (const char c : expr) {
+    if (c != ' ' && c != '\t') norm += c;
+  }
+  while (!norm.empty() && (norm.front() == '&' || norm.front() == '*')) {
+    norm.erase(norm.begin());
+  }
+  if (norm.rfind("this->", 0) == 0) norm.erase(0, 6);
+  return norm;
+}
+
+/// Derives lock-acquisition edges from MutexLock nesting and MTD_REQUIRES
+/// contracts. A held lock is any MutexLock (or REQUIRES-declared capability)
+/// in an enclosing scope that has not yet closed.
+void collect_lock_edges(const SourceFile& file, std::vector<LockEdge>& out) {
+  struct Held {
+    std::string lock;
+    int depth;
+  };
+  std::vector<Held> held;
+  int depth = 0;
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    // Acquisitions on this line are recorded before its brace movements:
+    // `{ MutexLock lock(m); }` one-liners are rare and conservative here.
+    for (const char* token : {"MutexLock", "MTD_REQUIRES"}) {
+      const bool is_requires = token[1] == 'T';
+      std::size_t pos = find_identifier(line, token);
+      while (pos != std::string::npos) {
+        std::size_t p = pos + std::string_view(token).size();
+        if (!is_requires) {
+          // MutexLock <var>( <expr> )
+          while (p < line.size() && (line[p] == ' ' || line[p] == '&')) ++p;
+          const std::string_view var = read_qualified_identifier(line, p);
+          p += var.size();
+        }
+        while (p < line.size() && line[p] == ' ') ++p;
+        if (p >= line.size() || line[p] != '(') break;
+        int pd = 0;
+        std::size_t close = std::string::npos;
+        for (std::size_t c = p; c < line.size(); ++c) {
+          if (line[c] == '(') ++pd;
+          if (line[c] == ')' && --pd == 0) { close = c; break; }
+        }
+        if (close == std::string::npos) break;
+        // An MTD_REQUIRES on a pure declaration (terminated by ';' on the
+        // same line) holds nothing here — only a definition's contract
+        // carries into the body that follows.
+        if (is_requires &&
+            line.find(';', close) != std::string::npos) {
+          pos = find_identifier(line, token, close);
+          continue;
+        }
+        const std::string lock =
+            normalize_mutex(line.substr(p + 1, close - p - 1));
+        if (!lock.empty()) {
+          for (const Held& h : held) {
+            if (h.lock != lock) {
+              out.push_back({h.lock, lock, file.path, i + 1});
+            }
+          }
+          // A MutexLock is released when its enclosing scope closes; a
+          // REQUIRES contract is released when the *upcoming* body closes,
+          // which returns the walk to the current depth.
+          held.push_back({lock, is_requires ? depth + 1 : depth});
+        }
+        pos = find_identifier(line, token, close);
+      }
+    }
+    for (const char c : line) {
+      if (c == '{') ++depth;
+      if (c == '}') {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+        if (depth <= 0) {
+          depth = 0;
+          held.clear();
+        }
+      }
+    }
+  }
+}
+
+/// Records every fault_fire call site with the point name it fires. Point
+/// names are string literals, so they are read from the raw lines.
+void collect_fault_sites(const SourceFile& file,
+                         std::vector<FaultSite>& out) {
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    if (find_identifier(file.code[i], "fault_fire") == std::string::npos) {
+      continue;
+    }
+    const std::string& raw =
+        i < file.lines.size() ? file.lines[i] : file.code[i];
+    const std::size_t call = raw.find("fault_fire");
+    std::string point;
+    if (call != std::string::npos) {
+      const std::size_t q1 = raw.find('"', call);
+      const std::size_t q2 =
+          q1 == std::string::npos ? q1 : raw.find('"', q1 + 1);
+      if (q2 != std::string::npos) point = raw.substr(q1 + 1, q2 - q1 - 1);
+    }
+    out.push_back({std::move(point), file.path, i + 1});
+  }
+}
+
+void collect_includes(const SourceFile& file, std::vector<IncludeEdge>& out) {
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string_view line = trim(file.lines[i]);
+    if (line.rfind("#include", 0) != 0) continue;
+    const std::size_t open = line.find('"', 8);
+    if (open == std::string_view::npos) continue;  // <system> includes
+    const std::size_t close = line.find('"', open + 1);
+    if (close == std::string_view::npos) continue;
+    out.push_back({file.path, i + 1,
+                   std::string(line.substr(open + 1, close - open - 1))});
+  }
+}
+
+}  // namespace
+
+bool ProjectModel::in_src(std::string_view path) {
+  return path.rfind("src/", 0) == 0 ||
+         path.find("/src/") != std::string_view::npos;
+}
+
+std::string ProjectModel::src_dir(std::string_view path) {
+  std::size_t start = 0;
+  if (path.rfind("src/", 0) == 0) {
+    start = 4;
+  } else {
+    const std::size_t pos = path.find("/src/");
+    if (pos == std::string_view::npos) return {};
+    start = pos + 5;
+  }
+  const std::size_t slash = path.find('/', start);
+  if (slash == std::string_view::npos) return {};  // file directly in src/
+  return std::string(path.substr(start, slash - start));
+}
+
+std::vector<const StructField*> ProjectModel::fields_of(
+    std::string_view struct_name) const {
+  std::vector<const StructField*> out;
+  for (const StructField& f : struct_fields) {
+    if (f.struct_name == struct_name) out.push_back(&f);
+  }
+  return out;
+}
+
+std::vector<const FunctionBody*> ProjectModel::bodies_of(
+    std::string_view function) const {
+  std::vector<const FunctionBody*> out;
+  for (const FunctionBody& b : functions) {
+    const bool exact = b.name == function;
+    const bool suffix = b.name.size() > function.size() + 2 &&
+                        b.name.compare(b.name.size() - function.size(),
+                                       function.size(), function) == 0 &&
+                        b.name.compare(b.name.size() - function.size() - 2, 2,
+                                       "::") == 0;
+    if (exact || suffix) out.push_back(&b);
+  }
+  return out;
+}
+
+ProjectModel build_project_model(const std::vector<SourceFile>& files) {
+  ProjectModel model;
+  for (const SourceFile& file : files) {
+    collect_includes(file, model.includes);
+    collect_must_check_functions(file, model.must_check_functions);
+    collect_void_functions(file, model.void_functions);
+    if (!ProjectModel::in_src(file.path)) continue;
+    model.file_code.emplace_back(file.path, file.code);
+    collect_struct_fields(file, model.struct_fields);
+    collect_function_bodies(file, model.functions);
+    collect_event_kinds(file, model.event_kinds);
+    collect_kind_switches(file, model.kind_switches);
+    collect_lock_edges(file, model.lock_edges);
+    collect_fault_sites(file, model.fault_sites);
+  }
+  return model;
+}
+
+}  // namespace mtd::lint

@@ -1,0 +1,130 @@
+// Pass 1 of the two-pass analyzer: the ProjectModel.
+//
+// mtd-lint started as a per-file lexical scanner, but the invariants the
+// last PRs layered into the tree are cross-file by nature: the include DAG,
+// checkpoint field parity across serialize/load/resume code, the
+// append→flush→rename commit protocol, StreamEvent kind coverage in every
+// sink switch, and the lock-acquisition order implied by MutexLock nesting.
+// None of those are visible from one file at a time.
+//
+// The ProjectModel is the shared pre-pass: one walk over every scanned
+// SourceFile (comment/string-blanked, same as the per-file rules see)
+// extracts the facts below; pass 2 rules (cross_rules.cpp) then check
+// project-wide invariants against the model and anchor their findings back
+// to concrete file:line sites, where the ordinary allow() suppression
+// grammar applies. Facts that describe the production tree (struct fields,
+// function bodies, lock edges, kind switches) are collected only from
+// paths under a src/ component, so test/bench/example code can never mask
+// a gap in the real implementation — and so fixture trees under
+// tools/lint/fixtures/*/src/ exercise the rules exactly like the real one.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mtd::lint {
+
+struct SourceFile;
+
+/// One quoted #include in a scanned file.
+struct IncludeEdge {
+  std::string path;    ///< including file
+  std::size_t line = 0;
+  std::string target;  ///< include path as written, e.g. "engine/engine.hpp"
+};
+
+/// One data member of a struct/class collected from a src/ header.
+struct StructField {
+  std::string struct_name;
+  std::string field;
+  std::string path;
+  std::size_t line = 0;  ///< 1-based line of the field declaration
+};
+
+/// One function definition body (blanked text, braces included), keyed by
+/// the name as written at the definition (possibly ::-qualified).
+struct FunctionBody {
+  std::string name;  ///< e.g. "EngineCheckpoint::to_json" or "parse_common"
+  std::string path;
+  std::size_t line = 0;  ///< 1-based line of the definition head
+  std::string text;      ///< blanked body text, '{' through matching '}'
+};
+
+/// One switch statement whose condition mentions an event kind and whose
+/// labels are EventKind enumerators.
+struct KindSwitch {
+  std::string path;
+  std::size_t line = 0;                ///< line of the switch statement
+  std::set<std::string> cases;         ///< EventKind enumerators seen
+  std::vector<std::size_t> default_lines;  ///< lines of default: labels
+  std::vector<bool> default_marked;    ///< carries the exhaustive-default marker
+};
+
+/// One observed lock-acquisition order: `held` was held (MutexLock in an
+/// enclosing scope, or an MTD_REQUIRES contract) when `acquired` was taken.
+struct LockEdge {
+  std::string held;
+  std::string acquired;
+  std::string path;
+  std::size_t line = 0;  ///< line of the inner acquisition
+};
+
+/// One fault_fire call site and the literal point name it fires.
+struct FaultSite {
+  std::string point;
+  std::string path;
+  std::size_t line = 0;
+};
+
+/// Cross-file facts gathered in pass 1; pass 2 rules consume this instead
+/// of re-scanning. Built once per RuleRegistry::run.
+struct ProjectModel {
+  // Include graph of every scanned file (all paths, not just src/).
+  std::vector<IncludeEdge> includes;
+
+  // Facts below are collected only from files under a src/ path component.
+  std::vector<StructField> struct_fields;
+  std::vector<FunctionBody> functions;
+  std::vector<KindSwitch> kind_switches;
+  std::vector<LockEdge> lock_edges;
+  std::vector<FaultSite> fault_sites;
+  /// Enumerators of `enum class EventKind`, in declaration order; empty
+  /// when no scanned file declares the enum (kind rules stay inert).
+  std::vector<std::string> event_kinds;
+  /// Blanked code lines of every src/ file, for rules that re-scan line
+  /// context around a model fact (e.g. fault-site adjacency).
+  std::vector<std::pair<std::string, std::vector<std::string>>> file_code;
+
+  // Legacy per-name facts shared by missing-nodiscard / ignored-result.
+  std::set<std::string, std::less<>> must_check_functions;
+  /// Names also declared somewhere with a void return. A name on both
+  /// lists is ambiguous under lexical matching, so ignored-result skips it
+  /// rather than guess.
+  std::set<std::string, std::less<>> void_functions;
+
+  /// All fields of `struct_name` across the scanned src/ headers.
+  [[nodiscard]] std::vector<const StructField*> fields_of(
+      std::string_view struct_name) const;
+
+  /// All definition bodies whose name matches `function` exactly or as a
+  /// ::-suffix (so "to_json" finds "EngineCheckpoint::to_json" and
+  /// "StreamEngine::resume" matches both resume overload definitions).
+  [[nodiscard]] std::vector<const FunctionBody*> bodies_of(
+      std::string_view function) const;
+
+  /// True when `path` has a "src/" component (the production tree or a
+  /// fixture mini-tree).
+  [[nodiscard]] static bool in_src(std::string_view path);
+  /// The directory component right after "src/" ("" when none).
+  [[nodiscard]] static std::string src_dir(std::string_view path);
+};
+
+/// Pass 1: builds the model from the scanned files.
+[[nodiscard]] ProjectModel build_project_model(
+    const std::vector<SourceFile>& files);
+
+}  // namespace mtd::lint

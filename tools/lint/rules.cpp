@@ -11,31 +11,19 @@
 #include <string_view>
 #include <vector>
 
+#include "lint/lex.hpp"
 #include "lint/lint.hpp"
 
 namespace mtd::lint {
 
 namespace {
 
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Finds `ident` in `line` as a whole identifier (not a substring of a
-/// longer one). A ':' before the match is accepted so both `rand` and
-/// `std::rand` hit the same token list.
-std::size_t find_identifier(std::string_view line, std::string_view ident,
-                            std::size_t from = 0) {
-  std::size_t pos = line.find(ident, from);
-  while (pos != std::string_view::npos) {
-    const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
-    const std::size_t end = pos + ident.size();
-    const bool right_ok = end >= line.size() || !ident_char(line[end]);
-    if (left_ok && right_ok) return pos;
-    pos = line.find(ident, pos + 1);
-  }
-  return std::string_view::npos;
-}
+using lex::DeclHead;
+using lex::find_identifier;
+using lex::ident_char;
+using lex::parse_decl_head;
+using lex::read_qualified_identifier;
+using lex::trim;
 
 bool path_contains(const SourceFile& file,
                    std::initializer_list<std::string_view> fragments) {
@@ -43,26 +31,6 @@ bool path_contains(const SourceFile& file,
     if (file.path.find(frag) != std::string::npos) return true;
   }
   return false;
-}
-
-std::string_view trim(std::string_view s) {
-  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
-                        s.back() == '\r')) {
-    s.remove_suffix(1);
-  }
-  return s;
-}
-
-/// Reads one identifier (possibly ::-qualified) starting at `pos`; returns
-/// empty when `pos` does not start one.
-std::string_view read_qualified_identifier(std::string_view s,
-                                           std::size_t pos) {
-  const std::size_t start = pos;
-  while (pos < s.size() && (ident_char(s[pos]) || s[pos] == ':')) ++pos;
-  return s.substr(start, pos - start);
 }
 
 /// True when the (possibly ::-qualified) type name marks a must-check
@@ -76,63 +44,6 @@ bool is_must_check_type(std::string_view type) {
     return true;
   }
   return base == "RunReport" || base == "ErrorCode" || base == "Status";
-}
-
-/// A parsed candidate "TYPE name(" declaration head.
-struct DeclHead {
-  std::string_view type;
-  std::string_view name;
-  bool valid = false;
-};
-
-/// Matches a line whose first tokens are a return type followed by a
-/// function name and '('. Leading specifiers and attributes are skipped;
-/// `has_nodiscard` reports whether an attribute block containing
-/// "nodiscard" was seen among them. Callers filter on `type`.
-DeclHead parse_decl_head(std::string_view line, bool& has_nodiscard) {
-  DeclHead head;
-  std::string_view s = trim(line);
-  has_nodiscard = false;
-  for (;;) {
-    if (s.rfind("[[", 0) == 0) {
-      const std::size_t close = s.find("]]");
-      if (close == std::string_view::npos) return head;
-      if (s.substr(0, close).find("nodiscard") != std::string_view::npos) {
-        has_nodiscard = true;
-      }
-      s = trim(s.substr(close + 2));
-      continue;
-    }
-    bool stripped = false;
-    for (std::string_view spec :
-         {"static ", "virtual ", "inline ", "constexpr ", "friend ",
-          "explicit ", "extern "}) {
-      if (s.rfind(spec, 0) == 0) {
-        s = trim(s.substr(spec.size()));
-        stripped = true;
-        break;
-      }
-    }
-    if (!stripped) break;
-  }
-  const std::string_view type = read_qualified_identifier(s, 0);
-  if (type.empty()) return head;
-  std::size_t pos = type.size();
-  while (pos < s.size() && s[pos] == ' ') ++pos;
-  // A '&' or '*' here means the function returns a reference/pointer to a
-  // result object (an accessor) — not a must-check producer.
-  if (pos >= s.size() || !ident_char(s[pos]) ||
-      std::isdigit(static_cast<unsigned char>(s[pos])) != 0) {
-    return head;
-  }
-  const std::string_view name = read_qualified_identifier(s, pos);
-  pos += name.size();
-  while (pos < s.size() && s[pos] == ' ') ++pos;
-  if (pos >= s.size() || s[pos] != '(') return head;
-  head.type = type;
-  head.name = name;
-  head.valid = true;
-  return head;
 }
 
 /// Scans forward from `line_idx` for the first ';' or '{' that terminates
@@ -163,7 +74,7 @@ class BannedRandomRule final : public Rule {
            "stochastic draw must come from a seeded mtd::Rng stream "
            "(sanctioned file: src/common/rng.*)";
   }
-  void check(const SourceFile& file, const ProjectContext&,
+  void check(const SourceFile& file, const ProjectModel&,
              std::vector<Finding>& out) const override {
     if (path_contains(file, {"common/rng."})) return;
     static constexpr std::array<std::string_view, 6> kBanned = {
@@ -199,7 +110,7 @@ class WallClockRule final : public Rule {
            "simulated time comes from the virtual clock, pacing and "
            "telemetry from steady_clock";
   }
-  void check(const SourceFile& file, const ProjectContext&,
+  void check(const SourceFile& file, const ProjectModel&,
              std::vector<Finding>& out) const override {
     static constexpr std::array<std::string_view, 6> kBanned = {
         "system_clock", "gettimeofday", "clock_gettime",
@@ -255,7 +166,7 @@ class RawMutexRule final : public Rule {
            "MutexLock/ConditionVariable wrappers so Clang thread-safety "
            "analysis sees every lock (sanctioned file: src/common/mutex.*)";
   }
-  void check(const SourceFile& file, const ProjectContext&,
+  void check(const SourceFile& file, const ProjectModel&,
              std::vector<Finding>& out) const override {
     if (path_contains(file, {"common/mutex."})) return;
     static constexpr std::array<std::string_view, 12> kBanned = {
@@ -303,7 +214,7 @@ class UnorderedFoldRule final : public Rule {
            "unspecified, so folds must run over ordered containers or "
            "sorted copies";
   }
-  void check(const SourceFile& file, const ProjectContext&,
+  void check(const SourceFile& file, const ProjectModel&,
              std::vector<Finding>& out) const override {
     // Pass 1: names declared as std::unordered_* in this file.
     std::vector<std::string> unordered_names;
@@ -412,7 +323,7 @@ class MissingNodiscardRule final : public Rule {
            "Status must be [[nodiscard]]: a silently dropped outcome is a "
            "swallowed failure";
   }
-  void check(const SourceFile& file, const ProjectContext&,
+  void check(const SourceFile& file, const ProjectModel&,
              std::vector<Finding>& out) const override {
     for (std::size_t i = 0; i < file.code.size(); ++i) {
       bool has_nodiscard = false;
@@ -454,7 +365,7 @@ class IgnoredResultRule final : public Rule {
            "*Result/RunReport/ErrorCode/Status (collected from the scanned "
            "declarations) whose value is discarded";
   }
-  void check(const SourceFile& file, const ProjectContext& project,
+  void check(const SourceFile& file, const ProjectModel& project,
              std::vector<Finding>& out) const override {
     if (project.must_check_functions.empty()) return;
     for (std::size_t i = 0; i < file.code.size(); ++i) {
@@ -531,7 +442,7 @@ class IncludeHygieneRule final : public Rule {
     return "headers must start with #pragma once; no duplicate #include of "
            "the same file; no \"..\"-relative include paths";
   }
-  void check(const SourceFile& file, const ProjectContext&,
+  void check(const SourceFile& file, const ProjectModel&,
              std::vector<Finding>& out) const override {
     bool pragma_once = false;
     std::vector<std::string> seen;
@@ -600,8 +511,7 @@ void collect_void_functions(const SourceFile& file,
   }
 }
 
-RuleRegistry RuleRegistry::built_in() {
-  RuleRegistry registry;
+void register_file_rules(RuleRegistry& registry) {
   registry.add(std::make_unique<BannedRandomRule>());
   registry.add(std::make_unique<WallClockRule>());
   registry.add(std::make_unique<RawMutexRule>());
@@ -609,7 +519,6 @@ RuleRegistry RuleRegistry::built_in() {
   registry.add(std::make_unique<MissingNodiscardRule>());
   registry.add(std::make_unique<IgnoredResultRule>());
   registry.add(std::make_unique<IncludeHygieneRule>());
-  return registry;
 }
 
 }  // namespace mtd::lint
