@@ -68,7 +68,7 @@ void print_bs_level() {
                "Extension - BS-level aggregates from session-level models");
   TextTable table({"decile", "daily volume", "peak minute", "day/night",
                    "circadian R^2"});
-  const ModelSessionSource source(bench_registry());
+  const ModelDrawSource source(bench_registry());
   for (std::uint8_t d : {std::uint8_t{2}, std::uint8_t{5}, std::uint8_t{8}}) {
     const BsTrafficGenerator generator(
         bench_registry().arrivals().class_model(d),

@@ -8,12 +8,18 @@
 //   scan          single-BS day-range scan: pages read and leaves pruned
 //                 by fences and bloom filters
 //   replay        full-store key-order replay into a counting sink
+//   compaction    a 45-segment synthetic store (one segment per simulated
+//                 day, 5 in fast mode) merged into one: wall time plus
+//                 index pages and single-BS scan pages before vs after
 //
 // The pruning claim of the index is asserted, not just reported: the
 // single-BS scan must read strictly fewer pages than the full replay, and
-// the replayed event count must equal the ingested one. The report goes to
-// BENCH_store.json (schema: {bench: "store", fast, ingest: {...},
-// point_lookup: {...}, scan: {...}, replay: {...}}) for CI trend tracking.
+// the replayed event count must equal the ingested one. Likewise the
+// compaction claim: merging per-day segments must shrink the index
+// (fence + bloom) page count and must not make the pruned scan read more
+// pages. The report goes to BENCH_store.json (schema: {bench: "store",
+// fast, ingest: {...}, point_lookup: {...}, scan: {...}, replay: {...},
+// compaction: {...}}) for CI trend tracking.
 // MTD_BENCH_FAST shrinks the scenario for smoke runs. google-benchmark
 // timings of the point-lookup and bloom kernels follow.
 #include <chrono>
@@ -156,6 +162,120 @@ JsonObject run_replay(store::TraceStore& reader, std::uint64_t ingested,
   return row;
 }
 
+// --- Compaction: per-day segments vs one merged segment -------------------
+//
+// The engine-backed store above has few segments; the per-segment index
+// overhead compaction exists to reclaim only shows at the paper's horizon.
+// So this section builds its own synthetic store with one committed
+// segment per simulated day (45 days, matching the measurement campaign;
+// 5 in fast mode) and measures the merge directly.
+
+std::size_t compact_days() { return mtd::bench::fast_mode() ? 5 : 45; }
+
+const char* compact_store_path() { return "/tmp/mtd_bench_compact.store"; }
+
+std::uint64_t index_pages(const store::StoreManifest& manifest) {
+  std::uint64_t pages = 0;
+  for (const store::SegmentInfo& seg : manifest.segments) {
+    pages += seg.num_pages - seg.num_leaves;  // fence + bloom pages
+  }
+  return pages;
+}
+
+std::uint64_t timed_bs_scan(store::TraceStore& reader, std::uint32_t bs,
+                            std::uint16_t day_hi, double* wall_s_out) {
+  reader.reset_telemetry();
+  const auto t0 = Clock::now();
+  std::uint64_t events = 0;
+  (void)reader.scan(bs, 0, day_hi, [&events](const StreamEvent&) {
+    ++events;
+  });
+  *wall_s_out = seconds_since(t0);
+  return reader.telemetry().pages_read;
+}
+
+JsonObject run_compaction() {
+  const std::uint16_t days = static_cast<std::uint16_t>(compact_days());
+  constexpr std::uint32_t kNumBs = 32;
+  constexpr std::uint16_t kMinutes = 16;
+  {
+    store::TraceStoreWriter writer =
+        store::TraceStoreWriter::create(compact_store_path());
+    for (std::uint16_t day = 0; day < days; ++day) {
+      for (std::uint16_t minute = 0; minute < kMinutes; ++minute) {
+        for (std::uint32_t bs = 0; bs < kNumBs; ++bs) {
+          StreamEvent event;
+          event.key = EventKey{bs, day, minute, 0};
+          event.payload = MinuteEvent{bs + minute};
+          writer.on_event(event);
+        }
+      }
+      writer.commit();  // one segment per day, like the store runner
+    }
+    writer.close();
+  }
+
+  std::uint64_t index_before = 0;
+  std::uint64_t scan_pages_before = 0;
+  std::uint64_t segments_before = 0;
+  double scan_wall_before = 0.0;
+  {
+    store::TraceStore reader(compact_store_path());
+    segments_before = reader.manifest().segments.size();
+    index_before = index_pages(reader.manifest());
+    scan_pages_before = timed_bs_scan(
+        reader, 7, static_cast<std::uint16_t>(days - 1), &scan_wall_before);
+  }
+
+  const auto t0 = Clock::now();
+  store::CompactionReport merged;
+  {
+    store::TraceStoreWriter writer =
+        store::TraceStoreWriter::append(compact_store_path());
+    merged = writer.compact();
+    writer.close();
+  }
+  const double compact_wall_s = seconds_since(t0);
+
+  store::TraceStore reader(compact_store_path());
+  const std::uint64_t index_after = index_pages(reader.manifest());
+  double scan_wall_after = 0.0;
+  const std::uint64_t scan_pages_after = timed_bs_scan(
+      reader, 7, static_cast<std::uint16_t>(days - 1), &scan_wall_after);
+
+  // The point of compaction is reclaiming per-segment index overhead: N
+  // roots, N fence chains and N bloom filters collapse into one of each.
+  if (index_after >= index_before) {
+    std::cerr << "FATAL: compaction left " << index_after
+              << " index pages, had " << index_before
+              << " — merged index is not smaller\n";
+    std::exit(1);
+  }
+  if (scan_pages_after > scan_pages_before) {
+    std::cerr << "FATAL: single-BS scan reads " << scan_pages_after
+              << " pages after compaction, " << scan_pages_before
+              << " before — the merged fences prune worse\n";
+    std::exit(1);
+  }
+
+  JsonObject row;
+  row.emplace("days", static_cast<double>(days));
+  row.emplace("events", static_cast<double>(merged.events));
+  row.emplace("segments_before", static_cast<double>(segments_before));
+  row.emplace("segments_after",
+              static_cast<double>(reader.manifest().segments.size()));
+  row.emplace("wall_s", compact_wall_s);
+  row.emplace("pages_written", static_cast<double>(merged.pages_written));
+  row.emplace("pages_retired", static_cast<double>(merged.pages_retired));
+  row.emplace("index_pages_before", static_cast<double>(index_before));
+  row.emplace("index_pages_after", static_cast<double>(index_after));
+  row.emplace("scan_pages_before", static_cast<double>(scan_pages_before));
+  row.emplace("scan_pages_after", static_cast<double>(scan_pages_after));
+  row.emplace("scan_wall_s_before", scan_wall_before);
+  row.emplace("scan_wall_s_after", scan_wall_after);
+  return row;
+}
+
 void BM_StorePointLookup(benchmark::State& state) {
   store::TraceStore reader(store_path());
   const store::SegmentInfo& seg = reader.manifest().segments.front();
@@ -223,10 +343,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  JsonObject compaction = run_compaction();
+  std::cout << Json(JsonObject(compaction)).dump() << "\n";
+
   report.emplace("ingest", Json(std::move(ingest)));
   report.emplace("point_lookup", Json(std::move(lookups)));
   report.emplace("scan", Json(std::move(scan)));
   report.emplace("replay", Json(std::move(replay)));
+  report.emplace("compaction", Json(std::move(compaction)));
   mtd::write_file("BENCH_store.json", Json(std::move(report)).dump());
   std::cerr << "[bench] wrote BENCH_store.json\n";
   return mtd::bench::run_benchmarks(argc, argv);

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   const MeasurementDataset dataset = collect_dataset(network, trace);
   const ModelRegistry registry = ModelRegistry::fit(dataset);
 
-  const ModelSessionSource source(registry);
+  const ModelDrawSource source(registry);
   const BsTrafficGenerator generator(
       registry.arrivals().class_model(decile), registry.arrivals(), source);
   const PacketScheduleGenerator packets;

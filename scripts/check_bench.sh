@@ -98,6 +98,19 @@ for key in ("pages_read", "leaves_skipped_fence", "leaves_skipped_bloom"):
 # The index must prune: the single-BS scan reads fewer pages than replay.
 assert store["scan"]["pages_read"] < store["replay"]["pages_read"], store
 
+compaction = store["compaction"]
+for key in ("days", "events", "segments_before", "segments_after", "wall_s",
+            "pages_written", "pages_retired", "index_pages_before",
+            "index_pages_after", "scan_pages_before", "scan_pages_after"):
+    assert key in compaction, f"store compaction missing {key}: {compaction}"
+assert compaction["segments_before"] > 1, compaction
+assert compaction["segments_after"] == 1, compaction
+# The point of the merge: one root/fence-chain/bloom instead of one per day.
+assert compaction["index_pages_after"] < compaction["index_pages_before"], \
+    compaction
+assert compaction["scan_pages_after"] <= compaction["scan_pages_before"], \
+    compaction
+
 print("bench report schemas: ok")
 PYEOF
 else

@@ -56,4 +56,14 @@ REPORT="$BUILD_DIR/SOAK_report.json"
 MTD_SOAK_FAST=1 "$CHAOS" --seed 42 --faults all --json > "$REPORT"
 echo "soak report: $REPORT"
 
+# The compaction leg must have run: the driver compacts the chaos store
+# between incarnations (faults armed) and once fault-free after completion,
+# so a passing report with zero passes means the leg silently vanished.
+PASSES="$(sed -n 's/.*"compaction_passes": \([0-9][0-9]*\).*/\1/p' "$REPORT" | head -1)"
+if [ -z "$PASSES" ] || [ "$PASSES" -lt 1 ]; then
+  echo "check_soak: report shows no compaction passes" >&2
+  exit 1
+fi
+echo "compaction leg: $PASSES pass(es)"
+
 echo "chaos soak smoke passed"

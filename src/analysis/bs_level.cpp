@@ -70,6 +70,35 @@ BsLevelSeries aggregate_bs_series(const BsTrafficGenerator& generator,
   return series;
 }
 
+BsLevelSeries bs_series_from_source(SessionSource& source, std::uint32_t bs,
+                                    std::size_t days) {
+  require(days >= 1, "bs_series_from_source: need at least one day");
+  BsLevelSeries series;
+  series.volume_mb.assign(kMinutesPerDay, 0.0);
+
+  SourceQuery query;
+  query.bs = bs;
+  query.day_hi = static_cast<std::uint16_t>(days - 1);
+  query.kinds = EventKindMask{}.set(EventKind::kSession);
+  (void)source.scan(query, [&series](const StreamEvent& event) {
+    const Session& s = std::get<SessionEvent>(event.payload).session;
+    // Same spreading convention as aggregate_bs_series: volume uniform
+    // over the lifetime, wrapped back into the daily profile.
+    const double rate_per_min =
+        s.volume_mb / std::max(s.duration_s / 60.0, 1.0 / 60.0);
+    double remaining = s.duration_s / 60.0;  // minutes
+    std::size_t minute = s.minute_of_day;
+    while (remaining > 0.0) {
+      const double here = std::min(remaining, 1.0);
+      series.volume_mb[minute % kMinutesPerDay] += rate_per_min * here;
+      remaining -= here;
+      ++minute;
+    }
+  });
+  for (double& v : series.volume_mb) v /= static_cast<double>(days);
+  return series;
+}
+
 double circadian_agreement(const BsLevelSeries& series) {
   require(series.volume_mb.size() >= kMinutesPerDay,
           "circadian_agreement: need a full day");

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/traffic_generator.hpp"
+#include "events/session_source.hpp"
 
 namespace mtd {
 
@@ -34,6 +35,15 @@ struct BsLevelSeries {
 /// over the session's lifetime (same convention as the use cases).
 [[nodiscard]] BsLevelSeries aggregate_bs_series(
     const BsTrafficGenerator& generator, std::size_t days, Rng& rng);
+
+/// Same averaged per-minute series, re-aggregated from the recorded
+/// sessions of one BS streamed out of a SessionSource (one per-BS
+/// push-down scan over days [0, days)) instead of fresh Monte-Carlo.
+/// Deterministic in the delivered stream: any two sources holding the same
+/// events produce bit-identical series.
+[[nodiscard]] BsLevelSeries bs_series_from_source(SessionSource& source,
+                                                  std::uint32_t bs,
+                                                  std::size_t days);
 
 /// Coefficient of determination between the series' normalized daily
 /// profile and the circadian activity profile that drives the arrival

@@ -48,6 +48,26 @@ ThroughputProfile model_throughput(const ServiceModel& model,
   return finalize(std::move(pdf));
 }
 
+ThroughputProfile throughput_from_source(SessionSource& source,
+                                         std::size_t service) {
+  require(service < service_catalog().size(),
+          "throughput_from_source: bad service index");
+  BinnedPdf pdf(throughput_axis());
+  std::uint64_t sessions = 0;
+  SourceQuery query;
+  query.kinds = EventKindMask{}.set(EventKind::kSession);
+  (void)source.scan(query, [&](const StreamEvent& event) {
+    const Session& s = std::get<SessionEvent>(event.payload).session;
+    if (s.service != service || s.duration_s <= 0.0) return;
+    pdf.add(std::log10(std::max(s.throughput_mbps(), 1e-4)));
+    ++sessions;
+  });
+  require(sessions > 0,
+          "throughput_from_source: the source holds no session of service " +
+              std::to_string(service));
+  return finalize(std::move(pdf));
+}
+
 double throughput_model_error(const ServiceModel& model, std::size_t service,
                               std::size_t n_sessions, Rng& rng) {
   const ThroughputProfile empirical =

@@ -11,6 +11,7 @@
 #include "common/histogram.hpp"
 #include "core/service_model.hpp"
 #include "dataset/measurement.hpp"
+#include "events/session_source.hpp"
 
 namespace mtd {
 
@@ -34,6 +35,14 @@ struct ThroughputProfile {
 [[nodiscard]] ThroughputProfile model_throughput(const ServiceModel& model,
                                                  std::size_t n_sessions,
                                                  Rng& rng);
+
+/// Throughput distribution of one service streamed out of a trace: the
+/// volume / duration ratio of every recorded session of the service, in
+/// one SessionSource pass (no re-simulation — the joint is exactly what
+/// the trace recorded). Deterministic in the delivered stream. Throws
+/// InvalidArgument when the source holds no session of the service.
+[[nodiscard]] ThroughputProfile throughput_from_source(SessionSource& source,
+                                                       std::size_t service);
 
 /// EMD between empirical and model-implied throughput PDFs of a service.
 [[nodiscard]] double throughput_model_error(const ServiceModel& model,

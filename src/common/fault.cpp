@@ -77,6 +77,9 @@ const std::vector<std::string>& FaultInjector::known_points() {
       "store.commit.manifest",
       "store.commit.pages",
       "store.commit.sync",
+      "store.compact.manifest",
+      "store.compact.pages",
+      "store.compact.sync",
       "worker.day",
       "worker.session",
   };

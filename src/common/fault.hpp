@@ -24,6 +24,11 @@
 //                         segment pages are appended
 //   store.commit.sync     fired after the append, before the page flush
 //   store.commit.manifest fired before the atomic manifest replace
+//   store.compact.pages   fired by TraceStoreWriter::compact before the
+//                         merged segment's pages are appended
+//   store.compact.sync    fired after the append, before the page flush
+//   store.compact.manifest fired before the atomic manifest replace that
+//                         swaps the merged segment in
 #pragma once
 
 #include <cstdint>

@@ -7,21 +7,21 @@
 
 namespace mtd {
 
-GroundTruthSessionSource::GroundTruthSessionSource() {
+GroundTruthDrawSource::GroundTruthDrawSource() {
   const auto& catalog = service_catalog();
   samplers_.reserve(catalog.size());
   for (const auto& profile : catalog) samplers_.emplace_back(profile);
 }
 
-SessionSource::Draw GroundTruthSessionSource::sample(std::size_t service,
+SessionDrawSource::Draw GroundTruthDrawSource::sample(std::size_t service,
                                                      Rng& rng) const {
   require(service < samplers_.size(),
-          "GroundTruthSessionSource: bad service index");
+          "GroundTruthDrawSource: bad service index");
   const SessionSampler::Draw draw = samplers_[service].sample(rng);
   return Draw{draw.volume_mb, draw.duration_s};
 }
 
-ModelSessionSource::ModelSessionSource(const ModelRegistry& registry,
+ModelDrawSource::ModelDrawSource(const ModelRegistry& registry,
                                        double duration_jitter_sigma)
     : registry_(&registry), duration_jitter_sigma_(duration_jitter_sigma) {
   const auto& catalog = service_catalog();
@@ -54,9 +54,9 @@ ModelSessionSource::ModelSessionSource(const ModelRegistry& registry,
   }
 }
 
-SessionSource::Draw ModelSessionSource::sample(std::size_t service,
+SessionDrawSource::Draw ModelDrawSource::sample(std::size_t service,
                                                Rng& rng) const {
-  require(service < index_.size(), "ModelSessionSource: bad service index");
+  require(service < index_.size(), "ModelDrawSource: bad service index");
   const ServiceModel& model = registry_->services()[index_[service]];
   const ServiceModel::Draw draw = model.sample(rng, duration_jitter_sigma_);
   return Draw{draw.volume_mb, draw.duration_s};
@@ -64,7 +64,7 @@ SessionSource::Draw ModelSessionSource::sample(std::size_t service,
 
 BsTrafficGenerator::BsTrafficGenerator(const ArrivalClassModel& arrival_class,
                                        const ArrivalModel& arrivals,
-                                       const SessionSource& source)
+                                       const SessionDrawSource& source)
     : arrival_class_(&arrival_class),
       arrivals_(&arrivals),
       source_(&source) {}
@@ -77,7 +77,7 @@ std::uint32_t BsTrafficGenerator::arrivals_in_minute(
 GeneratedSession BsTrafficGenerator::sample_session(std::size_t minute_of_day,
                                                     Rng& rng) const {
   const std::size_t service = arrivals_->sample_service(rng);
-  const SessionSource::Draw draw = source_->sample(service, rng);
+  const SessionDrawSource::Draw draw = source_->sample(service, rng);
   return GeneratedSession{minute_of_day, service, draw.volume_mb,
                           draw.duration_s};
 }

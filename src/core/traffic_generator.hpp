@@ -19,9 +19,9 @@
 namespace mtd {
 
 /// Samples the (volume, duration) of one session of a given service.
-class SessionSource {
+class SessionDrawSource {
  public:
-  virtual ~SessionSource() = default;
+  virtual ~SessionDrawSource() = default;
 
   struct Draw {
     double volume_mb;
@@ -37,9 +37,9 @@ class SessionSource {
 
 /// Sessions drawn from the planted ground-truth profiles - the stand-in for
 /// "sampling the measurement data" in the use cases.
-class GroundTruthSessionSource final : public SessionSource {
+class GroundTruthDrawSource final : public SessionDrawSource {
  public:
-  GroundTruthSessionSource();
+  GroundTruthDrawSource();
   [[nodiscard]] Draw sample(std::size_t service, Rng& rng) const override;
   [[nodiscard]] std::size_t num_services() const override {
     return samplers_.size();
@@ -51,12 +51,12 @@ class GroundTruthSessionSource final : public SessionSource {
 
 /// Sessions drawn from the fitted models: volume from the log-normal
 /// mixture, duration from the inverse power law with mild scatter.
-class ModelSessionSource final : public SessionSource {
+class ModelDrawSource final : public SessionDrawSource {
  public:
   /// `registry` must outlive the source. Services are indexed by catalogue
   /// order; catalogue services absent from the registry fall back to the
   /// nearest fitted model by session share.
-  explicit ModelSessionSource(const ModelRegistry& registry,
+  explicit ModelDrawSource(const ModelRegistry& registry,
                               double duration_jitter_sigma = 0.08);
   [[nodiscard]] Draw sample(std::size_t service, Rng& rng) const override;
   [[nodiscard]] std::size_t num_services() const override {
@@ -89,7 +89,7 @@ class BsTrafficGenerator {
   /// All references must outlive the generator.
   BsTrafficGenerator(const ArrivalClassModel& arrival_class,
                      const ArrivalModel& arrivals,
-                     const SessionSource& source);
+                     const SessionDrawSource& source);
 
   /// Calls `sink` once per generated session over one simulated day.
   void generate_day(Rng& rng,
@@ -106,7 +106,7 @@ class BsTrafficGenerator {
  private:
   const ArrivalClassModel* arrival_class_;
   const ArrivalModel* arrivals_;
-  const SessionSource* source_;
+  const SessionDrawSource* source_;
 };
 
 }  // namespace mtd

@@ -11,16 +11,34 @@ namespace {
 
 EngineResult run_into_store(StreamEngine& engine,
                             store::TraceStoreWriter& writer,
-                            const EngineCheckpoint* from) {
+                            const EngineCheckpoint* from,
+                            const StoreRunPolicy& policy) {
   // Exactly-once across crashes: the writer must never persist events the
   // checkpoint does not cover, so the stream is held back per minute and
   // released only when a checkpoint commits that minute.
   MinuteCommitBuffer buffer(writer);
-  engine.on_checkpoint([&buffer, &writer](const EngineCheckpoint& checkpoint) {
+  // Day the last compaction pass covered: compaction triggers once
+  // compact_every_days NEW days landed since (resumes start counting from
+  // the store's cursor, not from zero).
+  std::int64_t compacted_through =
+      std::max<std::int64_t>(writer.manifest().engine_next_day, 0);
+  const auto maybe_compact = [&writer, &policy,
+                              &compacted_through](std::size_t next_day) {
+    if (policy.compact_every_days == 0) return;
+    if (static_cast<std::int64_t>(next_day) - compacted_through <
+        static_cast<std::int64_t>(policy.compact_every_days)) {
+      return;
+    }
+    if (writer.manifest().segments.size() > 1) (void)writer.compact();
+    compacted_through = static_cast<std::int64_t>(next_day);
+  };
+  engine.on_checkpoint([&buffer, &writer,
+                        &maybe_compact](const EngineCheckpoint& checkpoint) {
     buffer.commit_through(checkpoint.clock_minute);
     writer.set_engine_cursor(checkpoint.next_day);
     writer.set_engine_checkpoint(checkpoint.to_json().dump(2));
     writer.commit();
+    maybe_compact(checkpoint.next_day);
   });
   EngineResult result =
       from != nullptr ? engine.resume(*from, buffer) : engine.run(buffer);
@@ -32,25 +50,28 @@ EngineResult run_into_store(StreamEngine& engine,
   writer.set_engine_cursor(result.checkpoint.next_day);
   writer.set_engine_checkpoint(result.checkpoint.to_json().dump(2));
   writer.commit();
+  maybe_compact(result.checkpoint.next_day);
   return result;
 }
 
 }  // namespace
 
 EngineResult run_engine_into_store(StreamEngine& engine,
-                                   store::TraceStoreWriter& writer) {
+                                   store::TraceStoreWriter& writer,
+                                   const StoreRunPolicy& policy) {
   const std::int64_t cursor = writer.manifest().engine_next_day;
   if (cursor > 0 || !writer.manifest().engine_checkpoint.empty()) {
     throw InvalidArgument(
         "run_engine_into_store: store already holds days up to " +
         std::to_string(cursor) + "; use resume_engine_into_store");
   }
-  return run_into_store(engine, writer, nullptr);
+  return run_into_store(engine, writer, nullptr, policy);
 }
 
 EngineResult resume_engine_into_store(StreamEngine& engine,
                                       const EngineCheckpoint& from,
-                                      store::TraceStoreWriter& writer) {
+                                      store::TraceStoreWriter& writer,
+                                      const StoreRunPolicy& policy) {
   const std::int64_t cursor = writer.manifest().engine_next_day;
   if (cursor < 0 ||
       static_cast<std::size_t>(cursor) != from.next_day) {
@@ -70,7 +91,7 @@ EngineResult resume_engine_into_store(StreamEngine& engine,
         std::to_string(from.clock_minute) +
         " — the store would duplicate or skip events");
   }
-  return run_into_store(engine, writer, &from);
+  return run_into_store(engine, writer, &from, policy);
 }
 
 std::optional<EngineCheckpoint> load_store_checkpoint(

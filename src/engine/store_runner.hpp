@@ -21,11 +21,23 @@
 
 namespace mtd {
 
+/// Background maintenance policy of the store runners.
+struct StoreRunPolicy {
+  /// Compact the store after every N newly committed days (0 = never).
+  /// Long runs commit one segment per checkpoint; periodic compaction
+  /// folds them into one so scans descend a single fence tree instead of
+  /// merging dozens. Compaction runs between checkpoints on the committed
+  /// snapshot — a crash mid-compact costs nothing (the previous manifest
+  /// stays live) and resume semantics are unchanged.
+  std::size_t compact_every_days = 0;
+};
+
 /// Runs `engine` from day 0 into `writer`, committing one store segment
 /// per checkpoint (plus a final commit). The writer is left open; the
 /// caller closes it. Returns the engine result as StreamEngine::run does.
 [[nodiscard]] EngineResult run_engine_into_store(
-    StreamEngine& engine, store::TraceStoreWriter& writer);
+    StreamEngine& engine, store::TraceStoreWriter& writer,
+    const StoreRunPolicy& policy = {});
 
 /// Resumes `engine` from `from` into `writer`, with the same per-
 /// checkpoint commit wiring. Throws InvalidArgument when the store's
@@ -34,7 +46,7 @@ namespace mtd {
 /// or skip events in the store.
 [[nodiscard]] EngineResult resume_engine_into_store(
     StreamEngine& engine, const EngineCheckpoint& from,
-    store::TraceStoreWriter& writer);
+    store::TraceStoreWriter& writer, const StoreRunPolicy& policy = {});
 
 /// Extracts the engine checkpoint a store-runner commit embedded in the
 /// manifest (std::nullopt when the store has never been committed through

@@ -1,0 +1,67 @@
+#include "events/session_source.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mtd {
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche mix of one 64-bit word.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+MemorySessionSource::MemorySessionSource(std::vector<StreamEvent> events)
+    : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const StreamEvent& a, const StreamEvent& b) {
+                     return a.key < b.key;
+                   });
+}
+
+std::uint64_t MemorySessionSource::scan(
+    const SourceQuery& query,
+    const std::function<void(const StreamEvent&)>& fn) {
+  std::uint64_t delivered = 0;
+  for (const StreamEvent& event : events_) {
+    if (!query.matches(event)) continue;
+    fn(event);
+    ++delivered;
+  }
+  return delivered;
+}
+
+double event_start_second(const EventKey& key) noexcept {
+  std::uint64_t word = (static_cast<std::uint64_t>(key.bs) << 32) |
+                       (static_cast<std::uint64_t>(key.day) << 16) |
+                       key.minute_of_day;
+  word = mix64(word ^ mix64(key.seq));
+  // Top 53 bits -> uniform double in [0, 1), scaled to the minute.
+  const double unit =
+      static_cast<double>(word >> 11) * (1.0 / 9007199254740992.0);
+  return unit * 60.0;
+}
+
+MeasurementDataset dataset_from_source(SessionSource& source,
+                                       const Network& network,
+                                       std::size_t num_days) {
+  MeasurementDataset dataset(network, num_days);
+  TraceSinkAdapter adapter(network, dataset);
+  SourceQuery query;
+  query.day_hi = static_cast<std::uint16_t>(
+      num_days > 0 ? num_days - 1 : 0);
+  query.kinds = EventKindMask::session_replay();
+  (void)source.scan(query, [&adapter](const StreamEvent& event) {
+    adapter.on_event(event);
+  });
+  dataset.finalize();
+  return dataset;
+}
+
+}  // namespace mtd

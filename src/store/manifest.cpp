@@ -106,6 +106,9 @@ std::string StoreManifest::to_text() const {
   obj.emplace("page_size", options.page_size);
   obj.emplace("bloom_bits_per_key", options.bloom_bits_per_key);
   obj.emplace("committed_pages", to_hex(committed_pages));
+  // Written only once a compaction retired pages — pre-compaction
+  // manifests carry no dead field and read back as dead_pages == 0.
+  if (dead_pages != 0) obj.emplace("dead_pages", to_hex(dead_pages));
   obj.emplace("events", to_hex(events));
   JsonObject by_kind;
   for (std::size_t k = 0; k < kNumEventKinds; ++k) {
@@ -149,6 +152,17 @@ StoreManifest StoreManifest::from_text(std::string_view text) {
   if (manifest.committed_pages == 0) {
     throw ParseError("StoreManifest: committed_pages must cover the "
                      "superblock (page 0)");
+  }
+  if (json.contains("dead_pages")) {
+    manifest.dead_pages = from_hex(json.at("dead_pages").as_string(),
+                                   "StoreManifest.dead_pages");
+    if (manifest.dead_pages >= manifest.committed_pages) {
+      throw ParseError("StoreManifest: dead_pages " +
+                       std::to_string(manifest.dead_pages) +
+                       " must stay below the " +
+                       std::to_string(manifest.committed_pages) +
+                       " committed pages");
+    }
   }
   manifest.events =
       from_hex(json.at("events").as_string(), "StoreManifest.events");

@@ -327,7 +327,10 @@ std::uint64_t TraceStore::replay(EventSink& sink) {
 StoreVerifyReport TraceStore::verify() {
   StoreVerifyReport report;
   report.pages = impl_->manifest.committed_pages;
-  std::uint64_t accounted = 1;  // the superblock
+  // Superblock plus the pages compaction retired: dead ranges hold the
+  // superseded segments' bytes, which no live index references — they are
+  // accounted, not walked.
+  std::uint64_t accounted = 1 + impl_->manifest.dead_pages;
   std::vector<StreamEvent> events;
   for (const SegmentInfo& seg : impl_->manifest.segments) {
     std::uint64_t counted = 0;

@@ -42,7 +42,9 @@ struct TraceStoreWriter::Impl {
   bool open = false;
 
   void commit();
-  SegmentInfo build_segment(std::string& buf) const;
+  CompactionReport compact();
+  SegmentInfo build_segment(const std::vector<StreamEvent>& events,
+                            std::uint64_t first_page, std::string& buf) const;
 };
 
 TraceStoreWriter::TraceStoreWriter(std::unique_ptr<Impl> impl)
@@ -103,6 +105,23 @@ TraceStoreWriter TraceStoreWriter::append(const std::string& path,
   impl->context = context_of(impl->pages_path);
   impl->fault = fault;
   impl->manifest = StoreManifest::load(path);
+  {
+    // Page accounting must close: the superblock, the dead_pages a
+    // compaction retired and every live segment together cover exactly the
+    // committed length. A manifest that fails this was not written by a
+    // completed commit or compact pass.
+    std::uint64_t accounted = 1 + impl->manifest.dead_pages;
+    for (const SegmentInfo& seg : impl->manifest.segments) {
+      accounted += seg.num_pages;
+    }
+    if (accounted != impl->manifest.committed_pages) {
+      throw ParseError("TraceStoreWriter: manifest '" + path + "' commits " +
+                       std::to_string(impl->manifest.committed_pages) +
+                       " pages but superblock + dead_pages + segments "
+                       "account for " +
+                       std::to_string(accounted));
+    }
+  }
   const std::uint64_t committed = impl->manifest.committed_bytes();
   std::uint64_t size = 0;
   {
@@ -163,6 +182,8 @@ void TraceStoreWriter::close() {
 
 void TraceStoreWriter::commit() { impl_->commit(); }
 
+CompactionReport TraceStoreWriter::compact() { return impl_->compact(); }
+
 void TraceStoreWriter::set_engine_cursor(std::size_t next_day) {
   impl_->pending_cursor = static_cast<std::int64_t>(next_day);
 }
@@ -209,7 +230,7 @@ void TraceStoreWriter::Impl::commit() {
                      [](const StreamEvent& a, const StreamEvent& b) {
                        return a.key < b.key;
                      });
-    SegmentInfo seg = build_segment(buf);
+    SegmentInfo seg = build_segment(pending, manifest.committed_pages, buf);
     next.committed_pages += seg.num_pages;
     next.events += seg.events;
     for (std::size_t k = 0; k < kNumEventKinds; ++k) {
@@ -246,7 +267,79 @@ void TraceStoreWriter::Impl::commit() {
   pending_checkpoint.reset();
 }
 
-SegmentInfo TraceStoreWriter::Impl::build_segment(std::string& buf) const {
+CompactionReport TraceStoreWriter::Impl::compact() {
+  CompactionReport report;
+  report.segments_before = manifest.segments.size();
+  report.segments_after = manifest.segments.size();
+  if (manifest.segments.size() < 2) return report;  // nothing to merge
+  if (!open) {
+    throw IoError("TraceStoreWriter: compact on a closed store '" + path +
+                  "'", false);
+  }
+
+  // Drain the committed snapshot through a reader: the on-disk manifest is
+  // exactly `manifest` (pending events are invisible until their commit),
+  // and replay() delivers the k-way merge in canonical key order — the
+  // merged segment's record order equals what any reader already observes.
+  std::vector<StreamEvent> merged;
+  merged.reserve(manifest.events);
+  {
+    struct Collect final : EventSink {
+      std::vector<StreamEvent>* out;
+      void on_event(const StreamEvent& event) override {
+        out->push_back(event);
+      }
+    } sink;
+    sink.out = &merged;
+    TraceStore reader(path);
+    const std::uint64_t replayed = reader.replay(sink);
+    if (replayed != manifest.events) {
+      throw ParseError(context + ": compaction replayed " +
+                       std::to_string(replayed) + " events but the manifest "
+                       "commits " + std::to_string(manifest.events));
+    }
+  }
+
+  StoreManifest next = manifest;
+  std::uint64_t retired = 0;
+  for (const SegmentInfo& seg : manifest.segments) retired += seg.num_pages;
+  std::string buf;
+  SegmentInfo seg = build_segment(merged, manifest.committed_pages, buf);
+  next.committed_pages += seg.num_pages;
+  next.dead_pages += retired;
+  next.segments.clear();
+  next.segments.push_back(seg);
+  report.segments_after = 1;
+  report.events = seg.events;
+  report.pages_written = seg.num_pages;
+  report.pages_retired = retired;
+
+  // Same publication discipline as commit(): the merged segment is
+  // appended past the committed length, flushed, then the manifest that
+  // swaps it in (and retires the old segments) lands atomically. A crash
+  // anywhere leaves the previous manifest, under which the old segments
+  // are still the live index and the appended bytes are invisible.
+  fault_fire(fault, "store.compact.pages");
+  file.clear();
+  file.seekp(static_cast<std::streamoff>(manifest.committed_bytes()));
+  file.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  fault_fire(fault, "store.compact.sync");
+  file.flush();
+  if (file.fail()) {
+    file.clear();
+    throw IoError("TraceStoreWriter: short write appending the compacted "
+                  "segment to '" + pages_path + "'");
+  }
+  fault_fire(fault, "store.compact.manifest");
+  write_file_atomic(path, next.to_text());
+
+  manifest = std::move(next);
+  return report;
+}
+
+SegmentInfo TraceStoreWriter::Impl::build_segment(
+    const std::vector<StreamEvent>& events, std::uint64_t first_page,
+    std::string& buf) const {
   const std::size_t page_size = manifest.options.page_size;
   const std::size_t capacity = page_size - kPageHeaderBytes;
 
@@ -261,7 +354,7 @@ SegmentInfo TraceStoreWriter::Impl::build_segment(std::string& buf) const {
   };
   std::vector<Leaf> leaves;
   char scratch[4 + kMaxEventPayloadBytes];
-  for (const StreamEvent& event : pending) {
+  for (const StreamEvent& event : events) {
     const std::size_t len = encode_event_payload(event, scratch + 4);
     (void)store_le(scratch, static_cast<std::uint32_t>(len));
     const std::size_t record = 4 + len;
@@ -294,12 +387,12 @@ SegmentInfo TraceStoreWriter::Impl::build_segment(std::string& buf) const {
       bloom_filters_per_page(page_size, bloom_bytes);
 
   SegmentInfo seg;
-  seg.first_page = manifest.committed_pages;
+  seg.first_page = first_page;
   seg.first_leaf = seg.first_page;
   seg.num_leaves = leaves.size();
   seg.bloom_bytes = static_cast<std::uint32_t>(bloom_bytes);
   seg.bloom_hashes = static_cast<std::uint32_t>(bloom_hashes);
-  seg.events = pending.size();
+  seg.events = events.size();
   seg.min_key = leaves.front().min_key;
   seg.max_key = leaves.back().max_key;
 

@@ -71,6 +71,13 @@ struct StoreManifest {
   /// Pages vouched for, superblock included; committed bytes is this times
   /// the page size. Anything beyond is uncommitted garbage.
   std::uint64_t committed_pages = 1;
+  /// Committed pages no live segment references: the page ranges of
+  /// segments a compaction pass superseded. They stay inside the committed
+  /// length (rewriting the page file in place would break the append-only
+  /// crash protocol) but are never read; verify() accounts them via
+  /// 1 + dead_pages + sum(segment pages) == committed_pages. Serialized
+  /// only when non-zero, so pre-compaction manifests stay readable.
+  std::uint64_t dead_pages = 0;
   std::uint64_t events = 0;
   std::array<std::uint64_t, kNumEventKinds> events_by_kind{};
   /// Engine resume cursor: first day not yet ingested (-1 = never set).
@@ -117,7 +124,17 @@ struct StoreReadTelemetry {
   std::uint64_t range_scans = 0;
 };
 
-/// Outcome of TraceStore::verify: every committed page walked and proven.
+/// Outcome of one TraceStoreWriter::compact pass.
+struct CompactionReport {
+  std::uint64_t segments_before = 0;
+  std::uint64_t segments_after = 0;
+  std::uint64_t events = 0;         ///< events in the merged segment
+  std::uint64_t pages_written = 0;  ///< pages of the merged segment
+  std::uint64_t pages_retired = 0;  ///< pages newly counted as dead
+};
+
+/// Outcome of TraceStore::verify: every live committed page walked and
+/// proven (dead page ranges are skipped — no live index references them).
 struct StoreVerifyReport {
   std::uint64_t pages = 0;
   std::uint64_t leaf_pages = 0;
@@ -160,6 +177,16 @@ class TraceStoreWriter final : public EventSink {
   /// buffered events are kept, so a caller may retry. No-op when nothing
   /// is pending and the cursor is unchanged.
   void commit();
+
+  /// Merges every committed segment into one — rebuilt leaves, blooms and
+  /// fences, one fence tree to descend, one bloom width — published through
+  /// the same append→flush→atomic-manifest sequence as commit() (fault
+  /// points store.compact.pages / .sync / .manifest). The superseded
+  /// segments' pages are retired into StoreManifest::dead_pages; a crash at
+  /// any point leaves the previous manifest, under which every old segment
+  /// is still live. Pending (uncommitted) events are untouched. No-op when
+  /// fewer than two segments are committed.
+  CompactionReport compact();
 
   /// Records the engine resume cursor; published by the next commit().
   void set_engine_cursor(std::size_t next_day);

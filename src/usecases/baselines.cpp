@@ -28,14 +28,14 @@ std::array<double, 3> table1_category_shares() {
   return {shares[0], shares[1], shares[2]};
 }
 
-CategorySessionSource::CategorySessionSource(std::array<double, 3> volume_scale)
+CategoryDrawSource::CategoryDrawSource(std::array<double, 3> volume_scale)
     : volume_scale_(volume_scale) {
   for (double s : volume_scale_) {
-    require(s > 0.0, "CategorySessionSource: scale must be positive");
+    require(s > 0.0, "CategoryDrawSource: scale must be positive");
   }
 }
 
-SessionSource::Draw CategorySessionSource::sample_category(
+SessionDrawSource::Draw CategoryDrawSource::sample_category(
     LiteratureCategory category, Rng& rng) const {
   const auto idx = static_cast<std::size_t>(category);
   const CategoryTrafficModel& model = category_models()[idx];
@@ -49,14 +49,14 @@ SessionSource::Draw CategorySessionSource::sample_category(
   return Draw{std::max(volume_mb, 1e-4), duration};
 }
 
-SessionSource::Draw CategorySessionSource::sample(std::size_t service,
+SessionDrawSource::Draw CategoryDrawSource::sample(std::size_t service,
                                                   Rng& rng) const {
   const auto& catalog = service_catalog();
-  require(service < catalog.size(), "CategorySessionSource: bad service");
+  require(service < catalog.size(), "CategoryDrawSource: bad service");
   return sample_category(catalog[service].category, rng);
 }
 
-std::size_t CategorySessionSource::num_services() const {
+std::size_t CategoryDrawSource::num_services() const {
   return service_catalog().size();
 }
 

@@ -5,7 +5,7 @@
 // Interactive Web (IW), Casual Streaming (CS) and Movie Streaming (MS) -
 // with fixed throughput and session size/duration per category (Tsompanidis
 // et al. 2014; Navarro-Ortiz et al. 2020). We implement those categories as
-// a SessionSource: every service is collapsed onto its category model, which
+// a SessionDrawSource: every service is collapsed onto its category model, which
 // is exactly the information loss the use cases quantify.
 #pragma once
 
@@ -36,13 +36,13 @@ struct CategoryTrafficModel {
 /// IW 49.30%, CS 48.46%, MS 2.24% (recomputed from the catalogue).
 [[nodiscard]] std::array<double, 3> table1_category_shares();
 
-/// A SessionSource that ignores the service identity beyond its category:
+/// A SessionDrawSource that ignores the service identity beyond its category:
 /// duration ~ Exp(mean), throughput ~ log-normal, volume = rate * duration.
 /// Optional per-category volume scale factors implement the normalized
 /// benchmarks bm b / bm c of Sec. 6.2.
-class CategorySessionSource final : public SessionSource {
+class CategoryDrawSource final : public SessionDrawSource {
  public:
-  explicit CategorySessionSource(
+  explicit CategoryDrawSource(
       std::array<double, 3> volume_scale = {1.0, 1.0, 1.0});
 
   [[nodiscard]] Draw sample(std::size_t service, Rng& rng) const override;

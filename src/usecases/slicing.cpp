@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/time_utils.hpp"
+#include "events/session_source.hpp"
 
 namespace mtd {
 
@@ -49,7 +50,7 @@ std::vector<std::vector<double>> real_demand(const ArrivalClassModel& arrival,
                                              const ArrivalModel& shares,
                                              const SlicingConfig& config,
                                              Rng& rng) {
-  const GroundTruthSessionSource source;
+  const GroundTruthDrawSource source;
   const std::size_t horizon = config.eval_days * kMinutesPerDay;
   std::vector<std::vector<double>> demand(
       source.num_services(), std::vector<double>(horizon, 0.0));
@@ -60,7 +61,7 @@ std::vector<std::vector<double>> real_demand(const ArrivalClassModel& arrival,
       const std::size_t global_minute = day * kMinutesPerDay + minute;
       for (std::uint32_t k = 0; k < count; ++k) {
         const std::size_t service = shares.sample_service(rng);
-        const SessionSource::Draw draw = source.sample(service, rng);
+        const SessionDrawSource::Draw draw = source.sample(service, rng);
         add_session_demand(demand[service], global_minute,
                            rng.uniform(0.0, 60.0), draw.duration_s,
                            draw.throughput_mbps());
@@ -75,7 +76,7 @@ std::vector<std::vector<double>> real_demand(const ArrivalClassModel& arrival,
 /// and entity-share vector.
 std::vector<double> allocate_by_quantile(
     const ArrivalClassModel& arrival, std::span<const double> entity_shares,
-    const std::function<SessionSource::Draw(std::size_t, Rng&)>& draw_entity,
+    const std::function<SessionDrawSource::Draw(std::size_t, Rng&)>& draw_entity,
     const SlicingConfig& config, Rng& rng) {
   const std::size_t n = entity_shares.size();
   const std::size_t horizon = config.calibration_days * kMinutesPerDay;
@@ -101,7 +102,7 @@ std::vector<double> allocate_by_quantile(
         const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
         const auto entity = std::min(
             static_cast<std::size_t>(it - cdf.begin()), n - 1);
-        const SessionSource::Draw draw = draw_entity(entity, rng);
+        const SessionDrawSource::Draw draw = draw_entity(entity, rng);
         add_session_demand(demand[entity], global_minute,
                            rng.uniform(0.0, 60.0), draw.duration_s,
                            draw.throughput_mbps());
@@ -128,33 +129,28 @@ struct StrategyAllocations {
   std::vector<std::vector<double>> per_service;
 };
 
-}  // namespace
-
-SlicingResult run_slicing(const ModelRegistry& registry,
-                          const SlicingConfig& config) {
-  require(config.num_antennas >= 1, "run_slicing: need antennas");
+/// Allocations + evaluation against a ground-truth demand tensor
+/// demand[antenna][service][minute]; shared by the Monte-Carlo and the
+/// SessionSource-backed entry points. The strategy side is calibration
+/// Monte-Carlo either way — only where the evaluated demand comes from
+/// differs.
+SlicingResult evaluate_strategies(
+    const ModelRegistry& registry, const SlicingConfig& config,
+    const std::vector<std::vector<std::vector<double>>>& demand) {
   const auto& catalog = service_catalog();
   const std::size_t num_services = catalog.size();
   const std::vector<std::uint8_t> deciles = antenna_deciles(config);
   const ArrivalModel& arrivals = registry.arrivals();
 
+  // split() derives children from the seed alone, so this root yields the
+  // same strategy streams whichever entry point built the demand tensor.
   Rng root(config.seed);
 
-  // ---- ground-truth demand per antenna -------------------------------------
-  std::vector<std::vector<std::vector<double>>> demand;  // [a][s][minute]
-  demand.reserve(config.num_antennas);
-  for (std::size_t a = 0; a < config.num_antennas; ++a) {
-    Rng rng = root.split(1000 + a);
-    demand.push_back(real_demand(arrivals.class_model(deciles[a]), arrivals,
-                                 config, rng));
-  }
-
-  // ---- allocations per strategy --------------------------------------------
   std::vector<StrategyAllocations> strategies;
 
   // Ours: per-service Monte-Carlo with the fitted models.
   {
-    const ModelSessionSource source(registry);
+    const ModelDrawSource source(registry);
     StrategyAllocations ours;
     ours.name = "model (ours)";
     for (std::size_t a = 0; a < config.num_antennas; ++a) {
@@ -178,7 +174,7 @@ SlicingResult run_slicing(const ModelRegistry& registry,
   const auto category_strategy = [&](const std::string& name,
                                      const std::array<double, 3>& shares,
                                      std::uint64_t stream) {
-    const GroundTruthSessionSource measured;
+    const GroundTruthDrawSource measured;
     std::array<std::size_t, 3> members{0, 0, 0};
     for (const auto& profile : catalog) {
       ++members[static_cast<std::size_t>(profile.category)];
@@ -255,6 +251,63 @@ SlicingResult run_slicing(const ModelRegistry& registry,
 
   result.fig12_demand_mbps = demand[config.fig12_antenna][fig12_service];
   return result;
+}
+
+}  // namespace
+
+SlicingResult run_slicing(const ModelRegistry& registry,
+                          const SlicingConfig& config) {
+  require(config.num_antennas >= 1, "run_slicing: need antennas");
+  const std::vector<std::uint8_t> deciles = antenna_deciles(config);
+  const ArrivalModel& arrivals = registry.arrivals();
+
+  Rng root(config.seed);
+
+  // ---- ground-truth demand per antenna -------------------------------------
+  std::vector<std::vector<std::vector<double>>> demand;  // [a][s][minute]
+  demand.reserve(config.num_antennas);
+  for (std::size_t a = 0; a < config.num_antennas; ++a) {
+    Rng rng = root.split(1000 + a);
+    demand.push_back(real_demand(arrivals.class_model(deciles[a]), arrivals,
+                                 config, rng));
+  }
+
+  return evaluate_strategies(registry, config, demand);
+}
+
+SlicingResult run_slicing_from_source(SessionSource& source,
+                                      const ModelRegistry& registry,
+                                      const SlicingConfig& config) {
+  require(config.num_antennas >= 1, "run_slicing_from_source: need antennas");
+  const std::size_t num_services = service_catalog().size();
+  const std::size_t horizon = config.eval_days * kMinutesPerDay;
+
+  // Ground-truth demand streamed from the trace: antenna a evaluates the
+  // sessions of BS a over the horizon, one per-BS push-down scan each.
+  // Sub-minute placement comes from the ordering key (event_start_second),
+  // so the tensor is identical whichever SessionSource implementation
+  // delivers the events.
+  std::vector<std::vector<std::vector<double>>> demand(
+      config.num_antennas, std::vector<std::vector<double>>(
+                               num_services, std::vector<double>(horizon)));
+  for (std::size_t a = 0; a < config.num_antennas; ++a) {
+    SourceQuery query;
+    query.bs = static_cast<std::uint32_t>(a);
+    query.day_hi = static_cast<std::uint16_t>(config.eval_days - 1);
+    query.kinds = EventKindMask{}.set(EventKind::kSession);
+    (void)source.scan(query, [&](const StreamEvent& event) {
+      const Session& s = std::get<SessionEvent>(event.payload).session;
+      if (s.service >= num_services) return;
+      const std::size_t minute = static_cast<std::size_t>(event.key.day) *
+                                     kMinutesPerDay +
+                                 event.key.minute_of_day;
+      add_session_demand(demand[a][s.service], minute,
+                         event_start_second(event.key), s.duration_s,
+                         s.throughput_mbps());
+    });
+  }
+
+  return evaluate_strategies(registry, config, demand);
 }
 
 }  // namespace mtd

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/service_model.hpp"
+#include "events/session_source.hpp"
 #include "usecases/baselines.hpp"
 
 namespace mtd {
@@ -63,5 +64,16 @@ struct SlicingResult {
 /// is equal across them).
 [[nodiscard]] SlicingResult run_slicing(const ModelRegistry& registry,
                                         const SlicingConfig& config = {});
+
+/// Same use case with the ground-truth demand streamed from a trace
+/// instead of Monte-Carlo: antenna a evaluates the recorded sessions of
+/// BS a over days [0, eval_days) — one per-BS push-down scan per antenna —
+/// with sub-minute placement derived from the event key. The strategy
+/// allocations are the same calibration Monte-Carlo as run_slicing, so the
+/// result depends on the source only through the delivered event stream:
+/// two sources with the same events yield bit-identical tables.
+[[nodiscard]] SlicingResult run_slicing_from_source(
+    SessionSource& source, const ModelRegistry& registry,
+    const SlicingConfig& config = {});
 
 }  // namespace mtd

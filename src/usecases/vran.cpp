@@ -88,12 +88,20 @@ PackingResult first_fit_decreasing(std::vector<double> loads,
 
 namespace {
 
-/// One scheduled session arrival, shared across strategies.
+/// One scheduled session arrival, shared across strategies. The measured
+/// rate and duration are filled only by the SessionSource-backed schedule
+/// (the Monte-Carlo path redraws the ground truth instead).
 struct ArrivalEvent {
   std::uint32_t second;   // absolute second within the horizon
   std::uint16_t ru;
   std::uint16_t service;
+  float rate_mbps = 0.0f;
+  float duration_s = 0.0f;
 };
+
+/// Session characteristics attached to one arrival by one strategy.
+using ArrivalDraw =
+    std::function<SessionDrawSource::Draw(const ArrivalEvent&, Rng&)>;
 
 /// Builds the shared realization of class-level session arrivals.
 std::vector<ArrivalEvent> build_arrival_schedule(const ArrivalModel& arrivals,
@@ -131,8 +139,7 @@ std::vector<ArrivalEvent> build_arrival_schedule(const ArrivalModel& arrivals,
 /// `draw` attached to the shared arrival schedule.
 VranTimeline simulate(const std::string& name,
                       const std::vector<ArrivalEvent>& schedule,
-                      const std::function<SessionSource::Draw(std::size_t,
-                                                              Rng&)>& draw,
+                      const ArrivalDraw& draw,
                       std::size_t num_rus, std::size_t horizon_s,
                       const PsPowerModel& ps, PackingPolicy policy,
                       Rng& rng) {
@@ -165,7 +172,7 @@ VranTimeline simulate(const std::string& name,
     while (next_arrival < schedule.size() &&
            schedule[next_arrival].second <= t) {
       const ArrivalEvent& a = schedule[next_arrival];
-      const SessionSource::Draw d = draw(a.service, rng);
+      const SessionDrawSource::Draw d = draw(a, rng);
       const double rate = d.throughput_mbps();
       const auto end_second = static_cast<std::uint32_t>(
           std::min<double>(t + std::max(1.0, d.duration_s), 4.0e9));
@@ -216,7 +223,7 @@ std::vector<double> ape_series(std::span<const std::uint16_t> real,
 /// that the (per-class) session throughput matches the measurements.
 /// `category` restricts to one literature category (-1 = all services).
 double mean_session_throughput(
-    const std::function<SessionSource::Draw(std::size_t, Rng&)>& draw,
+    const ArrivalDraw& draw,
     const std::vector<ArrivalEvent>& schedule, Rng& rng, int category = -1) {
   const auto& catalog = service_catalog();
   double total = 0.0;
@@ -229,39 +236,34 @@ double mean_session_throughput(
         static_cast<int>(catalog[service].category) != category) {
       continue;
     }
-    total += draw(service, rng).throughput_mbps();
+    total += draw(schedule[i], rng).throughput_mbps();
     ++count;
   }
   return count > 0 ? total / static_cast<double>(count) : 0.0;
 }
 
-}  // namespace
-
-VranResult run_vran(const ModelRegistry& registry, const VranConfig& config) {
+/// Runs every strategy over one shared arrival realization. The
+/// measurement strategy is `measurement_draw` — a ground-truth redraw in
+/// the Monte-Carlo path, the recorded session characteristics in the
+/// SessionSource-backed path; everything downstream (models, benchmark
+/// normalization, packing, APE) is identical.
+VranResult run_strategies(const ModelRegistry& registry,
+                          const VranConfig& config,
+                          const std::vector<ArrivalEvent>& schedule,
+                          const ArrivalDraw& measurement_draw, Rng& root) {
   const std::size_t num_rus = config.num_edge_sites * config.rus_per_site;
   const std::size_t horizon_s =
       config.num_days * kMinutesPerDay * kSecondsPerMinute;
 
-  Rng root(config.seed);
-  Rng arrival_rng = root.split(1);
+  const ModelDrawSource model(registry);
+  const CategoryDrawSource raw_categories;
 
-  const ArrivalModel& arrivals = registry.arrivals();
-  const std::vector<ArrivalEvent> schedule = build_arrival_schedule(
-      arrivals, arrivals.class_model(config.ru_decile), num_rus,
-      config.num_days, arrival_rng);
-
-  const GroundTruthSessionSource truth;
-  const ModelSessionSource model(registry);
-  const CategorySessionSource raw_categories;
-
-  const auto truth_draw = [&truth](std::size_t s, Rng& r) {
-    return truth.sample(s, r);
+  const auto model_draw = [&model](const ArrivalEvent& a, Rng& r) {
+    return model.sample(a.service, r);
   };
-  const auto model_draw = [&model](std::size_t s, Rng& r) {
-    return model.sample(s, r);
-  };
-  const auto category_draw = [&raw_categories](std::size_t s, Rng& r) {
-    return raw_categories.sample(s, r);
+  const auto category_draw = [&raw_categories](const ArrivalEvent& a,
+                                               Rng& r) {
+    return raw_categories.sample(a.service, r);
   };
 
   // Normalization factors for bm b (system-wide) and bm c (per category):
@@ -269,7 +271,7 @@ VranResult run_vran(const ModelRegistry& registry, const VranConfig& config) {
   // fixed) so their mean session throughput matches the measurement.
   Rng norm_rng = root.split(2);
   const double real_mean_tp =
-      mean_session_throughput(truth_draw, schedule, norm_rng);
+      mean_session_throughput(measurement_draw, schedule, norm_rng);
   const double bm_mean_tp =
       mean_session_throughput(category_draw, schedule, norm_rng);
   const double system_scale =
@@ -278,30 +280,30 @@ VranResult run_vran(const ModelRegistry& registry, const VranConfig& config) {
   std::array<double, 3> category_scale{1.0, 1.0, 1.0};
   for (int cat = 0; cat < 3; ++cat) {
     const double real =
-        mean_session_throughput(truth_draw, schedule, norm_rng, cat);
+        mean_session_throughput(measurement_draw, schedule, norm_rng, cat);
     const double bm =
         mean_session_throughput(category_draw, schedule, norm_rng, cat);
     category_scale[static_cast<std::size_t>(cat)] =
         bm > 0.0 ? real / bm : 1.0;
   }
 
-  const CategorySessionSource bmb_source(
+  const CategoryDrawSource bmb_source(
       {system_scale, system_scale, system_scale});
-  const CategorySessionSource bmc_source(category_scale);
-  const auto bmb_draw = [&bmb_source](std::size_t s, Rng& r) {
-    return bmb_source.sample(s, r);
+  const CategoryDrawSource bmc_source(category_scale);
+  const auto bmb_draw = [&bmb_source](const ArrivalEvent& a, Rng& r) {
+    return bmb_source.sample(a.service, r);
   };
-  const auto bmc_draw = [&bmc_source](std::size_t s, Rng& r) {
-    return bmc_source.sample(s, r);
+  const auto bmc_draw = [&bmc_source](const ArrivalEvent& a, Rng& r) {
+    return bmc_source.sample(a.service, r);
   };
 
   // Run every strategy over the shared arrival realization.
   struct Strategy {
     std::string name;
-    std::function<SessionSource::Draw(std::size_t, Rng&)> draw;
+    ArrivalDraw draw;
   };
   const std::vector<Strategy> strategies{
-      {"measurement (ground truth)", truth_draw},
+      {"measurement (ground truth)", measurement_draw},
       {"model (ours)", model_draw},
       {"bm a (raw categories)", category_draw},
       {"bm b (system-normalized)", bmb_draw},
@@ -355,6 +357,72 @@ VranResult run_vran(const ModelRegistry& registry, const VranConfig& config) {
     result.strategies.push_back(std::move(row));
   }
   return result;
+}
+
+}  // namespace
+
+VranResult run_vran(const ModelRegistry& registry, const VranConfig& config) {
+  const std::size_t num_rus = config.num_edge_sites * config.rus_per_site;
+
+  Rng root(config.seed);
+  Rng arrival_rng = root.split(1);
+
+  const ArrivalModel& arrivals = registry.arrivals();
+  const std::vector<ArrivalEvent> schedule = build_arrival_schedule(
+      arrivals, arrivals.class_model(config.ru_decile), num_rus,
+      config.num_days, arrival_rng);
+
+  const GroundTruthDrawSource truth;
+  const auto truth_draw = [&truth](const ArrivalEvent& a, Rng& r) {
+    return truth.sample(a.service, r);
+  };
+  return run_strategies(registry, config, schedule, truth_draw, root);
+}
+
+VranResult run_vran_from_source(SessionSource& source,
+                                const ModelRegistry& registry,
+                                const VranConfig& config) {
+  const std::size_t num_rus = config.num_edge_sites * config.rus_per_site;
+
+  Rng root(config.seed);
+
+  // The shared arrival realization streamed from the trace: RU r replays
+  // the recorded sessions of BS r over days [0, num_days) — one per-BS
+  // push-down scan each — with the arrival second derived from the event
+  // key. The measurement strategy then replays each session's own recorded
+  // rate and duration; the models attach their draws to the same arrivals.
+  std::vector<ArrivalEvent> schedule;
+  for (std::size_t ru = 0; ru < num_rus; ++ru) {
+    SourceQuery query;
+    query.bs = static_cast<std::uint32_t>(ru);
+    query.day_hi = static_cast<std::uint16_t>(
+        config.num_days > 0 ? config.num_days - 1 : 0);
+    query.kinds = EventKindMask{}.set(EventKind::kSession);
+    (void)source.scan(query, [&](const StreamEvent& event) {
+      const Session& s = std::get<SessionEvent>(event.payload).session;
+      ArrivalEvent arrival;
+      arrival.second = static_cast<std::uint32_t>(
+          event.key.clock_minute() * kSecondsPerMinute +
+          static_cast<std::size_t>(event_start_second(event.key)));
+      arrival.ru = static_cast<std::uint16_t>(ru);
+      arrival.service = s.service;
+      arrival.rate_mbps = static_cast<float>(s.throughput_mbps());
+      arrival.duration_s = static_cast<float>(s.duration_s);
+      schedule.push_back(arrival);
+    });
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const ArrivalEvent& a, const ArrivalEvent& b) {
+              return a.second < b.second;
+            });
+
+  const auto measurement_draw = [](const ArrivalEvent& a, Rng&) {
+    // The recorded session, rebuilt as a draw: volume = rate x time / 8.
+    return SessionDrawSource::Draw{
+        static_cast<double>(a.rate_mbps) * a.duration_s / 8.0,
+        static_cast<double>(a.duration_s)};
+  };
+  return run_strategies(registry, config, schedule, measurement_draw, root);
 }
 
 }  // namespace mtd

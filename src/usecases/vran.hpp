@@ -20,6 +20,7 @@
 
 #include "common/stats.hpp"
 #include "core/service_model.hpp"
+#include "events/session_source.hpp"
 #include "usecases/baselines.hpp"
 
 namespace mtd {
@@ -104,5 +105,16 @@ struct VranResult {
 /// arrival classes shared by all strategies).
 [[nodiscard]] VranResult run_vran(const ModelRegistry& registry,
                                   const VranConfig& config = {});
+
+/// Same use case with the shared arrival realization streamed from a trace
+/// instead of Monte-Carlo: RU r replays the recorded sessions of BS r over
+/// days [0, num_days) (one per-BS push-down scan each); the "measurement"
+/// strategy replays each session's own recorded rate and duration while
+/// the model strategies attach their draws to the same arrivals. Depends
+/// on the source only through the delivered event stream, so two sources
+/// holding the same events yield bit-identical energy figures.
+[[nodiscard]] VranResult run_vran_from_source(SessionSource& source,
+                                              const ModelRegistry& registry,
+                                              const VranConfig& config = {});
 
 }  // namespace mtd

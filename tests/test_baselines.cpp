@@ -32,8 +32,8 @@ TEST(CategoryShares, Table1SharesSumToOne) {
   EXPECT_LT(shares[2], 0.05);  // MS
 }
 
-TEST(CategorySessionSource, DurationsMatchCategoryMeans) {
-  const CategorySessionSource source;
+TEST(CategoryDrawSource, DurationsMatchCategoryMeans) {
+  const CategoryDrawSource source;
   Rng rng(1);
   for (int cat = 0; cat < 3; ++cat) {
     RunningStats durations;
@@ -49,8 +49,8 @@ TEST(CategorySessionSource, DurationsMatchCategoryMeans) {
   }
 }
 
-TEST(CategorySessionSource, ThroughputMedianMatches) {
-  const CategorySessionSource source;
+TEST(CategoryDrawSource, ThroughputMedianMatches) {
+  const CategoryDrawSource source;
   Rng rng(2);
   std::vector<double> rates;
   for (int i = 0; i < 50000; ++i) {
@@ -62,9 +62,9 @@ TEST(CategorySessionSource, ThroughputMedianMatches) {
               category_models()[1].median_throughput_mbps, 0.1);
 }
 
-TEST(CategorySessionSource, ServiceSamplingUsesItsCategory) {
+TEST(CategoryDrawSource, ServiceSamplingUsesItsCategory) {
   // Netflix maps to MS; its draws must look like MS draws statistically.
-  const CategorySessionSource source;
+  const CategoryDrawSource source;
   Rng rng(3);
   RunningStats netflix_durations;
   const std::size_t netflix = service_index("Netflix");
@@ -75,9 +75,9 @@ TEST(CategorySessionSource, ServiceSamplingUsesItsCategory) {
               0.1 * category_models()[2].mean_duration_s);
 }
 
-TEST(CategorySessionSource, VolumeScaleMultipliesVolumes) {
-  const CategorySessionSource unit({1.0, 1.0, 1.0});
-  const CategorySessionSource doubled({2.0, 2.0, 2.0});
+TEST(CategoryDrawSource, VolumeScaleMultipliesVolumes) {
+  const CategoryDrawSource unit({1.0, 1.0, 1.0});
+  const CategoryDrawSource doubled({2.0, 2.0, 2.0});
   Rng rng_a(4), rng_b(4);
   for (int i = 0; i < 1000; ++i) {
     const auto a = unit.sample(0, rng_a);
@@ -87,18 +87,18 @@ TEST(CategorySessionSource, VolumeScaleMultipliesVolumes) {
   }
 }
 
-TEST(CategorySessionSource, RejectsBadScaleAndService) {
-  EXPECT_THROW(CategorySessionSource({0.0, 1.0, 1.0}), InvalidArgument);
-  const CategorySessionSource source;
+TEST(CategoryDrawSource, RejectsBadScaleAndService) {
+  EXPECT_THROW(CategoryDrawSource({0.0, 1.0, 1.0}), InvalidArgument);
+  const CategoryDrawSource source;
   Rng rng(5);
   EXPECT_THROW(source.sample(10000, rng), InvalidArgument);
   EXPECT_EQ(source.num_services(), service_catalog().size());
 }
 
-TEST(CategorySessionSource, LosesIntraCategoryDiversity) {
+TEST(CategoryDrawSource, LosesIntraCategoryDiversity) {
   // The whole point of the benchmarks: Facebook and Wikipedia (both IW)
   // become statistically indistinguishable under the category model.
-  const CategorySessionSource source;
+  const CategoryDrawSource source;
   Rng rng_a(6), rng_b(6);
   RunningStats fb, wiki;
   const std::size_t fb_idx = service_index("Facebook");

@@ -15,7 +15,7 @@ const ModelRegistry& registry() {
 
 BsLevelSeries series_for_decile(std::uint8_t decile, std::size_t days,
                                 std::uint64_t seed) {
-  const ModelSessionSource source(registry());
+  const ModelDrawSource source(registry());
   const BsTrafficGenerator generator(
       registry().arrivals().class_model(decile), registry().arrivals(),
       source);
@@ -58,7 +58,7 @@ TEST(BsLevelSeries, WindowFractionValidation) {
 }
 
 TEST(BsLevelSeries, AggregateValidatesInput) {
-  const ModelSessionSource source(registry());
+  const ModelDrawSource source(registry());
   const BsTrafficGenerator generator(
       registry().arrivals().class_model(3), registry().arrivals(), source);
   Rng rng(6);

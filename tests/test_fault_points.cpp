@@ -125,5 +125,18 @@ TEST(FaultPoints, RegistryCoversEveryFireSite) {
   }
 }
 
+// The compaction phases are pinned by name, not just by the grep above:
+// the chaos soak's compaction leg and the crash-matrix tests arm exactly
+// these three strings, so renaming one would silently drop coverage even
+// with the set-equality test green.
+TEST(FaultPoints, CompactionPhasesAreRegistered) {
+  const std::vector<std::string>& registry = FaultInjector::known_points();
+  const std::set<std::string> registered(registry.begin(), registry.end());
+  for (const char* point : {"store.compact.pages", "store.compact.sync",
+                            "store.compact.manifest"}) {
+    EXPECT_EQ(registered.count(point), 1u) << point;
+  }
+}
+
 }  // namespace
 }  // namespace mtd

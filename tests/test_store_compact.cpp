@@ -1,0 +1,301 @@
+// Background segment compaction (DESIGN.md section 15): merging every
+// committed segment into one must preserve the replayed byte stream
+// exactly, retire the superseded pages into dead_pages, and survive a
+// crash at any store.compact.* fault point with the previous manifest
+// fully live.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "events/event_sink.hpp"
+#include "io/json.hpp"
+#include "store/trace_store.hpp"
+
+namespace mtd {
+namespace {
+
+using store::CompactionReport;
+using store::StoreOptions;
+using store::TraceStore;
+using store::TraceStoreWriter;
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+StreamEvent minute_event(std::uint32_t bs, std::uint16_t day,
+                         std::uint16_t minute, std::uint64_t seq,
+                         std::uint32_t arrivals) {
+  StreamEvent event;
+  event.key = EventKey{bs, day, minute, seq};
+  event.payload = MinuteEvent{arrivals};
+  return event;
+}
+
+StreamEvent session_event(std::uint32_t bs, std::uint16_t day,
+                          std::uint16_t minute, std::uint64_t seq,
+                          double volume_mb) {
+  StreamEvent event;
+  event.key = EventKey{bs, day, minute, seq};
+  SessionEvent payload;
+  payload.session.bs = bs;
+  payload.session.day = day;
+  payload.session.minute_of_day = minute;
+  payload.session.service = 2;
+  payload.session.volume_mb = volume_mb;
+  payload.session.duration_s = 30.0;
+  event.payload = payload;
+  return event;
+}
+
+/// A store with one segment per day: interleaved BSs so the merged segment
+/// re-sorts records across segment boundaries.
+void build_segmented_store(const std::string& path, std::uint16_t days,
+                           FaultInjector* fault = nullptr) {
+  TraceStoreWriter writer =
+      fault ? TraceStoreWriter::create(path, {}, fault)
+            : TraceStoreWriter::create(path);
+  for (std::uint16_t day = 0; day < days; ++day) {
+    for (std::uint32_t bs = 0; bs < 16; ++bs) {
+      writer.on_event(minute_event(bs, day, 0, 0, bs + day));
+      writer.on_event(session_event(bs, day, 5, 1, 1.5 * (bs + 1)));
+    }
+    writer.commit();
+  }
+  writer.close();
+}
+
+struct Collect final : EventSink {
+  std::vector<StreamEvent> events;
+  void on_event(const StreamEvent& event) override {
+    events.push_back(event);
+  }
+};
+
+void expect_identical_replay(const std::vector<StreamEvent>& a,
+                             const std::vector<StreamEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key) << i;
+    EXPECT_EQ(a[i].kind(), b[i].kind()) << i;
+    if (a[i].kind() == EventKind::kSession) {
+      EXPECT_EQ(std::get<SessionEvent>(a[i].payload).session.volume_mb,
+                std::get<SessionEvent>(b[i].payload).session.volume_mb)
+          << i;
+    }
+  }
+}
+
+TEST(TraceStoreCompact, MergesSegmentsPreservingReplayAndAccounting) {
+  const std::string path = temp_path("mtd_compact_basic.store");
+  build_segmented_store(path, 4);
+
+  Collect before;
+  std::uint64_t pages_before = 0;
+  {
+    TraceStore reader(path);
+    ASSERT_EQ(reader.manifest().segments.size(), 4u);
+    pages_before = reader.manifest().committed_pages;
+    (void)reader.replay(before);
+  }
+
+  CompactionReport report;
+  {
+    TraceStoreWriter writer = TraceStoreWriter::append(path);
+    report = writer.compact();
+    writer.close();
+  }
+  EXPECT_EQ(report.segments_before, 4u);
+  EXPECT_EQ(report.segments_after, 1u);
+  EXPECT_EQ(report.events, before.events.size());
+  EXPECT_GT(report.pages_retired, 0u);
+
+  TraceStore reader(path);
+  ASSERT_EQ(reader.manifest().segments.size(), 1u);
+  EXPECT_EQ(reader.manifest().events, before.events.size());
+  // The retired pages stay inside the committed length (append-only), so
+  // committed_pages grows by the merged segment while dead_pages absorbs
+  // the old ones: 1 + dead + live == committed.
+  EXPECT_EQ(reader.manifest().dead_pages, report.pages_retired);
+  EXPECT_EQ(1 + reader.manifest().dead_pages +
+                reader.manifest().segments[0].num_pages,
+            reader.manifest().committed_pages);
+  EXPECT_EQ(reader.manifest().committed_pages,
+            pages_before + report.pages_written);
+
+  Collect after;
+  (void)reader.replay(after);
+  expect_identical_replay(before.events, after.events);
+
+  // verify() walks the single live segment and skips the dead ranges.
+  const auto verified = reader.verify();
+  EXPECT_EQ(verified.segments, 1u);
+  EXPECT_EQ(verified.events, before.events.size());
+
+  // Point lookups and pruned scans still resolve through the new fences.
+  EXPECT_TRUE(reader.get(EventKey{3, 2, 5, 1}).has_value());
+  EXPECT_FALSE(reader.get(EventKey{3, 2, 6, 0}).has_value());
+  std::uint64_t scanned = 0;
+  (void)reader.scan(7, 1, 2, [&scanned](const StreamEvent&) { ++scanned; });
+  EXPECT_EQ(scanned, 4u);  // 2 events x 2 days
+}
+
+TEST(TraceStoreCompact, SingleSegmentAndEmptyStoreAreNoOps) {
+  const std::string path = temp_path("mtd_compact_noop.store");
+  build_segmented_store(path, 1);
+  TraceStoreWriter writer = TraceStoreWriter::append(path);
+  const CompactionReport report = writer.compact();
+  EXPECT_EQ(report.segments_before, 1u);
+  EXPECT_EQ(report.segments_after, 1u);
+  EXPECT_EQ(report.pages_written, 0u);
+  EXPECT_EQ(report.pages_retired, 0u);
+  writer.close();
+  EXPECT_EQ(TraceStore(path).manifest().dead_pages, 0u);
+
+  const std::string empty = temp_path("mtd_compact_empty.store");
+  TraceStoreWriter fresh = TraceStoreWriter::create(empty);
+  const CompactionReport none = fresh.compact();
+  EXPECT_EQ(none.segments_before, 0u);
+  fresh.close();
+}
+
+TEST(TraceStoreCompact, PendingEventsSurviveCompactionUntouched) {
+  const std::string path = temp_path("mtd_compact_pending.store");
+  build_segmented_store(path, 2);
+
+  TraceStoreWriter writer = TraceStoreWriter::append(path);
+  writer.on_event(minute_event(99, 5, 0, 0, 7));  // pending, uncommitted
+  const CompactionReport report = writer.compact();
+  EXPECT_EQ(report.segments_before, 2u);
+  EXPECT_EQ(writer.events_pending(), 1u);
+  writer.commit();  // lands as a fresh second segment after the merged one
+  writer.close();
+
+  TraceStore reader(path);
+  ASSERT_EQ(reader.manifest().segments.size(), 2u);
+  EXPECT_TRUE(reader.get(EventKey{99, 5, 0, 0}).has_value());
+  (void)reader.verify();
+}
+
+TEST(TraceStoreCompact, AppendAfterCompactionKeepsAccountingConsistent) {
+  const std::string path = temp_path("mtd_compact_append.store");
+  build_segmented_store(path, 3);
+  {
+    TraceStoreWriter writer = TraceStoreWriter::append(path);
+    (void)writer.compact();
+    writer.close();
+  }
+  {
+    // append() revalidates the page accounting (including dead_pages) on
+    // reopen, then extends past the compacted segment.
+    TraceStoreWriter writer = TraceStoreWriter::append(path);
+    writer.on_event(minute_event(3, 3, 0, 0, 1));
+    writer.close();
+  }
+  TraceStore reader(path);
+  EXPECT_EQ(reader.manifest().segments.size(), 2u);
+  EXPECT_GT(reader.manifest().dead_pages, 0u);
+  (void)reader.verify();
+
+  // A second compaction folds the post-compaction segment in as well and
+  // retires the first merged segment's pages on top of the old total.
+  const std::uint64_t dead_before = reader.manifest().dead_pages;
+  {
+    TraceStoreWriter writer = TraceStoreWriter::append(path);
+    const CompactionReport report = writer.compact();
+    EXPECT_EQ(report.segments_before, 2u);
+    writer.close();
+  }
+  TraceStore again(path);
+  EXPECT_EQ(again.manifest().segments.size(), 1u);
+  EXPECT_GT(again.manifest().dead_pages, dead_before);
+  EXPECT_EQ(again.verify().events, again.manifest().events);
+}
+
+// The compaction fault matrix: every store.compact.* phase x both failure
+// flavors. Whatever phase dies, the previous committed multi-segment state
+// stays fully readable (scan and replay bit-identical to pre-compaction),
+// and a retried compaction lands.
+TEST(TraceStoreCompact, EveryCompactionPhaseFailureKeepsPreviousState) {
+  const char* kPoints[] = {"store.compact.pages", "store.compact.sync",
+                           "store.compact.manifest"};
+  const FaultAction kActions[] = {FaultAction::kError, FaultAction::kThrow};
+  int variant = 0;
+  for (const char* point : kPoints) {
+    for (const FaultAction action : kActions) {
+      const std::string path = temp_path(
+          ("mtd_compact_fault_" + std::to_string(variant++) + ".store")
+              .c_str());
+      build_segmented_store(path, 3);
+      Collect before;
+      (void)TraceStore(path).replay(before);
+
+      FaultInjector fault;
+      TraceStoreWriter writer = TraceStoreWriter::append(path, &fault);
+      fault.arm(point, FaultSpec{.action = action});
+      if (action == FaultAction::kError) {
+        EXPECT_THROW((void)writer.compact(), InjectedFault) << point;
+      } else {
+        EXPECT_THROW((void)writer.compact(), std::runtime_error) << point;
+      }
+      EXPECT_EQ(fault.fired(point), 1u);
+
+      // A concurrent reader (and a post-crash reopen) sees the old
+      // segments, bit-identical — the crashed attempt published nothing.
+      {
+        TraceStore reader(path);
+        EXPECT_EQ(reader.manifest().segments.size(), 3u) << point;
+        EXPECT_EQ(reader.manifest().dead_pages, 0u) << point;
+        Collect after_crash;
+        (void)reader.replay(after_crash);
+        expect_identical_replay(before.events, after_crash.events);
+        (void)reader.verify();
+      }
+
+      // A fresh incarnation reclaims the torn tail and retries to success.
+      TraceStoreWriter retry = TraceStoreWriter::append(path);
+      const CompactionReport report = retry.compact();
+      EXPECT_EQ(report.segments_before, 3u) << point;
+      EXPECT_EQ(report.segments_after, 1u) << point;
+      retry.close();
+
+      TraceStore reader(path);
+      ASSERT_EQ(reader.manifest().segments.size(), 1u) << point;
+      Collect after;
+      (void)reader.replay(after);
+      expect_identical_replay(before.events, after.events);
+      EXPECT_EQ(reader.verify().events, before.events.size());
+    }
+  }
+}
+
+// A dead_pages count the page accounting cannot explain is corruption and
+// must be diagnosed at manifest load, not silently accepted.
+TEST(TraceStoreCompact, ImplausibleDeadPagesIsDiagnosed) {
+  const std::string path = temp_path("mtd_compact_bad_manifest.store");
+  build_segmented_store(path, 2);
+  {
+    TraceStoreWriter writer = TraceStoreWriter::append(path);
+    (void)writer.compact();
+    writer.close();
+  }
+  std::string manifest = read_file(path);
+  const std::string needle = "\"dead_pages\"";
+  ASSERT_NE(manifest.find(needle), std::string::npos);
+  // dead_pages >= committed_pages is impossible (the superblock and the
+  // live segment are committed too).
+  const std::size_t value_at = manifest.find(':', manifest.find(needle));
+  ASSERT_NE(value_at, std::string::npos);
+  const std::size_t quote = manifest.find('"', value_at);
+  const std::size_t end_quote = manifest.find('"', quote + 1);
+  manifest.replace(quote + 1, end_quote - quote - 1, "ffffffff");
+  write_file(path, manifest);
+  EXPECT_THROW(TraceStore{path}, ParseError);
+}
+
+}  // namespace
+}  // namespace mtd

@@ -18,8 +18,8 @@ const ModelRegistry& registry() {
   return r;
 }
 
-TEST(GroundTruthSessionSource, CoversAllServices) {
-  const GroundTruthSessionSource source;
+TEST(GroundTruthDrawSource, CoversAllServices) {
+  const GroundTruthDrawSource source;
   EXPECT_EQ(source.num_services(), service_catalog().size());
   Rng rng(1);
   for (std::size_t s = 0; s < source.num_services(); ++s) {
@@ -30,11 +30,11 @@ TEST(GroundTruthSessionSource, CoversAllServices) {
   EXPECT_THROW(source.sample(1000, rng), InvalidArgument);
 }
 
-TEST(ModelSessionSource, MatchesGroundTruthScale) {
+TEST(ModelDrawSource, MatchesGroundTruthScale) {
   // Median session volume from the fitted model is close to ground truth,
   // per service.
-  const GroundTruthSessionSource truth;
-  const ModelSessionSource model(registry());
+  const GroundTruthDrawSource truth;
+  const ModelDrawSource model(registry());
   Rng rng_a(2), rng_b(2);
   for (const char* name : {"Facebook", "Netflix", "Instagram"}) {
     const std::size_t s = service_index(name);
@@ -47,10 +47,10 @@ TEST(ModelSessionSource, MatchesGroundTruthScale) {
   }
 }
 
-TEST(ModelSessionSource, FallsBackForUnfittedServices) {
+TEST(ModelDrawSource, FallsBackForUnfittedServices) {
   // Every catalogue service must be sampleable even if the registry only
   // fitted the popular ones.
-  const ModelSessionSource source(registry());
+  const ModelDrawSource source(registry());
   EXPECT_EQ(source.num_services(), service_catalog().size());
   Rng rng(3);
   for (std::size_t s = 0; s < source.num_services(); ++s) {
@@ -61,7 +61,7 @@ TEST(ModelSessionSource, FallsBackForUnfittedServices) {
 
 TEST(BsTrafficGenerator, ArrivalVolumeFollowsClassModel) {
   const ArrivalClassModel& cls = registry().arrivals().class_model(6);
-  const ModelSessionSource source(registry());
+  const ModelDrawSource source(registry());
   const BsTrafficGenerator generator(cls, registry().arrivals(), source);
   Rng rng(4);
   RunningStats noon;
@@ -73,7 +73,7 @@ TEST(BsTrafficGenerator, ArrivalVolumeFollowsClassModel) {
 
 TEST(BsTrafficGenerator, GenerateDayEmitsPlausibleSessions) {
   const ArrivalClassModel& cls = registry().arrivals().class_model(4);
-  const ModelSessionSource source(registry());
+  const ModelDrawSource source(registry());
   const BsTrafficGenerator generator(cls, registry().arrivals(), source);
   Rng rng(5);
   std::size_t count = 0;
@@ -94,7 +94,7 @@ TEST(BsTrafficGenerator, GenerateDayEmitsPlausibleSessions) {
 
 TEST(BsTrafficGenerator, ServiceMixMatchesFittedShares) {
   const ArrivalClassModel& cls = registry().arrivals().class_model(8);
-  const ModelSessionSource source(registry());
+  const ModelDrawSource source(registry());
   const BsTrafficGenerator generator(cls, registry().arrivals(), source);
   Rng rng(6);
   std::vector<std::size_t> counts(service_catalog().size(), 0);

@@ -9,9 +9,12 @@
 //      often every compiled-in fault point is reached), then
 //   2. a chaos run into a second store, where every registered fault point
 //      is armed from a seeded schedule, whole "process incarnations" are
-//      killed with foreign exceptions mid-run, and the store's page file
-//      is tampered with between incarnations (garbage appended to / torn
-//      off the uncommitted tail — never the committed prefix).
+//      killed with foreign exceptions mid-run, the store's page file is
+//      tampered with between incarnations (garbage appended to / torn off
+//      the uncommitted tail — never the committed prefix), and segment
+//      compaction runs between incarnations with store.compact.* faults
+//      armed (plus one guaranteed fault-free pass at the end, so the final
+//      comparison always covers a compacted store).
 //
 // The run passes only if the chaos store ends bit-identical to the clean
 // one: same final checkpoint counters, same replay digest, same per-BS
@@ -297,6 +300,11 @@ struct ChaosOutcome {
   std::size_t incarnations = 0;
   std::size_t kills = 0;
   std::size_t tampers = 0;
+  /// Compaction leg: maintenance passes over the chaos store between
+  /// incarnations (plus the final fault-free pass), and how many of them
+  /// the armed store.compact.* faults killed mid-publish.
+  std::size_t compaction_passes = 0;
+  std::size_t compaction_crashes = 0;
   std::vector<AttemptRecord> attempts;
   std::map<std::string, std::uint64_t> fired;
   EngineCheckpoint final_checkpoint;
@@ -484,6 +492,32 @@ int run_soak(const Options& opt) {
     }
   };
 
+  // Compaction leg: between incarnations the background maintenance path
+  // runs against the chaos store with every store.compact.* point armed at
+  // a coin-flip — roughly half the passes die mid-publish (pages, sync or
+  // manifest), which must leave the previous multi-segment manifest fully
+  // live for the next incarnation; the passes that land must be invisible
+  // in the replayed stream. The clean reference store is never compacted,
+  // so the final fingerprint comparison proves both.
+  const auto compaction_leg = [&](bool with_faults) {
+    if (with_faults && opt.faults) {
+      for (const char* point : {"store.compact.pages", "store.compact.sync",
+                                "store.compact.manifest"}) {
+        injector.arm(point, FaultSpec{FaultAction::kError, 0.5, 0, 1, 0.0});
+      }
+    }
+    ++outcome.compaction_passes;
+    try {
+      auto writer = mtd::store::TraceStoreWriter::append(
+          chaos_path, with_faults && opt.faults ? &injector : nullptr);
+      static_cast<void>(writer.compact());
+      writer.close();
+    } catch (const std::exception&) {
+      // Died mid-compact: nothing published; the store must still open.
+      ++outcome.compaction_crashes;
+    }
+  };
+
   bool completed = false;
   for (std::size_t inc = 1; !completed && inc <= opt.incarnations; ++inc) {
     ++outcome.incarnations;
@@ -509,6 +543,7 @@ int run_soak(const Options& opt) {
     if (!completed) {
       tamper_store(chaos_path, schedule);
       ++outcome.tampers;
+      compaction_leg(/*with_faults=*/true);
     }
   }
   if (!completed) {
@@ -524,6 +559,11 @@ int run_soak(const Options& opt) {
     }
   }
   outcome.completed = completed;
+  if (completed) {
+    // One guaranteed fault-free pass: the fingerprint below always covers
+    // a compacted chaos store against the never-compacted clean one.
+    compaction_leg(/*with_faults=*/false);
+  }
 
   // ---- Compare. Shard counters are per-attempt and legitimately differ
   // after restarts; everything cumulative must match bit-exactly.
@@ -578,6 +618,8 @@ int run_soak(const Options& opt) {
     report.emplace("incarnations", outcome.incarnations);
     report.emplace("kills", outcome.kills);
     report.emplace("tampers", outcome.tampers);
+    report.emplace("compaction_passes", outcome.compaction_passes);
+    report.emplace("compaction_crashes", outcome.compaction_crashes);
     report.emplace("attempts", outcome.attempts.size());
     report.emplace("faults_fired", static_cast<double>(total_fired));
     JsonObject fired_obj;
@@ -608,6 +650,8 @@ int run_soak(const Options& opt) {
                 static_cast<unsigned long long>(opt.seed));
     std::printf("  incarnations: %zu (%zu kills, %zu store tampers)\n",
                 outcome.incarnations, outcome.kills, outcome.tampers);
+    std::printf("  compactions:  %zu pass(es), %zu killed mid-publish\n",
+                outcome.compaction_passes, outcome.compaction_crashes);
     std::printf("  attempts:     %zu, faults fired: %llu\n",
                 outcome.attempts.size(),
                 static_cast<unsigned long long>(total_fired));

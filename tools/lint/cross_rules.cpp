@@ -36,13 +36,14 @@ namespace {
 const std::map<std::string, int, std::less<>>& layer_ranks() {
   static const std::map<std::string, int, std::less<>> kRanks = {
       {"common", 0},
-      {"math", 1},   {"io", 1},       {"packet", 1},
+      {"math", 1},     {"io", 1},       {"packet", 1},
       {"dataset", 2},
-      {"core", 3},   {"mobility", 3},
-      {"events", 4}, {"analysis", 4}, {"usecases", 4},
+      {"core", 3},     {"mobility", 3},
+      {"events", 4},
       {"store", 5},
-      {"engine", 6},
-      {"scenario", 7},
+      {"analysis", 6}, {"usecases", 6},
+      {"engine", 7},
+      {"scenario", 8},
   };
   return kRanks;
 }
@@ -54,9 +55,9 @@ class IncludeLayeringRule final : public Rule {
   }
   [[nodiscard]] std::string_view description() const noexcept override {
     return "src/ includes must follow the layer DAG (common < math/io/"
-           "packet < dataset < core/mobility < events/analysis/usecases < "
-           "store < engine < scenario): no upward, same-rank-peer, or "
-           "cyclic includes";
+           "packet < dataset < core/mobility < events < store < "
+           "analysis/usecases < engine < scenario): no upward, "
+           "same-rank-peer, or cyclic includes";
   }
   void check_project(const ProjectModel& model,
                      std::vector<Finding>& out) const override {
@@ -271,8 +272,8 @@ class CommitProtocolOrderRule final : public Rule {
   [[nodiscard]] std::string_view description() const noexcept override {
     return "in commit paths, writes/appends must precede flush must "
            "precede the atomic rename/manifest replace, and no state "
-           "mutation may sit between a store.commit.*/checkpoint.write "
-           "fault_fire and the I/O it guards";
+           "mutation may sit between a store.commit.*/store.compact.*/"
+           "checkpoint.write fault_fire and the I/O it guards";
   }
   void check_project(const ProjectModel& model,
                      std::vector<Finding>& out) const override {
@@ -333,6 +334,7 @@ class CommitProtocolOrderRule final : public Rule {
     // Map each guarded fault site back to its file's blanked lines.
     for (const FaultSite& site : model.fault_sites) {
       const bool guarded = site.point.rfind("store.commit.", 0) == 0 ||
+                           site.point.rfind("store.compact.", 0) == 0 ||
                            site.point == "checkpoint.write";
       if (!guarded) continue;
       const std::vector<std::string>* code = nullptr;

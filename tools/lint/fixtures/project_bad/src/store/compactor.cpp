@@ -1,0 +1,19 @@
+// Fixture mini-tree (project_bad): the store layer reaching UP into the
+// use-case layer (include-layering), and a compaction path mutating state
+// between a store.compact.* fault_fire and the write it guards
+// (commit-protocol-order). Never compiled.
+#include "usecases/replay.hpp"
+
+namespace fx {
+
+void Writer::compact() {
+  fault_fire(fault_, "store.compact.pages");
+  dead_pages_ += retired_;  // line 11: mutation between fire and the write
+  file_.write(merged_.data(), merged_.size());
+  fault_fire(fault_, "store.compact.sync");
+  file_.flush();
+  fault_fire(fault_, "store.compact.manifest");
+  write_file_atomic(manifest_path_, next_manifest_text_);
+}
+
+}  // namespace fx

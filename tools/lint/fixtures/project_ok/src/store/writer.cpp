@@ -14,4 +14,13 @@ void Writer::commit() {
   write_file_atomic(manifest_path_, manifest_text_);
 }
 
+void Writer::compact() {
+  fault_fire(fault_, "store.compact.pages");
+  file_.write(merged_.data(), merged_.size());
+  fault_fire(fault_, "store.compact.sync");
+  file_.flush();
+  fault_fire(fault_, "store.compact.manifest");
+  write_file_atomic(manifest_path_, next_manifest_text_);
+}
+
 }  // namespace fx

@@ -1,0 +1,11 @@
+// Fixture mini-tree (project_ok): the use-case layer reaching DOWN into
+// the store layer — legal since analysis/usecases sit above store in the
+// DAG (store-backed SessionSource consumers). Never compiled.
+#include "events/event.hpp"
+#include "store/writer.hpp"
+
+namespace fx {
+
+inline int replay_all() { return 0; }
+
+}  // namespace fx

@@ -2,13 +2,15 @@
 // section 12).
 //
 // Usage:
-//   mtd_store stats  <store>
-//   mtd_store get    <store> <bs> <day> <minute> <seq>
-//   mtd_store scan   <store> <bs> <day_lo> <day_hi>
-//   mtd_store verify <store>
+//   mtd_store stats   <store>
+//   mtd_store get     <store> <bs> <day> <minute> <seq>
+//   mtd_store scan    <store> <bs> <day_lo> <day_hi>
+//   mtd_store verify  <store>
+//   mtd_store compact <store>
 //
 // Exit codes: 0 success, 1 not found / verification failure, 2 usage or
-// I/O error.
+// I/O error. Unknown subcommands and wrong arities diagnose themselves on
+// stderr before the usage text.
 #include <charconv>
 #include <cstdio>
 #include <string>
@@ -24,13 +26,14 @@ using mtd::StreamEvent;
 
 void print_usage() {
   std::fputs(
-      "usage: mtd_store stats  <store>\n"
-      "       mtd_store get    <store> <bs> <day> <minute> <seq>\n"
-      "       mtd_store scan   <store> <bs> <day_lo> <day_hi>\n"
-      "       mtd_store verify <store>\n"
+      "usage: mtd_store stats   <store>\n"
+      "       mtd_store get     <store> <bs> <day> <minute> <seq>\n"
+      "       mtd_store scan    <store> <bs> <day_lo> <day_hi>\n"
+      "       mtd_store verify  <store>\n"
+      "       mtd_store compact <store>\n"
       "\n"
-      "Query tool for mtd trace stores (<store> is the manifest path;\n"
-      "the page file sits next to it as <store>.pages).\n",
+      "Query and maintenance tool for mtd trace stores (<store> is the\n"
+      "manifest path; the page file sits next to it as <store>.pages).\n",
       stderr);
 }
 
@@ -88,6 +91,8 @@ int cmd_stats(const std::string& path) {
   std::printf("committed pages: %llu (%llu bytes)\n",
               static_cast<unsigned long long>(m.committed_pages),
               static_cast<unsigned long long>(m.committed_bytes()));
+  std::printf("dead pages:      %llu\n",
+              static_cast<unsigned long long>(m.dead_pages));
   std::printf("segments:        %zu\n", m.segments.size());
   std::printf("events:          %llu\n",
               static_cast<unsigned long long>(m.events));
@@ -102,16 +107,42 @@ int cmd_stats(const std::string& path) {
     std::printf("engine cursor:   (not set)\n");
   }
   for (const mtd::store::SegmentInfo& seg : m.segments) {
+    const std::uint64_t fence_pages =
+        seg.num_pages - seg.num_leaves - seg.num_bloom_pages;
     std::printf(
-        "segment @%llu: %llu events, %llu leaves, %llu bloom pages "
-        "(%u B x %u hashes), depth %u, bs %u..%u, days %u..%u\n",
+        "segment @%llu: %llu events, %llu pages (%llu leaves, %llu fence, "
+        "%llu bloom), blooms %u B x %u hashes, depth %u, bs %u..%u, "
+        "days %u..%u\n",
         static_cast<unsigned long long>(seg.first_page),
         static_cast<unsigned long long>(seg.events),
+        static_cast<unsigned long long>(seg.num_pages),
         static_cast<unsigned long long>(seg.num_leaves),
+        static_cast<unsigned long long>(fence_pages),
         static_cast<unsigned long long>(seg.num_bloom_pages), seg.bloom_bytes,
         seg.bloom_hashes, seg.depth, seg.min_key.bs, seg.max_key.bs,
         seg.min_key.day, seg.max_key.day);
   }
+  return 0;
+}
+
+int cmd_compact(const std::string& path) {
+  mtd::store::TraceStoreWriter writer =
+      mtd::store::TraceStoreWriter::append(path);
+  const mtd::store::CompactionReport report = writer.compact();
+  writer.close();
+  if (report.segments_before < 2) {
+    std::printf("mtd_store: nothing to compact (%llu segment(s))\n",
+                static_cast<unsigned long long>(report.segments_before));
+    return 0;
+  }
+  std::printf(
+      "mtd_store: compacted %llu segment(s) into %llu — %llu events, "
+      "%llu pages written, %llu pages retired\n",
+      static_cast<unsigned long long>(report.segments_before),
+      static_cast<unsigned long long>(report.segments_after),
+      static_cast<unsigned long long>(report.events),
+      static_cast<unsigned long long>(report.pages_written),
+      static_cast<unsigned long long>(report.pages_retired));
   return 0;
 }
 
@@ -155,18 +186,53 @@ int cmd_verify(const std::string& path) {
   return 0;
 }
 
+/// Arguments each subcommand takes after the subcommand word itself
+/// (<store> included). Unknown names return SIZE_MAX.
+std::size_t expected_args(std::string_view command) {
+  if (command == "stats" || command == "verify" || command == "compact") {
+    return 1;
+  }
+  if (command == "get") return 5;
+  if (command == "scan") return 4;
+  return static_cast<std::size_t>(-1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  if (argc < 2) {
     print_usage();
     return 2;
   }
   const std::string_view command = argv[1];
+  // No subcommand takes flags: any dash-prefixed argument (including a
+  // dash-prefixed "subcommand" such as --help) is diagnosed by name rather
+  // than silently falling through to the usage text.
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') {
+      std::fprintf(stderr, "mtd_store: unknown flag '%s'\n", argv[i]);
+      print_usage();
+      return 2;
+    }
+  }
+  const std::size_t expected = expected_args(command);
+  if (expected == static_cast<std::size_t>(-1)) {
+    std::fprintf(stderr, "mtd_store: unknown subcommand '%s'\n",
+                 std::string(command).c_str());
+    print_usage();
+    return 2;
+  }
+  if (static_cast<std::size_t>(argc) != expected + 2) {
+    std::fprintf(stderr,
+                 "mtd_store: '%s' takes %zu argument(s), got %d\n",
+                 std::string(command).c_str(), expected, argc - 2);
+    print_usage();
+    return 2;
+  }
   const std::string path = argv[2];
   try {
-    if (command == "stats" && argc == 3) return cmd_stats(path);
-    if (command == "get" && argc == 7) {
+    if (command == "stats") return cmd_stats(path);
+    if (command == "get") {
       mtd::EventKey key;
       key.bs = static_cast<std::uint32_t>(parse_u64(argv[3], "bs"));
       key.day = static_cast<std::uint16_t>(parse_u64(argv[4], "day"));
@@ -175,13 +241,14 @@ int main(int argc, char** argv) {
       key.seq = parse_u64(argv[6], "seq");
       return cmd_get(path, key);
     }
-    if (command == "scan" && argc == 6) {
+    if (command == "scan") {
       return cmd_scan(path,
                       static_cast<std::uint32_t>(parse_u64(argv[3], "bs")),
                       static_cast<std::uint16_t>(parse_u64(argv[4], "day_lo")),
                       static_cast<std::uint16_t>(parse_u64(argv[5], "day_hi")));
     }
-    if (command == "verify" && argc == 3) return cmd_verify(path);
+    if (command == "verify") return cmd_verify(path);
+    if (command == "compact") return cmd_compact(path);
   } catch (const mtd::ParseError& e) {
     // Corruption diagnostics (path + byte offset) are the verify outcome.
     std::fprintf(stderr, "mtd_store: %s\n", e.what());
