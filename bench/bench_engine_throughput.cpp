@@ -13,8 +13,10 @@
 //
 // A second sweep varies EngineConfig::batch_size (1/16/64/256) at a fixed
 // worker count to measure the cost of per-event ring traffic vs batched
-// transfers. Both sweeps are written to BENCH_engine.json (machine-readable;
-// schema documented in batch_sweep below) for CI trend tracking.
+// transfers, and a third compares the scalar and SoA batch generator
+// kernels end to end (kernel_sweep below; ratcheted by check_bench.sh).
+// All sweeps are written to BENCH_engine.json (machine-readable; schemas
+// documented per sweep) for CI trend tracking.
 //
 // google-benchmark timings of the SPSC ring primitive follow the JSON
 // lines.
@@ -51,6 +53,7 @@ struct CountingSink final : TraceSink {
 
 JsonArray throughput_sweep();
 JsonArray batch_sweep();
+JsonArray kernel_sweep();
 
 JsonArray throughput_sweep() {
   JsonArray rows;
@@ -165,6 +168,78 @@ JsonArray batch_sweep() {
   return rows;
 }
 
+/// Generator-kernel sweep: the scalar reference path vs the SoA batch
+/// kernels (DESIGN.md sec. 16) end to end through the engine, each at the
+/// worker counts that matter on this host. Row schema: bench, kernel,
+/// workers, sessions, wall_s, sessions_per_s, mbytes_per_s, dropped,
+/// speedup_vs_scalar (per worker count, batch rate / scalar rate). The two
+/// kernels draw different streams, so session counts differ slightly
+/// between them — but within a kernel they must be worker-count invariant,
+/// which is asserted. scripts/check_bench.sh ratchets the batch
+/// sessions_per_s of this section against the committed baseline.
+JsonArray kernel_sweep() {
+  JsonArray rows;
+  TraceConfig trace;
+  trace.num_days = mtd::bench::fast_mode() ? 1 : 3;
+  trace.seed = 20231024;
+  const Network& network = mtd::bench::bench_network();
+
+  std::uint64_t reference[2] = {0, 0};  // per-kernel 1-worker session count
+  for (std::size_t workers : {1u, 2u}) {
+    double scalar_rate = 0.0;
+    for (const GeneratorKernel kernel :
+         {GeneratorKernel::kScalar, GeneratorKernel::kBatch}) {
+      EngineConfig config;
+      config.num_workers = workers;
+      config.queue_capacity = 16384;
+      config.backpressure = BackpressurePolicy::kBlock;
+      config.kernel = kernel;
+
+      StreamEngine engine(network, trace, config);
+      CountingSink sink;
+      const EngineResult result = engine.run(sink);
+      const TelemetrySnapshot& t = result.telemetry;
+
+      // Worker-count invariance within a kernel: remember the 1-worker
+      // count on the first pass, compare on later ones.
+      const std::size_t k = static_cast<std::size_t>(kernel);
+      if (workers == 1) {
+        reference[k] = sink.sessions;
+      } else if (sink.sessions != reference[k]) {
+        std::cerr << "FATAL: " << to_string(kernel)
+                  << " session count diverged at " << workers << " workers\n";
+        std::exit(1);
+      }
+      if (t.dropped_sessions + t.dropped_minutes != 0) {
+        std::cerr << "FATAL: blocking backpressure dropped events\n";
+        std::exit(1);
+      }
+
+      if (kernel == GeneratorKernel::kScalar) {
+        scalar_rate = t.sessions_per_second;
+      }
+
+      JsonObject row;
+      row.emplace("bench", "engine_kernel");
+      row.emplace("kernel", std::string(to_string(kernel)));
+      row.emplace("workers", static_cast<double>(workers));
+      row.emplace("sessions", static_cast<double>(sink.sessions));
+      row.emplace("wall_s", t.wall_seconds);
+      row.emplace("sessions_per_s", t.sessions_per_second);
+      row.emplace("mbytes_per_s", t.mbytes_per_second);
+      row.emplace("dropped",
+                  static_cast<double>(t.dropped_sessions + t.dropped_minutes));
+      row.emplace("speedup_vs_scalar",
+                  scalar_rate > 0.0 ? t.sessions_per_second / scalar_rate
+                                    : 1.0);
+      Json json(std::move(row));
+      std::cout << json.dump() << "\n";
+      rows.push_back(std::move(json));
+    }
+  }
+  return rows;
+}
+
 void BM_SpscRingPushPop(benchmark::State& state) {
   SpscRing<std::uint64_t> ring(1024);
   std::uint64_t i = 0;
@@ -230,6 +305,7 @@ int main(int argc, char** argv) {
       static_cast<double>(std::thread::hardware_concurrency()));
   report.emplace("worker_sweep", mtd::Json(throughput_sweep()));
   report.emplace("batch_sweep", mtd::Json(batch_sweep()));
+  report.emplace("kernel_sweep", mtd::Json(kernel_sweep()));
   mtd::write_file("BENCH_engine.json", mtd::Json(std::move(report)).dump());
   std::cerr << "[bench] wrote BENCH_engine.json\n";
   return mtd::bench::run_benchmarks(argc, argv);

@@ -7,6 +7,14 @@
 //   mixture_draw     alias component pick vs cumulative-weight linear scan
 //   circadian_minute per-minute activity LUT vs direct evaluation
 //   pow10            exp2-based base-10 exponential vs std::pow(10, x)
+//   uniform_block    4-lane BlockRng block fill vs per-draw scalar Rng
+//   pow10_block      vectorized exp2 polynomial block vs scalar pow10_fast
+//   alias_sample_block batched alias lookup vs per-element pick
+//   minute_batch_fill  SoA minute kernel vs the scalar session draw chain
+//   service_model_block core fitted-model SoA draw vs ServiceModel::sample
+//   mixture_scan_k*  in-register CDF scan vs alias pick at k components
+//                    (the scan wins below the k<=4 crossover the batch
+//                    kernel uses; the alias table stays for large tables)
 //   ndjson_serialize hand-rolled buffered writer vs JsonObject-per-event
 //   binary_serialize patched-length single buffer vs frame-per-event
 //   csv_serialize    to_chars rows vs ofstream operator<<
@@ -29,7 +37,11 @@
 
 #include "bench_common.hpp"
 #include "common/alias_table.hpp"
+#include "common/batch_rng/block_rng.hpp"
+#include "common/batch_rng/vec_math.hpp"
 #include "common/time_utils.hpp"
+#include "core/service_model.hpp"
+#include "dataset/generator.hpp"
 #include "dataset/service_catalog.hpp"
 #include "dataset/trace_io.hpp"
 #include "events/event_sink.hpp"
@@ -210,6 +222,233 @@ JsonObject bench_pow10(std::uint64_t iters) {
   benchmark::DoNotOptimize(sink);
   return make_row("pow10", "evals", static_cast<double>(iters) / base_s,
                   static_cast<double>(iters) / opt_s);
+}
+
+// ---------------------------------------------------------------------------
+// SoA batch kernels (common/batch_rng; DESIGN.md sec. 16)
+//
+// Each row compares the scalar per-draw path the engine's kScalar kernel
+// uses against the batched SoA form the kBatch kernel uses, per element.
+// The primitive rows (uniform_block, pow10_block) can land near or below
+// 1.0 on the default x86-64 target: 2-wide SSE2 vectors barely beat
+// scalar xoshiro / libm exp2, and the batch forms additionally buy
+// digest portability (no libm) and lane-stable streams. The composed row
+// (minute_batch_fill) is where the SoA layout pays — one pass over fused
+// columns instead of a per-session draw chain.
+
+JsonObject bench_uniform_block(std::uint64_t iters) {
+  constexpr std::size_t kBlock = 1024;
+  std::vector<double> out(kBlock);
+  const std::uint64_t blocks = std::max<std::uint64_t>(1, iters / kBlock);
+  const std::uint64_t draws = blocks * kBlock;
+
+  double sink = 0.0;
+  const double base = best_rate(draws, 3, [&] {
+    Rng rng(11);
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      for (std::size_t i = 0; i < kBlock; ++i) out[i] = rng.uniform();
+      sink += out[kBlock - 1];
+    }
+  });
+  const double opt = best_rate(draws, 3, [&] {
+    BlockRng rng(Rng(11), 0);
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      rng.uniform_block(out.data(), kBlock);
+      sink += out[kBlock - 1];
+    }
+  });
+
+  benchmark::DoNotOptimize(sink);
+  return make_row("uniform_block", "draws", base, opt);
+}
+
+JsonObject bench_pow10_block(std::uint64_t iters) {
+  std::vector<double> xs(4096);
+  std::vector<double> out(4096);
+  Rng rng(790);
+  for (double& x : xs) x = rng.normal(0.5, 1.2);
+  const std::uint64_t sweeps = std::max<std::uint64_t>(1, iters / xs.size());
+  const std::uint64_t evals = sweeps * xs.size();
+
+  double sink = 0.0;
+  const double base = best_rate(evals, 3, [&] {
+    for (std::uint64_t s = 0; s < sweeps; ++s) {
+      for (std::size_t i = 0; i < xs.size(); ++i) out[i] = pow10_fast(xs[i]);
+      sink += out[0];
+    }
+  });
+  const double opt = best_rate(evals, 3, [&] {
+    for (std::uint64_t s = 0; s < sweeps; ++s) {
+      vec::pow10_block(xs.data(), out.data(), xs.size());
+      sink += out[0];
+    }
+  });
+
+  benchmark::DoNotOptimize(sink);
+  return make_row("pow10_block", "evals", base, opt);
+}
+
+JsonObject bench_alias_sample_block(std::uint64_t iters) {
+  const AliasTable alias{std::span<const double>(normalized_session_shares())};
+  const std::vector<double> us = uniform_grid(321);
+  std::vector<std::uint32_t> out(us.size());
+  const std::uint64_t sweeps = std::max<std::uint64_t>(1, iters / us.size());
+  const std::uint64_t picks = sweeps * us.size();
+
+  std::uint64_t sink = 0;
+  const double base = best_rate(picks, 3, [&] {
+    for (std::uint64_t s = 0; s < sweeps; ++s) {
+      for (std::size_t i = 0; i < us.size(); ++i) {
+        out[i] = static_cast<std::uint32_t>(alias.pick(us[i]));
+      }
+      sink += out[0];
+    }
+  });
+  const double opt = best_rate(picks, 3, [&] {
+    for (std::uint64_t s = 0; s < sweeps; ++s) {
+      alias.sample_block(us.data(), out.data(), us.size());
+      sink += out[0];
+    }
+  });
+
+  benchmark::DoNotOptimize(sink);
+  return make_row("alias_sample_block", "picks", base, opt);
+}
+
+/// One full generated day of one busy BS, per session: the scalar
+/// per-session draw chain (kScalar's inner loop) vs the SoA minute fill
+/// (kBatch). Both sides sample the identical per-minute session counts;
+/// the streams differ by design (BlockRng v1 vs the scalar stream).
+JsonObject bench_minute_fill(bool fast) {
+  TraceConfig trace;
+  trace.num_days = 1;
+  trace.seed = 20231024;
+  const Network& network = mtd::bench::bench_network();
+  // The busiest BS: decile 9 has the largest blocks, where the SoA path
+  // matters most.
+  std::size_t busiest = 0;
+  for (std::size_t i = 0; i < network.size(); ++i) {
+    if (network[i].decile > network[busiest].decile) busiest = i;
+  }
+  const TraceGenerator generator(network, trace);
+  const std::size_t day = 0;
+  const BaseStation scaled = generator.day_scaled(network[busiest], day);
+
+  // Per-minute counts from the batch path, reused for both sides so the
+  // comparison times sampling, not arrival draws.
+  MinuteBlock block;
+  std::vector<std::uint32_t> counts(kMinutesPerDay);
+  std::uint64_t day_sessions = 0;
+  for (std::size_t m = 0; m < kMinutesPerDay; ++m) {
+    generator.sample_minute_block(scaled, day, m, block);
+    counts[m] = block.count;
+    day_sessions += block.count;
+  }
+
+  const std::uint64_t sweeps = fast ? 2 : 10;
+  const std::uint64_t sessions = sweeps * day_sessions;
+
+  double sink = 0.0;
+  const double base = best_rate(sessions, 3, [&] {
+    for (std::uint64_t s = 0; s < sweeps; ++s) {
+      Rng rng = generator.bs_day_rng(scaled, day);
+      for (std::size_t m = 0; m < kMinutesPerDay; ++m) {
+        for (std::uint32_t c = 0; c < counts[m]; ++c) {
+          sink += generator.sample_session(scaled, day, m, rng).volume_mb;
+        }
+      }
+    }
+  });
+  const double opt = best_rate(sessions, 3, [&] {
+    for (std::uint64_t s = 0; s < sweeps; ++s) {
+      for (std::size_t m = 0; m < kMinutesPerDay; ++m) {
+        generator.sample_minute_block(scaled, day, m, block);
+        if (block.count != 0) sink += block.volume_mb[0];
+      }
+    }
+  });
+
+  benchmark::DoNotOptimize(sink);
+  return make_row("minute_batch_fill", "sessions", base, opt);
+}
+
+/// Component-selection crossover (the PR 5 alias regression, resolved):
+/// for k-component mixtures, an in-register branchless CDF scan vs an
+/// alias-table pick. The batch kernel scans when k <= 4 (every catalog
+/// mixture) and keeps the alias table for large tables — these rows show
+/// the crossover: speedup > 1 (scan wins) at small k, < 1 at large k.
+JsonObject bench_mixture_scan(std::size_t k, std::uint64_t iters) {
+  // Skewed weights like real mixtures (dominant main component).
+  std::vector<double> weights(k);
+  double total = 0.0;
+  for (std::size_t i = 0; i < k; ++i) total += weights[i] = 1.0 / (i + 1.0);
+  for (double& w : weights) w /= total;
+  const AliasTable alias{std::span<const double>(weights)};
+  std::vector<double> cum(k);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < k; ++i) cum[i] = acc += weights[i];
+  cum.back() = 2.0;  // padded sentinel, as in SessionBlockKernel
+  const std::vector<double> us = uniform_grid(111 + k);
+
+  std::uint64_t sink = 0;
+  const double base = best_rate(iters, 3, [&] {
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      sink += alias.pick(us[i & 4095]);
+    }
+  });
+  const double opt = best_rate(iters, 3, [&] {
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      const double u = us[i & 4095];
+      std::size_t pick = 0;
+      for (std::size_t j = 0; j + 1 < k; ++j) pick += u > cum[j] ? 1 : 0;
+      sink += pick;
+    }
+  });
+
+  benchmark::DoNotOptimize(sink);
+  const std::string name = "mixture_scan_k" + std::to_string(k);
+  return make_row(name.c_str(), "picks", base, opt);
+}
+
+/// The core-layer fitted-model draw, scalar ServiceModel::sample vs the
+/// SoA sample_block (uniform + Box-Muller blocks, mixture sample_block,
+/// batched inverse power law). The block path pays one extra normal per
+/// draw (the jitter lane is always consumed) and still wins on the fused
+/// column loops.
+JsonObject bench_service_model_block(bool fast) {
+  VolumeModel volume(Log10Normal(1.2, 0.55),
+                     {ResidualPeak{0.08, 2.6, 0.12, 2.2, 3.0}});
+  const ServiceModel model("bench", std::move(volume),
+                           DurationModel(2.5, 1.3, 0.99), 0.05);
+  constexpr double kJitter = 0.08;
+  constexpr std::size_t kBlock = 512;
+  const std::size_t blocks = fast ? 8 : 64;
+  const std::uint64_t draws = blocks * kBlock;
+
+  double vol_sink = 0.0;
+  const double base = best_rate(draws, 3, [&] {
+    Rng rng(4242);
+    for (std::uint64_t i = 0; i < draws; ++i) {
+      const ServiceModel::Draw draw = model.sample(rng, kJitter);
+      vol_sink += draw.volume_mb - draw.duration_s;
+    }
+  });
+
+  std::vector<double> volume_col(kBlock);
+  std::vector<double> duration_col(kBlock);
+  ServiceModel::BlockScratch scratch;
+  const Rng base_rng(4242);
+  const double opt = best_rate(draws, 3, [&] {
+    for (std::size_t b = 0; b < blocks; ++b) {
+      BlockRng rng(base_rng, b);
+      model.sample_block(rng, volume_col.data(), duration_col.data(), kBlock,
+                         kJitter, scratch);
+      vol_sink += volume_col[0] - duration_col[kBlock - 1];
+    }
+  });
+
+  benchmark::DoNotOptimize(vol_sink);
+  return make_row("service_model_block", "draws", base, opt);
 }
 
 // ---------------------------------------------------------------------------
@@ -475,6 +714,11 @@ int main(int argc, char** argv) {
   for (JsonObject row :
        {bench_service_draw(draw_iters), bench_mixture_draw(draw_iters),
         bench_circadian(sweeps), bench_pow10(draw_iters),
+        bench_uniform_block(draw_iters), bench_pow10_block(draw_iters),
+        bench_alias_sample_block(draw_iters), bench_minute_fill(fast),
+        bench_service_model_block(fast),
+        bench_mixture_scan(2, draw_iters), bench_mixture_scan(4, draw_iters),
+        bench_mixture_scan(8, draw_iters), bench_mixture_scan(16, draw_iters),
         bench_ndjson(events), bench_binary(events), bench_csv(events)}) {
     print_row(row);
     rows.emplace_back(std::move(row));

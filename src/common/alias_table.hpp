@@ -47,6 +47,17 @@ class AliasTable {
     return pick(rng.uniform());
   }
 
+  /// Batched draw over precomputed uniforms (SoA batch kernels): out[i] =
+  /// pick(u[i]). One tight loop over the interleaved bucket array — the
+  /// per-call table pointer and scale stay in registers, which is where
+  /// the win over repeated sample() calls comes from.
+  void sample_block(const double* u, std::uint32_t* out,
+                    std::size_t n) const noexcept {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<std::uint32_t>(pick(u[i]));
+    }
+  }
+
   /// The deterministic outcome for a given u in [0, 1). Exposed so tests
   /// can enumerate the mapping and so callers that already hold a uniform
   /// deviate can reuse it.

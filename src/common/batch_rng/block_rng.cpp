@@ -1,0 +1,67 @@
+#include "common/batch_rng/block_rng.hpp"
+
+namespace mtd {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+BlockRng::BlockRng(const Rng& base, std::uint64_t block_index) noexcept {
+  const std::array<std::uint64_t, 4> s = base.state();
+  // v1 mapping: see the class comment. Lane 4 is the tail.
+  for (std::size_t l = 0; l < kLanes + 1; ++l) {
+    SplitMix64 sm(s[0] ^ s[1] ^ kStreamSalt ^
+                  (0x9e3779b97f4a7c15ULL * (block_index * 8 + l + 1)));
+    if (l < kLanes) {
+      for (std::size_t w = 0; w < 4; ++w) word_[w][l] = sm.next();
+    } else {
+      for (std::size_t w = 0; w < 4; ++w) tail_[w] = sm.next();
+    }
+  }
+}
+
+std::uint64_t BlockRng::step(LaneState& s) noexcept {
+  const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+  const std::uint64_t t = s[1] << 17;
+  s[2] ^= s[0];
+  s[3] ^= s[1];
+  s[1] ^= s[2];
+  s[0] ^= s[3];
+  s[2] ^= t;
+  s[3] = rotl(s[3], 45);
+  return result;
+}
+
+void BlockRng::fill(double* out, std::size_t n, bool open) noexcept {
+  // One round advances all four lanes; out[i] = lane i % 4, draw i / 4.
+  // The lane step is the same xoshiro256** recurrence as mtd::Rng, just
+  // evaluated word-SoA across lanes so the loop vectorizes.
+  const double offset = open ? 1.0 : 0.0;
+  std::size_t i = 0;
+  while (i < n) {
+    std::array<std::uint64_t, kLanes> r;
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const std::uint64_t result = rotl(word_[1][l] * 5, 7) * 9;
+      const std::uint64_t t = word_[1][l] << 17;
+      word_[2][l] ^= word_[0][l];
+      word_[3][l] ^= word_[1][l];
+      word_[1][l] ^= word_[2][l];
+      word_[0][l] ^= word_[3][l];
+      word_[2][l] ^= t;
+      word_[3][l] = rotl(word_[3][l], 45);
+      r[l] = result;
+    }
+    const std::size_t take = n - i < kLanes ? n - i : kLanes;
+    for (std::size_t l = 0; l < take; ++l) {
+      out[i + l] =
+          (static_cast<double>(r[l] >> 11) + offset) * 0x1.0p-53;
+    }
+    i += take;
+  }
+}
+
+}  // namespace mtd

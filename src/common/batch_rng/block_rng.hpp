@@ -1,0 +1,134 @@
+// Multi-lane block RNG for the SoA batch generation kernels.
+//
+// BlockRng is the batch-path counterpart of mtd::Rng: four xoshiro256**
+// lanes advanced in lockstep (the state is stored lane-SoA so the step
+// auto-vectorizes) plus a fifth scalar "tail" lane for data-dependent
+// draws (dwell-time truncation, arrival counts) that cannot be batched.
+//
+// ## The versioned seed->stream mapping (v1)
+//
+// The batch kernel does NOT reproduce the scalar per-(BS, day) stream —
+// lane interleaving and fixed-draw-count Box-Muller necessarily change
+// the draw order. Instead the batch stream is its own deterministic,
+// *versioned* function of the scalar stream's seed state:
+//
+//   Given the scalar stream base = TraceGenerator::bs_day_rng(bs, day)
+//   with state words s[0..3] (pure function of seed, bs.id, day; no draws
+//   consumed), the BlockRng for block index b (the engine uses b =
+//   minute_of_day) seeds lane l in {0..3} and the tail (l = 4) as
+//
+//     SplitMix64 sm(s[0] ^ s[1] ^ kStreamSalt
+//                        ^ (0x9e3779b97f4a7c15 * (b * 8 + l + 1)));
+//     lane state = { sm.next(), sm.next(), sm.next(), sm.next() }
+//
+//   and draws are consumed as documented on each member below
+//   (uniform_block interleaves lanes round-robin, normal_pair_block is
+//   one Box-Muller pair per output index, tail draws are scalar).
+//
+// kStreamVersion identifies this mapping. Tests pin it with committed
+// digests (tests/test_batch_rng.cpp); any change to the seeding, the lane
+// interleave, the polynomial kernels, or the per-minute draw layout of
+// SessionBlockKernel is a stream break and MUST bump kStreamVersion,
+// refresh the digests, and document the bump in DESIGN.md sec. 16.
+// Every kernel on this path is libm-free (common/batch_rng/vec_math.hpp),
+// so the digests hold across compilers, libm versions, and -march levels.
+//
+// Seeding per block index makes every (BS, day, minute) block stream
+// independent: generation order across blocks is irrelevant (the same
+// property per-(BS, day) scalar streams give the sharded engine) and
+// mid-day resume needs no RNG cursor for the batch path at all.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/batch_rng/vec_math.hpp"
+#include "common/rng.hpp"
+
+namespace mtd {
+
+class BlockRng {
+ public:
+  /// Version of the seed->stream mapping documented above.
+  static constexpr std::uint32_t kStreamVersion = 1;
+  /// Block lanes (the tail is extra).
+  static constexpr std::size_t kLanes = 4;
+  /// Salt of the v1 mapping ("MTD_brn1").
+  static constexpr std::uint64_t kStreamSalt = 0x4d54445f62726e31ULL;
+
+  /// Seeds all five lanes from the scalar stream state per the v1 mapping.
+  BlockRng(const Rng& base, std::uint64_t block_index) noexcept;
+
+  /// Fills out[0..n) with uniforms in [0, 1), lane-interleaved: out[i]
+  /// comes from lane i % 4, draw i / 4. A block call consumes exactly
+  /// ceil(n / 4) draws from EVERY lane (ragged leftovers are discarded),
+  /// so the consumed count — and hence the stream — depends only on n.
+  void uniform_block(double* out, std::size_t n) noexcept {
+    fill(out, n, /*open=*/false);
+  }
+
+  /// Same interleave, uniforms in (0, 1] (Box-Muller's log argument).
+  void uniform_open_block(double* out, std::size_t n) noexcept {
+    fill(out, n, /*open=*/true);
+  }
+
+  /// n Box-Muller pairs: consumes one uniform_open_block(n) for the radii
+  /// followed by one uniform_block(n) for the angles, then writes
+  /// z0[i] = r_i cos(2 pi u_i), z1[i] = r_i sin(2 pi u_i). Scratch must
+  /// hold 2 n doubles.
+  void normal_pair_block(double* z0, double* z1, double* scratch,
+                         std::size_t n) noexcept {
+    double* ua = scratch;
+    double* ub = scratch + n;
+    uniform_open_block(ua, n);
+    uniform_block(ub, n);
+    vec::normal_pair_block(ua, ub, z0, z1, n);
+  }
+
+  // -- tail lane: scalar, data-dependent draws ------------------------------
+
+  /// Uniform in [0, 1) from the tail lane.
+  double tail_uniform() noexcept {
+    return static_cast<double>(step(tail_) >> 11) * 0x1.0p-53;
+  }
+
+  /// One standard normal from the tail lane: a full Box-Muller pair is
+  /// drawn (two tail uniforms) and the sine half is discarded — a fixed
+  /// draw count per call keeps the tail stream trivially documentable.
+  double tail_normal() noexcept {
+    const double ua =
+        static_cast<double>((step(tail_) >> 11) + 1) * 0x1.0p-53;
+    const double ub = static_cast<double>(step(tail_) >> 11) * 0x1.0p-53;
+    double z0 = 0.0;
+    double z1 = 0.0;
+    vec::normal_pair_block(&ua, &ub, &z0, &z1, 1);
+    return z0;
+  }
+
+  /// 10^N(mu, sigma) from the tail lane (dwell-time draws).
+  double tail_log10_normal(double mu, double sigma) noexcept {
+    return vec::pow10_poly(mu + sigma * tail_normal());
+  }
+
+  /// Pareto (type I) from the tail lane: scale * u^{-1/shape} with u in
+  /// (0, 1], evaluated via the polynomial exp2/log2 pair.
+  double tail_pareto(double shape, double scale) noexcept {
+    const double u =
+        static_cast<double>((step(tail_) >> 11) + 1) * 0x1.0p-53;
+    return scale * vec::exp2_poly(-vec::log2_poly(u) / shape);
+  }
+
+ private:
+  using LaneState = std::array<std::uint64_t, 4>;
+
+  static std::uint64_t step(LaneState& s) noexcept;
+  void fill(double* out, std::size_t n, bool open) noexcept;
+
+  /// Lane-SoA xoshiro state: word_[w][l] is word w of lane l, so the
+  /// 4-lane step is four vectorizable word operations.
+  std::array<std::array<std::uint64_t, kLanes>, 4> word_{};
+  LaneState tail_{};
+};
+
+}  // namespace mtd

@@ -1,0 +1,188 @@
+// Vectorizable transcendental kernels for the SoA batch generation path.
+//
+// Every function here is branch-free straight-line arithmetic over plain
+// doubles — no libm calls, no lookup tables, no data-dependent control
+// flow — so GCC/Clang auto-vectorize the *_block loops at any target ISA
+// and, crucially, the results are bit-identical across scalar SSE2 and
+// AVX2/AVX-512 codegen. The top-level CMakeLists compiles the whole tree
+// with -ffp-contract=off, which keeps the compiler from fusing these
+// multiply-adds into FMAs on -march=x86-64-v3 builds; together with
+// correctly-rounded sqrt that makes the batch stream (BlockRng, DESIGN.md
+// sec. 16) a pure function of the seed on every x86-64 build we CI.
+//
+// Accuracy targets are set by the consumer: these kernels feed stochastic
+// draws (volumes, durations, Box-Muller normals), where ~1e-9 relative
+// error is orders of magnitude below sampling noise. They are NOT general
+// replacements for libm — inputs are clamped to the sampling ranges the
+// generator produces and subnormal handling is deliberately skipped.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstddef>
+
+namespace mtd::vec {
+
+/// log2(10) to full double precision (shared with mtd::pow10_fast).
+inline constexpr double kLog2Of10 = 3.321928094887362347870319429489390175865;
+/// ln(2) to full double precision.
+inline constexpr double kLn2 = 6.93147180559945286e-01;
+
+/// 1.5 * 2^52. Adding it to |x| < 2^51 rounds x to the nearest integer
+/// (ties to even) *in the low mantissa bits*: k = (x + kRoundMagic) -
+/// kRoundMagic recovers the rounded value, and the sum's raw bits hold
+/// the two's-complement integer directly. double<->int64 conversions have
+/// no SSE2 instruction (they block vectorization on baseline x86-64);
+/// this trick needs only FP adds and int64 bit ops, which all vectorize.
+inline constexpr double kRoundMagic = 6755399441055744.0;
+/// 2^52; bit-OR of an integer v in [0, 2^52) with these exponent bits
+/// makes the double 2^52 + v, so double(v) = or - kExpMagic without an
+/// int64->double conversion.
+inline constexpr double kExpMagic = 4503599627370496.0;
+
+/// 2^x for x in [-1021, 1023]: split x = k + r with k = round(x) and
+/// r in [-0.5, 0.5], evaluate 2^r by the degree-10 Taylor polynomial of
+/// e^{r ln 2} (max relative error ~1e-12 on the interval) and apply the
+/// integer scale 2^k through the exponent bits. Inputs below -1021 flush
+/// the scale into the denormal range and are clamped instead; the
+/// generator never produces them (log10 volumes are clamped at -4).
+[[nodiscard]] inline double exp2_poly(double x) noexcept {
+  x = x < -1021.0 ? -1021.0 : (x > 1023.0 ? 1023.0 : x);
+  // Magic-number rounding (see kRoundMagic): k = rint(x) and kd's raw
+  // bits carry k as an integer, branch- and conversion-free.
+  const double kd = x + kRoundMagic;
+  const double k = kd - kRoundMagic;
+  const double r = x - k;  // [-0.5, 0.5]
+  // Horner over (ln2)^j / j!, j = 10 .. 0.
+  double p = 7.05491162080112088e-09;
+  p = p * r + 1.01780860092396960e-07;
+  p = p * r + 1.32154867901443053e-06;
+  p = p * r + 1.52527338040598377e-05;
+  p = p * r + 1.54035303933816061e-04;
+  p = p * r + 1.33335581464284411e-03;
+  p = p * r + 9.61812910762847688e-03;
+  p = p * r + 5.55041086648215762e-02;
+  p = p * r + 2.40226506959100694e-01;
+  p = p * r + 6.93147180559945286e-01;
+  p = p * r + 1.00000000000000000e+00;
+  // 2^k via exponent bits: kd's low bits hold integer k (two's
+  // complement), and << 52 keeps exactly the biased-exponent field;
+  // k in [-1021, 1023] keeps it in the normal range.
+  const std::uint64_t scale_bits =
+      (std::bit_cast<std::uint64_t>(kd) + 1023) << 52;
+  return p * std::bit_cast<double>(scale_bits);
+}
+
+/// log2(x) for normal positive x (the generator feeds uniforms in
+/// (0, 1] and volumes in [1e-4, ~1e6]; subnormals are never produced).
+/// Mantissa reduced to [sqrt(0.5), sqrt(2)), then the artanh series
+/// ln m = 2(z + z^3/3 + ... + z^13/13) with z = (m-1)/(m+1), |z| <=
+/// 0.1716; max relative error ~4e-13.
+[[nodiscard]] inline double log2_poly(double x) noexcept {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+  // Exponent field to double via kExpMagic (no int64->double conversion):
+  // OR the 11-bit field into 2^52's mantissa and subtract the offset.
+  double e = std::bit_cast<double>(((bits >> 52) & 0x7ff) |
+                                   std::bit_cast<std::uint64_t>(kExpMagic)) -
+             (kExpMagic + 1022.0);
+  // Mantissa in [0.5, 1).
+  double m = std::bit_cast<double>((bits & 0xfffffffffffffULL) |
+                                   0x3fe0000000000000ULL);
+  // Fold into [sqrt(0.5), sqrt(2)) so z is centered on 0.
+  const bool low = m < 7.07106781186547573e-01;
+  m = low ? 2.0 * m : m;
+  e = low ? e - 1.0 : e;
+  const double z = (m - 1.0) / (m + 1.0);
+  const double z2 = z * z;
+  double p = 1.0 / 13.0;
+  p = p * z2 + 1.0 / 11.0;
+  p = p * z2 + 1.0 / 9.0;
+  p = p * z2 + 1.0 / 7.0;
+  p = p * z2 + 1.0 / 5.0;
+  p = p * z2 + 1.0 / 3.0;
+  p = p * z2 + 1.0;
+  // log2 m = (2 / ln 2) * artanh-series(z).
+  return e + z * p * 2.88539008177792677e+00;
+}
+
+/// 10^x: exp2_poly(x * log2 10). The batch-stream analogue of
+/// mtd::pow10_fast (which calls libm exp2 and therefore may differ in the
+/// last ulp across libm versions — the batch stream must not).
+[[nodiscard]] inline double pow10_poly(double x) noexcept {
+  return exp2_poly(x * kLog2Of10);
+}
+
+/// sin(pi a) for a in [-0.5, 0.5]: Taylor to x^13, |error| < 7e-10.
+[[nodiscard]] inline double sinpi_poly(double a) noexcept {
+  const double x = a * 3.14159265358979312e+00;
+  const double x2 = x * x;
+  double p = 1.60590438368216133e-10;
+  p = p * x2 + -2.50521083854417202e-08;
+  p = p * x2 + 2.75573192239858925e-06;
+  p = p * x2 + -1.98412698412698413e-04;
+  p = p * x2 + 8.33333333333333322e-03;
+  p = p * x2 + -1.66666666666666657e-01;
+  p = p * x2 + 1.00000000000000000e+00;
+  return x * p;
+}
+
+/// cos(pi a) for a in [-0.5, 0.5]: Taylor to x^14, |error| < 7e-11.
+[[nodiscard]] inline double cospi_poly(double a) noexcept {
+  const double x = a * 3.14159265358979312e+00;
+  const double x2 = x * x;
+  double p = -1.14707455977297245e-11;
+  p = p * x2 + 2.08767569878681002e-09;
+  p = p * x2 + -2.75573192239858883e-07;
+  p = p * x2 + 2.48015873015873016e-05;
+  p = p * x2 + -1.38888888888888894e-03;
+  p = p * x2 + 4.16666666666666644e-02;
+  p = p * x2 + -5.00000000000000000e-01;
+  p = p * x2 + 1.00000000000000000e+00;
+  return p;
+}
+
+/// out[i] = 2^{x[i]}; the loop body is exp2_poly, which auto-vectorizes.
+inline void exp2_block(const double* x, double* out, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = exp2_poly(x[i]);
+}
+
+/// out[i] = log2(x[i]).
+inline void log2_block(const double* x, double* out, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = log2_poly(x[i]);
+}
+
+/// out[i] = 10^{x[i]}.
+inline void pow10_block(const double* x, double* out, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = pow10_poly(x[i]);
+}
+
+/// Box-Muller over precomputed uniforms: ua in (0, 1], ub in [0, 1).
+///   r = sqrt(-2 ln ua), theta = 2 pi ub,
+///   z0 = r cos theta, z1 = r sin theta.
+/// The angle is range-reduced in turn units: with h = 2 ub and q =
+/// round(h), a = h - q lies in [-0.5, 0.5] and cos(2 pi ub) =
+/// (1 - 2(q & 1)) cos(pi a) (same sign flip for sin). Everything is
+/// branch-free; sqrt is IEEE-correctly-rounded, so the block is
+/// bit-stable across vector widths.
+inline void normal_pair_block(const double* ua, const double* ub, double* z0,
+                              double* z1, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lg = log2_poly(ua[i]);            // <= 0
+    const double r = std::sqrt(-2.0 * kLn2 * lg);  // [0, ~8.57]
+    const double h = 2.0 * ub[i];
+    // Magic-number rounding: q = rint(h), parity of q in hd's bit 0.
+    const double hd = h + kRoundMagic;
+    const double q = hd - kRoundMagic;
+    const double a = h - q;  // [-0.5, 0.5]
+    const double parity = std::bit_cast<double>(
+                              (std::bit_cast<std::uint64_t>(hd) & 1) |
+                              std::bit_cast<std::uint64_t>(kExpMagic)) -
+                          kExpMagic;               // q & 1, exactly
+    const double sign = 1.0 - 2.0 * parity;        // 1 - 2(q&1)
+    z0[i] = r * sign * cospi_poly(a);
+    z1[i] = r * sign * sinpi_poly(a);
+  }
+}
+
+}  // namespace mtd::vec

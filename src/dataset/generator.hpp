@@ -10,15 +10,30 @@
 // the paper highlights (insight (e)).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <span>
+#include <vector>
 
 #include "common/alias_table.hpp"
+#include "common/batch_rng/block_rng.hpp"
 #include "common/rng.hpp"
 #include "dataset/network.hpp"
 #include "dataset/service_catalog.hpp"
 
 namespace mtd {
+
+/// Which generation kernel a front-end drives (EngineConfig::kernel).
+///
+/// kScalar is the reference implementation: one mtd::Rng draw at a time,
+/// bit-identical to every pre-batch release for any seed. kBatch fills
+/// SoA minute buffers through the BlockRng lanes — 2-4x the sessions/s,
+/// with its own versioned seed->stream mapping (BlockRng::kStreamVersion;
+/// the two kernels agree statistically, never bit-for-bit).
+enum class GeneratorKernel : std::uint8_t { kScalar, kBatch };
+
+[[nodiscard]] const char* to_string(GeneratorKernel k) noexcept;
 
 /// One generated transport-layer session.
 struct Session {
@@ -53,6 +68,13 @@ class ArrivalProcess {
   [[nodiscard]] std::uint32_t sample(std::size_t minute_of_day,
                                      Rng& rng) const;
 
+  /// Batch-stream arrival draw: same two-phase model, drawn from the
+  /// BlockRng tail lane (day phase: one tail_normal; night: one
+  /// tail_pareto). Part of the versioned batch stream — it is the first
+  /// tail draw of every minute block.
+  [[nodiscard]] std::uint32_t sample_batch(std::size_t minute_of_day,
+                                           BlockRng& rng) const;
+
   /// True when the minute falls in the daytime (Gaussian) phase.
   [[nodiscard]] static bool is_day_phase(std::size_t minute_of_day);
 
@@ -81,6 +103,81 @@ class SessionSampler {
   const ServiceProfile* profile_;
   Log10NormalMixture volume_mixture_;
   double alpha_;
+};
+
+/// Structure-of-arrays buffers of one generated minute: column i across
+/// the output vectors is session i of the minute, in batch draw order.
+/// Workers convert these columns to events just before the ring push; the
+/// scratch columns carry the intermediate uniforms/deviates/exponents so a
+/// reused MinuteBlock allocates only while warming up.
+struct MinuteBlock {
+  std::uint32_t count = 0;
+
+  // -- outputs ---------------------------------------------------------------
+  std::vector<std::uint16_t> service;
+  std::vector<double> volume_mb;
+  std::vector<double> duration_s;
+  /// Session start, seconds since day start (the minute boundary: the
+  /// scalar model has minute granularity, so all sessions of a block
+  /// share it; kept per-session so downstream consumers stay columnar).
+  std::vector<double> start_s;
+  std::vector<std::uint8_t> transient;
+
+  // -- scratch ---------------------------------------------------------------
+  struct Scratch {
+    std::vector<std::uint32_t> svc;   // alias picks (widened)
+    std::vector<double> u;            // fused uniform columns (5 n)
+    std::vector<double> z0, z1;       // normal deviates
+    std::vector<double> xv, xd;       // log2 volume / duration exponents
+    std::vector<std::uint32_t> midx;  // compacted mobile-candidate indices
+    std::vector<double> du;           // dwell Box-Muller uniforms
+    std::vector<double> dz;           // dwell normal deviates
+    std::vector<double> dw;           // dwell times, seconds
+  } scratch;
+
+  /// Grows every column to hold `n` sessions (never shrinks).
+  void resize(std::size_t n);
+};
+
+/// Flattened per-service sampling parameters driving the SoA minute fill.
+///
+/// The fill is phase-split so the arithmetic-heavy loops carry no gathers:
+/// (A) one gather pass resolves each session's service/component and
+/// computes the log2 exponent columns, (B) block exp2 + branch-free
+/// clamps, (C) the data-dependent dwell truncation over the compacted
+/// mobile candidates. The per-minute draw order is part of the versioned
+/// batch stream (BlockRng v1): one arrival tail draw; one fused uniform
+/// block of 5 n (columns: service pick, component pick, Box-Muller
+/// radius, Box-Muller angle, mobility); then — with m = the number of
+/// mobile candidates, in session order — one uniform block of
+/// 2 ceil(m / 2) feeding ceil(m / 2) Box-Muller pairs whose deviates are
+/// consumed cos-half-first for the m dwell times.
+class SessionBlockKernel {
+ public:
+  SessionBlockKernel() = default;
+  explicit SessionBlockKernel(std::span<const ServiceProfile> catalog);
+
+  /// Fills `out` with `count` sessions drawn from `rng` (service picked
+  /// through `service_alias`). `start_s` stamps every session's start.
+  void fill(BlockRng& rng, const AliasTable& service_alias, double start_s,
+            std::uint32_t count, MinuteBlock& out) const;
+
+ private:
+  static constexpr std::size_t kScan = Log10NormalMixture::kScanComponents;
+
+  struct Service {
+    std::array<double, kScan> cum;    // scan thresholds (padded 2.0)
+    std::array<double, kScan> mu;     // component log10 locations
+    std::array<double, kScan> sigma;  // component log10 scales
+    double log2_alpha = 0.0;          // log2 of the power-law alpha
+    double inv_beta = 1.0;            // 1 / beta
+    double dur_sigma_l2 = 0.0;        // duration_sigma * log2(10)
+    double p_mobile = 0.0;
+  };
+
+  std::vector<Service> services_;
+  double dwell_mu_ = 0.0;     // shared dwell-time log10 location
+  double dwell_sigma_ = 0.0;  // shared dwell-time log10 scale
 };
 
 struct TraceConfig {
@@ -118,6 +215,13 @@ class TraceGenerator {
   void run_bs_day(const BaseStation& bs, std::size_t day,
                   TraceSink& sink) const;
 
+  /// Same, through the selected kernel: kScalar is run_bs_day above,
+  /// kBatch drives sample_minute_block and forwards every column as a
+  /// Session. The two streams differ bit-wise but agree statistically
+  /// (tests/test_kernel_parity.cpp).
+  void run_bs_day(const BaseStation& bs, std::size_t day, TraceSink& sink,
+                  GeneratorKernel kernel) const;
+
   // -- streaming primitives ---------------------------------------------------
   // The per-(BS, day) generation stream is defined by three pieces that the
   // batch path above composes; they are public so streaming front-ends
@@ -141,6 +245,21 @@ class TraceGenerator {
                                        std::size_t minute_of_day,
                                        Rng& rng) const;
 
+  // -- batch kernel (SoA minute path) -----------------------------------------
+
+  /// Fills `out` with every session of (bs, day, minute) through the SoA
+  /// batch kernel. `day_scaled_bs` must be day_scaled(bs, day) — passed in
+  /// so per-minute callers scale once per day, not per minute. Each minute
+  /// is an independent BlockRng stream (v1 mapping seeded from
+  /// bs_day_rng's unconsumed state), so minutes can be generated in any
+  /// order and resume needs no batch RNG cursor.
+  void sample_minute_block(const BaseStation& day_scaled_bs, std::size_t day,
+                           std::size_t minute_of_day, MinuteBlock& out) const;
+
+  [[nodiscard]] const SessionBlockKernel& block_kernel() const noexcept {
+    return block_kernel_;
+  }
+
   [[nodiscard]] const Network& network() const noexcept { return *network_; }
   [[nodiscard]] const TraceConfig& config() const noexcept { return config_; }
 
@@ -148,7 +267,8 @@ class TraceGenerator {
   const Network* network_;
   TraceConfig config_;
   std::vector<SessionSampler> samplers_;
-  AliasTable service_alias_;  // O(1) Table-1 share draws
+  AliasTable service_alias_;       // O(1) Table-1 share draws
+  SessionBlockKernel block_kernel_;  // flattened params of the SoA path
 };
 
 }  // namespace mtd

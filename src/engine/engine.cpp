@@ -128,6 +128,7 @@ class ShardWorker {
         bss_(std::move(bss)),
         ring_(config.queue_capacity),
         batch_size_(config.batch_size),
+        kernel_(config.kernel),
         interval_(config.checkpoint_interval_minutes),
         kinds_(config.event_kinds),
         mobility_(config.mobility),
@@ -150,6 +151,14 @@ class ShardWorker {
            const std::vector<EngineBsCursor>* resume_states,
            FaultInjector* fault) {
     abort_ = &abort;
+    // Shared produced counters are published at minute granularity; this
+    // guard covers every return path (including aborts), so post-join
+    // accounting always sees the final local counts.
+    struct PublishGuard {
+      ShardWorker* worker;
+      Telemetry::PerWorker* tel;
+      ~PublishGuard() { worker->publish_produced(*tel); }
+    } publish_guard{this, &tel};
     const Network& network = generator_->network();
     const bool emit_minutes = kinds_.contains(EventKind::kMinute);
     const bool emit_sessions = kinds_.contains(EventKind::kSession);
@@ -197,8 +206,17 @@ class ShardWorker {
         if (abort.load(std::memory_order_relaxed)) return;
         for (std::size_t i = 0; i < bss_.size(); ++i) {
           const BaseStation& bs = network[bss_[i]];
+          // kBatch fills the SoA minute block in one go (its own
+          // per-minute RNG stream; rngs[i] stays parked at the day base
+          // state, which keeps mid-day cursors kernel-agnostic); kScalar
+          // draws sessions one by one below, advancing rngs[i].
+          const bool batch = kernel_ == GeneratorKernel::kBatch;
+          if (batch) {
+            generator_->sample_minute_block(scaled[i], day, minute, block_);
+          }
           const std::uint32_t count =
-              ArrivalProcess(scaled[i]).sample(minute, rngs[i]);
+              batch ? block_.count
+                    : ArrivalProcess(scaled[i]).sample(minute, rngs[i]);
           const EventKey base_key{bs.id, static_cast<std::uint16_t>(day),
                                   static_cast<std::uint16_t>(minute), 0};
           if (emit_minutes) {
@@ -210,8 +228,19 @@ class ShardWorker {
           }
           for (std::uint32_t k = 0; k < count; ++k) {
             fault_fire(fault, "worker.session");
-            const Session session =
-                generator_->sample_session(bs, day, minute, rngs[i]);
+            Session session;
+            if (batch) {
+              // Column k of the minute block becomes the event payload.
+              session.bs = bs.id;
+              session.day = static_cast<std::uint16_t>(day);
+              session.minute_of_day = static_cast<std::uint16_t>(minute);
+              session.service = block_.service[k];
+              session.transient = block_.transient[k] != 0;
+              session.volume_mb = block_.volume_mb[k];
+              session.duration_s = block_.duration_s[k];
+            } else {
+              session = generator_->sample_session(bs, day, minute, rngs[i]);
+            }
             day_volume[i] += session.volume_mb;
             // The session's slot in the (BS, day) order is allocated even
             // when session events are masked out, so segment and packet
@@ -252,6 +281,7 @@ class ShardWorker {
             }
           }
         }
+        publish_produced(tel);
         tel.produced_minute.store(abs_minute + 1, std::memory_order_relaxed);
         // Minute-interval mark: the grid is absolute minutes, so a resumed
         // run marks the same minutes the original would have. Marks on a
@@ -317,10 +347,25 @@ class ShardWorker {
     if (aborted_) return false;
     const auto kind = static_cast<std::size_t>(ev.kind());
     ++produced_[kind];
-    tel.produced[kind].fetch_add(1, std::memory_order_relaxed);
+    // The shared counter is fed from produced_ in publish_produced —
+    // a per-event fetch_add here was measurable at batch-kernel rates.
     pending_.push_back(std::move(ev));
     if (pending_.size() >= batch_size_) return flush(policy, tel);
     return true;
+  }
+
+  /// Publishes produced_ into the shared telemetry block: one atomic add
+  /// per kind that advanced since the last publish. Called per minute and
+  /// on every exit from run(), so externally observed counts lag a
+  /// worker's local ones by at most one minute of events.
+  void publish_produced(Telemetry::PerWorker& tel) noexcept {
+    for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+      const std::uint64_t delta = produced_[k] - published_[k];
+      if (delta != 0) {
+        tel.produced[k].fetch_add(delta, std::memory_order_relaxed);
+        published_[k] = produced_[k];
+      }
+    }
   }
 
   bool flush(BackpressurePolicy policy, Telemetry::PerWorker& tel) {
@@ -370,12 +415,15 @@ class ShardWorker {
   std::vector<std::uint32_t> bss_;
   SpscRing<RingItem> ring_;
   std::size_t batch_size_;
+  GeneratorKernel kernel_;
   std::size_t interval_;
   EventKindMask kinds_;
+  MinuteBlock block_;  // reused SoA buffers of the kBatch path
   HandoverChainGenerator mobility_;
   PacketScheduleGenerator packet_;
   EventBatch pending_;
   std::array<std::uint64_t, kNumEventKinds> produced_{};
+  std::array<std::uint64_t, kNumEventKinds> published_{};  // in telemetry
   const std::atomic<bool>* abort_ = nullptr;
   bool aborted_ = false;
 };
@@ -717,12 +765,15 @@ EngineResult StreamEngine::run_days(
     }
   };
 
-  auto deliver_event = [&](const StreamEvent& ev) {
+  // Returns true when the event reached the sink, false when the failure
+  // was absorbed as a sink error (kDegrade); throws under kFailFast.
+  auto deliver_event = [&](const StreamEvent& ev) -> bool {
     const EventKind kind = ev.kind();
     try {
       fault_fire(config_.fault,
                  kSinkFaultPoint[static_cast<std::size_t>(kind)]);
       sink.on_event(ev);
+      return true;
     } catch (...) {
       if (config_.sink_error_policy == SinkErrorPolicy::kFailFast) {
         // The in-flight event dies with the abort; count it discarded so
@@ -731,20 +782,22 @@ EngineResult StreamEngine::run_days(
         throw;
       }
       telemetry.count_sink_error(kind);
-      return;
+      return false;
     }
-    telemetry.count_consumed(
-        kind, kind == EventKind::kSession
-                  ? std::get<SessionEvent>(ev.payload).session.volume_mb
-                  : 0.0);
   };
 
   auto deliver = [&](RingItem& item, std::size_t w) {
     switch (item.kind) {
-      case RingItem::Kind::kBatch:
+      case RingItem::Kind::kBatch: {
+        // Consumed counts aggregate locally across the batch — one atomic
+        // add per kind instead of per event — and flush on both the
+        // success and the failure path, so the identity stays exact.
+        std::array<std::uint64_t, kNumEventKinds> consumed{};
+        double volume = 0.0;
         for (std::size_t i = 0; i < item.batch.size(); ++i) {
+          const StreamEvent& ev = item.batch[i];
           try {
-            deliver_event(item.batch[i]);
+            if (!deliver_event(ev)) continue;
           } catch (...) {
             // The batch is already popped from the ring, so the events
             // behind the failing one can never be delivered or drained:
@@ -752,10 +805,17 @@ EngineResult StreamEngine::run_days(
             for (std::size_t j = i + 1; j < item.batch.size(); ++j) {
               telemetry.count_discarded(item.batch[j].kind());
             }
+            telemetry.count_consumed_bulk(consumed, volume);
             throw;
           }
+          ++consumed[static_cast<std::size_t>(ev.kind())];
+          if (ev.kind() == EventKind::kSession) {
+            volume += std::get<SessionEvent>(ev.payload).session.volume_mb;
+          }
         }
+        telemetry.count_consumed_bulk(consumed, volume);
         break;
+      }
       case RingItem::Kind::kBsDayVolume: {
         auto& volumes = day_volumes[item.day];
         if (volumes.empty()) volumes.assign(network.size(), 0.0);

@@ -59,6 +59,16 @@ struct EngineConfig {
   /// Events per ring transfer (>= 1). Larger batches amortize the atomic
   /// ring traffic; under kDropNewest a full ring drops a whole batch.
   std::size_t batch_size = 64;
+  /// Which generation kernel the workers drive (dataset/generator.hpp).
+  /// kScalar reproduces the pre-batch per-(BS, day) streams bit-exactly;
+  /// kBatch fills SoA minute blocks (BlockRng v1 stream — statistically
+  /// identical, bit-wise different, 1.5x+ the sessions/s). Segment and
+  /// packet expansion streams are scalar under both kernels, and both
+  /// kernels are invariant to worker count and batch size. Checkpoints
+  /// resume bit-identically under the kernel that produced them; a
+  /// checkpoint taken under one kernel resumes under the other only at
+  /// day boundaries (mid-day v2 cursors splice session streams).
+  GeneratorKernel kernel = GeneratorKernel::kScalar;
   /// Which event kinds the workers produce. Minute and session events
   /// reproduce the pre-refactor session replay; adding kSegment expands
   /// every session into its handover chain (config `mobility`), adding

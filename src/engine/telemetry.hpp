@@ -125,18 +125,25 @@ class Telemetry {
     return workers_.size();
   }
 
-  // Consumer-side counters (single writer; the CAS loop below never spins
-  // in practice, it exists because fetch_add on atomic<double> is C++20
-  // library support we cannot rely on everywhere).
+  // Consumer-side counters (single writer).
   void count_consumed(EventKind kind, double volume_mb = 0.0) noexcept {
     consumed_[static_cast<std::size_t>(kind)].fetch_add(
         1, std::memory_order_relaxed);
-    if (volume_mb != 0.0) {
-      double cur = volume_mb_.load(std::memory_order_relaxed);
-      while (!volume_mb_.compare_exchange_weak(cur, cur + volume_mb,
-                                               std::memory_order_relaxed)) {
+    add_volume(volume_mb);
+  }
+  /// Batched form: one atomic add per non-zero kind instead of one per
+  /// event. The consumer aggregates a whole ring batch locally first —
+  /// per-event fetch_add was measurable at the 10M events/s the batch
+  /// kernel sustains.
+  void count_consumed_bulk(
+      const std::array<std::uint64_t, kNumEventKinds>& counts,
+      double volume_mb) noexcept {
+    for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+      if (counts[k] != 0) {
+        consumed_[k].fetch_add(counts[k], std::memory_order_relaxed);
       }
     }
+    add_volume(volume_mb);
   }
   /// A sink delivery failed under SinkErrorPolicy::kDegrade.
   void count_sink_error(EventKind kind) noexcept {
@@ -154,6 +161,17 @@ class Telemetry {
   [[nodiscard]] TelemetrySnapshot snapshot(std::uint64_t queue_depth) const;
 
  private:
+  // Single consumer writes volume_mb_; the CAS loop never spins in
+  // practice, it exists because fetch_add on atomic<double> is C++20
+  // library support we cannot rely on everywhere.
+  void add_volume(double volume_mb) noexcept {
+    if (volume_mb == 0.0) return;
+    double cur = volume_mb_.load(std::memory_order_relaxed);
+    while (!volume_mb_.compare_exchange_weak(cur, cur + volume_mb,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+
   std::vector<PerWorker> workers_;
   std::array<std::atomic<std::uint64_t>, kNumEventKinds> consumed_{};
   std::array<std::atomic<std::uint64_t>, kNumEventKinds> sink_errors_{};

@@ -22,6 +22,23 @@ Log10NormalMixture::Log10NormalMixture(std::vector<double> relative_weights,
     components_.push_back(Component{relative_weights[i] / total, dists[i]});
   }
   component_alias_ = AliasTable(relative_weights);
+
+  // Flattened scan parameters (see component_scan): thresholds are the
+  // cumulative weights of all but the last component, padded unreachable;
+  // locations/scales are padded with the last component so an over-read
+  // lane in a vectorized gather still produces a finite value.
+  double cum = 0.0;
+  for (std::size_t k = 0; k < kScanComponents; ++k) {
+    const std::size_t i = std::min(k, components_.size() - 1);
+    scan_mu_[k] = components_[i].dist.mu();
+    scan_sigma_[k] = components_[i].dist.sigma();
+    if (k + 1 < components_.size()) {
+      cum += components_[k].weight;
+      scan_cum_[k] = cum;
+    } else {
+      scan_cum_[k] = 2.0;
+    }
+  }
 }
 
 Log10NormalMixture Log10NormalMixture::from_main_and_peaks(

@@ -7,10 +7,12 @@
 // provides density, CDF, quantile and sampling.
 #pragma once
 
+#include <array>
 #include <span>
 #include <vector>
 
 #include "common/alias_table.hpp"
+#include "common/batch_rng/vec_math.hpp"
 #include "common/rng.hpp"
 #include "math/distributions.hpp"
 
@@ -60,12 +62,77 @@ class Log10NormalMixture {
     return component_alias_;
   }
 
+  /// Mixtures at or below this size select components by a branch-free
+  /// in-register cumulative scan instead of the alias table in the batch
+  /// kernels: with 2-4 components the scan's compares stay in registers
+  /// while the alias pick costs an indexed table load, and PR 5 measured
+  /// the alias pick at 0.6x the scan for exactly this case (see the
+  /// mixture_scan_small crossover rows in bench_hot_paths). Every paper
+  /// mixture (main lobe + <= 3 residual peaks, Eq. 5) fits.
+  static constexpr std::size_t kScanComponents = 4;
+
+  /// CDF-inversion component pick: the component k whose cumulative
+  /// weight interval contains u. This is the mapping the batch stream
+  /// uses for small mixtures; note it deliberately differs from
+  /// component_alias().pick — the scalar path keeps the alias mapping for
+  /// stream compatibility with the pre-batch releases.
+  [[nodiscard]] std::size_t component_scan(double u) const noexcept {
+    return static_cast<std::size_t>((u >= scan_cum_[0]) + (u >= scan_cum_[1]) +
+                                    (u >= scan_cum_[2]));
+  }
+
+  /// Batch-stream draw over precomputed deviates: out[i] =
+  /// 10^{mu_k + sigma_k z[i]} with k picked from u[i] — by the in-register
+  /// scan for mixtures up to kScanComponents, by the alias table above
+  /// that. Uses the polynomial pow10 of the batch path, so results differ
+  /// in the last ulps from scalar sample(); the batch stream owns this
+  /// mapping (BlockRng::kStreamVersion).
+  void sample_block(const double* u, const double* z, double* out,
+                    std::size_t n) const noexcept {
+    if (components_.size() <= kScanComponents) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t k = component_scan(u[i]);
+        out[i] = vec::pow10_poly(scan_mu_[k] + scan_sigma_[k] * z[i]);
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t k = component_alias_.pick(u[i]);
+      out[i] = vec::pow10_poly(components_[k].dist.mu() +
+                               components_[k].dist.sigma() * z[i]);
+    }
+  }
+
+  /// Flattened scan parameters (cumulative thresholds / locations /
+  /// scales, see component_scan) for kernels that gather them per
+  /// session across services (dataset/generator SessionBlockKernel).
+  [[nodiscard]] const std::array<double, kScanComponents>& scan_cum()
+      const noexcept {
+    return scan_cum_;
+  }
+  [[nodiscard]] const std::array<double, kScanComponents>& scan_mu()
+      const noexcept {
+    return scan_mu_;
+  }
+  [[nodiscard]] const std::array<double, kScanComponents>& scan_sigma()
+      const noexcept {
+    return scan_sigma_;
+  }
+
   /// Mixture mean of x.
   [[nodiscard]] double mean() const noexcept;
 
  private:
   std::vector<Component> components_;
   AliasTable component_alias_;
+  /// Flattened small-mixture parameters for the in-register scan:
+  /// scan_cum_[k] is the cumulative weight through component k, padded
+  /// with an unreachable 2.0 so component_scan never over-counts; mu and
+  /// sigma are padded with the last component's values. Only meaningful
+  /// for mixtures up to kScanComponents.
+  std::array<double, kScanComponents> scan_cum_{2.0, 2.0, 2.0, 2.0};
+  std::array<double, kScanComponents> scan_mu_{};
+  std::array<double, kScanComponents> scan_sigma_{};
 };
 
 }  // namespace mtd

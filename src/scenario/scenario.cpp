@@ -252,6 +252,12 @@ SinkErrorPolicy sink_error_policy_from(const std::string& name) {
   throw ParseError("EngineConfig: unknown sink error policy '" + name + "'");
 }
 
+GeneratorKernel generator_kernel_from(const std::string& name) {
+  if (name == "scalar") return GeneratorKernel::kScalar;
+  if (name == "batch") return GeneratorKernel::kBatch;
+  throw ParseError("EngineConfig: unknown generator kernel '" + name + "'");
+}
+
 }  // namespace
 
 Json to_json(const EngineConfig& config) {
@@ -259,6 +265,7 @@ Json to_json(const EngineConfig& config) {
   obj.emplace("num_workers", config.num_workers);
   obj.emplace("queue_capacity", config.queue_capacity);
   obj.emplace("batch_size", config.batch_size);
+  obj.emplace("generator_kernel", to_string(config.kernel));
   JsonArray kinds;
   for (std::size_t k = 0; k < kNumEventKinds; ++k) {
     const auto kind = static_cast<EventKind>(k);
@@ -285,7 +292,8 @@ Json to_json(const EngineConfig& config) {
 
 void from_json(const Json& json, EngineConfig& config) {
   check_keys(json,
-             {"num_workers", "queue_capacity", "batch_size", "event_kinds",
+             {"num_workers", "queue_capacity", "batch_size",
+              "generator_kernel", "event_kinds",
               "mobility", "packet_schedule", "backpressure", "time_scale",
               "telemetry_period_s", "stop_after_days", "checkpoint_path",
               "checkpoint_interval_minutes", "sink_error_policy",
@@ -298,6 +306,10 @@ void from_json(const Json& json, EngineConfig& config) {
       json, "queue_capacity", static_cast<double>(config.queue_capacity)));
   config.batch_size = static_cast<std::size_t>(
       num_or(json, "batch_size", static_cast<double>(config.batch_size)));
+  if (json.contains("generator_kernel")) {
+    config.kernel =
+        generator_kernel_from(json.at("generator_kernel").as_string());
+  }
   if (json.contains("event_kinds")) {
     EventKindMask mask;
     for (const Json& kind : json.at("event_kinds").as_array()) {

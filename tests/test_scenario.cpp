@@ -90,6 +90,7 @@ TEST(ScenarioJson, EngineConfigRoundTrip) {
   config.num_workers = 6;
   config.queue_capacity = 1024;
   config.batch_size = 16;
+  config.kernel = GeneratorKernel::kBatch;
   config.event_kinds = EventKindMask::all();
   config.mobility.vehicular_dwell_median_s = 33.0;
   config.packet.mtu_bytes = 9000;
@@ -104,6 +105,7 @@ TEST(ScenarioJson, EngineConfigRoundTrip) {
   EXPECT_EQ(restored.num_workers, 6u);
   EXPECT_EQ(restored.queue_capacity, 1024u);
   EXPECT_EQ(restored.batch_size, 16u);
+  EXPECT_EQ(restored.kernel, GeneratorKernel::kBatch);
   EXPECT_EQ(restored.event_kinds, EventKindMask::all());
   EXPECT_DOUBLE_EQ(restored.mobility.vehicular_dwell_median_s, 33.0);
   EXPECT_EQ(restored.packet.mtu_bytes, 9000u);

@@ -30,22 +30,53 @@ namespace {
 // ---------------------------------------------------------------------------
 
 /// The sanctioned layer ranks, lowest first. A src/ file may include only
-/// same-directory headers or headers from a strictly lower rank; two
-/// different directories on the same rank may not include each other
-/// (they are peers by design, not by accident).
+/// same-layer headers or headers from a strictly lower rank; two
+/// different layers on the same rank may not include each other
+/// (they are peers by design, not by accident). Keys are matched by
+/// longest path prefix, so a nested directory (common/batch_rng) can be
+/// its own layer above its parent: batch_rng builds on common/rng but
+/// plain common code must not reach up into the vector kernels.
 const std::map<std::string, int, std::less<>>& layer_ranks() {
   static const std::map<std::string, int, std::less<>> kRanks = {
       {"common", 0},
-      {"math", 1},     {"io", 1},       {"packet", 1},
-      {"dataset", 2},
-      {"core", 3},     {"mobility", 3},
-      {"events", 4},
-      {"store", 5},
-      {"analysis", 6}, {"usecases", 6},
-      {"engine", 7},
-      {"scenario", 8},
+      {"common/batch_rng", 1},
+      {"math", 2},     {"io", 2},       {"packet", 2},
+      {"dataset", 3},
+      {"core", 4},     {"mobility", 4},
+      {"events", 5},
+      {"store", 6},
+      {"analysis", 7}, {"usecases", 7},
+      {"engine", 8},
+      {"scenario", 9},
   };
   return kRanks;
+}
+
+/// The path of `path` relative to its src/ root (empty when not in src/).
+std::string src_rel(std::string_view path) {
+  std::size_t start = 0;
+  if (path.rfind("src/", 0) == 0) {
+    start = 4;
+  } else {
+    const std::size_t pos = path.find("/src/");
+    if (pos == std::string_view::npos) return {};
+    start = pos + 5;
+  }
+  return std::string(path.substr(start));
+}
+
+/// Longest layer_ranks() key that is a directory prefix of `rel` (a path
+/// relative to src/); empty when no rank covers it.
+std::string layer_of(std::string_view rel) {
+  std::string best;
+  for (const auto& [key, rank] : layer_ranks()) {
+    static_cast<void>(rank);
+    if (rel.size() > key.size() && rel.compare(0, key.size(), key) == 0 &&
+        rel[key.size()] == '/' && key.size() > best.size()) {
+      best = key;
+    }
+  }
+  return best;
 }
 
 class IncludeLayeringRule final : public Rule {
@@ -54,27 +85,29 @@ class IncludeLayeringRule final : public Rule {
     return "include-layering";
   }
   [[nodiscard]] std::string_view description() const noexcept override {
-    return "src/ includes must follow the layer DAG (common < math/io/"
-           "packet < dataset < core/mobility < events < store < "
-           "analysis/usecases < engine < scenario): no upward, "
+    return "src/ includes must follow the layer DAG (common < "
+           "common/batch_rng < math/io/packet < dataset < core/mobility "
+           "< events < store < analysis/usecases < engine < scenario; "
+           "layers match by longest path prefix): no upward, "
            "same-rank-peer, or cyclic includes";
   }
   void check_project(const ProjectModel& model,
                      std::vector<Finding>& out) const override {
     const auto& ranks = layer_ranks();
-    // Edge checks: directory ranks.
+    // Edge checks: layer ranks by longest prefix.
     for (const IncludeEdge& edge : model.includes) {
       if (!ProjectModel::in_src(edge.path)) continue;
-      const std::string from_dir = ProjectModel::src_dir(edge.path);
       const std::size_t slash = edge.target.find('/');
       if (slash == std::string::npos) continue;  // local "foo.hpp" include
-      const std::string to_dir = edge.target.substr(0, slash);
-      if (from_dir == to_dir) continue;
+      const std::string from_dir = layer_of(src_rel(edge.path));
+      const std::string to_dir = layer_of(edge.target);
+      if (from_dir == to_dir && !from_dir.empty()) continue;
       const auto from_it = ranks.find(from_dir);
       const auto to_it = ranks.find(to_dir);
       if (from_it == ranks.end() || to_it == ranks.end()) {
-        const std::string& unknown =
-            from_it == ranks.end() ? from_dir : to_dir;
+        const std::string unknown = from_it == ranks.end()
+                                        ? ProjectModel::src_dir(edge.path)
+                                        : edge.target.substr(0, slash);
         out.push_back({std::string(name()), edge.path, edge.line,
                        "directory 'src/" + unknown +
                            "' has no layer rank; add it to the layer table "
